@@ -1,0 +1,80 @@
+//! Benchmark: the two correspondence algorithms (degree fixpoint vs.
+//! partition refinement), relation verification, and quotienting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icstar::{
+    disjoint_union, maximal_correspondence, stuttering_partition, stuttering_quotient,
+    verify_correspondence,
+};
+use icstar_nets::ring_mutex;
+
+fn bench_maximal_correspondence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisim/maximal");
+    group.sample_size(10);
+    let base = ring_mutex(3);
+    for r in [4u32, 6, 8] {
+        let big = ring_mutex(r);
+        let red_base = base.reduced(3);
+        let red_big = big.reduced(3);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| {
+                let rel = maximal_correspondence(&red_base, &red_big);
+                assert!(rel.related(red_base.initial(), red_big.initial()));
+                rel
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisim/partition");
+    group.sample_size(10);
+    let base = ring_mutex(3);
+    for r in [4u32, 6, 8] {
+        let big = ring_mutex(r);
+        let (u, _) = disjoint_union(&base.reduced(3), &big.reduced(3));
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| stuttering_partition(&u))
+        });
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisim/verify");
+    group.sample_size(10);
+    let base = ring_mutex(3);
+    for r in [4u32, 6] {
+        let big = ring_mutex(r);
+        let red_base = base.reduced(3);
+        let red_big = big.reduced(3);
+        let rel = maximal_correspondence(&red_base, &red_big);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| verify_correspondence(&red_base, &red_big, &rel).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_quotient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisim/quotient");
+    group.sample_size(10);
+    for r in [6u32, 8, 10] {
+        let ring = ring_mutex(r);
+        let red = ring.reduced(1);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| stuttering_quotient(&red))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maximal_correspondence,
+    bench_partition_refinement,
+    bench_verification,
+    bench_quotient
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Benchmark: the LTL→generalized-Büchi tableau and product emptiness —
+//! the substrate that lifts CTL checking to full CTL*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icstar::icstar_logic::{nnf_path, parse_path};
+use icstar::icstar_mc::buchi::{ltl_to_gba, LitId};
+use icstar::icstar_mc::product::Product;
+use icstar::icstar_kripke::bits::BitSet;
+use icstar::icstar_logic::Nnf;
+use icstar_nets::ring_mutex;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Maps the state-formula literals of an NNF path formula to dense ids,
+/// resolving satisfaction syntactically (atoms only) for the benchmark.
+fn literalize(
+    m: &icstar::Kripke,
+    f: &Nnf<icstar::StateFormula>,
+    table: &mut Vec<BitSet>,
+    ids: &mut HashMap<icstar::StateFormula, LitId>,
+) -> Nnf<LitId> {
+    match f {
+        Nnf::True => Nnf::True,
+        Nnf::False => Nnf::False,
+        Nnf::Lit { atom, negated } => {
+            let id = *ids.entry(atom.clone()).or_insert_with(|| {
+                let mut chk = icstar::Checker::new(m);
+                let sat = (*chk.sat(atom).unwrap()).clone();
+                table.push(sat);
+                LitId((table.len() - 1) as u32)
+            });
+            Nnf::Lit { atom: id, negated: *negated }
+        }
+        Nnf::And(a, b) => Nnf::And(
+            Rc::new(literalize(m, a, table, ids)),
+            Rc::new(literalize(m, b, table, ids)),
+        ),
+        Nnf::Or(a, b) => Nnf::Or(
+            Rc::new(literalize(m, a, table, ids)),
+            Rc::new(literalize(m, b, table, ids)),
+        ),
+        Nnf::Until(a, b) => Nnf::Until(
+            Rc::new(literalize(m, a, table, ids)),
+            Rc::new(literalize(m, b, table, ids)),
+        ),
+        Nnf::Release(a, b) => Nnf::Release(
+            Rc::new(literalize(m, a, table, ids)),
+            Rc::new(literalize(m, b, table, ids)),
+        ),
+        Nnf::Next(a) => Nnf::Next(Rc::new(literalize(m, a, table, ids))),
+    }
+}
+
+const FORMULAS: &[&str] = &[
+    "F q",
+    "G (p -> F q)",
+    "(p U q) U (q U p)",
+    "G F p & F G q",
+    "G (p -> (q U (p R q)))",
+];
+
+fn bench_tableau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buchi/tableau");
+    group.sample_size(20);
+    for src in FORMULAS {
+        let f = parse_path(src).unwrap();
+        let nnf = nnf_path(&f);
+        let mut table = Vec::new();
+        let mut ids = HashMap::new();
+        let ring = ring_mutex(2);
+        let lifted = literalize(ring.kripke(), &nnf, &mut table, &mut ids);
+        group.bench_function(*src, |b| b.iter(|| ltl_to_gba(&lifted)));
+    }
+    group.finish();
+}
+
+fn bench_product_emptiness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buchi/product");
+    group.sample_size(10);
+    let ring = ring_mutex(6);
+    let red = ring.reduced(1);
+    let src = "G (d[4294967295] -> F c[4294967295])";
+    let f = parse_path(src).unwrap();
+    let nnf = nnf_path(&f);
+    let mut table = Vec::new();
+    let mut ids = HashMap::new();
+    let lifted = literalize(&red, &nnf, &mut table, &mut ids);
+    let gba = ltl_to_gba(&lifted);
+    group.bench_function("ring6-liveness", |b| {
+        b.iter(|| {
+            let prod = Product::explore(&red, &gba, &table);
+            prod.e_states()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tableau, bench_product_emptiness);
+criterion_main!(benches);

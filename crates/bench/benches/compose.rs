@@ -1,0 +1,47 @@
+//! Benchmark: building the global state graph `M_r` of the token ring
+//! (the composition cost that explodes with r) and free products.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icstar_nets::{fig41_template, interleave, ring_mutex};
+
+fn bench_ring_composition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose/ring");
+    group.sample_size(10);
+    for r in [4u32, 6, 8, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let ring = ring_mutex(r);
+                assert_eq!(ring.kripke().num_states() as u64, (r as u64) << r);
+                ring
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_free_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose/free-product");
+    group.sample_size(10);
+    let t = fig41_template();
+    for n in [4u32, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| interleave(&t, n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose/reduction");
+    group.sample_size(10);
+    for r in [6u32, 8, 10] {
+        let ring = ring_mutex(r);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| ring.reduced(1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_composition, bench_free_product, bench_reduction);
+criterion_main!(benches);

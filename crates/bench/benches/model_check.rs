@@ -1,0 +1,72 @@
+//! Benchmark: model checking the paper's properties directly on `M_r`
+//! (the cost the correspondence reduction avoids) and the CTL vs. Büchi
+//! routes on equivalent formulas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icstar::{parse_state, Checker, IndexedChecker};
+use icstar_nets::{ring_mutex, ring_properties};
+
+fn bench_direct_properties(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc/direct-properties");
+    group.sample_size(10);
+    for r in [4u32, 6, 8, 10] {
+        let ring = ring_mutex(r);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| {
+                let mut chk = IndexedChecker::new(ring.structure());
+                for f in ring_properties() {
+                    assert!(chk.holds(&f.formula).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ctl_vs_buchi(c: &mut Criterion) {
+    let ring = ring_mutex(6);
+    let reduced = ring.reduced(1);
+    let mut group = c.benchmark_group("mc/route");
+    // Same property, two decision procedures: the CTL fast path and the
+    // generalized-Büchi product.
+    let fast = parse_state("AG(d[4294967295] -> AF c[4294967295])");
+    let fast = fast.unwrap();
+    let slow = parse_state("A(G G (d[4294967295] -> A(F F c[4294967295])))").unwrap();
+    group.bench_function("ctl-fast-path", |b| {
+        b.iter(|| {
+            let mut chk = Checker::new(&reduced);
+            assert!(chk.holds(&fast).unwrap());
+        })
+    });
+    group.bench_function("buchi-product", |b| {
+        b.iter(|| {
+            let mut chk = Checker::new(&reduced);
+            assert!(chk.holds(&slow).unwrap());
+        })
+    });
+    group.finish();
+}
+
+fn bench_quantifier_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc/indexed-expansion");
+    group.sample_size(10);
+    for r in [6u32, 8, 10] {
+        let ring = ring_mutex(r);
+        let f = parse_state("forall i. AG(c[i] -> t[i])").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| {
+                let mut chk = IndexedChecker::new(ring.structure());
+                assert!(chk.holds(&f).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direct_properties,
+    bench_ctl_vs_buchi,
+    bench_quantifier_expansion
+);
+criterion_main!(benches);

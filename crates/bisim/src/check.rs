@@ -1,0 +1,249 @@
+//! Verifying that a *given* relation-with-degrees is a correspondence.
+//!
+//! The paper's Section 5 case study does not compute a correspondence; it
+//! *exhibits* one (pairs where index `i` is in the same part of the state
+//! as `i'`, degrees `r(s,i) + r(s',i')` from the rank function) and proves
+//! the clauses in the Appendix. [`verify_correspondence`] mechanizes that
+//! proof obligation for any hand-built relation.
+
+use std::fmt;
+
+use icstar_kripke::compare::shared_label_keys;
+use icstar_kripke::{Kripke, StateId};
+
+use crate::relation::Correspondence;
+
+/// Why a candidate relation fails to be a correspondence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The initial states are not related (condition 1).
+    InitialNotRelated,
+    /// A related pair has different labels (clause 2a).
+    LabelMismatch(StateId, StateId),
+    /// Clause 2b fails at the pair: some move of the first state can
+    /// neither be matched nor absorbed with a decreasing degree.
+    Clause2b(StateId, StateId),
+    /// Clause 2c fails at the pair (symmetric).
+    Clause2c(StateId, StateId),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::InitialNotRelated => write!(f, "initial states are not related"),
+            Violation::LabelMismatch(s, s2) => {
+                write!(f, "labels of {s} and {s2} differ (clause 2a)")
+            }
+            Violation::Clause2b(s, s2) => write!(f, "clause 2b fails at ({s}, {s2})"),
+            Violation::Clause2c(s, s2) => write!(f, "clause 2c fails at ({s}, {s2})"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks that `rel` (with its degrees) satisfies the paper's definition
+/// of a correspondence relation between `m1` and `m2`.
+///
+/// Unlike [`crate::maximal_correspondence`], the degrees here are the
+/// caller's — they need not be minimal, only *valid*.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found (initial pair, clause 2a, 2b or
+/// 2c).
+pub fn verify_correspondence(
+    m1: &Kripke,
+    m2: &Kripke,
+    rel: &Correspondence,
+) -> Result<(), Violation> {
+    if !rel.related(m1.initial(), m2.initial()) {
+        return Err(Violation::InitialNotRelated);
+    }
+    let (k1, k2, _) = shared_label_keys(m1, m2);
+    for (s, s2, k) in rel.iter() {
+        verify_pair(m1, m2, rel, &k1, &k2, s, s2, k)?;
+    }
+    Ok(())
+}
+
+/// Checks clauses 2a/2b/2c at a single pair. Exposed for spot-checking
+/// sampled pairs of relations too large to enumerate.
+///
+/// # Errors
+///
+/// Returns the violated clause.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn verify_pair(
+    m1: &Kripke,
+    m2: &Kripke,
+    rel: &Correspondence,
+    k1: &[u32],
+    k2: &[u32],
+    s: StateId,
+    s2: StateId,
+    k: u64,
+) -> Result<(), Violation> {
+    if k1[s.idx()] != k2[s2.idx()] {
+        return Err(Violation::LabelMismatch(s, s2));
+    }
+    if !clause_holds(
+        m1.successors(s),
+        m2.successors(s2),
+        |a, b| rel.related(a, b),
+        |a| rel.degree(a, s2),
+        |b| rel.degree(s, b),
+        k,
+    ) {
+        return Err(Violation::Clause2b(s, s2));
+    }
+    if !clause_holds(
+        m2.successors(s2),
+        m1.successors(s),
+        |b, a| rel.related(a, b),
+        |b| rel.degree(s, b),
+        |a| rel.degree(a, s2),
+        k,
+    ) {
+        return Err(Violation::Clause2c(s, s2));
+    }
+    Ok(())
+}
+
+/// One direction of the clause at degree `k`:
+/// `[∃ partner-move b with degree(b) < k] ∨ [∀ own-move a: matched(a,·) ∨
+/// degree(a) < k]`.
+fn clause_holds<A: Copy, B: Copy>(
+    own_succs: &[A],
+    partner_succs: &[B],
+    matched: impl Fn(A, B) -> bool,
+    one_sided_own: impl Fn(A) -> Option<u64>,
+    one_sided_partner: impl Fn(B) -> Option<u64>,
+    k: u64,
+) -> bool {
+    let first = partner_succs
+        .iter()
+        .any(|&b| one_sided_partner(b).is_some_and(|d| d < k));
+    if first {
+        return true;
+    }
+    own_succs.iter().all(|&a| {
+        partner_succs.iter().any(|&b| matched(a, b))
+            || one_sided_own(a).is_some_and(|d| d < k)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maximal::maximal_correspondence;
+    use icstar_kripke::{Atom, KripkeBuilder};
+
+    fn ab_loop() -> Kripke {
+        let mut b = KripkeBuilder::new();
+        let x = b.state_labeled("x", [Atom::plain("a")]);
+        let y = b.state_labeled("y", [Atom::plain("b")]);
+        b.edge(x, y);
+        b.edge(y, x);
+        b.build(x).unwrap()
+    }
+
+    #[test]
+    fn maximal_relation_verifies() {
+        let m = ab_loop();
+        let rel = maximal_correspondence(&m, &m);
+        assert_eq!(verify_correspondence(&m, &m, &rel), Ok(()));
+    }
+
+    #[test]
+    fn missing_initial_pair_detected() {
+        let m = ab_loop();
+        let rel = Correspondence::from_triples([(StateId(1), StateId(1), 0)]);
+        assert_eq!(
+            verify_correspondence(&m, &m, &rel),
+            Err(Violation::InitialNotRelated)
+        );
+    }
+
+    #[test]
+    fn label_mismatch_detected() {
+        let m = ab_loop();
+        let rel = Correspondence::from_triples([
+            (StateId(0), StateId(0), 0),
+            (StateId(1), StateId(1), 0),
+            (StateId(0), StateId(1), 0), // a vs b
+        ]);
+        let err = verify_correspondence(&m, &m, &rel).unwrap_err();
+        assert_eq!(err, Violation::LabelMismatch(StateId(0), StateId(1)));
+    }
+
+    #[test]
+    fn incomplete_relation_fails_clause() {
+        // Relate only the initial pair: its successors are unmatched.
+        let m = ab_loop();
+        let rel = Correspondence::from_triples([(StateId(0), StateId(0), 0)]);
+        let err = verify_correspondence(&m, &m, &rel).unwrap_err();
+        assert!(matches!(
+            err,
+            Violation::Clause2b(..) | Violation::Clause2c(..)
+        ));
+    }
+
+    #[test]
+    fn inflated_degrees_still_verify() {
+        // Degrees need not be minimal: doubling them keeps the relation
+        // valid (the clauses only bound degrees from below).
+        let m = ab_loop();
+        let rel = maximal_correspondence(&m, &m);
+        let inflated = Correspondence::from_triples(
+            rel.iter().map(|(s, s2, d)| (s, s2, d * 2 + 5)),
+        );
+        assert_eq!(verify_correspondence(&m, &m, &inflated), Ok(()));
+    }
+
+    #[test]
+    fn understated_degrees_fail() {
+        // A one-sided stutter needs degree ≥ 1; claiming 0 must fail.
+        let mut b1 = KripkeBuilder::new();
+        let x = b1.state_labeled("x", [Atom::plain("a")]);
+        let z = b1.state_labeled("z", [Atom::plain("b")]);
+        b1.edge(x, z);
+        b1.edge(z, z);
+        let m1 = b1.build(x).unwrap();
+        let mut b2 = KripkeBuilder::new();
+        let y0 = b2.state_labeled("y0", [Atom::plain("a")]);
+        let y1 = b2.state_labeled("y1", [Atom::plain("a")]);
+        let z2 = b2.state_labeled("z2", [Atom::plain("b")]);
+        b2.edge(y0, y1);
+        b2.edge(y1, z2);
+        b2.edge(z2, z2);
+        let m2 = b2.build(y0).unwrap();
+        // Correct degrees verify.
+        let good = maximal_correspondence(&m1, &m2);
+        assert_eq!(verify_correspondence(&m1, &m2, &good), Ok(()));
+        // Understate the (x, y0) degree to 0: clause 2c breaks, because
+        // y0's move to y1 is one-sided (x cannot move to an a-state) and
+        // needs room to decrease.
+        let bad = Correspondence::from_triples(good.iter().map(|(s, s2, d)| {
+            if (s, s2) == (x, y0) {
+                (s, s2, 0)
+            } else {
+                (s, s2, d)
+            }
+        }));
+        let err = verify_correspondence(&m1, &m2, &bad).unwrap_err();
+        assert!(
+            matches!(err, Violation::Clause2b(s, s2) | Violation::Clause2c(s, s2)
+                if s == x && s2 == y0),
+            "expected a clause violation at (x, y0), got {err:?}"
+        );
+    }
+
+    #[test]
+    fn violation_display() {
+        assert!(Violation::InitialNotRelated.to_string().contains("initial"));
+        assert!(Violation::Clause2b(StateId(0), StateId(1))
+            .to_string()
+            .contains("2b"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Indexed correspondence and the ICTL* correspondence theorem
+//! (Section 4).
+//!
+//! Two indexed structures `M`, `M'` *(i, i')-correspond* iff their
+//! reductions correspond: `M|i E M'|i'`. Given a relation `IN ⊆ I × I'`
+//! that is total for both index sets, Theorem 5 states: if `M` and `M'`
+//! (i, i')-correspond for every `(i, i') ∈ IN`, then they satisfy exactly
+//! the same closed ICTL* formulas.
+//!
+//! This module mechanizes the theorem's premise: [`indexed_correspond`]
+//! checks every pair of `IN`, using either the computed maximal
+//! correspondence or a caller-supplied relation per pair.
+
+use std::fmt;
+
+use icstar_kripke::{Index, IndexedKripke};
+
+use crate::maximal::maximal_correspondence;
+use crate::relation::Correspondence;
+
+/// A relation `IN ⊆ I × I'` between the index sets of two structures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexRelation {
+    pairs: Vec<(Index, Index)>,
+}
+
+impl IndexRelation {
+    /// Creates the relation from index pairs (deduplicated, sorted).
+    pub fn new(pairs: impl IntoIterator<Item = (Index, Index)>) -> Self {
+        let mut pairs: Vec<_> = pairs.into_iter().collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        IndexRelation { pairs }
+    }
+
+    /// The paper's canonical relation between a 2-process instance and an
+    /// r-process instance of a symmetric family:
+    /// `{(1,1)} ∪ {(2,i) : i ∈ I_r ∖ {1}}`.
+    pub fn two_vs_many(many: &[Index]) -> Self {
+        Self::base_vs_many(2, many)
+    }
+
+    /// The generalization to an arbitrary base size `b`:
+    /// `{(i,i) : i < b} ∪ {(b, j) : j ∈ many, j ≥ b}` — used with base 3
+    /// after the repair of the paper's 2-process base case (see the
+    /// `icstar-nets` ring documentation).
+    pub fn base_vs_many(base: Index, many: &[Index]) -> Self {
+        let mut pairs: Vec<(Index, Index)> = (1..base).map(|i| (i, i)).collect();
+        pairs.extend(many.iter().filter(|&&j| j >= base).map(|&j| (base, j)));
+        IndexRelation::new(pairs)
+    }
+
+    /// The index pairs, sorted.
+    pub fn pairs(&self) -> &[(Index, Index)] {
+        &self.pairs
+    }
+
+    /// Whether the relation is total for both `left` and `right`: every
+    /// index of each set appears in some pair (Theorem 5's requirement).
+    pub fn is_total(&self, left: &[Index], right: &[Index]) -> bool {
+        left.iter()
+            .all(|&i| self.pairs.iter().any(|&(a, _)| a == i))
+            && right
+                .iter()
+                .all(|&i| self.pairs.iter().any(|&(_, b)| b == i))
+    }
+}
+
+impl fmt::Display for IndexRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, b)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({a},{b})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Why two indexed structures fail the premise of Theorem 5.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndexedViolation {
+    /// `IN` does not cover some index of one of the structures.
+    NotTotal,
+    /// The reductions `M|i` and `M'|i'` do not correspond.
+    PairFails(Index, Index),
+}
+
+impl fmt::Display for IndexedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexedViolation::NotTotal => {
+                write!(f, "IN is not total for both index sets")
+            }
+            IndexedViolation::PairFails(i, j) => {
+                write!(f, "reductions M|{i} and M'|{j} do not correspond")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexedViolation {}
+
+/// Checks the premise of the ICTL* correspondence theorem: `IN` is total
+/// both ways and every `(i, i') ∈ IN` gives corresponding reductions.
+///
+/// On success the theorem applies: `m1` and `m2` satisfy the same closed
+/// (restricted) ICTL* formulas.
+///
+/// # Errors
+///
+/// Returns which requirement failed.
+pub fn indexed_correspond(
+    m1: &IndexedKripke,
+    m2: &IndexedKripke,
+    inrel: &IndexRelation,
+) -> Result<(), IndexedViolation> {
+    if !inrel.is_total(m1.indices(), m2.indices()) {
+        return Err(IndexedViolation::NotTotal);
+    }
+    for &(i, j) in inrel.pairs() {
+        let r1 = m1.reduce(i);
+        let r2 = m2.reduce(j);
+        let rel = maximal_correspondence(&r1, &r2);
+        if !rel.related(r1.initial(), r2.initial()) {
+            return Err(IndexedViolation::PairFails(i, j));
+        }
+    }
+    Ok(())
+}
+
+/// The maximal correspondence between the reductions `m1|i` and `m2|j` —
+/// the building block of [`indexed_correspond`], exposed for inspection
+/// and benchmarking.
+pub fn reduction_correspondence(
+    m1: &IndexedKripke,
+    m2: &IndexedKripke,
+    i: Index,
+    j: Index,
+) -> Correspondence {
+    let r1 = m1.reduce(i);
+    let r2 = m2.reduce(j);
+    maximal_correspondence(&r1, &r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_kripke::{Atom, KripkeBuilder};
+
+    /// A trivially symmetric family: all n processes forever neutral, one
+    /// global state.
+    fn idle(n: u32) -> IndexedKripke {
+        let mut b = KripkeBuilder::new();
+        let atoms: Vec<Atom> = (1..=n).map(|i| Atom::indexed("n", i)).collect();
+        let s = b.state_labeled("s", atoms);
+        b.edge(s, s);
+        IndexedKripke::new(b.build(s).unwrap(), (1..=n).collect())
+    }
+
+    #[test]
+    fn totality_check() {
+        let r = IndexRelation::two_vs_many(&[1, 2, 3]);
+        assert_eq!(r.pairs(), &[(1, 1), (2, 2), (2, 3)]);
+        assert!(r.is_total(&[1, 2], &[1, 2, 3]));
+        assert!(!r.is_total(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!r.is_total(&[1, 2], &[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn idle_families_correspond() {
+        let m2 = idle(2);
+        let m5 = idle(5);
+        let inrel = IndexRelation::two_vs_many(&[1, 2, 3, 4, 5]);
+        assert_eq!(indexed_correspond(&m2, &m5, &inrel), Ok(()));
+    }
+
+    #[test]
+    fn non_total_in_is_rejected() {
+        let m2 = idle(2);
+        let m3 = idle(3);
+        let partial = IndexRelation::new([(1, 1), (2, 2)]); // 3 uncovered
+        assert_eq!(
+            indexed_correspond(&m2, &m3, &partial),
+            Err(IndexedViolation::NotTotal)
+        );
+    }
+
+    #[test]
+    fn asymmetric_family_fails_pairwise() {
+        // m1: process 1 forever neutral. m2: process 1 forever critical.
+        let m1 = idle(1);
+        let mut b = KripkeBuilder::new();
+        let s = b.state_labeled("s", [Atom::indexed("c", 1)]);
+        b.edge(s, s);
+        let m2 = IndexedKripke::new(b.build(s).unwrap(), vec![1]);
+        let inrel = IndexRelation::new([(1, 1)]);
+        assert_eq!(
+            indexed_correspond(&m1, &m2, &inrel),
+            Err(IndexedViolation::PairFails(1, 1))
+        );
+    }
+
+    #[test]
+    fn reduction_correspondence_exposed() {
+        let m2 = idle(2);
+        let m3 = idle(3);
+        let rel = reduction_correspondence(&m2, &m3, 2, 3);
+        assert!(rel.related(
+            m2.kripke().initial(),
+            m3.kripke().initial()
+        ));
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = IndexRelation::new([(2, 3), (1, 1)]);
+        assert_eq!(r.to_string(), "{(1,1), (2,3)}");
+        assert!(IndexedViolation::PairFails(1, 2)
+            .to_string()
+            .contains("M|1"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Correspondence (bisimulation with degrees) between Kripke structures —
+//! the central contribution of Browne, Clarke & Grumberg's *"Reasoning
+//! about Networks with Many Identical Finite State Processes"*.
+//!
+//! Two structures *correspond* (Section 3) when there is a relation
+//! `E ⊆ S × S' × ℕ` matching their behaviors up to finite stuttering: the
+//! *degree* `k` of a pair bounds the one-sided moves before an exact
+//! match. Theorem 2: corresponding structures satisfy the same CTL*∖X
+//! formulas. Section 4 lifts this to indexed structures via reductions
+//! `M|i` and an index relation `IN`, giving the ICTL* correspondence
+//! theorem (Theorem 5) — the license to check 2 processes and conclude
+//! for 1000.
+//!
+//! This crate provides:
+//!
+//! * [`maximal_correspondence`] — computes the coarsest correspondence
+//!   with minimal degrees (the paper's definition is non-constructive;
+//!   this is the algorithmic companion);
+//! * [`verify_correspondence`] — checks a *hand-built* relation (e.g. the
+//!   paper's Appendix relation with rank-sum degrees);
+//! * [`stuttering_partition`] / [`quotient`] — the same equivalence by
+//!   partition refinement, plus quotient construction;
+//! * [`indexed_correspond`] — the Theorem 5 premise checker over an
+//!   [`IndexRelation`];
+//! * [`spot`] — local, on-the-fly clause checking for structures with
+//!   `r·2^r` states (the 1000-process audit).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use icstar_bisim::{maximal_correspondence, structures_correspond};
+//! use icstar_kripke::{Atom, KripkeBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A one-state busy loop vs. a two-state busy loop: correspond.
+//! let mut b1 = KripkeBuilder::new();
+//! let x = b1.state_labeled("x", [Atom::plain("busy")]);
+//! b1.edge(x, x);
+//! let m1 = b1.build(x)?;
+//!
+//! let mut b2 = KripkeBuilder::new();
+//! let y0 = b2.state_labeled("y0", [Atom::plain("busy")]);
+//! let y1 = b2.state_labeled("y1", [Atom::plain("busy")]);
+//! b2.edge(y0, y1);
+//! b2.edge(y1, y0);
+//! let m2 = b2.build(y0)?;
+//!
+//! assert!(structures_correspond(&m1, &m2));
+//! let rel = maximal_correspondence(&m1, &m2);
+//! assert_eq!(rel.degree(x, y0), Some(0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod indexed;
+mod maximal;
+mod partition;
+mod quotient;
+mod relation;
+
+pub mod spot;
+
+pub use check::{verify_correspondence, Violation};
+pub use indexed::{
+    indexed_correspond, reduction_correspondence, IndexRelation, IndexedViolation,
+};
+pub use maximal::{maximal_correspondence, structures_correspond};
+pub use partition::{disjoint_union, stuttering_partition, Partition};
+pub use quotient::{quotient, stuttering_quotient};
+pub use relation::Correspondence;

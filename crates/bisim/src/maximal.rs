@@ -1,0 +1,325 @@
+//! Computing the *maximal* correspondence between two structures.
+//!
+//! The paper's definition is non-constructive ("the definition cannot be
+//! used as the basis for an algorithm", Section 3, deferring to Browne,
+//! Clarke & Grumberg 1987). This module supplies the algorithm:
+//!
+//! 1. start from all label-equal pairs;
+//! 2. compute, by Kleene value-iteration, the least degree assignment
+//!    satisfying clauses 2b/2c — a *one-sided* move must strictly decrease
+//!    the degree, a *matched* move may land on any related pair;
+//! 3. pairs whose least degree exceeds `|S| + |S'|` (the paper's own bound
+//!    on minimal degrees) have none: delete them and re-iterate.
+//!
+//! The outer loop is a greatest-fixpoint computation, so the result
+//! contains every valid correspondence; the inner loop keeps degrees
+//! minimal. Divergence mismatches (one side can stutter forever where the
+//! other must move) die in step 3, exactly as required by Lemma 1's
+//! finite blocks.
+
+use std::collections::HashMap;
+
+use icstar_kripke::compare::shared_label_keys;
+use icstar_kripke::{Kripke, StateId};
+
+use crate::relation::{Correspondence, INF};
+
+/// Computes the maximal correspondence relation between `m1` and `m2`,
+/// with minimal degrees.
+///
+/// The result relates states across the two structures only (`(s, s')`
+/// with `s ∈ m1`, `s' ∈ m2`). The structures correspond in the paper's
+/// sense iff the initial pair is related — see [`structures_correspond`].
+///
+/// # Examples
+///
+/// ```
+/// use icstar_bisim::maximal_correspondence;
+/// use icstar_kripke::{Atom, KripkeBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // One a-state looping vs. a chain of two a-states looping: stuttering
+/// // equivalent, so everything corresponds.
+/// let mut b1 = KripkeBuilder::new();
+/// let x = b1.state_labeled("x", [Atom::plain("a")]);
+/// b1.edge(x, x);
+/// let m1 = b1.build(x)?;
+///
+/// let mut b2 = KripkeBuilder::new();
+/// let y0 = b2.state_labeled("y0", [Atom::plain("a")]);
+/// let y1 = b2.state_labeled("y1", [Atom::plain("a")]);
+/// b2.edge(y0, y1);
+/// b2.edge(y1, y0);
+/// let m2 = b2.build(y0)?;
+///
+/// let rel = maximal_correspondence(&m1, &m2);
+/// assert!(rel.related(x, y0));
+/// assert!(rel.related(x, y1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn maximal_correspondence(m1: &Kripke, m2: &Kripke) -> Correspondence {
+    let (k1, k2, _) = shared_label_keys(m1, m2);
+    let bound = (m1.num_states() + m2.num_states()) as u64;
+    let n2 = m2.num_states();
+
+    // Dense degree matrix: ABSENT marks unrelated pairs. Candidate pairs
+    // are the label-equal ones, starting at degree 0.
+    const ABSENT: u64 = u64::MAX - 1;
+    let mut delta: Vec<u64> = vec![ABSENT; m1.num_states() * n2];
+    let mut pairs: Vec<(StateId, StateId)> = Vec::new();
+    let mut by_key: HashMap<u32, Vec<StateId>> = HashMap::new();
+    for s2 in m2.states() {
+        by_key.entry(k2[s2.idx()]).or_default().push(s2);
+    }
+    for s1 in m1.states() {
+        if let Some(partners) = by_key.get(&k1[s1.idx()]) {
+            for &s2 in partners {
+                delta[s1.idx() * n2 + s2.idx()] = 0;
+                pairs.push((s1, s2));
+            }
+        }
+    }
+
+    let get = |delta: &[u64], a: StateId, b: StateId| -> Option<u64> {
+        let v = delta[a.idx() * n2 + b.idx()];
+        (v != ABSENT && v != INF).then_some(v)
+    };
+
+    loop {
+        // Kleene value-iteration (monotone non-decreasing) to the least
+        // fixpoint over the current pair set.
+        loop {
+            let mut changed = false;
+            for &(s1, s2) in &pairs {
+                let cur = delta[s1.idx() * n2 + s2.idx()];
+                if cur == INF || cur == ABSENT {
+                    continue;
+                }
+                let k2b = clause_degree(
+                    m1.successors(s1),
+                    m2.successors(s2),
+                    |a, b| get(&delta, a, b),
+                    |a| get(&delta, a, s2),
+                    |b| get(&delta, s1, b),
+                );
+                let k2c = clause_degree(
+                    m2.successors(s2),
+                    m1.successors(s1),
+                    |b, a| get(&delta, a, b),
+                    |b| get(&delta, s1, b),
+                    |a| get(&delta, a, s2),
+                );
+                let mut new = k2b.max(k2c);
+                if new > bound {
+                    new = INF;
+                }
+                if new > cur {
+                    delta[s1.idx() * n2 + s2.idx()] = new;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Delete pairs with no finite degree.
+        let before = pairs.len();
+        pairs.retain(|&(s1, s2)| {
+            if delta[s1.idx() * n2 + s2.idx()] == INF {
+                delta[s1.idx() * n2 + s2.idx()] = ABSENT;
+                false
+            } else {
+                true
+            }
+        });
+        if pairs.len() == before {
+            break;
+        }
+        // Deletions can only raise the remaining degrees; the current
+        // values are still below the new fixpoint, so iteration resumes
+        // from them soundly.
+    }
+
+    Correspondence::from_triples(
+        pairs
+            .into_iter()
+            .map(|(s1, s2)| (s1, s2, delta[s1.idx() * n2 + s2.idx()])),
+    )
+}
+
+/// One direction of the local clause. With the first structure "moving":
+///
+/// * `matched(a, b)` — degree of the matched-move pair `(a, b)`;
+/// * `one_sided_own(a)` — degree after only the own side moves to `a`
+///   (partner stays);
+/// * `one_sided_partner(b)` — degree after only the partner moves to `b`
+///   (own side stays).
+///
+/// Returns the least `k` such that: either some partner move `b` has
+/// `one_sided_partner(b) < k`, or every own move `a` is matched
+/// (`matched(a, ·)` related for some `b`) or has `one_sided_own(a) < k`.
+fn clause_degree<A: Copy, B: Copy>(
+    own_succs: &[A],
+    partner_succs: &[B],
+    matched: impl Fn(A, B) -> Option<u64>,
+    one_sided_own: impl Fn(A) -> Option<u64>,
+    one_sided_partner: impl Fn(B) -> Option<u64>,
+) -> u64 {
+    // First disjunct: partner stutters forward, degree must decrease.
+    let first = partner_succs
+        .iter()
+        .filter_map(|&b| one_sided_partner(b))
+        .min()
+        .map_or(INF, |d| d.saturating_add(1));
+    // Second disjunct: every own move matched or stuttering with
+    // decreasing degree.
+    let mut second = 0u64;
+    for &a in own_succs {
+        let both = partner_succs.iter().any(|&b| matched(a, b).is_some());
+        let cost = if both {
+            0
+        } else {
+            one_sided_own(a).map_or(INF, |d| d.saturating_add(1))
+        };
+        second = second.max(cost);
+        if second == INF {
+            break;
+        }
+    }
+    first.min(second)
+}
+
+/// Whether `m1` and `m2` correspond: the maximal correspondence relates
+/// their initial states (the paper's condition 1).
+pub fn structures_correspond(m1: &Kripke, m2: &Kripke) -> bool {
+    maximal_correspondence(m1, m2).related(m1.initial(), m2.initial())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_kripke::{Atom, KripkeBuilder};
+
+    fn single_loop(label: &str) -> Kripke {
+        let mut b = KripkeBuilder::new();
+        let s = b.state_labeled("s", [Atom::plain(label)]);
+        b.edge(s, s);
+        b.build(s).unwrap()
+    }
+
+    #[test]
+    fn identical_structures_correspond_at_degree_zero() {
+        let m = single_loop("a");
+        let rel = maximal_correspondence(&m, &m);
+        assert_eq!(rel.degree(StateId(0), StateId(0)), Some(0));
+        assert!(structures_correspond(&m, &m));
+    }
+
+    #[test]
+    fn label_mismatch_never_relates() {
+        let m1 = single_loop("a");
+        let m2 = single_loop("b");
+        assert!(maximal_correspondence(&m1, &m2).is_empty());
+        assert!(!structures_correspond(&m1, &m2));
+    }
+
+    #[test]
+    fn stutter_chain_corresponds_with_positive_degree() {
+        // m1: x(a) -> x. m2: y0(a) -> y1(a) -> y2(b) -> y2 — NOT equivalent
+        // (m2 is forced to reach b; m1 never has b).
+        let m1 = single_loop("a");
+        let mut b2 = KripkeBuilder::new();
+        let y0 = b2.state_labeled("y0", [Atom::plain("a")]);
+        let y1 = b2.state_labeled("y1", [Atom::plain("a")]);
+        let y2 = b2.state_labeled("y2", [Atom::plain("b")]);
+        b2.edge(y0, y1);
+        b2.edge(y1, y2);
+        b2.edge(y2, y2);
+        let m2 = b2.build(y0).unwrap();
+        assert!(!structures_correspond(&m1, &m2));
+    }
+
+    #[test]
+    fn divergence_mismatch_rejected() {
+        // m1: s(a) with self-loop AND an exit to v(b). m2: t(a) with only
+        // the exit to w(b). CTL*∖X distinguishes them: EG a holds at s but
+        // not at t. The correspondence must reject (s, t).
+        let mut b1 = KripkeBuilder::new();
+        let s = b1.state_labeled("s", [Atom::plain("a")]);
+        let v = b1.state_labeled("v", [Atom::plain("b")]);
+        b1.edge(s, s);
+        b1.edge(s, v);
+        b1.edge(v, v);
+        let m1 = b1.build(s).unwrap();
+
+        let mut b2 = KripkeBuilder::new();
+        let t = b2.state_labeled("t", [Atom::plain("a")]);
+        let w = b2.state_labeled("w", [Atom::plain("b")]);
+        b2.edge(t, w);
+        b2.edge(w, w);
+        let m2 = b2.build(t).unwrap();
+
+        let rel = maximal_correspondence(&m1, &m2);
+        assert!(!rel.related(s, t), "divergent a-loop must not match");
+        assert!(rel.related(v, w));
+        assert!(!structures_correspond(&m1, &m2));
+    }
+
+    #[test]
+    fn matched_divergence_is_fine() {
+        // Both sides can stutter in `a` forever: they correspond.
+        let m1 = single_loop("a");
+        let mut b2 = KripkeBuilder::new();
+        let y0 = b2.state_labeled("y0", [Atom::plain("a")]);
+        let y1 = b2.state_labeled("y1", [Atom::plain("a")]);
+        b2.edge(y0, y1);
+        b2.edge(y1, y0);
+        let m2 = b2.build(y0).unwrap();
+        let rel = maximal_correspondence(&m1, &m2);
+        assert_eq!(rel.degree(StateId(0), StateId(0)), Some(0));
+        assert_eq!(rel.degree(StateId(0), StateId(1)), Some(0));
+    }
+
+    #[test]
+    fn finite_stutter_block_gets_finite_degree() {
+        // m1: x(a) -> z(b) -> z. m2: y0(a) -> y1(a) -> z'(b) -> z'.
+        // y-chain is a finite block of a's; x corresponds to y0 with
+        // degree ≥ 1 (one-sided move y0 -> y1 needed before the match).
+        let mut b1 = KripkeBuilder::new();
+        let x = b1.state_labeled("x", [Atom::plain("a")]);
+        let z = b1.state_labeled("z", [Atom::plain("b")]);
+        b1.edge(x, z);
+        b1.edge(z, z);
+        let m1 = b1.build(x).unwrap();
+
+        let mut b2 = KripkeBuilder::new();
+        let y0 = b2.state_labeled("y0", [Atom::plain("a")]);
+        let y1 = b2.state_labeled("y1", [Atom::plain("a")]);
+        let z2 = b2.state_labeled("z2", [Atom::plain("b")]);
+        b2.edge(y0, y1);
+        b2.edge(y1, z2);
+        b2.edge(z2, z2);
+        let m2 = b2.build(y0).unwrap();
+
+        let rel = maximal_correspondence(&m1, &m2);
+        assert!(structures_correspond(&m1, &m2));
+        assert_eq!(rel.degree(x, y1), Some(0), "x matches y1 exactly");
+        let d = rel.degree(x, y0).expect("x relates to y0");
+        assert!(d >= 1, "one-sided stutter needs positive degree, got {d}");
+    }
+
+    #[test]
+    fn transposed_structures_give_transposed_relation() {
+        let mut b1 = KripkeBuilder::new();
+        let x = b1.state_labeled("x", [Atom::plain("a")]);
+        let z = b1.state_labeled("z", [Atom::plain("b")]);
+        b1.edge(x, z);
+        b1.edge(z, x);
+        let m1 = b1.build(x).unwrap();
+        let m2 = single_loop("a");
+        let r12 = maximal_correspondence(&m1, &m2);
+        let r21 = maximal_correspondence(&m2, &m1);
+        assert_eq!(r12.transpose(), r21);
+    }
+}

@@ -1,0 +1,378 @@
+//! Stuttering equivalence by partition refinement — the second,
+//! independent algorithm for the paper's correspondence.
+//!
+//! The correspondence of Section 3 coincides with *divergence-sensitive
+//! stuttering equivalence* (the CTL*∖X-preserving equivalence; cf.
+//! Browne–Clarke–Grumberg 1987 and Groote–Vaandrager 1990). This module
+//! computes it Groote–Vaandrager style:
+//!
+//! * the initial partition groups states by label;
+//! * a block `B` is split by a block `C` into the states that can reach
+//!   `C` while moving only through `B`, and the rest;
+//! * a block is split by *divergence*: states that can stutter inside
+//!   their block forever versus states that must leave.
+//!
+//! The test suite cross-checks the resulting equivalence against the
+//! degree-based [`crate::maximal_correspondence`] on random structures —
+//! two very different algorithms that must agree.
+
+use icstar_kripke::compare::label_keys;
+use icstar_kripke::{Kripke, StateId};
+
+/// A partition of a structure's states into stuttering-equivalence
+/// classes.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    block_of: Vec<u32>,
+    num_blocks: usize,
+    /// Per block: whether its states can take internal transitions
+    /// forever (divergence). Uniform within a block on completion.
+    divergent: Vec<bool>,
+}
+
+impl Partition {
+    /// The block id of a state.
+    pub fn block(&self, s: StateId) -> u32 {
+        self.block_of[s.idx()]
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Whether two states are stuttering-equivalent.
+    pub fn same_block(&self, a: StateId, b: StateId) -> bool {
+        self.block_of[a.idx()] == self.block_of[b.idx()]
+    }
+
+    /// Whether the given block can stutter internally forever.
+    pub fn is_divergent(&self, block: u32) -> bool {
+        self.divergent[block as usize]
+    }
+
+    /// The members of each block.
+    pub fn blocks(&self) -> Vec<Vec<StateId>> {
+        let mut out = vec![Vec::new(); self.num_blocks];
+        for (i, &b) in self.block_of.iter().enumerate() {
+            out[b as usize].push(StateId(i as u32));
+        }
+        out
+    }
+}
+
+/// Computes the coarsest divergence-sensitive stuttering-equivalence
+/// partition of `m`.
+pub fn stuttering_partition(m: &Kripke) -> Partition {
+    let (keys, nkeys) = label_keys(m);
+    let n = m.num_states();
+    let mut block_of: Vec<u32> = keys;
+    let mut num_blocks = nkeys;
+
+    loop {
+        let mut changed = false;
+
+        // Divergence split: states that can take transitions inside their
+        // current block forever.
+        let div = divergent_states(m, &block_of);
+        if let Some(nb) = split_by(&mut block_of, num_blocks, |s| div[s.idx()]) {
+            num_blocks = nb;
+            changed = true;
+        }
+
+        // Reachability splits: for each target block C, the states that
+        // can reach C moving only inside their own block.
+        let mut c = 0u32;
+        while (c as usize) < num_blocks {
+            let pos = reaches_block_internally(m, &block_of, c);
+            if let Some(nb) = split_by(&mut block_of, num_blocks, |s| pos[s.idx()]) {
+                num_blocks = nb;
+                changed = true;
+            }
+            c += 1;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Final divergence flags, per block (uniform at fixpoint).
+    let div = divergent_states(m, &block_of);
+    let mut divergent = vec![false; num_blocks];
+    for s in 0..n {
+        if div[s] {
+            divergent[block_of[s] as usize] = true;
+        }
+    }
+    Partition {
+        block_of,
+        num_blocks,
+        divergent,
+    }
+}
+
+/// States with an infinite path staying inside their own block:
+/// `νZ. {s : ∃t. s→t ∧ block(t)=block(s) ∧ t∈Z}`.
+fn divergent_states(m: &Kripke, block_of: &[u32]) -> Vec<bool> {
+    let n = m.num_states();
+    let mut z = vec![true; n];
+    loop {
+        let mut changed = false;
+        for s in 0..n {
+            if !z[s] {
+                continue;
+            }
+            let ok = m
+                .successors(StateId(s as u32))
+                .iter()
+                .any(|t| block_of[t.idx()] == block_of[s] && z[t.idx()]);
+            if !ok {
+                z[s] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            return z;
+        }
+    }
+}
+
+/// States that can reach block `c` by moving only through their own block
+/// first (one or more steps, with all intermediate states in the source
+/// state's block). For states already in `c`: whether they can reach `c`
+/// again staying in `c` — irrelevant for splitting `c` by itself, so `c`'s
+/// own members are reported as reaching (no self-split).
+fn reaches_block_internally(m: &Kripke, block_of: &[u32], c: u32) -> Vec<bool> {
+    let n = m.num_states();
+    let mut pos = vec![false; n];
+    // Base: a direct step into c from a different block.
+    let mut work: Vec<StateId> = Vec::new();
+    for s in 0..n {
+        if block_of[s] == c {
+            pos[s] = true; // members of c never split against c
+            continue;
+        }
+        if m.successors(StateId(s as u32))
+            .iter()
+            .any(|t| block_of[t.idx()] == c)
+        {
+            pos[s] = true;
+            work.push(StateId(s as u32));
+        }
+    }
+    // Closure: predecessors within the same block as the reaching state.
+    while let Some(s) = work.pop() {
+        for &p in m.predecessors(s) {
+            if !pos[p.idx()] && block_of[p.idx()] == block_of[s.idx()] && block_of[p.idx()] != c {
+                pos[p.idx()] = true;
+                work.push(p);
+            }
+        }
+    }
+    // Members of c: mark all true (handled above).
+    pos
+}
+
+/// Splits every block along `pred`; returns the new block count if any
+/// block actually split.
+fn split_by(block_of: &mut [u32], num_blocks: usize, pred: impl Fn(StateId) -> bool) -> Option<usize> {
+    // For each block with both pred and non-pred members, allocate a new
+    // block id for the pred members.
+    let mut new_id: Vec<Option<u32>> = vec![None; num_blocks];
+    let mut has_true = vec![false; num_blocks];
+    let mut has_false = vec![false; num_blocks];
+    for (i, &b) in block_of.iter().enumerate() {
+        if pred(StateId(i as u32)) {
+            has_true[b as usize] = true;
+        } else {
+            has_false[b as usize] = true;
+        }
+    }
+    let mut next = num_blocks as u32;
+    for b in 0..num_blocks {
+        if has_true[b] && has_false[b] {
+            new_id[b] = Some(next);
+            next += 1;
+        }
+    }
+    if next as usize == num_blocks {
+        return None;
+    }
+    for (i, b) in block_of.iter_mut().enumerate() {
+        if let Some(nb) = new_id[*b as usize] {
+            if pred(StateId(i as u32)) {
+                *b = nb;
+            }
+        }
+    }
+    Some(next as usize)
+}
+
+/// Builds the disjoint union of two structures (no cross edges; `m1`'s
+/// initial state is the union's initial state) and returns it with the
+/// offset of `m2`'s states.
+///
+/// Stuttering equivalence across two structures is computed on the union:
+/// `s ∈ m1` and `s' ∈ m2` are equivalent iff `union` puts `s` and
+/// `offset + s'` in one block.
+pub fn disjoint_union(m1: &Kripke, m2: &Kripke) -> (Kripke, u32) {
+    let mut b = icstar_kripke::KripkeBuilder::new();
+    let mut ids = Vec::with_capacity(m1.num_states() + m2.num_states());
+    for (tag, m) in [(1, m1), (2, m2)] {
+        for s in m.states() {
+            let id = b.state_labeled(
+                format!("u{tag}_{}", m.state_name(s)),
+                m.label_atoms(s),
+            );
+            ids.push(id);
+        }
+    }
+    let offset = m1.num_states() as u32;
+    for s in m1.states() {
+        for &t in m1.successors(s) {
+            b.edge(ids[s.idx()], ids[t.idx()]);
+        }
+    }
+    for s in m2.states() {
+        for &t in m2.successors(s) {
+            b.edge(
+                ids[offset as usize + s.idx()],
+                ids[offset as usize + t.idx()],
+            );
+        }
+    }
+    let u = b
+        .build(ids[m1.initial().idx()])
+        .expect("union of valid structures is valid");
+    (u, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_kripke::{Atom, KripkeBuilder};
+
+    #[test]
+    fn stutter_chain_collapses() {
+        // a -> a -> b(loop): the two a's are one class.
+        let mut b = KripkeBuilder::new();
+        let a0 = b.state_labeled("a0", [Atom::plain("a")]);
+        let a1 = b.state_labeled("a1", [Atom::plain("a")]);
+        let bb = b.state_labeled("b", [Atom::plain("b")]);
+        b.edge(a0, a1);
+        b.edge(a1, bb);
+        b.edge(bb, bb);
+        let m = b.build(a0).unwrap();
+        let p = stuttering_partition(&m);
+        assert_eq!(p.num_blocks(), 2);
+        assert!(p.same_block(a0, a1));
+        assert!(!p.same_block(a0, bb));
+        assert!(!p.is_divergent(p.block(a0)));
+        assert!(p.is_divergent(p.block(bb)));
+    }
+
+    #[test]
+    fn divergence_splits_same_label() {
+        // a-loop state vs a-state forced into b: different classes.
+        let mut b = KripkeBuilder::new();
+        let stay = b.state_labeled("stay", [Atom::plain("a")]);
+        let go = b.state_labeled("go", [Atom::plain("a")]);
+        let sink = b.state_labeled("sink", [Atom::plain("b")]);
+        b.edge(stay, stay);
+        b.edge(go, sink);
+        b.edge(sink, sink);
+        let m = b.build(stay).unwrap();
+        let p = stuttering_partition(&m);
+        assert!(!p.same_block(stay, go));
+    }
+
+    #[test]
+    fn branching_difference_splits() {
+        // x can go to b or c; y only to b. Labels equal (a).
+        let mut bld = KripkeBuilder::new();
+        let x = bld.state_labeled("x", [Atom::plain("a")]);
+        let y = bld.state_labeled("y", [Atom::plain("a")]);
+        let bb = bld.state_labeled("b", [Atom::plain("b")]);
+        let cc = bld.state_labeled("c", [Atom::plain("c")]);
+        bld.edge(x, bb);
+        bld.edge(x, cc);
+        bld.edge(y, bb);
+        bld.edge(bb, bb);
+        bld.edge(cc, cc);
+        let m = bld.build(x).unwrap();
+        let p = stuttering_partition(&m);
+        assert!(!p.same_block(x, y));
+    }
+
+    #[test]
+    fn identical_twins_merge() {
+        // Two copies of the same a <-> b loop inside one structure.
+        let mut bld = KripkeBuilder::new();
+        let a1 = bld.state_labeled("a1", [Atom::plain("a")]);
+        let b1 = bld.state_labeled("b1", [Atom::plain("b")]);
+        let a2 = bld.state_labeled("a2", [Atom::plain("a")]);
+        let b2 = bld.state_labeled("b2", [Atom::plain("b")]);
+        bld.edges([(a1, b1), (b1, a1), (a2, b2), (b2, a2)]);
+        let m = bld.build(a1).unwrap();
+        let p = stuttering_partition(&m);
+        assert!(p.same_block(a1, a2));
+        assert!(p.same_block(b1, b2));
+        assert_eq!(p.num_blocks(), 2);
+    }
+
+    #[test]
+    fn blocks_listing_is_consistent() {
+        let mut bld = KripkeBuilder::new();
+        let a = bld.state_labeled("a", [Atom::plain("a")]);
+        let b2 = bld.state_labeled("b", [Atom::plain("b")]);
+        bld.edge(a, b2);
+        bld.edge(b2, a);
+        let m = bld.build(a).unwrap();
+        let p = stuttering_partition(&m);
+        let blocks = p.blocks();
+        assert_eq!(blocks.len(), p.num_blocks());
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, m.num_states());
+    }
+
+    #[test]
+    fn union_preserves_structure() {
+        let mut b1 = KripkeBuilder::new();
+        let x = b1.state_labeled("x", [Atom::plain("a")]);
+        b1.edge(x, x);
+        let m1 = b1.build(x).unwrap();
+        let mut b2 = KripkeBuilder::new();
+        let y = b2.state_labeled("y", [Atom::plain("a")]);
+        let z = b2.state_labeled("z", [Atom::plain("b")]);
+        b2.edge(y, z);
+        b2.edge(z, y);
+        let m2 = b2.build(y).unwrap();
+        let (u, off) = disjoint_union(&m1, &m2);
+        assert_eq!(off, 1);
+        assert_eq!(u.num_states(), 3);
+        assert_eq!(u.num_transitions(), 3);
+        // No cross edges.
+        assert!(!u.has_edge(StateId(0), StateId(1)));
+        assert!(!u.has_edge(StateId(0), StateId(2)));
+    }
+
+    #[test]
+    fn cross_structure_equivalence_via_union() {
+        // m1: single a-loop; m2: two-state a-a loop. All equivalent.
+        let mut b1 = KripkeBuilder::new();
+        let x = b1.state_labeled("x", [Atom::plain("a")]);
+        b1.edge(x, x);
+        let m1 = b1.build(x).unwrap();
+        let mut b2 = KripkeBuilder::new();
+        let y0 = b2.state_labeled("y0", [Atom::plain("a")]);
+        let y1 = b2.state_labeled("y1", [Atom::plain("a")]);
+        b2.edge(y0, y1);
+        b2.edge(y1, y0);
+        let m2 = b2.build(y0).unwrap();
+        let (u, off) = disjoint_union(&m1, &m2);
+        let p = stuttering_partition(&u);
+        assert!(p.same_block(StateId(0), StateId(off)));
+        assert!(p.same_block(StateId(0), StateId(off + 1)));
+    }
+}

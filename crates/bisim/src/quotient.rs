@@ -1,0 +1,126 @@
+//! Quotient structures: collapsing a structure by its stuttering-
+//! equivalence partition.
+//!
+//! The quotient is the workspace's practical answer to the state
+//! explosion problem *within* one structure: it corresponds to the
+//! original (Theorem 2), so any CTL*∖X formula can be checked on the
+//! (often much smaller) quotient instead.
+//!
+//! Construction: one state per block; an edge `B → C` for `B ≠ C` iff some
+//! member of `B` steps into `C`; a self-loop on `B` iff `B` is divergent
+//! (its states can stutter internally forever). The divergence rule keeps
+//! the relation total and preserves `EG`-style properties.
+
+use icstar_kripke::{Kripke, KripkeBuilder, StateId};
+
+use crate::partition::{stuttering_partition, Partition};
+
+/// Builds the quotient of `m` under `p` (usually from
+/// [`stuttering_partition`]). Returns the quotient and the map from
+/// original states to quotient states.
+pub fn quotient(m: &Kripke, p: &Partition) -> (Kripke, Vec<StateId>) {
+    let mut b = KripkeBuilder::new();
+    b.dedup_edges(true);
+    let blocks = p.blocks();
+    let ids: Vec<StateId> = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, members)| {
+            let rep = members.first().expect("blocks are non-empty");
+            b.state_labeled(format!("B{i}"), m.label_atoms(*rep))
+        })
+        .collect();
+    for (i, members) in blocks.iter().enumerate() {
+        if p.is_divergent(i as u32) {
+            b.edge(ids[i], ids[i]);
+        }
+        for &s in members {
+            for &t in m.successors(s) {
+                let j = p.block(t) as usize;
+                if j != i {
+                    b.edge(ids[i], ids[j]);
+                }
+            }
+        }
+    }
+    let init = ids[p.block(m.initial()) as usize];
+    let q = b.build(init).expect("quotient of a valid structure is valid");
+    let map = m.states().map(|s| ids[p.block(s) as usize]).collect();
+    (q, map)
+}
+
+/// Convenience: partition `m` by stuttering equivalence and quotient it.
+pub fn stuttering_quotient(m: &Kripke) -> (Kripke, Vec<StateId>) {
+    let p = stuttering_partition(m);
+    quotient(m, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maximal::structures_correspond;
+    use icstar_kripke::{Atom, KripkeBuilder};
+
+    #[test]
+    fn chain_collapses_to_point_per_label() {
+        // a -> a -> a -> b(loop): quotient is a -> b(loop).
+        let mut bld = KripkeBuilder::new();
+        let a0 = bld.state_labeled("a0", [Atom::plain("a")]);
+        let a1 = bld.state_labeled("a1", [Atom::plain("a")]);
+        let a2 = bld.state_labeled("a2", [Atom::plain("a")]);
+        let bb = bld.state_labeled("b", [Atom::plain("b")]);
+        bld.edges([(a0, a1), (a1, a2), (a2, bb), (bb, bb)]);
+        let m = bld.build(a0).unwrap();
+        let (q, map) = stuttering_quotient(&m);
+        assert_eq!(q.num_states(), 2);
+        assert_eq!(map[a0.idx()], map[a1.idx()]);
+        assert_eq!(map[a0.idx()], map[a2.idx()]);
+        assert_ne!(map[a0.idx()], map[bb.idx()]);
+        // The a-block is not divergent: no self-loop.
+        let qa = map[a0.idx()];
+        assert_eq!(q.successors(qa).len(), 1);
+        assert_ne!(q.successors(qa)[0], qa);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn divergent_block_gets_self_loop() {
+        let mut bld = KripkeBuilder::new();
+        let a0 = bld.state_labeled("a0", [Atom::plain("a")]);
+        let a1 = bld.state_labeled("a1", [Atom::plain("a")]);
+        bld.edges([(a0, a1), (a1, a0)]);
+        let m = bld.build(a0).unwrap();
+        let (q, _) = stuttering_quotient(&m);
+        assert_eq!(q.num_states(), 1);
+        assert!(q.has_edge(StateId(0), StateId(0)));
+    }
+
+    #[test]
+    fn quotient_corresponds_to_original() {
+        // The key guarantee: M and M/≈ correspond, hence agree on CTL*∖X.
+        let mut bld = KripkeBuilder::new();
+        let a0 = bld.state_labeled("a0", [Atom::plain("a")]);
+        let a1 = bld.state_labeled("a1", [Atom::plain("a")]);
+        let b0 = bld.state_labeled("b0", [Atom::plain("b")]);
+        let c0 = bld.state_labeled("c0", [Atom::plain("c")]);
+        bld.edges([(a0, a1), (a1, b0), (a1, a0), (b0, c0), (c0, c0), (b0, b0)]);
+        let m = bld.build(a0).unwrap();
+        let (q, _) = stuttering_quotient(&m);
+        assert!(q.num_states() < m.num_states() || q.num_states() == m.num_states());
+        assert!(structures_correspond(&m, &q));
+    }
+
+    #[test]
+    fn quotient_is_idempotent() {
+        let mut bld = KripkeBuilder::new();
+        let a0 = bld.state_labeled("a0", [Atom::plain("a")]);
+        let a1 = bld.state_labeled("a1", [Atom::plain("a")]);
+        let bb = bld.state_labeled("b", [Atom::plain("b")]);
+        bld.edges([(a0, a1), (a1, bb), (bb, bb)]);
+        let m = bld.build(a0).unwrap();
+        let (q1, _) = stuttering_quotient(&m);
+        let (q2, _) = stuttering_quotient(&q1);
+        assert_eq!(q1.num_states(), q2.num_states());
+        assert_eq!(q1.num_transitions(), q2.num_transitions());
+    }
+}

@@ -1,0 +1,152 @@
+//! The correspondence relation `E ⊆ S × S' × ℕ` of Section 3.
+//!
+//! `(s, s', k) ∈ E` means state `s` of the first structure behaves like
+//! state `s'` of the second, and `k` — the *degree* — bounds the number of
+//! one-sided ("stuttering") transitions that may be taken before an exact
+//! match is reached. Degree 0 is an exact match: every move of one side is
+//! answered by a move of the other.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use icstar_kripke::StateId;
+
+/// The degree value used to mean "no finite degree exists".
+pub(crate) const INF: u64 = u64::MAX;
+
+/// A correspondence relation with degrees between two structures.
+///
+/// The pair `(s, s')` always refers to a state `s` of the *first*
+/// structure and `s'` of the *second*.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Correspondence {
+    map: HashMap<(StateId, StateId), u64>,
+}
+
+impl Correspondence {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `(s, s', k)`, replacing any previous degree for the pair.
+    pub fn insert(&mut self, s: StateId, s2: StateId, degree: u64) {
+        self.map.insert((s, s2), degree);
+    }
+
+    /// Removes a pair; returns its degree if it was present.
+    pub fn remove(&mut self, s: StateId, s2: StateId) -> Option<u64> {
+        self.map.remove(&(s, s2))
+    }
+
+    /// Whether the pair is related (at any degree).
+    pub fn related(&self, s: StateId, s2: StateId) -> bool {
+        self.map.contains_key(&(s, s2))
+    }
+
+    /// The degree of the pair, if related.
+    pub fn degree(&self, s: StateId, s2: StateId) -> Option<u64> {
+        self.map.get(&(s, s2)).copied()
+    }
+
+    /// Number of related pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no pairs are related.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(s, s', degree)` triples in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (StateId, StateId, u64)> + '_ {
+        self.map.iter().map(|(&(s, s2), &d)| (s, s2, d))
+    }
+
+    /// Builds a relation from `(s, s', degree)` triples.
+    pub fn from_triples(it: impl IntoIterator<Item = (StateId, StateId, u64)>) -> Self {
+        let mut rel = Correspondence::new();
+        for (s, s2, d) in it {
+            rel.insert(s, s2, d);
+        }
+        rel
+    }
+
+    /// The transposed relation (swapping the roles of the structures).
+    pub fn transpose(&self) -> Correspondence {
+        Correspondence {
+            map: self
+                .map
+                .iter()
+                .map(|(&(s, s2), &d)| ((s2, s), d))
+                .collect(),
+        }
+    }
+
+    /// Whether every pair of `self` is a pair of `other` (degrees ignored).
+    pub fn is_subrelation_of(&self, other: &Correspondence) -> bool {
+        self.map.keys().all(|&(s, s2)| other.related(s, s2))
+    }
+}
+
+impl fmt::Display for Correspondence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut triples: Vec<_> = self.iter().collect();
+        triples.sort();
+        write!(f, "{{")?;
+        for (i, (s, s2, d)) in triples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({s},{s2})^{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_query_remove() {
+        let mut r = Correspondence::new();
+        assert!(r.is_empty());
+        r.insert(StateId(0), StateId(1), 2);
+        assert!(r.related(StateId(0), StateId(1)));
+        assert!(!r.related(StateId(1), StateId(0)));
+        assert_eq!(r.degree(StateId(0), StateId(1)), Some(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.remove(StateId(0), StateId(1)), Some(2));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn transpose_swaps_sides() {
+        let r = Correspondence::from_triples([(StateId(0), StateId(1), 3)]);
+        let t = r.transpose();
+        assert!(t.related(StateId(1), StateId(0)));
+        assert_eq!(t.degree(StateId(1), StateId(0)), Some(3));
+    }
+
+    #[test]
+    fn subrelation_ignores_degrees() {
+        let small = Correspondence::from_triples([(StateId(0), StateId(0), 5)]);
+        let big = Correspondence::from_triples([
+            (StateId(0), StateId(0), 0),
+            (StateId(1), StateId(1), 0),
+        ]);
+        assert!(small.is_subrelation_of(&big));
+        assert!(!big.is_subrelation_of(&small));
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        let r = Correspondence::from_triples([
+            (StateId(1), StateId(0), 1),
+            (StateId(0), StateId(0), 0),
+        ]);
+        assert_eq!(r.to_string(), "{(s0,s0)^0, (s1,s0)^1}");
+    }
+}

@@ -1,0 +1,95 @@
+//! # icstar — reasoning about networks of many identical finite-state processes
+//!
+//! A full reproduction of M. C. Browne, E. M. Clarke & O. Grumberg,
+//! *"Reasoning about Networks with Many Identical Finite State
+//! Processes"* (PODC 1986; Information and Computation 81, 1989): the
+//! indexed temporal logic ICTL*, the correspondence (bisimulation with
+//! degrees) that makes closed ICTL* formulas size-independent, the
+//! explicit-state model checkers behind it, and the paper's token-ring
+//! mutual exclusion case study — plus the machinery to *audit* all of it.
+//!
+//! ## The idea
+//!
+//! Designers argue "the 2-process version is correct and all processes
+//! are identical, so the 1000-process version is correct". The paper
+//! makes that sound: if every reduction pair `M|i E M'|i'` of two
+//! instances corresponds (a stuttering bisimulation with bounded
+//! *degrees*), then the instances satisfy exactly the same closed
+//! restricted ICTL* formulas — so model-check the small one and conclude
+//! for the large one.
+//!
+//! ## Crates
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`icstar_kripke`] | Kripke structures, indexed atoms, reductions `M\|i` |
+//! | [`icstar_logic`] | CTL*/ICTL* AST, parser, restriction checks, NNF |
+//! | [`icstar_mc`] | CTL labeling, LTL→Büchi, CTL* product checking, ICTL* expansion |
+//! | [`icstar_bisim`] | correspondence with degrees, partition refinement, quotients, Theorem 5 |
+//! | [`icstar_nets`] | the token ring, free products, counting examples, mutants |
+//!
+//! This facade re-exports the main types and adds the high-level
+//! [`FamilyVerifier`] workflow.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use icstar::{FamilyVerifier, IndexRelation};
+//! use icstar_logic::parse_state;
+//! use icstar_nets::ring_mutex;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's case study: token-ring mutual exclusion.
+//! let base = ring_mutex(3);     // 24 states — model-check this
+//! let target = ring_mutex(8);   // 2048 states — never model-checked
+//!
+//! let mut verifier = FamilyVerifier::new(base.structure());
+//! verifier.add_formula(
+//!     "every delayed process eventually enters its critical region",
+//!     parse_state("forall i. AG(d[i] -> AF c[i])")?,
+//! )?;
+//!
+//! let inrel = IndexRelation::base_vs_many(3, &(1..=8).collect::<Vec<_>>());
+//! let verdicts = verifier.transfer_to(target.structure(), &inrel)?;
+//! assert!(verdicts[0].holds); // holds at 8 — and at 1000 — processes
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Reproduction findings
+//!
+//! Mechanizing the paper surfaced two genuine errors in its Section 5
+//! case study (the theory itself is fine): the Appendix's hand-built
+//! correspondence is not one, and the 2-process base case is unsound —
+//! a restricted ICTL* formula distinguishes `M_2` from every `M_r`,
+//! `r ≥ 3`. The corrected program uses base 3. See `DESIGN.md`,
+//! `EXPERIMENTS.md` (E6) and [`icstar_nets::paper_related`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod verifier;
+
+pub use verifier::{FamilyError, FamilyVerifier, Verdict};
+
+pub use icstar_bisim::{
+    disjoint_union, indexed_correspond, maximal_correspondence, quotient, reduction_correspondence,
+    structures_correspond, stuttering_partition, stuttering_quotient, verify_correspondence,
+    Correspondence, IndexRelation, IndexedViolation, Partition, Violation,
+};
+pub use icstar_kripke::{
+    Atom, AtomId, AtomTable, Index, IndexedKripke, Kripke, KripkeBuilder, StateId, StructureError,
+    CANONICAL_INDEX,
+};
+pub use icstar_logic::{
+    build, check_restricted, is_closed, is_ctl, parse_path, parse_state, quantifier_depth,
+    IndexTerm, ParseError, PathFormula, RestrictionError, StateFormula,
+};
+pub use icstar_mc::{Checker, IndexedChecker, McError};
+
+// The sub-crates, for item-level access.
+pub use icstar_bisim;
+pub use icstar_kripke;
+pub use icstar_logic;
+pub use icstar_mc;
+pub use icstar_nets;

@@ -1,0 +1,226 @@
+//! The high-level "verify small, conclude for large" workflow.
+//!
+//! This is the paper's program as an API: model-check a *base* instance of
+//! a family of identical processes, mechanically establish the premise of
+//! the ICTL* correspondence theorem against a *target* instance, and
+//! transfer the verdicts. The target structure is only ever touched by
+//! the correspondence computation — never by the model checker.
+
+use std::fmt;
+
+use icstar_bisim::{indexed_correspond, IndexRelation, IndexedViolation};
+use icstar_kripke::IndexedKripke;
+use icstar_logic::{check_restricted, StateFormula};
+use icstar_mc::{IndexedChecker, McError};
+
+/// Why a family verification could not be completed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FamilyError {
+    /// A formula is outside closed restricted ICTL*, so Theorem 5 does not
+    /// license transferring its verdict.
+    NotRestricted(String, icstar_logic::RestrictionError),
+    /// Model checking failed.
+    Check(McError),
+    /// The correspondence premise failed: the verdicts do *not* transfer.
+    NoCorrespondence(IndexedViolation),
+}
+
+impl fmt::Display for FamilyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FamilyError::NotRestricted(name, e) => {
+                write!(f, "formula {name:?} is not restricted ICTL*: {e}")
+            }
+            FamilyError::Check(e) => write!(f, "model checking failed: {e}"),
+            FamilyError::NoCorrespondence(v) => {
+                write!(f, "correspondence premise failed: {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FamilyError {}
+
+impl From<McError> for FamilyError {
+    fn from(e: McError) -> Self {
+        FamilyError::Check(e)
+    }
+}
+
+/// One transferred verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Verdict {
+    /// The formula's name.
+    pub name: String,
+    /// Whether it holds — on the base instance, and therefore (by
+    /// Theorem 5) on the target instance.
+    pub holds: bool,
+}
+
+/// Verifies closed restricted ICTL* formulas on a small *base* instance
+/// and transfers the verdicts to larger instances through the
+/// correspondence theorem.
+///
+/// # Examples
+///
+/// ```
+/// use icstar::{FamilyVerifier, IndexRelation};
+/// use icstar_logic::parse_state;
+/// use icstar_nets::ring_mutex;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base = ring_mutex(3);
+/// let target = ring_mutex(5);
+///
+/// let mut verifier = FamilyVerifier::new(base.structure());
+/// verifier.add_formula("liveness", parse_state("forall i. AG(d[i] -> AF c[i])")?)?;
+///
+/// let inrel = IndexRelation::base_vs_many(3, &[1, 2, 3, 4, 5]);
+/// let verdicts = verifier.transfer_to(target.structure(), &inrel)?;
+/// assert!(verdicts.iter().all(|v| v.holds));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FamilyVerifier<'a> {
+    base: &'a IndexedKripke,
+    formulas: Vec<(String, StateFormula)>,
+}
+
+impl<'a> FamilyVerifier<'a> {
+    /// Creates a verifier for the given base instance.
+    pub fn new(base: &'a IndexedKripke) -> Self {
+        FamilyVerifier {
+            base,
+            formulas: Vec::new(),
+        }
+    }
+
+    /// Registers a formula to verify. It must be closed restricted ICTL* —
+    /// otherwise the correspondence theorem does not apply and the verdict
+    /// would not transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamilyError::NotRestricted`] for formulas outside the
+    /// fragment (e.g. using `X`, nested index quantifiers, or quantifiers
+    /// under `U`).
+    pub fn add_formula(
+        &mut self,
+        name: impl Into<String>,
+        f: StateFormula,
+    ) -> Result<&mut Self, FamilyError> {
+        let name = name.into();
+        check_restricted(&f).map_err(|e| FamilyError::NotRestricted(name.clone(), e))?;
+        self.formulas.push((name, f));
+        Ok(self)
+    }
+
+    /// Model-checks all registered formulas on the base instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-checking failures.
+    pub fn check_base(&self) -> Result<Vec<Verdict>, FamilyError> {
+        let mut chk = IndexedChecker::new(self.base);
+        self.formulas
+            .iter()
+            .map(|(name, f)| {
+                Ok(Verdict {
+                    name: name.clone(),
+                    holds: chk.holds(f)?,
+                })
+            })
+            .collect()
+    }
+
+    /// Establishes the Theorem 5 premise between the base and `target`
+    /// under `inrel`, then returns the base verdicts — which, by the
+    /// theorem, are also the target's verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamilyError::NoCorrespondence`] if some reduction pair
+    /// fails to correspond (in which case nothing transfers), or a model
+    /// checking error from the base run.
+    pub fn transfer_to(
+        &self,
+        target: &IndexedKripke,
+        inrel: &IndexRelation,
+    ) -> Result<Vec<Verdict>, FamilyError> {
+        indexed_correspond(self.base, target, inrel).map_err(FamilyError::NoCorrespondence)?;
+        self.check_base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_logic::parse_state;
+    use icstar_nets::{buggy_ring, ring_mutex, Mutation};
+
+    #[test]
+    fn transfers_ring_properties() {
+        let base = ring_mutex(3);
+        let target = ring_mutex(4);
+        let mut v = FamilyVerifier::new(base.structure());
+        for f in icstar_nets::ring_properties() {
+            v.add_formula(f.name, f.formula.clone()).unwrap();
+        }
+        let inrel = IndexRelation::base_vs_many(3, &[1, 2, 3, 4]);
+        let verdicts = v.transfer_to(target.structure(), &inrel).unwrap();
+        assert_eq!(verdicts.len(), 4);
+        assert!(verdicts.iter().all(|v| v.holds));
+    }
+
+    #[test]
+    fn rejects_unrestricted_formulas() {
+        let base = ring_mutex(2);
+        let mut v = FamilyVerifier::new(base.structure());
+        let err = v
+            .add_formula("count", icstar_nets::counting_formula(2))
+            .unwrap_err();
+        assert!(matches!(err, FamilyError::NotRestricted(..)));
+    }
+
+    #[test]
+    fn refuses_transfer_without_correspondence() {
+        // ring-2 base against ring-4 target: the paper's broken base case.
+        let base = ring_mutex(2);
+        let target = ring_mutex(4);
+        let mut v = FamilyVerifier::new(base.structure());
+        v.add_formula("p2", parse_state("forall i. AG(c[i] -> t[i])").unwrap())
+            .unwrap();
+        let inrel = IndexRelation::two_vs_many(&[1, 2, 3, 4]);
+        let err = v.transfer_to(target.structure(), &inrel).unwrap_err();
+        assert!(matches!(err, FamilyError::NoCorrespondence(_)));
+    }
+
+    #[test]
+    fn refuses_transfer_to_mutant() {
+        let base = ring_mutex(3);
+        let target = buggy_ring(4, Mutation::TokenLoss);
+        let mut v = FamilyVerifier::new(base.structure());
+        v.add_formula("p4", parse_state("forall i. AG(d[i] -> AF c[i])").unwrap())
+            .unwrap();
+        let inrel = IndexRelation::base_vs_many(3, &[1, 2, 3, 4]);
+        let err = v.transfer_to(&target, &inrel).unwrap_err();
+        assert!(matches!(err, FamilyError::NoCorrespondence(_)));
+    }
+
+    #[test]
+    fn base_check_without_transfer() {
+        let base = ring_mutex(2);
+        let mut v = FamilyVerifier::new(base.structure());
+        v.add_formula("p2", parse_state("forall i. AG(c[i] -> t[i])").unwrap())
+            .unwrap();
+        let verdicts = v.check_base().unwrap();
+        assert_eq!(verdicts, vec![Verdict { name: "p2".into(), holds: true }]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FamilyError::Check(McError::FreeIndexVariable("i".into()));
+        assert!(e.to_string().contains("model checking failed"));
+    }
+}

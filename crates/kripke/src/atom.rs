@@ -1,0 +1,254 @@
+//! Atomic propositions and their interning.
+//!
+//! The paper distinguishes three kinds of atomic formulas (Sections 2 and 4):
+//!
+//! * plain atomic propositions `A ∈ AP`,
+//! * indexed atomic propositions `A_i ∈ IP × I`, where `i` ranges over the
+//!   structure's index set `I`, and
+//! * the "exactly one" extension `Θ_i P_i`, a *non-indexed* atomic formula
+//!   that is true in a state iff exactly one index value `c ∈ I` has
+//!   `P_c ∈ L(s)`.
+//!
+//! [`Atom`] captures all three. Structures intern atoms into dense
+//! [`AtomId`]s via [`AtomTable`] so that state labels can be stored as
+//! bitsets.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A concrete index value (a member of the structure's index set `I ⊆ ℕ`).
+pub type Index = u32;
+
+/// The canonical index used by reductions `M|i`.
+///
+/// When a structure is reduced to a single index `i` (Section 4 of the
+/// paper), the surviving indexed propositions are renamed from `A_i` to
+/// `A_CANONICAL` so that `M|i` and `M'|i'` share a label universe and can be
+/// compared by plain label equality.
+pub const CANONICAL_INDEX: Index = Index::MAX;
+
+/// An atomic proposition as it appears in a state label.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_kripke::Atom;
+///
+/// let c5 = Atom::indexed("c", 5);
+/// assert_eq!(c5.to_string(), "c[5]");
+/// assert_eq!(Atom::plain("ready").to_string(), "ready");
+/// assert_eq!(Atom::exactly_one("t").to_string(), "one(t)");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Atom {
+    /// A plain (non-indexed) atomic proposition `A ∈ AP`.
+    Plain(String),
+    /// An indexed atomic proposition `A_c` for a concrete index value `c`.
+    Indexed(String, Index),
+    /// The special proposition `Θ P`: "exactly one index value satisfies P".
+    ExactlyOne(String),
+}
+
+impl Atom {
+    /// Creates a plain atomic proposition.
+    pub fn plain(name: impl Into<String>) -> Self {
+        Atom::Plain(name.into())
+    }
+
+    /// Creates an indexed atomic proposition `name[idx]`.
+    pub fn indexed(name: impl Into<String>, idx: Index) -> Self {
+        Atom::Indexed(name.into(), idx)
+    }
+
+    /// Creates the "exactly one" proposition `Θ name`.
+    pub fn exactly_one(name: impl Into<String>) -> Self {
+        Atom::ExactlyOne(name.into())
+    }
+
+    /// The underlying proposition name.
+    pub fn name(&self) -> &str {
+        match self {
+            Atom::Plain(n) | Atom::Indexed(n, _) | Atom::ExactlyOne(n) => n,
+        }
+    }
+
+    /// The concrete index value, if this is an indexed proposition.
+    pub fn index(&self) -> Option<Index> {
+        match self {
+            Atom::Indexed(_, i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Atom::Indexed`].
+    pub fn is_indexed(&self) -> bool {
+        matches!(self, Atom::Indexed(..))
+    }
+
+    /// Renames the index of an indexed atom; other atoms are returned
+    /// unchanged. Used by the reduction `M|i`.
+    pub fn with_index(&self, idx: Index) -> Atom {
+        match self {
+            Atom::Indexed(n, _) => Atom::Indexed(n.clone(), idx),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Plain(n) => write!(f, "{n}"),
+            Atom::Indexed(n, i) if *i == CANONICAL_INDEX => write!(f, "{n}[*]"),
+            Atom::Indexed(n, i) => write!(f, "{n}[{i}]"),
+            Atom::ExactlyOne(n) => write!(f, "one({n})"),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A dense identifier for an interned [`Atom`] within one [`AtomTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interner mapping [`Atom`]s to dense [`AtomId`]s.
+///
+/// Each [`crate::Kripke`] owns one table; label bitsets are indexed by the
+/// ids it hands out. Tables from different structures are *not*
+/// interchangeable — use [`crate::compare::shared_label_keys`] to compare
+/// labels across structures.
+#[derive(Clone, Debug, Default)]
+pub struct AtomTable {
+    by_atom: HashMap<Atom, AtomId>,
+    atoms: Vec<Atom>,
+}
+
+impl AtomTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an atom, returning its id (existing or fresh).
+    pub fn intern(&mut self, atom: Atom) -> AtomId {
+        if let Some(&id) = self.by_atom.get(&atom) {
+            return id;
+        }
+        let id = AtomId(u32::try_from(self.atoms.len()).expect("too many atoms"));
+        self.atoms.push(atom.clone());
+        self.by_atom.insert(atom, id);
+        id
+    }
+
+    /// Looks up an atom without interning it.
+    pub fn id(&self, atom: &Atom) -> Option<AtomId> {
+        self.by_atom.get(atom).copied()
+    }
+
+    /// The atom for a given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn atom(&self, id: AtomId) -> &Atom {
+        &self.atoms[id.idx()]
+    }
+
+    /// Number of interned atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over `(id, atom)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &Atom)> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AtomId(i as u32), a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = AtomTable::new();
+        let a = t.intern(Atom::plain("a"));
+        let b = t.intern(Atom::indexed("a", 1));
+        let a2 = t.intern(Atom::plain("a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_without_intern() {
+        let mut t = AtomTable::new();
+        t.intern(Atom::exactly_one("t"));
+        assert!(t.id(&Atom::exactly_one("t")).is_some());
+        assert!(t.id(&Atom::plain("t")).is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Atom::plain("p").to_string(), "p");
+        assert_eq!(Atom::indexed("d", 3).to_string(), "d[3]");
+        assert_eq!(Atom::indexed("d", CANONICAL_INDEX).to_string(), "d[*]");
+        assert_eq!(Atom::exactly_one("t").to_string(), "one(t)");
+    }
+
+    #[test]
+    fn with_index_renames_only_indexed() {
+        assert_eq!(Atom::indexed("d", 3).with_index(7), Atom::indexed("d", 7));
+        assert_eq!(Atom::plain("p").with_index(7), Atom::plain("p"));
+        assert_eq!(
+            Atom::exactly_one("t").with_index(7),
+            Atom::exactly_one("t")
+        );
+    }
+
+    #[test]
+    fn name_and_index_accessors() {
+        assert_eq!(Atom::indexed("d", 3).name(), "d");
+        assert_eq!(Atom::indexed("d", 3).index(), Some(3));
+        assert_eq!(Atom::plain("p").index(), None);
+        assert!(Atom::indexed("d", 0).is_indexed());
+        assert!(!Atom::exactly_one("d").is_indexed());
+    }
+
+    #[test]
+    fn atom_ordering_is_stable() {
+        // Ordering is derived; we only rely on it being total and stable,
+        // which makes sorted atom lists canonical label keys.
+        let mut v = vec![
+            Atom::indexed("b", 2),
+            Atom::plain("a"),
+            Atom::indexed("b", 1),
+            Atom::exactly_one("a"),
+        ];
+        v.sort();
+        let w = v.clone();
+        v.sort();
+        assert_eq!(v, w);
+    }
+}

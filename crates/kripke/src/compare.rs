@@ -1,0 +1,133 @@
+//! Comparing labels across two structures.
+//!
+//! The correspondence relation of Section 3 requires "the proposition
+//! labelings are the same" (clause 2a) for states of *different*
+//! structures, whose atom tables may assign different ids to the same
+//! atom. [`shared_label_keys`] canonicalizes both labelings into one dense
+//! key space so that clause 2a becomes an integer comparison.
+
+use std::collections::HashMap;
+
+use crate::atom::Atom;
+use crate::structure::Kripke;
+
+/// A canonical key for a state label: two states (possibly of different
+/// structures) have equal keys iff their label *atom sets* are equal.
+pub type LabelKey = u32;
+
+/// Computes canonical label keys for the states of `m1` and `m2`.
+///
+/// Returns `(keys1, keys2, num_keys)` where `keys1[s.idx()]` is the key of
+/// state `s` in `m1` (likewise `keys2`), and keys range over
+/// `0..num_keys`.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_kripke::{Atom, KripkeBuilder, compare::shared_label_keys};
+///
+/// let mut b1 = KripkeBuilder::new();
+/// let a = b1.state_labeled("a", [Atom::plain("p")]);
+/// b1.edge(a, a);
+/// let m1 = b1.build(a)?;
+///
+/// let mut b2 = KripkeBuilder::new();
+/// let x = b2.state_labeled("x", [Atom::plain("q")]);
+/// let y = b2.state_labeled("y", [Atom::plain("p")]);
+/// b2.edge(x, y);
+/// b2.edge(y, x);
+/// let m2 = b2.build(x)?;
+///
+/// let (k1, k2, _) = shared_label_keys(&m1, &m2);
+/// assert_ne!(k1[0], k2[0]); // {p} vs {q}
+/// assert_eq!(k1[0], k2[1]); // {p} vs {p}
+/// # Ok::<(), icstar_kripke::StructureError>(())
+/// ```
+pub fn shared_label_keys(m1: &Kripke, m2: &Kripke) -> (Vec<LabelKey>, Vec<LabelKey>, usize) {
+    let mut table: HashMap<Vec<Atom>, LabelKey> = HashMap::new();
+    let mut keys_of = |m: &Kripke| -> Vec<LabelKey> {
+        m.states()
+            .map(|s| {
+                let atoms = m.label_atoms(s);
+                let next = table.len() as LabelKey;
+                *table.entry(atoms).or_insert(next)
+            })
+            .collect()
+    };
+    let k1 = keys_of(m1);
+    let k2 = keys_of(m2);
+    let n = table.len();
+    (k1, k2, n)
+}
+
+/// Computes canonical label keys for a single structure.
+///
+/// Equivalent to `shared_label_keys(m, m).0`, but cheaper.
+pub fn label_keys(m: &Kripke) -> (Vec<LabelKey>, usize) {
+    let mut table: HashMap<Vec<Atom>, LabelKey> = HashMap::new();
+    let keys = m
+        .states()
+        .map(|s| {
+            let atoms = m.label_atoms(s);
+            let next = table.len() as LabelKey;
+            *table.entry(atoms).or_insert(next)
+        })
+        .collect();
+    let n = table.len();
+    (keys, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KripkeBuilder;
+
+    #[test]
+    fn keys_identify_equal_atom_sets_across_interners() {
+        // m1 interns q first, m2 interns p first: raw bitsets differ but
+        // keys must agree.
+        let mut b1 = KripkeBuilder::new();
+        let a = b1.state_labeled("a", [Atom::plain("q"), Atom::plain("p")]);
+        b1.edge(a, a);
+        let m1 = b1.build(a).unwrap();
+
+        let mut b2 = KripkeBuilder::new();
+        let x = b2.state_labeled("x", [Atom::plain("p"), Atom::plain("q")]);
+        b2.edge(x, x);
+        let m2 = b2.build(x).unwrap();
+
+        let (k1, k2, n) = shared_label_keys(&m1, &m2);
+        assert_eq!(k1[0], k2[0]);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn distinct_labels_get_distinct_keys() {
+        let mut b = KripkeBuilder::new();
+        let a = b.state_labeled("a", [Atom::plain("p")]);
+        let c = b.state_labeled("c", [Atom::indexed("p", 1)]);
+        let d = b.state("d");
+        b.edge(a, c);
+        b.edge(c, d);
+        b.edge(d, a);
+        let m = b.build(a).unwrap();
+        let (k, n) = label_keys(&m);
+        assert_eq!(n, 3);
+        assert_ne!(k[0], k[1]);
+        assert_ne!(k[1], k[2]);
+    }
+
+    #[test]
+    fn single_structure_matches_shared() {
+        let mut b = KripkeBuilder::new();
+        let a = b.state_labeled("a", [Atom::plain("p")]);
+        let c = b.state_labeled("c", [Atom::plain("p")]);
+        b.edge(a, c);
+        b.edge(c, a);
+        let m = b.build(a).unwrap();
+        let (k, _) = label_keys(&m);
+        assert_eq!(k[0], k[1]);
+        let (k1, k2, _) = shared_label_keys(&m, &m);
+        assert_eq!(k1, k2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Graphviz DOT export for visual inspection of structures.
+
+use std::fmt::Write as _;
+
+use crate::structure::Kripke;
+
+/// Renders the structure in Graphviz DOT format.
+///
+/// The initial state is drawn with a double circle; each node shows its
+/// name and label atoms.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_kripke::{Atom, KripkeBuilder, dot::to_dot};
+///
+/// let mut b = KripkeBuilder::new();
+/// let s = b.state_labeled("s", [Atom::plain("p")]);
+/// b.edge(s, s);
+/// let m = b.build(s)?;
+/// let dot = to_dot(&m, "demo");
+/// assert!(dot.contains("digraph demo"));
+/// assert!(dot.contains("doublecircle"));
+/// # Ok::<(), icstar_kripke::StructureError>(())
+/// ```
+pub fn to_dot(m: &Kripke, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {graph_name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for s in m.states() {
+        let atoms = m
+            .label_atoms(s)
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let shape = if s == m.initial() {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(
+            out,
+            "  {} [shape={shape}, label=\"{}\\n{{{atoms}}}\"];",
+            s.0,
+            escape(m.state_name(s)),
+        );
+    }
+    for s in m.states() {
+        for &t in m.successors(s) {
+            let _ = writeln!(out, "  {} -> {};", s.0, t.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::builder::KripkeBuilder;
+
+    #[test]
+    fn dot_mentions_every_state_and_edge() {
+        let mut b = KripkeBuilder::new();
+        let a = b.state_labeled("start", [Atom::indexed("t", 1)]);
+        let c = b.state("other");
+        b.edge(a, c);
+        b.edge(c, a);
+        let m = b.build(a).unwrap();
+        let dot = to_dot(&m, "g");
+        assert!(dot.contains("digraph g {"));
+        assert!(dot.contains("start"));
+        assert!(dot.contains("other"));
+        assert!(dot.contains("t[1]"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("1 -> 0;"));
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let mut b = KripkeBuilder::new();
+        let a = b.state("we\"ird");
+        b.edge(a, a);
+        let m = b.build(a).unwrap();
+        assert!(to_dot(&m, "g").contains("we\\\"ird"));
+    }
+}

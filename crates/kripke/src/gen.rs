@@ -1,0 +1,181 @@
+//! Random structure generation and metamorphic transformations.
+//!
+//! Used throughout the test suite: random structures exercise the model
+//! checkers and bisimulation algorithms, and [`stutter_inflate`] produces a
+//! structure that is *guaranteed* to correspond to the original (it only
+//! stretches states into finite blocks of identically-labeled copies) —
+//! the key metamorphic oracle for Theorem 2.
+
+use rand::prelude::*;
+
+use crate::atom::Atom;
+use crate::builder::KripkeBuilder;
+use crate::structure::{Kripke, StateId};
+
+/// Configuration for [`random_kripke`].
+#[derive(Clone, Debug)]
+pub struct RandomConfig {
+    /// Number of states to generate (≥ 1).
+    pub states: usize,
+    /// Atom names to draw labels from.
+    pub atom_names: Vec<String>,
+    /// Probability that a given atom appears in a given state's label.
+    pub label_density: f64,
+    /// Expected number of successors per state (at least 1 is enforced).
+    pub mean_out_degree: f64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            states: 6,
+            atom_names: vec!["p".into(), "q".into()],
+            label_density: 0.5,
+            mean_out_degree: 1.8,
+        }
+    }
+}
+
+/// Generates a random total Kripke structure.
+///
+/// Every state receives at least one successor, so the result always
+/// satisfies [`Kripke::validate`].
+///
+/// # Panics
+///
+/// Panics if `cfg.states == 0`.
+pub fn random_kripke<R: Rng + ?Sized>(rng: &mut R, cfg: &RandomConfig) -> Kripke {
+    assert!(cfg.states > 0, "need at least one state");
+    let mut b = KripkeBuilder::new();
+    b.dedup_edges(true);
+    let ids: Vec<StateId> = (0..cfg.states).map(|_| b.state_anon()).collect();
+    for &s in &ids {
+        for name in &cfg.atom_names {
+            if rng.random_bool(cfg.label_density.clamp(0.0, 1.0)) {
+                b.add_label(s, Atom::plain(name.clone()));
+            }
+        }
+    }
+    let p_extra = ((cfg.mean_out_degree - 1.0) / cfg.states as f64).clamp(0.0, 1.0);
+    for &s in &ids {
+        // Guaranteed successor keeps the relation total.
+        let forced = ids[rng.random_range(0..ids.len())];
+        b.edge(s, forced);
+        for &t in &ids {
+            if t != forced && rng.random_bool(p_extra) {
+                b.edge(s, t);
+            }
+        }
+    }
+    b.build(ids[0]).expect("generator maintains invariants")
+}
+
+/// Replaces each state `s` by a chain of `1 + extra(s)` identically-labeled
+/// copies: `s⁰ → s¹ → … → sᵏ`, where every original edge `s → t` leaves
+/// from the *last* copy `sᵏ` and enters the *first* copy `t⁰`.
+///
+/// The result is stuttering-equivalent to the input (each chain is a finite
+/// block), so by the paper's Theorem 2 it satisfies exactly the same
+/// CTL*∖X formulas. `extra` maps each state to the number of extra copies
+/// (0 = keep as is).
+pub fn stutter_inflate(m: &Kripke, mut extra: impl FnMut(StateId) -> usize) -> Kripke {
+    let mut b = KripkeBuilder::new();
+    // first_copy[s], last_copy[s]
+    let mut first = Vec::with_capacity(m.num_states());
+    let mut last = Vec::with_capacity(m.num_states());
+    for s in m.states() {
+        let k = extra(s);
+        let atoms = m.label_atoms(s);
+        let mut prev: Option<StateId> = None;
+        let mut head = None;
+        for copy in 0..=k {
+            let id = b.state_labeled(
+                format!("{}#{}", m.state_name(s), copy),
+                atoms.iter().cloned(),
+            );
+            if let Some(p) = prev {
+                b.edge(p, id);
+            } else {
+                head = Some(id);
+            }
+            prev = Some(id);
+        }
+        first.push(head.expect("at least one copy"));
+        last.push(prev.expect("at least one copy"));
+    }
+    for s in m.states() {
+        for &t in m.successors(s) {
+            b.edge(last[s.idx()], first[t.idx()]);
+        }
+    }
+    b.build(first[m.initial().idx()])
+        .expect("inflation preserves invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_structures_are_valid() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for states in [1usize, 2, 5, 12] {
+            let cfg = RandomConfig {
+                states,
+                ..RandomConfig::default()
+            };
+            for _ in 0..20 {
+                let m = random_kripke(&mut rng, &cfg);
+                assert_eq!(m.num_states(), states);
+                m.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let cfg = RandomConfig::default();
+        let a = random_kripke(&mut StdRng::seed_from_u64(7), &cfg);
+        let b = random_kripke(&mut StdRng::seed_from_u64(7), &cfg);
+        assert_eq!(a.num_transitions(), b.num_transitions());
+        for s in a.states() {
+            assert_eq!(a.label_atoms(s), b.label_atoms(s));
+            assert_eq!(a.successors(s), b.successors(s));
+        }
+    }
+
+    #[test]
+    fn inflate_identity_when_no_extras() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = random_kripke(&mut rng, &RandomConfig::default());
+        let inf = stutter_inflate(&m, |_| 0);
+        assert_eq!(inf.num_states(), m.num_states());
+        assert_eq!(inf.num_transitions(), m.num_transitions());
+    }
+
+    #[test]
+    fn inflate_stretches_states_into_chains() {
+        let mut b = KripkeBuilder::new();
+        let a = b.state_labeled("a", [Atom::plain("p")]);
+        let c = b.state_labeled("c", [Atom::plain("q")]);
+        b.edge(a, c);
+        b.edge(c, a);
+        let m = b.build(a).unwrap();
+        let inf = stutter_inflate(&m, |s| if s == a { 2 } else { 0 });
+        assert_eq!(inf.num_states(), 4);
+        inf.validate().unwrap();
+        // The chain copies all carry a's label.
+        let p = Atom::plain("p");
+        let labeled_p = inf
+            .states()
+            .filter(|&s| inf.satisfies_atom(s, &p))
+            .count();
+        assert_eq!(labeled_p, 3);
+        // Initial state is the first copy of a.
+        assert!(inf.satisfies_atom(inf.initial(), &p));
+        // First copy has exactly one successor (the chain).
+        assert_eq!(inf.successors(inf.initial()).len(), 1);
+    }
+}

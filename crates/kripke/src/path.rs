@@ -1,0 +1,226 @@
+//! Paths and lassos through a Kripke structure.
+//!
+//! The paper's semantics quantifies over infinite paths. In a finite
+//! structure every satisfiable path property has an *ultimately periodic*
+//! witness, represented here as a [`Lasso`] (a finite stem followed by a
+//! repeated cycle). Lassos are produced as witnesses/counterexamples by
+//! the model checker and consumed by the naive path checker used for
+//! cross-validation.
+
+use std::fmt;
+
+use crate::structure::{Kripke, StateId};
+
+/// An ultimately periodic path: the `stem` followed by the `cycle`
+/// repeated forever. The cycle must be non-empty and the step from the
+/// last cycle state back to the first cycle state must be a transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lasso {
+    /// States visited before entering the cycle (may be empty).
+    pub stem: Vec<StateId>,
+    /// States of the repeated cycle (non-empty).
+    pub cycle: Vec<StateId>,
+}
+
+impl Lasso {
+    /// Creates a lasso, checking shape (non-empty cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is empty.
+    pub fn new(stem: Vec<StateId>, cycle: Vec<StateId>) -> Self {
+        assert!(!cycle.is_empty(), "lasso cycle must be non-empty");
+        Lasso { stem, cycle }
+    }
+
+    /// The state at position `i` of the induced infinite path.
+    pub fn state_at(&self, i: usize) -> StateId {
+        if i < self.stem.len() {
+            self.stem[i]
+        } else {
+            self.cycle[(i - self.stem.len()) % self.cycle.len()]
+        }
+    }
+
+    /// The first state of the induced path.
+    pub fn first(&self) -> StateId {
+        self.state_at(0)
+    }
+
+    /// Length of stem plus cycle (the number of distinct positions that
+    /// matter for ultimately periodic evaluation).
+    pub fn period_end(&self) -> usize {
+        self.stem.len() + self.cycle.len()
+    }
+
+    /// Checks that every consecutive pair (including the cycle's wrap) is a
+    /// transition of `m`, i.e. that this lasso denotes a real path.
+    pub fn is_path_of(&self, m: &Kripke) -> bool {
+        let all: Vec<StateId> = self.stem.iter().chain(self.cycle.iter()).copied().collect();
+        for w in all.windows(2) {
+            if !m.has_edge(w[0], w[1]) {
+                return false;
+            }
+        }
+        let last = *self.cycle.last().expect("cycle non-empty");
+        m.has_edge(last, self.cycle[0])
+    }
+
+    /// The suffix lasso starting at position `i` of the induced path.
+    pub fn suffix(&self, i: usize) -> Lasso {
+        if i <= self.stem.len() {
+            Lasso {
+                stem: self.stem[i..].to_vec(),
+                cycle: self.cycle.clone(),
+            }
+        } else {
+            let k = (i - self.stem.len()) % self.cycle.len();
+            let mut rot = self.cycle[k..].to_vec();
+            rot.extend_from_slice(&self.cycle[..k]);
+            Lasso {
+                stem: Vec::new(),
+                cycle: rot,
+            }
+        }
+    }
+}
+
+impl fmt::Display for Lasso {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stem {
+            write!(f, "{s} ")?;
+        }
+        write!(f, "(")?;
+        for (i, s) in self.cycle.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")ω")
+    }
+}
+
+/// Enumerates all lassos of `m` starting at `from` with
+/// `stem length + cycle length ≤ bound`, invoking `visit` on each.
+///
+/// Exhaustive and exponential — intended for cross-validation on tiny
+/// structures only. `visit` returning `false` aborts the enumeration
+/// early; the function returns `false` in that case.
+pub fn for_each_lasso(
+    m: &Kripke,
+    from: StateId,
+    bound: usize,
+    visit: &mut dyn FnMut(&Lasso) -> bool,
+) -> bool {
+    fn rec(
+        m: &Kripke,
+        path: &mut Vec<StateId>,
+        bound: usize,
+        visit: &mut dyn FnMut(&Lasso) -> bool,
+    ) -> bool {
+        let cur = *path.last().expect("path non-empty");
+        for &next in m.successors(cur) {
+            // Closing a cycle back to any previous position yields a lasso.
+            if let Some(pos) = path.iter().position(|&s| s == next) {
+                let lasso = Lasso::new(path[..pos].to_vec(), path[pos..].to_vec());
+                if !visit(&lasso) {
+                    return false;
+                }
+            }
+            if path.len() < bound && !path.contains(&next) {
+                path.push(next);
+                if !rec(m, path, bound, visit) {
+                    return false;
+                }
+                path.pop();
+            }
+        }
+        true
+    }
+    let mut path = vec![from];
+    rec(m, &mut path, bound, visit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KripkeBuilder;
+
+    fn line_cycle() -> Kripke {
+        // s0 -> s1 -> s2 -> s1
+        let mut b = KripkeBuilder::new();
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.edge(s0, s1);
+        b.edge(s1, s2);
+        b.edge(s2, s1);
+        b.build(s0).unwrap()
+    }
+
+    #[test]
+    fn state_at_and_suffix() {
+        let l = Lasso::new(vec![StateId(0)], vec![StateId(1), StateId(2)]);
+        assert_eq!(l.state_at(0), StateId(0));
+        assert_eq!(l.state_at(1), StateId(1));
+        assert_eq!(l.state_at(2), StateId(2));
+        assert_eq!(l.state_at(3), StateId(1));
+        let s1 = l.suffix(1);
+        assert_eq!(s1.first(), StateId(1));
+        assert!(s1.stem.is_empty());
+        let s2 = l.suffix(2);
+        assert_eq!(s2.first(), StateId(2));
+        assert_eq!(s2.cycle, vec![StateId(2), StateId(1)]);
+        // Suffix past one full cycle wraps.
+        let s4 = l.suffix(4);
+        assert_eq!(s4.first(), l.state_at(4));
+    }
+
+    #[test]
+    fn is_path_of_checks_edges() {
+        let m = line_cycle();
+        let good = Lasso::new(vec![StateId(0)], vec![StateId(1), StateId(2)]);
+        assert!(good.is_path_of(&m));
+        let bad = Lasso::new(vec![], vec![StateId(0), StateId(1)]); // s1 -> s0 missing
+        assert!(!bad.is_path_of(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_cycle_panics() {
+        Lasso::new(vec![StateId(0)], vec![]);
+    }
+
+    #[test]
+    fn enumeration_finds_all_simple_lassos() {
+        let m = line_cycle();
+        let mut found = Vec::new();
+        for_each_lasso(&m, StateId(0), 4, &mut |l| {
+            assert!(l.is_path_of(&m));
+            found.push(l.clone());
+            true
+        });
+        // Only one simple lasso from s0: s0 (s1 s2)ω.
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].stem, vec![StateId(0)]);
+    }
+
+    #[test]
+    fn enumeration_early_abort() {
+        let m = line_cycle();
+        let mut count = 0;
+        let complete = for_each_lasso(&m, StateId(1), 4, &mut |_| {
+            count += 1;
+            false
+        });
+        assert!(!complete);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn display_shape() {
+        let l = Lasso::new(vec![StateId(0)], vec![StateId(1)]);
+        assert_eq!(l.to_string(), "s0 (s1)ω");
+    }
+}

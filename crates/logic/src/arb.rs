@@ -1,0 +1,204 @@
+//! Random formula generation for fuzzing and the empirical theorem tests.
+//!
+//! The integration suite checks Theorem 2 statistically: corresponding
+//! structures must agree on *every* generated CTL*∖X formula. Generating
+//! across the full grammar (including the `X` operator when explicitly
+//! enabled) also exercises parser/printer round-trips and the two model
+//! checkers against each other.
+
+use rand::prelude::*;
+
+use crate::ast::{build, PathFormula, StateFormula};
+
+/// Configuration for [`random_state_formula`].
+#[derive(Clone, Debug)]
+pub struct FormulaConfig {
+    /// Plain proposition names to draw from.
+    pub props: Vec<String>,
+    /// Indexed proposition names to draw from (used with
+    /// [`index_var`](Self::index_var)).
+    pub indexed_props: Vec<String>,
+    /// The free index variable used by indexed atoms, if any.
+    pub index_var: Option<String>,
+    /// Maximum formula depth.
+    pub max_depth: usize,
+    /// Whether the nexttime operator may be generated.
+    pub allow_next: bool,
+    /// Whether to generate only CTL-shaped path quantifications.
+    pub ctl_only: bool,
+}
+
+impl Default for FormulaConfig {
+    fn default() -> Self {
+        FormulaConfig {
+            props: vec!["p".into(), "q".into()],
+            indexed_props: Vec::new(),
+            index_var: None,
+            max_depth: 4,
+            allow_next: false,
+            ctl_only: false,
+        }
+    }
+}
+
+/// Generates a random state formula.
+///
+/// The result contains no index quantifiers; if
+/// [`index_var`](FormulaConfig::index_var) is set, indexed atoms with that
+/// free variable may appear (wrap the result in a quantifier yourself to
+/// close it).
+pub fn random_state_formula<R: Rng + ?Sized>(rng: &mut R, cfg: &FormulaConfig) -> StateFormula {
+    state(rng, cfg, cfg.max_depth)
+}
+
+fn atom<R: Rng + ?Sized>(rng: &mut R, cfg: &FormulaConfig) -> StateFormula {
+    let n_plain = cfg.props.len();
+    let n_indexed = if cfg.index_var.is_some() {
+        cfg.indexed_props.len()
+    } else {
+        0
+    };
+    let total = n_plain + n_indexed + 2;
+    let k = rng.random_range(0..total);
+    if k < n_plain {
+        build::prop(cfg.props[k].clone())
+    } else if k < n_plain + n_indexed {
+        build::iprop(
+            cfg.indexed_props[k - n_plain].clone(),
+            cfg.index_var.clone().expect("index_var checked above"),
+        )
+    } else if k == total - 2 {
+        StateFormula::True
+    } else {
+        StateFormula::False
+    }
+}
+
+fn state<R: Rng + ?Sized>(rng: &mut R, cfg: &FormulaConfig, depth: usize) -> StateFormula {
+    if depth == 0 {
+        return atom(rng, cfg);
+    }
+    match rng.random_range(0..8u32) {
+        0 => atom(rng, cfg),
+        1 => state(rng, cfg, depth - 1).not(),
+        2 => state(rng, cfg, depth - 1).and(state(rng, cfg, depth - 1)),
+        3 => state(rng, cfg, depth - 1).or(state(rng, cfg, depth - 1)),
+        4 => state(rng, cfg, depth - 1).implies(state(rng, cfg, depth - 1)),
+        _ => {
+            let p = if cfg.ctl_only {
+                ctl_path(rng, cfg, depth - 1)
+            } else {
+                // Collapse pure-state boolean structure so the formula is
+                // in the parser's canonical form (round-trip property).
+                crate::check::collapse_states(&path(rng, cfg, depth - 1))
+            };
+            if rng.random_bool(0.5) {
+                build::e(p)
+            } else {
+                build::a(p)
+            }
+        }
+    }
+}
+
+fn ctl_path<R: Rng + ?Sized>(rng: &mut R, cfg: &FormulaConfig, depth: usize) -> PathFormula {
+    let d = depth.saturating_sub(1);
+    let choices = if cfg.allow_next { 5 } else { 4 };
+    match rng.random_range(0..choices) {
+        0 => build::g(state(rng, cfg, d).on_path()),
+        1 => build::f(state(rng, cfg, d).on_path()),
+        2 => state(rng, cfg, d).on_path().until(state(rng, cfg, d).on_path()),
+        3 => state(rng, cfg, d)
+            .on_path()
+            .release(state(rng, cfg, d).on_path()),
+        _ => build::x(state(rng, cfg, d).on_path()),
+    }
+}
+
+fn path<R: Rng + ?Sized>(rng: &mut R, cfg: &FormulaConfig, depth: usize) -> PathFormula {
+    if depth == 0 {
+        return atom(rng, cfg).on_path();
+    }
+    let choices = if cfg.allow_next { 9 } else { 8 };
+    match rng.random_range(0..choices) {
+        0 => atom(rng, cfg).on_path(),
+        1 => path(rng, cfg, depth - 1).not(),
+        2 => path(rng, cfg, depth - 1).and(path(rng, cfg, depth - 1)),
+        3 => path(rng, cfg, depth - 1).or(path(rng, cfg, depth - 1)),
+        4 => path(rng, cfg, depth - 1).until(path(rng, cfg, depth - 1)),
+        5 => path(rng, cfg, depth - 1).release(path(rng, cfg, depth - 1)),
+        6 => build::f(path(rng, cfg, depth - 1)),
+        7 => build::g(path(rng, cfg, depth - 1)),
+        _ => build::x(path(rng, cfg, depth - 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{is_ctl, uses_next};
+    use crate::parse::parse_state;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_formulas_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = FormulaConfig::default();
+        for _ in 0..200 {
+            let f = random_state_formula(&mut rng, &cfg);
+            let printed = f.to_string();
+            let back = parse_state(&printed)
+                .unwrap_or_else(|e| panic!("failed to re-parse {printed}: {e}"));
+            assert_eq!(back, f, "round trip failed for {printed}");
+        }
+    }
+
+    #[test]
+    fn respects_allow_next() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = FormulaConfig {
+            allow_next: false,
+            max_depth: 5,
+            ..FormulaConfig::default()
+        };
+        for _ in 0..200 {
+            let f = random_state_formula(&mut rng, &cfg);
+            assert!(!uses_next(&f), "generated X although disabled: {f}");
+        }
+    }
+
+    #[test]
+    fn ctl_only_generates_ctl() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = FormulaConfig {
+            ctl_only: true,
+            max_depth: 5,
+            ..FormulaConfig::default()
+        };
+        for _ in 0..200 {
+            let f = random_state_formula(&mut rng, &cfg);
+            assert!(is_ctl(&f), "not CTL: {f}");
+        }
+    }
+
+    #[test]
+    fn indexed_atoms_use_the_given_variable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = FormulaConfig {
+            props: vec![],
+            indexed_props: vec!["d".into(), "c".into()],
+            index_var: Some("i".into()),
+            max_depth: 3,
+            ..FormulaConfig::default()
+        };
+        let mut saw_indexed = false;
+        for _ in 0..100 {
+            let f = random_state_formula(&mut rng, &cfg);
+            let vars = crate::check::free_index_vars(&f);
+            assert!(vars.is_empty() || vars.iter().all(|v| v == "i"));
+            saw_indexed |= !vars.is_empty();
+        }
+        assert!(saw_indexed, "never generated an indexed atom");
+    }
+}

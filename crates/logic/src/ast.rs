@@ -1,0 +1,339 @@
+//! Abstract syntax of CTL* and indexed CTL* (Sections 2 and 4 of the
+//! paper).
+//!
+//! There are two mutually recursive sorts: [`StateFormula`]s (true at a
+//! state) and [`PathFormula`]s (true along a path). The paper's base logic
+//! omits the nexttime operator `X`; we keep it in the AST because it is
+//! (a) needed internally and (b) used by the test suite to *demonstrate*
+//! why the paper excludes it — the well-formedness checks in
+//! [`crate::check`] reject it for ICTL*.
+
+use std::fmt;
+
+use icstar_kripke::Index;
+
+/// An index term: either an index variable (e.g. the `i` of `d[i]`) or a
+/// concrete index value (produced by quantifier expansion).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IndexTerm {
+    /// An index variable, bound by `forall i.` / `exists i.`.
+    Var(String),
+    /// A concrete index value. Closed ICTL* formulas never contain these
+    /// (the paper's syntax has no constant indices); they appear only
+    /// after quantifier expansion.
+    Const(Index),
+}
+
+impl fmt::Display for IndexTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexTerm::Var(v) => write!(f, "{v}"),
+            IndexTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A state formula of (indexed) CTL*.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StateFormula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A plain atomic proposition `A ∈ AP`.
+    Prop(String),
+    /// An indexed atomic proposition `A_i` (`A ∈ IP`).
+    Indexed(String, IndexTerm),
+    /// The "exactly one" atom `Θ P` — true iff exactly one index value
+    /// satisfies `P` (Section 4's extension).
+    ExactlyOne(String),
+    /// Negation `¬f`.
+    Not(Box<StateFormula>),
+    /// Conjunction `f ∧ g`.
+    And(Box<StateFormula>, Box<StateFormula>),
+    /// Disjunction `f ∨ g`.
+    Or(Box<StateFormula>, Box<StateFormula>),
+    /// Implication `f → g` (sugar kept in the AST for readable printing).
+    Implies(Box<StateFormula>, Box<StateFormula>),
+    /// Biconditional `f ↔ g`.
+    Iff(Box<StateFormula>, Box<StateFormula>),
+    /// Path quantifier `E(g)`: some path from here satisfies `g`.
+    Exists(Box<PathFormula>),
+    /// Path quantifier `A(g)`: every path from here satisfies `g`.
+    All(Box<PathFormula>),
+    /// Index quantifier `⋀_i f(i)` (written `forall i. f`).
+    ForallIdx(String, Box<StateFormula>),
+    /// Index quantifier `⋁_i f(i)` (written `exists i. f`).
+    ExistsIdx(String, Box<StateFormula>),
+}
+
+/// A path formula of (indexed) CTL*.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PathFormula {
+    /// A state formula, evaluated at the first state of the path.
+    State(Box<StateFormula>),
+    /// Negation `¬g`.
+    Not(Box<PathFormula>),
+    /// Conjunction `g ∧ h`.
+    And(Box<PathFormula>, Box<PathFormula>),
+    /// Disjunction `g ∨ h`.
+    Or(Box<PathFormula>, Box<PathFormula>),
+    /// Implication `g → h`.
+    Implies(Box<PathFormula>, Box<PathFormula>),
+    /// Strong until `g U h`.
+    Until(Box<PathFormula>, Box<PathFormula>),
+    /// Release `g R h` (dual of until).
+    Release(Box<PathFormula>, Box<PathFormula>),
+    /// Eventually `F g ≡ true U g`.
+    Eventually(Box<PathFormula>),
+    /// Globally `G g ≡ ¬F¬g`.
+    Globally(Box<PathFormula>),
+    /// Nexttime `X g` — **not** part of the paper's logic; see module docs.
+    Next(Box<PathFormula>),
+}
+
+impl StateFormula {
+    /// `¬self`.
+    pub fn not(self) -> StateFormula {
+        StateFormula::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: StateFormula) -> StateFormula {
+        StateFormula::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: StateFormula) -> StateFormula {
+        StateFormula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self → other`.
+    pub fn implies(self, other: StateFormula) -> StateFormula {
+        StateFormula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// `self ↔ other`.
+    pub fn iff(self, other: StateFormula) -> StateFormula {
+        StateFormula::Iff(Box::new(self), Box::new(other))
+    }
+
+    /// Embeds this state formula as a path formula.
+    pub fn on_path(self) -> PathFormula {
+        PathFormula::State(Box::new(self))
+    }
+
+    /// Conjunction of an iterator of formulas (`true` if empty).
+    pub fn conj(it: impl IntoIterator<Item = StateFormula>) -> StateFormula {
+        let mut iter = it.into_iter();
+        match iter.next() {
+            None => StateFormula::True,
+            Some(first) => iter.fold(first, |acc, f| acc.and(f)),
+        }
+    }
+
+    /// Disjunction of an iterator of formulas (`false` if empty).
+    pub fn disj(it: impl IntoIterator<Item = StateFormula>) -> StateFormula {
+        let mut iter = it.into_iter();
+        match iter.next() {
+            None => StateFormula::False,
+            Some(first) => iter.fold(first, |acc, f| acc.or(f)),
+        }
+    }
+
+    /// Number of AST nodes (state and path) in the formula.
+    pub fn size(&self) -> usize {
+        use StateFormula::*;
+        match self {
+            True | False | Prop(_) | Indexed(..) | ExactlyOne(_) => 1,
+            Not(f) | ForallIdx(_, f) | ExistsIdx(_, f) => 1 + f.size(),
+            And(f, g) | Or(f, g) | Implies(f, g) | Iff(f, g) => 1 + f.size() + g.size(),
+            Exists(p) | All(p) => 1 + p.size(),
+        }
+    }
+}
+
+impl PathFormula {
+    /// `¬self`.
+    pub fn not(self) -> PathFormula {
+        PathFormula::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: PathFormula) -> PathFormula {
+        PathFormula::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: PathFormula) -> PathFormula {
+        PathFormula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self → other`.
+    pub fn implies(self, other: PathFormula) -> PathFormula {
+        PathFormula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// `self U other`.
+    pub fn until(self, other: PathFormula) -> PathFormula {
+        PathFormula::Until(Box::new(self), Box::new(other))
+    }
+
+    /// `self R other`.
+    pub fn release(self, other: PathFormula) -> PathFormula {
+        PathFormula::Release(Box::new(self), Box::new(other))
+    }
+
+    /// Number of AST nodes in the formula.
+    pub fn size(&self) -> usize {
+        use PathFormula::*;
+        match self {
+            State(f) => 1 + f.size(),
+            Not(g) | Eventually(g) | Globally(g) | Next(g) => 1 + g.size(),
+            And(g, h) | Or(g, h) | Implies(g, h) | Until(g, h) | Release(g, h) => {
+                1 + g.size() + h.size()
+            }
+        }
+    }
+}
+
+/// Convenience constructors mirroring the paper's derived operators.
+pub mod build {
+    use super::*;
+
+    /// Plain atomic proposition `name`.
+    pub fn prop(name: impl Into<String>) -> StateFormula {
+        StateFormula::Prop(name.into())
+    }
+
+    /// Indexed atomic proposition `name[var]` with an index *variable*.
+    pub fn iprop(name: impl Into<String>, var: impl Into<String>) -> StateFormula {
+        StateFormula::Indexed(name.into(), IndexTerm::Var(var.into()))
+    }
+
+    /// Indexed atomic proposition `name[c]` with a *concrete* index.
+    pub fn iprop_at(name: impl Into<String>, c: Index) -> StateFormula {
+        StateFormula::Indexed(name.into(), IndexTerm::Const(c))
+    }
+
+    /// The "exactly one" atom `one(name)`.
+    pub fn one(name: impl Into<String>) -> StateFormula {
+        StateFormula::ExactlyOne(name.into())
+    }
+
+    /// `E(g)`.
+    pub fn e(g: PathFormula) -> StateFormula {
+        StateFormula::Exists(Box::new(g))
+    }
+
+    /// `A(g)`.
+    pub fn a(g: PathFormula) -> StateFormula {
+        StateFormula::All(Box::new(g))
+    }
+
+    /// `AG f` — on all paths, globally `f`.
+    pub fn ag(f: StateFormula) -> StateFormula {
+        a(PathFormula::Globally(Box::new(f.on_path())))
+    }
+
+    /// `AF f` — on all paths, eventually `f`.
+    pub fn af(f: StateFormula) -> StateFormula {
+        a(PathFormula::Eventually(Box::new(f.on_path())))
+    }
+
+    /// `EG f` — on some path, globally `f`.
+    pub fn eg(f: StateFormula) -> StateFormula {
+        e(PathFormula::Globally(Box::new(f.on_path())))
+    }
+
+    /// `EF f` — on some path, eventually `f`.
+    pub fn ef(f: StateFormula) -> StateFormula {
+        e(PathFormula::Eventually(Box::new(f.on_path())))
+    }
+
+    /// `A[f U g]` with state-formula operands (CTL shape).
+    pub fn au(f: StateFormula, g: StateFormula) -> StateFormula {
+        a(f.on_path().until(g.on_path()))
+    }
+
+    /// `E[f U g]` with state-formula operands (CTL shape).
+    pub fn eu(f: StateFormula, g: StateFormula) -> StateFormula {
+        e(f.on_path().until(g.on_path()))
+    }
+
+    /// `AX f` — in all successors `f` (outside the paper's logic).
+    pub fn ax(f: StateFormula) -> StateFormula {
+        a(PathFormula::Next(Box::new(f.on_path())))
+    }
+
+    /// `EX f` — in some successor `f` (outside the paper's logic).
+    pub fn ex(f: StateFormula) -> StateFormula {
+        e(PathFormula::Next(Box::new(f.on_path())))
+    }
+
+    /// `⋀ var. f` — the indexed conjunction quantifier.
+    pub fn forall_idx(var: impl Into<String>, f: StateFormula) -> StateFormula {
+        StateFormula::ForallIdx(var.into(), Box::new(f))
+    }
+
+    /// `⋁ var. f` — the indexed disjunction quantifier.
+    pub fn exists_idx(var: impl Into<String>, f: StateFormula) -> StateFormula {
+        StateFormula::ExistsIdx(var.into(), Box::new(f))
+    }
+
+    /// `F g` on paths.
+    pub fn f(g: PathFormula) -> PathFormula {
+        PathFormula::Eventually(Box::new(g))
+    }
+
+    /// `G g` on paths.
+    pub fn g(gg: PathFormula) -> PathFormula {
+        PathFormula::Globally(Box::new(gg))
+    }
+
+    /// `X g` on paths (outside the paper's logic).
+    pub fn x(g: PathFormula) -> PathFormula {
+        PathFormula::Next(Box::new(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    #[test]
+    fn constructors_compose() {
+        // forall i. AG(d[i] -> AF c[i])  — property 4 of the paper.
+        let f = forall_idx("i", ag(iprop("d", "i").implies(af(iprop("c", "i")))));
+        assert!(matches!(f, StateFormula::ForallIdx(..)));
+        assert!(f.size() > 5);
+    }
+
+    #[test]
+    fn conj_disj_of_empty() {
+        assert_eq!(StateFormula::conj([]), StateFormula::True);
+        assert_eq!(StateFormula::disj([]), StateFormula::False);
+    }
+
+    #[test]
+    fn conj_of_many() {
+        let f = StateFormula::conj([prop("a"), prop("b"), prop("c")]);
+        assert_eq!(f, prop("a").and(prop("b")).and(prop("c")));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(prop("a").size(), 1);
+        assert_eq!(prop("a").and(prop("b")).size(), 3);
+        // E(F a) = Exists(Eventually(State(a))) = 1 + (1 + (1 + 1))
+        assert_eq!(ef(prop("a")).size(), 4);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(iprop("d", "i"), iprop("d", "i"));
+        assert_ne!(iprop("d", "i"), iprop("d", "j"));
+        assert_ne!(iprop("d", "i"), iprop_at("d", 1));
+    }
+}

@@ -1,0 +1,286 @@
+//! Negation normal form for path formulas.
+//!
+//! The CTL* model checker eliminates one path quantifier at a time: the
+//! maximal state subformulas of the path formula are checked recursively
+//! and become opaque *literals*; what remains is a pure LTL formula over
+//! those literals, normalized here so negation appears only on literals.
+//! The tableau construction in `icstar-mc` consumes this form.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::{PathFormula, StateFormula};
+
+/// An LTL formula in negation normal form over abstract atoms `A`.
+///
+/// `F g` is encoded as `true U g` and `G g` as `false R g`, so the only
+/// temporal connectives are [`Until`](Nnf::Until), [`Release`](Nnf::Release)
+/// and [`Next`](Nnf::Next).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Nnf<A> {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// A (possibly negated) atom.
+    Lit {
+        /// The atom.
+        atom: A,
+        /// Whether the atom appears negated.
+        negated: bool,
+    },
+    /// Conjunction.
+    And(Rc<Nnf<A>>, Rc<Nnf<A>>),
+    /// Disjunction.
+    Or(Rc<Nnf<A>>, Rc<Nnf<A>>),
+    /// Strong until.
+    Until(Rc<Nnf<A>>, Rc<Nnf<A>>),
+    /// Release (dual of until).
+    Release(Rc<Nnf<A>>, Rc<Nnf<A>>),
+    /// Nexttime.
+    Next(Rc<Nnf<A>>),
+}
+
+impl<A: Clone> Nnf<A> {
+    /// The dual formula `¬self`, still in negation normal form.
+    pub fn negate(&self) -> Nnf<A> {
+        match self {
+            Nnf::True => Nnf::False,
+            Nnf::False => Nnf::True,
+            Nnf::Lit { atom, negated } => Nnf::Lit {
+                atom: atom.clone(),
+                negated: !negated,
+            },
+            Nnf::And(a, b) => Nnf::Or(Rc::new(a.negate()), Rc::new(b.negate())),
+            Nnf::Or(a, b) => Nnf::And(Rc::new(a.negate()), Rc::new(b.negate())),
+            Nnf::Until(a, b) => Nnf::Release(Rc::new(a.negate()), Rc::new(b.negate())),
+            Nnf::Release(a, b) => Nnf::Until(Rc::new(a.negate()), Rc::new(b.negate())),
+            Nnf::Next(a) => Nnf::Next(Rc::new(a.negate())),
+        }
+    }
+}
+
+impl<A> Nnf<A> {
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Nnf::True | Nnf::False | Nnf::Lit { .. } => 1,
+            Nnf::Next(a) => 1 + a.size(),
+            Nnf::And(a, b) | Nnf::Or(a, b) | Nnf::Until(a, b) | Nnf::Release(a, b) => {
+                1 + a.size() + b.size()
+            }
+        }
+    }
+
+    /// Whether any [`Nnf::Next`] occurs.
+    pub fn uses_next(&self) -> bool {
+        match self {
+            Nnf::True | Nnf::False | Nnf::Lit { .. } => false,
+            Nnf::Next(_) => true,
+            Nnf::And(a, b) | Nnf::Or(a, b) | Nnf::Until(a, b) | Nnf::Release(a, b) => {
+                a.uses_next() || b.uses_next()
+            }
+        }
+    }
+}
+
+impl<A: fmt::Display> fmt::Display for Nnf<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Nnf::True => write!(f, "true"),
+            Nnf::False => write!(f, "false"),
+            Nnf::Lit { atom, negated } => {
+                if *negated {
+                    write!(f, "!{{{atom}}}")
+                } else {
+                    write!(f, "{{{atom}}}")
+                }
+            }
+            Nnf::And(a, b) => write!(f, "({a} & {b})"),
+            Nnf::Or(a, b) => write!(f, "({a} | {b})"),
+            Nnf::Until(a, b) => write!(f, "({a} U {b})"),
+            Nnf::Release(a, b) => write!(f, "({a} R {b})"),
+            Nnf::Next(a) => write!(f, "X {a}"),
+        }
+    }
+}
+
+/// Converts a path formula to NNF over state-formula literals.
+///
+/// Maximal state subformulas become [`Nnf::Lit`]s; `F`/`G`/`->` are
+/// desugared; negation is pushed to the literals.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::{nnf_path, parse_path};
+///
+/// let p = parse_path("!(p U q)")?;
+/// assert_eq!(nnf_path(&p).to_string(), "(!{p} R !{q})");
+/// # Ok::<(), icstar_logic::ParseError>(())
+/// ```
+pub fn nnf_path(p: &PathFormula) -> Nnf<StateFormula> {
+    to_nnf(p, false)
+}
+
+fn to_nnf(p: &PathFormula, neg: bool) -> Nnf<StateFormula> {
+    use PathFormula::*;
+    match p {
+        State(f) => {
+            // Peel state-level negations into the literal polarity so that
+            // constants simplify and literals are canonical.
+            let mut inner: &StateFormula = f;
+            let mut n = neg;
+            while let StateFormula::Not(g) = inner {
+                inner = g;
+                n = !n;
+            }
+            match (inner, n) {
+                (StateFormula::True, false) | (StateFormula::False, true) => Nnf::True,
+                (StateFormula::True, true) | (StateFormula::False, false) => Nnf::False,
+                _ => Nnf::Lit {
+                    atom: inner.clone(),
+                    negated: n,
+                },
+            }
+        }
+        Not(g) => to_nnf(g, !neg),
+        And(a, b) => {
+            let (x, y) = (Rc::new(to_nnf(a, neg)), Rc::new(to_nnf(b, neg)));
+            if neg {
+                Nnf::Or(x, y)
+            } else {
+                Nnf::And(x, y)
+            }
+        }
+        Or(a, b) => {
+            let (x, y) = (Rc::new(to_nnf(a, neg)), Rc::new(to_nnf(b, neg)));
+            if neg {
+                Nnf::And(x, y)
+            } else {
+                Nnf::Or(x, y)
+            }
+        }
+        Implies(a, b) => {
+            // a -> b  ==  !a | b
+            let (x, y) = (Rc::new(to_nnf(a, !neg)), Rc::new(to_nnf(b, neg)));
+            if neg {
+                Nnf::And(x, y)
+            } else {
+                Nnf::Or(x, y)
+            }
+        }
+        Until(a, b) => {
+            let (x, y) = (Rc::new(to_nnf(a, neg)), Rc::new(to_nnf(b, neg)));
+            if neg {
+                Nnf::Release(x, y)
+            } else {
+                Nnf::Until(x, y)
+            }
+        }
+        Release(a, b) => {
+            let (x, y) = (Rc::new(to_nnf(a, neg)), Rc::new(to_nnf(b, neg)));
+            if neg {
+                Nnf::Until(x, y)
+            } else {
+                Nnf::Release(x, y)
+            }
+        }
+        Eventually(g) => {
+            // F g == true U g; ¬F g == false R ¬g.
+            let inner = Rc::new(to_nnf(g, neg));
+            if neg {
+                Nnf::Release(Rc::new(Nnf::False), inner)
+            } else {
+                Nnf::Until(Rc::new(Nnf::True), inner)
+            }
+        }
+        Globally(g) => {
+            // G g == false R g; ¬G g == true U ¬g.
+            let inner = Rc::new(to_nnf(g, neg));
+            if neg {
+                Nnf::Until(Rc::new(Nnf::True), inner)
+            } else {
+                Nnf::Release(Rc::new(Nnf::False), inner)
+            }
+        }
+        Next(g) => Nnf::Next(Rc::new(to_nnf(g, neg))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_path;
+
+    fn n(src: &str) -> Nnf<StateFormula> {
+        nnf_path(&parse_path(src).unwrap())
+    }
+
+    #[test]
+    fn literals_and_constants() {
+        assert_eq!(n("true"), Nnf::True);
+        assert_eq!(n("!true"), Nnf::False);
+        assert_eq!(n("false"), Nnf::False);
+        assert_eq!(n("p").to_string(), "{p}");
+        assert_eq!(n("!p").to_string(), "!{p}");
+        assert_eq!(n("!!p").to_string(), "{p}");
+    }
+
+    #[test]
+    fn derived_operators_desugar() {
+        assert_eq!(n("F p").to_string(), "(true U {p})");
+        assert_eq!(n("G p").to_string(), "(false R {p})");
+        assert_eq!(n("!F p").to_string(), "(false R !{p})");
+        assert_eq!(n("!G p").to_string(), "(true U !{p})");
+        // The parser collapses pure-state implications into one literal...
+        assert_eq!(n("p -> q").to_string(), "{p -> q}");
+        // ...but path-level implication (around a temporal operator)
+        // desugars to !a | b.
+        assert_eq!(n("p -> F q").to_string(), "(!{p} | (true U {q}))");
+        assert_eq!(n("!(p -> F q)").to_string(), "({p} & (false R !{q}))");
+    }
+
+    #[test]
+    fn duality_until_release() {
+        assert_eq!(n("!(p U q)").to_string(), "(!{p} R !{q})");
+        assert_eq!(n("!(p R q)").to_string(), "(!{p} U !{q})");
+    }
+
+    #[test]
+    fn negate_is_involutive() {
+        for src in ["p U q", "G (p -> F q)", "X p & q", "p R (q | r)"] {
+            let f = n(src);
+            assert_eq!(f.negate().negate(), f, "{src}");
+        }
+    }
+
+    #[test]
+    fn state_subformulas_stay_opaque() {
+        // E(...) inside the path formula is part of the literal.
+        let f = n("(EF p) U q");
+        match f {
+            Nnf::Until(a, _) => match &*a {
+                Nnf::Lit { atom, negated } => {
+                    assert!(!negated);
+                    assert_eq!(atom.to_string(), "EF p");
+                }
+                other => panic!("unexpected {other}"),
+            },
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn next_passes_through() {
+        assert_eq!(n("!X p").to_string(), "X !{p}");
+        assert!(n("X p").uses_next());
+        assert!(!n("p U q").uses_next());
+    }
+
+    #[test]
+    fn size_counts() {
+        assert_eq!(n("p").size(), 1);
+        assert_eq!(n("p U q").size(), 3);
+    }
+}

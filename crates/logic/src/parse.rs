@@ -1,0 +1,687 @@
+//! A parser for a plain-text syntax of (indexed) CTL*.
+//!
+//! # Syntax
+//!
+//! State formulas:
+//!
+//! ```text
+//! f ::= true | false | name | name[i] | name[3] | one(name)
+//!     | !f | f & f | f | f | f -> f | f <-> f
+//!     | E(p) | A(p) | E[p] | A[p]
+//!     | AG f | AF f | EG f | EF f | AX f | EX f
+//!     | forall i. f | exists i. f
+//! ```
+//!
+//! Path formulas (inside `E(...)` / `A(...)`):
+//!
+//! ```text
+//! p ::= f | !p | p & p | p | p | p -> p | p U p | p R p | F p | G p | X p
+//! ```
+//!
+//! Binding strength (tightest first): unary (`!`, `F`, `G`, `X`, the `AG`
+//! family, quantifiers extend maximally to the right), `U`/`R`
+//! (right-associative), `&`, `|`, `->` (right-associative), `<->`.
+//!
+//! The words `true false one forall exists E A AG AF EG EF AX EX U R F G X`
+//! are reserved and cannot be used as proposition names.
+
+use std::fmt;
+
+use crate::ast::{IndexTerm, PathFormula, StateFormula};
+use crate::check::collapse_states;
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a state formula.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::parse_state;
+///
+/// let f = parse_state("forall i. AG(d[i] -> AF c[i])")?;
+/// assert_eq!(f.to_string(), "forall i. AG (d[i] -> AF c[i])");
+/// # Ok::<(), icstar_logic::ParseError>(())
+/// ```
+pub fn parse_state(input: &str) -> Result<StateFormula, ParseError> {
+    let mut p = Parser::new(input)?;
+    let f = p.state_formula()?;
+    p.expect_eof()?;
+    Ok(f)
+}
+
+/// Parses a path formula.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_path(input: &str) -> Result<PathFormula, ParseError> {
+    let mut p = Parser::new(input)?;
+    let f = p.path_formula()?;
+    p.expect_eof()?;
+    Ok(collapse_states(&f))
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+    DArrow,
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    Dot,
+    Eof,
+}
+
+const RESERVED: &[&str] = &[
+    "true", "false", "one", "forall", "exists", "E", "A", "AG", "AF", "EG", "EF", "AX", "EX",
+    "U", "R", "F", "G", "X",
+];
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self, ParseError> {
+        let mut toks = Vec::new();
+        let bytes = input.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => i += 1,
+                '!' => {
+                    toks.push((Tok::Bang, i));
+                    i += 1;
+                }
+                '&' => {
+                    toks.push((Tok::Amp, i));
+                    i += 1;
+                    if i < bytes.len() && bytes[i] == b'&' {
+                        i += 1; // allow && as a synonym
+                    }
+                }
+                '|' => {
+                    toks.push((Tok::Pipe, i));
+                    i += 1;
+                    if i < bytes.len() && bytes[i] == b'|' {
+                        i += 1; // allow || as a synonym
+                    }
+                }
+                '-' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                        toks.push((Tok::Arrow, i));
+                        i += 2;
+                    } else {
+                        return Err(ParseError {
+                            offset: i,
+                            message: "expected '->'".into(),
+                        });
+                    }
+                }
+                '<' => {
+                    if input[i..].starts_with("<->") {
+                        toks.push((Tok::DArrow, i));
+                        i += 3;
+                    } else {
+                        return Err(ParseError {
+                            offset: i,
+                            message: "expected '<->'".into(),
+                        });
+                    }
+                }
+                '(' => {
+                    toks.push((Tok::LParen, i));
+                    i += 1;
+                }
+                ')' => {
+                    toks.push((Tok::RParen, i));
+                    i += 1;
+                }
+                '[' => {
+                    toks.push((Tok::LBrack, i));
+                    i += 1;
+                }
+                ']' => {
+                    toks.push((Tok::RBrack, i));
+                    i += 1;
+                }
+                '.' => {
+                    toks.push((Tok::Dot, i));
+                    i += 1;
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n: u64 = input[start..i].parse().map_err(|_| ParseError {
+                        offset: start,
+                        message: "integer too large".into(),
+                    })?;
+                    toks.push((Tok::Int(n), start));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    toks.push((Tok::Ident(input[start..i].to_string()), start));
+                }
+                other => {
+                    return Err(ParseError {
+                        offset: i,
+                        message: format!("unexpected character {other:?}"),
+                    })
+                }
+            }
+        }
+        toks.push((Tok::Eof, input.len()));
+        Ok(Parser { toks, pos: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn peek_offset(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing input".into()))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            offset: self.peek_offset(),
+            message,
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    // ---------- state formulas ----------
+
+    fn state_formula(&mut self) -> Result<StateFormula, ParseError> {
+        self.state_iff()
+    }
+
+    fn state_iff(&mut self) -> Result<StateFormula, ParseError> {
+        let mut lhs = self.state_implies()?;
+        while self.eat(&Tok::DArrow) {
+            let rhs = self.state_implies()?;
+            lhs = lhs.iff(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn state_implies(&mut self) -> Result<StateFormula, ParseError> {
+        let lhs = self.state_or()?;
+        if self.eat(&Tok::Arrow) {
+            let rhs = self.state_implies()?; // right-assoc
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn state_or(&mut self) -> Result<StateFormula, ParseError> {
+        let mut lhs = self.state_and()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.state_and()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn state_and(&mut self) -> Result<StateFormula, ParseError> {
+        let mut lhs = self.state_unary()?;
+        while self.eat(&Tok::Amp) {
+            let rhs = self.state_unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn state_unary(&mut self) -> Result<StateFormula, ParseError> {
+        if self.eat(&Tok::Bang) {
+            return Ok(self.state_unary()?.not());
+        }
+        if let Tok::Ident(word) = self.peek().clone() {
+            match word.as_str() {
+                "true" => {
+                    self.bump();
+                    return Ok(StateFormula::True);
+                }
+                "false" => {
+                    self.bump();
+                    return Ok(StateFormula::False);
+                }
+                "one" => {
+                    self.bump();
+                    self.expect(&Tok::LParen, "'(' after one")?;
+                    let name = self.ident("proposition name")?;
+                    self.expect(&Tok::RParen, "')' after one(...)")?;
+                    return Ok(StateFormula::ExactlyOne(name));
+                }
+                "forall" | "exists" => {
+                    self.bump();
+                    let var = self.ident("index variable")?;
+                    self.expect(&Tok::Dot, "'.' after quantified variable")?;
+                    // Quantifiers scope maximally to the right.
+                    let body = self.state_formula()?;
+                    return Ok(if word == "forall" {
+                        StateFormula::ForallIdx(var, Box::new(body))
+                    } else {
+                        StateFormula::ExistsIdx(var, Box::new(body))
+                    });
+                }
+                "E" | "A" => {
+                    self.bump();
+                    let path = self.grouped_path()?;
+                    return Ok(if word == "E" {
+                        StateFormula::Exists(Box::new(path))
+                    } else {
+                        StateFormula::All(Box::new(path))
+                    });
+                }
+                "AG" | "AF" | "EG" | "EF" | "AX" | "EX" => {
+                    self.bump();
+                    let op = collapse_states(&self.path_unary()?);
+                    let wrapped = match &word[1..] {
+                        "G" => PathFormula::Globally(Box::new(op)),
+                        "F" => PathFormula::Eventually(Box::new(op)),
+                        _ => PathFormula::Next(Box::new(op)),
+                    };
+                    return Ok(if word.starts_with('A') {
+                        StateFormula::All(Box::new(wrapped))
+                    } else {
+                        StateFormula::Exists(Box::new(wrapped))
+                    });
+                }
+                w if RESERVED.contains(&w) => {
+                    return Err(self.err(format!("reserved word {w:?} cannot start a formula")));
+                }
+                _ => {
+                    self.bump();
+                    return self.finish_atom(word);
+                }
+            }
+        }
+        if self.eat(&Tok::LParen) {
+            let f = self.state_formula()?;
+            self.expect(&Tok::RParen, "')'")?;
+            return Ok(f);
+        }
+        Err(self.err("expected a state formula".into()))
+    }
+
+    fn finish_atom(&mut self, name: String) -> Result<StateFormula, ParseError> {
+        if self.eat(&Tok::LBrack) {
+            let term = match self.bump() {
+                Tok::Ident(v) if !RESERVED.contains(&v.as_str()) => IndexTerm::Var(v),
+                Tok::Int(n) => IndexTerm::Const(u32::try_from(n).map_err(|_| ParseError {
+                    offset: self.peek_offset(),
+                    message: "index value too large".into(),
+                })?),
+                _ => return Err(self.err("expected index variable or value".into())),
+            };
+            self.expect(&Tok::RBrack, "']' after index")?;
+            Ok(StateFormula::Indexed(name, term))
+        } else {
+            Ok(StateFormula::Prop(name))
+        }
+    }
+
+    fn grouped_path(&mut self) -> Result<PathFormula, ParseError> {
+        if self.eat(&Tok::LParen) {
+            let p = self.path_formula()?;
+            self.expect(&Tok::RParen, "')' closing the path formula")?;
+            Ok(collapse_states(&p))
+        } else if self.eat(&Tok::LBrack) {
+            let p = self.path_formula()?;
+            self.expect(&Tok::RBrack, "']' closing the path formula")?;
+            Ok(collapse_states(&p))
+        } else {
+            Err(self.err("expected '(' or '[' after path quantifier".into()))
+        }
+    }
+
+    // ---------- path formulas ----------
+
+    fn path_formula(&mut self) -> Result<PathFormula, ParseError> {
+        self.path_iff()
+    }
+
+    fn path_iff(&mut self) -> Result<PathFormula, ParseError> {
+        let mut lhs = self.path_implies()?;
+        while self.eat(&Tok::DArrow) {
+            let rhs = self.path_implies()?;
+            // Path-level iff desugars to (l -> r) & (r -> l).
+            lhs = lhs.clone().implies(rhs.clone()).and(rhs.implies(lhs));
+        }
+        Ok(lhs)
+    }
+
+    fn path_implies(&mut self) -> Result<PathFormula, ParseError> {
+        let lhs = self.path_or()?;
+        if self.eat(&Tok::Arrow) {
+            let rhs = self.path_implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn path_or(&mut self) -> Result<PathFormula, ParseError> {
+        let mut lhs = self.path_and()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.path_and()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn path_and(&mut self) -> Result<PathFormula, ParseError> {
+        let mut lhs = self.path_until()?;
+        while self.eat(&Tok::Amp) {
+            let rhs = self.path_until()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn path_until(&mut self) -> Result<PathFormula, ParseError> {
+        let lhs = self.path_unary()?;
+        if self.is_kw("U") {
+            self.bump();
+            let rhs = self.path_until()?; // right-assoc
+            Ok(lhs.until(rhs))
+        } else if self.is_kw("R") {
+            self.bump();
+            let rhs = self.path_until()?;
+            Ok(lhs.release(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn path_unary(&mut self) -> Result<PathFormula, ParseError> {
+        if self.eat(&Tok::Bang) {
+            return Ok(self.path_unary()?.not());
+        }
+        if let Tok::Ident(word) = self.peek().clone() {
+            match word.as_str() {
+                "F" => {
+                    self.bump();
+                    return Ok(PathFormula::Eventually(Box::new(self.path_unary()?)));
+                }
+                "G" => {
+                    self.bump();
+                    return Ok(PathFormula::Globally(Box::new(self.path_unary()?)));
+                }
+                "X" => {
+                    self.bump();
+                    return Ok(PathFormula::Next(Box::new(self.path_unary()?)));
+                }
+                "U" | "R" => {
+                    return Err(self.err(format!("{word} is a binary operator")));
+                }
+                _ => {
+                    // Anything that can start a state formula embeds.
+                    let f = self.state_unary()?;
+                    return Ok(f.on_path());
+                }
+            }
+        }
+        if self.eat(&Tok::LParen) {
+            let p = self.path_formula()?;
+            self.expect(&Tok::RParen, "')'")?;
+            return Ok(p);
+        }
+        Err(self.err("expected a path formula".into()))
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if !RESERVED.contains(&s.as_str()) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+
+    #[test]
+    fn atoms() {
+        assert_eq!(parse_state("p").unwrap(), prop("p"));
+        assert_eq!(parse_state("d[i]").unwrap(), iprop("d", "i"));
+        assert_eq!(parse_state("d[3]").unwrap(), iprop_at("d", 3));
+        assert_eq!(parse_state("one(t)").unwrap(), one("t"));
+        assert_eq!(parse_state("true").unwrap(), StateFormula::True);
+        assert_eq!(parse_state("false").unwrap(), StateFormula::False);
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        let f = parse_state("a | b & c").unwrap();
+        assert_eq!(f, prop("a").or(prop("b").and(prop("c"))));
+        let g = parse_state("a -> b -> c").unwrap();
+        assert_eq!(g, prop("a").implies(prop("b").implies(prop("c"))));
+        let h = parse_state("!a & b").unwrap();
+        assert_eq!(h, prop("a").not().and(prop("b")));
+        let i = parse_state("a <-> b").unwrap();
+        assert_eq!(i, prop("a").iff(prop("b")));
+    }
+
+    #[test]
+    fn synonyms_for_and_or() {
+        assert_eq!(parse_state("a && b").unwrap(), parse_state("a & b").unwrap());
+        assert_eq!(parse_state("a || b").unwrap(), parse_state("a | b").unwrap());
+    }
+
+    #[test]
+    fn ctl_sugar() {
+        assert_eq!(parse_state("AG p").unwrap(), ag(prop("p")));
+        assert_eq!(parse_state("EF p").unwrap(), ef(prop("p")));
+        assert_eq!(parse_state("AF (p & q)").unwrap(), af(prop("p").and(prop("q"))));
+        assert_eq!(parse_state("EX p").unwrap(), ex(prop("p")));
+        assert_eq!(
+            parse_state("A[p U q]").unwrap(),
+            au(prop("p"), prop("q"))
+        );
+        assert_eq!(
+            parse_state("E(p U q)").unwrap(),
+            eu(prop("p"), prop("q"))
+        );
+    }
+
+    #[test]
+    fn nested_temporal() {
+        // AG(d -> AF c)
+        let f = parse_state("AG(d -> AF c)").unwrap();
+        assert_eq!(f, ag(prop("d").implies(af(prop("c")))));
+    }
+
+    #[test]
+    fn quantifiers_scope_maximally() {
+        let f = parse_state("forall i. d[i] -> c[i]").unwrap();
+        assert_eq!(
+            f,
+            forall_idx("i", iprop("d", "i").implies(iprop("c", "i")))
+        );
+        let g = parse_state("exists i. t[i]").unwrap();
+        assert_eq!(g, exists_idx("i", iprop("t", "i")));
+    }
+
+    #[test]
+    fn paper_property_four() {
+        let f = parse_state("forall i. AG(d[i] -> AF c[i])").unwrap();
+        assert_eq!(
+            f,
+            forall_idx("i", ag(iprop("d", "i").implies(af(iprop("c", "i")))))
+        );
+    }
+
+    #[test]
+    fn paper_property_one() {
+        // ¬ ⋁_i EF(¬d_i ∧ ¬t_i ∧ E[¬d_i U t_i])
+        let f = parse_state("!(exists i. EF(!d[i] & !t[i] & E[!d[i] U t[i]]))").unwrap();
+        let inner = iprop("d", "i")
+            .not()
+            .and(iprop("t", "i").not())
+            .and(e(iprop("d", "i").not().on_path().until(iprop("t", "i").on_path())));
+        assert_eq!(f, exists_idx("i", ef(inner)).not());
+    }
+
+    #[test]
+    fn path_until_precedence() {
+        // p & q U r  ==  p & (q U r)
+        let f = parse_state("E(p & q U r)").unwrap();
+        let expected = e(prop("p")
+            .on_path()
+            .and(prop("q").on_path().until(prop("r").on_path())));
+        assert_eq!(f, expected);
+        // Right associativity: p U q U r == p U (q U r)
+        let g = parse_state("E(p U q U r)").unwrap();
+        let expected_g = e(prop("p")
+            .on_path()
+            .until(prop("q").on_path().until(prop("r").on_path())));
+        assert_eq!(g, expected_g);
+    }
+
+    #[test]
+    fn path_release_and_next() {
+        let f = parse_state("E(p R q)").unwrap();
+        assert_eq!(f, e(prop("p").on_path().release(prop("q").on_path())));
+        let g = parse_state("A(X p)").unwrap();
+        assert_eq!(g, a(x(prop("p").on_path())));
+    }
+
+    #[test]
+    fn ag_of_until_group() {
+        // Sugar operand may itself be a parenthesized path formula.
+        let f = parse_state("AG (p U q)").unwrap();
+        assert_eq!(
+            f,
+            a(g(prop("p").on_path().until(prop("q").on_path())))
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_state("").is_err());
+        assert!(parse_state("p &").is_err());
+        assert!(parse_state("p q").is_err());
+        assert!(parse_state("(p").is_err());
+        assert!(parse_state("E p").is_err()); // needs ( or [
+        assert!(parse_state("forall . p").is_err());
+        assert!(parse_state("forall U . p").is_err()); // reserved var name
+        assert!(parse_state("d[").is_err());
+        assert!(parse_state("@").is_err());
+        assert!(parse_state("U").is_err());
+        assert!(parse_path("p U").is_err());
+    }
+
+    #[test]
+    fn reserved_words_rejected_as_props() {
+        assert!(parse_state("U & p").is_err());
+        assert!(parse_state("one(true)").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = parse_state("p & @").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn path_iff_desugars() {
+        // Path-level <-> desugars to (p -> q) & (q -> p); the pure-state
+        // structure then collapses to a single embedded state formula.
+        let f = parse_path("p <-> q").unwrap();
+        let expected = prop("p")
+            .implies(prop("q"))
+            .and(prop("q").implies(prop("p")))
+            .on_path();
+        assert_eq!(f, expected);
+        // Around a temporal operator the <-> stays at the path level.
+        let g = parse_path("(p U q) <-> r").unwrap();
+        assert!(matches!(g, PathFormula::And(..)));
+    }
+
+    #[test]
+    fn deep_nesting_round_trip() {
+        let src = "A(G(F(p & E(q U r))))";
+        let f = parse_state(src).unwrap();
+        assert_eq!(f, parse_state(&f.to_string()).unwrap());
+    }
+}

@@ -1,0 +1,260 @@
+//! Pretty-printing. `Display` output re-parses to the same AST (round-trip
+//! property, tested here and fuzzed in the integration suite).
+
+use std::fmt;
+
+use crate::ast::{PathFormula, StateFormula};
+
+// Binding levels, loosest to tightest. A node parenthesizes itself when the
+// context requires a tighter level than its own.
+const LVL_QUANT: u8 = 1;
+const LVL_IFF: u8 = 2;
+const LVL_IMPL: u8 = 3;
+const LVL_OR: u8 = 4;
+const LVL_AND: u8 = 5;
+const LVL_UNTIL: u8 = 6;
+const LVL_UNARY: u8 = 7;
+
+impl fmt::Display for StateFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_state(self, f, 0)
+    }
+}
+
+impl fmt::Display for PathFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_path(self, f, 0)
+    }
+}
+
+fn parens(
+    f: &mut fmt::Formatter<'_>,
+    needed: bool,
+    inner: impl FnOnce(&mut fmt::Formatter<'_>) -> fmt::Result,
+) -> fmt::Result {
+    if needed {
+        write!(f, "(")?;
+        inner(f)?;
+        write!(f, ")")
+    } else {
+        inner(f)
+    }
+}
+
+fn fmt_state(s: &StateFormula, f: &mut fmt::Formatter<'_>, req: u8) -> fmt::Result {
+    use StateFormula::*;
+    match s {
+        True => write!(f, "true"),
+        False => write!(f, "false"),
+        Prop(n) => write!(f, "{n}"),
+        Indexed(n, t) => write!(f, "{n}[{t}]"),
+        ExactlyOne(n) => write!(f, "one({n})"),
+        Not(g) => {
+            write!(f, "!")?;
+            fmt_state(g, f, LVL_UNARY)
+        }
+        And(a, b) => parens(f, req > LVL_AND, |f| {
+            fmt_state(a, f, LVL_AND)?;
+            write!(f, " & ")?;
+            fmt_state(b, f, LVL_AND + 1)
+        }),
+        Or(a, b) => parens(f, req > LVL_OR, |f| {
+            fmt_state(a, f, LVL_OR)?;
+            write!(f, " | ")?;
+            fmt_state(b, f, LVL_OR + 1)
+        }),
+        Implies(a, b) => parens(f, req > LVL_IMPL, |f| {
+            fmt_state(a, f, LVL_IMPL + 1)?;
+            write!(f, " -> ")?;
+            fmt_state(b, f, LVL_IMPL)
+        }),
+        Iff(a, b) => parens(f, req > LVL_IFF, |f| {
+            fmt_state(a, f, LVL_IFF)?;
+            write!(f, " <-> ")?;
+            fmt_state(b, f, LVL_IFF + 1)
+        }),
+        ForallIdx(v, g) => parens(f, req > LVL_QUANT, |f| {
+            write!(f, "forall {v}. ")?;
+            fmt_state(g, f, 0)
+        }),
+        ExistsIdx(v, g) => parens(f, req > LVL_QUANT, |f| {
+            write!(f, "exists {v}. ")?;
+            fmt_state(g, f, 0)
+        }),
+        Exists(p) => fmt_quantified(f, 'E', p),
+        All(p) => fmt_quantified(f, 'A', p),
+    }
+}
+
+/// Prints `E(...)`/`A(...)`, using the classic sugar (`EF`, `AG`, `E[· U ·]`,
+/// …) when the path formula has the corresponding shape.
+fn fmt_quantified(f: &mut fmt::Formatter<'_>, q: char, p: &PathFormula) -> fmt::Result {
+    use PathFormula::*;
+    match p {
+        Globally(inner) => {
+            write!(f, "{q}G ")?;
+            fmt_path(inner, f, LVL_UNARY)
+        }
+        Eventually(inner) => {
+            write!(f, "{q}F ")?;
+            fmt_path(inner, f, LVL_UNARY)
+        }
+        Next(inner) => {
+            write!(f, "{q}X ")?;
+            fmt_path(inner, f, LVL_UNARY)
+        }
+        Until(a, b) => {
+            write!(f, "{q}[")?;
+            fmt_path(a, f, LVL_UNTIL + 1)?;
+            write!(f, " U ")?;
+            fmt_path(b, f, LVL_UNTIL)?;
+            write!(f, "]")
+        }
+        other => {
+            write!(f, "{q}(")?;
+            fmt_path(other, f, 0)?;
+            write!(f, ")")
+        }
+    }
+}
+
+fn fmt_path(p: &PathFormula, f: &mut fmt::Formatter<'_>, req: u8) -> fmt::Result {
+    use PathFormula::*;
+    match p {
+        State(s) => fmt_state(s, f, req.max(LVL_UNARY)),
+        Not(g) => {
+            write!(f, "!")?;
+            fmt_path(g, f, LVL_UNARY)
+        }
+        And(a, b) => parens(f, req > LVL_AND, |f| {
+            fmt_path(a, f, LVL_AND)?;
+            write!(f, " & ")?;
+            fmt_path(b, f, LVL_AND + 1)
+        }),
+        Or(a, b) => parens(f, req > LVL_OR, |f| {
+            fmt_path(a, f, LVL_OR)?;
+            write!(f, " | ")?;
+            fmt_path(b, f, LVL_OR + 1)
+        }),
+        Implies(a, b) => parens(f, req > LVL_IMPL, |f| {
+            fmt_path(a, f, LVL_IMPL + 1)?;
+            write!(f, " -> ")?;
+            fmt_path(b, f, LVL_IMPL)
+        }),
+        Until(a, b) => parens(f, req > LVL_UNTIL, |f| {
+            fmt_path(a, f, LVL_UNTIL + 1)?;
+            write!(f, " U ")?;
+            fmt_path(b, f, LVL_UNTIL)
+        }),
+        Release(a, b) => parens(f, req > LVL_UNTIL, |f| {
+            fmt_path(a, f, LVL_UNTIL + 1)?;
+            write!(f, " R ")?;
+            fmt_path(b, f, LVL_UNTIL)
+        }),
+        Eventually(g) => {
+            write!(f, "F ")?;
+            fmt_path(g, f, LVL_UNARY)
+        }
+        Globally(g) => {
+            write!(f, "G ")?;
+            fmt_path(g, f, LVL_UNARY)
+        }
+        Next(g) => {
+            write!(f, "X ")?;
+            fmt_path(g, f, LVL_UNARY)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::build::*;
+    use crate::ast::StateFormula;
+    use crate::parse::{parse_path, parse_state};
+
+    fn rt(src: &str) {
+        let f = parse_state(src).unwrap();
+        let printed = f.to_string();
+        let f2 = parse_state(&printed).unwrap();
+        assert_eq!(f, f2, "round trip failed: {src} -> {printed}");
+    }
+
+    #[test]
+    fn round_trips() {
+        for src in [
+            "p",
+            "d[i]",
+            "d[4]",
+            "one(t)",
+            "!p & q",
+            "p | q & r",
+            "p -> q -> r",
+            "(p -> q) -> r",
+            "p <-> q <-> r",
+            "AG p",
+            "AF (p & q)",
+            "EG !p",
+            "EF (p | q)",
+            "A[p U q]",
+            "E[p U q & r]",
+            "E((p U q) & r)",
+            "A(G F p)",
+            "E(X p)",
+            "E(p R q)",
+            "forall i. AG(d[i] -> AF c[i])",
+            "exists i. t[i] & (exists j. t[j])",
+            "!(exists i. EF(!d[i] & !t[i] & E[!d[i] U t[i]]))",
+            "(forall i. p[i]) & q",
+            "AG one(t)",
+            "E(!(p U q))",
+            "A(F p -> G q)",
+        ] {
+            rt(src);
+        }
+    }
+
+    #[test]
+    fn sugar_is_printed() {
+        assert_eq!(parse_state("A(G p)").unwrap().to_string(), "AG p");
+        assert_eq!(parse_state("E(F p)").unwrap().to_string(), "EF p");
+        assert_eq!(
+            parse_state("A(p U q)").unwrap().to_string(),
+            "A[p U q]"
+        );
+    }
+
+    #[test]
+    fn quantifier_parenthesized_in_binary_context() {
+        let f = forall_idx("i", iprop("p", "i")).and(prop("q"));
+        assert_eq!(f.to_string(), "(forall i. p[i]) & q");
+    }
+
+    #[test]
+    fn left_assoc_chains_print_flat() {
+        let f = prop("a").and(prop("b")).and(prop("c"));
+        assert_eq!(f.to_string(), "a & b & c");
+        let g = prop("a").and(prop("b").and(prop("c")));
+        assert_eq!(g.to_string(), "a & (b & c)");
+    }
+
+    #[test]
+    fn negation_parenthesizes_binaries() {
+        let f = prop("a").and(prop("b")).not();
+        assert_eq!(f.to_string(), "!(a & b)");
+        assert_eq!(crate::parse::parse_state(&f.to_string()).unwrap(), f);
+    }
+
+    #[test]
+    fn path_display_round_trip() {
+        for src in ["p U q", "G (p -> F q)", "!(p U q)", "p R q & r", "X X p"] {
+            let p = parse_path(src).unwrap();
+            assert_eq!(parse_path(&p.to_string()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn true_false_display() {
+        assert_eq!(StateFormula::True.to_string(), "true");
+        assert_eq!(StateFormula::False.to_string(), "false");
+    }
+}

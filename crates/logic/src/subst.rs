@@ -1,0 +1,130 @@
+//! Index-variable substitution, used to expand the quantifiers
+//! `⋀_i f(i)` / `⋁_i f(i)` over a concrete index set.
+
+use icstar_kripke::Index;
+
+use crate::ast::{IndexTerm, PathFormula, StateFormula};
+
+/// Substitutes the concrete index `value` for every *free* occurrence of
+/// the index variable `var` in `f`. Occurrences bound by an inner
+/// quantifier of the same name are left untouched.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::{parse_state, substitute_index};
+///
+/// let f = parse_state("d[i] -> AF c[i]")?;
+/// let g = substitute_index(&f, "i", 3);
+/// assert_eq!(g.to_string(), "d[3] -> AF c[3]");
+/// # Ok::<(), icstar_logic::ParseError>(())
+/// ```
+pub fn substitute_index(f: &StateFormula, var: &str, value: Index) -> StateFormula {
+    use StateFormula::*;
+    match f {
+        True => True,
+        False => False,
+        Prop(n) => Prop(n.clone()),
+        ExactlyOne(n) => ExactlyOne(n.clone()),
+        Indexed(n, IndexTerm::Var(v)) if v == var => Indexed(n.clone(), IndexTerm::Const(value)),
+        Indexed(n, t) => Indexed(n.clone(), t.clone()),
+        Not(g) => Not(Box::new(substitute_index(g, var, value))),
+        And(a, b) => And(
+            Box::new(substitute_index(a, var, value)),
+            Box::new(substitute_index(b, var, value)),
+        ),
+        Or(a, b) => Or(
+            Box::new(substitute_index(a, var, value)),
+            Box::new(substitute_index(b, var, value)),
+        ),
+        Implies(a, b) => Implies(
+            Box::new(substitute_index(a, var, value)),
+            Box::new(substitute_index(b, var, value)),
+        ),
+        Iff(a, b) => Iff(
+            Box::new(substitute_index(a, var, value)),
+            Box::new(substitute_index(b, var, value)),
+        ),
+        Exists(p) => Exists(Box::new(substitute_index_path(p, var, value))),
+        All(p) => All(Box::new(substitute_index_path(p, var, value))),
+        ForallIdx(v, g) if v == var => ForallIdx(v.clone(), g.clone()), // shadowed
+        ForallIdx(v, g) => ForallIdx(v.clone(), Box::new(substitute_index(g, var, value))),
+        ExistsIdx(v, g) if v == var => ExistsIdx(v.clone(), g.clone()), // shadowed
+        ExistsIdx(v, g) => ExistsIdx(v.clone(), Box::new(substitute_index(g, var, value))),
+    }
+}
+
+/// Path-formula version of [`substitute_index`].
+pub fn substitute_index_path(p: &PathFormula, var: &str, value: Index) -> PathFormula {
+    use PathFormula::*;
+    match p {
+        State(f) => State(Box::new(substitute_index(f, var, value))),
+        Not(g) => Not(Box::new(substitute_index_path(g, var, value))),
+        And(a, b) => And(
+            Box::new(substitute_index_path(a, var, value)),
+            Box::new(substitute_index_path(b, var, value)),
+        ),
+        Or(a, b) => Or(
+            Box::new(substitute_index_path(a, var, value)),
+            Box::new(substitute_index_path(b, var, value)),
+        ),
+        Implies(a, b) => Implies(
+            Box::new(substitute_index_path(a, var, value)),
+            Box::new(substitute_index_path(b, var, value)),
+        ),
+        Until(a, b) => Until(
+            Box::new(substitute_index_path(a, var, value)),
+            Box::new(substitute_index_path(b, var, value)),
+        ),
+        Release(a, b) => Release(
+            Box::new(substitute_index_path(a, var, value)),
+            Box::new(substitute_index_path(b, var, value)),
+        ),
+        Eventually(g) => Eventually(Box::new(substitute_index_path(g, var, value))),
+        Globally(g) => Globally(Box::new(substitute_index_path(g, var, value))),
+        Next(g) => Next(Box::new(substitute_index_path(g, var, value))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::free_index_vars;
+    use crate::parse::parse_state;
+
+    #[test]
+    fn substitutes_free_occurrences() {
+        let f = parse_state("d[i] & c[j]").unwrap();
+        let g = substitute_index(&f, "i", 7);
+        assert_eq!(g.to_string(), "d[7] & c[j]");
+    }
+
+    #[test]
+    fn respects_shadowing() {
+        let f = parse_state("p[i] & (exists i. q[i])").unwrap();
+        let g = substitute_index(&f, "i", 1);
+        assert_eq!(g.to_string(), "p[1] & (exists i. q[i])");
+    }
+
+    #[test]
+    fn closes_single_variable_formulas() {
+        let f = parse_state("AG(d[i] -> A[d[i] U t[i]])").unwrap();
+        let g = substitute_index(&f, "i", 2);
+        assert!(free_index_vars(&g).is_empty());
+        assert_eq!(g.to_string(), "AG (d[2] -> A[d[2] U t[2]])");
+    }
+
+    #[test]
+    fn different_variable_untouched() {
+        let f = parse_state("d[i]").unwrap();
+        let g = substitute_index(&f, "j", 5);
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn substitution_under_path_operators() {
+        let f = parse_state("E[!d[i] U t[i]]").unwrap();
+        let g = substitute_index(&f, "i", 4);
+        assert_eq!(g.to_string(), "E[!d[4] U t[4]]");
+    }
+}

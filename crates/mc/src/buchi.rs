@@ -1,0 +1,466 @@
+//! LTL → generalized Büchi automata, via the classic tableau construction
+//! of Gerth–Peled–Vardi–Wolper ("Simple on-the-fly automatic verification
+//! of linear temporal logic", 1995).
+//!
+//! This is the substrate that lifts the CTL checker to full CTL*: a path
+//! subformula `φ` (in negation normal form over opaque *literals*) becomes
+//! a state-labeled generalized Büchi automaton [`Gba`]; `E φ` then holds at
+//! a Kripke state iff the product of the structure with the automaton has
+//! an accepting run from it (see [`crate::product`]).
+//!
+//! The nodes of the automaton are labeled with literal constraints (which
+//! literals must hold / must not hold at the Kripke state being read);
+//! one acceptance set per `Until` subformula enforces that promised
+//! eventualities are fulfilled.
+
+use std::collections::{BTreeSet, HashMap};
+
+use icstar_logic::Nnf;
+
+/// An opaque literal identifier: the model checker maps each maximal state
+/// subformula of a path formula to one of these before building the
+/// automaton.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LitId(pub u32);
+
+impl LitId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node identifier within a [`Gba`].
+pub type NodeId = usize;
+
+/// A node of the generalized Büchi automaton.
+#[derive(Clone, Debug, Default)]
+pub struct GbaNode {
+    /// Literals that must hold at a Kripke state for this node to read it.
+    pub pos: Vec<LitId>,
+    /// Literals that must *not* hold.
+    pub neg: Vec<LitId>,
+    /// Successor nodes.
+    pub succs: Vec<NodeId>,
+}
+
+/// A state-labeled generalized Büchi automaton.
+///
+/// A run over an infinite sequence of Kripke states `s₀ s₁ …` is a node
+/// sequence `q₀ q₁ …` with `q₀` initial, `q_{k+1}` a successor of `q_k`,
+/// and the constraints of `q_k` satisfied by `s_k`. The run is accepting
+/// iff it visits each [`acceptance`](Gba::acceptance) set infinitely
+/// often.
+#[derive(Clone, Debug)]
+pub struct Gba {
+    /// The automaton nodes.
+    pub nodes: Vec<GbaNode>,
+    /// Initial nodes.
+    pub initial: Vec<NodeId>,
+    /// One acceptance set per `Until` subformula (a sorted node list each).
+    pub acceptance: Vec<Vec<NodeId>>,
+}
+
+impl Gba {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the automaton has no nodes (its language is empty).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Interned subformula, the working representation during the tableau
+/// construction.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Sub {
+    True,
+    False,
+    Lit { lit: LitId, negated: bool },
+    And(usize, usize),
+    Or(usize, usize),
+    Until(usize, usize),
+    Release(usize, usize),
+    Next(usize),
+}
+
+#[derive(Default)]
+struct SubTable {
+    subs: Vec<Sub>,
+    ids: HashMap<Sub, usize>,
+}
+
+impl SubTable {
+    fn intern(&mut self, s: Sub) -> usize {
+        if let Some(&id) = self.ids.get(&s) {
+            return id;
+        }
+        let id = self.subs.len();
+        self.subs.push(s.clone());
+        self.ids.insert(s, id);
+        id
+    }
+
+    fn intern_nnf(&mut self, f: &Nnf<LitId>) -> usize {
+        let s = match f {
+            Nnf::True => Sub::True,
+            Nnf::False => Sub::False,
+            Nnf::Lit { atom, negated } => Sub::Lit {
+                lit: *atom,
+                negated: *negated,
+            },
+            Nnf::And(a, b) => {
+                let (x, y) = (self.intern_nnf(a), self.intern_nnf(b));
+                Sub::And(x, y)
+            }
+            Nnf::Or(a, b) => {
+                let (x, y) = (self.intern_nnf(a), self.intern_nnf(b));
+                Sub::Or(x, y)
+            }
+            Nnf::Until(a, b) => {
+                let (x, y) = (self.intern_nnf(a), self.intern_nnf(b));
+                Sub::Until(x, y)
+            }
+            Nnf::Release(a, b) => {
+                let (x, y) = (self.intern_nnf(a), self.intern_nnf(b));
+                Sub::Release(x, y)
+            }
+            Nnf::Next(a) => {
+                let x = self.intern_nnf(a);
+                Sub::Next(x)
+            }
+        };
+        self.intern(s)
+    }
+}
+
+/// Sentinel "incoming" marker for initial nodes.
+const INIT: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct BNode {
+    incoming: BTreeSet<usize>,
+    new: BTreeSet<usize>,
+    now: BTreeSet<usize>,
+    next: BTreeSet<usize>,
+}
+
+struct Builder {
+    table: SubTable,
+    /// Stored nodes: (now, next, incoming).
+    stored: Vec<(BTreeSet<usize>, BTreeSet<usize>, BTreeSet<usize>)>,
+}
+
+impl Builder {
+    fn expand(&mut self, mut node: BNode) {
+        let Some(&f) = node.new.iter().next() else {
+            // No obligations left: merge with an equivalent stored node or
+            // store and expand the time successor.
+            for (i, (now, next, incoming)) in self.stored.iter_mut().enumerate() {
+                let _ = i;
+                if *now == node.now && *next == node.next {
+                    incoming.extend(node.incoming.iter().copied());
+                    return;
+                }
+            }
+            let id = self.stored.len();
+            self.stored
+                .push((node.now.clone(), node.next.clone(), node.incoming.clone()));
+            let succ = BNode {
+                incoming: BTreeSet::from([id]),
+                new: node.next.clone(),
+                now: BTreeSet::new(),
+                next: BTreeSet::new(),
+            };
+            self.expand(succ);
+            return;
+        };
+        node.new.remove(&f);
+        match self.table.subs[f].clone() {
+            Sub::False => { /* contradiction: drop this node */ }
+            Sub::True => {
+                // Trivially satisfied; no constraint recorded.
+                self.expand(node);
+            }
+            Sub::Lit { lit, negated } => {
+                // Contradiction with an already-recorded literal?
+                let dual = self.table.ids.get(&Sub::Lit {
+                    lit,
+                    negated: !negated,
+                });
+                if let Some(&d) = dual {
+                    if node.now.contains(&d) {
+                        return;
+                    }
+                }
+                node.now.insert(f);
+                self.expand(node);
+            }
+            Sub::And(a, b) => {
+                if !node.now.contains(&a) {
+                    node.new.insert(a);
+                }
+                if !node.now.contains(&b) {
+                    node.new.insert(b);
+                }
+                node.now.insert(f);
+                self.expand(node);
+            }
+            Sub::Or(a, b) => {
+                node.now.insert(f);
+                let mut n1 = node.clone();
+                if !n1.now.contains(&a) {
+                    n1.new.insert(a);
+                }
+                let mut n2 = node;
+                if !n2.now.contains(&b) {
+                    n2.new.insert(b);
+                }
+                self.expand(n1);
+                self.expand(n2);
+            }
+            Sub::Until(a, b) => {
+                node.now.insert(f);
+                // Either the eventuality b holds now, or a holds now and
+                // the until is promised for the next step.
+                let mut n1 = node.clone();
+                if !n1.now.contains(&a) {
+                    n1.new.insert(a);
+                }
+                n1.next.insert(f);
+                let mut n2 = node;
+                if !n2.now.contains(&b) {
+                    n2.new.insert(b);
+                }
+                self.expand(n1);
+                self.expand(n2);
+            }
+            Sub::Release(a, b) => {
+                node.now.insert(f);
+                // b holds now and either a also holds (release fulfilled)
+                // or the release carries to the next step.
+                let mut n1 = node.clone();
+                if !n1.now.contains(&b) {
+                    n1.new.insert(b);
+                }
+                n1.next.insert(f);
+                let mut n2 = node;
+                if !n2.now.contains(&a) {
+                    n2.new.insert(a);
+                }
+                if !n2.now.contains(&b) {
+                    n2.new.insert(b);
+                }
+                self.expand(n1);
+                self.expand(n2);
+            }
+            Sub::Next(a) => {
+                node.now.insert(f);
+                node.next.insert(a);
+                self.expand(node);
+            }
+        }
+    }
+}
+
+/// Builds a generalized Büchi automaton accepting exactly the infinite
+/// state sequences satisfying `f`.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::Nnf;
+/// use icstar_mc::buchi::{ltl_to_gba, LitId};
+/// use std::rc::Rc;
+///
+/// // F p  ==  true U p
+/// let p = Nnf::Lit { atom: LitId(0), negated: false };
+/// let f = Nnf::Until(Rc::new(Nnf::True), Rc::new(p));
+/// let gba = ltl_to_gba(&f);
+/// assert!(!gba.is_empty());
+/// assert_eq!(gba.acceptance.len(), 1); // one Until => one acceptance set
+/// ```
+pub fn ltl_to_gba(f: &Nnf<LitId>) -> Gba {
+    let mut table = SubTable::default();
+    let root = table.intern_nnf(f);
+    let mut builder = Builder {
+        table,
+        stored: Vec::new(),
+    };
+    builder.expand(BNode {
+        incoming: BTreeSet::from([INIT]),
+        new: BTreeSet::from([root]),
+        now: BTreeSet::new(),
+        next: BTreeSet::new(),
+    });
+
+    let stored = &builder.stored;
+    let table = &builder.table;
+    let mut nodes: Vec<GbaNode> = vec![GbaNode::default(); stored.len()];
+    let mut initial = Vec::new();
+    // Constraints and transitions.
+    for (q, (now, _next, incoming)) in stored.iter().enumerate() {
+        for &sub in now {
+            if let Sub::Lit { lit, negated } = table.subs[sub] {
+                if negated {
+                    nodes[q].neg.push(lit);
+                } else {
+                    nodes[q].pos.push(lit);
+                }
+            }
+        }
+        nodes[q].pos.sort_unstable();
+        nodes[q].pos.dedup();
+        nodes[q].neg.sort_unstable();
+        nodes[q].neg.dedup();
+        for &r in incoming {
+            if r == INIT {
+                initial.push(q);
+            } else {
+                nodes[r].succs.push(q);
+            }
+        }
+    }
+    for n in &mut nodes {
+        n.succs.sort_unstable();
+        n.succs.dedup();
+    }
+    // Acceptance: one set per Until subformula u = a U b, containing the
+    // nodes where u ∉ now or b ∈ now.
+    let mut acceptance = Vec::new();
+    for (sub_id, sub) in table.subs.iter().enumerate() {
+        if let Sub::Until(_, b) = sub {
+            let set: Vec<NodeId> = stored
+                .iter()
+                .enumerate()
+                .filter(|(_, (now, _, _))| !now.contains(&sub_id) || now.contains(b))
+                .map(|(q, _)| q)
+                .collect();
+            acceptance.push(set);
+        }
+    }
+    Gba {
+        nodes,
+        initial,
+        acceptance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    fn lit(i: u32) -> Nnf<LitId> {
+        Nnf::Lit {
+            atom: LitId(i),
+            negated: false,
+        }
+    }
+
+    fn nlit(i: u32) -> Nnf<LitId> {
+        Nnf::Lit {
+            atom: LitId(i),
+            negated: true,
+        }
+    }
+
+    #[test]
+    fn true_automaton_accepts_everything() {
+        let gba = ltl_to_gba(&Nnf::True);
+        assert!(!gba.is_empty());
+        assert!(!gba.initial.is_empty());
+        assert!(gba.acceptance.is_empty());
+        // Every initial node must be unconstrained and have a successor.
+        for &q in &gba.initial {
+            assert!(gba.nodes[q].pos.is_empty());
+            assert!(gba.nodes[q].neg.is_empty());
+        }
+    }
+
+    #[test]
+    fn false_automaton_is_empty() {
+        let gba = ltl_to_gba(&Nnf::False);
+        assert!(gba.initial.is_empty());
+    }
+
+    #[test]
+    fn literal_constrains_first_state() {
+        let gba = ltl_to_gba(&lit(0));
+        assert!(!gba.initial.is_empty());
+        for &q in &gba.initial {
+            assert_eq!(gba.nodes[q].pos, vec![LitId(0)]);
+        }
+    }
+
+    #[test]
+    fn contradiction_prunes_nodes() {
+        // p & !p has no models.
+        let f = Nnf::And(Rc::new(lit(0)), Rc::new(nlit(0)));
+        let gba = ltl_to_gba(&f);
+        assert!(gba.initial.is_empty());
+    }
+
+    #[test]
+    fn until_has_one_acceptance_set() {
+        let f = Nnf::Until(Rc::new(lit(0)), Rc::new(lit(1)));
+        let gba = ltl_to_gba(&f);
+        assert_eq!(gba.acceptance.len(), 1);
+        assert!(!gba.initial.is_empty());
+        // Some node demands the eventuality (lit 1).
+        assert!(gba.nodes.iter().any(|n| n.pos.contains(&LitId(1))));
+    }
+
+    #[test]
+    fn nested_untils_get_separate_acceptance_sets() {
+        // (a U b) U c
+        let inner = Nnf::Until(Rc::new(lit(0)), Rc::new(lit(1)));
+        let f = Nnf::Until(Rc::new(inner), Rc::new(lit(2)));
+        let gba = ltl_to_gba(&f);
+        assert_eq!(gba.acceptance.len(), 2);
+    }
+
+    #[test]
+    fn release_needs_no_acceptance_set() {
+        let f = Nnf::Release(Rc::new(Nnf::False), Rc::new(lit(0))); // G p
+        let gba = ltl_to_gba(&f);
+        assert!(gba.acceptance.is_empty());
+        assert!(!gba.initial.is_empty());
+        // All reachable nodes require p.
+        for &q in &gba.initial {
+            assert!(gba.nodes[q].pos.contains(&LitId(0)));
+        }
+    }
+
+    #[test]
+    fn automaton_sizes_stay_reasonable() {
+        // G(p -> F q) == false R (!p | (true U q))
+        let fq = Nnf::Until(Rc::new(Nnf::True), Rc::new(lit(1)));
+        let body = Nnf::Or(Rc::new(nlit(0)), Rc::new(fq));
+        let f = Nnf::Release(Rc::new(Nnf::False), Rc::new(body));
+        let gba = ltl_to_gba(&f);
+        assert!(!gba.is_empty());
+        assert!(gba.len() <= 16, "blow-up: {} nodes", gba.len());
+        assert_eq!(gba.acceptance.len(), 1);
+    }
+
+    #[test]
+    fn every_succ_is_a_valid_node() {
+        let f = Nnf::Until(Rc::new(lit(0)), Rc::new(lit(1)));
+        let gba = ltl_to_gba(&f);
+        for n in &gba.nodes {
+            for &s in &n.succs {
+                assert!(s < gba.len());
+            }
+        }
+        for acc in &gba.acceptance {
+            for &q in acc {
+                assert!(q < gba.len());
+            }
+        }
+    }
+}

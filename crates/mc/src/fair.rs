@@ -1,0 +1,364 @@
+//! Fair CTL model checking (Clarke–Emerson–Sistla Section 5 / Emerson–Lei
+//! style).
+//!
+//! The paper's token ring needs no fairness (token transfers are forced),
+//! but most request/grant protocols do: without it, `AF served` fails on
+//! the path where the scheduler ignores a client forever. This module
+//! restricts path quantifiers to *fair* paths — those visiting every
+//! fairness set infinitely often — via the standard fair-SCC
+//! construction:
+//!
+//! * [`fair_states`] — states from which some fair path starts
+//!   (`E_fair G true`): backward closure of non-trivial SCCs intersecting
+//!   every fairness set;
+//! * [`eg_fair`] — `E_fair G f`: the same computation inside `f`;
+//! * [`eu_fair`], [`ex_fair`] — reduce to the plain operators against
+//!   `fair ∧ goal`;
+//! * universal operators by duality (`AF_fair f = ¬E_fair G ¬f`).
+
+use icstar_kripke::bits::BitSet;
+use icstar_kripke::{Kripke, StateId};
+
+use crate::ctl;
+
+/// A set of fairness constraints: a path is fair iff it visits **every**
+/// constraint set infinitely often (unconditional/impartial fairness).
+#[derive(Clone, Debug, Default)]
+pub struct Fairness {
+    sets: Vec<BitSet>,
+}
+
+impl Fairness {
+    /// No constraints: every path is fair.
+    pub fn unconstrained() -> Self {
+        Fairness::default()
+    }
+
+    /// Builds constraints from state sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set's capacity does not match between constraints.
+    pub fn new(sets: impl IntoIterator<Item = BitSet>) -> Self {
+        let sets: Vec<BitSet> = sets.into_iter().collect();
+        if let Some(first) = sets.first() {
+            assert!(
+                sets.iter().all(|s| s.capacity() == first.capacity()),
+                "fairness sets must share a capacity"
+            );
+        }
+        Fairness { sets }
+    }
+
+    /// The constraint sets.
+    pub fn sets(&self) -> &[BitSet] {
+        &self.sets
+    }
+
+    /// Whether there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+/// `E_fair G f`: states with a fair path staying in `f` forever.
+///
+/// Computation: restrict to `f`; a fair cycle exists through the states of
+/// a non-trivial SCC of the restriction that intersects every fairness
+/// set; take backward `f`-closure.
+pub fn eg_fair(m: &Kripke, f: &BitSet, fair: &Fairness) -> BitSet {
+    if fair.is_empty() {
+        return ctl::eg(m, f);
+    }
+    // Iterate: within the candidate set, keep states whose SCC (within the
+    // candidate set) is non-trivial and intersects every fairness set;
+    // repeat until stable (removing states can break SCCs).
+    let mut candidate = f.clone();
+    loop {
+        let comp = scc_within(m, &candidate);
+        let num_comps = comp
+            .iter()
+            .filter_map(|&c| c)
+            .max()
+            .map_or(0usize, |c| c as usize + 1);
+        if num_comps == 0 {
+            return BitSet::new(m.num_states());
+        }
+        let mut nontrivial = vec![false; num_comps];
+        for s in m.states() {
+            if comp[s.idx()].is_none() {
+                continue;
+            }
+            for &t in m.successors(s) {
+                if comp[t.idx()] == comp[s.idx()] && (t != s || m.has_edge(s, s)) {
+                    nontrivial[comp[s.idx()].expect("checked") as usize] = true;
+                }
+            }
+        }
+        let mut fair_comp = nontrivial;
+        for set in fair.sets() {
+            let mut hit = vec![false; num_comps];
+            for s in m.states() {
+                if let Some(c) = comp[s.idx()] {
+                    if set.contains(s.idx()) {
+                        hit[c as usize] = true;
+                    }
+                }
+            }
+            for (fc, h) in fair_comp.iter_mut().zip(hit) {
+                *fc &= h;
+            }
+        }
+        // Seeds: members of fair SCCs.
+        let mut seeds = BitSet::new(m.num_states());
+        for s in m.states() {
+            if let Some(c) = comp[s.idx()] {
+                if fair_comp[c as usize] {
+                    seeds.insert(s.idx());
+                }
+            }
+        }
+        // Backward closure through the candidate set.
+        let mut result = seeds.clone();
+        let mut work: Vec<StateId> = seeds.iter().map(|b| StateId(b as u32)).collect();
+        while let Some(s) = work.pop() {
+            for &p in m.predecessors(s) {
+                if candidate.contains(p.idx()) && !result.contains(p.idx()) {
+                    result.insert(p.idx());
+                    work.push(p);
+                }
+            }
+        }
+        if result == candidate {
+            return result;
+        }
+        candidate = result;
+    }
+}
+
+/// The states from which some fair path starts (`E_fair G true`).
+pub fn fair_states(m: &Kripke, fair: &Fairness) -> BitSet {
+    eg_fair(m, &ctl::full_set(m), fair)
+}
+
+/// `E_fair[f U g]`: a fair path satisfying the until. Equals
+/// `E[f U (g ∧ fair)]` where `fair` marks fair-path starts.
+pub fn eu_fair(m: &Kripke, f: &BitSet, g: &BitSet, fair: &Fairness) -> BitSet {
+    let mut target = g.clone();
+    target.intersect_with(&fair_states(m, fair));
+    ctl::eu(m, f, &target)
+}
+
+/// `EX_fair f`: some successor starting a fair path satisfies `f`.
+pub fn ex_fair(m: &Kripke, f: &BitSet, fair: &Fairness) -> BitSet {
+    let mut target = f.clone();
+    target.intersect_with(&fair_states(m, fair));
+    ctl::pre_exists(m, &target)
+}
+
+/// `AF_fair f = ¬E_fair G ¬f`: on every fair path, eventually `f`.
+pub fn af_fair(m: &Kripke, f: &BitSet, fair: &Fairness) -> BitSet {
+    let mut nf = f.clone();
+    nf.complement();
+    let mut bad = eg_fair(m, &nf, fair);
+    bad.complement();
+    bad
+}
+
+/// `AG_fair f = ¬E_fair[true U ¬f]`: along every fair path, globally `f`.
+pub fn ag_fair(m: &Kripke, f: &BitSet, fair: &Fairness) -> BitSet {
+    let mut nf = f.clone();
+    nf.complement();
+    let mut bad = eu_fair(m, &ctl::full_set(m), &nf, fair);
+    bad.complement();
+    bad
+}
+
+/// Tarjan restricted to a candidate set: returns `Some(component)` for
+/// members, `None` outside.
+fn scc_within(m: &Kripke, within: &BitSet) -> Vec<Option<u32>> {
+    let n = m.num_states();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp: Vec<Option<u32>> = vec![None; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+    for root in 0..n as u32 {
+        if !within.contains(root as usize) || index[root as usize] != u32::MAX {
+            continue;
+        }
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        call.push((root, 0));
+        while let Some(&mut (u, ref mut cursor)) = call.last_mut() {
+            let succs = m.successors(StateId(u));
+            let mut advanced = false;
+            while *cursor < succs.len() {
+                let v = succs[*cursor].0;
+                *cursor += 1;
+                if !within.contains(v as usize) {
+                    continue;
+                }
+                if index[v as usize] == u32::MAX {
+                    index[v as usize] = next_index;
+                    low[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    call.push((v, 0));
+                    advanced = true;
+                    break;
+                } else if on_stack[v as usize] {
+                    low[u as usize] = low[u as usize].min(index[v as usize]);
+                }
+            }
+            if advanced {
+                continue;
+            }
+            call.pop();
+            if let Some(&(parent, _)) = call.last() {
+                low[parent as usize] = low[parent as usize].min(low[u as usize]);
+            }
+            if low[u as usize] == index[u as usize] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack");
+                    on_stack[w as usize] = false;
+                    comp[w as usize] = Some(next_comp);
+                    if w == u {
+                        break;
+                    }
+                }
+                next_comp += 1;
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_kripke::{Atom, KripkeBuilder};
+
+    /// A scheduler that may ignore client 2 forever:
+    /// s0 (serve nobody) -> s1 (serve 1) -> s0, s0 -> s2 (serve 2) -> s0.
+    fn scheduler() -> (Kripke, BitSet, BitSet) {
+        let mut b = KripkeBuilder::new();
+        let s0 = b.state_labeled("idle", [Atom::plain("idle")]);
+        let s1 = b.state_labeled("serve1", [Atom::plain("g1")]);
+        let s2 = b.state_labeled("serve2", [Atom::plain("g2")]);
+        b.edge(s0, s1);
+        b.edge(s1, s0);
+        b.edge(s0, s2);
+        b.edge(s2, s0);
+        let m = b.build(s0).unwrap();
+        let g1 = BitSet::from_iter_with_capacity(3, [1usize]);
+        let g2 = BitSet::from_iter_with_capacity(3, [2usize]);
+        (m, g1, g2)
+    }
+
+    #[test]
+    fn unconstrained_fairness_is_plain_ctl() {
+        let (m, g1, _) = scheduler();
+        let fair = Fairness::unconstrained();
+        assert_eq!(af_fair(&m, &g1, &fair), {
+            let mut n = ctl::eg(&m, &{
+                let mut c = g1.clone();
+                c.complement();
+                c
+            });
+            n.complement();
+            n
+        });
+        assert_eq!(fair_states(&m, &fair), ctl::full_set(&m));
+    }
+
+    #[test]
+    fn fairness_rescues_liveness() {
+        let (m, g1, g2) = scheduler();
+        // Plain AF g2 fails at s0: the path (s0 s1)^ω never serves 2.
+        let plain_af_g2 = {
+            let mut n = g2.clone();
+            n.complement();
+            let mut bad = ctl::eg(&m, &n);
+            bad.complement();
+            bad
+        };
+        assert!(!plain_af_g2.contains(0));
+        // Under the fairness constraint "serve 2 infinitely often", AF g2
+        // holds everywhere.
+        let fair = Fairness::new([g2.clone()]);
+        let fair_af = af_fair(&m, &g2, &fair);
+        assert!(fair_af.contains(0));
+        assert!(fair_af.contains(1));
+        // And EG ¬g2 under that fairness is empty.
+        let mut ng2 = g2.clone();
+        ng2.complement();
+        assert!(eg_fair(&m, &ng2, &fair).is_empty());
+        // g1's liveness under g2-fairness: serving 1 infinitely often is
+        // not required, so AF g1 still fails at s0 (fair path (s0 s2)^ω).
+        let fair_af_g1 = af_fair(&m, &g1, &fair);
+        assert!(!fair_af_g1.contains(0));
+    }
+
+    #[test]
+    fn multiple_constraints_intersect() {
+        let (m, g1, g2) = scheduler();
+        // Fair = serve 1 AND serve 2 infinitely often: both livenesses.
+        let fair = Fairness::new([g1.clone(), g2.clone()]);
+        assert!(af_fair(&m, &g1, &fair).contains(0));
+        assert!(af_fair(&m, &g2, &fair).contains(0));
+        // Fair states: the whole (strongly connected) graph.
+        assert_eq!(fair_states(&m, &fair).len(), 3);
+    }
+
+    #[test]
+    fn unsatisfiable_fairness_empties_everything() {
+        let (m, _, _) = scheduler();
+        // Constraint set empty: no path can visit it infinitely often.
+        let fair = Fairness::new([BitSet::new(3)]);
+        assert!(fair_states(&m, &fair).is_empty());
+        let goal = BitSet::from_iter_with_capacity(3, [0usize]);
+        // E_fair[true U goal] is empty too (no fair continuation).
+        assert!(eu_fair(&m, &ctl::full_set(&m), &goal, &fair).is_empty());
+        // AF_fair trivially holds (no fair paths to violate it).
+        assert_eq!(af_fair(&m, &goal, &fair).len(), 3);
+    }
+
+    #[test]
+    fn eg_fair_requires_containment() {
+        let (m, g1, g2) = scheduler();
+        // E_fair G ¬g1 with fairness g2: loop s0 <-> s2 avoids g1 and
+        // serves 2 infinitely often.
+        let mut ng1 = g1.clone();
+        ng1.complement();
+        let fair = Fairness::new([g2]);
+        let r = eg_fair(&m, &ng1, &fair);
+        assert!(r.contains(0));
+        assert!(r.contains(2));
+        assert!(!r.contains(1)); // s1 is a g1 state
+    }
+
+    #[test]
+    fn ex_fair_filters_successors() {
+        let (m, _, g2) = scheduler();
+        // Make only s2's lineage fair.
+        let fair = Fairness::new([g2.clone()]);
+        // EX_fair g2: a successor in g2 that starts a fair path: s0 -> s2.
+        let r = ex_fair(&m, &g2, &fair);
+        assert!(r.contains(0));
+        assert!(!r.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a capacity")]
+    fn mismatched_capacities_rejected() {
+        Fairness::new([BitSet::new(3), BitSet::new(4)]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Model checking indexed CTL* over indexed structures (Section 4).
+//!
+//! The semantics of the index quantifiers is finite: `⋁_i f(i)` holds at
+//! `s` iff `f(c)` holds for some concrete `c ∈ I`, and `⋀_i` dually.
+//! [`IndexedChecker`] therefore *expands* quantifiers over the structure's
+//! index set and delegates to the plain [`Checker`].
+//!
+//! Expansion handles arbitrary nesting (needed to demonstrate the Fig. 4.1
+//! counting phenomenon); enforcing the paper's ICTL* restriction is a
+//! separate, explicit step
+//! ([`icstar_logic::check_restricted`]) so that experiments can evaluate
+//! unrestricted formulas too.
+
+use std::rc::Rc;
+
+use icstar_kripke::bits::BitSet;
+use icstar_kripke::{Index, IndexedKripke, StateId};
+use icstar_logic::{substitute_index, PathFormula, StateFormula};
+
+use crate::ctlstar::Checker;
+use crate::error::McError;
+
+/// A model checker for closed indexed CTL* formulas over an
+/// [`IndexedKripke`].
+///
+/// # Examples
+///
+/// ```
+/// use icstar_kripke::{Atom, IndexedKripke, KripkeBuilder};
+/// use icstar_logic::parse_state;
+/// use icstar_mc::IndexedChecker;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two processes alternating: in s0 process 1 is critical, in s1
+/// // process 2 is.
+/// let mut b = KripkeBuilder::new();
+/// let s0 = b.state_labeled("s0", [Atom::indexed("c", 1)]);
+/// let s1 = b.state_labeled("s1", [Atom::indexed("c", 2)]);
+/// b.edge(s0, s1);
+/// b.edge(s1, s0);
+/// let m = IndexedKripke::new(b.build(s0)?, vec![1, 2]);
+///
+/// let mut chk = IndexedChecker::new(&m);
+/// assert!(chk.holds(&parse_state("forall i. AF c[i]")?)?);
+/// assert!(chk.holds(&parse_state("AG (exists i. c[i])")?)?);
+/// assert!(!chk.holds(&parse_state("exists i. AG c[i]")?)?);
+/// # Ok(())
+/// # }
+/// ```
+pub struct IndexedChecker<'a> {
+    checker: Checker<'a>,
+    indices: Vec<Index>,
+}
+
+impl<'a> IndexedChecker<'a> {
+    /// Creates a checker for the indexed structure `m`.
+    pub fn new(m: &'a IndexedKripke) -> Self {
+        IndexedChecker {
+            checker: Checker::new(m.kripke()),
+            indices: m.indices().to_vec(),
+        }
+    }
+
+    /// The underlying plain checker (for quantifier-free queries).
+    pub fn plain(&mut self) -> &mut Checker<'a> {
+        &mut self.checker
+    }
+
+    /// Whether the closed formula `f` holds in the initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::FreeIndexVariable`] if `f` is not closed.
+    pub fn holds(&mut self, f: &StateFormula) -> Result<bool, McError> {
+        let expanded = expand(f, &self.indices);
+        self.checker.holds(&expanded)
+    }
+
+    /// Whether the closed formula `f` holds at state `s`.
+    ///
+    /// # Errors
+    ///
+    /// See [`IndexedChecker::holds`].
+    pub fn holds_at(&mut self, s: StateId, f: &StateFormula) -> Result<bool, McError> {
+        let expanded = expand(f, &self.indices);
+        self.checker.holds_at(s, &expanded)
+    }
+
+    /// The set of states satisfying the closed formula `f`.
+    ///
+    /// # Errors
+    ///
+    /// See [`IndexedChecker::holds`].
+    pub fn sat(&mut self, f: &StateFormula) -> Result<Rc<BitSet>, McError> {
+        let expanded = expand(f, &self.indices);
+        self.checker.sat(&expanded)
+    }
+}
+
+/// Rewrites all index quantifiers into finite conjunctions/disjunctions
+/// over `indices`. The result contains no `forall i.`/`exists i.` nodes.
+pub fn expand(f: &StateFormula, indices: &[Index]) -> StateFormula {
+    use StateFormula::*;
+    match f {
+        True | False | Prop(_) | Indexed(..) | ExactlyOne(_) => f.clone(),
+        Not(g) => expand(g, indices).not(),
+        And(a, b) => expand(a, indices).and(expand(b, indices)),
+        Or(a, b) => expand(a, indices).or(expand(b, indices)),
+        Implies(a, b) => expand(a, indices).implies(expand(b, indices)),
+        Iff(a, b) => expand(a, indices).iff(expand(b, indices)),
+        Exists(p) => StateFormula::Exists(Box::new(expand_path(p, indices))),
+        All(p) => StateFormula::All(Box::new(expand_path(p, indices))),
+        ForallIdx(v, g) => StateFormula::conj(
+            indices
+                .iter()
+                .map(|&c| expand(&substitute_index(g, v, c), indices)),
+        ),
+        ExistsIdx(v, g) => StateFormula::disj(
+            indices
+                .iter()
+                .map(|&c| expand(&substitute_index(g, v, c), indices)),
+        ),
+    }
+}
+
+fn expand_path(p: &PathFormula, indices: &[Index]) -> PathFormula {
+    use PathFormula::*;
+    match p {
+        State(f) => State(Box::new(expand(f, indices))),
+        Not(g) => Not(Box::new(expand_path(g, indices))),
+        And(a, b) => And(
+            Box::new(expand_path(a, indices)),
+            Box::new(expand_path(b, indices)),
+        ),
+        Or(a, b) => Or(
+            Box::new(expand_path(a, indices)),
+            Box::new(expand_path(b, indices)),
+        ),
+        Implies(a, b) => Implies(
+            Box::new(expand_path(a, indices)),
+            Box::new(expand_path(b, indices)),
+        ),
+        Until(a, b) => Until(
+            Box::new(expand_path(a, indices)),
+            Box::new(expand_path(b, indices)),
+        ),
+        Release(a, b) => Release(
+            Box::new(expand_path(a, indices)),
+            Box::new(expand_path(b, indices)),
+        ),
+        Eventually(g) => Eventually(Box::new(expand_path(g, indices))),
+        Globally(g) => Globally(Box::new(expand_path(g, indices))),
+        Next(g) => Next(Box::new(expand_path(g, indices))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_kripke::{Atom, KripkeBuilder};
+    use icstar_logic::parse_state;
+
+    fn two_proc() -> IndexedKripke {
+        // s0: c1, n2 ; s1: n1, c2 — strict alternation.
+        let mut b = KripkeBuilder::new();
+        let s0 = b.state_labeled("s0", [Atom::indexed("c", 1), Atom::indexed("n", 2)]);
+        let s1 = b.state_labeled("s1", [Atom::indexed("n", 1), Atom::indexed("c", 2)]);
+        b.edge(s0, s1);
+        b.edge(s1, s0);
+        IndexedKripke::new(b.build(s0).unwrap(), vec![1, 2])
+    }
+
+    #[test]
+    fn expansion_shapes() {
+        let f = parse_state("forall i. c[i]").unwrap();
+        let e = expand(&f, &[1, 2]);
+        assert_eq!(e.to_string(), "c[1] & c[2]");
+        let g = parse_state("exists i. c[i]").unwrap();
+        assert_eq!(expand(&g, &[1, 2]).to_string(), "c[1] | c[2]");
+    }
+
+    #[test]
+    fn expansion_over_empty_index_set() {
+        let f = parse_state("forall i. c[i]").unwrap();
+        assert_eq!(expand(&f, &[]), StateFormula::True);
+        let g = parse_state("exists i. c[i]").unwrap();
+        assert_eq!(expand(&g, &[]), StateFormula::False);
+    }
+
+    #[test]
+    fn nested_expansion() {
+        let f = parse_state("exists i. c[i] & (exists j. n[j])").unwrap();
+        let e = expand(&f, &[1, 2]);
+        assert_eq!(
+            e.to_string(),
+            "c[1] & (n[1] | n[2]) | c[2] & (n[1] | n[2])"
+        );
+    }
+
+    #[test]
+    fn quantifiers_inside_path_formulas() {
+        let f = parse_state("AG (exists i. c[i])").unwrap();
+        let e = expand(&f, &[1, 2]);
+        assert_eq!(e.to_string(), "AG (c[1] | c[2])");
+    }
+
+    #[test]
+    fn checking_on_alternation() {
+        let m = two_proc();
+        let mut chk = IndexedChecker::new(&m);
+        for (src, expect) in [
+            ("forall i. AF c[i]", true),
+            ("AG (exists i. c[i])", true),
+            ("exists i. AG c[i]", false),
+            ("forall i. AG AF c[i]", true),
+            ("AG one(c)", true), // exactly one critical at all times
+            ("exists i. c[i] & (forall j. c[j] -> c[j])", true),
+        ] {
+            let f = parse_state(src).unwrap();
+            assert_eq!(chk.holds(&f).unwrap(), expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn holds_at_specific_state() {
+        let m = two_proc();
+        let mut chk = IndexedChecker::new(&m);
+        let f = parse_state("exists i. c[i] & n[i]").unwrap();
+        assert!(!chk.holds_at(StateId(0), &f).unwrap());
+        let g = parse_state("exists i. c[i]").unwrap();
+        assert!(chk.holds_at(StateId(1), &g).unwrap());
+    }
+
+    #[test]
+    fn shadowed_quantifier_expands_correctly() {
+        // exists i. c[i] & (exists i. n[i]) — inner i independent.
+        let f = parse_state("exists i. c[i] & (exists i. n[i])").unwrap();
+        let e = expand(&f, &[1, 2]);
+        assert_eq!(
+            e.to_string(),
+            "c[1] & (n[1] | n[2]) | c[2] & (n[1] | n[2])"
+        );
+    }
+}

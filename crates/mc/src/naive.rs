@@ -1,0 +1,295 @@
+//! A naive, independent path-formula evaluator used as a test oracle.
+//!
+//! On an ultimately periodic path (a [`Lasso`]), satisfaction of a fixed
+//! formula at position `i ≥ stem` is periodic with the cycle, so each
+//! subformula's truth values form a finite vector over the `stem + cycle`
+//! *canonical positions*. `U`/`F` are least fixpoints and `R`/`G` greatest
+//! fixpoints of their one-step expansions over this cyclic structure —
+//! iterating to convergence yields exact semantics.
+//!
+//! The exhaustive checker [`naive_e_check`] enumerates simple lassos up to
+//! a bound; it underapproximates `E φ` (witnesses may need non-simple
+//! paths) and is used to cross-validate the automata route in both
+//! directions (its "yes" must be the checker's "yes"; the checker's
+//! witnesses must evaluate true here).
+
+use icstar_kripke::path::{for_each_lasso, Lasso};
+use icstar_kripke::{Kripke, StateId};
+use icstar_logic::{PathFormula, StateFormula};
+
+/// Evaluates the path formula `p` on the infinite path denoted by `lasso`.
+///
+/// State subformulas are evaluated by the `lit` callback (they are opaque
+/// to this evaluator).
+pub fn eval_on_lasso(
+    lasso: &Lasso,
+    p: &PathFormula,
+    lit: &mut dyn FnMut(StateId, &StateFormula) -> bool,
+) -> bool {
+    let n = lasso.period_end();
+    debug_assert!(n > 0);
+    let vals = eval_vec(lasso, p, n, lit);
+    vals[0]
+}
+
+/// Successor of canonical position `i`: positions `0..n` with the last
+/// wrapping to the cycle start.
+fn succ(lasso: &Lasso, i: usize) -> usize {
+    if i + 1 < lasso.period_end() {
+        i + 1
+    } else {
+        lasso.stem.len()
+    }
+}
+
+fn eval_vec(
+    lasso: &Lasso,
+    p: &PathFormula,
+    n: usize,
+    lit: &mut dyn FnMut(StateId, &StateFormula) -> bool,
+) -> Vec<bool> {
+    use PathFormula::*;
+    match p {
+        State(f) => (0..n).map(|i| lit(lasso.state_at(i), f)).collect(),
+        Not(g) => {
+            let v = eval_vec(lasso, g, n, lit);
+            v.into_iter().map(|b| !b).collect()
+        }
+        And(a, b) => {
+            let (x, y) = (eval_vec(lasso, a, n, lit), eval_vec(lasso, b, n, lit));
+            x.into_iter().zip(y).map(|(p, q)| p && q).collect()
+        }
+        Or(a, b) => {
+            let (x, y) = (eval_vec(lasso, a, n, lit), eval_vec(lasso, b, n, lit));
+            x.into_iter().zip(y).map(|(p, q)| p || q).collect()
+        }
+        Implies(a, b) => {
+            let (x, y) = (eval_vec(lasso, a, n, lit), eval_vec(lasso, b, n, lit));
+            x.into_iter().zip(y).map(|(p, q)| !p || q).collect()
+        }
+        Next(g) => {
+            let v = eval_vec(lasso, g, n, lit);
+            (0..n).map(|i| v[succ(lasso, i)]).collect()
+        }
+        Until(a, b) => {
+            let (x, y) = (eval_vec(lasso, a, n, lit), eval_vec(lasso, b, n, lit));
+            lfp(lasso, n, |vals, i| y[i] || (x[i] && vals[succ(lasso, i)]))
+        }
+        Release(a, b) => {
+            let (x, y) = (eval_vec(lasso, a, n, lit), eval_vec(lasso, b, n, lit));
+            gfp(lasso, n, |vals, i| y[i] && (x[i] || vals[succ(lasso, i)]))
+        }
+        Eventually(g) => {
+            let v = eval_vec(lasso, g, n, lit);
+            lfp(lasso, n, |vals, i| v[i] || vals[succ(lasso, i)])
+        }
+        Globally(g) => {
+            let v = eval_vec(lasso, g, n, lit);
+            gfp(lasso, n, |vals, i| v[i] && vals[succ(lasso, i)])
+        }
+    }
+}
+
+fn lfp(lasso: &Lasso, n: usize, step: impl Fn(&[bool], usize) -> bool) -> Vec<bool> {
+    let _ = lasso;
+    let mut vals = vec![false; n];
+    loop {
+        let mut changed = false;
+        // Sweep backwards for fast convergence on the stem.
+        for i in (0..n).rev() {
+            let v = step(&vals, i);
+            if v != vals[i] {
+                vals[i] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            return vals;
+        }
+    }
+}
+
+fn gfp(lasso: &Lasso, n: usize, step: impl Fn(&[bool], usize) -> bool) -> Vec<bool> {
+    let _ = lasso;
+    let mut vals = vec![true; n];
+    loop {
+        let mut changed = false;
+        for i in (0..n).rev() {
+            let v = step(&vals, i);
+            if v != vals[i] {
+                vals[i] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            return vals;
+        }
+    }
+}
+
+/// Exhaustively searches for a *simple* lasso from `s` (with
+/// `stem + cycle ≤ bound`) satisfying `p`. Returns the witness if found.
+///
+/// This underapproximates `E p`: some satisfiable formulas have only
+/// non-simple witnesses. A `Some` answer is sound.
+pub fn naive_e_check(
+    m: &Kripke,
+    s: StateId,
+    p: &PathFormula,
+    bound: usize,
+    lit: &mut dyn FnMut(StateId, &StateFormula) -> bool,
+) -> Option<Lasso> {
+    let mut found = None;
+    for_each_lasso(m, s, bound, &mut |lasso| {
+        if eval_on_lasso(lasso, p, lit) {
+            found = Some(lasso.clone());
+            false // stop
+        } else {
+            true
+        }
+    });
+    found
+}
+
+/// Evaluates simple (boolean/atomic, path-quantifier-free) state formulas
+/// directly on structure labels — the literal callback used by the test
+/// oracles.
+///
+/// # Panics
+///
+/// Panics if the formula contains path quantifiers, index quantifiers, or
+/// non-constant indices (oracle literals must be simple).
+pub fn simple_lit(m: &Kripke) -> impl FnMut(StateId, &StateFormula) -> bool + '_ {
+    fn eval(m: &Kripke, s: StateId, f: &StateFormula) -> bool {
+        use icstar_logic::IndexTerm;
+        use StateFormula::*;
+        match f {
+            True => true,
+            False => false,
+            Prop(n) => m.satisfies_atom(s, &icstar_kripke::Atom::plain(n.clone())),
+            Indexed(n, IndexTerm::Const(c)) => {
+                m.satisfies_atom(s, &icstar_kripke::Atom::indexed(n.clone(), *c))
+            }
+            ExactlyOne(n) => {
+                let count = m
+                    .atoms()
+                    .iter()
+                    .filter(|(id, a)| {
+                        a.is_indexed() && a.name() == n && m.label(s).contains(id.idx())
+                    })
+                    .count();
+                count == 1
+            }
+            Not(g) => !eval(m, s, g),
+            And(a, b) => eval(m, s, a) && eval(m, s, b),
+            Or(a, b) => eval(m, s, a) || eval(m, s, b),
+            Implies(a, b) => !eval(m, s, a) || eval(m, s, b),
+            Iff(a, b) => eval(m, s, a) == eval(m, s, b),
+            other => panic!("oracle literal must be simple, got {other}"),
+        }
+    }
+    move |s, f| eval(m, s, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_kripke::{Atom, KripkeBuilder};
+    use icstar_logic::parse_path;
+
+    /// s0(p) -> s1() -> s2(q) with s2 -> s2 and s1 -> s0.
+    fn m() -> Kripke {
+        let mut b = KripkeBuilder::new();
+        let s0 = b.state_labeled("s0", [Atom::plain("p")]);
+        let s1 = b.state("s1");
+        let s2 = b.state_labeled("s2", [Atom::plain("q")]);
+        b.edge(s0, s1);
+        b.edge(s1, s2);
+        b.edge(s1, s0);
+        b.edge(s2, s2);
+        b.build(s0).unwrap()
+    }
+
+    fn straight_lasso() -> Lasso {
+        Lasso::new(vec![StateId(0), StateId(1)], vec![StateId(2)])
+    }
+
+    fn looping_lasso() -> Lasso {
+        Lasso::new(vec![], vec![StateId(0), StateId(1)])
+    }
+
+    #[test]
+    fn eventually_and_globally() {
+        let m = m();
+        let mut lit = simple_lit(&m);
+        let l = straight_lasso();
+        assert!(eval_on_lasso(&l, &parse_path("F q").unwrap(), &mut lit));
+        assert!(eval_on_lasso(&l, &parse_path("F G q").unwrap(), &mut lit));
+        assert!(!eval_on_lasso(&l, &parse_path("G p").unwrap(), &mut lit));
+        assert!(eval_on_lasso(&l, &parse_path("p").unwrap(), &mut lit));
+        let loop2 = looping_lasso();
+        assert!(eval_on_lasso(&loop2, &parse_path("G F p").unwrap(), &mut lit));
+        assert!(!eval_on_lasso(&loop2, &parse_path("F q").unwrap(), &mut lit));
+    }
+
+    #[test]
+    fn until_and_release() {
+        let m = m();
+        let mut lit = simple_lit(&m);
+        let l = straight_lasso();
+        // p U q fails: position 1 has neither p nor q... p holds at 0 only,
+        // q at 2; position 1 breaks the until.
+        assert!(!eval_on_lasso(&l, &parse_path("p U q").unwrap(), &mut lit));
+        assert!(eval_on_lasso(&l, &parse_path("(p | !q) U q").unwrap(), &mut lit));
+        // q R (anything true until q inclusive)...
+        assert!(eval_on_lasso(
+            &l,
+            &parse_path("q R (!q -> true)").unwrap(),
+            &mut lit
+        ));
+        // Release that must hold forever on the cycle: p R q on (s2)^ω
+        // suffix — from position 2, q holds forever: true even without p.
+        let suffix = l.suffix(2);
+        assert!(eval_on_lasso(&suffix, &parse_path("p R q").unwrap(), &mut lit));
+    }
+
+    #[test]
+    fn next_wraps_into_cycle() {
+        let m = m();
+        let mut lit = simple_lit(&m);
+        let l = looping_lasso(); // (s0 s1)^ω
+        assert!(eval_on_lasso(&l, &parse_path("X !p").unwrap(), &mut lit));
+        assert!(eval_on_lasso(&l, &parse_path("X X p").unwrap(), &mut lit));
+        // At the cycle end, X wraps to the cycle start.
+        let single = Lasso::new(vec![], vec![StateId(2)]);
+        assert!(eval_on_lasso(&single, &parse_path("X q").unwrap(), &mut lit));
+    }
+
+    #[test]
+    fn naive_search_finds_witness() {
+        let m = m();
+        let mut lit = simple_lit(&m);
+        let w = naive_e_check(&m, StateId(0), &parse_path("F q").unwrap(), 4, &mut lit);
+        let w = w.expect("F q has a witness");
+        assert!(w.is_path_of(&m));
+        let mut lit2 = simple_lit(&m);
+        assert!(eval_on_lasso(&w, &parse_path("F q").unwrap(), &mut lit2));
+    }
+
+    #[test]
+    fn naive_search_exhausts_without_witness() {
+        let m = m();
+        let mut lit = simple_lit(&m);
+        // G p is unsatisfiable from s0 (must leave s0 immediately).
+        assert!(naive_e_check(&m, StateId(0), &parse_path("G p").unwrap(), 4, &mut lit).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "simple")]
+    fn complex_literal_panics() {
+        let m = m();
+        let mut lit = simple_lit(&m);
+        let f = icstar_logic::parse_state("EF p").unwrap();
+        lit(StateId(0), &f);
+    }
+}

@@ -1,0 +1,255 @@
+//! Mutated ("buggy") variants of the token ring — negative controls.
+//!
+//! A verifier that never fails is not evidence of anything. These mutants
+//! inject the classic token-protocol bugs; the test suite and the
+//! `paper_eval mutants` experiment confirm that the Section 5 properties
+//! and the correspondence *detect* each of them:
+//!
+//! * [`Mutation::SecondToken`] — two tokens circulate: the unique-token
+//!   invariant `AG Θ_i t_i` fails;
+//! * [`Mutation::TokenLoss`] — the idle holder may drop the token:
+//!   liveness (`⋀_i AG(d_i → AF c_i)`) fails;
+//! * [`Mutation::NoTokenCheck`] — a process may enter its critical region
+//!   without the token: safety (`⋀_i AG(c_i → t_i)`) fails.
+
+use std::collections::HashMap;
+
+use icstar_kripke::{Atom, IndexedKripke, KripkeBuilder, StateId};
+
+/// The injected bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Processes 1 and 2 both start with a token.
+    SecondToken,
+    /// A non-critical holder may silently drop the token.
+    TokenLoss,
+    /// A neutral process may enter its critical region without the token.
+    NoTokenCheck,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct BugState {
+    delayed: u64,
+    /// Token holders, sorted by process id, with criticality.
+    holders: Vec<(u32, bool)>,
+    /// Processes critical *without* a token (NoTokenCheck only).
+    rogue: u64,
+}
+
+fn bit(i: u32) -> u64 {
+    1u64 << (i - 1)
+}
+
+/// Builds the reachable global structure of the mutated `r`-process ring.
+///
+/// # Panics
+///
+/// Panics if `r < 2` (the mutants need at least two processes) or
+/// `r > 64`.
+pub fn buggy_ring(r: u32, mutation: Mutation) -> IndexedKripke {
+    assert!((2..=64).contains(&r), "mutant rings support 2..=64 processes");
+    let initial = BugState {
+        delayed: 0,
+        holders: match mutation {
+            Mutation::SecondToken => vec![(1, false), (2, false)],
+            _ => vec![(1, false)],
+        },
+        rogue: 0,
+    };
+
+    let is_holder = |s: &BugState, i: u32| s.holders.iter().any(|&(j, _)| j == i);
+    let cln = |s: &BugState, j: u32| -> Option<u32> {
+        (1..r)
+            .map(|step| ((j - 1 + r - step) % r) + 1)
+            .find(|&i| s.delayed & bit(i) != 0)
+    };
+    let successors = |s: &BugState| -> Vec<BugState> {
+        let mut out = Vec::new();
+        for i in 1..=r {
+            let neutral = !is_holder(s, i) && s.delayed & bit(i) == 0 && s.rogue & bit(i) == 0;
+            // Rule 1: delay.
+            if neutral {
+                let mut t = s.clone();
+                t.delayed |= bit(i);
+                out.push(t);
+            }
+            // Mutation: critical without token.
+            if mutation == Mutation::NoTokenCheck && neutral {
+                let mut t = s.clone();
+                t.rogue |= bit(i);
+                out.push(t);
+            }
+            // Rogue exit.
+            if s.rogue & bit(i) != 0 {
+                let mut t = s.clone();
+                t.rogue &= !bit(i);
+                out.push(t);
+            }
+        }
+        for (idx, &(j, crit)) in s.holders.iter().enumerate() {
+            // Rule 3: T -> C.
+            if !crit {
+                let mut t = s.clone();
+                t.holders[idx].1 = true;
+                out.push(t);
+            }
+            // Rule 4: C -> T when nobody is delayed.
+            if crit && s.delayed == 0 {
+                let mut t = s.clone();
+                t.holders[idx].1 = false;
+                out.push(t);
+            }
+            // Rule 2: transfer to cln(j) (receiver must not already hold).
+            if let Some(i) = cln(s, j) {
+                if !is_holder(s, i) {
+                    let mut t = s.clone();
+                    t.delayed &= !bit(i);
+                    t.holders.remove(idx);
+                    t.holders.push((i, true));
+                    t.holders.sort_unstable();
+                    out.push(t);
+                }
+            }
+            // Mutation: the token is lost.
+            if mutation == Mutation::TokenLoss && !crit {
+                let mut t = s.clone();
+                t.holders.remove(idx);
+                out.push(t);
+            }
+        }
+        out
+    };
+
+    let label = |s: &BugState| -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        for i in 1..=r {
+            if let Some(&(_, crit)) = s.holders.iter().find(|&&(j, _)| j == i) {
+                atoms.push(Atom::indexed("t", i));
+                atoms.push(Atom::indexed(if crit { "c" } else { "n" }, i));
+            } else if s.delayed & bit(i) != 0 {
+                atoms.push(Atom::indexed("d", i));
+            } else if s.rogue & bit(i) != 0 {
+                atoms.push(Atom::indexed("c", i));
+            } else {
+                atoms.push(Atom::indexed("n", i));
+            }
+        }
+        atoms
+    };
+
+    let mut b = KripkeBuilder::new();
+    let mut ids: HashMap<BugState, StateId> = HashMap::new();
+    let mut queue: Vec<BugState> = Vec::new();
+    let add = |s: BugState,
+                   b: &mut KripkeBuilder,
+                   ids: &mut HashMap<BugState, StateId>,
+                   queue: &mut Vec<BugState>|
+     -> StateId {
+        if let Some(&id) = ids.get(&s) {
+            return id;
+        }
+        let id = b.state_labeled(format!("m{}", ids.len()), label(&s));
+        ids.insert(s.clone(), id);
+        queue.push(s);
+        id
+    };
+    let init = add(initial, &mut b, &mut ids, &mut queue);
+    let mut head = 0;
+    while head < queue.len() {
+        let s = queue[head].clone();
+        head += 1;
+        let from = ids[&s];
+        let succs = successors(&s);
+        if succs.is_empty() {
+            // Dead configuration (e.g. token lost, everyone delayed):
+            // stutter forever.
+            b.edge(from, from);
+            continue;
+        }
+        for t in succs {
+            let to = add(t, &mut b, &mut ids, &mut queue);
+            b.edge(from, to);
+        }
+    }
+    IndexedKripke::new(b.build(init).expect("mutant ring is total"), (1..=r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulas::{ring_invariants, ring_properties};
+    use icstar_mc::IndexedChecker;
+
+    fn holds(m: &IndexedKripke, name: &str) -> bool {
+        let f = ring_invariants()
+            .into_iter()
+            .chain(ring_properties())
+            .find(|f| f.name == name)
+            .expect("known formula");
+        IndexedChecker::new(m).holds(&f.formula).unwrap()
+    }
+
+    #[test]
+    fn second_token_breaks_unique_token_only() {
+        let m = buggy_ring(3, Mutation::SecondToken);
+        assert!(!holds(&m, "invariant-3"), "AG one(t) must fail");
+        // Safety of critical-implies-token still holds.
+        assert!(holds(&m, "property-2"));
+    }
+
+    #[test]
+    fn second_token_allows_two_criticals() {
+        let m = buggy_ring(3, Mutation::SecondToken);
+        // EF(c1 & c2): both tokens' holders critical simultaneously.
+        let f = icstar_logic::parse_state("EF(c[1] & c[2])").unwrap();
+        let mut chk = IndexedChecker::new(&m);
+        assert!(chk.holds(&f).unwrap(), "mutual exclusion violated");
+    }
+
+    #[test]
+    fn token_loss_breaks_liveness() {
+        let m = buggy_ring(3, Mutation::TokenLoss);
+        assert!(!holds(&m, "property-4"), "AF c must fail after token loss");
+        assert!(!holds(&m, "property-3"));
+        // Safety still holds: nobody enters critical without the token.
+        assert!(holds(&m, "property-2"));
+        assert!(holds(&m, "invariant-1"));
+    }
+
+    #[test]
+    fn no_token_check_breaks_safety() {
+        let m = buggy_ring(3, Mutation::NoTokenCheck);
+        assert!(!holds(&m, "property-2"), "AG(c -> t) must fail");
+        // The unique-token invariant still holds (tokens are fine; the
+        // *critical region* is what gets violated).
+        assert!(holds(&m, "invariant-3"));
+    }
+
+    #[test]
+    fn healthy_ring_passes_what_mutants_fail() {
+        let m = crate::ring::ring_mutex(3);
+        for name in [
+            "invariant-1",
+            "invariant-2",
+            "invariant-3",
+            "property-1",
+            "property-2",
+            "property-3",
+            "property-4",
+        ] {
+            let f = ring_invariants()
+                .into_iter()
+                .chain(ring_properties())
+                .find(|f| f.name == name)
+                .unwrap();
+            let mut chk = IndexedChecker::new(m.structure());
+            assert!(chk.holds(&f.formula).unwrap(), "{name} on healthy ring");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=64")]
+    fn tiny_mutant_rejected() {
+        buggy_ring(1, Mutation::SecondToken);
+    }
+}

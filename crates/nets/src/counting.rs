@@ -1,0 +1,118 @@
+//! The Fig. 4.1 counting phenomenon: why ICTL* must be restricted.
+//!
+//! Take the free product of `n` copies of the process `a → b` (with `b`
+//! absorbing; "once `B_i` becomes true, it remains true"). The formula
+//!
+//! ```text
+//! f_k  =  ⋁_i ( a_i ∧ EF( b_i ∧ f_{k-1} ) )        f_0 = true
+//! ```
+//!
+//! holds in the initial state iff the system has **at least k processes**:
+//! each level consumes one fresh process (its witness must still satisfy
+//! `a_i`, and every previously used process is stuck at `b`). A closed
+//! formula that counts processes obviously cannot be preserved between
+//! instances of different sizes — which is exactly why the paper forbids
+//! index quantifiers inside `U` operands ([`icstar_logic::check_restricted`]
+//! rejects `f_k` for `k ≥ 2`).
+
+use icstar_logic::{build, StateFormula};
+
+/// The lower-bound formula `f_k` ("there are at least `k` processes").
+///
+/// Index variables are named `i1 … ik` outermost-in.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_nets::counting_formula;
+///
+/// assert_eq!(
+///     counting_formula(2).to_string(),
+///     "exists i1. a[i1] & EF (b[i1] & (exists i2. a[i2] & EF b[i2]))"
+/// );
+/// ```
+pub fn counting_formula(k: usize) -> StateFormula {
+    build_level(1, k)
+}
+
+fn build_level(level: usize, k: usize) -> StateFormula {
+    if level > k {
+        return StateFormula::True;
+    }
+    let var = format!("i{level}");
+    let rest = build_level(level + 1, k);
+    let inner = match rest {
+        StateFormula::True => build::ef(build::iprop("b", var.clone())),
+        rest => build::ef(build::iprop("b", var.clone()).and(rest)),
+    };
+    build::exists_idx(var.clone(), build::iprop("a", var).and(inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{fig41_template, interleave};
+    use icstar_logic::{check_restricted, quantifier_depth, RestrictionError};
+    use icstar_mc::IndexedChecker;
+
+    #[test]
+    fn formula_shapes() {
+        assert_eq!(counting_formula(0), StateFormula::True);
+        assert_eq!(
+            counting_formula(1).to_string(),
+            "exists i1. a[i1] & EF b[i1]"
+        );
+        assert_eq!(quantifier_depth(&counting_formula(3)), 3);
+    }
+
+    #[test]
+    fn deep_levels_violate_the_restriction() {
+        // f_1 is restricted; f_k for k ≥ 2 both nests quantifiers and puts
+        // one inside an EF operand — either diagnosis rejects it.
+        assert_eq!(check_restricted(&counting_formula(1)), Ok(()));
+        for k in 2..=4 {
+            let err = check_restricted(&counting_formula(k)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RestrictionError::QuantifierInUntil | RestrictionError::NestedQuantifier
+                ),
+                "f_{k}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn formula_counts_processes() {
+        // f_k holds on the n-process free product iff n >= k.
+        let t = fig41_template();
+        for n in 1..=4u32 {
+            let m = interleave(&t, n);
+            let mut chk = IndexedChecker::new(&m);
+            for k in 0..=5usize {
+                let f = counting_formula(k);
+                let holds = chk.holds(&f).unwrap();
+                assert_eq!(
+                    holds,
+                    (k as u32) <= n,
+                    "f_{k} on {n} processes should be {}",
+                    (k as u32) <= n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counting_distinguishes_sizes_hence_restriction_needed() {
+        // Unrestricted ICTL* separates M_2 from M_3 even though the
+        // structures are "the same system, different size".
+        let t = fig41_template();
+        let m2 = interleave(&t, 2);
+        let m3 = interleave(&t, 3);
+        let f = counting_formula(3);
+        let mut c2 = IndexedChecker::new(&m2);
+        let mut c3 = IndexedChecker::new(&m3);
+        assert!(!c2.holds(&f).unwrap());
+        assert!(c3.holds(&f).unwrap());
+    }
+}

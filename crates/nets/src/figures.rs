@@ -1,0 +1,80 @@
+//! Reconstructions of the paper's illustrative figures.
+//!
+//! * **Fig. 3.1** — two corresponding structures: `s1` exactly matches a
+//!   state of the second structure (degree 0), while the second
+//!   structure's initial state needs two one-sided transitions before an
+//!   exact match (degree 2).
+//! * **Fig. 4.1** — the two-local-state process (`A` then forever `B`)
+//!   whose free product lets nested index quantifiers *count* processes,
+//!   motivating the ICTL* restriction (see [`crate::counting`]).
+
+use icstar_kripke::{Atom, Kripke, KripkeBuilder, StateId};
+
+/// The left structure of Fig. 3.1: a two-state `a`/`b` loop.
+///
+/// Returns the structure and its states `(s1, s2)`.
+pub fn fig31_left() -> (Kripke, StateId, StateId) {
+    let mut b = KripkeBuilder::new();
+    let s1 = b.state_labeled("s1", [Atom::plain("a")]);
+    let s2 = b.state_labeled("s2", [Atom::plain("b")]);
+    b.edge(s1, s2);
+    b.edge(s2, s1);
+    (b.build(s1).expect("valid"), s1, s2)
+}
+
+/// The right structure of Fig. 3.1: the same loop with the `a`-state
+/// stretched into a chain of three — `t1 → t2 → t3` all labeled `a`,
+/// then `u(b)` back to `t1`.
+///
+/// Returns the structure and its states `(t1, t2, t3, u)`.
+pub fn fig31_right() -> (Kripke, StateId, StateId, StateId, StateId) {
+    let mut b = KripkeBuilder::new();
+    let t1 = b.state_labeled("t1", [Atom::plain("a")]);
+    let t2 = b.state_labeled("t2", [Atom::plain("a")]);
+    let t3 = b.state_labeled("t3", [Atom::plain("a")]);
+    let u = b.state_labeled("u", [Atom::plain("b")]);
+    b.edge(t1, t2);
+    b.edge(t2, t3);
+    b.edge(t3, u);
+    b.edge(u, t1);
+    (b.build(t1).expect("valid"), t1, t2, t3, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_bisim::{maximal_correspondence, structures_correspond, verify_correspondence};
+
+    #[test]
+    fn fig31_degrees_match_the_narrative() {
+        let (m, s1, s2) = fig31_left();
+        let (m2, t1, t2, t3, u) = fig31_right();
+        let rel = maximal_correspondence(&m, &m2);
+        // "state s1 exactly matches state t3, so these states can
+        //  correspond with degree 0"
+        assert_eq!(rel.degree(s1, t3), Some(0));
+        // "state t1 can reach an exact match with s1 within 2 transitions,
+        //  so these two states can correspond with degree 2"
+        assert_eq!(rel.degree(s1, t1), Some(2));
+        assert_eq!(rel.degree(s1, t2), Some(1));
+        assert_eq!(rel.degree(s2, u), Some(0));
+        // b-state never relates to a-states.
+        assert!(!rel.related(s2, t1));
+        assert!(structures_correspond(&m, &m2));
+        assert_eq!(verify_correspondence(&m, &m2, &rel), Ok(()));
+    }
+
+    #[test]
+    fn fig31_minimal_degree_equals_transitions_to_exact_match() {
+        // The paper: "the minimal degree of correspondence is equal to the
+        // minimal number of transitions until an exact match is reached."
+        let (m, s1, _) = fig31_left();
+        let (m2, t1, t2, t3, _) = fig31_right();
+        let rel = maximal_correspondence(&m, &m2);
+        // t1 -> t2 -> t3: two transitions to the exact match.
+        let d1 = rel.degree(s1, t1).unwrap();
+        let d2 = rel.degree(s1, t2).unwrap();
+        let d3 = rel.degree(s1, t3).unwrap();
+        assert_eq!((d1, d2, d3), (2, 1, 0));
+    }
+}

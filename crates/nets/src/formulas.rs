@@ -1,0 +1,121 @@
+//! The specification formulas of the Section 5 case study, exactly as the
+//! paper states them.
+
+use icstar_logic::{parse_state, StateFormula};
+
+/// A named specification formula.
+#[derive(Clone, Debug)]
+pub struct NamedFormula {
+    /// A short identifier (e.g. `"property-4"`).
+    pub name: &'static str,
+    /// What the paper says it means.
+    pub description: &'static str,
+    /// The formula.
+    pub formula: StateFormula,
+}
+
+fn named(name: &'static str, description: &'static str, src: &str) -> NamedFormula {
+    NamedFormula {
+        name,
+        description,
+        formula: parse_state(src).unwrap_or_else(|e| panic!("bad builtin formula {src:?}: {e}")),
+    }
+}
+
+/// The three invariants used to establish the correspondence
+/// (Section 5): part-partition, request persistence, and unique token.
+pub fn ring_invariants() -> Vec<NamedFormula> {
+    vec![
+        named(
+            "invariant-1",
+            "D, N, T, C partition the processes (every process is in exactly one of \
+             neutral / delayed / critical; O is empty)",
+            "forall i. AG((n[i] | d[i] | c[i]) & !(n[i] & d[i]) & !(n[i] & c[i]) & !(d[i] & c[i]))",
+        ),
+        named(
+            "invariant-2",
+            "once a process requests the token it keeps requesting until it receives it",
+            "forall i. AG(d[i] -> !E[d[i] U (!d[i] & !t[i])])",
+        ),
+        named(
+            "invariant-3",
+            "there is exactly one token at any time (AG Θ_i t_i)",
+            "AG one(t)",
+        ),
+    ]
+}
+
+/// The four verified properties of Section 5.
+pub fn ring_properties() -> Vec<NamedFormula> {
+    vec![
+        named(
+            "property-1",
+            "a token is transferred only upon request",
+            "!(exists i. EF(!d[i] & !t[i] & E[!d[i] U t[i]]))",
+        ),
+        named(
+            "property-2",
+            "only the process with a token may enter its critical region",
+            "forall i. AG(c[i] -> t[i])",
+        ),
+        named(
+            "property-3",
+            "a process that requests the token eventually receives it",
+            "forall i. AG(d[i] -> A[d[i] U t[i]])",
+        ),
+        named(
+            "property-4",
+            "every process that wants to enter its critical region eventually does",
+            "forall i. AG(d[i] -> AF c[i])",
+        ),
+    ]
+}
+
+/// The motivating requirement from the introduction:
+/// `⋀_i AG(d_i → AF c_i)` — identical to property 4.
+pub fn intro_requirement() -> NamedFormula {
+    named(
+        "intro",
+        "a process waiting to enter its critical region eventually enters it",
+        "forall i. AG(d[i] -> AF c[i])",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_logic::{check_restricted, is_closed};
+
+    #[test]
+    fn all_formulas_parse_closed_and_restricted() {
+        for f in ring_invariants().into_iter().chain(ring_properties()) {
+            assert!(is_closed(&f.formula), "{} not closed", f.name);
+            assert_eq!(
+                check_restricted(&f.formula),
+                Ok(()),
+                "{} not in restricted ICTL*",
+                f.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ring_invariants()
+            .iter()
+            .chain(ring_properties().iter())
+            .map(|f| f.name)
+            .collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn intro_matches_property_4() {
+        let intro = intro_requirement();
+        let p4 = &ring_properties()[3];
+        assert_eq!(intro.formula, p4.formula);
+    }
+}

@@ -1,0 +1,159 @@
+//! The Section 6 conjecture: on free products, formulas with at most `k`
+//! levels of index quantifiers cannot distinguish systems with more than
+//! `k` processes.
+//!
+//! The paper: *"if f is a formula with k levels of `⋀_i` and `⋁_i`
+//! operators and `M_n` is a Kripke structure obtained as a product of `n`
+//! identical processes, then f will hold in `M_n` for `n > k` if and only
+//! if f holds in `M_k`"* — easy for free (unsynchronized) products,
+//! conjectured in general. [`check_conjecture`] tests it empirically on a
+//! template and formula, across a range of sizes.
+
+use icstar_logic::{quantifier_depth, StateFormula};
+use icstar_mc::{IndexedChecker, McError};
+
+use crate::template::{interleave, ProcessTemplate};
+
+/// The outcome of an empirical conjecture check.
+#[derive(Clone, Debug)]
+pub struct ConjectureOutcome {
+    /// The quantifier nesting depth `k` of the formula.
+    pub depth: usize,
+    /// The instance sizes evaluated (`k+1 ..= max_n`).
+    pub sizes: Vec<u32>,
+    /// The truth value of the formula at each size.
+    pub values: Vec<bool>,
+    /// Whether all values agree — the conjecture's prediction.
+    pub consistent: bool,
+}
+
+/// Evaluates `f` on the free products `M_n` for
+/// `n ∈ {k+1, …, max_n}` (`k` = quantifier depth of `f`) and reports
+/// whether the truth value is constant across those sizes — the
+/// conjecture's "impossible to distinguish between programs that have
+/// *more than* k processes".
+///
+/// The boundary instance `M_k` itself is *not* included: in interleaved
+/// semantics it can genuinely differ (with k = 1, `exists i. AF done[i]`
+/// holds in `M_1`, where the single process cannot be starved, but fails
+/// in every `M_n`, n ≥ 2 — see the `boundary_case_m1_differs` test).
+///
+/// # Errors
+///
+/// Propagates model-checking errors (e.g. an unclosed formula).
+///
+/// # Panics
+///
+/// Panics if `max_n ≤ k`.
+pub fn check_conjecture(
+    t: &ProcessTemplate,
+    f: &StateFormula,
+    max_n: u32,
+) -> Result<ConjectureOutcome, McError> {
+    let depth = quantifier_depth(f);
+    let start = (depth as u32 + 1).max(1);
+    assert!(
+        max_n >= start,
+        "max_n = {max_n} not above the formula's quantifier depth {depth}"
+    );
+    let sizes: Vec<u32> = (start..=max_n).collect();
+    let mut values = Vec::with_capacity(sizes.len());
+    for &n in &sizes {
+        let m = interleave(t, n);
+        let mut chk = IndexedChecker::new(&m);
+        values.push(chk.holds(f)?);
+    }
+    let consistent = values.windows(2).all(|w| w[0] == w[1]);
+    Ok(ConjectureOutcome {
+        depth,
+        sizes,
+        values,
+        consistent,
+    })
+}
+
+/// A three-local-state cyclic template (`idle → work → done → idle`) used
+/// to exercise the conjecture on a second family.
+pub fn cyclic_template() -> ProcessTemplate {
+    let mut t = crate::template::TemplateBuilder::new();
+    let idle = t.state("idle", ["idle"]);
+    let work = t.state("work", ["work"]);
+    let done = t.state("done", ["done"]);
+    t.edge(idle, work);
+    t.edge(work, done);
+    t.edge(done, idle);
+    t.build(idle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::counting_formula;
+    use crate::template::fig41_template;
+    use icstar_logic::parse_state;
+
+    #[test]
+    fn counting_formulas_are_consistent_beyond_their_depth() {
+        let t = fig41_template();
+        for k in 1..=3usize {
+            let f = counting_formula(k);
+            let out = check_conjecture(&t, &f, (k as u32) + 3).unwrap();
+            assert_eq!(out.depth, k);
+            assert!(
+                out.consistent,
+                "f_{k} must be constant for n > {k}: {:?}",
+                out.values
+            );
+            assert!(out.values.iter().all(|&v| v), "f_{k} holds for n > k");
+        }
+    }
+
+    #[test]
+    fn boundary_case_m1_differs() {
+        // Why the sweep starts at k+1: a single process cannot be starved
+        // by interleaving, so this depth-1 formula holds in M_1 but in no
+        // larger free product.
+        let t = cyclic_template();
+        let f = parse_state("exists i. AF done[i]").unwrap();
+        let m1 = interleave(&t, 1);
+        let m2 = interleave(&t, 2);
+        assert!(IndexedChecker::new(&m1).holds(&f).unwrap());
+        assert!(!IndexedChecker::new(&m2).holds(&f).unwrap());
+        // From n = 2 on, the value is constant — the conjecture.
+        let out = check_conjecture(&t, &f, 4).unwrap();
+        assert!(out.consistent);
+        assert!(out.values.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn depth_one_formulas_consistent_on_cycle() {
+        let t = cyclic_template();
+        for src in [
+            "forall i. AG(idle[i] -> EF work[i])",
+            "exists i. AF done[i]",
+            "forall i. AG AF (idle[i] | work[i] | done[i])",
+            "exists i. EG !done[i]",
+        ] {
+            let f = parse_state(src).unwrap();
+            let out = check_conjecture(&t, &f, 4).unwrap();
+            assert!(out.consistent, "{src}: {:?}", out.values);
+        }
+    }
+
+    #[test]
+    fn conjecture_values_recorded_per_size() {
+        let t = fig41_template();
+        let f = counting_formula(2);
+        let out = check_conjecture(&t, &f, 5).unwrap();
+        assert_eq!(out.sizes, vec![3, 4, 5]);
+        assert_eq!(out.values.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not above the formula's quantifier depth")]
+    fn max_n_below_depth_panics() {
+        let t = fig41_template();
+        let f = counting_formula(3);
+        let _ = check_conjecture(&t, &f, 3);
+    }
+}

@@ -1,0 +1,284 @@
+//! Process templates and the free (interleaved) composition of `n`
+//! identical copies.
+//!
+//! A [`ProcessTemplate`] is one finite-state process; [`interleave`]
+//! builds the global state graph of `n` unsynchronized copies — the "free
+//! product" of the paper's Section 6 — as an [`IndexedKripke`] whose
+//! indexed propositions `P_i` are the local labels of copy `i`.
+
+use std::collections::HashMap;
+
+use icstar_kripke::{Atom, Index, IndexedKripke, KripkeBuilder, StateId};
+
+/// A single finite-state process: local states with label sets and local
+/// transitions.
+#[derive(Clone, Debug)]
+pub struct ProcessTemplate {
+    names: Vec<String>,
+    labels: Vec<Vec<String>>,
+    succs: Vec<Vec<u32>>,
+    initial: u32,
+}
+
+/// A builder-style constructor for [`ProcessTemplate`].
+#[derive(Clone, Debug, Default)]
+pub struct TemplateBuilder {
+    names: Vec<String>,
+    labels: Vec<Vec<String>>,
+    succs: Vec<Vec<u32>>,
+}
+
+impl TemplateBuilder {
+    /// Creates an empty template builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a local state with the given name and local proposition names
+    /// (these become indexed atoms `P_i` at composition time). Returns the
+    /// local state id.
+    pub fn state(
+        &mut self,
+        name: impl Into<String>,
+        labels: impl IntoIterator<Item = impl Into<String>>,
+    ) -> u32 {
+        self.names.push(name.into());
+        self.labels
+            .push(labels.into_iter().map(Into::into).collect());
+        self.succs.push(Vec::new());
+        (self.names.len() - 1) as u32
+    }
+
+    /// Adds a local transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is unknown.
+    pub fn edge(&mut self, from: u32, to: u32) -> &mut Self {
+        assert!((from as usize) < self.names.len(), "unknown local state");
+        assert!((to as usize) < self.names.len(), "unknown local state");
+        self.succs[from as usize].push(to);
+        self
+    }
+
+    /// Freezes the template with the given initial local state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the template is empty, the initial state is unknown, or
+    /// some local state has no outgoing transition (which would make the
+    /// composed global relation non-total).
+    pub fn build(self, initial: u32) -> ProcessTemplate {
+        assert!(!self.names.is_empty(), "template needs at least one state");
+        assert!(
+            (initial as usize) < self.names.len(),
+            "unknown initial state"
+        );
+        for (i, s) in self.succs.iter().enumerate() {
+            assert!(
+                !s.is_empty(),
+                "local state {:?} has no outgoing transition",
+                self.names[i]
+            );
+        }
+        ProcessTemplate {
+            names: self.names,
+            labels: self.labels,
+            succs: self.succs,
+            initial,
+        }
+    }
+}
+
+impl ProcessTemplate {
+    /// Number of local states.
+    pub fn num_states(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The initial local state.
+    pub fn initial(&self) -> u32 {
+        self.initial
+    }
+
+    /// Name of a local state.
+    pub fn state_name(&self, s: u32) -> &str {
+        &self.names[s as usize]
+    }
+
+    /// Local successors of a local state.
+    pub fn successors(&self, s: u32) -> &[u32] {
+        &self.succs[s as usize]
+    }
+
+    /// Local proposition names of a local state.
+    pub fn labels(&self, s: u32) -> &[String] {
+        &self.labels[s as usize]
+    }
+}
+
+/// Composes `n` copies of the template with pure interleaving (each global
+/// transition moves exactly one copy). Indices are `1..=n`.
+///
+/// The global structure is built by BFS from the all-initial state, so
+/// only reachable states are materialized; for a free product that is the
+/// full product of reachable local states.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn interleave(t: &ProcessTemplate, n: u32) -> IndexedKripke {
+    assert!(n > 0, "need at least one process");
+    let mut b = KripkeBuilder::new();
+    let mut ids: HashMap<Vec<u32>, StateId> = HashMap::new();
+    let mut queue: Vec<Vec<u32>> = Vec::new();
+
+    let global_name = |locals: &[u32]| -> String {
+        let parts: Vec<&str> = locals.iter().map(|&l| t.state_name(l)).collect();
+        parts.join("|")
+    };
+    let add = |locals: Vec<u32>,
+                   b: &mut KripkeBuilder,
+                   ids: &mut HashMap<Vec<u32>, StateId>,
+                   queue: &mut Vec<Vec<u32>>|
+     -> StateId {
+        if let Some(&id) = ids.get(&locals) {
+            return id;
+        }
+        let mut atoms = Vec::new();
+        for (k, &l) in locals.iter().enumerate() {
+            for p in t.labels(l) {
+                atoms.push(Atom::indexed(p.clone(), (k + 1) as Index));
+            }
+        }
+        let id = b.state_labeled(global_name(&locals), atoms);
+        ids.insert(locals.clone(), id);
+        queue.push(locals);
+        id
+    };
+
+    let init_locals = vec![t.initial(); n as usize];
+    let init = add(init_locals, &mut b, &mut ids, &mut queue);
+    let mut head = 0;
+    while head < queue.len() {
+        let locals = queue[head].clone();
+        head += 1;
+        let from = ids[&locals];
+        for k in 0..n as usize {
+            for &l2 in t.successors(locals[k]) {
+                let mut next = locals.clone();
+                next[k] = l2;
+                let to = add(next, &mut b, &mut ids, &mut queue);
+                b.edge(from, to);
+            }
+        }
+    }
+    IndexedKripke::new(
+        b.build(init).expect("interleaving preserves invariants"),
+        (1..=n).collect(),
+    )
+}
+
+/// The Fig. 4.1 process: one `a`-labeled state that moves to a `b`-labeled
+/// absorbing state (`B_i` becomes true and stays true).
+pub fn fig41_template() -> ProcessTemplate {
+    let mut t = TemplateBuilder::new();
+    let a = t.state("a", ["a"]);
+    let b = t.state("b", ["b"]);
+    t.edge(a, b);
+    t.edge(b, b);
+    t.build(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_accessors() {
+        let t = fig41_template();
+        assert_eq!(t.num_states(), 2);
+        assert_eq!(t.initial(), 0);
+        assert_eq!(t.state_name(0), "a");
+        assert_eq!(t.successors(0), &[1]);
+        assert_eq!(t.labels(1), &["b".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no outgoing transition")]
+    fn dead_local_state_rejected() {
+        let mut t = TemplateBuilder::new();
+        let a = t.state("a", ["a"]);
+        let b = t.state("b", ["b"]);
+        t.edge(a, b);
+        t.build(a);
+    }
+
+    #[test]
+    fn interleave_counts_states() {
+        // Free product of the 2-state a->b template: 2^n global states.
+        let t = fig41_template();
+        for n in 1..=4u32 {
+            let m = interleave(&t, n);
+            assert_eq!(m.kripke().num_states(), 1usize << n, "n = {n}");
+            m.kripke().validate().unwrap();
+            assert_eq!(m.indices().len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn interleave_labels_by_index() {
+        let t = fig41_template();
+        let m = interleave(&t, 2);
+        let k = m.kripke();
+        let init = k.initial();
+        assert!(k.satisfies_atom(init, &Atom::indexed("a", 1)));
+        assert!(k.satisfies_atom(init, &Atom::indexed("a", 2)));
+        assert!(!k.satisfies_atom(init, &Atom::indexed("b", 1)));
+        // After one step, exactly one process has moved.
+        let succ = k.successors(init);
+        assert_eq!(succ.len(), 2);
+        for &s in succ {
+            let moved = [1u32, 2]
+                .iter()
+                .filter(|&&i| k.satisfies_atom(s, &Atom::indexed("b", i)))
+                .count();
+            assert_eq!(moved, 1);
+        }
+    }
+
+    #[test]
+    fn interleave_transitions_move_one_process() {
+        let t = fig41_template();
+        let m = interleave(&t, 3);
+        let k = m.kripke();
+        for s in k.states() {
+            for &tgt in k.successors(s) {
+                // Count label differences: at most one process changes.
+                let diff = (1..=3u32)
+                    .filter(|&i| {
+                        let a = Atom::indexed("a", i);
+                        k.satisfies_atom(s, &a) != k.satisfies_atom(tgt, &a)
+                    })
+                    .count();
+                assert!(diff <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn absorbing_states_self_loop() {
+        let t = fig41_template();
+        let m = interleave(&t, 2);
+        let k = m.kripke();
+        // The all-b state only loops to itself.
+        let all_b = k
+            .states()
+            .find(|&s| {
+                k.satisfies_atom(s, &Atom::indexed("b", 1))
+                    && k.satisfies_atom(s, &Atom::indexed("b", 2))
+            })
+            .unwrap();
+        assert_eq!(k.successors(all_b), &[all_b, all_b]);
+    }
+}

@@ -1,0 +1,104 @@
+//! The Section 5 / Appendix claims, mechanized — including the paper's
+//! bug and its repair (EXPERIMENTS.md E6).
+
+use icstar_bisim::{verify_correspondence, IndexRelation, Violation};
+use icstar_logic::{check_restricted, parse_state};
+use icstar_mc::IndexedChecker;
+use icstar_nets::ring_mutex;
+
+/// The paper's literal relation (same part; delayed-set emptiness for C
+/// only; rank-sum degrees) is NOT a correspondence: mechanical checking
+/// finds a clause violation. This reproduces the gap in the Appendix's
+/// case analysis.
+#[test]
+fn paper_relation_fails_verification() {
+    let m2 = ring_mutex(2);
+    let m3 = ring_mutex(3);
+    // Even M_2 against itself fails on the T-side of the delayed-set
+    // condition ((T1,{2}) vs (T1,{}) get related but EG t_1 separates
+    // them).
+    let rel_self = m2.paper_correspondence(&m2, 1, 1);
+    let red = m2.reduced(1);
+    let err = verify_correspondence(&red, &red, &rel_self).unwrap_err();
+    assert!(matches!(err, Violation::Clause2b(..) | Violation::Clause2c(..)));
+    // And M_2 vs M_3 fails too.
+    let rel = m2.paper_correspondence(&m3, 1, 1);
+    let err = verify_correspondence(&m2.reduced(1), &m3.reduced(1), &rel).unwrap_err();
+    assert!(matches!(err, Violation::Clause2b(..) | Violation::Clause2c(..)));
+}
+
+/// The deeper finding: NO correspondence exists between M_2 and M_3
+/// reductions — a restricted closed ICTL* formula separates them. The
+/// paper's "same formulas at 2 and 1000" claim fails for its own example.
+#[test]
+fn m2_base_case_is_genuinely_broken() {
+    let m2 = ring_mutex(2);
+    let m3 = ring_mutex(3);
+    // No valid correspondence can relate the initial reductions.
+    let rel = m2.repaired_correspondence(&m3, 1, 1);
+    assert!(!rel.related(m2.kripke().initial(), m3.kripke().initial()));
+    // The separating formula: a served process always finds the delayed
+    // set empty in M_2 (it can then keep the token), never guaranteed in
+    // M_r, r >= 3.
+    let f = parse_state("forall i. AG(d[i] -> A[d[i] U (c[i] & EG t[i])])").unwrap();
+    assert_eq!(check_restricted(&f), Ok(()), "the witness is restricted ICTL*");
+    assert!(IndexedChecker::new(m2.structure()).holds(&f).unwrap());
+    assert!(!IndexedChecker::new(m3.structure()).holds(&f).unwrap());
+}
+
+/// The repaired program: with base case 3, every IN pair of reductions
+/// corresponds (relation computed by the maximal-correspondence
+/// algorithm, then re-verified against the definition), so Theorem 5
+/// transfers all closed restricted ICTL* formulas from M_3 to M_r.
+#[test]
+fn repaired_correspondence_verifies_for_base_three() {
+    let m3 = ring_mutex(3);
+    for r in 3..=6u32 {
+        let mr = ring_mutex(r);
+        let indices: Vec<u32> = (1..=r).collect();
+        let inrel = IndexRelation::base_vs_many(3, &indices);
+        assert!(inrel.is_total(&[1, 2, 3], &indices));
+        for &(i, j) in inrel.pairs() {
+            let rel = m3.repaired_correspondence(&mr, i, j);
+            let red3 = m3.reduced(i);
+            let redr = mr.reduced(j);
+            assert!(
+                rel.related(red3.initial(), redr.initial()),
+                "initial pair unrelated for r={r}, (i,i')=({i},{j})"
+            );
+            assert_eq!(
+                verify_correspondence(&red3, &redr, &rel),
+                Ok(()),
+                "relation invalid for r={r}, (i,i')=({i},{j})"
+            );
+        }
+    }
+}
+
+/// The repaired pair condition exactly characterizes the computed maximal
+/// correspondence (for bases >= 3).
+#[test]
+fn repaired_condition_characterizes_maximal() {
+    let m3 = ring_mutex(3);
+    let m4 = ring_mutex(4);
+    for (i, j) in [(1u32, 1u32), (2, 2), (3, 3), (3, 4)] {
+        let maximal = m3.repaired_correspondence(&m4, i, j);
+        for a in m3.kripke().states() {
+            for b in m4.kripke().states() {
+                let feat = icstar_nets::repaired_related(
+                    m3.family(),
+                    m3.state(a),
+                    i,
+                    m4.family(),
+                    m4.state(b),
+                    j,
+                );
+                assert_eq!(
+                    feat,
+                    maximal.related(a, b),
+                    "characterization breaks at ({a:?},{b:?}) for ({i},{j})"
+                );
+            }
+        }
+    }
+}

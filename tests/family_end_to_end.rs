@@ -1,0 +1,147 @@
+//! End-to-end family verification through the public facade — the
+//! workflow a downstream user runs.
+
+use icstar::{FamilyError, FamilyVerifier, IndexRelation};
+use icstar_logic::parse_state;
+use icstar_nets::{buggy_ring, fig41_template, interleave, ring_mutex, Mutation};
+
+#[test]
+fn ring_family_verifies_from_base_three() {
+    let base = ring_mutex(3);
+    let mut verifier = FamilyVerifier::new(base.structure());
+    for f in icstar_nets::ring_invariants()
+        .into_iter()
+        .chain(icstar_nets::ring_properties())
+    {
+        verifier.add_formula(f.name, f.formula.clone()).unwrap();
+    }
+    for r in [4u32, 5, 6] {
+        let target = ring_mutex(r);
+        let inrel = IndexRelation::base_vs_many(3, &(1..=r).collect::<Vec<_>>());
+        let verdicts = verifier.transfer_to(target.structure(), &inrel).unwrap();
+        assert_eq!(verdicts.len(), 7);
+        assert!(verdicts.iter().all(|v| v.holds), "r = {r}");
+    }
+}
+
+#[test]
+fn transferred_verdicts_match_direct_checking() {
+    let base = ring_mutex(3);
+    let target = ring_mutex(5);
+    let formulas = [
+        ("p4", "forall i. AG(d[i] -> AF c[i])"),
+        ("mutex-token", "AG one(t)"),
+        ("safety", "forall i. AG(c[i] -> t[i])"),
+        // A formula that is FALSE (and must transfer as false):
+        ("always-critical", "forall i. AG AF c[i]"),
+        // Another false one: some process stays neutral forever on all paths.
+        ("deadlock", "exists i. AG n[i]"),
+    ];
+    let mut verifier = FamilyVerifier::new(base.structure());
+    for (name, src) in formulas {
+        verifier
+            .add_formula(name, parse_state(src).unwrap())
+            .unwrap();
+    }
+    let inrel = IndexRelation::base_vs_many(3, &[1, 2, 3, 4, 5]);
+    let verdicts = verifier.transfer_to(target.structure(), &inrel).unwrap();
+    let mut direct = icstar::IndexedChecker::new(target.structure());
+    for (v, (name, src)) in verdicts.iter().zip(formulas) {
+        let f = parse_state(src).unwrap();
+        assert_eq!(
+            v.holds,
+            direct.holds(&f).unwrap(),
+            "{name}: transferred verdict diverges from direct checking"
+        );
+    }
+    // Spot expectations.
+    assert!(verdicts[0].holds);
+    assert!(!verdicts[3].holds);
+    assert!(!verdicts[4].holds);
+}
+
+#[test]
+fn fig41_family_transfer() {
+    let t = fig41_template();
+    let base = interleave(&t, 2);
+    let target = interleave(&t, 6);
+    let mut verifier = FamilyVerifier::new(&base);
+    verifier
+        .add_formula(
+            "each process can finish",
+            parse_state("forall i. a[i] -> EF b[i]").unwrap(),
+        )
+        .unwrap();
+    verifier
+        .add_formula(
+            "finishing is irreversible",
+            parse_state("forall i. AG(b[i] -> AG b[i])").unwrap(),
+        )
+        .unwrap();
+    let inrel = IndexRelation::two_vs_many(&[1, 2, 3, 4, 5, 6]);
+    let verdicts = verifier.transfer_to(&target, &inrel).unwrap();
+    assert!(verdicts.iter().all(|v| v.holds));
+}
+
+#[test]
+fn every_mutant_is_rejected_at_transfer_time() {
+    let base = ring_mutex(3);
+    let mut verifier = FamilyVerifier::new(base.structure());
+    verifier
+        .add_formula("p4", parse_state("forall i. AG(d[i] -> AF c[i])").unwrap())
+        .unwrap();
+    for mutation in [Mutation::SecondToken, Mutation::TokenLoss, Mutation::NoTokenCheck] {
+        let target = buggy_ring(4, mutation);
+        let inrel = IndexRelation::base_vs_many(3, &[1, 2, 3, 4]);
+        let err = verifier.transfer_to(&target, &inrel).unwrap_err();
+        assert!(
+            matches!(err, FamilyError::NoCorrespondence(_)),
+            "{mutation:?} must not pass the premise"
+        );
+    }
+}
+
+#[test]
+fn non_total_in_relation_is_rejected() {
+    let base = ring_mutex(3);
+    let target = ring_mutex(4);
+    let mut verifier = FamilyVerifier::new(base.structure());
+    verifier
+        .add_formula("p2", parse_state("forall i. AG(c[i] -> t[i])").unwrap())
+        .unwrap();
+    // Forgot to cover index 4 of the target.
+    let inrel = IndexRelation::new([(1, 1), (2, 2), (3, 3)]);
+    let err = verifier.transfer_to(target.structure(), &inrel).unwrap_err();
+    assert!(matches!(err, FamilyError::NoCorrespondence(_)));
+}
+
+#[test]
+fn failure_diagnosis_names_victim_and_execution() {
+    // On the token-loss mutant, liveness fails; the diagnosis must name a
+    // concrete starved process and produce a lasso witnessing starvation.
+    let m = buggy_ring(3, Mutation::TokenLoss);
+    let f = parse_state("forall i. AG(d[i] -> AF c[i])").unwrap();
+    let d = icstar::icstar_mc::diagnose(&m, &f)
+        .unwrap()
+        .expect("liveness fails on the mutant");
+    assert_eq!(d.failing_indices.len(), 1);
+    let victim = d.failing_indices[0];
+    assert!((1..=3).contains(&victim));
+    let w = d.witness.expect("AG failure yields a counterexample lasso");
+    assert!(w.is_path_of(m.kripke()));
+    // The lasso's cycle must starve the victim: delayed, never critical.
+    let c_atom = icstar::Atom::indexed("c", victim);
+    assert!(w.cycle.iter().all(|&s| !m.kripke().satisfies_atom(s, &c_atom)));
+    // Render for humans without panicking.
+    let text = icstar::icstar_mc::render_lasso(&m, &w);
+    assert!(!text.is_empty());
+}
+
+#[test]
+fn diagnosis_is_silent_on_healthy_families() {
+    let m = ring_mutex(3);
+    let f = parse_state("forall i. AG(d[i] -> AF c[i])").unwrap();
+    assert!(icstar::icstar_mc::diagnose(m.structure(), &f)
+        .unwrap()
+        .is_none());
+}

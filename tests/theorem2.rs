@@ -1,0 +1,158 @@
+//! Empirical Theorem 2: corresponding structures satisfy exactly the same
+//! CTL*∖X formulas — and the nexttime operator breaks this.
+//!
+//! The oracle is metamorphic: [`stutter_inflate`] stretches states into
+//! finite blocks of identically-labeled copies, which by construction
+//! yields a corresponding structure. Batteries of random formulas must
+//! then agree. The two independent equivalence algorithms (degree
+//! fixpoint vs. partition refinement) are also required to agree exactly.
+
+use icstar::icstar_kripke::gen::{random_kripke, stutter_inflate, RandomConfig};
+use icstar::{
+    disjoint_union, maximal_correspondence, parse_state, structures_correspond,
+    stuttering_partition, stuttering_quotient, Checker, StateId,
+};
+use icstar_logic::arb::{random_state_formula, FormulaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(states: usize) -> RandomConfig {
+    RandomConfig {
+        states,
+        atom_names: vec!["p".into(), "q".into()],
+        label_density: 0.45,
+        mean_out_degree: 1.8,
+    }
+}
+
+#[test]
+fn inflated_structures_correspond() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for trial in 0..25 {
+        let m = random_kripke(&mut rng, &config(3 + trial % 5));
+        let inflated = stutter_inflate(&m, |s| (s.0 as usize + trial) % 3);
+        assert!(
+            structures_correspond(&m, &inflated),
+            "inflation must correspond (trial {trial})"
+        );
+    }
+}
+
+#[test]
+fn corresponding_structures_agree_on_random_formulas() {
+    let mut rng = StdRng::seed_from_u64(202);
+    let fcfg = FormulaConfig {
+        props: vec!["p".into(), "q".into()],
+        max_depth: 4,
+        allow_next: false,
+        ..FormulaConfig::default()
+    };
+    for trial in 0..15 {
+        let m = random_kripke(&mut rng, &config(3 + trial % 4));
+        let inflated = stutter_inflate(&m, |s| s.idx() % 3);
+        let mut chk_m = Checker::new(&m);
+        let mut chk_i = Checker::new(&inflated);
+        for _ in 0..40 {
+            let f = random_state_formula(&mut rng, &fcfg);
+            assert_eq!(
+                chk_m.holds(&f).unwrap(),
+                chk_i.holds(&f).unwrap(),
+                "formula {f} disagrees after stutter inflation (trial {trial})"
+            );
+        }
+    }
+}
+
+#[test]
+fn nexttime_distinguishes_corresponding_structures() {
+    // m: p -> q(loop). inflated: p -> p -> q(loop).
+    // AX q holds in m but not in the inflation: X counts steps.
+    let mut b = icstar::KripkeBuilder::new();
+    let s0 = b.state_labeled("s0", [icstar::Atom::plain("p")]);
+    let s1 = b.state_labeled("s1", [icstar::Atom::plain("q")]);
+    b.edge(s0, s1);
+    b.edge(s1, s1);
+    let m = b.build(s0).unwrap();
+    let inflated = stutter_inflate(&m, |s| usize::from(s == s0));
+    assert!(structures_correspond(&m, &inflated));
+
+    let f = parse_state("AX q").unwrap();
+    let mut chk_m = Checker::new(&m);
+    let mut chk_i = Checker::new(&inflated);
+    assert!(chk_m.holds(&f).unwrap());
+    assert!(!chk_i.holds(&f).unwrap(), "X sees the extra stutter step");
+}
+
+#[test]
+fn quotient_agrees_on_random_formulas() {
+    let mut rng = StdRng::seed_from_u64(303);
+    let fcfg = FormulaConfig {
+        max_depth: 4,
+        allow_next: false,
+        ..FormulaConfig::default()
+    };
+    for trial in 0..15 {
+        let m = random_kripke(&mut rng, &config(4 + trial % 4));
+        let (q, map) = stuttering_quotient(&m);
+        assert!(q.num_states() <= m.num_states());
+        let mut chk_m = Checker::new(&m);
+        let mut chk_q = Checker::new(&q);
+        for _ in 0..30 {
+            let f = random_state_formula(&mut rng, &fcfg);
+            // Agreement at every state, not just the initial one.
+            for s in m.states() {
+                assert_eq!(
+                    chk_m.holds_at(s, &f).unwrap(),
+                    chk_q.holds_at(map[s.idx()], &f).unwrap(),
+                    "formula {f} disagrees at {s} (trial {trial})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degree_fixpoint_and_partition_refinement_agree() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for trial in 0..30 {
+        let m1 = random_kripke(&mut rng, &config(3 + trial % 4));
+        let m2 = random_kripke(&mut rng, &config(3 + (trial + 1) % 4));
+        let rel = maximal_correspondence(&m1, &m2);
+        let (u, off) = disjoint_union(&m1, &m2);
+        let p = stuttering_partition(&u);
+        for a in m1.states() {
+            for b in m2.states() {
+                assert_eq!(
+                    rel.related(a, b),
+                    p.same_block(a, StateId(off + b.0)),
+                    "algorithms disagree on ({a}, {b}) in trial {trial}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn correspondence_is_transitive_through_double_inflation() {
+    let mut rng = StdRng::seed_from_u64(505);
+    let m = random_kripke(&mut rng, &config(4));
+    let once = stutter_inflate(&m, |s| s.idx() % 2);
+    let twice = stutter_inflate(&once, |s| s.idx() % 2);
+    assert!(structures_correspond(&m, &twice));
+}
+
+#[test]
+fn verified_relation_roundtrip_on_random_structures() {
+    // The maximal relation must itself pass the definitional checker.
+    let mut rng = StdRng::seed_from_u64(606);
+    for trial in 0..20 {
+        let m1 = random_kripke(&mut rng, &config(3 + trial % 4));
+        let m2 = stutter_inflate(&m1, |s| s.idx() % 2);
+        let rel = maximal_correspondence(&m1, &m2);
+        assert_eq!(
+            icstar::verify_correspondence(&m1, &m2, &rel),
+            Ok(()),
+            "trial {trial}"
+        );
+    }
+}

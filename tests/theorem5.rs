@@ -1,0 +1,126 @@
+//! Empirical Theorem 5: once the indexed-correspondence premise holds,
+//! *closed restricted* ICTL* formulas cannot distinguish the instances —
+//! while unrestricted formulas can.
+
+use icstar::{indexed_correspond, IndexRelation, IndexedChecker};
+use icstar_logic::arb::{random_state_formula, FormulaConfig};
+use icstar_logic::{build, check_restricted, parse_state};
+use icstar_nets::{counting_formula, fig41_template, interleave, ring_mutex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random single-variable generic formulas g(i), closed by a quantifier.
+fn random_closed_indexed(
+    rng: &mut StdRng,
+    props: &[&str],
+    forall: bool,
+) -> icstar_logic::StateFormula {
+    let cfg = FormulaConfig {
+        props: vec![],
+        indexed_props: props.iter().map(|s| s.to_string()).collect(),
+        index_var: Some("i".into()),
+        max_depth: 3,
+        allow_next: false,
+        ctl_only: false,
+    };
+    let g = random_state_formula(rng, &cfg);
+    if forall {
+        build::forall_idx("i", g)
+    } else {
+        build::exists_idx("i", g)
+    }
+}
+
+#[test]
+fn ring_3_and_4_agree_on_restricted_formulas() {
+    let m3 = ring_mutex(3);
+    let m4 = ring_mutex(4);
+    let inrel = IndexRelation::base_vs_many(3, &[1, 2, 3, 4]);
+    indexed_correspond(m3.structure(), m4.structure(), &inrel).expect("premise");
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut chk3 = IndexedChecker::new(m3.structure());
+    let mut chk4 = IndexedChecker::new(m4.structure());
+    let mut checked = 0;
+    for trial in 0..400 {
+        let f = random_closed_indexed(&mut rng, &["n", "d", "c", "t"], trial % 2 == 0);
+        if check_restricted(&f).is_err() {
+            continue; // only restricted formulas are covered by the theorem
+        }
+        checked += 1;
+        assert_eq!(
+            chk3.holds(&f).unwrap(),
+            chk4.holds(&f).unwrap(),
+            "restricted formula distinguishes M_3 from M_4: {f}"
+        );
+    }
+    assert!(checked > 100, "battery too small: {checked}");
+}
+
+#[test]
+fn fig41_family_corresponds_and_restriction_is_the_difference() {
+    // The free a->b product family: every pair of sizes >= 2 corresponds
+    // (others only add finite stuttering), so restricted formulas agree...
+    let t = fig41_template();
+    let m2 = interleave(&t, 2);
+    let m3 = interleave(&t, 3);
+    let inrel = IndexRelation::two_vs_many(&[1, 2, 3]);
+    indexed_correspond(&m2, &m3, &inrel).expect("fig41 family corresponds");
+
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut c2 = IndexedChecker::new(&m2);
+    let mut c3 = IndexedChecker::new(&m3);
+    for trial in 0..300 {
+        let f = random_closed_indexed(&mut rng, &["a", "b"], trial % 2 == 0);
+        if check_restricted(&f).is_err() {
+            continue;
+        }
+        assert_eq!(
+            c2.holds(&f).unwrap(),
+            c3.holds(&f).unwrap(),
+            "restricted formula distinguishes the fig41 sizes: {f}"
+        );
+    }
+
+    // ...while the unrestricted counting formula tells 2 from 3.
+    let f3 = counting_formula(3);
+    assert!(check_restricted(&f3).is_err());
+    assert!(!c2.holds(&f3).unwrap());
+    assert!(c3.holds(&f3).unwrap());
+}
+
+#[test]
+fn theta_atom_is_preserved() {
+    // one(t) is part of AP and must transfer like any other atom.
+    let m3 = ring_mutex(3);
+    let m5 = ring_mutex(5);
+    let inrel = IndexRelation::base_vs_many(3, &[1, 2, 3, 4, 5]);
+    indexed_correspond(m3.structure(), m5.structure(), &inrel).expect("premise");
+    let f = parse_state("AG one(t)").unwrap();
+    assert!(IndexedChecker::new(m3.structure()).holds(&f).unwrap());
+    assert!(IndexedChecker::new(m5.structure()).holds(&f).unwrap());
+}
+
+#[test]
+fn paper_two_vs_many_premise_fails_mechanically() {
+    // The reproduction finding as a regression test: the premise between
+    // M_2 and M_r is not establishable.
+    let m2 = ring_mutex(2);
+    let m4 = ring_mutex(4);
+    let inrel = IndexRelation::two_vs_many(&[1, 2, 3, 4]);
+    assert!(indexed_correspond(m2.structure(), m4.structure(), &inrel).is_err());
+}
+
+#[test]
+fn the_separating_formula_is_stable_across_larger_sizes() {
+    // The witness that kills the M_2 base agrees on all sizes >= 3, as the
+    // repaired correspondence demands.
+    let f = parse_state("forall i. AG(d[i] -> A[d[i] U (c[i] & EG t[i])])").unwrap();
+    assert_eq!(check_restricted(&f), Ok(()));
+    let mut values = Vec::new();
+    for r in 3..=6u32 {
+        let m = ring_mutex(r);
+        values.push(IndexedChecker::new(m.structure()).holds(&f).unwrap());
+    }
+    assert_eq!(values, vec![false, false, false, false]);
+}
