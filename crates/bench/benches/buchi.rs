@@ -2,11 +2,11 @@
 //! the substrate that lifts CTL checking to full CTL*.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use icstar::icstar_kripke::bits::BitSet;
+use icstar::icstar_logic::Nnf;
 use icstar::icstar_logic::{nnf_path, parse_path};
 use icstar::icstar_mc::buchi::{ltl_to_gba, LitId};
 use icstar::icstar_mc::product::Product;
-use icstar::icstar_kripke::bits::BitSet;
-use icstar::icstar_logic::Nnf;
 use icstar_nets::ring_mutex;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -29,7 +29,10 @@ fn literalize(
                 table.push(sat);
                 LitId((table.len() - 1) as u32)
             });
-            Nnf::Lit { atom: id, negated: *negated }
+            Nnf::Lit {
+                atom: id,
+                negated: *negated,
+            }
         }
         Nnf::And(a, b) => Nnf::And(
             Rc::new(literalize(m, a, table, ids)),

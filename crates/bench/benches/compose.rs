@@ -43,5 +43,10 @@ fn bench_reduction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ring_composition, bench_free_product, bench_reduction);
+criterion_group!(
+    benches,
+    bench_ring_composition,
+    bench_free_product,
+    bench_reduction
+);
 criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Benchmark: the counter-abstraction engine (`icstar-sym`).
+//!
+//! Measures the exponential→polynomial collapse directly: building and
+//! checking the abstract structure at n up to 10,000, against the
+//! explicit free product whose cost doubles per process.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icstar::icstar_sym::{mutex_template, CounterSystem, CountingSpec, GuardedTemplate, SymEngine};
+use icstar::parse_state;
+use icstar_nets::{fig41_template, interleave};
+
+fn bench_counter_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym/counter-graph");
+    group.sample_size(10);
+    let t = mutex_template();
+    let spec = CountingSpec::standard(&t);
+    for n in [100u32, 1_000, 10_000] {
+        let sys = CounterSystem::new(t.clone(), n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let k = sys.kripke(&spec);
+                assert_eq!(k.num_states() as u32, 2 * n + 1);
+                k
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_abstract_vs_explicit(c: &mut Criterion) {
+    // Same workload, both routes: the explicit free product (2^n states)
+    // vs its counter abstraction (n + 1 states).
+    let mut group = c.benchmark_group("sym/abstract-vs-explicit");
+    group.sample_size(10);
+    let base = fig41_template();
+    let gt = GuardedTemplate::free(base.clone());
+    let spec = CountingSpec::standard(&gt);
+    for n in [8u32, 12, 14] {
+        group.bench_with_input(BenchmarkId::new("explicit", n), &n, |b, &n| {
+            b.iter(|| interleave(&base, n))
+        });
+        group.bench_with_input(BenchmarkId::new("abstract", n), &n, |b, &n| {
+            b.iter(|| CounterSystem::new(gt.clone(), n).kripke(&spec))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mutex_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym/verify-mutex");
+    group.sample_size(10);
+    let engine = SymEngine::new(mutex_template());
+    let counting = parse_state("AG !crit_ge2").unwrap();
+    let indexed = parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap();
+    for n in [1_000u32, 10_000] {
+        group.bench_with_input(BenchmarkId::new("counting", n), &n, |b, &n| {
+            b.iter(|| assert!(engine.check(n, &counting).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| assert!(engine.check(n, &indexed).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym/cross-check");
+    group.sample_size(10);
+    let engine = SymEngine::new(mutex_template());
+    for n in [2u32, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| engine.cross_check(n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_counter_graph,
+    bench_abstract_vs_explicit,
+    bench_mutex_verification,
+    bench_cross_check
+);
+criterion_main!(benches);

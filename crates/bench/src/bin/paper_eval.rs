@@ -9,11 +9,11 @@ use std::time::Instant;
 
 use icstar::icstar_bisim::spot::random_walk_simulation_check;
 use icstar::icstar_kripke::dot::to_dot;
+use icstar::icstar_logic::{check_restricted, parse_state, quantifier_depth};
 use icstar::{
     indexed_correspond, maximal_correspondence, verify_correspondence, Checker, IndexRelation,
     IndexedChecker,
 };
-use icstar::icstar_logic::{check_restricted, parse_state, quantifier_depth};
 use icstar_nets::ring::{ReducedRing, RingFamily};
 use icstar_nets::{
     buggy_ring, check_conjecture, counting_formula, fig31_left, fig31_right, fig41_template,
@@ -136,7 +136,11 @@ fn invariants() {
         for f in ring_invariants() {
             print!(
                 "{:>14}",
-                if chk.holds(&f.formula).unwrap() { "holds" } else { "FAILS" }
+                if chk.holds(&f.formula).unwrap() {
+                    "holds"
+                } else {
+                    "FAILS"
+                }
             );
         }
         println!();
@@ -159,7 +163,11 @@ fn properties() {
         for f in ring_properties() {
             print!(
                 "{:>13}",
-                if chk.holds(&f.formula).unwrap() { "holds" } else { "FAILS" }
+                if chk.holds(&f.formula).unwrap() {
+                    "holds"
+                } else {
+                    "FAILS"
+                }
             );
         }
         println!();
@@ -179,7 +187,9 @@ fn correspondence() {
         Err(v) => println!("  paper relation M_2 vs M_3 (1,1): FAILS — {v}"),
     }
     let f = parse_state("forall i. AG(d[i] -> A[d[i] U (c[i] & EG t[i])])").unwrap();
-    println!("  separating restricted formula f = forall i. AG(d[i] -> A[d[i] U (c[i] & EG t[i])])");
+    println!(
+        "  separating restricted formula f = forall i. AG(d[i] -> A[d[i] U (c[i] & EG t[i])])"
+    );
     for r in 2..=5u32 {
         let ring = ring_mutex(r);
         let mut chk = IndexedChecker::new(ring.structure());
@@ -243,12 +253,12 @@ fn explosion() {
         "r", "states", "formula", "build", "direct-mc"
     );
     let sizes: Vec<u32> = vec![2, 4, 6, 8, 10, 12, 14];
-    // Build the rings in parallel (crossbeam), measure MC sequentially.
-    let rings: Vec<_> = crossbeam::thread::scope(|scope| {
+    // Build the rings in parallel (scoped threads), measure MC sequentially.
+    let rings: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = sizes
             .iter()
             .map(|&r| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let t = Instant::now();
                     let ring = ring_mutex(r);
                     (r, ring, t.elapsed())
@@ -256,8 +266,7 @@ fn explosion() {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
     let p4 = &ring_properties()[3];
     for (r, ring, build_time) in &rings {
         let expected = (*r as u64) * (1u64 << r);
@@ -327,8 +336,16 @@ fn mutants() {
         let premise = indexed_correspond(base.structure(), &m, &inrel);
         println!(
             "  {mutation:?}: {broken} {}; correspondence premise vs healthy M_3: {}",
-            if holds { "holds (UNEXPECTED)" } else { "FAILS as expected" },
-            if premise.is_err() { "rejected" } else { "accepted (UNEXPECTED)" }
+            if holds {
+                "holds (UNEXPECTED)"
+            } else {
+                "FAILS as expected"
+            },
+            if premise.is_err() {
+                "rejected"
+            } else {
+                "accepted (UNEXPECTED)"
+            }
         );
     }
     // Sanity: the healthy ring passes everything.

@@ -128,8 +128,7 @@ fn clause_holds<A: Copy, B: Copy>(
         return true;
     }
     own_succs.iter().all(|&a| {
-        partner_succs.iter().any(|&b| matched(a, b))
-            || one_sided_own(a).is_some_and(|d| d < k)
+        partner_succs.iter().any(|&b| matched(a, b)) || one_sided_own(a).is_some_and(|d| d < k)
     })
 }
 
@@ -195,9 +194,8 @@ mod tests {
         // valid (the clauses only bound degrees from below).
         let m = ab_loop();
         let rel = maximal_correspondence(&m, &m);
-        let inflated = Correspondence::from_triples(
-            rel.iter().map(|(s, s2, d)| (s, s2, d * 2 + 5)),
-        );
+        let inflated =
+            Correspondence::from_triples(rel.iter().map(|(s, s2, d)| (s, s2, d * 2 + 5)));
         assert_eq!(verify_correspondence(&m, &m, &inflated), Ok(()));
     }
 

@@ -208,10 +208,7 @@ mod tests {
         let m2 = idle(2);
         let m3 = idle(3);
         let rel = reduction_correspondence(&m2, &m3, 2, 3);
-        assert!(rel.related(
-            m2.kripke().initial(),
-            m3.kripke().initial()
-        ));
+        assert!(rel.related(m2.kripke().initial(), m3.kripke().initial()));
     }
 
     #[test]

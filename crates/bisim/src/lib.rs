@@ -65,9 +65,7 @@ mod relation;
 pub mod spot;
 
 pub use check::{verify_correspondence, Violation};
-pub use indexed::{
-    indexed_correspond, reduction_correspondence, IndexRelation, IndexedViolation,
-};
+pub use indexed::{indexed_correspond, reduction_correspondence, IndexRelation, IndexedViolation};
 pub use maximal::{maximal_correspondence, structures_correspond};
 pub use partition::{disjoint_union, stuttering_partition, Partition};
 pub use quotient::{quotient, stuttering_quotient};

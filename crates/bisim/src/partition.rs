@@ -176,7 +176,11 @@ fn reaches_block_internally(m: &Kripke, block_of: &[u32], c: u32) -> Vec<bool> {
 
 /// Splits every block along `pred`; returns the new block count if any
 /// block actually split.
-fn split_by(block_of: &mut [u32], num_blocks: usize, pred: impl Fn(StateId) -> bool) -> Option<usize> {
+fn split_by(
+    block_of: &mut [u32],
+    num_blocks: usize,
+    pred: impl Fn(StateId) -> bool,
+) -> Option<usize> {
     // For each block with both pred and non-pred members, allocate a new
     // block id for the pred members.
     let mut new_id: Vec<Option<u32>> = vec![None; num_blocks];
@@ -221,10 +225,7 @@ pub fn disjoint_union(m1: &Kripke, m2: &Kripke) -> (Kripke, u32) {
     let mut ids = Vec::with_capacity(m1.num_states() + m2.num_states());
     for (tag, m) in [(1, m1), (2, m2)] {
         for s in m.states() {
-            let id = b.state_labeled(
-                format!("u{tag}_{}", m.state_name(s)),
-                m.label_atoms(s),
-            );
+            let id = b.state_labeled(format!("u{tag}_{}", m.state_name(s)), m.label_atoms(s));
             ids.push(id);
         }
     }

@@ -44,7 +44,9 @@ pub fn quotient(m: &Kripke, p: &Partition) -> (Kripke, Vec<StateId>) {
         }
     }
     let init = ids[p.block(m.initial()) as usize];
-    let q = b.build(init).expect("quotient of a valid structure is valid");
+    let q = b
+        .build(init)
+        .expect("quotient of a valid structure is valid");
     let map = m.states().map(|s| ids[p.block(s) as usize]).collect();
     (q, map)
 }

@@ -76,11 +76,7 @@ impl Correspondence {
     /// The transposed relation (swapping the roles of the structures).
     pub fn transpose(&self) -> Correspondence {
         Correspondence {
-            map: self
-                .map
-                .iter()
-                .map(|(&(s, s2), &d)| ((s2, s), d))
-                .collect(),
+            map: self.map.iter().map(|(&(s, s2), &d)| ((s2, s), d)).collect(),
         }
     }
 

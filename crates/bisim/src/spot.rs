@@ -119,24 +119,20 @@ pub fn check_pair<L: OnTheFly, R: OnTheFly>(
 
     // Clause 2b: b stutters with decreasing degree, or every a-move is
     // matched or stutters with decreasing degree.
-    let first_2b = succ_b
+    let first_2b = succ_b.iter().any(|b2| related(a, b2) && degree(a, b2) < k);
+    let second_2b = succ_a
         .iter()
-        .any(|b2| related(a, b2) && degree(a, b2) < k);
-    let second_2b = succ_a.iter().all(|a2| {
-        succ_b.iter().any(|b2| related(a2, b2)) || (related(a2, b) && degree(a2, b) < k)
-    });
+        .all(|a2| succ_b.iter().any(|b2| related(a2, b2)) || (related(a2, b) && degree(a2, b) < k));
     if !(first_2b || second_2b) {
         let (x, y) = render(a, b);
         return Err(SpotViolation::Clause2b(x, y));
     }
 
     // Clause 2c: symmetric.
-    let first_2c = succ_a
+    let first_2c = succ_a.iter().any(|a2| related(a2, b) && degree(a2, b) < k);
+    let second_2c = succ_b
         .iter()
-        .any(|a2| related(a2, b) && degree(a2, b) < k);
-    let second_2c = succ_b.iter().all(|b2| {
-        succ_a.iter().any(|a2| related(a2, b2)) || (related(a, b2) && degree(a, b2) < k)
-    });
+        .all(|b2| succ_a.iter().any(|a2| related(a2, b2)) || (related(a, b2) && degree(a, b2) < k));
     if !(first_2c || second_2c) {
         let (x, y) = render(a, b);
         return Err(SpotViolation::Clause2c(x, y));
@@ -389,9 +385,7 @@ mod tests {
         let m = bld.build(a0).unwrap();
         let (l, r) = (Explicit(&m), Explicit(&m));
         // Relation: everything with equal labels related at degree 0.
-        let related = |a: &StateId, b: &StateId| {
-            m.label_atoms(*a) == m.label_atoms(*b)
-        };
+        let related = |a: &StateId, b: &StateId| m.label_atoms(*a) == m.label_atoms(*b);
         let degree = |_: &StateId, _: &StateId| 0u64;
         // Pair (a0, a1): a1's move to b cannot be matched by a0 (a0 -> a1
         // only, label a), and one-sided needs degree decrease from 0.

@@ -27,9 +27,12 @@
 //! | [`icstar_mc`] | CTL labeling, LTL→Büchi, CTL* product checking, ICTL* expansion |
 //! | [`icstar_bisim`] | correspondence with degrees, partition refinement, quotients, Theorem 5 |
 //! | [`icstar_nets`] | the token ring, free products, counting examples, mutants |
+//! | [`icstar_sym`] | counter abstraction: symmetric networks at `n = 10,000+` |
 //!
 //! This facade re-exports the main types and adds the high-level
-//! [`FamilyVerifier`] workflow.
+//! [`FamilyVerifier`] workflow, which offers two backends: explicit
+//! Theorem 5 transfer, and direct counter-abstracted checking at the
+//! target size ([`FamilyVerifier::counter_abstracted`]).
 //!
 //! ## Quickstart
 //!
@@ -70,7 +73,7 @@
 
 mod verifier;
 
-pub use verifier::{FamilyError, FamilyVerifier, Verdict};
+pub use verifier::{FamilyBackend, FamilyError, FamilyVerifier, Verdict};
 
 pub use icstar_bisim::{
     disjoint_union, indexed_correspond, maximal_correspondence, quotient, reduction_correspondence,
@@ -86,6 +89,10 @@ pub use icstar_logic::{
     IndexTerm, ParseError, PathFormula, RestrictionError, StateFormula,
 };
 pub use icstar_mc::{Checker, IndexedChecker, McError};
+pub use icstar_sym::{
+    mutex_template, verify_counter_abstraction, CounterState, CounterSystem, CountingSpec, Guard,
+    GuardedBuilder, GuardedTemplate, SymEngine, SymError,
+};
 
 // The sub-crates, for item-level access.
 pub use icstar_bisim;
@@ -93,3 +100,4 @@ pub use icstar_kripke;
 pub use icstar_logic;
 pub use icstar_mc;
 pub use icstar_nets;
+pub use icstar_sym;

@@ -1,10 +1,21 @@
 //! The high-level "verify small, conclude for large" workflow.
 //!
-//! This is the paper's program as an API: model-check a *base* instance of
-//! a family of identical processes, mechanically establish the premise of
-//! the ICTL* correspondence theorem against a *target* instance, and
-//! transfer the verdicts. The target structure is only ever touched by
-//! the correspondence computation — never by the model checker.
+//! This is the paper's program as an API, with two selectable backends:
+//!
+//! * **Explicit transfer** ([`FamilyVerifier::new`]) — model-check a
+//!   *base* instance of a family of identical processes, mechanically
+//!   establish the premise of the ICTL* correspondence theorem against a
+//!   *target* instance, and transfer the verdicts. The target structure
+//!   is only ever touched by the correspondence computation — never by
+//!   the model checker.
+//! * **Counter abstraction** ([`FamilyVerifier::counter_abstracted`]) —
+//!   for fully symmetric, template-defined families, skip the explicit
+//!   composition entirely: [`FamilyVerifier::verify_at`] checks the
+//!   registered formulas directly at any size `n` on the
+//!   polynomially-sized counter-abstracted structure
+//!   ([`icstar_sym::SymEngine`]), and
+//!   [`FamilyVerifier::cross_check_abstraction`] audits the abstraction
+//!   against the explicit composition at a small size.
 
 use std::fmt;
 
@@ -12,6 +23,27 @@ use icstar_bisim::{indexed_correspond, IndexRelation, IndexedViolation};
 use icstar_kripke::IndexedKripke;
 use icstar_logic::{check_restricted, StateFormula};
 use icstar_mc::{IndexedChecker, McError};
+use icstar_sym::{GuardedTemplate, SymEngine, SymError};
+
+/// Which verification strategy a [`FamilyVerifier`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FamilyBackend {
+    /// Model-check a small base instance; transfer verdicts through the
+    /// Theorem 5 correspondence.
+    ExplicitTransfer,
+    /// Check directly at the target size on the counter-abstracted
+    /// structure (fully symmetric families only).
+    CounterAbstraction,
+}
+
+impl fmt::Display for FamilyBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FamilyBackend::ExplicitTransfer => write!(f, "explicit-transfer"),
+            FamilyBackend::CounterAbstraction => write!(f, "counter-abstraction"),
+        }
+    }
+}
 
 /// Why a family verification could not be completed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,6 +55,12 @@ pub enum FamilyError {
     Check(McError),
     /// The correspondence premise failed: the verdicts do *not* transfer.
     NoCorrespondence(IndexedViolation),
+    /// The requested operation is not supported by the verifier's backend
+    /// (e.g. [`FamilyVerifier::transfer_to`] on a counter-abstracted
+    /// verifier). The payload names the operation.
+    BackendMismatch(&'static str),
+    /// The counter-abstraction engine failed.
+    Sym(SymError),
 }
 
 impl fmt::Display for FamilyError {
@@ -35,6 +73,10 @@ impl fmt::Display for FamilyError {
             FamilyError::NoCorrespondence(v) => {
                 write!(f, "correspondence premise failed: {v}")
             }
+            FamilyError::BackendMismatch(op) => {
+                write!(f, "operation {op:?} is not supported by this backend")
+            }
+            FamilyError::Sym(e) => write!(f, "counter abstraction failed: {e}"),
         }
     }
 }
@@ -44,6 +86,12 @@ impl std::error::Error for FamilyError {}
 impl From<McError> for FamilyError {
     fn from(e: McError) -> Self {
         FamilyError::Check(e)
+    }
+}
+
+impl From<SymError> for FamilyError {
+    fn from(e: SymError) -> Self {
+        FamilyError::Sym(e)
     }
 }
 
@@ -57,9 +105,14 @@ pub struct Verdict {
     pub holds: bool,
 }
 
-/// Verifies closed restricted ICTL* formulas on a small *base* instance
-/// and transfers the verdicts to larger instances through the
-/// correspondence theorem.
+/// Verifies closed restricted ICTL* formulas for a whole family of
+/// identical processes, through one of two backends
+/// ([`FamilyBackend`]): model-check a small *base* instance and transfer
+/// the verdicts via the correspondence theorem
+/// ([`FamilyVerifier::new`] / [`FamilyVerifier::transfer_to`]), or
+/// counter-abstract a fully symmetric template and check directly at the
+/// target size ([`FamilyVerifier::counter_abstracted`] /
+/// [`FamilyVerifier::verify_at`]).
 ///
 /// # Examples
 ///
@@ -83,46 +136,115 @@ pub struct Verdict {
 /// ```
 #[derive(Debug)]
 pub struct FamilyVerifier<'a> {
-    base: &'a IndexedKripke,
+    backend: Backend<'a>,
     formulas: Vec<(String, StateFormula)>,
 }
 
+#[derive(Debug)]
+enum Backend<'a> {
+    Explicit { base: &'a IndexedKripke },
+    Counter { engine: Box<SymEngine> },
+}
+
 impl<'a> FamilyVerifier<'a> {
-    /// Creates a verifier for the given base instance.
+    /// Creates an explicit-transfer verifier for the given base instance.
     pub fn new(base: &'a IndexedKripke) -> Self {
         FamilyVerifier {
-            base,
+            backend: Backend::Explicit { base },
             formulas: Vec::new(),
         }
     }
 
-    /// Registers a formula to verify. It must be closed restricted ICTL* —
-    /// otherwise the correspondence theorem does not apply and the verdict
-    /// would not transfer.
+    /// Creates a counter-abstraction verifier for the fully symmetric
+    /// family generated by `template`. Use [`FamilyVerifier::verify_at`]
+    /// to check the registered formulas at any size — `n = 10,000` costs
+    /// a polynomially-sized abstract structure, not `|S|^n` states.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use icstar::FamilyVerifier;
+    /// use icstar_logic::parse_state;
+    /// use icstar_sym::mutex_template;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut verifier = FamilyVerifier::counter_abstracted(mutex_template());
+    /// verifier.add_formula("mutex", parse_state("AG !crit_ge2")?)?;
+    /// verifier.add_formula(
+    ///     "access possibility",
+    ///     parse_state("forall i. AG(try[i] -> EF crit[i])")?,
+    /// )?;
+    /// let verdicts = verifier.verify_at(10_000)?;
+    /// assert!(verdicts.iter().all(|v| v.holds));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn counter_abstracted(template: GuardedTemplate) -> FamilyVerifier<'static> {
+        FamilyVerifier {
+            backend: Backend::Counter {
+                engine: Box::new(SymEngine::new(template)),
+            },
+            formulas: Vec::new(),
+        }
+    }
+
+    /// The verification strategy this verifier uses.
+    pub fn backend(&self) -> FamilyBackend {
+        match &self.backend {
+            Backend::Explicit { .. } => FamilyBackend::ExplicitTransfer,
+            Backend::Counter { .. } => FamilyBackend::CounterAbstraction,
+        }
+    }
+
+    /// Registers a formula to verify.
+    ///
+    /// On the explicit-transfer backend it must be closed restricted
+    /// ICTL* — otherwise the correspondence theorem does not apply and
+    /// the verdict would not transfer. The counter-abstraction backend is
+    /// exact at the target size, so *quantifier-free* formulas over
+    /// counting atoms are accepted without the restriction (even with the
+    /// nexttime operator); quantified formulas still must be restricted,
+    /// the representative construction's soundness boundary
+    /// ([`icstar_sym::SymEngine::check_indexed`]).
     ///
     /// # Errors
     ///
     /// Returns [`FamilyError::NotRestricted`] for formulas outside the
-    /// fragment (e.g. using `X`, nested index quantifiers, or quantifiers
-    /// under `U`).
+    /// backend's fragment (e.g. nested index quantifiers, quantifiers
+    /// under `U`, or — on the explicit backend — any use of `X`).
     pub fn add_formula(
         &mut self,
         name: impl Into<String>,
         f: StateFormula,
     ) -> Result<&mut Self, FamilyError> {
         let name = name.into();
-        check_restricted(&f).map_err(|e| FamilyError::NotRestricted(name.clone(), e))?;
+        let needs_restriction = match &self.backend {
+            Backend::Explicit { .. } => true,
+            // Quantifier-free counting formulas transfer exactly through
+            // the strong-bisimulation quotient; the engine validates
+            // their atoms at verify time.
+            Backend::Counter { .. } => icstar_logic::has_index_quantifier(&f),
+        };
+        if needs_restriction {
+            check_restricted(&f).map_err(|e| FamilyError::NotRestricted(name.clone(), e))?;
+        }
         self.formulas.push((name, f));
         Ok(self)
     }
 
-    /// Model-checks all registered formulas on the base instance.
+    /// Model-checks all registered formulas on the base instance
+    /// (explicit-transfer backend only).
     ///
     /// # Errors
     ///
-    /// Propagates model-checking failures.
+    /// Propagates model-checking failures;
+    /// [`FamilyError::BackendMismatch`] on a counter-abstracted verifier,
+    /// which has no base instance — use [`FamilyVerifier::verify_at`].
     pub fn check_base(&self) -> Result<Vec<Verdict>, FamilyError> {
-        let mut chk = IndexedChecker::new(self.base);
+        let Backend::Explicit { base } = &self.backend else {
+            return Err(FamilyError::BackendMismatch("check_base"));
+        };
+        let mut chk = IndexedChecker::new(base);
         self.formulas
             .iter()
             .map(|(name, f)| {
@@ -141,15 +263,60 @@ impl<'a> FamilyVerifier<'a> {
     /// # Errors
     ///
     /// Returns [`FamilyError::NoCorrespondence`] if some reduction pair
-    /// fails to correspond (in which case nothing transfers), or a model
-    /// checking error from the base run.
+    /// fails to correspond (in which case nothing transfers), a model
+    /// checking error from the base run, or
+    /// [`FamilyError::BackendMismatch`] on a counter-abstracted verifier.
     pub fn transfer_to(
         &self,
         target: &IndexedKripke,
         inrel: &IndexRelation,
     ) -> Result<Vec<Verdict>, FamilyError> {
-        indexed_correspond(self.base, target, inrel).map_err(FamilyError::NoCorrespondence)?;
+        let Backend::Explicit { base } = &self.backend else {
+            return Err(FamilyError::BackendMismatch("transfer_to"));
+        };
+        indexed_correspond(base, target, inrel).map_err(FamilyError::NoCorrespondence)?;
         self.check_base()
+    }
+
+    /// Checks all registered formulas directly at family size `n` on the
+    /// counter-abstracted structure (counter-abstraction backend only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures ([`FamilyError::Sym`]);
+    /// [`FamilyError::BackendMismatch`] on an explicit-transfer verifier,
+    /// which verifies through [`FamilyVerifier::transfer_to`] instead.
+    pub fn verify_at(&self, n: u32) -> Result<Vec<Verdict>, FamilyError> {
+        let Backend::Counter { engine } = &self.backend else {
+            return Err(FamilyError::BackendMismatch("verify_at"));
+        };
+        // One session: the counter and representative structures are
+        // materialized at most once each, shared by all formulas.
+        let mut session = engine.session(n);
+        self.formulas
+            .iter()
+            .map(|(name, f)| {
+                Ok(Verdict {
+                    name: name.clone(),
+                    holds: session.check(f)?,
+                })
+            })
+            .collect()
+    }
+
+    /// Audits the counter abstraction against the explicit composition at
+    /// a small, explicitly-buildable size (counter-abstraction backend
+    /// only). See [`icstar_sym::verify_counter_abstraction`].
+    ///
+    /// # Errors
+    ///
+    /// [`FamilyError::Sym`] on an abstraction mismatch (an engine bug);
+    /// [`FamilyError::BackendMismatch`] on an explicit-transfer verifier.
+    pub fn cross_check_abstraction(&self, n: u32) -> Result<(), FamilyError> {
+        let Backend::Counter { engine } = &self.backend else {
+            return Err(FamilyError::BackendMismatch("cross_check_abstraction"));
+        };
+        Ok(engine.cross_check(n)?)
     }
 }
 
@@ -215,12 +382,93 @@ mod tests {
         v.add_formula("p2", parse_state("forall i. AG(c[i] -> t[i])").unwrap())
             .unwrap();
         let verdicts = v.check_base().unwrap();
-        assert_eq!(verdicts, vec![Verdict { name: "p2".into(), holds: true }]);
+        assert_eq!(
+            verdicts,
+            vec![Verdict {
+                name: "p2".into(),
+                holds: true
+            }]
+        );
     }
 
     #[test]
     fn error_display() {
         let e = FamilyError::Check(McError::FreeIndexVariable("i".into()));
         assert!(e.to_string().contains("model checking failed"));
+        assert!(FamilyError::BackendMismatch("verify_at")
+            .to_string()
+            .contains("verify_at"));
+        assert!(FamilyError::Sym(icstar_sym::SymError::EmptyFamily)
+            .to_string()
+            .contains("counter abstraction"));
+    }
+
+    #[test]
+    fn counter_backend_accepts_nexttime_counting_formulas() {
+        // The abstraction is exact, so X is sound for quantifier-free
+        // counting formulas — the counter backend must not reject it.
+        let mut v = FamilyVerifier::counter_abstracted(icstar_sym::mutex_template());
+        v.add_formula("first move", parse_state("AX try_ge1").unwrap())
+            .unwrap();
+        let verdicts = v.verify_at(100).unwrap();
+        assert!(verdicts[0].holds);
+        // Quantified formulas still need the restriction...
+        let err = v
+            .add_formula("bad", parse_state("AG (exists i. crit[i])").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, FamilyError::NotRestricted(..)));
+        // ...and the explicit backend keeps rejecting X outright.
+        let base = ring_mutex(2);
+        let mut e = FamilyVerifier::new(base.structure());
+        let err = e
+            .add_formula("x", parse_state("AX t[1]").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, FamilyError::NotRestricted(..)));
+    }
+
+    #[test]
+    fn counter_backend_verifies_at_scale() {
+        let mut v = FamilyVerifier::counter_abstracted(icstar_sym::mutex_template());
+        v.add_formula("mutex", parse_state("AG !crit_ge2").unwrap())
+            .unwrap();
+        v.add_formula(
+            "access possibility",
+            parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(v.backend(), FamilyBackend::CounterAbstraction);
+        v.cross_check_abstraction(3).unwrap();
+        for n in [1u32, 4, 100] {
+            let verdicts = v.verify_at(n).unwrap();
+            assert_eq!(verdicts.len(), 2);
+            assert!(verdicts.iter().all(|vd| vd.holds), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn backends_reject_foreign_operations() {
+        let base = ring_mutex(2);
+        let explicit = FamilyVerifier::new(base.structure());
+        assert_eq!(explicit.backend(), FamilyBackend::ExplicitTransfer);
+        assert_eq!(
+            explicit.verify_at(5).unwrap_err(),
+            FamilyError::BackendMismatch("verify_at")
+        );
+        assert_eq!(
+            explicit.cross_check_abstraction(2).unwrap_err(),
+            FamilyError::BackendMismatch("cross_check_abstraction")
+        );
+
+        let counter = FamilyVerifier::counter_abstracted(icstar_sym::mutex_template());
+        assert_eq!(
+            counter.check_base().unwrap_err(),
+            FamilyError::BackendMismatch("check_base")
+        );
+        let target = ring_mutex(3);
+        let inrel = IndexRelation::two_vs_many(&[1, 2, 3]);
+        assert_eq!(
+            counter.transfer_to(target.structure(), &inrel).unwrap_err(),
+            FamilyError::BackendMismatch("transfer_to")
+        );
     }
 }

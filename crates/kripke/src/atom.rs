@@ -221,10 +221,7 @@ mod tests {
     fn with_index_renames_only_indexed() {
         assert_eq!(Atom::indexed("d", 3).with_index(7), Atom::indexed("d", 7));
         assert_eq!(Atom::plain("p").with_index(7), Atom::plain("p"));
-        assert_eq!(
-            Atom::exactly_one("t").with_index(7),
-            Atom::exactly_one("t")
-        );
+        assert_eq!(Atom::exactly_one("t").with_index(7), Atom::exactly_one("t"));
     }
 
     #[test]

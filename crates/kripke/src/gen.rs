@@ -168,10 +168,7 @@ mod tests {
         inf.validate().unwrap();
         // The chain copies all carry a's label.
         let p = Atom::plain("p");
-        let labeled_p = inf
-            .states()
-            .filter(|&s| inf.satisfies_atom(s, &p))
-            .count();
+        let labeled_p = inf.states().filter(|&s| inf.satisfies_atom(s, &p)).count();
         assert_eq!(labeled_p, 3);
         // Initial state is the first copy of a.
         assert!(inf.satisfies_atom(inf.initial(), &p));

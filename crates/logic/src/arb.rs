@@ -107,7 +107,9 @@ fn ctl_path<R: Rng + ?Sized>(rng: &mut R, cfg: &FormulaConfig, depth: usize) -> 
     match rng.random_range(0..choices) {
         0 => build::g(state(rng, cfg, d).on_path()),
         1 => build::f(state(rng, cfg, d).on_path()),
-        2 => state(rng, cfg, d).on_path().until(state(rng, cfg, d).on_path()),
+        2 => state(rng, cfg, d)
+            .on_path()
+            .until(state(rng, cfg, d).on_path()),
         3 => state(rng, cfg, d)
             .on_path()
             .release(state(rng, cfg, d).on_path()),

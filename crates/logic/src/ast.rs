@@ -94,6 +94,7 @@ pub enum PathFormula {
 
 impl StateFormula {
     /// `¬self`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, consistent with `and`/`or`
     pub fn not(self) -> StateFormula {
         StateFormula::Not(Box::new(self))
     }
@@ -155,6 +156,7 @@ impl StateFormula {
 
 impl PathFormula {
     /// `¬self`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, consistent with `and`/`or`
     pub fn not(self) -> PathFormula {
         PathFormula::Not(Box::new(self))
     }

@@ -52,7 +52,10 @@ impl fmt::Display for RestrictionError {
                 write!(f, "free index variable {v:?}; the formula is not closed")
             }
             RestrictionError::ConstantIndex => {
-                write!(f, "constant index values are not allowed in closed formulas")
+                write!(
+                    f,
+                    "constant index values are not allowed in closed formulas"
+                )
             }
         }
     }
@@ -407,10 +410,16 @@ mod tests {
     #[test]
     fn restriction_rejects_nested_quantifiers() {
         let f = parse_state("exists i. p[i] & (exists j. q[j])").unwrap();
-        assert_eq!(check_restricted(&f), Err(RestrictionError::NestedQuantifier));
+        assert_eq!(
+            check_restricted(&f),
+            Err(RestrictionError::NestedQuantifier)
+        );
         // forall counts too (it is ¬⋁¬).
         let g = parse_state("forall i. p[i] | (forall j. q[j])").unwrap();
-        assert_eq!(check_restricted(&g), Err(RestrictionError::NestedQuantifier));
+        assert_eq!(
+            check_restricted(&g),
+            Err(RestrictionError::NestedQuantifier)
+        );
     }
 
     #[test]
@@ -419,9 +428,15 @@ mod tests {
         let f = parse_state("exists i. EF(b[i])").unwrap();
         assert_eq!(check_restricted(&f), Ok(()));
         let g = parse_state("E[true U (exists i. b[i])]").unwrap();
-        assert_eq!(check_restricted(&g), Err(RestrictionError::QuantifierInUntil));
+        assert_eq!(
+            check_restricted(&g),
+            Err(RestrictionError::QuantifierInUntil)
+        );
         let h = parse_state("EF (exists i. b[i])").unwrap();
-        assert_eq!(check_restricted(&h), Err(RestrictionError::QuantifierInUntil));
+        assert_eq!(
+            check_restricted(&h),
+            Err(RestrictionError::QuantifierInUntil)
+        );
         let gg = parse_state("AG (exists i. b[i])").unwrap();
         assert_eq!(
             check_restricted(&gg),
@@ -448,10 +463,7 @@ mod tests {
     #[test]
     fn quantifier_depth_counts_nesting() {
         assert_eq!(quantifier_depth(&parse_state("p").unwrap()), 0);
-        assert_eq!(
-            quantifier_depth(&parse_state("forall i. p[i]").unwrap()),
-            1
-        );
+        assert_eq!(quantifier_depth(&parse_state("forall i. p[i]").unwrap()), 1);
         let f = parse_state("exists i. a[i] & EF(b[i] & (exists j. a[j]))").unwrap();
         assert_eq!(quantifier_depth(&f), 2);
     }

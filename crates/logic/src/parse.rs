@@ -99,8 +99,8 @@ enum Tok {
 }
 
 const RESERVED: &[&str] = &[
-    "true", "false", "one", "forall", "exists", "E", "A", "AG", "AF", "EG", "EF", "AX", "EX",
-    "U", "R", "F", "G", "X",
+    "true", "false", "one", "forall", "exists", "E", "A", "AG", "AF", "EG", "EF", "AX", "EX", "U",
+    "R", "F", "G", "X",
 ];
 
 struct Parser {
@@ -543,24 +543,27 @@ mod tests {
 
     #[test]
     fn synonyms_for_and_or() {
-        assert_eq!(parse_state("a && b").unwrap(), parse_state("a & b").unwrap());
-        assert_eq!(parse_state("a || b").unwrap(), parse_state("a | b").unwrap());
+        assert_eq!(
+            parse_state("a && b").unwrap(),
+            parse_state("a & b").unwrap()
+        );
+        assert_eq!(
+            parse_state("a || b").unwrap(),
+            parse_state("a | b").unwrap()
+        );
     }
 
     #[test]
     fn ctl_sugar() {
         assert_eq!(parse_state("AG p").unwrap(), ag(prop("p")));
         assert_eq!(parse_state("EF p").unwrap(), ef(prop("p")));
-        assert_eq!(parse_state("AF (p & q)").unwrap(), af(prop("p").and(prop("q"))));
+        assert_eq!(
+            parse_state("AF (p & q)").unwrap(),
+            af(prop("p").and(prop("q")))
+        );
         assert_eq!(parse_state("EX p").unwrap(), ex(prop("p")));
-        assert_eq!(
-            parse_state("A[p U q]").unwrap(),
-            au(prop("p"), prop("q"))
-        );
-        assert_eq!(
-            parse_state("E(p U q)").unwrap(),
-            eu(prop("p"), prop("q"))
-        );
+        assert_eq!(parse_state("A[p U q]").unwrap(), au(prop("p"), prop("q")));
+        assert_eq!(parse_state("E(p U q)").unwrap(), eu(prop("p"), prop("q")));
     }
 
     #[test]
@@ -573,10 +576,7 @@ mod tests {
     #[test]
     fn quantifiers_scope_maximally() {
         let f = parse_state("forall i. d[i] -> c[i]").unwrap();
-        assert_eq!(
-            f,
-            forall_idx("i", iprop("d", "i").implies(iprop("c", "i")))
-        );
+        assert_eq!(f, forall_idx("i", iprop("d", "i").implies(iprop("c", "i"))));
         let g = parse_state("exists i. t[i]").unwrap();
         assert_eq!(g, exists_idx("i", iprop("t", "i")));
     }
@@ -597,7 +597,10 @@ mod tests {
         let inner = iprop("d", "i")
             .not()
             .and(iprop("t", "i").not())
-            .and(e(iprop("d", "i").not().on_path().until(iprop("t", "i").on_path())));
+            .and(e(iprop("d", "i")
+                .not()
+                .on_path()
+                .until(iprop("t", "i").on_path())));
         assert_eq!(f, exists_idx("i", ef(inner)).not());
     }
 
@@ -629,10 +632,7 @@ mod tests {
     fn ag_of_until_group() {
         // Sugar operand may itself be a parenthesized path formula.
         let f = parse_state("AG (p U q)").unwrap();
-        assert_eq!(
-            f,
-            a(g(prop("p").on_path().until(prop("q").on_path())))
-        );
+        assert_eq!(f, a(g(prop("p").on_path().until(prop("q").on_path()))));
     }
 
     #[test]

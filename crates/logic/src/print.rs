@@ -217,10 +217,7 @@ mod tests {
     fn sugar_is_printed() {
         assert_eq!(parse_state("A(G p)").unwrap().to_string(), "AG p");
         assert_eq!(parse_state("E(F p)").unwrap().to_string(), "EF p");
-        assert_eq!(
-            parse_state("A(p U q)").unwrap().to_string(),
-            "A[p U q]"
-        );
+        assert_eq!(parse_state("A(p U q)").unwrap().to_string(), "A[p U q]");
     }
 
     #[test]

@@ -325,7 +325,7 @@ mod tests {
             // Random subset as f.
             let mut f = BitSet::new(m.num_states());
             for s in m.states() {
-                if (s.0 as usize + trial) % 3 != 0 {
+                if !(s.0 as usize + trial).is_multiple_of(3) {
                     f.insert(s.idx());
                 }
             }

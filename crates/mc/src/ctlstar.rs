@@ -114,9 +114,7 @@ impl<'a> Checker<'a> {
             False => ctl::empty_set(self.m),
             Prop(n) => self.sat_atom(&Atom::plain(n.clone())),
             Indexed(n, IndexTerm::Const(c)) => self.sat_atom(&Atom::indexed(n.clone(), *c)),
-            Indexed(_, IndexTerm::Var(v)) => {
-                return Err(McError::FreeIndexVariable(v.clone()))
-            }
+            Indexed(_, IndexTerm::Var(v)) => return Err(McError::FreeIndexVariable(v.clone())),
             ExactlyOne(n) => self.sat_exactly_one(n),
             Not(g) => {
                 let mut s = (*self.sat(g)?).clone();
@@ -190,10 +188,7 @@ impl<'a> Checker<'a> {
             .collect();
         let mut out = BitSet::new(self.m.num_states());
         for s in self.m.states() {
-            let count = ids
-                .iter()
-                .filter(|&&b| self.m.label(s).contains(b))
-                .count();
+            let count = ids.iter().filter(|&&b| self.m.label(s).contains(b)).count();
             if count == 1 {
                 out.insert(s.idx());
             }

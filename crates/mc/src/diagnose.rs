@@ -53,10 +53,7 @@ impl fmt::Display for FailureDiagnosis {
 /// # Errors
 ///
 /// Propagates model-checking errors (e.g. free index variables).
-pub fn diagnose(
-    m: &IndexedKripke,
-    f: &StateFormula,
-) -> Result<Option<FailureDiagnosis>, McError> {
+pub fn diagnose(m: &IndexedKripke, f: &StateFormula) -> Result<Option<FailureDiagnosis>, McError> {
     let indices = m.indices().to_vec();
     let mut chk = Checker::new(m.kripke());
     let init = m.kripke().initial();
@@ -121,8 +118,14 @@ mod tests {
     /// Two processes; process 2 can get stuck waiting forever.
     fn unfair() -> IndexedKripke {
         let mut b = KripkeBuilder::new();
-        let s0 = b.state_labeled("both-idle", [Atom::indexed("idle", 1), Atom::indexed("idle", 2)]);
-        let s1 = b.state_labeled("one-runs", [Atom::indexed("run", 1), Atom::indexed("idle", 2)]);
+        let s0 = b.state_labeled(
+            "both-idle",
+            [Atom::indexed("idle", 1), Atom::indexed("idle", 2)],
+        );
+        let s1 = b.state_labeled(
+            "one-runs",
+            [Atom::indexed("run", 1), Atom::indexed("idle", 2)],
+        );
         // Process 1 can run forever; process 2 never runs.
         b.edge(s0, s1);
         b.edge(s1, s1);
@@ -157,7 +160,9 @@ mod tests {
     fn plain_a_formula_gets_witness() {
         let m = unfair();
         let f = parse_state("AG (exists i. run[i])").unwrap();
-        let d = diagnose(&m, &f).unwrap().expect("fails at the initial state");
+        let d = diagnose(&m, &f)
+            .unwrap()
+            .expect("fails at the initial state");
         assert!(d.failing_indices.is_empty());
         let w = d.witness.expect("AG failure yields a lasso");
         assert!(w.is_path_of(m.kripke()));

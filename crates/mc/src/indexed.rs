@@ -191,10 +191,7 @@ mod tests {
     fn nested_expansion() {
         let f = parse_state("exists i. c[i] & (exists j. n[j])").unwrap();
         let e = expand(&f, &[1, 2]);
-        assert_eq!(
-            e.to_string(),
-            "c[1] & (n[1] | n[2]) | c[2] & (n[1] | n[2])"
-        );
+        assert_eq!(e.to_string(), "c[1] & (n[1] | n[2]) | c[2] & (n[1] | n[2])");
     }
 
     #[test]
@@ -236,9 +233,6 @@ mod tests {
         // exists i. c[i] & (exists i. n[i]) — inner i independent.
         let f = parse_state("exists i. c[i] & (exists i. n[i])").unwrap();
         let e = expand(&f, &[1, 2]);
-        assert_eq!(
-            e.to_string(),
-            "c[1] & (n[1] | n[2]) | c[2] & (n[1] | n[2])"
-        );
+        assert_eq!(e.to_string(), "c[1] & (n[1] | n[2]) | c[2] & (n[1] | n[2])");
     }
 }

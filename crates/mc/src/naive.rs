@@ -228,8 +228,16 @@ mod tests {
         assert!(!eval_on_lasso(&l, &parse_path("G p").unwrap(), &mut lit));
         assert!(eval_on_lasso(&l, &parse_path("p").unwrap(), &mut lit));
         let loop2 = looping_lasso();
-        assert!(eval_on_lasso(&loop2, &parse_path("G F p").unwrap(), &mut lit));
-        assert!(!eval_on_lasso(&loop2, &parse_path("F q").unwrap(), &mut lit));
+        assert!(eval_on_lasso(
+            &loop2,
+            &parse_path("G F p").unwrap(),
+            &mut lit
+        ));
+        assert!(!eval_on_lasso(
+            &loop2,
+            &parse_path("F q").unwrap(),
+            &mut lit
+        ));
     }
 
     #[test]
@@ -240,7 +248,11 @@ mod tests {
         // p U q fails: position 1 has neither p nor q... p holds at 0 only,
         // q at 2; position 1 breaks the until.
         assert!(!eval_on_lasso(&l, &parse_path("p U q").unwrap(), &mut lit));
-        assert!(eval_on_lasso(&l, &parse_path("(p | !q) U q").unwrap(), &mut lit));
+        assert!(eval_on_lasso(
+            &l,
+            &parse_path("(p | !q) U q").unwrap(),
+            &mut lit
+        ));
         // q R (anything true until q inclusive)...
         assert!(eval_on_lasso(
             &l,
@@ -250,7 +262,11 @@ mod tests {
         // Release that must hold forever on the cycle: p R q on (s2)^ω
         // suffix — from position 2, q holds forever: true even without p.
         let suffix = l.suffix(2);
-        assert!(eval_on_lasso(&suffix, &parse_path("p R q").unwrap(), &mut lit));
+        assert!(eval_on_lasso(
+            &suffix,
+            &parse_path("p R q").unwrap(),
+            &mut lit
+        ));
     }
 
     #[test]
@@ -262,7 +278,11 @@ mod tests {
         assert!(eval_on_lasso(&l, &parse_path("X X p").unwrap(), &mut lit));
         // At the cycle end, X wraps to the cycle start.
         let single = Lasso::new(vec![], vec![StateId(2)]);
-        assert!(eval_on_lasso(&single, &parse_path("X q").unwrap(), &mut lit));
+        assert!(eval_on_lasso(
+            &single,
+            &parse_path("X q").unwrap(),
+            &mut lit
+        ));
     }
 
     #[test]

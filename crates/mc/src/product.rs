@@ -34,8 +34,13 @@ pub struct Product<'a> {
 
 fn compatible(gba: &Gba, lit_sat: &[BitSet], s: u32, q: usize) -> bool {
     let node = &gba.nodes[q];
-    node.pos.iter().all(|l| lit_sat[l.idx()].contains(s as usize))
-        && node.neg.iter().all(|l| !lit_sat[l.idx()].contains(s as usize))
+    node.pos
+        .iter()
+        .all(|l| lit_sat[l.idx()].contains(s as usize))
+        && node
+            .neg
+            .iter()
+            .all(|l| !lit_sat[l.idx()].contains(s as usize))
 }
 
 impl<'a> Product<'a> {
@@ -53,11 +58,11 @@ impl<'a> Product<'a> {
         let mut stack: Vec<u32> = Vec::new();
 
         let add = |s: u32,
-                       q: u32,
-                       nodes: &mut Vec<(u32, u32)>,
-                       adj: &mut Vec<Vec<u32>>,
-                       index: &mut HashMap<(u32, u32), u32>,
-                       stack: &mut Vec<u32>|
+                   q: u32,
+                   nodes: &mut Vec<(u32, u32)>,
+                   adj: &mut Vec<Vec<u32>>,
+                   index: &mut HashMap<(u32, u32), u32>,
+                   stack: &mut Vec<u32>|
          -> u32 {
             if let Some(&id) = index.get(&(s, q)) {
                 return id;
@@ -84,9 +89,7 @@ impl<'a> Product<'a> {
             for &t in m.successors(StateId(s)) {
                 for &q2 in &gba.nodes[q as usize].succs {
                     if compatible(gba, lit_sat, t.0, q2) {
-                        let id2 = add(
-                            t.0, q2 as u32, &mut nodes, &mut adj, &mut index, &mut stack,
-                        );
+                        let id2 = add(t.0, q2 as u32, &mut nodes, &mut adj, &mut index, &mut stack);
                         adj[id as usize].push(id2);
                     }
                 }
@@ -243,7 +246,12 @@ impl<'a> Product<'a> {
         None
     }
 
-    fn bfs_path_in_scc(&self, start: u32, scc: u32, goal: impl Fn(u32) -> bool) -> Option<Vec<u32>> {
+    fn bfs_path_in_scc(
+        &self,
+        start: u32,
+        scc: u32,
+        goal: impl Fn(u32) -> bool,
+    ) -> Option<Vec<u32>> {
         if goal(start) {
             return Some(vec![start]);
         }
@@ -274,12 +282,7 @@ impl<'a> Product<'a> {
         None
     }
 
-    fn bfs_restricted(
-        &self,
-        start: u32,
-        scc: u32,
-        goal: impl Fn(u32) -> bool,
-    ) -> Option<Vec<u32>> {
+    fn bfs_restricted(&self, start: u32, scc: u32, goal: impl Fn(u32) -> bool) -> Option<Vec<u32>> {
         if goal(start) {
             return Some(vec![start]);
         }
@@ -376,8 +379,8 @@ fn tarjan(adj: &[Vec<u32>]) -> Vec<u32> {
 mod tests {
     use super::*;
     use crate::buchi::{ltl_to_gba, LitId};
-    use icstar_logic::Nnf;
     use icstar_kripke::{Atom, KripkeBuilder};
+    use icstar_logic::Nnf;
     use std::rc::Rc;
 
     fn lit(i: u32) -> Nnf<LitId> {
@@ -457,7 +460,11 @@ mod tests {
         assert!(w.is_path_of(&m));
         assert_eq!(w.first(), StateId(0));
         // The witness must actually visit q (state 2).
-        let visits_q = w.stem.iter().chain(w.cycle.iter()).any(|&s| s == StateId(2));
+        let visits_q = w
+            .stem
+            .iter()
+            .chain(w.cycle.iter())
+            .any(|&s| s == StateId(2));
         assert!(visits_q);
     }
 

@@ -47,7 +47,10 @@ fn bit(i: u32) -> u64 {
 /// Panics if `r < 2` (the mutants need at least two processes) or
 /// `r > 64`.
 pub fn buggy_ring(r: u32, mutation: Mutation) -> IndexedKripke {
-    assert!((2..=64).contains(&r), "mutant rings support 2..=64 processes");
+    assert!(
+        (2..=64).contains(&r),
+        "mutant rings support 2..=64 processes"
+    );
     let initial = BugState {
         delayed: 0,
         holders: match mutation {
@@ -141,9 +144,9 @@ pub fn buggy_ring(r: u32, mutation: Mutation) -> IndexedKripke {
     let mut ids: HashMap<BugState, StateId> = HashMap::new();
     let mut queue: Vec<BugState> = Vec::new();
     let add = |s: BugState,
-                   b: &mut KripkeBuilder,
-                   ids: &mut HashMap<BugState, StateId>,
-                   queue: &mut Vec<BugState>|
+               b: &mut KripkeBuilder,
+               ids: &mut HashMap<BugState, StateId>,
+               queue: &mut Vec<BugState>|
      -> StateId {
         if let Some(&id) = ids.get(&s) {
             return id;
@@ -171,7 +174,10 @@ pub fn buggy_ring(r: u32, mutation: Mutation) -> IndexedKripke {
             b.edge(from, to);
         }
     }
-    IndexedKripke::new(b.build(init).expect("mutant ring is total"), (1..=r).collect())
+    IndexedKripke::new(
+        b.build(init).expect("mutant ring is total"),
+        (1..=r).collect(),
+    )
 }
 
 #[cfg(test)]

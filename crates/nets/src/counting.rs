@@ -83,6 +83,19 @@ mod tests {
     }
 
     #[test]
+    fn zero_edge_cases_are_total() {
+        // k = 0: the trivial lower bound, True everywhere — including on
+        // the empty (n = 0) composition, whose index set is empty.
+        let t = fig41_template();
+        let m0 = interleave(&t, 0);
+        let mut chk = IndexedChecker::new(&m0);
+        assert!(chk.holds(&counting_formula(0)).unwrap());
+        // f_1 = "at least one process": false on the empty composition.
+        assert!(!chk.holds(&counting_formula(1)).unwrap());
+        assert_eq!(check_restricted(&counting_formula(0)), Ok(()));
+    }
+
+    #[test]
     fn formula_counts_processes() {
         // f_k holds on the n-process free product iff n >= k.
         let t = fig41_template();

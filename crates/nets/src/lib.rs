@@ -48,9 +48,12 @@ pub use counting::counting_formula;
 pub use figures::{fig31_left, fig31_right};
 pub use formulas::{ring_invariants, ring_properties, NamedFormula};
 pub use free::{check_conjecture, ConjectureOutcome};
-pub use server::{client_server, server_properties};
 pub use ring::{
     paper_related, rank_sum_degree, repaired_related, ring_mutex, Part, ReducedRing, Ring,
     RingFamily, RingState,
 };
-pub use template::{fig41_template, interleave, ProcessTemplate, TemplateBuilder};
+pub use server::{client_server, server_properties};
+pub use template::{
+    fig41_template, interleave, random_template, ProcessTemplate, RandomTemplateConfig,
+    TemplateBuilder,
+};

@@ -363,9 +363,9 @@ pub fn ring_mutex(r: u32) -> Ring {
     }
 
     let add = |s: RingState,
-                   b: &mut KripkeBuilder,
-                   ids: &mut HashMap<RingState, StateId>,
-                   states: &mut Vec<RingState>|
+               b: &mut KripkeBuilder,
+               ids: &mut HashMap<RingState, StateId>,
+               states: &mut Vec<RingState>|
      -> StateId {
         if let Some(&id) = ids.get(&s) {
             return id;
@@ -542,9 +542,7 @@ pub fn repaired_related(
     let pb = fam_b.part(b, i2);
     pa == pb
         && match pa {
-            Part::Token | Part::Critical => {
-                fam_a.delayed_empty(a) == fam_b.delayed_empty(b)
-            }
+            Part::Token | Part::Critical => fam_a.delayed_empty(a) == fam_b.delayed_empty(b),
             Part::Delayed => fam_a.behind_nonempty(a, i) == fam_b.behind_nonempty(b, i2),
             Part::Neutral => true,
         }
@@ -734,12 +732,12 @@ mod tests {
                     let closed = ring.family().rank(s, i);
                     match brute {
                         None => assert_eq!(
-                            closed,
-                            0,
+                            closed, 0,
                             "infinite idles must have rank 0: r={r} s={s:?} i={i}"
                         ),
                         Some(v) => assert_eq!(
-                            closed, v,
+                            closed,
+                            v,
                             "rank mismatch: r={r} s={s:?} i={i} (part {:?})",
                             ring.family().part(s, i)
                         ),

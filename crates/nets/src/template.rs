@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use icstar_kripke::{Atom, Index, IndexedKripke, KripkeBuilder, StateId};
+use rand::prelude::*;
 
 /// A single finite-state process: local states with label sets and local
 /// transitions.
@@ -124,11 +125,20 @@ impl ProcessTemplate {
 /// only reachable states are materialized; for a free product that is the
 /// full product of reachable local states.
 ///
-/// # Panics
-///
-/// Panics if `n == 0`.
+/// The empty composition (`n = 0`) is total too: a single unlabeled
+/// state — the empty tuple — with a stuttering self-loop (no copy can
+/// move, and the paper requires a total transition relation) and an empty
+/// index set.
 pub fn interleave(t: &ProcessTemplate, n: u32) -> IndexedKripke {
-    assert!(n > 0, "need at least one process");
+    if n == 0 {
+        let mut b = KripkeBuilder::new();
+        let s = b.state("empty");
+        b.edge(s, s);
+        return IndexedKripke::new(
+            b.build(s).expect("single looping state is total"),
+            Vec::new(),
+        );
+    }
     let mut b = KripkeBuilder::new();
     let mut ids: HashMap<Vec<u32>, StateId> = HashMap::new();
     let mut queue: Vec<Vec<u32>> = Vec::new();
@@ -138,9 +148,9 @@ pub fn interleave(t: &ProcessTemplate, n: u32) -> IndexedKripke {
         parts.join("|")
     };
     let add = |locals: Vec<u32>,
-                   b: &mut KripkeBuilder,
-                   ids: &mut HashMap<Vec<u32>, StateId>,
-                   queue: &mut Vec<Vec<u32>>|
+               b: &mut KripkeBuilder,
+               ids: &mut HashMap<Vec<u32>, StateId>,
+               queue: &mut Vec<Vec<u32>>|
      -> StateId {
         if let Some(&id) = ids.get(&locals) {
             return id;
@@ -179,6 +189,70 @@ pub fn interleave(t: &ProcessTemplate, n: u32) -> IndexedKripke {
     )
 }
 
+/// Configuration for [`random_template`].
+#[derive(Clone, Debug)]
+pub struct RandomTemplateConfig {
+    /// Number of local states (≥ 1).
+    pub states: usize,
+    /// Local proposition names to draw labels from.
+    pub prop_names: Vec<String>,
+    /// Probability that a given proposition labels a given local state.
+    pub label_density: f64,
+    /// Probability of each optional extra local transition.
+    pub extra_edge_prob: f64,
+}
+
+impl Default for RandomTemplateConfig {
+    fn default() -> Self {
+        RandomTemplateConfig {
+            states: 3,
+            prop_names: vec!["p".into(), "q".into()],
+            label_density: 0.5,
+            extra_edge_prob: 0.3,
+        }
+    }
+}
+
+/// Generates a random process template, in the style of
+/// [`icstar_kripke::gen::random_kripke`]: every local state gets at least
+/// one successor (so compositions stay total) plus random extras, and a
+/// random subset of the configured propositions as labels.
+///
+/// Used by the counter-abstraction property tests to compare the abstract
+/// and explicit compositions over many workload shapes.
+///
+/// # Panics
+///
+/// Panics if `cfg.states == 0`.
+pub fn random_template<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &RandomTemplateConfig,
+) -> ProcessTemplate {
+    assert!(cfg.states > 0, "need at least one local state");
+    let mut b = TemplateBuilder::new();
+    for q in 0..cfg.states {
+        let labels: Vec<String> = cfg
+            .prop_names
+            .iter()
+            .filter(|_| rng.random_bool(cfg.label_density.clamp(0.0, 1.0)))
+            .cloned()
+            .collect();
+        let id = b.state(format!("s{q}"), labels);
+        debug_assert_eq!(id as usize, q);
+    }
+    for q in 0..cfg.states as u32 {
+        // Guaranteed successor keeps every local state live.
+        let forced = rng.random_range(0..cfg.states) as u32;
+        b.edge(q, forced);
+        for t in 0..cfg.states as u32 {
+            if t != forced && rng.random_bool(cfg.extra_edge_prob.clamp(0.0, 1.0)) {
+                b.edge(q, t);
+            }
+        }
+    }
+    b.build(0)
+}
+
 /// The Fig. 4.1 process: one `a`-labeled state that moves to a `b`-labeled
 /// absorbing state (`B_i` becomes true and stays true).
 pub fn fig41_template() -> ProcessTemplate {
@@ -212,6 +286,49 @@ mod tests {
         let b = t.state("b", ["b"]);
         t.edge(a, b);
         t.build(a);
+    }
+
+    #[test]
+    fn empty_composition_is_total() {
+        let t = fig41_template();
+        let m = interleave(&t, 0);
+        let k = m.kripke();
+        assert_eq!(k.num_states(), 1);
+        assert_eq!(k.successors(k.initial()), &[k.initial()]);
+        assert!(m.indices().is_empty());
+        k.validate().unwrap();
+        // No copy exists, so no indexed atom holds.
+        assert!(!k.satisfies_atom(k.initial(), &Atom::indexed("a", 1)));
+    }
+
+    #[test]
+    fn random_templates_are_well_formed() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let cfg = RandomTemplateConfig::default();
+            let t = random_template(&mut rng, &cfg);
+            assert_eq!(t.num_states(), cfg.states);
+            assert_eq!(t.initial(), 0);
+            for q in 0..t.num_states() as u32 {
+                assert!(!t.successors(q).is_empty());
+            }
+            // Composition of a random template stays valid.
+            interleave(&t, 2).kripke().validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one local state")]
+    fn empty_random_template_rejected() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let cfg = RandomTemplateConfig {
+            states: 0,
+            ..RandomTemplateConfig::default()
+        };
+        random_template(&mut StdRng::seed_from_u64(0), &cfg);
     }
 
     #[test]

@@ -20,11 +20,17 @@ fn paper_relation_fails_verification() {
     let rel_self = m2.paper_correspondence(&m2, 1, 1);
     let red = m2.reduced(1);
     let err = verify_correspondence(&red, &red, &rel_self).unwrap_err();
-    assert!(matches!(err, Violation::Clause2b(..) | Violation::Clause2c(..)));
+    assert!(matches!(
+        err,
+        Violation::Clause2b(..) | Violation::Clause2c(..)
+    ));
     // And M_2 vs M_3 fails too.
     let rel = m2.paper_correspondence(&m3, 1, 1);
     let err = verify_correspondence(&m2.reduced(1), &m3.reduced(1), &rel).unwrap_err();
-    assert!(matches!(err, Violation::Clause2b(..) | Violation::Clause2c(..)));
+    assert!(matches!(
+        err,
+        Violation::Clause2b(..) | Violation::Clause2c(..)
+    ));
 }
 
 /// The deeper finding: NO correspondence exists between M_2 and M_3
@@ -41,7 +47,11 @@ fn m2_base_case_is_genuinely_broken() {
     // set empty in M_2 (it can then keep the token), never guaranteed in
     // M_r, r >= 3.
     let f = parse_state("forall i. AG(d[i] -> A[d[i] U (c[i] & EG t[i])])").unwrap();
-    assert_eq!(check_restricted(&f), Ok(()), "the witness is restricted ICTL*");
+    assert_eq!(
+        check_restricted(&f),
+        Ok(()),
+        "the witness is restricted ICTL*"
+    );
     assert!(IndexedChecker::new(m2.structure()).holds(&f).unwrap());
     assert!(!IndexedChecker::new(m3.structure()).holds(&f).unwrap());
 }

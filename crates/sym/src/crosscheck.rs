@@ -1,0 +1,283 @@
+//! Cross-validation of the abstraction against explicit composition.
+//!
+//! The counter abstraction is the quotient of the explicit interleaved
+//! composition under the full symmetric group (for the representative
+//! construction: under the stabilizer of copy 1). Quotients by label-
+//! preserving automorphism groups are strong bisimulations, so for any
+//! `n` small enough to build explicitly, the abstraction and the explicit
+//! structure must *correspond* in the paper's sense
+//! ([`icstar_bisim::maximal_correspondence`]). [`verify_counter_abstraction`]
+//! checks exactly that, and is wired into tests and
+//! `SymEngine::cross_check` as the engine's soundness oracle.
+
+use std::collections::HashMap;
+
+use icstar_bisim::maximal_correspondence;
+use icstar_kripke::{Atom, Index, IndexedKripke, Kripke, KripkeBuilder, StateId};
+
+use crate::counter::CounterState;
+use crate::error::SymError;
+use crate::explore::CounterSystem;
+use crate::labels::CountingSpec;
+use crate::rep::{representative, REPRESENTATIVE_INDEX};
+use crate::template::GuardedTemplate;
+
+/// The explicit (tuple-state) interleaved composition of `n` copies of a
+/// guarded template, with indices `1..=n`.
+///
+/// For unguarded templates this coincides with
+/// [`icstar_nets::interleave`]. Guards disable transitions based on
+/// proposition occupancy; a globally deadlocked state (only possible
+/// under guards, or at `n = 0`) gets a stuttering self-loop, matching the
+/// counter semantics.
+pub fn guarded_interleave(t: &GuardedTemplate, n: u32) -> IndexedKripke {
+    let mut b = KripkeBuilder::new();
+    let mut ids: HashMap<Vec<u32>, StateId> = HashMap::new();
+    let mut queue: Vec<Vec<u32>> = Vec::new();
+
+    let add = |locals: Vec<u32>,
+               b: &mut KripkeBuilder,
+               ids: &mut HashMap<Vec<u32>, StateId>,
+               queue: &mut Vec<Vec<u32>>|
+     -> StateId {
+        if let Some(&id) = ids.get(&locals) {
+            return id;
+        }
+        let mut atoms = Vec::new();
+        for (k, &l) in locals.iter().enumerate() {
+            for p in t.base().labels(l) {
+                atoms.push(Atom::indexed(p.clone(), (k + 1) as Index));
+            }
+        }
+        let name = if locals.is_empty() {
+            "empty".to_string()
+        } else {
+            locals
+                .iter()
+                .map(|&l| t.base().state_name(l))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let id = b.state_labeled(name, atoms);
+        ids.insert(locals.clone(), id);
+        queue.push(locals);
+        id
+    };
+
+    let init = add(vec![t.initial(); n as usize], &mut b, &mut ids, &mut queue);
+    let mut head = 0;
+    while head < queue.len() {
+        let locals = queue[head].clone();
+        head += 1;
+        let from = ids[&locals];
+        let counts = occupancy(t, &locals);
+        let mut moved = false;
+        for (k_copy, &q) in locals.iter().enumerate() {
+            for (k, &q2) in t.base().successors(q).iter().enumerate() {
+                if !t.enabled(&counts, q, k) {
+                    continue;
+                }
+                let mut next = locals.clone();
+                next[k_copy] = q2;
+                let to = add(next, &mut b, &mut ids, &mut queue);
+                b.edge(from, to);
+                moved = true;
+            }
+        }
+        if !moved {
+            b.edge(from, from);
+        }
+    }
+    IndexedKripke::new(
+        b.build(init).expect("interleaving is stutter-completed"),
+        (1..=n).collect(),
+    )
+}
+
+/// The occupancy vector of an explicit tuple state.
+fn occupancy(t: &GuardedTemplate, locals: &[u32]) -> CounterState {
+    let mut counts = vec![0u32; t.num_states()];
+    for &q in locals {
+        counts[q as usize] += 1;
+    }
+    CounterState::new(counts)
+}
+
+/// Relabels a composed structure with the counting atoms of `spec`,
+/// derived from its indexed atoms: `#p` in a state is the number of
+/// indices `i` with `p[i]` in the label. The graph is unchanged.
+pub fn counting_relabel(m: &Kripke, spec: &CountingSpec) -> Kripke {
+    relabel(m, |counts, _| spec.atoms_for(|p| counts(p)))
+}
+
+/// Relabels a composed structure keeping only the indexed atoms of copy
+/// `rep` plus the counting atoms of `spec` — the label universe of the
+/// representative construction.
+pub fn representative_relabel(m: &Kripke, spec: &CountingSpec, rep: Index) -> Kripke {
+    relabel(m, |counts, label| {
+        let mut atoms: Vec<Atom> = label
+            .iter()
+            .filter(|a| a.index() == Some(rep))
+            .map(|a| a.with_index(REPRESENTATIVE_INDEX))
+            .collect();
+        atoms.extend(spec.atoms_for(|p| counts(p)));
+        atoms
+    })
+}
+
+fn relabel(
+    m: &Kripke,
+    mut label_fn: impl FnMut(&dyn Fn(&str) -> u32, &[Atom]) -> Vec<Atom>,
+) -> Kripke {
+    let mut b = KripkeBuilder::new();
+    for s in m.states() {
+        let label = m.label_atoms(s);
+        let mut counts: HashMap<&str, u32> = HashMap::new();
+        for a in &label {
+            if a.is_indexed() {
+                *counts.entry(a.name()).or_insert(0) += 1;
+            }
+        }
+        let count = |p: &str| counts.get(p).copied().unwrap_or(0);
+        let atoms = label_fn(&count, &label);
+        let id = b.state_labeled(m.state_name(s).to_string(), atoms);
+        debug_assert_eq!(id, s);
+    }
+    for s in m.states() {
+        for &t in m.successors(s) {
+            b.edge(s, t);
+        }
+    }
+    b.build(m.initial())
+        .expect("relabeling preserves the graph, hence totality")
+}
+
+/// Verifies, for an explicitly buildable `n`, that the counter abstraction
+/// and the representative construction both correspond (in the paper's
+/// Section 3 sense, via [`maximal_correspondence`]) to the explicit
+/// interleaved composition over their respective label universes.
+///
+/// # Errors
+///
+/// Returns [`SymError::AbstractionMismatch`] when a correspondence fails —
+/// which would mean the engine is unsound for this template.
+pub fn verify_counter_abstraction(
+    template: &GuardedTemplate,
+    n: u32,
+    spec: &CountingSpec,
+) -> Result<(), SymError> {
+    let explicit = guarded_interleave(template, n);
+    let sys = CounterSystem::new(template.clone(), n);
+
+    let counter = sys.kripke(spec);
+    let relabeled = counting_relabel(explicit.kripke(), spec);
+    let rel = maximal_correspondence(&relabeled, &counter);
+    if !rel.related(relabeled.initial(), counter.initial()) {
+        return Err(SymError::AbstractionMismatch(format!(
+            "counter structure does not correspond to the explicit composition at n = {n}"
+        )));
+    }
+
+    if n > 0 {
+        let rep = representative(&sys, spec)?;
+        let rep_relabeled = representative_relabel(explicit.kripke(), spec, REPRESENTATIVE_INDEX);
+        let rel = maximal_correspondence(&rep_relabeled, rep.kripke());
+        if !rel.related(rep_relabeled.initial(), rep.kripke().initial()) {
+            return Err(SymError::AbstractionMismatch(format!(
+                "representative structure does not correspond to the explicit composition at n = {n}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{mutex_template, GuardedTemplate};
+    use icstar_kripke::compare::shared_label_keys;
+    use icstar_nets::{fig41_template, interleave};
+
+    #[test]
+    fn guarded_interleave_matches_free_interleave() {
+        // With no guards the tuple construction must agree with
+        // icstar_nets::interleave state-for-state.
+        let base = fig41_template();
+        let t = GuardedTemplate::free(base.clone());
+        for n in 1..=4u32 {
+            let ours = guarded_interleave(&t, n);
+            let theirs = interleave(&base, n);
+            assert_eq!(
+                ours.kripke().num_states(),
+                theirs.kripke().num_states(),
+                "n = {n}"
+            );
+            assert_eq!(
+                ours.kripke().num_transitions(),
+                theirs.kripke().num_transitions(),
+                "n = {n}"
+            );
+            let (ka, kb, _) = shared_label_keys(ours.kripke(), theirs.kripke());
+            assert_eq!(
+                ka[ours.kripke().initial().idx()],
+                kb[theirs.kripke().initial().idx()]
+            );
+        }
+    }
+
+    #[test]
+    fn guarded_interleave_n_zero_is_total() {
+        let t = mutex_template();
+        let m = guarded_interleave(&t, 0);
+        assert_eq!(m.kripke().num_states(), 1);
+        assert!(m.indices().is_empty());
+        m.kripke().validate().unwrap();
+    }
+
+    #[test]
+    fn mutex_guard_prunes_double_critical_states() {
+        let t = mutex_template();
+        let m = guarded_interleave(&t, 3);
+        // No reachable state has two critical copies.
+        for s in m.kripke().states() {
+            let crits = (1..=3)
+                .filter(|&i| m.kripke().satisfies_atom(s, &Atom::indexed("crit", i)))
+                .count();
+            assert!(crits <= 1, "state {} has {crits} critical copies", s);
+        }
+    }
+
+    #[test]
+    fn abstraction_corresponds_for_free_template() {
+        let t = GuardedTemplate::free(fig41_template());
+        for n in 0..=4u32 {
+            let spec = CountingSpec::exhaustive(&t, n.max(1));
+            verify_counter_abstraction(&t, n, &spec).unwrap();
+        }
+    }
+
+    #[test]
+    fn abstraction_corresponds_for_guarded_template() {
+        let t = mutex_template();
+        for n in 1..=4u32 {
+            let spec = CountingSpec::exhaustive(&t, n);
+            verify_counter_abstraction(&t, n, &spec).unwrap();
+        }
+    }
+
+    #[test]
+    fn broken_relabel_is_detected() {
+        // Sanity-check the oracle itself: comparing against a *wrongly*
+        // labeled explicit structure must fail.
+        let t = GuardedTemplate::free(fig41_template());
+        let n = 2;
+        let spec = CountingSpec::exhaustive(&t, n);
+        let explicit = guarded_interleave(&t, n);
+        let sys = CounterSystem::new(t.clone(), n);
+        let counter = sys.kripke(&spec);
+        // Labels from a *different* spec (missing thresholds) on one side.
+        let wrong = counting_relabel(explicit.kripke(), &CountingSpec::new().with_zero("a"));
+        let rel = maximal_correspondence(&wrong, &counter);
+        assert!(!rel.related(wrong.initial(), counter.initial()));
+    }
+}

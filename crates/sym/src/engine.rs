@@ -1,0 +1,487 @@
+//! The high-level counter-abstraction checking engine.
+//!
+//! [`SymEngine`] bundles a [`GuardedTemplate`] with a [`CountingSpec`] and
+//! answers queries at any family size `n` without ever building the
+//! `|Q|^n`-state explicit composition:
+//!
+//! * **counting formulas** — plain CTL* over counting atoms
+//!   (`crit_ge2`, `try_eq0`, `one(crit)`, …) are checked on the
+//!   materialized counter graph ([`SymEngine::check_counting`]); the
+//!   abstraction is exact, so even the nexttime operator is allowed here;
+//! * **indexed formulas** — closed *restricted* ICTL* with quantifiers
+//!   `forall i.`/`exists i.` is checked on the representative structure
+//!   ([`SymEngine::check_indexed`]); see [`crate::rep`] for why the
+//!   restriction is the soundness boundary;
+//! * [`SymEngine::check`] dispatches between the two.
+//!
+//! [`SymEngine::cross_check`] runs the bisimulation oracle of
+//! [`crate::crosscheck`] at a small `n`, mechanically auditing the
+//! abstraction for the given template.
+
+use std::collections::BTreeSet;
+
+use icstar_kripke::{Atom, IndexedKripke, Kripke};
+use icstar_logic::{check_restricted, has_index_quantifier, PathFormula, StateFormula};
+use icstar_mc::{Checker, IndexedChecker};
+
+use crate::crosscheck::verify_counter_abstraction;
+use crate::error::SymError;
+use crate::explore::CounterSystem;
+use crate::labels::CountingSpec;
+use crate::rep::representative;
+use crate::template::GuardedTemplate;
+
+/// A counter-abstraction model checker for one symmetric family.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::parse_state;
+/// use icstar_sym::{mutex_template, SymEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = SymEngine::new(mutex_template());
+/// // Mutual exclusion at 10,000 processes, without 3^10000 states:
+/// assert!(engine.check(10_000, &parse_state("AG !crit_ge2")?)?);
+/// assert!(engine.check(10_000, &parse_state("forall i. AG(try[i] -> EF crit[i])")?)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SymEngine {
+    template: GuardedTemplate,
+    spec: CountingSpec,
+}
+
+impl SymEngine {
+    /// An engine with the [`CountingSpec::standard`] labeling.
+    pub fn new(template: GuardedTemplate) -> Self {
+        let spec = CountingSpec::standard(&template);
+        SymEngine { template, spec }
+    }
+
+    /// An engine with a custom counting spec.
+    pub fn with_spec(template: GuardedTemplate, spec: CountingSpec) -> Self {
+        SymEngine { template, spec }
+    }
+
+    /// The template.
+    pub fn template(&self) -> &GuardedTemplate {
+        &self.template
+    }
+
+    /// The active counting spec.
+    pub fn spec(&self) -> &CountingSpec {
+        &self.spec
+    }
+
+    /// The counter system at size `n` (on-the-fly, no materialization).
+    pub fn system(&self, n: u32) -> CounterSystem {
+        CounterSystem::new(self.template.clone(), n)
+    }
+
+    /// Materializes the counter-abstracted structure at size `n`.
+    pub fn counter_structure(&self, n: u32) -> Kripke {
+        self.system(n).kripke(&self.spec)
+    }
+
+    /// Starts a checking session at size `n`: the abstract structures are
+    /// materialized at most once and shared across every formula checked
+    /// through it. Prefer this over repeated [`SymEngine::check`] calls
+    /// when verifying several formulas at the same size.
+    pub fn session(&self, n: u32) -> SymSession<'_> {
+        SymSession {
+            engine: self,
+            n,
+            counter: None,
+            rep: None,
+        }
+    }
+
+    /// Checks any supported closed formula at size `n`, dispatching on
+    /// whether it uses index quantifiers.
+    ///
+    /// # Errors
+    ///
+    /// As [`SymEngine::check_counting`] / [`SymEngine::check_indexed`].
+    pub fn check(&self, n: u32, f: &StateFormula) -> Result<bool, SymError> {
+        self.session(n).check(f)
+    }
+
+    /// Checks a quantifier-free CTL* formula over counting atoms on the
+    /// counter structure at size `n`.
+    ///
+    /// The abstraction is exact (a strong bisimulation quotient), so the
+    /// whole of CTL* — including `X` — transfers to the explicit
+    /// `n`-process composition.
+    ///
+    /// # Errors
+    ///
+    /// [`SymError::UnknownAtom`] if the formula uses an indexed atom or an
+    /// atom outside the active spec; [`SymError::Mc`] on checker failures.
+    pub fn check_counting(&self, n: u32, f: &StateFormula) -> Result<bool, SymError> {
+        self.session(n).check_counting(f)
+    }
+
+    /// Checks a closed **restricted** ICTL* formula at size `n` through
+    /// the representative construction.
+    ///
+    /// At `n = 0` quantifiers are expanded over the empty index set
+    /// (`forall` ⇒ true, `exists` ⇒ false) and the rest is checked on
+    /// the counter structure.
+    ///
+    /// # Errors
+    ///
+    /// [`SymError::NotRestricted`] outside the sound fragment;
+    /// [`SymError::UnknownAtom`] for atoms the structures cannot carry.
+    pub fn check_indexed(&self, n: u32, f: &StateFormula) -> Result<bool, SymError> {
+        self.session(n).check_indexed(f)
+    }
+
+    /// Runs the bisimulation oracle at a small, explicitly-buildable `n`:
+    /// the counter and representative structures must correspond to the
+    /// explicit interleaved composition.
+    ///
+    /// # Errors
+    ///
+    /// [`SymError::AbstractionMismatch`] on disagreement.
+    pub fn cross_check(&self, n: u32) -> Result<(), SymError> {
+        verify_counter_abstraction(&self.template, n, &self.spec)
+    }
+
+    fn validate_plain_atoms(&self, used: &UsedAtoms) -> Result<(), SymError> {
+        let universe: BTreeSet<Atom> = self.spec.atom_universe().into_iter().collect();
+        for p in &used.plain {
+            if !universe.contains(&Atom::plain(p.clone())) {
+                return Err(SymError::UnknownAtom(format!(
+                    "{p} is not a counting atom of the active spec"
+                )));
+            }
+        }
+        for p in &used.exactly_one {
+            if !universe.contains(&Atom::exactly_one(p.clone())) {
+                return Err(SymError::UnknownAtom(format!(
+                    "one({p}) is not in the active spec"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A checking session at one family size: materializes the counter and
+/// representative structures lazily, at most once each, and reuses them
+/// for every formula checked through the session.
+///
+/// Created by [`SymEngine::session`].
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::parse_state;
+/// use icstar_sym::{mutex_template, SymEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = SymEngine::new(mutex_template());
+/// let mut session = engine.session(10_000);
+/// // One counter graph serves both counting formulas; the
+/// // representative graph is built only for the quantified one.
+/// assert!(session.check(&parse_state("AG !crit_ge2")?)?);
+/// assert!(session.check(&parse_state("AG (try_ge1 -> EF crit_ge1)")?)?);
+/// assert!(session.check(&parse_state("forall i. AG(try[i] -> EF crit[i])")?)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SymSession<'e> {
+    engine: &'e SymEngine,
+    n: u32,
+    counter: Option<Kripke>,
+    rep: Option<IndexedKripke>,
+}
+
+impl SymSession<'_> {
+    /// The family size this session checks at.
+    pub fn size(&self) -> u32 {
+        self.n
+    }
+
+    /// Checks any supported closed formula, dispatching as
+    /// [`SymEngine::check`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SymSession::check_counting`] / [`SymSession::check_indexed`].
+    pub fn check(&mut self, f: &StateFormula) -> Result<bool, SymError> {
+        if has_index_quantifier(f) {
+            self.check_indexed(f)
+        } else {
+            self.check_counting(f)
+        }
+    }
+
+    /// Checks a quantifier-free CTL* formula over counting atoms; see
+    /// [`SymEngine::check_counting`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SymEngine::check_counting`].
+    pub fn check_counting(&mut self, f: &StateFormula) -> Result<bool, SymError> {
+        let used = used_atoms(f);
+        if let Some(v) = used.indexed.iter().next() {
+            return Err(SymError::UnknownAtom(format!(
+                "{}[..] (indexed atoms need check_indexed)",
+                v.0
+            )));
+        }
+        self.engine.validate_plain_atoms(&used)?;
+        let mut chk = Checker::new(self.counter_structure());
+        Ok(chk.holds(f)?)
+    }
+
+    /// Checks a closed restricted ICTL* formula through the representative
+    /// construction; see [`SymEngine::check_indexed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SymEngine::check_indexed`].
+    pub fn check_indexed(&mut self, f: &StateFormula) -> Result<bool, SymError> {
+        check_restricted(f)?;
+        let used = used_atoms(f);
+        // Plain atoms must come from the spec (a missing threshold atom
+        // would silently read as false and give wrong answers); indexed
+        // props *outside* the template are fine — they are false on the
+        // explicit composition and on the representative alike.
+        self.engine.validate_plain_atoms(&used)?;
+        if self.n == 0 {
+            let expanded = icstar_mc::expand(f, &[]);
+            let mut chk = Checker::new(self.counter_structure());
+            return Ok(chk.holds(&expanded)?);
+        }
+        let rep = self.representative_structure()?;
+        let mut chk = IndexedChecker::new(rep);
+        Ok(chk.holds(f)?)
+    }
+
+    fn counter_structure(&mut self) -> &Kripke {
+        if self.counter.is_none() {
+            self.counter = Some(self.engine.counter_structure(self.n));
+        }
+        self.counter.as_ref().expect("just materialized")
+    }
+
+    fn representative_structure(&mut self) -> Result<&IndexedKripke, SymError> {
+        if self.rep.is_none() {
+            self.rep = Some(representative(
+                &self.engine.system(self.n),
+                &self.engine.spec,
+            )?);
+        }
+        Ok(self.rep.as_ref().expect("just materialized"))
+    }
+}
+
+/// The atoms appearing in a formula, by kind.
+#[derive(Default)]
+struct UsedAtoms {
+    plain: BTreeSet<String>,
+    exactly_one: BTreeSet<String>,
+    /// `(prop, index-term rendering)` pairs.
+    indexed: BTreeSet<(String, String)>,
+}
+
+fn used_atoms(f: &StateFormula) -> UsedAtoms {
+    let mut out = UsedAtoms::default();
+    collect_state(f, &mut out);
+    out
+}
+
+fn collect_state(f: &StateFormula, out: &mut UsedAtoms) {
+    use StateFormula::*;
+    match f {
+        True | False => {}
+        Prop(p) => {
+            out.plain.insert(p.clone());
+        }
+        ExactlyOne(p) => {
+            out.exactly_one.insert(p.clone());
+        }
+        Indexed(p, term) => {
+            out.indexed.insert((p.clone(), format!("{term:?}")));
+        }
+        Not(g) | ForallIdx(_, g) | ExistsIdx(_, g) => collect_state(g, out),
+        And(a, b) | Or(a, b) | Implies(a, b) | Iff(a, b) => {
+            collect_state(a, out);
+            collect_state(b, out);
+        }
+        Exists(p) | All(p) => collect_path(p, out),
+    }
+}
+
+fn collect_path(p: &PathFormula, out: &mut UsedAtoms) {
+    use PathFormula::*;
+    match p {
+        State(f) => collect_state(f, out),
+        Not(g) | Eventually(g) | Globally(g) | Next(g) => collect_path(g, out),
+        And(a, b) | Or(a, b) | Implies(a, b) | Until(a, b) | Release(a, b) => {
+            collect_path(a, out);
+            collect_path(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::mutex_template;
+    use icstar_logic::parse_state;
+    use icstar_nets::fig41_template;
+
+    fn engine() -> SymEngine {
+        SymEngine::new(mutex_template())
+    }
+
+    #[test]
+    fn counting_checks_at_scale() {
+        let e = engine();
+        for n in [1u32, 2, 10, 100] {
+            assert!(e
+                .check_counting(n, &parse_state("AG !crit_ge2").unwrap())
+                .unwrap());
+            assert!(e
+                .check_counting(n, &parse_state("AG (try_ge1 -> EF crit_ge1)").unwrap())
+                .unwrap());
+            assert!(e
+                .check_counting(n, &parse_state("AG (crit_ge1 -> one(crit))").unwrap())
+                .unwrap());
+        }
+        // With >= 2 processes, two copies *can* be trying at once.
+        assert!(e
+            .check_counting(2, &parse_state("EF try_ge2").unwrap())
+            .unwrap());
+        assert!(!e
+            .check_counting(1, &parse_state("EF try_ge2").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn indexed_checks_through_representative() {
+        let e = engine();
+        let f = parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap();
+        for n in [1u32, 2, 5, 20] {
+            assert!(e.check(n, &f).unwrap(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn dispatch_picks_backend() {
+        let e = engine();
+        assert!(e.check(3, &parse_state("AG !crit_ge2").unwrap()).unwrap());
+        assert!(e
+            .check(3, &parse_state("exists i. EF crit[i]").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn n_zero_expands_quantifiers_over_empty_index_set() {
+        let e = engine();
+        assert!(e
+            .check(0, &parse_state("forall i. AG crit[i]").unwrap())
+            .unwrap());
+        assert!(!e
+            .check(0, &parse_state("exists i. EF crit[i]").unwrap())
+            .unwrap());
+        // Counting formulas also stay total at n = 0.
+        assert!(e.check(0, &parse_state("AG crit_eq0").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn unrestricted_indexed_formulas_rejected() {
+        let e = engine();
+        // Quantifier under AG: outside the sound fragment.
+        let f = parse_state("AG (exists i. crit[i])").unwrap();
+        assert!(matches!(e.check(2, &f), Err(SymError::NotRestricted(_))));
+    }
+
+    #[test]
+    fn unknown_atoms_rejected() {
+        let e = engine();
+        assert!(matches!(
+            e.check_counting(2, &parse_state("AG bogus").unwrap()),
+            Err(SymError::UnknownAtom(_))
+        ));
+        assert!(matches!(
+            e.check_counting(2, &parse_state("AG crit_ge3").unwrap()),
+            Err(SymError::UnknownAtom(_))
+        ));
+        assert!(matches!(
+            e.check_counting(2, &parse_state("AG crit[1]").unwrap()),
+            Err(SymError::UnknownAtom(_))
+        ));
+        // Indexed props outside the template are *not* errors: they are
+        // false everywhere, exactly as on the explicit composition.
+        assert!(!e
+            .check_indexed(2, &parse_state("exists i. EF bogus[i]").unwrap())
+            .unwrap());
+        assert!(matches!(
+            e.check_counting(2, &parse_state("AG one(bogus)").unwrap()),
+            Err(SymError::UnknownAtom(_))
+        ));
+    }
+
+    #[test]
+    fn nexttime_allowed_on_counting_path() {
+        // Exactness means X is fine for counting formulas: from the
+        // initial mutex state the first move sends some copy to `try`.
+        let e = engine();
+        assert!(e
+            .check_counting(3, &parse_state("AX try_ge1").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn cross_check_passes_for_both_workload_kinds() {
+        engine().cross_check(3).unwrap();
+        SymEngine::new(crate::template::GuardedTemplate::free(fig41_template()))
+            .cross_check(3)
+            .unwrap();
+    }
+
+    #[test]
+    fn session_reuses_structures_across_formulas() {
+        let e = engine();
+        let mut s = e.session(50);
+        for src in [
+            "AG !crit_ge2",
+            "AG (try_ge1 -> EF crit_ge1)",
+            "forall i. AG(try[i] -> EF crit[i])",
+            "exists i. EF crit[i]",
+        ] {
+            assert!(s.check(&parse_state(src).unwrap()).unwrap(), "{src}");
+        }
+        // Both structures were materialized exactly once and retained.
+        assert!(s.counter.is_some());
+        assert!(s.rep.is_some());
+        assert_eq!(s.size(), 50);
+        // Session verdicts match one-shot engine verdicts.
+        assert_eq!(
+            s.check(&parse_state("EF try_ge2").unwrap()).unwrap(),
+            e.check(50, &parse_state("EF try_ge2").unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn custom_spec_is_honored() {
+        let t = mutex_template();
+        let spec = CountingSpec::new().with_at_least("crit", 5);
+        let e = SymEngine::with_spec(t, spec);
+        assert!(!e
+            .check_counting(10, &parse_state("EF crit_ge5").unwrap())
+            .unwrap());
+        // The standard atoms are gone under the custom spec.
+        assert!(matches!(
+            e.check_counting(10, &parse_state("EF crit_ge2").unwrap()),
+            Err(SymError::UnknownAtom(_))
+        ));
+    }
+}

@@ -1,0 +1,252 @@
+//! On-the-fly exploration of the counter-abstracted state space.
+//!
+//! [`CounterSystem`] is the abstract transition system itself: initial
+//! occupancy vector and successor generation, never materializing more
+//! than the reachable frontier. [`CounterSystem::kripke`] runs a BFS and
+//! freezes the reachable abstract graph as an ordinary
+//! [`icstar_kripke::Kripke`] labeled with the counting atoms of a
+//! [`CountingSpec`] — after which the stock `icstar_mc` checkers run on it
+//! unchanged.
+//!
+//! An abstract transition moves *one* copy along one (enabled) local
+//! transition, mirroring the interleaving semantics of
+//! [`icstar_nets::interleave`]. Abstract states with no enabled move
+//! (possible only under guards, or at `n = 0`) receive a stuttering
+//! self-loop so the transition relation stays total, as the paper
+//! requires.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use icstar_kripke::{Kripke, KripkeBuilder, StateId};
+
+use crate::counter::{CounterPacking, CounterState, PackedCounter};
+use crate::labels::CountingSpec;
+use crate::template::GuardedTemplate;
+
+/// The counter abstraction of `n` identical copies of a template: an
+/// on-the-fly abstract transition system.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_sym::{CounterSystem, mutex_template};
+///
+/// let sys = CounterSystem::new(mutex_template(), 1000);
+/// let init = sys.initial();
+/// assert_eq!(init.count(0), 1000);
+/// // One abstract move: some copy goes idle -> try.
+/// let succs = sys.successors(&init);
+/// assert_eq!(succs.len(), 1);
+/// assert_eq!(succs[0].counts(), &[999, 1, 0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CounterSystem {
+    template: GuardedTemplate,
+    n: u32,
+    packing: CounterPacking,
+}
+
+impl CounterSystem {
+    /// The abstraction of `n` copies of `template`. `n = 0` is the empty
+    /// composition: a single stuttering state.
+    pub fn new(template: GuardedTemplate, n: u32) -> Self {
+        let packing = CounterPacking::new(template.num_states(), n);
+        CounterSystem {
+            template,
+            n,
+            packing,
+        }
+    }
+
+    /// The template being composed.
+    pub fn template(&self) -> &GuardedTemplate {
+        &self.template
+    }
+
+    /// The number of composed copies `n`.
+    pub fn size(&self) -> u32 {
+        self.n
+    }
+
+    /// The packed-key layout for this system's counter vectors.
+    pub fn packing(&self) -> &CounterPacking {
+        &self.packing
+    }
+
+    /// The initial abstract state: all `n` copies in the template's
+    /// initial local state.
+    pub fn initial(&self) -> CounterState {
+        CounterState::all_in(self.template.num_states(), self.template.initial(), self.n)
+    }
+
+    /// The distinct abstract successors of `state`, in deterministic
+    /// order. Always non-empty: a state with no enabled move yields a
+    /// stuttering `[state]`.
+    pub fn successors(&self, state: &CounterState) -> Vec<CounterState> {
+        let mut out: Vec<CounterState> = Vec::new();
+        for q in 0..self.template.num_states() as u32 {
+            if state.count(q) == 0 {
+                continue;
+            }
+            for (k, &q2) in self.template.base().successors(q).iter().enumerate() {
+                if !self.template.enabled(state, q, k) {
+                    continue;
+                }
+                let next = state.move_one(q, q2);
+                if !out.contains(&next) {
+                    out.push(next);
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(state.clone());
+        }
+        out
+    }
+
+    /// A readable name for an abstract state: non-empty local states with
+    /// their occupancy, e.g. `idle^2|crit^1`.
+    pub fn state_name(&self, state: &CounterState) -> String {
+        let mut name = String::new();
+        for (q, &c) in state.counts().iter().enumerate() {
+            if c > 0 {
+                if !name.is_empty() {
+                    name.push('|');
+                }
+                let _ = write!(name, "{}^{}", self.template.base().state_name(q as u32), c);
+            }
+        }
+        if name.is_empty() {
+            name.push_str("empty");
+        }
+        name
+    }
+
+    /// Materializes the reachable abstract graph as a [`Kripke`] labeled
+    /// with the counting atoms of `spec`.
+    ///
+    /// The result has at most `binom(n + |Q| - 1, |Q| - 1)` states —
+    /// polynomial in `n` for a fixed template — instead of the `|Q|^n`
+    /// states of the explicit composition.
+    pub fn kripke(&self, spec: &CountingSpec) -> Kripke {
+        let mut b = KripkeBuilder::new();
+        let mut ids: HashMap<PackedCounter, StateId> = HashMap::new();
+        let mut queue: Vec<CounterState> = Vec::new();
+
+        let add = |state: CounterState,
+                   b: &mut KripkeBuilder,
+                   ids: &mut HashMap<PackedCounter, StateId>,
+                   queue: &mut Vec<CounterState>|
+         -> StateId {
+            let key = self.packing.pack(&state);
+            if let Some(&id) = ids.get(&key) {
+                return id;
+            }
+            let atoms = spec.atoms_for_counter(&self.template, &state);
+            let id = b.state_labeled(self.state_name(&state), atoms);
+            ids.insert(key, id);
+            queue.push(state);
+            id
+        };
+
+        let init = add(self.initial(), &mut b, &mut ids, &mut queue);
+        let mut head = 0;
+        while head < queue.len() {
+            let state = queue[head].clone();
+            head += 1;
+            let from = ids[&self.packing.pack(&state)];
+            for next in self.successors(&state) {
+                let to = add(next, &mut b, &mut ids, &mut queue);
+                b.edge(from, to);
+            }
+        }
+        b.build(init)
+            .expect("counter exploration is stutter-completed, hence total")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::at_least_atom;
+    use crate::template::{mutex_template, GuardedTemplate};
+    use icstar_nets::fig41_template;
+
+    #[test]
+    fn free_two_state_template_has_linear_abstract_space() {
+        // Explicit: 2^n states. Abstract: n + 1 occupancy vectors.
+        let t = GuardedTemplate::free(fig41_template());
+        for n in 0..=6u32 {
+            let sys = CounterSystem::new(t.clone(), n);
+            let k = sys.kripke(&CountingSpec::standard(&t));
+            assert_eq!(k.num_states() as u32, n + 1, "n = {n}");
+            k.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn mutex_guard_bounds_critical_occupancy() {
+        let t = mutex_template();
+        let sys = CounterSystem::new(t.clone(), 5);
+        let spec = CountingSpec::standard(&t);
+        let k = sys.kripke(&spec);
+        k.validate().unwrap();
+        // The guard keeps #crit <= 1 in every reachable abstract state, so
+        // the `crit_ge2` atom never appears.
+        let crit2 = at_least_atom("crit", 2);
+        assert!(k.states().all(|s| !k.satisfies_atom(s, &crit2)));
+        // Reachable: (#try, #crit) with #crit <= 1 — 2n + 1 states.
+        assert_eq!(k.num_states(), 11);
+    }
+
+    #[test]
+    fn n_zero_is_a_single_stuttering_state() {
+        let t = mutex_template();
+        let sys = CounterSystem::new(t, 0);
+        let init = sys.initial();
+        assert_eq!(init.total(), 0);
+        assert_eq!(sys.successors(&init), vec![init.clone()]);
+        let k = sys.kripke(&CountingSpec::standard(sys.template()));
+        assert_eq!(k.num_states(), 1);
+        k.validate().unwrap();
+        assert_eq!(sys.state_name(&init), "empty");
+    }
+
+    #[test]
+    fn successors_deduplicate_equal_moves() {
+        // Two parallel local transitions a -> b produce one abstract move.
+        let mut b = crate::template::GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        let bb = b.state("b", ["b"]);
+        b.edge(a, bb);
+        b.edge(a, bb);
+        b.edge(bb, bb);
+        let t = b.build(a);
+        let sys = CounterSystem::new(t, 3);
+        assert_eq!(sys.successors(&sys.initial()).len(), 1);
+    }
+
+    #[test]
+    fn state_names_show_occupancy() {
+        let t = mutex_template();
+        let sys = CounterSystem::new(t, 4);
+        let s = CounterState::new(vec![3, 0, 1]);
+        assert_eq!(sys.state_name(&s), "idle^3|crit^1");
+    }
+
+    #[test]
+    fn guard_deadlock_is_stutter_completed() {
+        // One state whose only transition is guarded impossibly.
+        let mut b = crate::template::GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        b.edge_guarded(a, a, [crate::template::Guard::at_least("a", 99)]);
+        let t = b.build(a);
+        let sys = CounterSystem::new(t, 2);
+        let init = sys.initial();
+        assert_eq!(sys.successors(&init), vec![init.clone()]);
+        let k = sys.kripke(&CountingSpec::standard(sys.template()));
+        assert_eq!(k.num_states(), 1);
+        k.validate().unwrap();
+    }
+}

@@ -1,0 +1,103 @@
+//! Counter abstraction for symmetric networks — checking `n = 10,000`
+//! identical processes without building `|S|^n` states.
+//!
+//! The paper's whole program is that networks of *identical* processes
+//! should not cost `|S|^n` to verify. Its route is the correspondence
+//! theorem (check a small instance, transfer the verdict). This crate
+//! adds the complementary route opened by *full symmetry*: when the `n`
+//! copies are interchangeable and composed by interleaving, a global
+//! state is determined — up to symmetry — by its **occupancy vector**
+//! (how many copies sit in each local state). Quotienting by the
+//! symmetric group `Sym(n)` collapses the `|Q|^n` explicit states to at
+//! most `binom(n + |Q| - 1, |Q| - 1)` counter states: exponential →
+//! polynomial, with no approximation.
+//!
+//! # The abstraction
+//!
+//! * [`CounterState`] / [`CounterPacking`] — occupancy vectors and their
+//!   packed machine-word encoding (the hash keys of exploration).
+//! * [`GuardedTemplate`] — the workload: a local process template whose
+//!   transitions may carry counting [`Guard`]s (`#crit = 0`-style
+//!   test-and-set), preserving full symmetry.
+//! * [`CounterSystem`] — the abstract transition system, explored on the
+//!   fly; [`CounterSystem::kripke`] materializes the reachable abstract
+//!   graph as a stock [`icstar_kripke::Kripke`] labeled with counting
+//!   atoms (`crit_ge2`, `try_eq0`, `one(crit)` — see [`labels`]), so the
+//!   existing `icstar_mc` checkers run on it unchanged.
+//! * [`representative`] — the representative-process construction: one
+//!   distinguished copy tracked explicitly (atoms `p[1]`) plus counters
+//!   for the rest, enabling `forall i.` / `exists i.` queries through
+//!   [`icstar_mc::IndexedChecker`].
+//! * [`SymEngine`] — the high-level entry point; dispatches between the
+//!   counter and representative structures and validates formulas.
+//!
+//! # Soundness boundary
+//!
+//! The quotient map from the explicit interleaved composition to the
+//! counter structure is a **strong bisimulation** with respect to every
+//! counting atom (the atoms are `Sym(n)`-invariant), so *all* of CTL* —
+//! the nexttime operator included — transfers exactly for quantifier-free
+//! formulas over counting atoms.
+//!
+//! Indexed formulas go through the representative structure, which is the
+//! quotient under the stabilizer of copy 1 — again a strong bisimulation,
+//! but only for the label universe `{p[1]} ∪ counting atoms`. Replacing
+//! `forall i.` / `exists i.` by the single representative index is justified
+//! only where all copies are interchangeable, i.e. at the symmetric
+//! initial state. Closed **restricted** ICTL*
+//! ([`icstar_logic::check_restricted`]: no nested index quantifiers, none
+//! inside `U`/`R`/`F`/`G` operands, no nexttime, no constant indices)
+//! syntactically guarantees quantifiers are evaluated only there, so that
+//! fragment — the same fragment the paper's Theorem 5 licenses — is
+//! exactly what [`SymEngine::check_indexed`] accepts. Formulas like
+//! `AG (exists i. c[i])`, whose quantifier would be evaluated at
+//! non-symmetric states, are rejected rather than answered unsoundly.
+//!
+//! Everything above is *mechanically audited*: [`verify_counter_abstraction`]
+//! rebuilds the explicit composition for a small `n`, relabels it with
+//! counting atoms, and demands a correspondence
+//! ([`icstar_bisim::maximal_correspondence`]) with both abstract
+//! structures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use icstar_logic::parse_state;
+//! use icstar_sym::{mutex_template, SymEngine};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = SymEngine::new(mutex_template());
+//!
+//! // Audit the abstraction once at a small size...
+//! engine.cross_check(3)?;
+//!
+//! // ...then check mutual exclusion at four-digit n directly.
+//! assert!(engine.check(10_000, &parse_state("AG !crit_ge2")?)?);
+//! assert!(engine.check(10_000, &parse_state("forall i. AG(try[i] -> EF crit[i])")?)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod engine;
+mod error;
+mod explore;
+mod rep;
+mod template;
+
+pub mod crosscheck;
+pub mod labels;
+
+pub use counter::{CounterPacking, CounterState, PackedCounter};
+pub use crosscheck::{
+    counting_relabel, guarded_interleave, representative_relabel, verify_counter_abstraction,
+};
+pub use engine::{SymEngine, SymSession};
+pub use error::SymError;
+pub use explore::CounterSystem;
+pub use labels::CountingSpec;
+pub use rep::{representative, RepState, REPRESENTATIVE_INDEX};
+pub use template::{mutex_template, Guard, GuardedBuilder, GuardedTemplate};

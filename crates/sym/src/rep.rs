@@ -1,0 +1,238 @@
+//! The representative-process construction.
+//!
+//! Counting atoms alone cannot express indexed properties like
+//! `forall i. AG(try[i] -> EF crit[i])`. The fix is classic: track *one*
+//! distinguished copy explicitly — its local state, labeled with indexed
+//! atoms `p[1]` — and abstract the remaining `n - 1` copies to a counter
+//! vector. The result is the quotient of the explicit composition under
+//! the symmetries fixing copy 1, so it is strongly bisimilar to the
+//! explicit structure with respect to `{p[1]} ∪ counting atoms`.
+//!
+//! **Soundness boundary.** Full symmetry makes all copies interchangeable
+//! *at the symmetric initial state*: `⋀_i φ(i)` ⟺ `⋁_i φ(i)` ⟺ `φ(1)`
+//! there. Restricted ICTL* (no nested quantifiers, none under `U`-like
+//! operators — [`icstar_logic::check_restricted`]) guarantees index
+//! quantifiers are evaluated only at the initial state, so expanding them
+//! over the single representative index `{1}` is exact. Outside the
+//! restricted fragment (e.g. `AG (exists i. c[i])`) a quantifier would be
+//! evaluated at non-symmetric states, where the representative no longer
+//! speaks for every copy — the engine rejects such formulas instead of
+//! answering unsoundly.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use icstar_kripke::{Atom, IndexedKripke, KripkeBuilder, StateId};
+
+use crate::counter::{CounterState, PackedCounter};
+use crate::error::SymError;
+use crate::explore::CounterSystem;
+use crate::labels::CountingSpec;
+
+/// The index carried by the distinguished copy in representative
+/// structures.
+pub const REPRESENTATIVE_INDEX: icstar_kripke::Index = 1;
+
+/// One state of the representative construction: the distinguished copy's
+/// local state plus the occupancy vector of the other `n - 1` copies.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RepState {
+    /// Local state of the distinguished copy.
+    pub rep: u32,
+    /// Occupancy of the remaining copies.
+    pub others: CounterState,
+}
+
+impl RepState {
+    /// The occupancy of all `n` copies: `others` plus the representative.
+    pub fn total_counts(&self, num_locals: usize) -> CounterState {
+        let mut counts = self.others.counts().to_vec();
+        debug_assert_eq!(counts.len(), num_locals);
+        counts[self.rep as usize] += 1;
+        CounterState::new(counts)
+    }
+}
+
+/// The representative abstraction of `sys`: distinguished copy 1 explicit,
+/// the other `n - 1` copies counter-abstracted. The result is an
+/// [`IndexedKripke`] with index set `{1}`, ready for
+/// [`icstar_mc::IndexedChecker`].
+///
+/// # Errors
+///
+/// Returns [`SymError::EmptyFamily`] when the system has no copies.
+pub fn representative(sys: &CounterSystem, spec: &CountingSpec) -> Result<IndexedKripke, SymError> {
+    if sys.size() == 0 {
+        return Err(SymError::EmptyFamily);
+    }
+    let template = sys.template();
+    let num_locals = template.num_states();
+
+    let initial = RepState {
+        rep: template.initial(),
+        others: CounterState::all_in(num_locals, template.initial(), sys.size() - 1),
+    };
+
+    let mut b = KripkeBuilder::new();
+    let mut ids: HashMap<(u32, PackedCounter), StateId> = HashMap::new();
+    let mut queue: Vec<RepState> = Vec::new();
+
+    let add = |state: RepState,
+               b: &mut KripkeBuilder,
+               ids: &mut HashMap<(u32, PackedCounter), StateId>,
+               queue: &mut Vec<RepState>|
+     -> StateId {
+        let key = (state.rep, sys.packing().pack(&state.others));
+        if let Some(&id) = ids.get(&key) {
+            return id;
+        }
+        let total = state.total_counts(num_locals);
+        let mut atoms: Vec<Atom> = template
+            .base()
+            .labels(state.rep)
+            .iter()
+            .map(|p| Atom::indexed(p.clone(), REPRESENTATIVE_INDEX))
+            .collect();
+        atoms.extend(spec.atoms_for(|p| template.prop_count(&total, p)));
+        let mut name = String::new();
+        let _ = write!(
+            name,
+            "rep={}|{}",
+            template.base().state_name(state.rep),
+            sys.state_name(&state.others)
+        );
+        let id = b.state_labeled(name, atoms);
+        ids.insert(key, id);
+        queue.push(state);
+        id
+    };
+
+    let init = add(initial, &mut b, &mut ids, &mut queue);
+    let mut head = 0;
+    while head < queue.len() {
+        let state = queue[head].clone();
+        head += 1;
+        let from = ids[&(state.rep, sys.packing().pack(&state.others))];
+        let total = state.total_counts(num_locals);
+        let mut succs: Vec<RepState> = Vec::new();
+        // The representative moves...
+        for (k, &q2) in template.base().successors(state.rep).iter().enumerate() {
+            if template.enabled(&total, state.rep, k) {
+                let next = RepState {
+                    rep: q2,
+                    others: state.others.clone(),
+                };
+                if !succs.contains(&next) {
+                    succs.push(next);
+                }
+            }
+        }
+        // ...or one of the abstracted copies moves.
+        for q in 0..num_locals as u32 {
+            if state.others.count(q) == 0 {
+                continue;
+            }
+            for (k, &q2) in template.base().successors(q).iter().enumerate() {
+                if template.enabled(&total, q, k) {
+                    let next = RepState {
+                        rep: state.rep,
+                        others: state.others.move_one(q, q2),
+                    };
+                    if !succs.contains(&next) {
+                        succs.push(next);
+                    }
+                }
+            }
+        }
+        if succs.is_empty() {
+            succs.push(state.clone());
+        }
+        for next in succs {
+            let to = add(next, &mut b, &mut ids, &mut queue);
+            b.edge(from, to);
+        }
+    }
+    let kripke = b
+        .build(init)
+        .expect("representative exploration is stutter-completed, hence total");
+    Ok(IndexedKripke::new(kripke, vec![REPRESENTATIVE_INDEX]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{mutex_template, GuardedTemplate};
+    use icstar_logic::parse_state;
+    use icstar_mc::IndexedChecker;
+    use icstar_nets::fig41_template;
+
+    #[test]
+    fn empty_family_rejected() {
+        let sys = CounterSystem::new(mutex_template(), 0);
+        let spec = CountingSpec::standard(sys.template());
+        assert!(matches!(
+            representative(&sys, &spec),
+            Err(SymError::EmptyFamily)
+        ));
+    }
+
+    #[test]
+    fn single_copy_is_just_the_template() {
+        let t = GuardedTemplate::free(fig41_template());
+        let sys = CounterSystem::new(t.clone(), 1);
+        let m = representative(&sys, &CountingSpec::standard(&t)).unwrap();
+        assert_eq!(m.kripke().num_states(), 2);
+        assert_eq!(m.indices(), &[1]);
+        let init = m.kripke().initial();
+        assert!(m.kripke().satisfies_atom(init, &Atom::indexed("a", 1)));
+    }
+
+    #[test]
+    fn rep_structure_answers_indexed_queries() {
+        // In the free a -> b (absorbing) product, every copy eventually
+        // *can* flip and once flipped stays flipped.
+        let t = GuardedTemplate::free(fig41_template());
+        let sys = CounterSystem::new(t.clone(), 4);
+        let m = representative(&sys, &CountingSpec::standard(&t)).unwrap();
+        let mut chk = IndexedChecker::new(&m);
+        for (src, expect) in [
+            ("forall i. EF b[i]", true),
+            ("forall i. AG(b[i] -> AG b[i])", true),
+            ("exists i. AG a[i]", false),
+            ("forall i. AF b[i]", false), // others can starve the rep
+        ] {
+            let f = parse_state(src).unwrap();
+            assert_eq!(chk.holds(&f).unwrap(), expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn mutex_representative_liveness_possibility() {
+        let t = mutex_template();
+        let sys = CounterSystem::new(t.clone(), 5);
+        let m = representative(&sys, &CountingSpec::standard(&t)).unwrap();
+        let mut chk = IndexedChecker::new(&m);
+        // Every trying representative can eventually enter, and critical
+        // representatives exclude a second critical copy.
+        for (src, expect) in [
+            ("forall i. AG(try[i] -> EF crit[i])", true),
+            ("forall i. AG(crit[i] -> !crit_ge2)", true),
+            ("forall i. AG(crit[i] -> one(crit))", true),
+        ] {
+            let f = parse_state(src).unwrap();
+            assert_eq!(chk.holds(&f).unwrap(), expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn rep_state_count_is_locals_times_counters() {
+        // Free 2-state template at n: rep has 2 local states, others have
+        // n occupancy vectors -> 2n reachable rep states.
+        let t = GuardedTemplate::free(fig41_template());
+        let n = 6;
+        let sys = CounterSystem::new(t.clone(), n);
+        let m = representative(&sys, &CountingSpec::standard(&t)).unwrap();
+        assert_eq!(m.kripke().num_states() as u32, 2 * n);
+        m.kripke().validate().unwrap();
+    }
+}

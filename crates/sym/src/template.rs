@@ -1,0 +1,300 @@
+//! Symmetric workloads: a process template plus optional counting guards.
+//!
+//! A [`GuardedTemplate`] wraps an [`icstar_nets::ProcessTemplate`] and
+//! attaches a conjunction of [`Guard`]s to each local transition. A guard
+//! constrains the *occupancy* of a local proposition across all `n` copies
+//! (evaluated before the move, mover included), which is how shared
+//! resources are modeled without breaking symmetry: every copy carries the
+//! same guards, so the composed system is still fully symmetric and
+//! counter abstraction remains exact.
+//!
+//! With no guards this is precisely the free (interleaved) composition of
+//! [`icstar_nets::interleave`].
+
+use icstar_nets::{ProcessTemplate, TemplateBuilder};
+
+use crate::counter::CounterState;
+
+/// A counting constraint on one local transition, evaluated on the
+/// occupancy of a local proposition across all copies (before the move).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Guard {
+    /// Enabled iff at most `.1` copies satisfy proposition `.0`.
+    AtMost(String, u32),
+    /// Enabled iff at least `.1` copies satisfy proposition `.0`.
+    AtLeast(String, u32),
+}
+
+impl Guard {
+    /// `#prop ≤ bound`.
+    pub fn at_most(prop: impl Into<String>, bound: u32) -> Self {
+        Guard::AtMost(prop.into(), bound)
+    }
+
+    /// `#prop ≥ bound`.
+    pub fn at_least(prop: impl Into<String>, bound: u32) -> Self {
+        Guard::AtLeast(prop.into(), bound)
+    }
+}
+
+/// A process template whose transitions may carry counting guards.
+///
+/// # Examples
+///
+/// A test-and-set mutex: a copy may enter its critical section only while
+/// no copy is critical.
+///
+/// ```
+/// use icstar_sym::{Guard, GuardedBuilder};
+///
+/// let mut b = GuardedBuilder::new();
+/// let idle = b.state("idle", ["idle"]);
+/// let trying = b.state("try", ["try"]);
+/// let crit = b.state("crit", ["crit"]);
+/// b.edge(idle, trying);
+/// b.edge_guarded(trying, crit, [Guard::at_most("crit", 0)]);
+/// b.edge(crit, idle);
+/// let t = b.build(idle);
+/// assert_eq!(t.num_states(), 3);
+/// assert_eq!(t.guards(trying, 0), &[Guard::at_most("crit", 0)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GuardedTemplate {
+    base: ProcessTemplate,
+    /// `guards[q][k]` guards the `k`-th outgoing transition of local
+    /// state `q` (parallel to `base.successors(q)`).
+    guards: Vec<Vec<Vec<Guard>>>,
+    /// For each distinct local proposition, the local states carrying it.
+    props: Vec<(String, Vec<u32>)>,
+}
+
+impl GuardedTemplate {
+    /// Lifts an unguarded template: the free composition, unchanged.
+    pub fn free(base: ProcessTemplate) -> Self {
+        let guards = (0..base.num_states())
+            .map(|q| vec![Vec::new(); base.successors(q as u32).len()])
+            .collect();
+        let props = index_props(&base);
+        GuardedTemplate {
+            base,
+            guards,
+            props,
+        }
+    }
+
+    /// The underlying unguarded template.
+    pub fn base(&self) -> &ProcessTemplate {
+        &self.base
+    }
+
+    /// Number of local states.
+    pub fn num_states(&self) -> usize {
+        self.base.num_states()
+    }
+
+    /// The initial local state.
+    pub fn initial(&self) -> u32 {
+        self.base.initial()
+    }
+
+    /// The guards of the `k`-th outgoing transition of local state `q`.
+    pub fn guards(&self, q: u32, k: usize) -> &[Guard] {
+        &self.guards[q as usize][k]
+    }
+
+    /// Whether any transition carries a guard.
+    pub fn is_free(&self) -> bool {
+        self.guards.iter().all(|g| g.iter().all(Vec::is_empty))
+    }
+
+    /// The distinct local proposition names, in first-use order.
+    pub fn props(&self) -> impl Iterator<Item = &str> {
+        self.props.iter().map(|(p, _)| p.as_str())
+    }
+
+    /// The local states whose label carries `prop`.
+    pub fn states_with(&self, prop: &str) -> &[u32] {
+        self.props
+            .iter()
+            .find(|(p, _)| p == prop)
+            .map(|(_, qs)| qs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// How many copies satisfy `prop` in the occupancy vector `counts`.
+    pub fn prop_count(&self, counts: &CounterState, prop: &str) -> u32 {
+        self.states_with(prop)
+            .iter()
+            .map(|&q| counts.count(q))
+            .sum()
+    }
+
+    /// Whether every guard of transition `(q, k)` is satisfied by the
+    /// occupancy vector `counts` (taken *before* the move).
+    pub fn enabled(&self, counts: &CounterState, q: u32, k: usize) -> bool {
+        self.guards(q, k).iter().all(|g| match g {
+            Guard::AtMost(p, bound) => self.prop_count(counts, p) <= *bound,
+            Guard::AtLeast(p, bound) => self.prop_count(counts, p) >= *bound,
+        })
+    }
+}
+
+fn index_props(base: &ProcessTemplate) -> Vec<(String, Vec<u32>)> {
+    let mut props: Vec<(String, Vec<u32>)> = Vec::new();
+    for q in 0..base.num_states() as u32 {
+        for p in base.labels(q) {
+            match props.iter_mut().find(|(name, _)| name == p) {
+                Some((_, qs)) => qs.push(q),
+                None => props.push((p.clone(), vec![q])),
+            }
+        }
+    }
+    props
+}
+
+/// Builder for [`GuardedTemplate`], mirroring
+/// [`icstar_nets::TemplateBuilder`].
+#[derive(Clone, Debug, Default)]
+pub struct GuardedBuilder {
+    base: TemplateBuilder,
+    guards: Vec<Vec<Vec<Guard>>>,
+}
+
+impl GuardedBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a local state with the given local proposition names.
+    pub fn state(
+        &mut self,
+        name: impl Into<String>,
+        labels: impl IntoIterator<Item = impl Into<String>>,
+    ) -> u32 {
+        self.guards.push(Vec::new());
+        self.base.state(name, labels)
+    }
+
+    /// Adds an unguarded local transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is unknown.
+    pub fn edge(&mut self, from: u32, to: u32) -> &mut Self {
+        self.edge_guarded(from, to, [])
+    }
+
+    /// Adds a local transition enabled only when every guard holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is unknown.
+    pub fn edge_guarded(
+        &mut self,
+        from: u32,
+        to: u32,
+        guards: impl IntoIterator<Item = Guard>,
+    ) -> &mut Self {
+        self.base.edge(from, to);
+        self.guards[from as usize].push(guards.into_iter().collect());
+        self
+    }
+
+    /// Freezes the template with the given initial local state.
+    ///
+    /// # Panics
+    ///
+    /// As [`TemplateBuilder::build`]: the template must be non-empty, the
+    /// initial state known, and every local state must have an outgoing
+    /// transition.
+    pub fn build(self, initial: u32) -> GuardedTemplate {
+        let base = self.base.build(initial);
+        let props = index_props(&base);
+        GuardedTemplate {
+            base,
+            guards: self.guards,
+            props,
+        }
+    }
+}
+
+/// The mutex workload used across docs, examples, and benchmarks: an
+/// `idle → try → crit → idle` cycle where entering `crit` is guarded by
+/// `#crit = 0` (test-and-set).
+pub fn mutex_template() -> GuardedTemplate {
+    let mut b = GuardedBuilder::new();
+    let idle = b.state("idle", ["idle"]);
+    let trying = b.state("try", ["try"]);
+    let crit = b.state("crit", ["crit"]);
+    b.edge(idle, trying);
+    b.edge_guarded(trying, crit, [Guard::at_most("crit", 0)]);
+    b.edge(crit, idle);
+    b.build(idle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_nets::fig41_template;
+
+    #[test]
+    fn free_lifting_has_no_guards() {
+        let t = GuardedTemplate::free(fig41_template());
+        assert!(t.is_free());
+        assert_eq!(t.num_states(), 2);
+        assert_eq!(t.guards(0, 0), &[]);
+        assert_eq!(t.props().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(t.states_with("b"), &[1]);
+        assert_eq!(t.states_with("zzz"), &[] as &[u32]);
+    }
+
+    #[test]
+    fn prop_count_sums_over_states() {
+        let t = mutex_template();
+        let c = CounterState::new(vec![2, 1, 1]);
+        assert_eq!(t.prop_count(&c, "idle"), 2);
+        assert_eq!(t.prop_count(&c, "crit"), 1);
+        assert_eq!(t.prop_count(&c, "absent"), 0);
+    }
+
+    #[test]
+    fn guard_evaluation() {
+        let t = mutex_template();
+        let free_crit = CounterState::new(vec![2, 2, 0]);
+        let taken = CounterState::new(vec![2, 1, 1]);
+        // try -> crit is transition (1, 0).
+        assert!(t.enabled(&free_crit, 1, 0));
+        assert!(!t.enabled(&taken, 1, 0));
+        // idle -> try is never guarded.
+        assert!(t.enabled(&taken, 0, 0));
+        assert!(!t.is_free());
+    }
+
+    #[test]
+    fn at_least_guard() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        let c = b.state("c", ["c"]);
+        b.edge_guarded(a, c, [Guard::at_least("a", 2)]);
+        b.edge(c, c);
+        b.edge(a, a);
+        let t = b.build(a);
+        assert!(t.enabled(&CounterState::new(vec![2, 0]), 0, 0));
+        assert!(!t.enabled(&CounterState::new(vec![1, 1]), 0, 0));
+    }
+
+    #[test]
+    fn shared_prop_across_states() {
+        // Two distinct local states carrying the same proposition count
+        // jointly toward its occupancy.
+        let mut b = GuardedBuilder::new();
+        let x = b.state("x", ["busy"]);
+        let y = b.state("y", ["busy"]);
+        b.edge(x, y);
+        b.edge(y, x);
+        let t = b.build(x);
+        assert_eq!(t.states_with("busy"), &[0, 1]);
+        assert_eq!(t.prop_count(&CounterState::new(vec![3, 4]), "busy"), 7);
+    }
+}

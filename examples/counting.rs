@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "      quantifier depth {}, restriction check: {:?}",
             quantifier_depth(&f),
-            check_restricted(&f).err().map(|e| e.to_string()).unwrap_or_else(|| "ok".into())
+            check_restricted(&f)
+                .err()
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "ok".into())
         );
     }
 

@@ -3,8 +3,8 @@
 //! Run with `cargo run --example quickstart`.
 
 use icstar::{
-    maximal_correspondence, parse_state, structures_correspond, stuttering_quotient, Atom,
-    Checker, KripkeBuilder,
+    maximal_correspondence, parse_state, structures_correspond, stuttering_quotient, Atom, Checker,
+    KripkeBuilder,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -15,7 +15,10 @@ use icstar_nets::{ring_mutex, ring_properties};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let props = ring_properties();
 
-    println!("{:>3} {:>9} {:>10} {:>12} {:>14}", "r", "states", "trans", "direct-mc", "reduced-route");
+    println!(
+        "{:>3} {:>9} {:>10} {:>12} {:>14}",
+        "r", "states", "trans", "direct-mc", "reduced-route"
+    );
     let base = ring_mutex(3);
     // Base verdicts, computed once.
     let t0 = Instant::now();

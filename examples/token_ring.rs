@@ -71,11 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         // Cross-validate: check directly on the target too.
         let mut direct = IndexedChecker::new(target.structure());
-        for (v, f) in verdicts.iter().zip(
-            ring_invariants()
-                .into_iter()
-                .chain(ring_properties()),
-        ) {
+        for (v, f) in verdicts
+            .iter()
+            .zip(ring_invariants().into_iter().chain(ring_properties()))
+        {
             assert_eq!(v.holds, direct.holds(&f.formula)?, "{} diverges", f.name);
         }
     }

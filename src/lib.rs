@@ -1,0 +1,10 @@
+//! Workspace-root facade for the icstar integration suite.
+//!
+//! This crate exists so that the repository-level `tests/` and `examples/`
+//! directories have a package to hang off; it simply re-exports the
+//! [`icstar`] facade. Depend on `icstar` directly in real code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use icstar::*;

@@ -165,10 +165,7 @@ fn boolean_identities_hold() {
             p.clone().and(q.clone()).not(),
             p.clone().not().or(q.clone().not()),
         ),
-        (
-            p.clone().implies(q.clone()),
-            p.clone().not().or(q.clone()),
-        ),
+        (p.clone().implies(q.clone()), p.clone().not().or(q.clone())),
         (
             p.clone().iff(q.clone()),
             p.clone()

@@ -1,0 +1,187 @@
+//! Property tests for the counter abstraction (`icstar-sym`).
+//!
+//! Soundness claim under test: for any template `t` and any `n`, the
+//! counter-abstracted structure is (strongly) bisimilar to the explicit
+//! interleaved composition `interleave(t, n)` over the counting-atom
+//! label universe, and the representative structure answers restricted
+//! indexed queries exactly as the explicit [`IndexedChecker`] does.
+//!
+//! The oracle is the paper's own machinery: [`maximal_correspondence`]
+//! between the relabeled explicit composition and the abstract structure,
+//! plus verdict-for-verdict agreement of the model checkers on random
+//! restricted formulas — all over `kripke::gen`-style random templates at
+//! every `n ≤ 4`.
+
+use icstar::icstar_sym::{
+    counting_relabel, CounterSystem, CountingSpec, GuardedTemplate, SymEngine,
+};
+use icstar::{maximal_correspondence, Checker, IndexedChecker};
+use icstar_logic::arb::{random_state_formula, FormulaConfig};
+use icstar_logic::{check_restricted, parse_state};
+use icstar_nets::{interleave, random_template, RandomTemplateConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAX_N: u32 = 4;
+
+fn template_config() -> RandomTemplateConfig {
+    RandomTemplateConfig {
+        states: 3,
+        prop_names: vec!["p".into(), "q".into()],
+        ..RandomTemplateConfig::default()
+    }
+}
+
+#[test]
+fn counter_structure_corresponds_to_explicit_interleave() {
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_template(&mut rng, &template_config());
+        let gt = GuardedTemplate::free(t.clone());
+        for n in 0..=MAX_N {
+            let spec = CountingSpec::exhaustive(&gt, n.max(1));
+            let explicit = interleave(&t, n);
+            let relabeled = counting_relabel(explicit.kripke(), &spec);
+            let counter = CounterSystem::new(gt.clone(), n).kripke(&spec);
+            let rel = maximal_correspondence(&relabeled, &counter);
+            assert!(
+                rel.related(relabeled.initial(), counter.initial()),
+                "seed {seed}, n = {n}: abstraction does not correspond \
+                 ({} explicit vs {} abstract states)",
+                relabeled.num_states(),
+                counter.num_states()
+            );
+        }
+    }
+}
+
+#[test]
+fn counter_and_explicit_agree_on_random_restricted_formulas() {
+    // Quantifier-free CTL*∖X formulas over counting atoms are restricted
+    // by construction; both sides must assign every one the same verdict.
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let t = random_template(&mut rng, &template_config());
+        let gt = GuardedTemplate::free(t.clone());
+        for n in 1..=MAX_N {
+            let spec = CountingSpec::exhaustive(&gt, n);
+            let props: Vec<String> = spec
+                .atom_universe()
+                .iter()
+                .filter_map(|a| match a {
+                    icstar::Atom::Plain(name) => Some(name.clone()),
+                    _ => None,
+                })
+                .collect();
+            if props.is_empty() {
+                continue; // label-free template: nothing to compare
+            }
+            let explicit = counting_relabel(interleave(&t, n).kripke(), &spec);
+            let counter = CounterSystem::new(gt.clone(), n).kripke(&spec);
+            let mut chk_explicit = Checker::new(&explicit);
+            let mut chk_counter = Checker::new(&counter);
+            let cfg = FormulaConfig {
+                props,
+                max_depth: 3,
+                allow_next: false,
+                ..FormulaConfig::default()
+            };
+            for _ in 0..8 {
+                let f = random_state_formula(&mut rng, &cfg);
+                assert_eq!(check_restricted(&f), Ok(()), "{f}");
+                assert_eq!(
+                    chk_explicit.holds(&f).unwrap(),
+                    chk_counter.holds(&f).unwrap(),
+                    "seed {seed}, n = {n}: verdicts diverge on {f}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn representative_agrees_with_indexed_checker_on_fixed_battery() {
+    let battery = [
+        "forall i. EF p[i]",
+        "exists i. EF p[i]",
+        "forall i. AF q[i]",
+        "exists i. AG p[i]",
+        "forall i. AG(p[i] -> EF q[i])",
+        "exists i. A[p[i] U q[i]]",
+        "forall i. AG(p[i] -> A[p[i] U q[i]])",
+        "(forall i. EF p[i]) & (exists j. EF q[j])",
+    ];
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(2_000 + seed);
+        let t = random_template(&mut rng, &template_config());
+        let gt = GuardedTemplate::free(t.clone());
+        let engine = SymEngine::new(gt);
+        for n in 1..=MAX_N {
+            let explicit = interleave(&t, n);
+            let mut chk = IndexedChecker::new(&explicit);
+            for src in battery {
+                let f = parse_state(src).unwrap();
+                assert_eq!(check_restricted(&f), Ok(()), "{src}");
+                assert_eq!(
+                    engine.check(n, &f).unwrap(),
+                    chk.holds(&f).unwrap(),
+                    "seed {seed}, n = {n}: verdicts diverge on {src}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn representative_agrees_with_indexed_checker_on_random_formulas() {
+    // Random quantified formulas (indexed atoms only, so both sides share
+    // a label universe), filtered to the restricted fragment.
+    let mut checked = 0usize;
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(3_000 + seed);
+        let t = random_template(&mut rng, &template_config());
+        let gt = GuardedTemplate::free(t.clone());
+        let engine = SymEngine::new(gt);
+        let cfg = FormulaConfig {
+            props: Vec::new(),
+            indexed_props: vec!["p".into(), "q".into()],
+            index_var: Some("i".into()),
+            max_depth: 3,
+            allow_next: false,
+            ..FormulaConfig::default()
+        };
+        for n in 1..=3u32 {
+            let explicit = interleave(&t, n);
+            let mut chk = IndexedChecker::new(&explicit);
+            for k in 0..12 {
+                let body = random_state_formula(&mut rng, &cfg);
+                let f = if k % 2 == 0 {
+                    icstar_logic::build::forall_idx("i", body)
+                } else {
+                    icstar_logic::build::exists_idx("i", body)
+                };
+                if check_restricted(&f).is_err() {
+                    continue; // outside the sound fragment: engine rejects it
+                }
+                checked += 1;
+                assert_eq!(
+                    engine.check(n, &f).unwrap(),
+                    chk.holds(&f).unwrap(),
+                    "seed {seed}, n = {n}: verdicts diverge on {f}"
+                );
+            }
+        }
+    }
+    assert!(
+        checked > 100,
+        "only {checked} restricted formulas exercised"
+    );
+}
+
+#[test]
+fn guarded_mutex_family_cross_checks_at_small_sizes() {
+    let engine = SymEngine::new(icstar::mutex_template());
+    for n in 1..=MAX_N {
+        engine.cross_check(n).unwrap();
+    }
+}

@@ -90,7 +90,11 @@ fn every_mutant_is_rejected_at_transfer_time() {
     verifier
         .add_formula("p4", parse_state("forall i. AG(d[i] -> AF c[i])").unwrap())
         .unwrap();
-    for mutation in [Mutation::SecondToken, Mutation::TokenLoss, Mutation::NoTokenCheck] {
+    for mutation in [
+        Mutation::SecondToken,
+        Mutation::TokenLoss,
+        Mutation::NoTokenCheck,
+    ] {
         let target = buggy_ring(4, mutation);
         let inrel = IndexRelation::base_vs_many(3, &[1, 2, 3, 4]);
         let err = verifier.transfer_to(&target, &inrel).unwrap_err();
@@ -111,7 +115,9 @@ fn non_total_in_relation_is_rejected() {
         .unwrap();
     // Forgot to cover index 4 of the target.
     let inrel = IndexRelation::new([(1, 1), (2, 2), (3, 3)]);
-    let err = verifier.transfer_to(target.structure(), &inrel).unwrap_err();
+    let err = verifier
+        .transfer_to(target.structure(), &inrel)
+        .unwrap_err();
     assert!(matches!(err, FamilyError::NoCorrespondence(_)));
 }
 
@@ -131,7 +137,10 @@ fn failure_diagnosis_names_victim_and_execution() {
     assert!(w.is_path_of(m.kripke()));
     // The lasso's cycle must starve the victim: delayed, never critical.
     let c_atom = icstar::Atom::indexed("c", victim);
-    assert!(w.cycle.iter().all(|&s| !m.kripke().satisfies_atom(s, &c_atom)));
+    assert!(w
+        .cycle
+        .iter()
+        .all(|&s| !m.kripke().satisfies_atom(s, &c_atom)));
     // Render for humans without panicking.
     let text = icstar::icstar_mc::render_lasso(&m, &w);
     assert!(!text.is_empty());
