@@ -46,6 +46,34 @@ fn bench_abstract_vs_explicit(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sharded_exploration(c: &mut Criterion) {
+    // The same materialization, sequential vs sharded: the win is
+    // proportional to core count, the overhead is the channel traffic.
+    let mut group = c.benchmark_group("sym/sharded-exploration");
+    group.sample_size(10);
+    let t = mutex_template();
+    let spec = CountingSpec::standard(&t);
+    for n in [10_000u32, 50_000] {
+        let sys = CounterSystem::new(t.clone(), n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter(|| {
+                let k = sys.kripke(&spec);
+                assert_eq!(k.num_states() as u32, 2 * n + 1);
+                k
+            })
+        });
+        let shards = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+        group.bench_with_input(BenchmarkId::new("sharded", n), &n, |b, &n| {
+            b.iter(|| {
+                let k = sys.kripke_sharded(&spec, shards);
+                assert_eq!(k.num_states() as u32, 2 * n + 1);
+                k
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_mutex_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("sym/verify-mutex");
     group.sample_size(10);
@@ -79,6 +107,7 @@ criterion_group!(
     benches,
     bench_counter_graph,
     bench_abstract_vs_explicit,
+    bench_sharded_exploration,
     bench_mutex_verification,
     bench_cross_check
 );

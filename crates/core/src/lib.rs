@@ -28,6 +28,7 @@
 //! | [`icstar_bisim`] | correspondence with degrees, partition refinement, quotients, Theorem 5 |
 //! | [`icstar_nets`] | the token ring, free products, counting examples, mutants |
 //! | [`icstar_sym`] | counter abstraction: symmetric networks at `n = 10,000+` |
+//! | [`icstar_serve`] | concurrent verification service: job queue, worker pool, memoized structure cache |
 //!
 //! This facade re-exports the main types and adds the high-level
 //! [`FamilyVerifier`] workflow, which offers two backends: explicit
@@ -89,9 +90,13 @@ pub use icstar_logic::{
     IndexTerm, ParseError, PathFormula, RestrictionError, StateFormula,
 };
 pub use icstar_mc::{Checker, IndexedChecker, McError};
+pub use icstar_serve::{
+    JobHandle, JobVerdict, ServeConfig, ServeError, StatsSnapshot, VerdictReport, VerifyJob,
+    VerifyService,
+};
 pub use icstar_sym::{
-    mutex_template, verify_counter_abstraction, CounterState, CounterSystem, CountingSpec, Guard,
-    GuardedBuilder, GuardedTemplate, SymEngine, SymError,
+    mutex_template, ring_station_template, verify_counter_abstraction, CounterState, CounterSystem,
+    CountingSpec, Guard, GuardedBuilder, GuardedTemplate, SymEngine, SymError,
 };
 
 // The sub-crates, for item-level access.
@@ -100,4 +105,5 @@ pub use icstar_kripke;
 pub use icstar_logic;
 pub use icstar_mc;
 pub use icstar_nets;
+pub use icstar_serve;
 pub use icstar_sym;

@@ -23,6 +23,7 @@ use icstar_bisim::{indexed_correspond, IndexRelation, IndexedViolation};
 use icstar_kripke::IndexedKripke;
 use icstar_logic::{check_restricted, StateFormula};
 use icstar_mc::{IndexedChecker, McError};
+use icstar_serve::{VerifyJob, VerifyService};
 use icstar_sym::{GuardedTemplate, SymEngine, SymError};
 
 /// Which verification strategy a [`FamilyVerifier`] uses.
@@ -61,6 +62,9 @@ pub enum FamilyError {
     BackendMismatch(&'static str),
     /// The counter-abstraction engine failed.
     Sym(SymError),
+    /// The verification service lost the batch job
+    /// ([`FamilyVerifier::verify_at_many`]).
+    Serve(icstar_serve::ServeError),
 }
 
 impl fmt::Display for FamilyError {
@@ -77,6 +81,7 @@ impl fmt::Display for FamilyError {
                 write!(f, "operation {op:?} is not supported by this backend")
             }
             FamilyError::Sym(e) => write!(f, "counter abstraction failed: {e}"),
+            FamilyError::Serve(e) => write!(f, "verification service failed: {e}"),
         }
     }
 }
@@ -304,6 +309,81 @@ impl<'a> FamilyVerifier<'a> {
             .collect()
     }
 
+    /// Checks all registered formulas at *several* family sizes through a
+    /// shared [`VerifyService`] (counter-abstraction backend only),
+    /// returning one verdict list per requested size, in order.
+    ///
+    /// Unlike looping over [`FamilyVerifier::verify_at`], the batch goes
+    /// through the service's memoized structure cache: sizes this service
+    /// has seen before — from *any* caller with a structurally equal
+    /// template and spec — reuse their materialized counter graphs, and
+    /// fresh large sizes materialize with the sharded parallel
+    /// exploration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use icstar::FamilyVerifier;
+    /// use icstar_logic::parse_state;
+    /// use icstar_serve::VerifyService;
+    /// use icstar_sym::mutex_template;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let service = VerifyService::with_defaults();
+    /// let mut verifier = FamilyVerifier::counter_abstracted(mutex_template());
+    /// verifier.add_formula("mutex", parse_state("AG !crit_ge2")?)?;
+    /// let per_size = verifier.verify_at_many(&service, &[10, 100, 1_000])?;
+    /// assert_eq!(per_size.len(), 3);
+    /// assert!(per_size.iter().all(|(_, vs)| vs.iter().all(|v| v.holds)));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`FamilyError::BackendMismatch`] on an explicit-transfer verifier;
+    /// [`FamilyError::Serve`] if the service lost the job;
+    /// [`FamilyError::Sym`] if any formula could not be checked.
+    pub fn verify_at_many(
+        &self,
+        service: &VerifyService,
+        sizes: &[u32],
+    ) -> Result<Vec<(u32, Vec<Verdict>)>, FamilyError> {
+        let Backend::Counter { engine } = &self.backend else {
+            return Err(FamilyError::BackendMismatch("verify_at_many"));
+        };
+        if self.formulas.is_empty() {
+            return Ok(sizes.iter().map(|&n| (n, Vec::new())).collect());
+        }
+        let job = VerifyJob {
+            template: engine.template().clone(),
+            spec: Some(engine.spec().clone()),
+            sizes: sizes.to_vec(),
+            formulas: self.formulas.clone(),
+        };
+        let report = service.submit(job).wait().map_err(FamilyError::Serve)?;
+        // Verdicts arrive size-major, one block of formulas per size.
+        debug_assert_eq!(report.verdicts.len(), sizes.len() * self.formulas.len());
+        report
+            .verdicts
+            .chunks(self.formulas.len())
+            .zip(sizes)
+            .map(|(chunk, &n)| {
+                let verdicts = chunk
+                    .iter()
+                    .map(|v| match &v.result {
+                        Ok(holds) => Ok(Verdict {
+                            name: v.name.clone(),
+                            holds: *holds,
+                        }),
+                        Err(e) => Err(FamilyError::Sym(e.clone())),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((n, verdicts))
+            })
+            .collect()
+    }
+
     /// Audits the counter abstraction against the explicit composition at
     /// a small, explicitly-buildable size (counter-abstraction backend
     /// only). See [`icstar_sym::verify_counter_abstraction`].
@@ -401,6 +481,9 @@ mod tests {
         assert!(FamilyError::Sym(icstar_sym::SymError::EmptyFamily)
             .to_string()
             .contains("counter abstraction"));
+        assert!(FamilyError::Serve(icstar_serve::ServeError::JobLost)
+            .to_string()
+            .contains("service"));
     }
 
     #[test]
@@ -443,6 +526,60 @@ mod tests {
             assert_eq!(verdicts.len(), 2);
             assert!(verdicts.iter().all(|vd| vd.holds), "n = {n}");
         }
+    }
+
+    #[test]
+    fn verify_at_many_batches_through_the_service() {
+        let service = VerifyService::with_defaults();
+        let mut v = FamilyVerifier::counter_abstracted(icstar_sym::mutex_template());
+        v.add_formula("mutex", parse_state("AG !crit_ge2").unwrap())
+            .unwrap();
+        v.add_formula(
+            "access possibility",
+            parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap(),
+        )
+        .unwrap();
+        let sizes = [1u32, 4, 50];
+        let per_size = v.verify_at_many(&service, &sizes).unwrap();
+        assert_eq!(per_size.len(), 3);
+        for (i, (n, verdicts)) in per_size.iter().enumerate() {
+            assert_eq!(*n, sizes[i]);
+            assert_eq!(verdicts.len(), 2);
+            assert!(verdicts.iter().all(|v| v.holds), "n = {n}");
+            // Batch verdicts agree with the one-shot path.
+            assert_eq!(verdicts, &v.verify_at(*n).unwrap());
+        }
+        // A repeated batch is served from the cache.
+        v.verify_at_many(&service, &sizes).unwrap();
+        assert!(service.stats().cache_hits > 0);
+
+        // Explicit-transfer verifiers have no batch path.
+        let base = ring_mutex(2);
+        let explicit = FamilyVerifier::new(base.structure());
+        assert_eq!(
+            explicit.verify_at_many(&service, &[3]).unwrap_err(),
+            FamilyError::BackendMismatch("verify_at_many")
+        );
+    }
+
+    #[test]
+    fn verify_at_many_without_formulas_is_empty_per_size() {
+        let service = VerifyService::with_defaults();
+        let v = FamilyVerifier::counter_abstracted(icstar_sym::mutex_template());
+        let per_size = v.verify_at_many(&service, &[2, 9]).unwrap();
+        assert_eq!(per_size, vec![(2, Vec::new()), (9, Vec::new())]);
+    }
+
+    #[test]
+    fn verify_at_many_surfaces_check_errors() {
+        let service = VerifyService::with_defaults();
+        let mut v = FamilyVerifier::counter_abstracted(icstar_sym::mutex_template());
+        v.add_formula("bogus", parse_state("AG bogus_ge1").unwrap())
+            .unwrap();
+        assert!(matches!(
+            v.verify_at_many(&service, &[3]).unwrap_err(),
+            FamilyError::Sym(SymError::UnknownAtom(_))
+        ));
     }
 
     #[test]

@@ -13,7 +13,11 @@ use rand::prelude::*;
 
 /// A single finite-state process: local states with label sets and local
 /// transitions.
-#[derive(Clone, Debug)]
+///
+/// Equality is structural (state names, labels, transitions, initial
+/// state) — two independently built but identical templates compare
+/// equal.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProcessTemplate {
     names: Vec<String>,
     labels: Vec<Vec<String>>,

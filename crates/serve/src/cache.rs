@@ -1,0 +1,319 @@
+//! The memoized counter-graph cache.
+//!
+//! Materializing an abstract structure is the expensive step of every
+//! verification — everything after it is graph traversal. The cache maps
+//! `(template, spec, n)` to the materialized structure behind an
+//! [`Arc`], so concurrent jobs over the same family share one copy and
+//! repeated queries are near-free.
+//!
+//! Identity is **structural, verified**: entries are bucketed by the
+//! fast 64-bit [`CacheKey`] ([`GuardedTemplate::fingerprint`] /
+//! [`CountingSpec::fingerprint`]), but a hit is only declared after a
+//! full structural equality check of the template and spec — a
+//! fingerprint collision costs one extra bucket entry, never a wrong
+//! structure. (A verification service must not return confidently wrong
+//! verdicts because two workloads happened to share a hash.)
+//!
+//! Concurrency is two-layered:
+//!
+//! * the key space is split across `shards` independent
+//!   [`Mutex`]-protected maps (hash-picked), so unrelated lookups never
+//!   contend;
+//! * each entry holds an [`OnceLock`] slot inserted *before* building.
+//!   The map lock is held only for the bucket scan; the build itself runs
+//!   outside it. A second worker requesting a structure mid-build finds
+//!   the slot and blocks on the `OnceLock` until the first build lands —
+//!   every structure is built **exactly once**, and builds of different
+//!   structures proceed in parallel.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use icstar_kripke::{IndexedKripke, Kripke};
+use icstar_sym::{CountingSpec, GuardedTemplate, SymError};
+
+/// The bucket key of one family: fingerprints plus size. Fast to hash
+/// and compare; entries under one key are disambiguated structurally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`GuardedTemplate::fingerprint`] of the template.
+    pub template: u64,
+    /// [`CountingSpec::fingerprint`] of the labeling.
+    pub spec: u64,
+    /// The family size.
+    pub n: u32,
+}
+
+impl CacheKey {
+    /// The key of `template` with labeling `spec` at size `n`.
+    pub fn of(template: &GuardedTemplate, spec: &CountingSpec, n: u32) -> Self {
+        CacheKey {
+            template: template.fingerprint(),
+            spec: spec.fingerprint(),
+            n,
+        }
+    }
+}
+
+/// A build-once slot: filled exactly once, then shared.
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, SymError>>>;
+
+/// One verified entry: the workload it is for, and its slot.
+struct Entry<T> {
+    template: GuardedTemplate,
+    spec: CountingSpec,
+    slot: Slot<T>,
+}
+
+/// One sharded key→bucket map.
+struct Memo<T> {
+    shards: Vec<Mutex<HashMap<CacheKey, Vec<Entry<T>>>>>,
+}
+
+impl<T> Memo<T> {
+    fn new(shards: usize) -> Self {
+        Memo {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// The verified slot for the workload, and whether this call created
+    /// it. Fingerprint-colliding workloads get separate bucket entries.
+    fn slot(
+        &self,
+        key: CacheKey,
+        template: &GuardedTemplate,
+        spec: &CountingSpec,
+    ) -> (Slot<T>, bool) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let shard = (h.finish() % self.shards.len() as u64) as usize;
+        let mut map = self.shards[shard].lock().expect("cache shard poisoned");
+        let bucket = map.entry(key).or_default();
+        for entry in bucket.iter() {
+            if entry.template == *template && entry.spec == *spec {
+                return (Arc::clone(&entry.slot), false);
+            }
+        }
+        let slot: Slot<T> = Arc::new(OnceLock::new());
+        bucket.push(Entry {
+            template: template.clone(),
+            spec: spec.clone(),
+            slot: Arc::clone(&slot),
+        });
+        (slot, true)
+    }
+
+    fn get_or_build(
+        &self,
+        key: CacheKey,
+        template: &GuardedTemplate,
+        spec: &CountingSpec,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+        build: impl FnOnce() -> Result<T, SymError>,
+    ) -> Result<Arc<T>, SymError> {
+        let (slot, created) = self.slot(key, template, spec);
+        if created {
+            misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Either already materialized or being materialized by a peer
+            // right now — both share the work, both are hits.
+            hits.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.get_or_init(|| build().map(Arc::new)).clone()
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// The service-wide structure cache: counter graphs and representative
+/// structures, identified by workload (template + spec + size).
+pub struct GraphCache {
+    counter: Memo<Kripke>,
+    rep: Memo<IndexedKripke>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GraphCache {
+    /// A cache with `shards` independent lock domains (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        GraphCache {
+            counter: Memo::new(shards),
+            rep: Memo::new(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter structure of `template`/`spec` at size `n`, building
+    /// it with `build` on the first request and sharing the result
+    /// afterwards.
+    pub fn counter(
+        &self,
+        template: &GuardedTemplate,
+        spec: &CountingSpec,
+        n: u32,
+        build: impl FnOnce() -> Kripke,
+    ) -> Arc<Kripke> {
+        self.counter
+            .get_or_build(
+                CacheKey::of(template, spec, n),
+                template,
+                spec,
+                &self.hits,
+                &self.misses,
+                || Ok(build()),
+            )
+            .expect("counter builds are infallible")
+    }
+
+    /// The representative structure of `template`/`spec` at size `n`;
+    /// build failures (e.g. [`SymError::EmptyFamily`]) are cached and
+    /// replayed like successes.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` returned when the slot was first filled.
+    pub fn representative(
+        &self,
+        template: &GuardedTemplate,
+        spec: &CountingSpec,
+        n: u32,
+        build: impl FnOnce() -> Result<IndexedKripke, SymError>,
+    ) -> Result<Arc<IndexedKripke>, SymError> {
+        self.rep.get_or_build(
+            CacheKey::of(template, spec, n),
+            template,
+            spec,
+            &self.hits,
+            &self.misses,
+            build,
+        )
+    }
+
+    /// Requests answered from an existing (or in-flight) slot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to build.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached structures (counter + representative).
+    pub fn len(&self) -> usize {
+        self.counter.len() + self.rep.len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_sym::{mutex_template, SymEngine};
+
+    fn std_spec() -> CountingSpec {
+        CountingSpec::standard(&mutex_template())
+    }
+
+    #[test]
+    fn second_request_is_a_hit_and_shares_the_arc() {
+        let cache = GraphCache::new(4);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let a = cache.counter(&t, &s, 5, || engine.counter_structure(5));
+        let b = cache.counter(&t, &s, 5, || unreachable!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_sizes_are_distinct_entries() {
+        let cache = GraphCache::new(4);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let a = cache.counter(&t, &s, 3, || engine.counter_structure(3));
+        let b = cache.counter(&t, &s, 4, || engine.counter_structure(4));
+        assert_ne!(a.num_states(), b.num_states());
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn structurally_different_workloads_never_share_a_slot() {
+        // Same fingerprint bucket or not, a differing template or spec
+        // must build its own structure.
+        let cache = GraphCache::new(4);
+        let t = mutex_template();
+        let s1 = std_spec();
+        let s2 = CountingSpec::new().with_zero("crit");
+        let e1 = SymEngine::with_spec(t.clone(), s1.clone());
+        let e2 = SymEngine::with_spec(t.clone(), s2.clone());
+        let a = cache.counter(&t, &s1, 4, || e1.counter_structure(4));
+        let b = cache.counter(&t, &s2, 4, || e2.counter_structure(4));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn representative_errors_are_cached() {
+        let cache = GraphCache::new(2);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let e1 = cache
+            .representative(&t, &s, 0, || engine.representative_structure(0))
+            .unwrap_err();
+        let e2 = cache
+            .representative(&t, &s, 0, || unreachable!("cached error"))
+            .unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        let cache = Arc::new(GraphCache::new(4));
+        let engine = Arc::new(SymEngine::new(mutex_template()));
+        let builds = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let engine = Arc::clone(&engine);
+                let builds = Arc::clone(&builds);
+                scope.spawn(move || {
+                    cache.counter(&mutex_template(), &std_spec(), 50, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        engine.counter_structure(50)
+                    })
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build");
+        assert_eq!(cache.hits() + cache.misses(), 8);
+        assert_eq!(cache.misses(), 1);
+    }
+}

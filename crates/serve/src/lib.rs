@@ -1,0 +1,86 @@
+//! Concurrent verification service over the counter-abstraction engine.
+//!
+//! `icstar-sym` answers one question about one family cheaply; this crate
+//! makes that an always-on **service** answering many questions from many
+//! callers, where repeated and overlapping questions are near-free. It is
+//! the ROADMAP's "async service layer" + "sharded counter exploration"
+//! pair, and follows the program of Namjoshi–Trefler's *Symmetry
+//! Reduction for the Local Mu-Calculus*: build one reduced structure,
+//! reuse it across many local queries.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   callers                 VerifyService
+//!   ───────                 ─────────────
+//!   submit(VerifyJob) ──▶ [ job queue (mpsc) ]
+//!                            │ drained by
+//!                            ▼
+//!                      ┌─ worker pool ─┐          ┌───────────────────┐
+//!                      │ worker 0      │◀──hit────│    GraphCache     │
+//!                      │ worker 1      │──miss───▶│ (template fp,     │
+//!                      │   …           │  build   │  spec fp, n) ↦    │
+//!                      └───────┬───────┘          │  Arc<structure>   │
+//!                              │                  └───────────────────┘
+//!                              ▼ on miss, large n
+//!                    sharded exploration (icstar-sym):
+//!                    frontier partitioned by packed-key hash
+//!                    across scoped threads
+//!                              │
+//!                              ▼
+//!   JobHandle::wait ◀── VerdictReport (one verdict per size × formula)
+//! ```
+//!
+//! * **Queue → pool.** [`VerifyService::submit`] enqueues a [`VerifyJob`]
+//!   (template + sizes + formulas) and returns a [`JobHandle`]; a fixed
+//!   pool of worker threads drains the queue and sends each job's
+//!   [`VerdictReport`] back through its handle. Submission never blocks
+//!   on verification.
+//! * **Cache.** Workers obtain materialized structures through
+//!   [`GraphCache`], keyed **structurally** by
+//!   `(`[`GuardedTemplate::fingerprint`]`, `[`CountingSpec::fingerprint`]`, n)`
+//!   — so independently-built but equal workloads share entries. Entries
+//!   are built exactly once (concurrent requesters block on the in-flight
+//!   build, then share the [`Arc`](std::sync::Arc)); hit/miss counts are
+//!   reported in [`StatsSnapshot`].
+//! * **Engine.** Checking runs on [`icstar_sym::SymSession`]s seeded with
+//!   the cached structures; large-`n` misses materialize with the sharded
+//!   parallel exploration ([`icstar_sym::CounterSystem::kripke_sharded`]),
+//!   so a single big build also uses all cores.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use icstar_logic::parse_state;
+//! use icstar_serve::{VerifyJob, VerifyService};
+//! use icstar_sym::mutex_template;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = VerifyService::with_defaults();
+//! let handle = service.submit(
+//!     VerifyJob::new(mutex_template())
+//!         .at_sizes([100, 1_000])
+//!         .formula("mutex", parse_state("AG !crit_ge2")?)
+//!         .formula("access", parse_state("forall i. AG(try[i] -> EF crit[i])")?),
+//! );
+//! let report = handle.wait()?;
+//! assert!(report.all_hold());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`GuardedTemplate::fingerprint`]: icstar_sym::GuardedTemplate::fingerprint
+//! [`CountingSpec::fingerprint`]: icstar_sym::CountingSpec::fingerprint
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod job;
+mod service;
+mod stats;
+
+pub use cache::{CacheKey, GraphCache};
+pub use job::{JobVerdict, VerdictReport, VerifyJob};
+pub use service::{JobHandle, ServeConfig, ServeError, VerifyService};
+pub use stats::StatsSnapshot;

@@ -1,0 +1,488 @@
+//! The verification service: a job queue drained by a fixed worker pool.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::AtomicU64;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use icstar_kripke::Kripke;
+use icstar_logic::has_index_quantifier;
+use icstar_sym::{CountingSpec, SymEngine};
+
+use crate::cache::GraphCache;
+use crate::job::{JobVerdict, VerdictReport, VerifyJob};
+use crate::stats::{ServiceStats, StatsSnapshot};
+
+/// Tuning knobs for a [`VerifyService`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Independent lock domains of the structure cache.
+    pub cache_shards: usize,
+    /// Threads used by one sharded exploration
+    /// ([`icstar_sym::CounterSystem::kripke_sharded`]).
+    pub exploration_shards: usize,
+    /// Family sizes at or above this materialize with the sharded
+    /// exploration; smaller ones use the sequential BFS (coordination
+    /// overhead would dominate).
+    pub sharded_threshold: u32,
+}
+
+impl Default for ServeConfig {
+    /// Workers sized to the machine, 16 cache shards, sharding from
+    /// `n = 20_000` up.
+    ///
+    /// Exploration shards default to *half* the cores (at least 2): with
+    /// a core-sized worker pool, each concurrent large materialization
+    /// spawning a full core-count of threads would oversubscribe the
+    /// machine quadratically. Half-sized explorations keep two
+    /// simultaneous large builds at saturation, not thrash; structurally
+    /// equal workloads never build twice anyway (the cache deduplicates
+    /// in-flight builds).
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        ServeConfig {
+            workers: cores.max(2),
+            cache_shards: 16,
+            exploration_shards: (cores / 2).max(2),
+            sharded_threshold: 20_000,
+        }
+    }
+}
+
+/// Why a [`JobHandle`] could not produce a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The worker processing the job disappeared before reporting (the
+    /// service was dropped mid-job, or the worker panicked).
+    JobLost,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::JobLost => write!(f, "the job's worker exited before reporting"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A claim ticket for one submitted job.
+#[derive(Debug)]
+pub struct JobHandle {
+    /// The id the report will carry.
+    pub id: u64,
+    rx: mpsc::Receiver<VerdictReport>,
+}
+
+impl JobHandle {
+    /// Blocks until the job's report arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::JobLost`] if the worker died before reporting.
+    pub fn wait(self) -> Result<VerdictReport, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::JobLost)
+    }
+
+    /// The report, if it has already arrived (never blocks): `Ok(None)`
+    /// while the job is still in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::JobLost`] if the worker died before reporting — a
+    /// polling caller must see job loss too, or it would poll forever.
+    pub fn try_wait(&self) -> Result<Option<VerdictReport>, ServeError> {
+        match self.rx.try_recv() {
+            Ok(report) => Ok(Some(report)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(ServeError::JobLost),
+        }
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    job: VerifyJob,
+    reply: mpsc::Sender<VerdictReport>,
+}
+
+/// Everything the workers share.
+struct Inner {
+    cache: GraphCache,
+    stats: ServiceStats,
+    config: ServeConfig,
+}
+
+/// A concurrent verification service: callers [`submit`](VerifyService::submit)
+/// [`VerifyJob`]s from any thread; a fixed pool of workers drains the
+/// queue, shares materialized structures through the
+/// [`GraphCache`](crate::GraphCache), and sends each job's
+/// [`VerdictReport`] back through its [`JobHandle`].
+///
+/// Dropping the service closes the queue and joins the workers; jobs
+/// already queued are still processed first.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::parse_state;
+/// use icstar_serve::{VerifyJob, VerifyService};
+/// use icstar_sym::mutex_template;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let service = VerifyService::with_defaults();
+/// let job = VerifyJob::new(mutex_template())
+///     .at_sizes([10, 100])
+///     .formula("mutex", parse_state("AG !crit_ge2")?);
+/// // Two submissions of the same family: the second is served from cache.
+/// let a = service.submit(job.clone());
+/// let b = service.submit(job);
+/// assert!(a.wait()?.all_hold());
+/// assert!(b.wait()?.all_hold());
+/// assert!(service.stats().cache_hits > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct VerifyService {
+    /// `Some` until shutdown; dropping it closes the queue.
+    tx: Option<mpsc::Sender<QueuedJob>>,
+    workers: Vec<JoinHandle<()>>,
+    inner: Arc<Inner>,
+    next_id: AtomicU64,
+}
+
+impl VerifyService {
+    /// Starts the worker pool described by `config`.
+    pub fn start(config: ServeConfig) -> Self {
+        let (tx, rx) = mpsc::channel::<QueuedJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let inner = Arc::new(Inner {
+            cache: GraphCache::new(config.cache_shards),
+            stats: ServiceStats::default(),
+            config: config.clone(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("icstar-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only while waiting; release
+                        // before processing so peers can pick up work.
+                        let msg = { rx.lock().expect("queue poisoned").recv() };
+                        match msg {
+                            Ok(q) => {
+                                // Isolate panics: a pathological job must
+                                // not shrink the pool (each dead worker
+                                // would be one forever, until every
+                                // submission reports JobLost). All shared
+                                // state is atomics + the build-once cache,
+                                // which tolerates an abandoned build, so
+                                // unwinding past it is safe.
+                                let report =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        process(&inner, q.id, q.job)
+                                    }));
+                                if let Ok(report) = report {
+                                    ServiceStats::bump(&inner.stats.jobs_completed);
+                                    // The caller may have dropped its
+                                    // handle; the work still counts.
+                                    let _ = q.reply.send(report);
+                                }
+                                // On panic the reply sender is dropped and
+                                // the job's handle reports JobLost.
+                            }
+                            Err(_) => break, // queue closed: shut down
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        VerifyService {
+            tx: Some(tx),
+            workers,
+            inner,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts a service with [`ServeConfig::default`].
+    pub fn with_defaults() -> Self {
+        Self::start(ServeConfig::default())
+    }
+
+    /// Enqueues a job and returns the handle its report will arrive on.
+    /// Never blocks on the workers.
+    pub fn submit(&self, job: VerifyJob) -> JobHandle {
+        let id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel();
+        ServiceStats::bump(&self.inner.stats.jobs_submitted);
+        let queued = QueuedJob { id, job, reply };
+        if let Some(tx) = &self.tx {
+            // Failure means every worker has died; the handle will then
+            // report `JobLost`.
+            let _ = tx.send(queued);
+        }
+        JobHandle { id, rx }
+    }
+
+    /// A point-in-time view of the service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.inner.stats;
+        StatsSnapshot {
+            jobs_submitted: ServiceStats::read(&s.jobs_submitted),
+            jobs_completed: ServiceStats::read(&s.jobs_completed),
+            formulas_checked: ServiceStats::read(&s.formulas_checked),
+            cache_hits: self.inner.cache.hits(),
+            cache_misses: self.inner.cache.misses(),
+            cached_structures: self.inner.cache.len() as u64,
+            sharded_explorations: ServiceStats::read(&s.sharded_explorations),
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes the queue, drains queued jobs, and joins the workers.
+    /// Equivalent to dropping the service, but explicit.
+    pub fn shutdown(self) {}
+}
+
+impl Drop for VerifyService {
+    fn drop(&mut self) {
+        self.tx = None; // close the queue: workers exit after draining
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Runs one job: for every size, fetch-or-build the needed structures
+/// through the cache, then check every formula on a session seeded with
+/// them.
+fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
+    let VerifyJob {
+        template,
+        spec,
+        sizes,
+        formulas,
+    } = job;
+    let spec = spec.unwrap_or_else(|| CountingSpec::standard(&template));
+    let engine = SymEngine::with_spec(template, spec);
+
+    let any_counting = formulas.iter().any(|(_, f)| !has_index_quantifier(f));
+    let any_indexed = formulas.iter().any(|(_, f)| has_index_quantifier(f));
+
+    let mut verdicts = Vec::with_capacity(sizes.len() * formulas.len());
+    for &n in &sizes {
+        let mut session = engine.session(n);
+        // Indexed formulas at n = 0 expand over the empty index set and
+        // fall back to the counter structure, so it is needed then too.
+        if any_counting || (any_indexed && n == 0) {
+            session.seed_counter(
+                inner
+                    .cache
+                    .counter(engine.template(), engine.spec(), n, || {
+                        materialize(inner, &engine, n)
+                    }),
+            );
+        }
+        if any_indexed && n > 0 {
+            if let Ok(rep) = inner
+                .cache
+                .representative(engine.template(), engine.spec(), n, || {
+                    engine.representative_structure(n)
+                })
+            {
+                session.seed_representative(rep);
+            }
+            // On error the session is left unseeded: each indexed check
+            // reproduces the build error as its verdict.
+        }
+        for (name, f) in &formulas {
+            let result = session.check(f);
+            ServiceStats::bump(&inner.stats.formulas_checked);
+            verdicts.push(JobVerdict {
+                name: name.clone(),
+                n,
+                result,
+            });
+        }
+    }
+    VerdictReport {
+        job_id: id,
+        verdicts,
+    }
+}
+
+/// Builds the counter structure for the cache: sharded exploration for
+/// large families, sequential BFS for small ones.
+fn materialize(inner: &Inner, engine: &SymEngine, n: u32) -> Kripke {
+    if n >= inner.config.sharded_threshold {
+        ServiceStats::bump(&inner.stats.sharded_explorations);
+        engine.counter_structure_sharded(n, inner.config.exploration_shards)
+    } else {
+        engine.counter_structure(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icstar_logic::parse_state;
+    use icstar_sym::{mutex_template, ring_station_template, SymError};
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            cache_shards: 4,
+            exploration_shards: 2,
+            sharded_threshold: 1_000_000, // keep unit tests sequential
+        }
+    }
+
+    #[test]
+    fn end_to_end_verdicts_and_cache_sharing() {
+        let service = VerifyService::start(small_config());
+        let job = VerifyJob::new(mutex_template())
+            .at_sizes([5, 10])
+            .formula("mutex", parse_state("AG !crit_ge2").unwrap())
+            .formula(
+                "access",
+                parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap(),
+            );
+        let first = service.submit(job.clone()).wait().unwrap();
+        assert_eq!(first.verdicts.len(), 4);
+        assert!(first.all_hold());
+
+        let second = service.submit(job).wait().unwrap();
+        assert!(second.all_hold());
+
+        let stats = service.stats();
+        assert_eq!(stats.jobs_submitted, 2);
+        assert_eq!(stats.jobs_completed, 2);
+        assert_eq!(stats.formulas_checked, 8);
+        // Second job's 2 sizes × (counter + representative) all hit.
+        assert_eq!(stats.cache_misses, 4);
+        assert_eq!(stats.cache_hits, 4);
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn verdict_errors_are_reported_not_fatal() {
+        let service = VerifyService::start(small_config());
+        let report = service
+            .submit(
+                VerifyJob::new(mutex_template())
+                    .at_size(3)
+                    .formula("bogus", parse_state("AG bogus").unwrap())
+                    .formula("fine", parse_state("AG !crit_ge2").unwrap()),
+            )
+            .wait()
+            .unwrap();
+        assert!(matches!(
+            report.verdicts[0].result,
+            Err(SymError::UnknownAtom(_))
+        ));
+        assert_eq!(report.verdicts[1].result, Ok(true));
+    }
+
+    #[test]
+    fn n_zero_indexed_formulas_served() {
+        let service = VerifyService::start(small_config());
+        let report = service
+            .submit(
+                VerifyJob::new(mutex_template())
+                    .at_size(0)
+                    .formula("empty forall", parse_state("forall i. AG crit[i]").unwrap())
+                    .formula("empty exists", parse_state("exists i. EF crit[i]").unwrap()),
+            )
+            .wait()
+            .unwrap();
+        assert_eq!(report.verdicts[0].result, Ok(true));
+        assert_eq!(report.verdicts[1].result, Ok(false));
+    }
+
+    #[test]
+    fn distinct_templates_do_not_collide() {
+        let service = VerifyService::start(small_config());
+        // Same sizes, different templates: no false sharing.
+        let a = service.submit(
+            VerifyJob::new(mutex_template())
+                .at_size(4)
+                .formula("m", parse_state("AG !crit_ge2").unwrap()),
+        );
+        let b = service.submit(
+            VerifyJob::new(ring_station_template(3, 1))
+                .at_size(4)
+                .formula("cap", parse_state("AG !s1_ge2").unwrap()),
+        );
+        assert!(a.wait().unwrap().all_hold());
+        assert!(b.wait().unwrap().all_hold());
+        assert_eq!(service.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let service = VerifyService::start(ServeConfig {
+            workers: 1,
+            ..small_config()
+        });
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                service.submit(
+                    VerifyJob::new(mutex_template())
+                        .at_size(3 + i)
+                        .formula("m", parse_state("AG !crit_ge2").unwrap()),
+                )
+            })
+            .collect();
+        service.shutdown();
+        for h in handles {
+            assert!(h.wait().unwrap().all_hold());
+        }
+    }
+
+    #[test]
+    fn try_wait_reports_pending_then_ready() {
+        let service = VerifyService::start(small_config());
+        let h = service.submit(
+            VerifyJob::new(mutex_template())
+                .at_size(30)
+                .formula("m", parse_state("AG !crit_ge2").unwrap()),
+        );
+        // Poll until the report lands; `Ok(None)` means still in flight,
+        // an error would mean the job was lost.
+        loop {
+            match h.try_wait() {
+                Ok(Some(report)) => {
+                    assert!(report.all_hold());
+                    break;
+                }
+                Ok(None) => std::thread::yield_now(),
+                Err(e) => panic!("job lost: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn handle_ids_match_reports() {
+        let service = VerifyService::start(small_config());
+        let h = service.submit(
+            VerifyJob::new(mutex_template())
+                .at_size(2)
+                .formula("m", parse_state("AG !crit_ge2").unwrap()),
+        );
+        let id = h.id;
+        let report = h.wait().unwrap();
+        assert_eq!(report.job_id, id);
+    }
+}

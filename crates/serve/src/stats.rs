@@ -1,0 +1,78 @@
+//! Service-level counters and their snapshot form.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic service counters, updated lock-free by the workers.
+#[derive(Debug, Default)]
+pub(crate) struct ServiceStats {
+    pub(crate) jobs_submitted: AtomicU64,
+    pub(crate) jobs_completed: AtomicU64,
+    pub(crate) formulas_checked: AtomicU64,
+    pub(crate) sharded_explorations: AtomicU64,
+}
+
+impl ServiceStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time view of the service, from
+/// [`VerifyService::stats`](crate::VerifyService::stats).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted into the queue so far.
+    pub jobs_submitted: u64,
+    /// Jobs fully processed (their report sent) so far.
+    pub jobs_completed: u64,
+    /// Individual `(formula, size)` checks performed.
+    pub formulas_checked: u64,
+    /// Structure requests answered from an existing or in-flight cache
+    /// slot.
+    pub cache_hits: u64,
+    /// Structure requests that had to materialize.
+    pub cache_misses: u64,
+    /// Structures currently held by the cache.
+    pub cached_structures: u64,
+    /// Materializations that used the sharded parallel exploration.
+    pub sharded_explorations: u64,
+}
+
+impl StatsSnapshot {
+    /// Cache hits as a fraction of all structure requests (`0.0` before
+    /// any request).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_is_total_safe() {
+        let mut s = StatsSnapshot {
+            jobs_submitted: 0,
+            jobs_completed: 0,
+            formulas_checked: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cached_structures: 0,
+            sharded_explorations: 0,
+        };
+        assert_eq!(s.hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

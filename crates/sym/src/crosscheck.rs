@@ -266,6 +266,20 @@ mod tests {
     }
 
     #[test]
+    fn abstraction_corresponds_for_state_guarded_template() {
+        // State-occupancy guards must leave the abstraction exact: the
+        // oracle compares against the explicit composition, whose guard
+        // evaluation goes through the same occupancy semantics.
+        let t = crate::template::ring_station_template(3, 1);
+        for n in 1..=4u32 {
+            let spec = CountingSpec::exhaustive(&t, n);
+            verify_counter_abstraction(&t, n, &spec).unwrap();
+        }
+        let wide = crate::template::ring_station_template(4, 2);
+        verify_counter_abstraction(&wide, 3, &CountingSpec::exhaustive(&wide, 3)).unwrap();
+    }
+
+    #[test]
     fn broken_relabel_is_detected() {
         // Sanity-check the oracle itself: comparing against a *wrongly*
         // labeled explicit structure must fail.

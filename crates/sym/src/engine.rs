@@ -19,6 +19,7 @@
 //! abstraction for the given template.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use icstar_kripke::{Atom, IndexedKripke, Kripke};
 use icstar_logic::{check_restricted, has_index_quantifier, PathFormula, StateFormula};
@@ -83,6 +84,24 @@ impl SymEngine {
     /// Materializes the counter-abstracted structure at size `n`.
     pub fn counter_structure(&self, n: u32) -> Kripke {
         self.system(n).kripke(&self.spec)
+    }
+
+    /// Materializes the counter-abstracted structure at size `n` with a
+    /// sharded parallel exploration ([`CounterSystem::kripke_sharded`]):
+    /// the same structure, explored by `shards` cooperating threads.
+    pub fn counter_structure_sharded(&self, n: u32, shards: usize) -> Kripke {
+        self.system(n).kripke_sharded(&self.spec, shards)
+    }
+
+    /// Materializes the representative structure at size `n` (the
+    /// distinguished-copy construction behind
+    /// [`SymEngine::check_indexed`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SymError::EmptyFamily`] at `n = 0`.
+    pub fn representative_structure(&self, n: u32) -> Result<IndexedKripke, SymError> {
+        representative(&self.system(n), &self.spec)
     }
 
     /// Starts a checking session at size `n`: the abstract structures are
@@ -196,14 +215,53 @@ impl SymEngine {
 pub struct SymSession<'e> {
     engine: &'e SymEngine,
     n: u32,
-    counter: Option<Kripke>,
-    rep: Option<IndexedKripke>,
+    counter: Option<Arc<Kripke>>,
+    rep: Option<Arc<IndexedKripke>>,
 }
 
 impl SymSession<'_> {
     /// The family size this session checks at.
     pub fn size(&self) -> u32 {
         self.n
+    }
+
+    /// Seeds the session with a pre-materialized counter structure —
+    /// typically one obtained from [`SymSession::counter_arc`] of an
+    /// earlier session (or a cache of such structures, like
+    /// `icstar-serve`'s), avoiding re-exploration.
+    ///
+    /// The structure must be the counter structure of the *same* engine
+    /// (template and spec) at the *same* size; seeding anything else
+    /// makes later answers meaningless.
+    pub fn seed_counter(&mut self, counter: Arc<Kripke>) -> &mut Self {
+        self.counter = Some(counter);
+        self
+    }
+
+    /// Seeds the session with a pre-materialized representative
+    /// structure; the same sharing contract as
+    /// [`SymSession::seed_counter`] applies.
+    pub fn seed_representative(&mut self, rep: Arc<IndexedKripke>) -> &mut Self {
+        self.rep = Some(rep);
+        self
+    }
+
+    /// The session's counter structure, materializing it on first use —
+    /// as a shared handle, suitable for caching and for seeding other
+    /// sessions at the same `(template, spec, n)`.
+    pub fn counter_arc(&mut self) -> Arc<Kripke> {
+        Arc::clone(self.counter_ref())
+    }
+
+    /// The session's representative structure, materializing it on first
+    /// use — as a shared handle, suitable for caching and for seeding
+    /// other sessions at the same `(template, spec, n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SymError::EmptyFamily`] at `n = 0`.
+    pub fn representative_arc(&mut self) -> Result<Arc<IndexedKripke>, SymError> {
+        self.representative_ref().map(Arc::clone)
     }
 
     /// Checks any supported closed formula, dispatching as
@@ -235,7 +293,7 @@ impl SymSession<'_> {
             )));
         }
         self.engine.validate_plain_atoms(&used)?;
-        let mut chk = Checker::new(self.counter_structure());
+        let mut chk = Checker::new(self.counter_ref());
         Ok(chk.holds(f)?)
     }
 
@@ -255,27 +313,24 @@ impl SymSession<'_> {
         self.engine.validate_plain_atoms(&used)?;
         if self.n == 0 {
             let expanded = icstar_mc::expand(f, &[]);
-            let mut chk = Checker::new(self.counter_structure());
+            let mut chk = Checker::new(self.counter_ref());
             return Ok(chk.holds(&expanded)?);
         }
-        let rep = self.representative_structure()?;
+        let rep = self.representative_ref()?;
         let mut chk = IndexedChecker::new(rep);
         Ok(chk.holds(f)?)
     }
 
-    fn counter_structure(&mut self) -> &Kripke {
+    fn counter_ref(&mut self) -> &Arc<Kripke> {
         if self.counter.is_none() {
-            self.counter = Some(self.engine.counter_structure(self.n));
+            self.counter = Some(Arc::new(self.engine.counter_structure(self.n)));
         }
         self.counter.as_ref().expect("just materialized")
     }
 
-    fn representative_structure(&mut self) -> Result<&IndexedKripke, SymError> {
+    fn representative_ref(&mut self) -> Result<&Arc<IndexedKripke>, SymError> {
         if self.rep.is_none() {
-            self.rep = Some(representative(
-                &self.engine.system(self.n),
-                &self.engine.spec,
-            )?);
+            self.rep = Some(Arc::new(self.engine.representative_structure(self.n)?));
         }
         Ok(self.rep.as_ref().expect("just materialized"))
     }
@@ -468,6 +523,50 @@ mod tests {
             s.check(&parse_state("EF try_ge2").unwrap()).unwrap(),
             e.check(50, &parse_state("EF try_ge2").unwrap()).unwrap()
         );
+    }
+
+    #[test]
+    fn seeded_sessions_share_materialized_structures() {
+        let e = engine();
+        let mut first = e.session(40);
+        assert!(first.check(&parse_state("AG !crit_ge2").unwrap()).unwrap());
+        assert!(first
+            .check(&parse_state("exists i. EF crit[i]").unwrap())
+            .unwrap());
+        let counter = first.counter_arc();
+        let rep = first.representative_arc().unwrap();
+
+        // A second session seeded with the first's structures answers
+        // identically without re-materializing (the Arcs are shared).
+        let mut second = e.session(40);
+        second.seed_counter(std::sync::Arc::clone(&counter));
+        second.seed_representative(std::sync::Arc::clone(&rep));
+        assert!(second
+            .check(&parse_state("AG (try_ge1 -> EF crit_ge1)").unwrap())
+            .unwrap());
+        assert!(second
+            .check(&parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap())
+            .unwrap());
+        assert!(std::sync::Arc::ptr_eq(&counter, &second.counter_arc()));
+        assert!(std::sync::Arc::ptr_eq(
+            &rep,
+            &second.representative_arc().unwrap()
+        ));
+    }
+
+    #[test]
+    fn engine_materializes_representative_and_sharded_structures() {
+        let e = engine();
+        let rep = e.representative_structure(4).unwrap();
+        assert_eq!(rep.indices(), &[1]);
+        assert!(matches!(
+            e.representative_structure(0),
+            Err(SymError::EmptyFamily)
+        ));
+        let seq = e.counter_structure(30);
+        let par = e.counter_structure_sharded(30, 4);
+        assert_eq!(seq.num_states(), par.num_states());
+        assert_eq!(seq.num_transitions(), par.num_transitions());
     }
 
     #[test]

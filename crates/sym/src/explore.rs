@@ -83,19 +83,43 @@ impl CounterSystem {
     /// The distinct abstract successors of `state`, in deterministic
     /// order. Always non-empty: a state with no enabled move yields a
     /// stuttering `[state]`.
+    ///
+    /// Two moves yield the same occupancy vector only if they share the
+    /// same `(from, to)` local-state pair (distinct sources change
+    /// distinct entries) — except self-moves `q → q`, which all collapse
+    /// onto `state` itself. Deduplication therefore happens on cheap
+    /// `u32` target comparisons per source plus one self-move flag,
+    /// instead of comparing whole counter vectors.
     pub fn successors(&self, state: &CounterState) -> Vec<CounterState> {
-        let mut out: Vec<CounterState> = Vec::new();
-        for q in 0..self.template.num_states() as u32 {
+        let num_states = self.template.num_states() as u32;
+        let capacity: usize = (0..num_states)
+            .filter(|&q| state.count(q) > 0)
+            .map(|q| self.template.base().successors(q).len())
+            .sum();
+        let mut out: Vec<CounterState> = Vec::with_capacity(capacity);
+        let mut self_move_seen = false;
+        // Distinct enabled targets of the current source, reused per q.
+        let mut targets: Vec<u32> = Vec::new();
+        for q in 0..num_states {
             if state.count(q) == 0 {
                 continue;
             }
+            targets.clear();
             for (k, &q2) in self.template.base().successors(q).iter().enumerate() {
-                if !self.template.enabled(state, q, k) {
-                    continue;
+                if self.template.enabled(state, q, k) && !targets.contains(&q2) {
+                    targets.push(q2);
                 }
-                let next = state.move_one(q, q2);
-                if !out.contains(&next) {
-                    out.push(next);
+            }
+            for &q2 in &targets {
+                if q2 == q {
+                    // A self-move leaves the occupancy unchanged; all such
+                    // moves (from any source) are one abstract edge.
+                    if !self_move_seen {
+                        self_move_seen = true;
+                        out.push(state.clone());
+                    }
+                } else {
+                    out.push(state.move_one(q, q2));
                 }
             }
         }
@@ -164,6 +188,141 @@ impl CounterSystem {
         b.build(init)
             .expect("counter exploration is stutter-completed, hence total")
     }
+
+    /// Materializes the same structure as [`CounterSystem::kripke`], but
+    /// explores the reachable space with `shards` cooperating threads.
+    ///
+    /// Packed keys are partitioned by hash: each shard owns the states
+    /// hashing to it, deduplicates arrivals against its own map (no shared
+    /// mutable state), expands the new ones, and routes every successor to
+    /// its owner's channel. A global in-flight counter (incremented before
+    /// each send, decremented after processing) detects termination: when
+    /// it reaches zero no state is queued or being expanded anywhere, so
+    /// all shards stop. The per-shard state sets and edge lists are then
+    /// merged and frozen in a canonical order.
+    ///
+    /// The result is **deterministic** — states sorted by occupancy
+    /// vector, edges in per-state successor order — and *isomorphic* to
+    /// the single-threaded structure (same states, labels, and edges;
+    /// only the state numbering differs), for any `shards ≥ 1` and any
+    /// thread interleaving. `shards == 1` falls back to the sequential
+    /// BFS.
+    pub fn kripke_sharded(&self, spec: &CountingSpec, shards: usize) -> Kripke {
+        if shards <= 1 {
+            return self.kripke(spec);
+        }
+        let discovered = self.explore_sharded(shards);
+
+        let mut b = KripkeBuilder::new();
+        let mut ids: HashMap<PackedCounter, StateId> = HashMap::with_capacity(discovered.len());
+        for (state, _) in &discovered {
+            let atoms = spec.atoms_for_counter(&self.template, state);
+            let id = b.state_labeled(self.state_name(state), atoms);
+            ids.insert(self.packing.pack(state), id);
+        }
+        for (state, succs) in &discovered {
+            let from = ids[&self.packing.pack(state)];
+            for key in succs {
+                b.edge(from, ids[key]);
+            }
+        }
+        let init = ids[&self.packing.pack(&self.initial())];
+        b.build(init)
+            .expect("sharded exploration is stutter-completed, hence total")
+    }
+
+    /// The parallel reachability sweep behind
+    /// [`CounterSystem::kripke_sharded`]: returns every reachable state
+    /// with its packed successor keys, sorted by occupancy vector.
+    fn explore_sharded(&self, shards: usize) -> Vec<(CounterState, Vec<PackedCounter>)> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+
+        let shard_of = |key: &PackedCounter| -> usize {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut h = DefaultHasher::new();
+            key.hash(&mut h);
+            (h.finish() % shards as u64) as usize
+        };
+        let shard_of = &shard_of;
+
+        let mut txs: Vec<Sender<CounterState>> = Vec::with_capacity(shards);
+        let mut rxs: Vec<Receiver<CounterState>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        // States sent but not yet fully expanded. Incrementing *before*
+        // every send and decrementing only *after* a state's successors
+        // have all been sent keeps the counter positive while any work
+        // exists, so `pending == 0` is a sound termination signal.
+        let pending = AtomicUsize::new(1);
+        let init = self.initial();
+        txs[shard_of(&self.packing.pack(&init))]
+            .send(init)
+            .expect("receiver is alive");
+
+        let mut discovered: Vec<(CounterState, Vec<PackedCounter>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .map(|rx| {
+                    let txs = txs.clone();
+                    let pending = &pending;
+                    s.spawn(move || {
+                        let mut seen: std::collections::HashSet<PackedCounter> =
+                            std::collections::HashSet::new();
+                        let mut mine: Vec<(CounterState, Vec<PackedCounter>)> = Vec::new();
+                        loop {
+                            // Block (kernel-parked) until a state arrives,
+                            // re-checking the termination counter once per
+                            // millisecond — long enough that starved
+                            // shards cost ~nothing, short enough that the
+                            // post-completion drain is invisible next to
+                            // any real exploration.
+                            match rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                                Ok(state) => {
+                                    let key = self.packing.pack(&state);
+                                    if seen.insert(key) {
+                                        let succs = self.successors(&state);
+                                        let keys: Vec<PackedCounter> = succs
+                                            .iter()
+                                            .map(|succ| self.packing.pack(succ))
+                                            .collect();
+                                        for (succ, skey) in succs.into_iter().zip(&keys) {
+                                            pending.fetch_add(1, Ordering::SeqCst);
+                                            txs[shard_of(skey)]
+                                                .send(succ)
+                                                .expect("peer exits only at pending == 0");
+                                        }
+                                        mine.push((state, keys));
+                                    }
+                                    pending.fetch_sub(1, Ordering::SeqCst);
+                                }
+                                Err(RecvTimeoutError::Timeout) => {
+                                    if pending.load(Ordering::SeqCst) == 0 {
+                                        break;
+                                    }
+                                }
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            drop(txs);
+            let mut all = Vec::new();
+            for h in handles {
+                all.extend(h.join().expect("shard worker panicked"));
+            }
+            all
+        });
+        discovered.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        discovered
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +384,67 @@ mod tests {
         let t = b.build(a);
         let sys = CounterSystem::new(t, 3);
         assert_eq!(sys.successors(&sys.initial()).len(), 1);
+    }
+
+    #[test]
+    fn sharded_exploration_matches_sequential() {
+        // Same states (by name), same labels, same edge set — for every
+        // shard count, on guarded and free templates alike.
+        use std::collections::BTreeSet;
+        for t in [
+            mutex_template(),
+            GuardedTemplate::free(fig41_template()),
+            crate::template::ring_station_template(3, 2),
+        ] {
+            let spec = CountingSpec::standard(&t);
+            for n in [0u32, 1, 7, 40] {
+                let sys = CounterSystem::new(t.clone(), n);
+                let seq = sys.kripke(&spec);
+                for shards in [2usize, 3, 8] {
+                    let par = sys.kripke_sharded(&spec, shards);
+                    par.validate().unwrap();
+                    assert_eq!(par.num_states(), seq.num_states());
+                    assert_eq!(par.num_transitions(), seq.num_transitions());
+                    let snapshot = |k: &icstar_kripke::Kripke| {
+                        let mut states = BTreeSet::new();
+                        let mut edges = BTreeSet::new();
+                        for s in k.states() {
+                            let mut atoms = k.label_atoms(s);
+                            atoms.sort();
+                            states.insert((k.state_name(s).to_string(), atoms));
+                            for &d in k.successors(s) {
+                                edges.insert((
+                                    k.state_name(s).to_string(),
+                                    k.state_name(d).to_string(),
+                                ));
+                            }
+                        }
+                        (states, edges, k.state_name(k.initial()).to_string())
+                    };
+                    assert_eq!(snapshot(&par), snapshot(&seq), "shards = {shards}, n = {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_output_is_deterministic() {
+        let t = mutex_template();
+        let sys = CounterSystem::new(t.clone(), 25);
+        let spec = CountingSpec::standard(&t);
+        let a = sys.kripke_sharded(&spec, 4);
+        for shards in [2usize, 4, 7] {
+            let b = sys.kripke_sharded(&spec, shards);
+            // States are frozen in sorted occupancy order, so the result
+            // is bit-for-bit reproducible whatever the shard count.
+            assert_eq!(a.num_states(), b.num_states());
+            for s in a.states() {
+                assert_eq!(a.state_name(s), b.state_name(s));
+                assert_eq!(a.label_atoms(s), b.label_atoms(s));
+                assert_eq!(a.successors(s), b.successors(s));
+            }
+            assert_eq!(a.initial(), b.initial());
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Stable structural fingerprints for cache keys.
+//!
+//! The service layer memoizes materialized counter graphs keyed by
+//! *(template, spec, n)*. Templates and specs are compared structurally,
+//! not by identity, so two callers submitting equal workloads share one
+//! cached structure. The fingerprint is a 64-bit FNV-1a hash over a
+//! canonical byte rendering of the structure — deterministic across
+//! processes and runs (unlike [`std::collections::hash_map::DefaultHasher`],
+//! whose keys are unspecified), so fingerprints are also usable in logs,
+//! reports, and on-disk caches.
+
+/// An incremental FNV-1a (64-bit) hasher over canonical byte renderings.
+#[derive(Clone, Debug)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub(crate) fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    /// The digest so far.
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Absorbs raw bytes.
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    pub(crate) fn u32(&mut self, v: u32) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a length-prefixed string (prefixing prevents ambiguity
+    /// between e.g. `["ab"]` and `["a", "b"]`).
+    pub(crate) fn str(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let mut a = Fnv::new();
+        a.str("ab").u32(7);
+        let mut b = Fnv::new();
+        b.str("ab").u32(7);
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = Fnv::new();
+        c.str("a").str("b");
+        let mut d = Fnv::new();
+        d.str("ab");
+        assert_ne!(c.finish(), d.finish(), "length prefixes disambiguate");
+    }
+
+    #[test]
+    fn empty_input_is_offset_basis() {
+        assert_eq!(Fnv::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -21,6 +21,7 @@ use icstar_kripke::Atom;
 use icstar_logic::{build, StateFormula};
 
 use crate::counter::CounterState;
+use crate::fingerprint::Fnv;
 use crate::template::GuardedTemplate;
 
 /// The plain atom `p_ge{k}` meaning `#p ≥ k`.
@@ -174,6 +175,27 @@ impl CountingSpec {
         atoms
     }
 
+    /// A stable 64-bit structural fingerprint: equal for equal specs,
+    /// across processes and runs. Combined with
+    /// [`GuardedTemplate::fingerprint`] and the family size, it keys the
+    /// `icstar-serve` memo cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u32(self.at_least.len() as u32);
+        for (p, k) in &self.at_least {
+            h.str(p).u32(*k);
+        }
+        h.u32(self.zero.len() as u32);
+        for p in &self.zero {
+            h.str(p);
+        }
+        h.u32(self.exactly_one.len() as u32);
+        for p in &self.exactly_one {
+            h.str(p);
+        }
+        h.finish()
+    }
+
     /// The atoms labeling the abstract state `counts` of `template`.
     pub fn atoms_for_counter(
         &self,
@@ -241,6 +263,23 @@ mod tests {
         assert!(atoms.contains(&Atom::exactly_one("crit")));
         assert!(!atoms.contains(&at_least_atom("crit", 2)));
         assert!(!atoms.contains(&none_atom("idle")));
+    }
+
+    #[test]
+    fn spec_fingerprint_tracks_equality() {
+        let t = mutex_template();
+        assert_eq!(
+            CountingSpec::standard(&t).fingerprint(),
+            CountingSpec::standard(&t).fingerprint()
+        );
+        assert_ne!(
+            CountingSpec::standard(&t).fingerprint(),
+            CountingSpec::exhaustive(&t, 4).fingerprint()
+        );
+        assert_ne!(
+            CountingSpec::new().with_zero("p").fingerprint(),
+            CountingSpec::new().with_exactly_one("p").fingerprint()
+        );
     }
 
     #[test]

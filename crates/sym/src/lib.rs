@@ -85,6 +85,7 @@ mod counter;
 mod engine;
 mod error;
 mod explore;
+mod fingerprint;
 mod rep;
 mod template;
 
@@ -100,4 +101,4 @@ pub use error::SymError;
 pub use explore::CounterSystem;
 pub use labels::CountingSpec;
 pub use rep::{representative, RepState, REPRESENTATIVE_INDEX};
-pub use template::{mutex_template, Guard, GuardedBuilder, GuardedTemplate};
+pub use template::{mutex_template, ring_station_template, Guard, GuardedBuilder, GuardedTemplate};

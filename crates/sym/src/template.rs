@@ -14,15 +14,28 @@
 use icstar_nets::{ProcessTemplate, TemplateBuilder};
 
 use crate::counter::CounterState;
+use crate::fingerprint::Fnv;
 
 /// A counting constraint on one local transition, evaluated on the
-/// occupancy of a local proposition across all copies (before the move).
+/// occupancy vector of all copies (before the move).
+///
+/// Proposition guards ([`Guard::AtMost`]/[`Guard::AtLeast`]) count the
+/// copies whose local *label* carries a proposition; state guards
+/// ([`Guard::StateAtMost`]/[`Guard::StateAtLeast`]) count the copies
+/// sitting in one local *state* directly, independent of labeling — useful
+/// for capacity-style protocols whose control states carry no dedicated
+/// proposition. Both kinds are functions of the occupancy vector alone, so
+/// they preserve full symmetry and the counter abstraction stays exact.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Guard {
     /// Enabled iff at most `.1` copies satisfy proposition `.0`.
     AtMost(String, u32),
     /// Enabled iff at least `.1` copies satisfy proposition `.0`.
     AtLeast(String, u32),
+    /// Enabled iff at most `.1` copies sit in local state `.0`.
+    StateAtMost(u32, u32),
+    /// Enabled iff at least `.1` copies sit in local state `.0`.
+    StateAtLeast(u32, u32),
 }
 
 impl Guard {
@@ -34,6 +47,24 @@ impl Guard {
     /// `#prop ≥ bound`.
     pub fn at_least(prop: impl Into<String>, bound: u32) -> Self {
         Guard::AtLeast(prop.into(), bound)
+    }
+
+    /// `#state ≤ bound` (occupancy of one local state).
+    pub fn state_at_most(state: u32, bound: u32) -> Self {
+        Guard::StateAtMost(state, bound)
+    }
+
+    /// `#state ≥ bound` (occupancy of one local state).
+    pub fn state_at_least(state: u32, bound: u32) -> Self {
+        Guard::StateAtLeast(state, bound)
+    }
+
+    /// The local state a state-occupancy guard reads, if any.
+    fn guarded_state(&self) -> Option<u32> {
+        match self {
+            Guard::StateAtMost(q, _) | Guard::StateAtLeast(q, _) => Some(*q),
+            Guard::AtMost(..) | Guard::AtLeast(..) => None,
+        }
     }
 }
 
@@ -58,7 +89,7 @@ impl Guard {
 /// assert_eq!(t.num_states(), 3);
 /// assert_eq!(t.guards(trying, 0), &[Guard::at_most("crit", 0)]);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GuardedTemplate {
     base: ProcessTemplate,
     /// `guards[q][k]` guards the `k`-th outgoing transition of local
@@ -135,7 +166,50 @@ impl GuardedTemplate {
         self.guards(q, k).iter().all(|g| match g {
             Guard::AtMost(p, bound) => self.prop_count(counts, p) <= *bound,
             Guard::AtLeast(p, bound) => self.prop_count(counts, p) >= *bound,
+            Guard::StateAtMost(s, bound) => counts.count(*s) <= *bound,
+            Guard::StateAtLeast(s, bound) => counts.count(*s) >= *bound,
         })
+    }
+
+    /// A stable 64-bit structural fingerprint: equal for structurally
+    /// identical templates (states, names, labels, transitions, guards),
+    /// across processes and runs. Used as a cache key component by the
+    /// `icstar-serve` memo cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u32(self.num_states() as u32).u32(self.initial());
+        for q in 0..self.num_states() as u32 {
+            h.str(self.base.state_name(q));
+            let labels = self.base.labels(q);
+            h.u32(labels.len() as u32);
+            for p in labels {
+                h.str(p);
+            }
+            let succs = self.base.successors(q);
+            h.u32(succs.len() as u32);
+            for (k, &q2) in succs.iter().enumerate() {
+                h.u32(q2);
+                let guards = self.guards(q, k);
+                h.u32(guards.len() as u32);
+                for g in guards {
+                    match g {
+                        Guard::AtMost(p, b) => {
+                            h.u32(0).str(p).u32(*b);
+                        }
+                        Guard::AtLeast(p, b) => {
+                            h.u32(1).str(p).u32(*b);
+                        }
+                        Guard::StateAtMost(s, b) => {
+                            h.u32(2).u32(*s).u32(*b);
+                        }
+                        Guard::StateAtLeast(s, b) => {
+                            h.u32(3).u32(*s).u32(*b);
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
     }
 }
 
@@ -207,9 +281,21 @@ impl GuardedBuilder {
     ///
     /// As [`TemplateBuilder::build`]: the template must be non-empty, the
     /// initial state known, and every local state must have an outgoing
-    /// transition.
+    /// transition. Additionally panics if a state-occupancy guard
+    /// ([`Guard::StateAtMost`]/[`Guard::StateAtLeast`]) names an unknown
+    /// local state.
     pub fn build(self, initial: u32) -> GuardedTemplate {
         let base = self.base.build(initial);
+        let num_states = base.num_states() as u32;
+        for per_state in &self.guards {
+            for guards in per_state {
+                for g in guards {
+                    if let Some(q) = g.guarded_state() {
+                        assert!(q < num_states, "guard reads unknown local state {q}");
+                    }
+                }
+            }
+        }
         let props = index_props(&base);
         GuardedTemplate {
             base,
@@ -231,6 +317,58 @@ pub fn mutex_template() -> GuardedTemplate {
     b.edge_guarded(trying, crit, [Guard::at_most("crit", 0)]);
     b.edge(crit, idle);
     b.build(idle)
+}
+
+/// A ring of `stations` service stations with per-station capacity `cap`,
+/// built from state-occupancy guards: every copy cycles
+/// `s0 → s1 → … → s{stations-1} → s0`, and may advance only while the
+/// *next* station holds fewer than `cap` copies.
+///
+/// The guards reference the station *states* directly
+/// ([`Guard::StateAtMost`]), so the capacity semantics is independent of
+/// how — or whether — states are labeled. Each station also carries a
+/// proposition of the same name (`s0`, `s1`, …) so that materialized
+/// structures have counting atoms (`s1_ge2`, …) and indexed atoms
+/// (`s3[i]`) to check properties against; dropping those labels would
+/// change the observable atoms but not the transition structure.
+///
+/// All copies start at `s0` (the unbounded "lobby": its occupancy is
+/// never guarded against, so the initial state is legal at any family
+/// size).
+///
+/// # Panics
+///
+/// Panics if `stations < 2` or `cap == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_sym::{ring_station_template, CounterState};
+///
+/// let t = ring_station_template(3, 2);
+/// assert_eq!(t.num_states(), 3);
+/// // s0 -> s1 is open while s1 holds < 2 copies...
+/// assert!(t.enabled(&CounterState::new(vec![4, 1, 0]), 0, 0));
+/// // ...and closed once s1 is full.
+/// assert!(!t.enabled(&CounterState::new(vec![3, 2, 0]), 0, 0));
+/// ```
+pub fn ring_station_template(stations: usize, cap: u32) -> GuardedTemplate {
+    assert!(stations >= 2, "a ring needs at least two stations");
+    assert!(cap >= 1, "stations must admit at least one copy");
+    let mut b = GuardedBuilder::new();
+    let ids: Vec<u32> = (0..stations)
+        .map(|i| b.state(format!("s{i}"), [format!("s{i}")]))
+        .collect();
+    for i in 0..stations {
+        let next = ids[(i + 1) % stations];
+        if next == ids[0] {
+            // Back to the lobby: always open, so the ring can drain.
+            b.edge(ids[i], next);
+        } else {
+            b.edge_guarded(ids[i], next, [Guard::state_at_most(next, cap - 1)]);
+        }
+    }
+    b.build(ids[0])
 }
 
 #[cfg(test)]
@@ -282,6 +420,72 @@ mod tests {
         let t = b.build(a);
         assert!(t.enabled(&CounterState::new(vec![2, 0]), 0, 0));
         assert!(!t.enabled(&CounterState::new(vec![1, 1]), 0, 0));
+    }
+
+    #[test]
+    fn state_occupancy_guards() {
+        // Two unlabeled-in-spirit states distinguished only by identity:
+        // the move a -> c is open while c holds at most one copy, and the
+        // move c -> a requires at least two copies in c (batch release).
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        let c = b.state("c", ["c"]);
+        b.edge_guarded(a, c, [Guard::state_at_most(c, 1)]);
+        b.edge_guarded(c, a, [Guard::state_at_least(c, 2)]);
+        let t = b.build(a);
+        assert!(t.enabled(&CounterState::new(vec![2, 1]), 0, 0));
+        assert!(!t.enabled(&CounterState::new(vec![1, 2]), 0, 0));
+        assert!(t.enabled(&CounterState::new(vec![1, 2]), 1, 0));
+        assert!(!t.enabled(&CounterState::new(vec![2, 1]), 1, 0));
+        assert!(!t.is_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown local state")]
+    fn state_guard_on_unknown_state_rejected() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        b.edge_guarded(a, a, [Guard::state_at_most(7, 0)]);
+        b.build(a);
+    }
+
+    #[test]
+    fn ring_station_shape_and_guards() {
+        let t = ring_station_template(4, 2);
+        assert_eq!(t.num_states(), 4);
+        assert_eq!(t.initial(), 0);
+        // Advancing into station 1 is capacity-guarded; returning to the
+        // lobby (s3 -> s0) is always open.
+        assert_eq!(t.guards(0, 0), &[Guard::state_at_most(1, 1)]);
+        assert_eq!(t.guards(3, 0), &[]);
+        // Full downstream station blocks the move.
+        assert!(!t.enabled(&CounterState::new(vec![3, 2, 0, 0]), 0, 0));
+        assert!(t.enabled(&CounterState::new(vec![3, 1, 1, 0]), 0, 0));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let base = mutex_template().fingerprint();
+        assert_eq!(base, mutex_template().fingerprint(), "deterministic");
+        assert_ne!(base, ring_station_template(3, 1).fingerprint());
+        assert_ne!(
+            ring_station_template(3, 1).fingerprint(),
+            ring_station_template(3, 2).fingerprint(),
+            "guard bounds are part of the fingerprint"
+        );
+        assert_ne!(
+            ring_station_template(3, 1).fingerprint(),
+            ring_station_template(4, 1).fingerprint()
+        );
+        // An unguarded copy of the mutex cycle differs from the guarded one.
+        let mut b = GuardedBuilder::new();
+        let idle = b.state("idle", ["idle"]);
+        let trying = b.state("try", ["try"]);
+        let crit = b.state("crit", ["crit"]);
+        b.edge(idle, trying);
+        b.edge(trying, crit);
+        b.edge(crit, idle);
+        assert_ne!(b.build(idle).fingerprint(), base);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Integration tests for the verification service (`icstar-serve`) and
+//! the sharded counter exploration behind it.
+//!
+//! Three claims under test:
+//!
+//! 1. **Cache transparency** — verdicts served through the memoized
+//!    cache agree verdict-for-verdict with a fresh, cache-free
+//!    [`SymEngine`] run, over random templates and the guarded demo
+//!    workloads.
+//! 2. **Service liveness under load** — a small pool drains ≥ 64
+//!    concurrent jobs over shared templates, every report arrives, and
+//!    overlapping jobs actually share structures (hit-rate > 0).
+//! 3. **Sharded = sequential** — the parallel exploration produces a
+//!    structure isomorphic to the single-threaded BFS (same states by
+//!    name, same labels, same edge set), and scales to `n = 10^6`
+//!    (release-mode smoke test, `--ignored` in the default profile).
+
+use std::collections::BTreeSet;
+
+use icstar::icstar_sym::{
+    mutex_template, ring_station_template, CounterSystem, CountingSpec, GuardedTemplate, SymEngine,
+};
+use icstar::{Kripke, ServeConfig, VerifyJob, VerifyService};
+use icstar_logic::parse_state;
+use icstar_nets::{random_template, RandomTemplateConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_service(workers: usize) -> VerifyService {
+    VerifyService::start(ServeConfig {
+        workers,
+        cache_shards: 8,
+        exploration_shards: 2,
+        sharded_threshold: 500, // exercise the sharded path at test sizes
+    })
+}
+
+/// The workload battery: guarded demo templates plus random free ones.
+fn template_pool() -> Vec<GuardedTemplate> {
+    let mut pool = vec![mutex_template(), ring_station_template(3, 2)];
+    let cfg = RandomTemplateConfig {
+        states: 3,
+        prop_names: vec!["p".into(), "q".into()],
+        ..RandomTemplateConfig::default()
+    };
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(9_000 + seed);
+        pool.push(GuardedTemplate::free(random_template(&mut rng, &cfg)));
+    }
+    pool
+}
+
+/// Formulas over the standard counting atoms of `t`, one per proposition
+/// flavor, plus an indexed one.
+fn battery_for(t: &GuardedTemplate) -> Vec<(String, icstar_logic::StateFormula)> {
+    let mut formulas = Vec::new();
+    if let Some(p) = t.props().next() {
+        for src in [
+            format!("AG ({p}_ge1 -> {p}_ge1)"),
+            format!("EF {p}_ge2"),
+            format!("AG ({p}_eq0 | {p}_ge1)"),
+            format!("forall i. EF {p}[i]"),
+        ] {
+            formulas.push((src.clone(), parse_state(&src).unwrap()));
+        }
+    }
+    formulas
+}
+
+#[test]
+fn cached_verdicts_agree_with_fresh_engines() {
+    // Every job is submitted twice (the second run hits the cache) and
+    // every verdict is cross-checked against a cache-free engine.
+    let service = small_service(3);
+    let sizes = [1u32, 2, 3, 4];
+    for template in template_pool() {
+        let formulas = battery_for(&template);
+        if formulas.is_empty() {
+            continue; // label-free random template: nothing to check
+        }
+        let job = VerifyJob::new(template.clone())
+            .at_sizes(sizes)
+            .formulas_from(formulas.clone());
+        let first = service.submit(job.clone()).wait().unwrap();
+        let second = service.submit(job).wait().unwrap();
+        assert_eq!(first.verdicts.len(), second.verdicts.len());
+
+        let engine = SymEngine::new(template);
+        for (a, b) in first.verdicts.iter().zip(&second.verdicts) {
+            assert_eq!(a, b, "cached rerun diverged");
+            let direct = engine.check(a.n, &formulas.iter().find(|(s, _)| *s == a.name).unwrap().1);
+            assert_eq!(a.result, direct, "{} at n = {}", a.name, a.n);
+        }
+    }
+    let stats = service.stats();
+    assert!(stats.cache_hits > 0, "reruns must hit: {stats:?}");
+    assert_eq!(stats.jobs_submitted, stats.jobs_completed);
+}
+
+#[test]
+fn stress_sixty_four_concurrent_jobs() {
+    // 64 jobs over 2 shared templates and mixed sizes, against 4 workers:
+    // every report arrives, verdicts are sound, and the overlap shows up
+    // as cache hits.
+    let service = small_service(4);
+    // Ring capacity 1: at most one copy per non-lobby station, so the
+    // `!s1_ge2` invariant below is exactly the capacity guard's claim.
+    let templates = [mutex_template(), ring_station_template(4, 1)];
+    let handles: Vec<_> = (0..64)
+        .map(|i| {
+            let template = templates[i % 2].clone();
+            let n = [20u32, 40, 60][i % 3];
+            let job = match i % 2 {
+                0 => VerifyJob::new(template)
+                    .at_size(n)
+                    .formula("mutex", parse_state("AG !crit_ge2").unwrap())
+                    .formula(
+                        "access",
+                        parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap(),
+                    ),
+                _ => VerifyJob::new(template)
+                    .at_size(n)
+                    .formula("cap", parse_state("AG !s1_ge2").unwrap())
+                    .formula("round trip", parse_state("forall i. EF s2[i]").unwrap()),
+            };
+            service.submit(job)
+        })
+        .collect();
+
+    let mut reports = 0;
+    for h in handles {
+        let report = h.wait().expect("every job must report");
+        assert_eq!(report.verdicts.len(), 2);
+        assert!(report.all_hold(), "job {}: {:?}", report.job_id, report);
+        reports += 1;
+    }
+    assert_eq!(reports, 64);
+
+    let stats = service.stats();
+    assert_eq!(stats.jobs_completed, 64);
+    assert_eq!(stats.formulas_checked, 128);
+    assert!(stats.cache_hits > 0, "shared workloads must hit: {stats:?}");
+    assert!(stats.hit_rate() > 0.0);
+    // 2 templates × 3 sizes × (counter + representative) distinct builds.
+    assert_eq!(stats.cache_misses, 12);
+}
+
+/// A structure as comparable data: states by name (with their sorted
+/// atom labels), edges by name pair, and the initial state's name.
+#[allow(clippy::type_complexity)]
+fn canonical(
+    k: &Kripke,
+) -> (
+    BTreeSet<(String, Vec<icstar::Atom>)>,
+    BTreeSet<(String, String)>,
+    String,
+) {
+    let mut states = BTreeSet::new();
+    let mut edges = BTreeSet::new();
+    for s in k.states() {
+        // Atom interning order differs between explorations; sort so the
+        // comparison sees label *sets*.
+        let mut atoms = k.label_atoms(s);
+        atoms.sort();
+        states.insert((k.state_name(s).to_string(), atoms));
+        for &d in k.successors(s) {
+            edges.insert((k.state_name(s).to_string(), k.state_name(d).to_string()));
+        }
+    }
+    (states, edges, k.state_name(k.initial()).to_string())
+}
+
+#[test]
+fn sharded_and_sequential_explorations_are_isomorphic() {
+    for template in template_pool() {
+        let spec = CountingSpec::standard(&template);
+        for n in [0u32, 1, 13, 60] {
+            let sys = CounterSystem::new(template.clone(), n);
+            let seq = sys.kripke(&spec);
+            for shards in [2usize, 5] {
+                let par = sys.kripke_sharded(&spec, shards);
+                par.validate().unwrap();
+                assert_eq!(canonical(&par), canonical(&seq), "n = {n}, {shards} shards");
+            }
+        }
+    }
+}
+
+#[test]
+fn service_uses_sharded_exploration_above_threshold() {
+    let service = small_service(2);
+    let report = service
+        .submit(
+            VerifyJob::new(mutex_template())
+                .at_sizes([100, 800]) // one below, one above the threshold
+                .formula("mutex", parse_state("AG !crit_ge2").unwrap()),
+        )
+        .wait()
+        .unwrap();
+    assert!(report.all_hold());
+    assert_eq!(service.stats().sharded_explorations, 1);
+}
+
+/// Release-mode smoke test for the acceptance bar: materialize and check
+/// the mutex family at `n = 10^6` through the sharded exploration. Run
+/// with `cargo test --release --test serve -- --ignored` (CI does); too
+/// slow for the default debug profile.
+#[test]
+#[ignore = "release-mode smoke test (run with --ignored)"]
+fn sharded_exploration_verifies_mutex_at_one_million() {
+    let n: u32 = 1_000_000;
+    let engine = SymEngine::new(mutex_template());
+    let shards = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let kripke = engine.counter_structure_sharded(n, shards);
+    // Reachable mutex counter states: (#try, #crit ≤ 1) — 2n + 1.
+    assert_eq!(kripke.num_states() as u32, 2 * n + 1);
+    kripke.validate().unwrap();
+
+    let mut session = engine.session(n);
+    session.seed_counter(std::sync::Arc::new(kripke));
+    assert!(session
+        .check(&parse_state("AG !crit_ge2").unwrap())
+        .unwrap());
+    assert!(session
+        .check(&parse_state("AG (try_ge1 -> EF crit_ge1)").unwrap())
+        .unwrap());
+}
