@@ -1,0 +1,67 @@
+//! Benchmark: the wire layer (`icstar-wire`).
+//!
+//! The serialization path (print + parse of jobs) must stay negligible
+//! next to verification itself, and the TCP front-end's per-job overhead
+//! must stay in microseconds — the round trip here includes submit,
+//! queue, check at a tiny size, and report streaming.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icstar::{parse_state, ServeConfig, VerifyJob, VerifyService};
+use icstar_sym::{mutex_template, ring_station_template};
+use icstar_wire::{parse_job, print_job, WireClient, WireServer};
+
+fn demo_job(sizes: &[u32]) -> VerifyJob {
+    VerifyJob::new(mutex_template())
+        .at_sizes(sizes.iter().copied())
+        .formula("mutex", parse_state("AG !crit_ge2").unwrap())
+        .formula(
+            "access",
+            parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap(),
+        )
+}
+
+fn bench_print_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/print-parse");
+    group.sample_size(50);
+    let small = demo_job(&[100]);
+    let big = VerifyJob::new(ring_station_template(24, 3))
+        .at_sizes((1..=64).collect::<Vec<u32>>())
+        .formula("cap", parse_state("AG !s1_ge2").unwrap());
+    for (name, job) in [("mutex-job", &small), ("ring24-job", &big)] {
+        let text = print_job(job);
+        group.bench_function(format!("print/{name}"), |b| {
+            b.iter(|| print_job(black_box(job)))
+        });
+        group.bench_function(format!("parse/{name}"), |b| {
+            b.iter(|| parse_job(black_box(&text)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_socket_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/socket-round-trip");
+    group.sample_size(20);
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        VerifyService::start(ServeConfig {
+            workers: 2,
+            cache_shards: 4,
+            exploration_shards: 2,
+            sharded_threshold: 1_000_000,
+        }),
+    )
+    .unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let job = demo_job(&[10]);
+    group.bench_function("submit+result/cached", |b| {
+        b.iter(|| {
+            let id = client.submit(black_box(&job)).unwrap();
+            assert!(client.result(id).unwrap().all_hold());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_print_parse, bench_socket_round_trip);
+criterion_main!(benches);

@@ -81,6 +81,36 @@ pub fn parse_path(input: &str) -> Result<PathFormula, ParseError> {
     Ok(collapse_states(&f))
 }
 
+/// [`parse_state`] as the standard conversion trait, so embedding grammars
+/// (e.g. the `icstar-wire` protocol) can use `str::parse`. Together with
+/// `Display` this is the round-trip pair: `print ∘ parse = id`.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::StateFormula;
+///
+/// let f: StateFormula = "AG !crit_ge2".parse()?;
+/// assert_eq!(f.to_string().parse::<StateFormula>()?, f);
+/// # Ok::<(), icstar_logic::ParseError>(())
+/// ```
+impl std::str::FromStr for StateFormula {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_state(s)
+    }
+}
+
+/// [`parse_path`] as the standard conversion trait.
+impl std::str::FromStr for PathFormula {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_path(s)
+    }
+}
+
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Tok {
     Ident(String),

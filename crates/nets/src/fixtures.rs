@@ -1,0 +1,104 @@
+//! Canonical wire-format texts for the paper's recurring workloads.
+//!
+//! The `icstar-wire` crate defines a textual language for symmetric
+//! networks (grammar: `docs/PROTOCOL.md`). These constants are the
+//! *canonical* texts of the figures and case studies the paper (and this
+//! repository's docs) keep returning to — the textual twins of
+//! [`crate::fig41_template`], `icstar_sym::mutex_template` and
+//! `icstar_sym::ring_station_template`. They live here, beside the
+//! programmatic constructors, so the two representations are versioned
+//! together; the `icstar-wire` test suite asserts that parsing each text
+//! yields exactly its constructor's template (`tests/fixtures.rs` in
+//! `crates/wire`).
+//!
+//! They are plain `&str`s — this crate deliberately does not depend on
+//! the wire layer; the wire layer depends on it.
+
+/// Fig. 4.1 of the paper: one `a`-labeled state falling into a `b`-labeled
+/// absorbing state. Unguarded — its composition is the free interleaved
+/// product whose nested-quantifier counting power motivates the ICTL*
+/// restriction. Parses to `GuardedTemplate::free(fig41_template())`.
+pub const FIG41_TEMPLATE_WIRE: &str = "\
+template {
+  state a [a];
+  state b [b];
+  init a;
+  edge a -> b;
+  edge b -> b;
+}
+";
+
+/// The test-and-set mutual-exclusion family used throughout the docs,
+/// examples, and benchmarks: `idle → try → crit → idle`, entering `crit`
+/// guarded by `#crit = 0`. Parses to `icstar_sym::mutex_template()`.
+pub const MUTEX_TEMPLATE_WIRE: &str = "\
+template {
+  state idle [idle];
+  state try [try];
+  state crit [crit];
+  init idle;
+  edge idle -> try;
+  edge try -> crit when #crit <= 0;
+  edge crit -> idle;
+}
+";
+
+/// A 4-station service ring with per-station capacity 1, built from
+/// state-occupancy guards (`@s1 <= 0` reads the occupancy of local state
+/// `s1` directly). Parses to `icstar_sym::ring_station_template(4, 1)`.
+pub const RING_STATION_4_1_WIRE: &str = "\
+template {
+  state s0 [s0];
+  state s1 [s1];
+  state s2 [s2];
+  state s3 [s3];
+  init s0;
+  edge s0 -> s1 when @s1 <= 0;
+  edge s1 -> s2 when @s2 <= 0;
+  edge s2 -> s3 when @s3 <= 0;
+  edge s3 -> s0;
+}
+";
+
+/// A complete job: the mutex family checked for the paper's two flagship
+/// properties at `n = 100` and `n = 1000`. This is the `SUBMIT` payload
+/// shown in the README quickstart and sent verbatim by `wire_demo`.
+pub const MUTEX_JOB_WIRE: &str = "\
+job {
+  template {
+    state idle [idle];
+    state try [try];
+    state crit [crit];
+    init idle;
+    edge idle -> try;
+    edge try -> crit when #crit <= 0;
+    edge crit -> idle;
+  }
+  sizes 100 1000;
+  check \"mutual exclusion\": AG !crit_ge2;
+  check \"access possibility\": forall i. AG (try[i] -> EF crit[i]);
+}
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The wire crate asserts semantic equality; here we only pin shape
+    /// invariants that don't need the parser.
+    #[test]
+    fn fixtures_are_wire_shaped() {
+        for (name, text) in [
+            ("fig41", FIG41_TEMPLATE_WIRE),
+            ("mutex", MUTEX_TEMPLATE_WIRE),
+            ("ring", RING_STATION_4_1_WIRE),
+        ] {
+            assert!(text.starts_with("template {"), "{name}");
+            assert!(text.trim_end().ends_with('}'), "{name}");
+            assert!(text.contains("init "), "{name}");
+        }
+        assert!(MUTEX_JOB_WIRE.starts_with("job {"));
+        assert!(MUTEX_JOB_WIRE.contains("sizes 100 1000;"));
+        assert!(MUTEX_JOB_WIRE.contains("check \"mutual exclusion\""));
+    }
+}

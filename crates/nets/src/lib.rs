@@ -9,6 +9,8 @@
 //!   properties, verbatim;
 //! * [`figures`] — reconstructions of Figs. 3.1 and (via [`counting`])
 //!   4.1;
+//! * [`fixtures`] — canonical `icstar-wire` textual forms of the
+//!   recurring workloads (Fig. 4.1, the mutex, the station ring);
 //! * [`counting`] — the process-counting formulas that motivate the
 //!   ICTL* restriction;
 //! * [`free`] — the Section 6 nesting-depth conjecture, tested
@@ -37,6 +39,7 @@
 pub mod buggy;
 pub mod counting;
 pub mod figures;
+pub mod fixtures;
 pub mod formulas;
 pub mod free;
 pub mod ring;

@@ -141,6 +141,24 @@ impl<T> Memo<T> {
             })
             .sum()
     }
+
+    /// Sums `size` over every *materialized* entry (slots still building,
+    /// or filled with a build error, count zero).
+    fn total_size(&self, size: impl Fn(&T) -> usize) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .flatten()
+                    .filter_map(|e| e.slot.get())
+                    .filter_map(|r| r.as_ref().ok())
+                    .map(|t| size(t) as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
 }
 
 /// The service-wide structure cache: counter graphs and representative
@@ -224,6 +242,19 @@ impl GraphCache {
         self.counter.len() + self.rep.len()
     }
 
+    /// Total abstract states held by the cache, across all materialized
+    /// counter graphs and representative structures. Slots whose build is
+    /// still in flight (or failed) contribute nothing.
+    ///
+    /// Together with [`GraphCache::len`] this is the occupancy signal an
+    /// operator needs to size an eviction budget: `len` says how many
+    /// families are resident, `abstract_states` how much memory-shaped
+    /// weight they carry (states dominate the footprint).
+    pub fn abstract_states(&self) -> u64 {
+        self.counter.total_size(Kripke::num_states)
+            + self.rep.total_size(|ik| ik.kripke().num_states())
+    }
+
     /// Whether nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -277,6 +308,27 @@ mod tests {
         let b = cache.counter(&t, &s2, 4, || e2.counter_structure(4));
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn abstract_states_sum_over_materialized_entries() {
+        let cache = GraphCache::new(4);
+        assert_eq!(cache.abstract_states(), 0);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let a = cache.counter(&t, &s, 5, || engine.counter_structure(5));
+        let b = cache.counter(&t, &s, 9, || engine.counter_structure(9));
+        assert_eq!(
+            cache.abstract_states(),
+            (a.num_states() + b.num_states()) as u64
+        );
+        // A cached build *error* occupies an entry but weighs nothing.
+        let _ = cache.representative(&t, &s, 0, || engine.representative_structure(0));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(
+            cache.abstract_states(),
+            (a.num_states() + b.num_states()) as u64
+        );
     }
 
     #[test]

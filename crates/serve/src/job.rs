@@ -27,7 +27,7 @@ use icstar_sym::{CountingSpec, GuardedTemplate, SymError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VerifyJob {
     /// The symmetric family's template.
     pub template: GuardedTemplate,
@@ -99,7 +99,7 @@ pub struct JobVerdict {
 /// Everything the service has to say about one finished [`VerifyJob`]:
 /// one [`JobVerdict`] per `(size, formula)` pair, in size-major order
 /// (all formulas at `sizes[0]`, then all at `sizes[1]`, …).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VerdictReport {
     /// The id assigned at submission (also on the matching
     /// [`JobHandle`](crate::JobHandle)).

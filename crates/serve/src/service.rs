@@ -242,6 +242,7 @@ impl VerifyService {
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
             cached_structures: self.inner.cache.len() as u64,
+            cached_abstract_states: self.inner.cache.abstract_states(),
             sharded_explorations: ServiceStats::read(&s.sharded_explorations),
         }
     }
@@ -374,6 +375,8 @@ mod tests {
         assert_eq!(stats.cache_misses, 4);
         assert_eq!(stats.cache_hits, 4);
         assert!(stats.hit_rate() > 0.0);
+        assert_eq!(stats.cached_structures, 4);
+        assert!(stats.cached_abstract_states > 0);
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl ServiceStats {
 
 /// A point-in-time view of the service, from
 /// [`VerifyService::stats`](crate::VerifyService::stats).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// `Default` is all-zero — the snapshot of a service that has done
+/// nothing yet (wire clients also rely on it: `STATS` keys missing
+/// from an older server's answer read as zero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Jobs accepted into the queue so far.
     pub jobs_submitted: u64,
@@ -38,6 +41,9 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Structures currently held by the cache.
     pub cached_structures: u64,
+    /// Total abstract states across all materialized cached structures —
+    /// the cache's memory-shaped weight, for tuning an eviction budget.
+    pub cached_abstract_states: u64,
     /// Materializations that used the sharded parallel exploration.
     pub sharded_explorations: u64,
 }
@@ -61,15 +67,7 @@ mod tests {
 
     #[test]
     fn hit_rate_is_total_safe() {
-        let mut s = StatsSnapshot {
-            jobs_submitted: 0,
-            jobs_completed: 0,
-            formulas_checked: 0,
-            cache_hits: 0,
-            cache_misses: 0,
-            cached_structures: 0,
-            sharded_explorations: 0,
-        };
+        let mut s = StatsSnapshot::default();
         assert_eq!(s.hit_rate(), 0.0);
         s.cache_hits = 3;
         s.cache_misses = 1;

@@ -138,6 +138,40 @@ impl CountingSpec {
         spec
     }
 
+    /// The `(prop, k)` threshold entries (`#prop ≥ k`, `k ≥ 1`), in
+    /// sorted order. Together with [`CountingSpec::zero_props`] and
+    /// [`CountingSpec::exactly_one_props`] this exposes the full spec
+    /// contents, so external serializers (e.g. `icstar-wire`) can print a
+    /// spec and rebuild it with the `with_*` constructors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use icstar_sym::CountingSpec;
+    ///
+    /// let spec = CountingSpec::new().with_at_least("crit", 2).with_at_least("try", 1);
+    /// let entries: Vec<(&str, u32)> = spec.at_least_entries().collect();
+    /// assert_eq!(entries, vec![("crit", 2), ("try", 1)]);
+    /// ```
+    pub fn at_least_entries(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.at_least.iter().map(|(p, k)| (p.as_str(), *k))
+    }
+
+    /// The props carrying the emptiness atom `#p = 0`, in sorted order.
+    pub fn zero_props(&self) -> impl Iterator<Item = &str> {
+        self.zero.iter().map(String::as_str)
+    }
+
+    /// The props carrying the `Θ p` (exactly one) atom, in sorted order.
+    pub fn exactly_one_props(&self) -> impl Iterator<Item = &str> {
+        self.exactly_one.iter().map(String::as_str)
+    }
+
+    /// Whether the spec emits no atoms at all.
+    pub fn is_empty(&self) -> bool {
+        self.at_least.is_empty() && self.zero.is_empty() && self.exactly_one.is_empty()
+    }
+
     /// Every atom this spec can emit, in a stable order.
     pub fn atom_universe(&self) -> Vec<Atom> {
         let mut atoms = Vec::new();

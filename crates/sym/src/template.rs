@@ -133,6 +133,23 @@ impl GuardedTemplate {
         &self.guards[q as usize][k]
     }
 
+    /// Name of local state `q` (passthrough to the base template, so
+    /// serializers need not reach through [`GuardedTemplate::base`]).
+    pub fn state_name(&self, q: u32) -> &str {
+        self.base.state_name(q)
+    }
+
+    /// Local proposition names of local state `q`.
+    pub fn labels(&self, q: u32) -> &[String] {
+        self.base.labels(q)
+    }
+
+    /// Local successors of local state `q`, parallel to the guard lists
+    /// ([`GuardedTemplate::guards`]).
+    pub fn successors(&self, q: u32) -> &[u32] {
+        self.base.successors(q)
+    }
+
     /// Whether any transition carries a guard.
     pub fn is_free(&self) -> bool {
         self.guards.iter().all(|g| g.iter().all(Vec::is_empty))

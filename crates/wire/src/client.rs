@@ -1,0 +1,237 @@
+//! A blocking client for the wire protocol.
+//!
+//! [`WireClient`] speaks the same line protocol as [`crate::WireServer`]
+//! and converts payloads back to typed values (`u64` ids, [`WireReport`],
+//! [`StatsSnapshot`]). It exists both as the convenient Rust-side API and
+//! as the executable specification of the client side of the protocol —
+//! the integration tests drive a real server exclusively through it.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use icstar_serve::{StatsSnapshot, VerifyJob};
+
+use crate::error::WireError;
+use crate::text::{parse_report, print_job, WireReport};
+
+/// The non-blocking answer to a `STATUS` query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Still queued or being processed.
+    Pending,
+    /// Finished; `RESULT` will answer immediately.
+    Done,
+    /// The worker processing the job died; no report will come.
+    Lost,
+}
+
+/// A blocking connection to a [`crate::WireServer`].
+///
+/// One request is in flight at a time (the protocol is strictly
+/// request/response per connection); open several clients for
+/// concurrency — jobs and ids are shared server-wide.
+///
+/// # Examples
+///
+/// See [`crate::WireServer`] for an end-to-end example; the textual
+/// escape hatch accepts raw protocol payloads:
+///
+/// ```
+/// use icstar_serve::VerifyService;
+/// use icstar_wire::{WireClient, WireServer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let server = WireServer::bind("127.0.0.1:0", VerifyService::with_defaults())?;
+/// let mut client = WireClient::connect(server.local_addr())?;
+/// let id = client.submit_text(
+///     "job {
+///        template { state a [a]; init a; edge a -> a; }
+///        sizes 10;
+///        check \"always a\": AG a_ge1;
+///      }",
+/// )?;
+/// assert!(client.result(id)?.all_hold());
+/// # Ok(())
+/// # }
+/// ```
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl WireClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(WireClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn read_line(&mut self) -> Result<String, WireError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(WireError::Protocol("server closed the connection".into()));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Reads one `OK`-or-`ERR` line and returns what follows `OK `.
+    fn read_ok(&mut self) -> Result<String, WireError> {
+        let line = self.read_line()?;
+        match line.strip_prefix("OK") {
+            Some(rest) => Ok(rest.trim_start().to_string()),
+            None => Err(WireError::Protocol(line)),
+        }
+    }
+
+    /// Reads a dot-terminated block (the payload of `RESULT`/`STATS`).
+    fn read_block(&mut self) -> Result<String, WireError> {
+        let mut block = String::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(WireError::Protocol(
+                    "server closed the connection mid-block".into(),
+                ));
+            }
+            if line.trim_end() == "." {
+                return Ok(block);
+            }
+            block.push_str(&line);
+        }
+    }
+
+    /// Serializes and submits a job; returns the server-assigned id.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`WireError::Protocol`] if the server rejects
+    /// the job (e.g. a parse error on a hand-built payload).
+    pub fn submit(&mut self, job: &VerifyJob) -> Result<u64, WireError> {
+        self.submit_text(&print_job(job))
+    }
+
+    /// Submits a raw wire-format job payload (see `docs/PROTOCOL.md`).
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::submit`]; malformed payloads surface as
+    /// [`WireError::Protocol`] carrying the server's `ERR parse: ...`
+    /// line.
+    pub fn submit_text(&mut self, job_text: &str) -> Result<u64, WireError> {
+        writeln!(self.writer, "SUBMIT")?;
+        self.writer.write_all(job_text.as_bytes())?;
+        if !job_text.ends_with('\n') {
+            writeln!(self.writer)?;
+        }
+        writeln!(self.writer, ".")?;
+        let rest = self.read_ok()?;
+        match rest.strip_prefix("id ").map(str::parse) {
+            Some(Ok(id)) => Ok(id),
+            _ => Err(WireError::Protocol(format!("expected `OK id <n>`: {rest}"))),
+        }
+    }
+
+    /// Asks whether a job has finished, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`WireError::Protocol`] for unknown ids.
+    pub fn status(&mut self, id: u64) -> Result<JobStatus, WireError> {
+        writeln!(self.writer, "STATUS {id}")?;
+        match self.read_ok()?.as_str() {
+            "pending" => Ok(JobStatus::Pending),
+            "done" => Ok(JobStatus::Done),
+            "lost" => Ok(JobStatus::Lost),
+            other => Err(WireError::Protocol(format!("unknown status {other:?}"))),
+        }
+    }
+
+    /// Fetches a job's report, blocking until the job finishes. Reports
+    /// stay fetchable: asking again returns the same report.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; [`WireError::Protocol`] for unknown or lost jobs;
+    /// [`WireError::Parse`] if the report payload is malformed.
+    pub fn result(&mut self, id: u64) -> Result<WireReport, WireError> {
+        writeln!(self.writer, "RESULT {id}")?;
+        let rest = self.read_ok()?;
+        if rest != "report" {
+            return Err(WireError::Protocol(format!("expected `OK report`: {rest}")));
+        }
+        let block = self.read_block()?;
+        Ok(parse_report(&block)?)
+    }
+
+    /// Fetches the service counters (the `STATS` command).
+    ///
+    /// Unknown keys are ignored and missing keys default to zero, so
+    /// clients and servers can evolve independently.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`WireError::Protocol`] on a malformed payload.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
+        writeln!(self.writer, "STATS")?;
+        let rest = self.read_ok()?;
+        if rest != "stats" {
+            return Err(WireError::Protocol(format!("expected `OK stats`: {rest}")));
+        }
+        let block = self.read_block()?;
+        let mut s = StatsSnapshot::default();
+        for line in block.lines() {
+            let Some((key, value)) = line.split_once(' ') else {
+                continue;
+            };
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| WireError::Protocol(format!("non-numeric stats value in {line:?}")))?;
+            match key {
+                "jobs_submitted" => s.jobs_submitted = value,
+                "jobs_completed" => s.jobs_completed = value,
+                "formulas_checked" => s.formulas_checked = value,
+                "cache_hits" => s.cache_hits = value,
+                "cache_misses" => s.cache_misses = value,
+                "cached_structures" => s.cached_structures = value,
+                "cached_abstract_states" => s.cached_abstract_states = value,
+                "sharded_explorations" => s.sharded_explorations = value,
+                _ => {} // forward compatibility
+            }
+        }
+        Ok(s)
+    }
+
+    /// Round-trips a `PING`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`WireError::Protocol`] on anything but pong.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        writeln!(self.writer, "PING")?;
+        match self.read_ok()?.as_str() {
+            "pong" => Ok(()),
+            other => Err(WireError::Protocol(format!("expected pong: {other}"))),
+        }
+    }
+
+    /// Says goodbye and closes the connection.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the farewell exchange.
+    pub fn quit(mut self) -> Result<(), WireError> {
+        writeln!(self.writer, "QUIT")?;
+        self.read_ok()?;
+        Ok(())
+    }
+}

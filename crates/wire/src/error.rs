@@ -1,0 +1,84 @@
+//! Errors of the wire layer: parse failures and protocol failures.
+
+use std::fmt;
+use std::io;
+
+/// A wire-format parse failure, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireParseError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// Human-readable description (single line).
+    pub message: String,
+}
+
+impl WireParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        WireParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for WireParseError {}
+
+/// Why a client/server exchange failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The peer answered with `ERR ...` or an unparseable response. The
+    /// payload is the peer's line (or a description of the malformation).
+    Protocol(String),
+    /// A payload (job, report) failed to parse.
+    Parse(WireParseError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Protocol(m) => write!(f, "protocol error: {m}"),
+            WireError::Parse(e) => write!(f, "payload {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<WireParseError> for WireError {
+    fn from(e: WireParseError) -> Self {
+        WireError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let p = WireParseError::new(3, "expected `;`");
+        assert_eq!(p.to_string(), "parse error at byte 3: expected `;`");
+        assert!(WireError::from(p).to_string().contains("expected `;`"));
+        assert!(WireError::Protocol("ERR nope".into())
+            .to_string()
+            .contains("ERR nope"));
+        assert!(WireError::from(io::Error::other("boom"))
+            .to_string()
+            .contains("boom"));
+    }
+}

@@ -1,0 +1,75 @@
+//! `icstar-wire` — the network face of the verification service: a
+//! textual wire format for symmetric-network workloads, and a TCP
+//! front-end + client speaking it.
+//!
+//! `icstar-serve` made the counter-abstraction engine a concurrent
+//! in-process service; this crate makes it *deployable*. External
+//! clients describe a family of identical processes — a guarded
+//! template, a counting-atom spec, family sizes, ICTL* formulas — in a
+//! small textual language, submit it over a socket, and stream verdicts
+//! back. Like the paper's own notation (and the role/protocol texts of
+//! Reich's *Processes, Roles and Their Interactions*), the textual form
+//! doubles as the *specification medium*: `docs/PROTOCOL.md` is the
+//! grammar, and every fixture in `icstar_nets::fixtures` is a worked
+//! example.
+//!
+//! # Layers
+//!
+//! * [`text`] *(re-exported at the root)* — parser + printer for
+//!   [`GuardedTemplate`](icstar_sym::GuardedTemplate) /
+//!   [`Guard`](icstar_sym::Guard) /
+//!   [`CountingSpec`](icstar_sym::CountingSpec) /
+//!   [`VerifyJob`](icstar_serve::VerifyJob) / verdict reports, with the
+//!   round-trip guarantee `parse(print(x)) == x`. Formulas reuse the
+//!   [`icstar_logic`] grammar unchanged.
+//! * [`WireServer`] — a line-oriented TCP front-end
+//!   (`std::net::TcpListener`, one thread per connection, no external
+//!   dependencies) over an [`icstar_serve::VerifyService`], answering
+//!   `SUBMIT` / `STATUS` / `RESULT` / `STATS` / `PING` / `QUIT`.
+//! * [`WireClient`] — the matching blocking client, returning typed
+//!   values ([`WireReport`], [`icstar_serve::StatsSnapshot`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use icstar_logic::parse_state;
+//! use icstar_serve::{VerifyJob, VerifyService};
+//! use icstar_sym::mutex_template;
+//! use icstar_wire::{WireClient, WireServer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Serve the engine on an ephemeral local port...
+//! let server = WireServer::bind("127.0.0.1:0", VerifyService::with_defaults())?;
+//!
+//! // ...and verify the paper's mutex family over a real socket.
+//! let mut client = WireClient::connect(server.local_addr())?;
+//! let id = client.submit(
+//!     &VerifyJob::new(mutex_template())
+//!         .at_sizes([100, 1_000])
+//!         .formula("mutual exclusion", parse_state("AG !crit_ge2")?)
+//!         .formula("access", parse_state("forall i. AG(try[i] -> EF crit[i])")?),
+//! )?;
+//! let report = client.result(id)?;
+//! assert!(report.all_hold());
+//! assert!(client.stats()?.jobs_completed >= 1);
+//! client.quit()?;
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+mod server;
+pub mod text;
+
+pub use client::{JobStatus, WireClient};
+pub use error::{WireError, WireParseError};
+pub use server::WireServer;
+pub use text::{
+    parse_job, parse_report, parse_spec, parse_template, print_job, print_report, print_spec,
+    print_template, print_wire_report, WireReport, WireVerdict,
+};

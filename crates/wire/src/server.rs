@@ -1,0 +1,498 @@
+//! The line-oriented TCP front-end over a [`VerifyService`].
+//!
+//! One accept loop, one thread per connection, no external dependencies:
+//! `std::net` blocking I/O is enough because every expensive operation —
+//! materializing structures, checking formulas — already runs on the
+//! service's worker pool; connection threads only parse, enqueue, and
+//! poll. The protocol is documented in `docs/PROTOCOL.md` and speaks the
+//! payload grammar of [`crate::text`].
+//!
+//! Hardening invariants of this module (each has a matching test or a
+//! pointed comment below):
+//!
+//! * nothing read from a client is buffered beyond a fixed cap;
+//! * the service-global job registry lock is never held across socket
+//!   I/O — one stalled client can stall only its own connection;
+//! * reads *and* writes time out, so every connection thread observes
+//!   the stop flag and shutdown always completes.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use icstar_serve::{JobHandle, VerdictReport, VerifyService};
+
+use crate::text::{parse_job, print_report};
+
+/// How often blocked reads and result polls re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// How long a response write may stall before the connection is dropped.
+/// A client that stops draining its socket loses its connection after
+/// this long instead of pinning a server thread forever (which would
+/// also hang shutdown, since shutdown joins connection threads).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Hard cap on a `SUBMIT` payload. Real jobs are hundreds of bytes to a
+/// few kilobytes; a network-facing server must not buffer an unbounded
+/// stream from one client. Oversized payloads are drained (up to the
+/// terminator) and answered with `ERR payload too large`; a single
+/// *line* exceeding the cap (no newline at all) hangs the connection up.
+const MAX_PAYLOAD: usize = 1 << 20; // 1 MiB
+
+/// How many *finished* jobs (reports / lost markers) the server retains
+/// for late `RESULT`/`STATUS` queries. Beyond this, the oldest finished
+/// jobs are evicted on submission (ids are monotonic, so "oldest" is
+/// "smallest id"); an evicted id answers `ERR unknown job`. Running
+/// jobs are never evicted.
+const MAX_FINISHED_JOBS: usize = 4096;
+
+/// When the registry exceeds [`MAX_FINISHED_JOBS`] but nothing was
+/// evictable (everything still running), wait for this many further
+/// submissions before scanning again — the scan polls every slot, and
+/// re-running it per submission during a burst would be quadratic.
+const EVICT_BACKOFF: usize = 256;
+
+/// One submitted job as the server tracks it: in flight, finished (the
+/// report is kept — behind an [`Arc`] so `RESULT` can serialize it
+/// outside the registry lock), or lost.
+enum JobSlot {
+    Running(JobHandle),
+    Done(Arc<VerdictReport>),
+    Lost,
+}
+
+struct Shared {
+    service: VerifyService,
+    jobs: Mutex<HashMap<u64, JobSlot>>,
+    /// Registry size at which the next eviction scan runs (see
+    /// [`EVICT_BACKOFF`]).
+    evict_at: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// A TCP front-end serving the wire protocol over a [`VerifyService`].
+///
+/// Binding spawns an accept loop; each connection gets a thread running
+/// the command loop (`SUBMIT` / `STATUS` / `RESULT` / `STATS` / `PING` /
+/// `QUIT`). Jobs submitted by *any* connection share the service's worker
+/// pool and memoized structure cache, and a job's report can be fetched
+/// from any connection — ids are service-global.
+///
+/// Dropping (or [`WireServer::shutdown`]) stops accepting, wakes every
+/// connection thread, and joins them; the wrapped service then drains
+/// its queue as usual.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::parse_state;
+/// use icstar_serve::{VerifyJob, VerifyService};
+/// use icstar_sym::mutex_template;
+/// use icstar_wire::{WireClient, WireServer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let server = WireServer::bind("127.0.0.1:0", VerifyService::with_defaults())?;
+/// let mut client = WireClient::connect(server.local_addr())?;
+/// let id = client.submit(
+///     &VerifyJob::new(mutex_template())
+///         .at_size(100)
+///         .formula("mutex", parse_state("AG !crit_ge2")?),
+/// )?;
+/// let report = client.result(id)?;
+/// assert!(report.all_hold());
+/// client.quit()?;
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct WireServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind(addr: impl ToSocketAddrs, service: VerifyService) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            jobs: Mutex::new(HashMap::new()),
+            evict_at: AtomicUsize::new(MAX_FINISHED_JOBS + 1),
+            stop: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("icstar-wire-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawning the accept thread")
+        };
+        Ok(WireServer {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address — connect [`crate::WireClient`]s here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time view of the wrapped service's counters (the same
+    /// snapshot the `STATS` command serializes).
+    pub fn stats(&self) -> icstar_serve::StatsSnapshot {
+        self.shared.service.stats()
+    }
+
+    /// Stops accepting, disconnects idle connections, and joins all
+    /// server threads. Equivalent to dropping, but explicit.
+    pub fn shutdown(self) {}
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection. A
+        // wildcard bind (0.0.0.0 / ::) is not connectable on every
+        // platform — wake it through loopback on the same port.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, WRITE_TIMEOUT);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Accepts connections until the stop flag is raised, then joins the
+/// connection threads it spawned (they watch the same flag).
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Reap handles of connections that already hung up, so a
+        // long-lived server does not accumulate one per connection ever
+        // served (dropping a finished handle just releases it).
+        conns.retain(|c| !c.is_finished());
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let conn = std::thread::Builder::new()
+            .name("icstar-wire-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &shared);
+            })
+            .expect("spawning a connection thread");
+        conns.push(conn);
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+/// Reads one `\n`-terminated line as raw bytes, waking every [`POLL`] to
+/// honor the stop flag. Partial lines accumulate in `buf` across
+/// timeouts (bytes, not `String`: `read_line`'s UTF-8 guard would *drop*
+/// bytes already consumed from the stream when a timeout lands inside a
+/// multi-byte character). The line is capped at [`MAX_PAYLOAD`] bytes —
+/// the `take` budget makes a newline-free flood return instead of
+/// growing the buffer forever. Returns `Ok(false)` when the peer
+/// disconnected, the server is stopping, or the cap was hit (all three
+/// end the connection).
+fn read_line_stoppable(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    shared: &Shared,
+) -> io::Result<bool> {
+    loop {
+        // +1 so a line of exactly the cap (plus its newline) still fits
+        // and only genuinely oversized lines trip the check below.
+        let budget = (MAX_PAYLOAD + 2).saturating_sub(buf.len()) as u64;
+        match reader.by_ref().take(budget).read_until(b'\n', buf) {
+            Ok(0) => return Ok(false), // EOF (or a zero budget: capped)
+            Ok(_) => {
+                if buf.ends_with(b"\n") {
+                    return Ok(true);
+                }
+                if buf.len() > MAX_PAYLOAD {
+                    return Ok(false); // newline-free flood: hang up
+                }
+                // Budget not exhausted and no newline: real EOF follows;
+                // the next iteration returns Ok(0).
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    // Responses are small and latency-bound: without NODELAY, Nagle on
+    // this side + delayed ACK on the client turns every answer into a
+    // ~40ms stall.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if !read_line_stoppable(&mut reader, &mut buf, shared)? {
+            return Ok(());
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let cmd = line.trim();
+        if cmd.is_empty() {
+            continue;
+        }
+        let (verb, arg) = match cmd.split_once(char::is_whitespace) {
+            Some((v, a)) => (v, a.trim()),
+            None => (cmd, ""),
+        };
+        match verb {
+            "PING" => writeln!(writer, "OK pong")?,
+            "QUIT" => {
+                writeln!(writer, "OK bye")?;
+                return Ok(());
+            }
+            "SUBMIT" => submit(&mut reader, &mut writer, shared)?,
+            "STATUS" => status(&mut writer, shared, arg)?,
+            "RESULT" => result(&mut writer, shared, arg)?,
+            "STATS" => stats(&mut writer, shared)?,
+            _ => writeln!(writer, "ERR unknown command {verb:?}")?,
+        }
+    }
+}
+
+/// Reads the job payload (lines up to a lone `.`), parses it, and
+/// enqueues it on the service.
+fn submit(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    shared: &Shared,
+) -> io::Result<()> {
+    let mut payload = Vec::new();
+    let mut oversized = false;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if !read_line_stoppable(reader, &mut buf, shared)? {
+            // Peer vanished (or flooded a capped line) mid-payload:
+            // abort the connection — resuming the command loop here
+            // would misread the rest of the payload as commands.
+            return Err(io::ErrorKind::ConnectionAborted.into());
+        }
+        if is_terminator(&buf) {
+            break;
+        }
+        if payload.len() + buf.len() > MAX_PAYLOAD {
+            // Keep draining to the terminator so the connection stays in
+            // protocol sync, but stop buffering.
+            oversized = true;
+            payload.clear();
+        }
+        if !oversized {
+            payload.extend_from_slice(&buf);
+        }
+    }
+    if oversized {
+        return writeln!(writer, "ERR payload too large (limit {MAX_PAYLOAD} bytes)");
+    }
+    match parse_job(&String::from_utf8_lossy(&payload)) {
+        Ok(job) => {
+            let handle = shared.service.submit(job);
+            let id = handle.id;
+            {
+                let mut jobs = shared.jobs.lock().expect("job registry poisoned");
+                jobs.insert(id, JobSlot::Running(handle));
+                maybe_evict(&mut jobs, shared);
+            }
+            writeln!(writer, "OK id {id}")
+        }
+        Err(e) => writeln!(writer, "ERR parse: {e}"),
+    }
+}
+
+/// Whether a payload line is the `.` frame terminator.
+fn is_terminator(line: &[u8]) -> bool {
+    let mut t = line;
+    while let [rest @ .., b'\n' | b'\r'] = t {
+        t = rest;
+    }
+    t == b"."
+}
+
+/// Bounds the registry: when it has grown past the watermark, evicts the
+/// oldest *finished* jobs (smallest ids among `Done`/`Lost` slots, after
+/// a liveness poll) down to [`MAX_FINISHED_JOBS`] finished entries.
+/// Running jobs are kept unconditionally — dropping one would lose its
+/// report — so during a submission burst the scan may free nothing; the
+/// watermark then backs off by [`EVICT_BACKOFF`] so the O(len) scan is
+/// amortized instead of running per submission.
+fn maybe_evict(jobs: &mut HashMap<u64, JobSlot>, shared: &Shared) {
+    if jobs.len() < shared.evict_at.load(Ordering::Relaxed) {
+        return;
+    }
+    for slot in jobs.values_mut() {
+        poll_slot(slot);
+    }
+    let mut finished: Vec<u64> = jobs
+        .iter()
+        .filter(|(_, s)| !matches!(s, JobSlot::Running(_)))
+        .map(|(&id, _)| id)
+        .collect();
+    if finished.len() > MAX_FINISHED_JOBS {
+        finished.sort_unstable();
+        for id in &finished[..finished.len() - MAX_FINISHED_JOBS] {
+            jobs.remove(id);
+        }
+        shared
+            .evict_at
+            .store(jobs.len().max(MAX_FINISHED_JOBS) + 1, Ordering::Relaxed);
+    } else {
+        // Nothing evictable: back off before scanning again.
+        shared
+            .evict_at
+            .store(jobs.len() + EVICT_BACKOFF, Ordering::Relaxed);
+    }
+}
+
+fn parse_id(arg: &str) -> Option<u64> {
+    arg.parse().ok()
+}
+
+/// Upgrades a `Running` slot in place if its job has since finished (or
+/// its worker died). After this, the slot's variant *is* the answer.
+fn poll_slot(slot: &mut JobSlot) {
+    if let JobSlot::Running(handle) = slot {
+        match handle.try_wait() {
+            Ok(Some(report)) => *slot = JobSlot::Done(Arc::new(report)),
+            Ok(None) => {}
+            Err(_) => *slot = JobSlot::Lost,
+        }
+    }
+}
+
+/// Answers `STATUS <id>` without blocking: polls the handle once and
+/// caches a finished report in the slot. The answer is written after
+/// the registry lock is released.
+fn status(writer: &mut TcpStream, shared: &Shared, arg: &str) -> io::Result<()> {
+    let Some(id) = parse_id(arg) else {
+        return writeln!(writer, "ERR usage: STATUS <id>");
+    };
+    let answer = {
+        let mut jobs = shared.jobs.lock().expect("job registry poisoned");
+        match jobs.get_mut(&id) {
+            None => format!("ERR unknown job {id}"),
+            Some(slot) => {
+                poll_slot(slot);
+                match slot {
+                    JobSlot::Done(_) => "OK done".into(),
+                    JobSlot::Lost => "OK lost".into(),
+                    JobSlot::Running(_) => "OK pending".into(),
+                }
+            }
+        }
+    };
+    writeln!(writer, "{answer}")
+}
+
+/// Answers `RESULT <id>`: blocks (poll + sleep, so shutdown can
+/// interrupt) until the job finishes, then streams the report block.
+/// The sleep backs off from 100µs to [`POLL`], so fast (cached) jobs
+/// answer in well under a millisecond while long builds cost no
+/// spinning. The registry lock is held only to clone the report's
+/// [`Arc`] — serialization and the socket write run outside it.
+fn result(writer: &mut TcpStream, shared: &Shared, arg: &str) -> io::Result<()> {
+    let Some(id) = parse_id(arg) else {
+        return writeln!(writer, "ERR usage: RESULT <id>");
+    };
+    let mut backoff = Duration::from_micros(100);
+    loop {
+        enum Answer {
+            Report(Arc<VerdictReport>),
+            Line(String),
+            Pending,
+        }
+        let answer = {
+            let mut jobs = shared.jobs.lock().expect("job registry poisoned");
+            match jobs.get_mut(&id) {
+                None => Answer::Line(format!("ERR unknown job {id}")),
+                Some(slot) => {
+                    poll_slot(slot);
+                    match slot {
+                        JobSlot::Done(report) => Answer::Report(Arc::clone(report)),
+                        JobSlot::Lost => Answer::Line(format!("ERR job {id} lost")),
+                        JobSlot::Running(_) => Answer::Pending,
+                    }
+                }
+            }
+        };
+        match answer {
+            Answer::Report(report) => {
+                writeln!(writer, "OK report")?;
+                writer.write_all(print_report(&report).as_bytes())?;
+                return writeln!(writer, ".");
+            }
+            Answer::Line(line) => return writeln!(writer, "{line}"),
+            Answer::Pending => {}
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return writeln!(writer, "ERR server shutting down");
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(POLL);
+    }
+}
+
+/// Answers `STATS` with `key value` lines — the [`StatsSnapshot`] fields
+/// plus the cache-occupancy pair the ROADMAP's eviction work needs.
+///
+/// [`StatsSnapshot`]: icstar_serve::StatsSnapshot
+fn stats(writer: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+    let s = shared.service.stats();
+    writeln!(writer, "OK stats")?;
+    writeln!(writer, "jobs_submitted {}", s.jobs_submitted)?;
+    writeln!(writer, "jobs_completed {}", s.jobs_completed)?;
+    writeln!(writer, "formulas_checked {}", s.formulas_checked)?;
+    writeln!(writer, "cache_hits {}", s.cache_hits)?;
+    writeln!(writer, "cache_misses {}", s.cache_misses)?;
+    writeln!(writer, "cached_structures {}", s.cached_structures)?;
+    writeln!(
+        writer,
+        "cached_abstract_states {}",
+        s.cached_abstract_states
+    )?;
+    writeln!(writer, "sharded_explorations {}", s.sharded_explorations)?;
+    writeln!(writer, ".")
+}

@@ -1,0 +1,44 @@
+//! The canonical textual fixtures in `icstar_nets::fixtures` must parse
+//! to exactly the programmatic constructors they document — and the
+//! printer must reproduce them byte for byte (they are *canonical*, not
+//! just equivalent).
+
+use icstar_nets::fig41_template;
+use icstar_nets::fixtures::{
+    FIG41_TEMPLATE_WIRE, MUTEX_JOB_WIRE, MUTEX_TEMPLATE_WIRE, RING_STATION_4_1_WIRE,
+};
+use icstar_sym::{mutex_template, ring_station_template, GuardedTemplate};
+use icstar_wire::{parse_job, parse_template, print_job, print_template};
+
+#[test]
+fn fig41_fixture_is_canonical() {
+    let t = GuardedTemplate::free(fig41_template());
+    assert_eq!(parse_template(FIG41_TEMPLATE_WIRE).unwrap(), t);
+    assert_eq!(print_template(&t), FIG41_TEMPLATE_WIRE);
+}
+
+#[test]
+fn mutex_fixture_is_canonical() {
+    let t = mutex_template();
+    assert_eq!(parse_template(MUTEX_TEMPLATE_WIRE).unwrap(), t);
+    assert_eq!(print_template(&t), MUTEX_TEMPLATE_WIRE);
+}
+
+#[test]
+fn ring_station_fixture_is_canonical() {
+    let t = ring_station_template(4, 1);
+    assert_eq!(parse_template(RING_STATION_4_1_WIRE).unwrap(), t);
+    assert_eq!(print_template(&t), RING_STATION_4_1_WIRE);
+}
+
+#[test]
+fn mutex_job_fixture_is_canonical() {
+    let job = parse_job(MUTEX_JOB_WIRE).unwrap();
+    assert_eq!(job.template, mutex_template());
+    assert_eq!(job.spec, None);
+    assert_eq!(job.sizes, vec![100, 1000]);
+    assert_eq!(job.formulas.len(), 2);
+    assert_eq!(job.formulas[0].0, "mutual exclusion");
+    assert_eq!(job.formulas[1].0, "access possibility");
+    assert_eq!(print_job(&job), MUTEX_JOB_WIRE);
+}

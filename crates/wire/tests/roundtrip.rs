@@ -1,0 +1,125 @@
+//! Property tests: `parse(print(x)) == x` over randomized workloads.
+//!
+//! Random *guarded* templates are built over `icstar_nets::random_template`
+//! shapes with random guards of every kind attached; formulas come from
+//! `icstar_logic::arb`. Strategies drive a seed through the vendored
+//! proptest shim and expand it with `StdRng`, the same idiom as the root
+//! `tests/properties.rs` suite.
+
+use icstar_logic::arb::{random_state_formula, FormulaConfig};
+use icstar_nets::{random_template, RandomTemplateConfig};
+use icstar_serve::VerifyJob;
+use icstar_sym::{CountingSpec, Guard, GuardedBuilder, GuardedTemplate};
+use icstar_wire::{parse_job, parse_spec, parse_template, print_job, print_spec, print_template};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A random guarded template: a `random_template` local-state shape with
+/// every guard kind sprinkled over its transitions.
+fn random_guarded(rng: &mut StdRng) -> GuardedTemplate {
+    let cfg = RandomTemplateConfig {
+        states: rng.random_range(1usize..5),
+        ..RandomTemplateConfig::default()
+    };
+    let base = random_template(rng, &cfg);
+    let mut b = GuardedBuilder::new();
+    for q in 0..base.num_states() as u32 {
+        b.state(base.state_name(q), base.labels(q).to_vec());
+    }
+    let num_states = base.num_states() as u32;
+    for q in 0..num_states {
+        for &q2 in base.successors(q) {
+            let mut guards = Vec::new();
+            for _ in 0..rng.random_range(0..3u32) {
+                let bound = rng.random_range(0u32..4);
+                guards.push(match rng.random_range(0..4u32) {
+                    0 => Guard::at_most(["p", "q"][rng.random_range(0..2usize)], bound),
+                    1 => Guard::at_least(["p", "q"][rng.random_range(0..2usize)], bound),
+                    2 => Guard::state_at_most(rng.random_range(0..num_states), bound),
+                    _ => Guard::state_at_least(rng.random_range(0..num_states), bound),
+                });
+            }
+            b.edge_guarded(q, q2, guards);
+        }
+    }
+    b.build(base.initial())
+}
+
+fn random_spec(rng: &mut StdRng) -> CountingSpec {
+    let mut spec = CountingSpec::new();
+    for p in ["p", "q", "r"] {
+        if rng.random_bool(0.5) {
+            spec = spec.with_at_least(p, rng.random_range(1u32..4));
+        }
+        if rng.random_bool(0.3) {
+            spec = spec.with_zero(p);
+        }
+        if rng.random_bool(0.3) {
+            spec = spec.with_exactly_one(p);
+        }
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn guarded_templates_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_guarded(&mut rng);
+        let text = print_template(&t);
+        prop_assert_eq!(parse_template(&text).unwrap(), t, "{}", text);
+    }
+
+    #[test]
+    fn free_templates_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = GuardedTemplate::free(random_template(&mut rng, &RandomTemplateConfig::default()));
+        prop_assert_eq!(parse_template(&print_template(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn specs_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = random_spec(&mut rng);
+        prop_assert_eq!(parse_spec(&print_spec(&spec)).unwrap(), spec);
+    }
+
+    #[test]
+    fn jobs_with_random_counting_formulas_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_guarded(&mut rng);
+        // Counting atoms over the template's props, plus indexed atoms
+        // closed under a quantifier half the time.
+        let fcfg = FormulaConfig {
+            props: vec!["p_ge1".into(), "p_eq0".into(), "q_ge2".into()],
+            indexed_props: vec!["p".into(), "q".into()],
+            index_var: Some("i".into()),
+            max_depth: 3,
+            allow_next: true,
+            ctl_only: false,
+        };
+        let mut job = VerifyJob::new(t);
+        if rng.random_bool(0.5) {
+            job = job.with_spec(random_spec(&mut rng));
+        }
+        for k in 0..rng.random_range(0..4u32) {
+            let body = random_state_formula(&mut rng, &fcfg);
+            let f = if rng.random_bool(0.5) {
+                icstar_logic::build::forall_idx("i", body)
+            } else {
+                body
+            };
+            // Exercise name escaping too.
+            let name = if k == 0 { "has \"quotes\" and \\".to_string() } else { format!("f{k}") };
+            job = job.formula(name, f);
+        }
+        for n in 0..rng.random_range(0..4u32) {
+            job = job.at_size(n * 7);
+        }
+        let text = print_job(&job);
+        prop_assert_eq!(parse_job(&text).unwrap(), job, "{}", text);
+    }
+}

@@ -1,0 +1,238 @@
+//! The TCP front-end exercised over real sockets: typed and raw
+//! submissions, concurrent clients, repeatable results, stats, and the
+//! protocol's error answers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use icstar_logic::parse_state;
+use icstar_serve::{ServeConfig, VerifyJob, VerifyService};
+use icstar_sym::{mutex_template, ring_station_template};
+use icstar_wire::{JobStatus, WireClient, WireError, WireServer};
+
+fn test_service() -> VerifyService {
+    VerifyService::start(ServeConfig {
+        workers: 2,
+        cache_shards: 4,
+        exploration_shards: 2,
+        sharded_threshold: 1_000_000,
+    })
+}
+
+fn mutex_job(n: u32) -> VerifyJob {
+    VerifyJob::new(mutex_template())
+        .at_size(n)
+        .formula("mutex", parse_state("AG !crit_ge2").unwrap())
+        .formula(
+            "access",
+            parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap(),
+        )
+}
+
+#[test]
+fn submit_result_status_stats_end_to_end() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+
+    let id = client.submit(&mutex_job(20)).unwrap();
+    let report = client.result(id).unwrap();
+    assert_eq!(report.job_id, id);
+    assert_eq!(report.verdicts.len(), 2);
+    assert!(report.all_hold());
+
+    // Results are kept: fetching again returns the same report, and
+    // STATUS now answers done without blocking.
+    assert_eq!(client.result(id).unwrap(), report);
+    assert_eq!(client.status(id).unwrap(), JobStatus::Done);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.jobs_submitted >= 1);
+    assert!(stats.jobs_completed >= 1);
+    assert_eq!(stats.formulas_checked, 2);
+    assert!(stats.cached_structures >= 1);
+    assert!(stats.cached_abstract_states > 0);
+    // The server-side snapshot agrees with the wire one.
+    assert_eq!(server.stats(), stats);
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn verdicts_match_the_in_process_service() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let local = test_service();
+
+    for job in [
+        mutex_job(7),
+        VerifyJob::new(ring_station_template(3, 1))
+            .at_sizes([2, 5])
+            .formula("capacity", parse_state("AG !s1_ge2").unwrap()),
+    ] {
+        let id = client.submit(&job).unwrap();
+        let over_wire = client.result(id).unwrap();
+        let in_process = local.submit(job).wait().unwrap();
+        assert_eq!(over_wire, icstar_wire::WireReport::from(&in_process));
+    }
+}
+
+#[test]
+fn many_clients_share_one_service() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let addr = server.local_addr();
+    let ids: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = WireClient::connect(addr).unwrap();
+                    let id = client.submit(&mutex_job(15)).unwrap();
+                    assert!(client.result(id).unwrap().all_hold());
+                    id
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Ids are service-global and unique...
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 4);
+    // ...and a fresh connection can read any job's report.
+    let mut late = WireClient::connect(addr).unwrap();
+    for id in ids {
+        assert!(late.result(id).unwrap().all_hold());
+    }
+    // Identical workloads shared cached structures.
+    assert!(late.stats().unwrap().cache_hits > 0);
+}
+
+#[test]
+fn status_polls_to_done() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let id = client.submit(&mutex_job(25)).unwrap();
+    loop {
+        match client.status(id).unwrap() {
+            JobStatus::Done => break,
+            JobStatus::Pending => std::thread::yield_now(),
+            JobStatus::Lost => panic!("job lost"),
+        }
+    }
+    assert!(client.result(id).unwrap().all_hold());
+}
+
+#[test]
+fn protocol_errors_are_answered_not_fatal() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    // A malformed job is rejected with a parse error...
+    let err = client.submit_text("job { garbage }").unwrap_err();
+    match err {
+        WireError::Protocol(line) => assert!(line.contains("parse"), "{line}"),
+        other => panic!("wanted a protocol error, got {other:?}"),
+    }
+    // ...an unknown id is named...
+    match client.status(999_999).unwrap_err() {
+        WireError::Protocol(line) => assert!(line.contains("unknown job"), "{line}"),
+        other => panic!("wanted a protocol error, got {other:?}"),
+    }
+    // ...an oversized payload (many reasonable lines) is drained and
+    // refused without being buffered...
+    let huge = "// padding padding padding padding padding padding\n".repeat(40_000); // ~2 MiB
+    match client.submit_text(&huge).unwrap_err() {
+        WireError::Protocol(line) => assert!(line.contains("too large"), "{line}"),
+        other => panic!("wanted a protocol error, got {other:?}"),
+    }
+    // ...and the connection survives all of it: the next command works.
+    let id = client.submit(&mutex_job(5)).unwrap();
+    assert!(client.result(id).unwrap().all_hold());
+}
+
+#[test]
+fn newline_free_flood_is_disconnected_not_buffered() {
+    use std::io::Write;
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    writeln!(stream, "SUBMIT").unwrap();
+    // A single line far past the cap, never newline-terminated: the
+    // server must hang up rather than buffer it forever.
+    let chunk = [b'x'; 8192];
+    let mut disconnected = false;
+    for _ in 0..4096 {
+        // 32 MiB max — far past cap + socket buffers
+        if stream.write_all(&chunk).is_err() {
+            disconnected = true; // refused once the server hung up
+            break;
+        }
+    }
+    assert!(disconnected, "server should close the connection");
+}
+
+#[test]
+fn raw_protocol_lines_work_without_the_client() {
+    // The protocol is plain text: drive it with a bare socket to pin the
+    // framing (PROTOCOL.md's transcript, executable).
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    writeln!(writer, "PING").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK pong");
+
+    writeln!(writer, "SUBMIT").unwrap();
+    writeln!(writer, "{}", icstar_nets::fixtures::MUTEX_JOB_WIRE).unwrap();
+    writeln!(writer, ".").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let id: u64 = line
+        .trim_end()
+        .strip_prefix("OK id ")
+        .expect("submit answer")
+        .parse()
+        .unwrap();
+
+    writeln!(writer, "RESULT {id}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK report");
+    let mut block = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end() == "." {
+            break;
+        }
+        block.push_str(&line);
+    }
+    let report = icstar_wire::parse_report(&block).unwrap();
+    assert_eq!(report.job_id, id);
+    assert!(report.all_hold());
+
+    writeln!(writer, "NONSENSE").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR unknown command"), "{line}");
+
+    writeln!(writer, "QUIT").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK bye");
+}
+
+#[test]
+fn shutdown_disconnects_idle_clients() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    // The connection thread notices the stop flag and hangs up; the next
+    // exchange fails rather than blocking forever.
+    assert!(client.ping().is_err());
+}

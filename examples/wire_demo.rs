@@ -1,0 +1,159 @@
+//! The network front-end end to end: a TCP server wrapping the
+//! verification service, driven by clients over real sockets.
+//!
+//! Three phases:
+//!
+//! 1. **Submit** — four jobs over three templates (the paper's
+//!    test-and-set mutex — at `n = 1,000,000` among other sizes — a
+//!    capacity-guarded station ring, and the free Fig. 4.1 family) go
+//!    over the socket in wire text; verdict reports stream back.
+//! 2. **Audit** — every wire verdict is recomputed through the library's
+//!    [`FamilyVerifier::verify_at_many`] batch path on a fresh service
+//!    and must agree: the wire adds transport, never semantics.
+//! 3. **Observe** — the `STATS` command reports the traffic and the
+//!    cache occupancy (entries + abstract states) an operator would
+//!    watch.
+//!
+//! Run with: `cargo run --release --example wire_demo`
+
+use std::time::Instant;
+
+use icstar::{FamilyVerifier, ServeConfig, VerifyJob, VerifyService};
+use icstar_logic::parse_state;
+use icstar_nets::fixtures::MUTEX_JOB_WIRE;
+use icstar_sym::{mutex_template, ring_station_template, GuardedTemplate};
+use icstar_wire::{print_job, WireClient, WireServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== icstar-wire: the verification service over TCP ==\n");
+
+    let server = WireServer::bind("127.0.0.1:0", VerifyService::start(ServeConfig::default()))?;
+    let addr = server.local_addr();
+    println!("server up on {addr}\n");
+
+    // ---- Phase 1: submit jobs over the socket ----
+    let jobs = vec![
+        VerifyJob::new(mutex_template())
+            .at_sizes([100, 1_000_000])
+            .formula("mutual exclusion", parse_state("AG !crit_ge2")?)
+            .formula(
+                "some copy can enter",
+                parse_state("AG (try_ge1 -> EF crit_ge1)")?,
+            ),
+        VerifyJob::new(mutex_template()).at_size(100).formula(
+            "access possibility",
+            parse_state("forall i. AG(try[i] -> EF crit[i])")?,
+        ),
+        VerifyJob::new(ring_station_template(4, 1))
+            .at_sizes([3, 30])
+            .formula("station capacity", parse_state("AG !s1_ge2")?)
+            .formula(
+                "every copy can round-trip",
+                parse_state("forall i. EF s3[i]")?,
+            ),
+        VerifyJob::new(GuardedTemplate::free(icstar_nets::fig41_template()))
+            .at_size(12)
+            .formula("all copies can fall", parse_state("EF a_eq0")?)
+            .formula("b is absorbing", parse_state("AG (b_ge1 -> AG b_ge1)")?),
+    ];
+
+    let started = Instant::now();
+    let mut client = WireClient::connect(addr)?;
+    let mut ids = Vec::new();
+    for job in &jobs {
+        let id = client.submit(job)?;
+        println!(
+            "submitted job {id}: {} sizes x {} formulas ({} bytes of wire text)",
+            job.sizes.len(),
+            job.formulas.len(),
+            print_job(job).len()
+        );
+        ids.push(id);
+    }
+    // The canonical README payload rides along as raw text.
+    let fixture_id = client.submit_text(MUTEX_JOB_WIRE)?;
+    println!("submitted job {fixture_id}: the canonical mutex job fixture, as raw text\n");
+
+    let mut reports = Vec::new();
+    for &id in &ids {
+        let report = client.result(id)?;
+        for v in &report.verdicts {
+            println!(
+                "  job {id} | n = {:>7} | {:<25} {}",
+                v.n,
+                v.name,
+                match &v.outcome {
+                    Ok(true) => "holds".to_string(),
+                    Ok(false) => "fails".to_string(),
+                    Err(e) => format!("error: {e}"),
+                }
+            );
+        }
+        reports.push(report);
+    }
+    let fixture_report = client.result(fixture_id)?;
+    assert!(fixture_report.all_hold(), "the canonical fixture must hold");
+    println!(
+        "\nall {} verdicts in {:.2?}\n",
+        reports.iter().map(|r| r.verdicts.len()).sum::<usize>() + fixture_report.verdicts.len(),
+        started.elapsed()
+    );
+
+    // ---- Phase 2: the library must agree, verdict for verdict ----
+    let audit_started = Instant::now();
+    let local = VerifyService::start(ServeConfig::default());
+    for (job, report) in jobs.iter().zip(&reports) {
+        let mut verifier = FamilyVerifier::counter_abstracted(job.template.clone());
+        for (name, f) in &job.formulas {
+            verifier.add_formula(name.clone(), f.clone())?;
+        }
+        let per_size = verifier.verify_at_many(&local, &job.sizes)?;
+        let mut wire = report.verdicts.iter();
+        for (n, verdicts) in per_size {
+            for v in verdicts {
+                let w = wire.next().expect("same verdict count");
+                assert_eq!(w.name, v.name);
+                assert_eq!(w.n, n);
+                assert_eq!(w.outcome, Ok(v.holds), "{} at n = {n}", v.name);
+            }
+        }
+    }
+    println!(
+        "audit: wire verdicts == FamilyVerifier::verify_at_many on all {} jobs ({:.2?})\n",
+        jobs.len(),
+        audit_started.elapsed()
+    );
+
+    // ---- Phase 3: operator's view ----
+    let stats = client.stats()?;
+    println!("STATS over the wire:");
+    println!(
+        "  jobs submitted/completed  {}/{}",
+        stats.jobs_submitted, stats.jobs_completed
+    );
+    println!("  formulas checked          {}", stats.formulas_checked);
+    println!(
+        "  cache hits/misses         {}/{} (hit rate {:.0}%)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0
+    );
+    println!(
+        "  cache occupancy           {} structures, {} abstract states",
+        stats.cached_structures, stats.cached_abstract_states
+    );
+    assert!(stats.jobs_completed >= 5);
+    assert!(
+        stats.cache_hits > 0,
+        "overlapping mutex workloads must share structures"
+    );
+    assert!(
+        stats.cached_abstract_states > 2_000_000,
+        "the n = 10^6 counter graph is resident"
+    );
+
+    client.quit()?;
+    server.shutdown();
+    println!("\nserver down; all wire verdicts audited against the library. done.");
+    Ok(())
+}
