@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Documentation gate: every crate, bench, bin, and example target must
+# open with crate-level `//!` docs, and rustdoc must build warning-free.
+# Run from the repository root: `bash ci/docs_check.sh`.
+set -euo pipefail
+
+fail=0
+for f in src/lib.rs crates/*/src/lib.rs crates/bench/benches/*.rs \
+         crates/bench/src/bin/*.rs examples/*.rs; do
+  [ -e "$f" ] || continue
+  # First line that is not blank and not an inner/outer attribute must
+  # be a `//!` doc comment.
+  first=$(awk '!/^[[:space:]]*$/ && !/^#!\[/ && !/^#\[/ { print; exit }' "$f")
+  case "$first" in
+    "//!"*) ;;
+    *)
+      echo "docs-check: $f lacks crate-level //! docs (first line: ${first:0:60})"
+      fail=1
+      ;;
+  esac
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs-check: FAILED (missing crate-level docs above)"
+  exit 1
+fi
+
+echo "docs-check: building rustdoc with -D warnings..."
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+echo "docs-check: OK"

@@ -95,7 +95,8 @@ pub use icstar_serve::{
     VerifyService,
 };
 pub use icstar_sym::{
-    mutex_template, ring_station_template, verify_counter_abstraction, CounterState, CounterSystem,
+    barrier_template, msi_template, mutex_template, ring_station_template,
+    verify_counter_abstraction, wakeup_template, Broadcast, CounterState, CounterSystem,
     CountingSpec, Guard, GuardedBuilder, GuardedTemplate, SymEngine, SymError,
 };
 

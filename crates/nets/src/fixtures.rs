@@ -4,12 +4,14 @@
 //! networks (grammar: `docs/PROTOCOL.md`). These constants are the
 //! *canonical* texts of the figures and case studies the paper (and this
 //! repository's docs) keep returning to — the textual twins of
-//! [`crate::fig41_template`], `icstar_sym::mutex_template` and
-//! `icstar_sym::ring_station_template`. They live here, beside the
-//! programmatic constructors, so the two representations are versioned
-//! together; the `icstar-wire` test suite asserts that parsing each text
-//! yields exactly its constructor's template (`tests/fixtures.rs` in
-//! `crates/wire`).
+//! [`crate::fig41_template`], `icstar_sym::mutex_template`,
+//! `icstar_sym::ring_station_template`, and the broadcast-era workloads
+//! `icstar_sym::{barrier_template, msi_template, wakeup_template}`. They
+//! live here, beside the programmatic constructors, so the two
+//! representations are versioned together; the `icstar-wire` test suite
+//! asserts that parsing each text yields exactly its constructor's
+//! template (`tests/fixtures.rs` in `crates/wire`). The gallery page
+//! `docs/WORKLOADS.md` walks through every one of them.
 //!
 //! They are plain `&str`s — this crate deliberately does not depend on
 //! the wire layer; the wire layer depends on it.
@@ -60,6 +62,89 @@ template {
 }
 ";
 
+/// A sense-reversing barrier: copies work, arrive at the barrier
+/// (spinning), and the last arrival **releases the whole cohort in one
+/// broadcast** (`bcast done0 -> work1 [done0 -> work1]`), guarded by the
+/// equality guard `@work0 == 0` (nobody still working). Phase 1 mirrors
+/// back. Parses to `icstar_sym::barrier_template()`.
+pub const BARRIER_TEMPLATE_WIRE: &str = "\
+template {
+  state work0 [working, phase0];
+  state done0 [atbar, phase0];
+  state work1 [working, phase1];
+  state done1 [atbar, phase1];
+  init work0;
+  edge work0 -> done0;
+  edge done0 -> done0;
+  edge work1 -> done1;
+  edge done1 -> done1;
+  bcast done0 -> work1 [done0 -> work1] when @work0 == 0;
+  bcast done1 -> work0 [done1 -> work0] when @work1 == 0;
+}
+";
+
+/// An MSI-style invalidation cache: silent read misses while no writer
+/// exists (`@modified == 0`), a downgrade broadcast for read misses
+/// against a writer, and invalidation broadcasts for writes/upgrades.
+/// Parses to `icstar_sym::msi_template()`.
+pub const MSI_TEMPLATE_WIRE: &str = "\
+template {
+  state invalid [invalid];
+  state shared [shared];
+  state modified [modified];
+  init invalid;
+  edge invalid -> shared when @modified == 0;
+  edge shared -> invalid;
+  edge modified -> invalid;
+  bcast invalid -> shared [modified -> shared] when @modified >= 1;
+  bcast invalid -> modified [shared -> invalid, modified -> invalid];
+  bcast shared -> modified [shared -> invalid, modified -> invalid];
+}
+";
+
+/// A reset/wake-up protocol: a wake-up broadcast fires from global sleep
+/// (`@awake == 0, @working == 0`) and rouses everyone; a reset broadcast
+/// quiesces the system once the awake pool has drained — the interval
+/// guard `@awake in 0..1`. Parses to `icstar_sym::wakeup_template()`.
+pub const WAKEUP_TEMPLATE_WIRE: &str = "\
+template {
+  state asleep [asleep];
+  state awake [awake];
+  state working [working];
+  init asleep;
+  edge asleep -> asleep;
+  edge awake -> working;
+  edge working -> awake;
+  bcast asleep -> awake [asleep -> awake] when @awake == 0, @working == 0;
+  bcast working -> asleep [awake -> asleep, working -> asleep] when @awake in 0..1;
+}
+";
+
+/// A complete broadcast-era job: the barrier family, its phase-exclusion
+/// counting property and a per-copy progress property, at an explicit
+/// cross-checkable size and at `n = 100,000`. Submitted verbatim over
+/// TCP by `examples/workloads_demo.rs` in CI.
+pub const BARRIER_JOB_WIRE: &str = "\
+job {
+  template {
+    state work0 [working, phase0];
+    state done0 [atbar, phase0];
+    state work1 [working, phase1];
+    state done1 [atbar, phase1];
+    init work0;
+    edge work0 -> done0;
+    edge done0 -> done0;
+    edge work1 -> done1;
+    edge done1 -> done1;
+    bcast done0 -> work1 [done0 -> work1] when @work0 == 0;
+    bcast done1 -> work0 [done1 -> work0] when @work1 == 0;
+  }
+  sizes 4 100000;
+  check \"phase exclusion\": AG (phase1_ge1 -> phase0_eq0);
+  check \"progress possibility\": forall i. AG (phase0[i] -> EF phase1[i]);
+}
+";
+
 /// A complete job: the mutex family checked for the paper's two flagship
 /// properties at `n = 100` and `n = 1000`. This is the `SUBMIT` payload
 /// shown in the README quickstart and sent verbatim by `wire_demo`.
@@ -92,6 +177,9 @@ mod tests {
             ("fig41", FIG41_TEMPLATE_WIRE),
             ("mutex", MUTEX_TEMPLATE_WIRE),
             ("ring", RING_STATION_4_1_WIRE),
+            ("barrier", BARRIER_TEMPLATE_WIRE),
+            ("msi", MSI_TEMPLATE_WIRE),
+            ("wakeup", WAKEUP_TEMPLATE_WIRE),
         ] {
             assert!(text.starts_with("template {"), "{name}");
             assert!(text.trim_end().ends_with('}'), "{name}");
@@ -100,5 +188,18 @@ mod tests {
         assert!(MUTEX_JOB_WIRE.starts_with("job {"));
         assert!(MUTEX_JOB_WIRE.contains("sizes 100 1000;"));
         assert!(MUTEX_JOB_WIRE.contains("check \"mutual exclusion\""));
+        // The broadcast-era fixtures carry the new constructs.
+        for (name, text) in [
+            ("barrier", BARRIER_TEMPLATE_WIRE),
+            ("msi", MSI_TEMPLATE_WIRE),
+            ("wakeup", WAKEUP_TEMPLATE_WIRE),
+        ] {
+            assert!(text.contains("bcast "), "{name}");
+        }
+        assert!(BARRIER_TEMPLATE_WIRE.contains("== 0"));
+        assert!(WAKEUP_TEMPLATE_WIRE.contains("in 0..1"));
+        assert!(BARRIER_JOB_WIRE.starts_with("job {"));
+        assert!(BARRIER_JOB_WIRE.contains("sizes 4 100000;"));
+        assert!(BARRIER_JOB_WIRE.contains("check \"phase exclusion\""));
     }
 }

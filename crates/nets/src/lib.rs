@@ -10,7 +10,8 @@
 //! * [`figures`] — reconstructions of Figs. 3.1 and (via [`counting`])
 //!   4.1;
 //! * [`fixtures`] — canonical `icstar-wire` textual forms of the
-//!   recurring workloads (Fig. 4.1, the mutex, the station ring);
+//!   recurring workloads (Fig. 4.1, the mutex, the station ring, and
+//!   the broadcast gallery: barrier, MSI cache, wake-up/reset);
 //! * [`counting`] — the process-counting formulas that motivate the
 //!   ICTL* restriction;
 //! * [`free`] — the Section 6 nesting-depth conjecture, tested

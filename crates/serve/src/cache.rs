@@ -311,6 +311,46 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_response_maps_never_collide_in_the_cache() {
+        // Regression: template fingerprints must incorporate broadcast
+        // moves. Two templates differing *only* in a broadcast response
+        // map are different workloads — they must land in different
+        // buckets (distinct fingerprints) and each must build its own
+        // structure (two misses, no hit).
+        use icstar_sym::GuardedBuilder;
+        let with_response = |resp: u32| {
+            let mut b = GuardedBuilder::new();
+            let a = b.state("a", ["a"]);
+            let c = b.state("c", ["c"]);
+            let d = b.state("d", ["d"]);
+            b.edge(a, c);
+            b.edge(c, a);
+            b.edge(d, d);
+            b.broadcast(a, d, [(c, resp)]);
+            b.build(a)
+        };
+        let t1 = with_response(0);
+        let t2 = with_response(2);
+        assert_ne!(
+            t1.fingerprint(),
+            t2.fingerprint(),
+            "response maps must be fingerprinted"
+        );
+        let cache = GraphCache::new(2);
+        let spec = CountingSpec::standard(&t1);
+        let e1 = SymEngine::with_spec(t1.clone(), spec.clone());
+        let e2 = SymEngine::with_spec(t2.clone(), spec.clone());
+        let a = cache.counter(&t1, &spec, 4, || e1.counter_structure(4));
+        let b = cache.counter(&t2, &spec, 4, || e2.counter_structure(4));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // And asking again for each is a verified hit on its own entry.
+        let a2 = cache.counter(&t1, &spec, 4, || unreachable!("cached"));
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
     fn abstract_states_sum_over_materialized_entries() {
         let cache = GraphCache::new(4);
         assert_eq!(cache.abstract_states(), 0);

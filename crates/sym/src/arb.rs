@@ -1,0 +1,160 @@
+//! Random guarded templates — broadcasts and every guard kind included —
+//! for property tests.
+//!
+//! The abstraction≡explicit suites (root `tests/counter_abstraction.rs`)
+//! and the wire round-trip suites (`crates/wire/tests/roundtrip.rs`) both
+//! need random workloads that exercise the *whole* template language.
+//! This module is the single generator they share, so a new guard kind or
+//! transition kind added to [`crate::Guard`]/[`crate::Broadcast`] gets
+//! property coverage in every suite by extending one function.
+//!
+//! The shape comes from [`icstar_nets::random_template`] (every local
+//! state keeps at least one plain successor, so built templates always
+//! satisfy the builder's totality requirement); guards and broadcasts are
+//! sprinkled on top.
+
+use icstar_nets::{random_template, RandomTemplateConfig};
+use rand::prelude::*;
+
+use crate::template::{Guard, GuardedBuilder, GuardedTemplate};
+
+/// Configuration for [`random_guarded_template`].
+#[derive(Clone, Debug)]
+pub struct RandomGuardedConfig {
+    /// The base local-state shape (states, labels, extra edges).
+    pub base: RandomTemplateConfig,
+    /// Maximum guards attached to each transition (drawn uniformly from
+    /// `0..=max_guards_per_edge`).
+    pub max_guards_per_edge: u32,
+    /// Maximum broadcast moves (drawn uniformly from
+    /// `0..=max_broadcasts`).
+    pub max_broadcasts: u32,
+    /// Probability that a broadcast's response map moves a given state
+    /// (to a uniformly random target).
+    pub response_density: f64,
+}
+
+impl Default for RandomGuardedConfig {
+    fn default() -> Self {
+        RandomGuardedConfig {
+            base: RandomTemplateConfig::default(),
+            max_guards_per_edge: 2,
+            max_broadcasts: 2,
+            response_density: 0.5,
+        }
+    }
+}
+
+/// A uniformly random guard of *any* kind over the given proposition
+/// pool and state count, with small bounds (so guards are satisfiable
+/// often enough to matter at property-test sizes).
+pub fn random_guard<R: Rng + ?Sized>(rng: &mut R, num_states: u32, props: &[String]) -> Guard {
+    let bound = rng.random_range(0u32..4);
+    let prop = |rng: &mut R| props[rng.random_range(0..props.len())].clone();
+    let state = |rng: &mut R| rng.random_range(0..num_states);
+    match rng.random_range(0..8u32) {
+        0 => Guard::at_most(prop(rng), bound),
+        1 => Guard::at_least(prop(rng), bound),
+        2 => Guard::equals(prop(rng), bound),
+        3 => {
+            let hi = bound + rng.random_range(0u32..3);
+            Guard::in_range(prop(rng), bound, hi)
+        }
+        4 => Guard::state_at_most(state(rng), bound),
+        5 => Guard::state_at_least(state(rng), bound),
+        6 => Guard::state_equals(state(rng), bound),
+        _ => {
+            let hi = bound + rng.random_range(0u32..3);
+            Guard::state_in_range(state(rng), bound, hi)
+        }
+    }
+}
+
+/// Generates a random [`GuardedTemplate`]: a [`random_template`] shape
+/// with random guards (every kind) on its transitions and random
+/// broadcast moves (random endpoints, guards, and response maps).
+///
+/// # Panics
+///
+/// Panics if `cfg.base.states == 0` or `cfg.base.prop_names` is empty.
+pub fn random_guarded_template<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &RandomGuardedConfig,
+) -> GuardedTemplate {
+    assert!(
+        !cfg.base.prop_names.is_empty(),
+        "guard generation needs at least one proposition name"
+    );
+    let base = random_template(rng, &cfg.base);
+    let num_states = base.num_states() as u32;
+    let props = &cfg.base.prop_names;
+
+    let mut b = GuardedBuilder::new();
+    for q in 0..num_states {
+        b.state(base.state_name(q), base.labels(q).to_vec());
+    }
+    for q in 0..num_states {
+        for &q2 in base.successors(q) {
+            let guards: Vec<Guard> = (0..rng.random_range(0..cfg.max_guards_per_edge + 1))
+                .map(|_| random_guard(rng, num_states, props))
+                .collect();
+            b.edge_guarded(q, q2, guards);
+        }
+    }
+    for _ in 0..rng.random_range(0..cfg.max_broadcasts + 1) {
+        let source = rng.random_range(0..num_states);
+        let target = rng.random_range(0..num_states);
+        let guards: Vec<Guard> = (0..rng.random_range(0..2u32))
+            .map(|_| random_guard(rng, num_states, props))
+            .collect();
+        let mut responses: Vec<(u32, u32)> = Vec::new();
+        for q in 0..num_states {
+            if rng.random_bool(cfg.response_density.clamp(0.0, 1.0)) {
+                responses.push((q, rng.random_range(0..num_states)));
+            }
+        }
+        b.broadcast_guarded(source, target, guards, responses);
+    }
+    b.build(base.initial())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_guarded_templates_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = RandomGuardedConfig::default();
+        let mut saw_broadcast = false;
+        let mut saw_new_guard = false;
+        for _ in 0..60 {
+            let t = random_guarded_template(&mut rng, &cfg);
+            assert_eq!(t.num_states(), cfg.base.states);
+            saw_broadcast |= t.has_broadcasts();
+            let mut guards: Vec<Guard> = Vec::new();
+            for q in 0..t.num_states() as u32 {
+                for k in 0..t.successors(q).len() {
+                    guards.extend(t.guards(q, k).iter().cloned());
+                }
+            }
+            for bc in t.broadcasts() {
+                assert_eq!(bc.response().len(), t.num_states());
+                guards.extend(bc.guards().iter().cloned());
+            }
+            saw_new_guard |= guards.iter().any(|g| {
+                matches!(
+                    g,
+                    Guard::Equals(..)
+                        | Guard::InRange(..)
+                        | Guard::StateEquals(..)
+                        | Guard::StateInRange(..)
+                )
+            });
+        }
+        assert!(saw_broadcast, "generator never emitted a broadcast");
+        assert!(saw_new_guard, "generator never emitted a new guard kind");
+    }
+}

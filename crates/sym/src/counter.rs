@@ -69,6 +69,54 @@ impl CounterState {
         counts[to as usize] += 1;
         CounterState { counts }
     }
+
+    /// The vector after *every* copy simultaneously follows the response
+    /// map: a copy in local state `q` lands in `response[q]`. This is the
+    /// whole-vector rewrite at the heart of broadcast moves — O(|S|),
+    /// independent of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `response` has the wrong length.
+    pub fn respond(&self, response: &[u32]) -> CounterState {
+        assert_eq!(
+            response.len(),
+            self.counts.len(),
+            "response map length mismatch"
+        );
+        let mut counts = vec![0u32; self.counts.len()];
+        for (q, &c) in self.counts.iter().enumerate() {
+            counts[response[q] as usize] += c;
+        }
+        CounterState { counts }
+    }
+
+    /// The vector after a broadcast step: one initiating copy moves from
+    /// `from` to `to` while every *other* copy in state `q` moves to
+    /// `response[q]`, all simultaneously. Still O(|S|).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no copy sits in `from` or `response` has the wrong
+    /// length.
+    pub fn broadcast(&self, from: u32, to: u32, response: &[u32]) -> CounterState {
+        assert!(
+            self.counts[from as usize] > 0,
+            "no copy in local state {from}"
+        );
+        assert_eq!(
+            response.len(),
+            self.counts.len(),
+            "response map length mismatch"
+        );
+        let mut counts = vec![0u32; self.counts.len()];
+        for (q, &c) in self.counts.iter().enumerate() {
+            let c = if q == from as usize { c - 1 } else { c };
+            counts[response[q] as usize] += c;
+        }
+        counts[to as usize] += 1;
+        CounterState { counts }
+    }
 }
 
 impl fmt::Debug for CounterState {
@@ -197,6 +245,37 @@ mod tests {
     #[should_panic(expected = "no copy")]
     fn move_from_empty_state_panics() {
         CounterState::all_in(2, 0, 1).move_one(1, 0);
+    }
+
+    #[test]
+    fn respond_rewrites_the_whole_vector() {
+        let s = CounterState::new(vec![3, 2, 1]);
+        // 0 -> 1, 1 -> 1, 2 -> 0: states 0 and 1 merge into 1.
+        assert_eq!(s.respond(&[1, 1, 0]).counts(), &[1, 5, 0]);
+        // The identity map is a no-op.
+        assert_eq!(s.respond(&[0, 1, 2]), s);
+        assert_eq!(s.respond(&[1, 1, 0]).total(), s.total());
+    }
+
+    #[test]
+    fn broadcast_moves_initiator_and_responders() {
+        // Initiator 0 -> 2; everyone else in 0 responds to 1, state 1
+        // stays, state 2 stays.
+        let s = CounterState::new(vec![3, 1, 0]);
+        let t = s.broadcast(0, 2, &[1, 1, 2]);
+        assert_eq!(t.counts(), &[0, 3, 1]);
+        assert_eq!(t.total(), s.total());
+        // An identity response makes a broadcast just a single move.
+        assert_eq!(s.broadcast(0, 2, &[0, 1, 2]), s.move_one(0, 2));
+        // The lone copy case: nobody responds.
+        let one = CounterState::new(vec![1, 0]);
+        assert_eq!(one.broadcast(0, 1, &[1, 0]).counts(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no copy")]
+    fn broadcast_from_empty_state_panics() {
+        CounterState::new(vec![0, 1]).broadcast(0, 1, &[1, 1]);
     }
 
     #[test]

@@ -84,6 +84,23 @@ pub fn guarded_interleave(t: &GuardedTemplate, n: u32) -> IndexedKripke {
                 moved = true;
             }
         }
+        // Broadcast moves: any copy in the source state may initiate;
+        // every other copy follows the response map in the same step.
+        for bc in t.broadcasts() {
+            if !t.broadcast_enabled(&counts, bc) {
+                continue;
+            }
+            for (k_copy, &q) in locals.iter().enumerate() {
+                if q != bc.source() {
+                    continue;
+                }
+                let mut next: Vec<u32> = locals.iter().map(|&l| bc.response_of(l)).collect();
+                next[k_copy] = bc.target();
+                let to = add(next, &mut b, &mut ids, &mut queue);
+                b.edge(from, to);
+                moved = true;
+            }
+        }
         if !moved {
             b.edge(from, from);
         }

@@ -15,7 +15,8 @@ pub enum SymError {
     /// fragment (see the crate docs on the soundness boundary).
     NotRestricted(RestrictionError),
     /// The formula uses an atom the engine cannot interpret: a plain atom
-    /// that is not a counting atom of the active [`CountingSpec`], an
+    /// that is not a counting atom of the active
+    /// [`CountingSpec`](crate::CountingSpec), an
     /// indexed or `Θ` proposition unknown to the template, or an indexed
     /// atom outside a quantifier.
     UnknownAtom(String),

@@ -8,10 +8,14 @@
 //! [`CountingSpec`] — after which the stock `icstar_mc` checkers run on it
 //! unchanged.
 //!
-//! An abstract transition moves *one* copy along one (enabled) local
-//! transition, mirroring the interleaving semantics of
-//! [`icstar_nets::interleave`]. Abstract states with no enabled move
-//! (possible only under guards, or at `n = 0`) receive a stuttering
+//! An abstract transition either moves *one* copy along one (enabled)
+//! local transition, mirroring the interleaving semantics of
+//! [`icstar_nets::interleave`], or fires a **broadcast move**
+//! ([`icstar_sym::Broadcast`](crate::Broadcast)): one initiating copy
+//! steps while every other copy simultaneously follows the response map —
+//! on occupancy vectors a single O(|S|) rewrite, in the sequential BFS
+//! and the sharded exploration alike. Abstract states with no enabled
+//! move (possible only under guards, or at `n = 0`) receive a stuttering
 //! self-loop so the transition relation stays total, as the paper
 //! requires.
 
@@ -84,18 +88,28 @@ impl CounterSystem {
     /// order. Always non-empty: a state with no enabled move yields a
     /// stuttering `[state]`.
     ///
-    /// Two moves yield the same occupancy vector only if they share the
-    /// same `(from, to)` local-state pair (distinct sources change
-    /// distinct entries) — except self-moves `q → q`, which all collapse
-    /// onto `state` itself. Deduplication therefore happens on cheap
-    /// `u32` target comparisons per source plus one self-move flag,
+    /// Two single-copy moves yield the same occupancy vector only if they
+    /// share the same `(from, to)` local-state pair (distinct sources
+    /// change distinct entries) — except self-moves `q → q`, which all
+    /// collapse onto `state` itself. Deduplication therefore happens on
+    /// cheap `u32` target comparisons per source plus one self-move flag,
     /// instead of comparing whole counter vectors.
+    ///
+    /// Broadcast moves follow the single-copy moves: each enabled
+    /// broadcast is one O(|S|) whole-vector rewrite
+    /// ([`CounterState::broadcast`]) — an abstract transition costs the
+    /// same whether it synchronizes zero copies or a million. Broadcast
+    /// results can coincide with each other or with single-copy results
+    /// (e.g. an identity response map *is* a single move), so they are
+    /// deduplicated by vector comparison against the handful of
+    /// successors already emitted.
     pub fn successors(&self, state: &CounterState) -> Vec<CounterState> {
         let num_states = self.template.num_states() as u32;
         let capacity: usize = (0..num_states)
             .filter(|&q| state.count(q) > 0)
             .map(|q| self.template.base().successors(q).len())
-            .sum();
+            .sum::<usize>()
+            + self.template.broadcasts().len();
         let mut out: Vec<CounterState> = Vec::with_capacity(capacity);
         let mut self_move_seen = false;
         // Distinct enabled targets of the current source, reused per q.
@@ -121,6 +135,15 @@ impl CounterSystem {
                 } else {
                     out.push(state.move_one(q, q2));
                 }
+            }
+        }
+        for b in self.template.broadcasts() {
+            if state.count(b.source()) == 0 || !self.template.broadcast_enabled(state, b) {
+                continue;
+            }
+            let next = state.broadcast(b.source(), b.target(), b.response());
+            if !out.contains(&next) {
+                out.push(next);
             }
         }
         if out.is_empty() {
@@ -389,12 +412,15 @@ mod tests {
     #[test]
     fn sharded_exploration_matches_sequential() {
         // Same states (by name), same labels, same edge set — for every
-        // shard count, on guarded and free templates alike.
+        // shard count, on guarded, free, and broadcast templates alike.
         use std::collections::BTreeSet;
         for t in [
             mutex_template(),
             GuardedTemplate::free(fig41_template()),
             crate::template::ring_station_template(3, 2),
+            crate::workloads::barrier_template(),
+            crate::workloads::msi_template(),
+            crate::workloads::wakeup_template(),
         ] {
             let spec = CountingSpec::standard(&t);
             for n in [0u32, 1, 7, 40] {
@@ -425,6 +451,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn broadcast_successors_rewrite_the_whole_vector() {
+        let t = crate::workloads::barrier_template();
+        let sys = CounterSystem::new(t, 5);
+        // Everyone at the phase-0 barrier: the only moves are the spin
+        // self-loop and the release broadcast flipping all 5 copies.
+        let at_bar = CounterState::new(vec![0, 5, 0, 0]);
+        let succs = sys.successors(&at_bar);
+        assert_eq!(succs.len(), 2);
+        assert_eq!(succs[0], at_bar, "spin");
+        assert_eq!(succs[1].counts(), &[0, 0, 5, 0], "synchronized release");
+        // One copy still working: the broadcast is guard-blocked.
+        let working = CounterState::new(vec![1, 4, 0, 0]);
+        assert!(sys.successors(&working).iter().all(|s| s.count(2) == 0));
+    }
+
+    #[test]
+    fn identity_broadcast_deduplicates_against_single_moves() {
+        // A broadcast whose response map is the identity is abstractly
+        // the same edge as the plain move it shadows.
+        let mut b = crate::template::GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        let c = b.state("c", ["c"]);
+        b.edge(a, c);
+        b.edge(c, c);
+        b.broadcast(a, c, []);
+        let t = b.build(a);
+        let sys = CounterSystem::new(t, 3);
+        assert_eq!(sys.successors(&sys.initial()).len(), 1);
     }
 
     #[test]

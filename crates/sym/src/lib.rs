@@ -17,8 +17,14 @@
 //! * [`CounterState`] / [`CounterPacking`] — occupancy vectors and their
 //!   packed machine-word encoding (the hash keys of exploration).
 //! * [`GuardedTemplate`] — the workload: a local process template whose
-//!   transitions may carry counting [`Guard`]s (`#crit = 0`-style
-//!   test-and-set), preserving full symmetry.
+//!   transitions may carry counting [`Guard`]s (threshold, equality, and
+//!   interval tests over proposition or state occupancy — `#crit = 0`-style
+//!   test-and-set and richer) plus **broadcast moves** ([`Broadcast`]):
+//!   one copy steps and every other copy simultaneously follows a
+//!   per-state response map — barriers, invalidation-based coherence,
+//!   reset protocols — all still functions of the occupancy vector
+//!   alone, so full symmetry (and exactness) is preserved and a
+//!   broadcast costs O(|S|) per abstract transition regardless of `n`.
 //! * [`CounterSystem`] — the abstract transition system, explored on the
 //!   fly; [`CounterSystem::kripke`] materializes the reachable abstract
 //!   graph as a stock [`icstar_kripke::Kripke`] labeled with counting
@@ -88,7 +94,9 @@ mod explore;
 mod fingerprint;
 mod rep;
 mod template;
+mod workloads;
 
+pub mod arb;
 pub mod crosscheck;
 pub mod labels;
 
@@ -101,4 +109,7 @@ pub use error::SymError;
 pub use explore::CounterSystem;
 pub use labels::CountingSpec;
 pub use rep::{representative, RepState, REPRESENTATIVE_INDEX};
-pub use template::{mutex_template, ring_station_template, Guard, GuardedBuilder, GuardedTemplate};
+pub use template::{
+    mutex_template, ring_station_template, Broadcast, Guard, GuardedBuilder, GuardedTemplate,
+};
+pub use workloads::{barrier_template, msi_template, wakeup_template};

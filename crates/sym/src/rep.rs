@@ -144,6 +144,36 @@ pub fn representative(sys: &CounterSystem, spec: &CountingSpec) -> Result<Indexe
                 }
             }
         }
+        // ...or a broadcast fires. Either the representative initiates
+        // (every abstracted copy responds), or an abstracted copy does
+        // (its peers respond — and so does the representative, by the
+        // same map: the distinguished copy is distinguished only in its
+        // labeling, never in its behavior).
+        for bc in template.broadcasts() {
+            if !template.broadcast_enabled(&total, bc) {
+                continue;
+            }
+            if state.rep == bc.source() {
+                let next = RepState {
+                    rep: bc.target(),
+                    others: state.others.respond(bc.response()),
+                };
+                if !succs.contains(&next) {
+                    succs.push(next);
+                }
+            }
+            if state.others.count(bc.source()) > 0 {
+                let next = RepState {
+                    rep: bc.response_of(state.rep),
+                    others: state
+                        .others
+                        .broadcast(bc.source(), bc.target(), bc.response()),
+                };
+                if !succs.contains(&next) {
+                    succs.push(next);
+                }
+            }
+        }
         if succs.is_empty() {
             succs.push(state.clone());
         }

@@ -19,13 +19,15 @@ use crate::fingerprint::Fnv;
 /// A counting constraint on one local transition, evaluated on the
 /// occupancy vector of all copies (before the move).
 ///
-/// Proposition guards ([`Guard::AtMost`]/[`Guard::AtLeast`]) count the
-/// copies whose local *label* carries a proposition; state guards
-/// ([`Guard::StateAtMost`]/[`Guard::StateAtLeast`]) count the copies
-/// sitting in one local *state* directly, independent of labeling — useful
-/// for capacity-style protocols whose control states carry no dedicated
-/// proposition. Both kinds are functions of the occupancy vector alone, so
-/// they preserve full symmetry and the counter abstraction stays exact.
+/// Proposition guards ([`Guard::AtMost`], [`Guard::AtLeast`],
+/// [`Guard::Equals`], [`Guard::InRange`]) count the copies whose local
+/// *label* carries a proposition; state guards ([`Guard::StateAtMost`],
+/// [`Guard::StateAtLeast`], [`Guard::StateEquals`],
+/// [`Guard::StateInRange`]) count the copies sitting in one local *state*
+/// directly, independent of labeling — useful for capacity-style
+/// protocols whose control states carry no dedicated proposition. All
+/// kinds are functions of the occupancy vector alone, so they preserve
+/// full symmetry and the counter abstraction stays exact.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Guard {
     /// Enabled iff at most `.1` copies satisfy proposition `.0`.
@@ -36,6 +38,16 @@ pub enum Guard {
     StateAtMost(u32, u32),
     /// Enabled iff at least `.1` copies sit in local state `.0`.
     StateAtLeast(u32, u32),
+    /// Enabled iff exactly `.1` copies satisfy proposition `.0`.
+    Equals(String, u32),
+    /// Enabled iff the number of copies satisfying proposition `.0` lies
+    /// in the inclusive interval `.1 ..= .2`.
+    InRange(String, u32, u32),
+    /// Enabled iff exactly `.1` copies sit in local state `.0`.
+    StateEquals(u32, u32),
+    /// Enabled iff the occupancy of local state `.0` lies in the
+    /// inclusive interval `.1 ..= .2`.
+    StateInRange(u32, u32, u32),
 }
 
 impl Guard {
@@ -49,6 +61,22 @@ impl Guard {
         Guard::AtLeast(prop.into(), bound)
     }
 
+    /// `#prop = bound`.
+    pub fn equals(prop: impl Into<String>, bound: u32) -> Self {
+        Guard::Equals(prop.into(), bound)
+    }
+
+    /// `lo ≤ #prop ≤ hi` (inclusive interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` (the empty interval guards nothing sensibly;
+    /// reject it early rather than ship an unfireable transition).
+    pub fn in_range(prop: impl Into<String>, lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "empty interval {lo}..{hi}");
+        Guard::InRange(prop.into(), lo, hi)
+    }
+
     /// `#state ≤ bound` (occupancy of one local state).
     pub fn state_at_most(state: u32, bound: u32) -> Self {
         Guard::StateAtMost(state, bound)
@@ -59,12 +87,129 @@ impl Guard {
         Guard::StateAtLeast(state, bound)
     }
 
+    /// `#state = bound` (occupancy of one local state).
+    pub fn state_equals(state: u32, bound: u32) -> Self {
+        Guard::StateEquals(state, bound)
+    }
+
+    /// `lo ≤ #state ≤ hi` (inclusive interval on one local state's
+    /// occupancy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn state_in_range(state: u32, lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "empty interval {lo}..{hi}");
+        Guard::StateInRange(state, lo, hi)
+    }
+
     /// The local state a state-occupancy guard reads, if any.
     fn guarded_state(&self) -> Option<u32> {
         match self {
-            Guard::StateAtMost(q, _) | Guard::StateAtLeast(q, _) => Some(*q),
-            Guard::AtMost(..) | Guard::AtLeast(..) => None,
+            Guard::StateAtMost(q, _)
+            | Guard::StateAtLeast(q, _)
+            | Guard::StateEquals(q, _)
+            | Guard::StateInRange(q, _, _) => Some(*q),
+            Guard::AtMost(..) | Guard::AtLeast(..) | Guard::Equals(..) | Guard::InRange(..) => None,
         }
+    }
+
+    /// Feeds the guard into a fingerprint hasher. Discriminant tags are
+    /// append-only (never renumbered): fingerprints key the
+    /// `icstar-serve` memo cache, so two distinct guards must never hash
+    /// identically across versions of this enum.
+    fn hash_into(&self, h: &mut Fnv) {
+        match self {
+            Guard::AtMost(p, b) => {
+                h.u32(0).str(p).u32(*b);
+            }
+            Guard::AtLeast(p, b) => {
+                h.u32(1).str(p).u32(*b);
+            }
+            Guard::StateAtMost(s, b) => {
+                h.u32(2).u32(*s).u32(*b);
+            }
+            Guard::StateAtLeast(s, b) => {
+                h.u32(3).u32(*s).u32(*b);
+            }
+            Guard::Equals(p, b) => {
+                h.u32(4).str(p).u32(*b);
+            }
+            Guard::InRange(p, lo, hi) => {
+                h.u32(5).str(p).u32(*lo).u32(*hi);
+            }
+            Guard::StateEquals(s, b) => {
+                h.u32(6).u32(*s).u32(*b);
+            }
+            Guard::StateInRange(s, lo, hi) => {
+                h.u32(7).u32(*s).u32(*lo).u32(*hi);
+            }
+        }
+    }
+}
+
+/// A broadcast move: one initiating copy takes the `source → target`
+/// local transition (subject to the guards, evaluated on the occupancy
+/// vector *before* the move, initiator included), and **every other copy
+/// simultaneously** follows the per-state response map — a copy sitting
+/// in local state `q` lands in `response[q]`.
+///
+/// Because every copy carries the same response map, a broadcast is a
+/// function of the occupancy vector alone: the composed system stays
+/// fully symmetric, the counter abstraction stays exact, and on
+/// occupancy vectors the whole step is a single O(|S|) rewrite
+/// ([`CounterState::broadcast`]) no matter how large `n` is. This is the
+/// synchronized-step primitive behind barriers, invalidation-based cache
+/// coherence, and reset/wake-up protocols.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Broadcast {
+    /// Local state of the initiating copy.
+    source: u32,
+    /// Where the initiator lands.
+    target: u32,
+    /// Conjunction of counting guards enabling the broadcast.
+    guards: Vec<Guard>,
+    /// `response[q]`: where a *non-initiating* copy in state `q` lands.
+    /// Always total (length = number of local states); identity entries
+    /// mean "unaffected".
+    response: Vec<u32>,
+}
+
+impl Broadcast {
+    /// Local state of the initiating copy.
+    pub fn source(&self) -> u32 {
+        self.source
+    }
+
+    /// Where the initiator lands.
+    pub fn target(&self) -> u32 {
+        self.target
+    }
+
+    /// The guards enabling the broadcast (conjunction, evaluated before
+    /// the move).
+    pub fn guards(&self) -> &[Guard] {
+        &self.guards
+    }
+
+    /// The full response map: `response()[q]` is where a non-initiating
+    /// copy in local state `q` lands.
+    pub fn response(&self) -> &[u32] {
+        &self.response
+    }
+
+    /// Where a non-initiating copy in local state `q` lands.
+    pub fn response_of(&self, q: u32) -> u32 {
+        self.response[q as usize]
+    }
+
+    /// Whether the response map moves nobody (the broadcast degenerates
+    /// to an ordinary single-copy move).
+    pub fn is_identity_response(&self) -> bool {
+        self.response
+            .iter()
+            .enumerate()
+            .all(|(q, &t)| q as u32 == t)
     }
 }
 
@@ -95,6 +240,8 @@ pub struct GuardedTemplate {
     /// `guards[q][k]` guards the `k`-th outgoing transition of local
     /// state `q` (parallel to `base.successors(q)`).
     guards: Vec<Vec<Vec<Guard>>>,
+    /// Broadcast moves, in declaration order.
+    broadcasts: Vec<Broadcast>,
     /// For each distinct local proposition, the local states carrying it.
     props: Vec<(String, Vec<u32>)>,
 }
@@ -109,6 +256,7 @@ impl GuardedTemplate {
         GuardedTemplate {
             base,
             guards,
+            broadcasts: Vec::new(),
             props,
         }
     }
@@ -150,9 +298,20 @@ impl GuardedTemplate {
         self.base.successors(q)
     }
 
-    /// Whether any transition carries a guard.
+    /// The broadcast moves, in declaration order.
+    pub fn broadcasts(&self) -> &[Broadcast] {
+        &self.broadcasts
+    }
+
+    /// Whether the template has any broadcast moves.
+    pub fn has_broadcasts(&self) -> bool {
+        !self.broadcasts.is_empty()
+    }
+
+    /// Whether no transition carries a guard and no broadcast exists —
+    /// i.e. the composition is precisely the free interleaved product.
     pub fn is_free(&self) -> bool {
-        self.guards.iter().all(|g| g.iter().all(Vec::is_empty))
+        self.guards.iter().all(|g| g.iter().all(Vec::is_empty)) && self.broadcasts.is_empty()
     }
 
     /// The distinct local proposition names, in first-use order.
@@ -177,21 +336,50 @@ impl GuardedTemplate {
             .sum()
     }
 
+    /// Whether one guard holds on the occupancy vector `counts`.
+    pub fn guard_holds(&self, counts: &CounterState, g: &Guard) -> bool {
+        match g {
+            Guard::AtMost(p, bound) => self.prop_count(counts, p) <= *bound,
+            Guard::AtLeast(p, bound) => self.prop_count(counts, p) >= *bound,
+            Guard::Equals(p, bound) => self.prop_count(counts, p) == *bound,
+            Guard::InRange(p, lo, hi) => {
+                let c = self.prop_count(counts, p);
+                *lo <= c && c <= *hi
+            }
+            Guard::StateAtMost(s, bound) => counts.count(*s) <= *bound,
+            Guard::StateAtLeast(s, bound) => counts.count(*s) >= *bound,
+            Guard::StateEquals(s, bound) => counts.count(*s) == *bound,
+            Guard::StateInRange(s, lo, hi) => {
+                let c = counts.count(*s);
+                *lo <= c && c <= *hi
+            }
+        }
+    }
+
     /// Whether every guard of transition `(q, k)` is satisfied by the
     /// occupancy vector `counts` (taken *before* the move).
     pub fn enabled(&self, counts: &CounterState, q: u32, k: usize) -> bool {
-        self.guards(q, k).iter().all(|g| match g {
-            Guard::AtMost(p, bound) => self.prop_count(counts, p) <= *bound,
-            Guard::AtLeast(p, bound) => self.prop_count(counts, p) >= *bound,
-            Guard::StateAtMost(s, bound) => counts.count(*s) <= *bound,
-            Guard::StateAtLeast(s, bound) => counts.count(*s) >= *bound,
-        })
+        self.guards(q, k)
+            .iter()
+            .all(|g| self.guard_holds(counts, g))
+    }
+
+    /// Whether every guard of broadcast `b` is satisfied by the occupancy
+    /// vector `counts` (taken *before* the move, initiator included).
+    /// Callers must additionally check that some copy sits in
+    /// [`Broadcast::source`].
+    pub fn broadcast_enabled(&self, counts: &CounterState, b: &Broadcast) -> bool {
+        b.guards().iter().all(|g| self.guard_holds(counts, g))
     }
 
     /// A stable 64-bit structural fingerprint: equal for structurally
-    /// identical templates (states, names, labels, transitions, guards),
-    /// across processes and runs. Used as a cache key component by the
-    /// `icstar-serve` memo cache.
+    /// identical templates (states, names, labels, transitions, guards,
+    /// broadcasts), across processes and runs. Used as a cache key
+    /// component by the `icstar-serve` memo cache; any two templates that
+    /// differ in *any* construct — a guard bound, a broadcast response
+    /// entry — must fingerprint differently with overwhelming
+    /// probability (collisions only cost a verified bucket entry, never
+    /// a wrong structure, but they must stay rare).
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv::new();
         h.u32(self.num_states() as u32).u32(self.initial());
@@ -209,21 +397,21 @@ impl GuardedTemplate {
                 let guards = self.guards(q, k);
                 h.u32(guards.len() as u32);
                 for g in guards {
-                    match g {
-                        Guard::AtMost(p, b) => {
-                            h.u32(0).str(p).u32(*b);
-                        }
-                        Guard::AtLeast(p, b) => {
-                            h.u32(1).str(p).u32(*b);
-                        }
-                        Guard::StateAtMost(s, b) => {
-                            h.u32(2).u32(*s).u32(*b);
-                        }
-                        Guard::StateAtLeast(s, b) => {
-                            h.u32(3).u32(*s).u32(*b);
-                        }
-                    }
+                    g.hash_into(&mut h);
                 }
+            }
+        }
+        h.u32(self.broadcasts.len() as u32);
+        for b in &self.broadcasts {
+            h.u32(b.source).u32(b.target);
+            h.u32(b.guards.len() as u32);
+            for g in &b.guards {
+                g.hash_into(&mut h);
+            }
+            // The response map is total (length = num_states, already
+            // hashed), so the entries alone pin it.
+            for &t in &b.response {
+                h.u32(t);
             }
         }
         h.finish()
@@ -243,12 +431,18 @@ fn index_props(base: &ProcessTemplate) -> Vec<(String, Vec<u32>)> {
     props
 }
 
+/// A broadcast awaiting [`GuardedBuilder::build`]: `(source, target,
+/// guards, partial responses)`. Responses are completed to a total
+/// identity-defaulted map at build time, once the state count is final.
+type PendingBroadcast = (u32, u32, Vec<Guard>, Vec<(u32, u32)>);
+
 /// Builder for [`GuardedTemplate`], mirroring
 /// [`icstar_nets::TemplateBuilder`].
 #[derive(Clone, Debug, Default)]
 pub struct GuardedBuilder {
     base: TemplateBuilder,
     guards: Vec<Vec<Vec<Guard>>>,
+    broadcasts: Vec<PendingBroadcast>,
 }
 
 impl GuardedBuilder {
@@ -292,31 +486,100 @@ impl GuardedBuilder {
         self
     }
 
+    /// Adds an unguarded broadcast move: one copy takes `source →
+    /// target`, every other copy follows `responses` (pairs `(state,
+    /// landing state)`; unlisted states are unaffected).
+    pub fn broadcast(
+        &mut self,
+        source: u32,
+        target: u32,
+        responses: impl IntoIterator<Item = (u32, u32)>,
+    ) -> &mut Self {
+        self.broadcast_guarded(source, target, [], responses)
+    }
+
+    /// Adds a broadcast move enabled only when every guard holds
+    /// (evaluated on the occupancy vector before the move, initiator
+    /// included). `responses` lists `(state, landing state)` pairs for
+    /// the non-initiating copies; unlisted states are unaffected.
+    ///
+    /// Endpoints and response entries are validated at
+    /// [`GuardedBuilder::build`] time.
+    pub fn broadcast_guarded(
+        &mut self,
+        source: u32,
+        target: u32,
+        guards: impl IntoIterator<Item = Guard>,
+        responses: impl IntoIterator<Item = (u32, u32)>,
+    ) -> &mut Self {
+        self.broadcasts.push((
+            source,
+            target,
+            guards.into_iter().collect(),
+            responses.into_iter().collect(),
+        ));
+        self
+    }
+
     /// Freezes the template with the given initial local state.
     ///
     /// # Panics
     ///
     /// As [`TemplateBuilder::build`]: the template must be non-empty, the
     /// initial state known, and every local state must have an outgoing
-    /// transition. Additionally panics if a state-occupancy guard
-    /// ([`Guard::StateAtMost`]/[`Guard::StateAtLeast`]) names an unknown
-    /// local state.
+    /// *plain* transition (broadcast-only states are not accepted; give
+    /// waiting states a spin self-edge, as the barrier workload does).
+    /// Additionally panics if a state-occupancy guard names an unknown
+    /// local state, if a broadcast endpoint or response entry names an
+    /// unknown local state, or if a broadcast lists two responses for the
+    /// same state.
     pub fn build(self, initial: u32) -> GuardedTemplate {
         let base = self.base.build(initial);
         let num_states = base.num_states() as u32;
-        for per_state in &self.guards {
-            for guards in per_state {
-                for g in guards {
-                    if let Some(q) = g.guarded_state() {
-                        assert!(q < num_states, "guard reads unknown local state {q}");
-                    }
+        let check_guards = |guards: &[Guard]| {
+            for g in guards {
+                if let Some(q) = g.guarded_state() {
+                    assert!(q < num_states, "guard reads unknown local state {q}");
                 }
             }
+        };
+        for per_state in &self.guards {
+            for guards in per_state {
+                check_guards(guards);
+            }
         }
+        let broadcasts = self
+            .broadcasts
+            .into_iter()
+            .map(|(source, target, guards, responses)| {
+                assert!(source < num_states, "broadcast from unknown state {source}");
+                assert!(target < num_states, "broadcast to unknown state {target}");
+                check_guards(&guards);
+                let mut response: Vec<u32> = (0..num_states).collect();
+                let mut seen = vec![false; num_states as usize];
+                for (q, t) in responses {
+                    assert!(q < num_states, "broadcast response for unknown state {q}");
+                    assert!(t < num_states, "broadcast response to unknown state {t}");
+                    assert!(
+                        !seen[q as usize],
+                        "duplicate broadcast response for state {q}"
+                    );
+                    seen[q as usize] = true;
+                    response[q as usize] = t;
+                }
+                Broadcast {
+                    source,
+                    target,
+                    guards,
+                    response,
+                }
+            })
+            .collect();
         let props = index_props(&base);
         GuardedTemplate {
             base,
             guards: self.guards,
+            broadcasts,
             props,
         }
     }
@@ -464,6 +727,157 @@ mod tests {
         let a = b.state("a", ["a"]);
         b.edge_guarded(a, a, [Guard::state_at_most(7, 0)]);
         b.build(a);
+    }
+
+    #[test]
+    fn equality_and_interval_guards_evaluate() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["p"]);
+        let c = b.state("c", [] as [&str; 0]);
+        b.edge_guarded(a, c, [Guard::equals("p", 2)]);
+        b.edge_guarded(c, a, [Guard::in_range("p", 1, 2)]);
+        b.edge_guarded(a, a, [Guard::state_equals(c, 0)]);
+        b.edge_guarded(c, c, [Guard::state_in_range(a, 0, 1)]);
+        let t = b.build(a);
+        // (q=0, k=0): #p == 2.
+        assert!(t.enabled(&CounterState::new(vec![2, 1]), 0, 0));
+        assert!(!t.enabled(&CounterState::new(vec![1, 2]), 0, 0));
+        assert!(!t.enabled(&CounterState::new(vec![3, 0]), 0, 0));
+        // (q=1, k=0): #p in 1..2.
+        assert!(t.enabled(&CounterState::new(vec![1, 2]), 1, 0));
+        assert!(t.enabled(&CounterState::new(vec![2, 1]), 1, 0));
+        assert!(!t.enabled(&CounterState::new(vec![0, 3]), 1, 0));
+        assert!(!t.enabled(&CounterState::new(vec![3, 0]), 1, 0));
+        // (q=0, k=1): @c == 0.
+        assert!(t.enabled(&CounterState::new(vec![3, 0]), 0, 1));
+        assert!(!t.enabled(&CounterState::new(vec![2, 1]), 0, 1));
+        // (q=1, k=1): @a in 0..1.
+        assert!(t.enabled(&CounterState::new(vec![1, 2]), 1, 1));
+        assert!(!t.enabled(&CounterState::new(vec![2, 1]), 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn empty_interval_guard_rejected() {
+        Guard::in_range("p", 3, 1);
+    }
+
+    #[test]
+    fn broadcasts_build_and_evaluate() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        let c = b.state("c", ["c"]);
+        let d = b.state("d", ["d"]);
+        b.edge(a, a);
+        b.edge(c, c);
+        b.edge(d, d);
+        b.broadcast_guarded(a, d, [Guard::state_equals(c, 0)], [(a, c)]);
+        let t = b.build(a);
+        assert!(!t.is_free());
+        assert!(t.has_broadcasts());
+        let bc = &t.broadcasts()[0];
+        assert_eq!((bc.source(), bc.target()), (a, d));
+        assert_eq!(bc.guards(), &[Guard::state_equals(c, 0)]);
+        // Response is identity-completed: a -> c, c -> c, d -> d.
+        assert_eq!(bc.response(), &[c, c, d]);
+        assert_eq!(bc.response_of(a), c);
+        assert!(!bc.is_identity_response());
+        assert!(t.broadcast_enabled(&CounterState::new(vec![3, 0, 0]), bc));
+        assert!(!t.broadcast_enabled(&CounterState::new(vec![2, 1, 0]), bc));
+    }
+
+    #[test]
+    fn identity_response_broadcast_detected() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        let c = b.state("c", ["c"]);
+        b.edge(a, a);
+        b.edge(c, c);
+        b.broadcast(a, c, []);
+        let t = b.build(a);
+        assert!(t.broadcasts()[0].is_identity_response());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate broadcast response")]
+    fn duplicate_broadcast_response_rejected() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        let c = b.state("c", ["c"]);
+        b.edge(a, a);
+        b.edge(c, c);
+        b.broadcast(a, c, [(c, a), (c, c)]);
+        b.build(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast response for unknown state")]
+    fn broadcast_response_on_unknown_state_rejected() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        b.edge(a, a);
+        b.broadcast(a, a, [(9, a)]);
+        b.build(a);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_new_guards_and_broadcasts() {
+        let build = |guard: Guard| {
+            let mut b = GuardedBuilder::new();
+            let a = b.state("a", ["p"]);
+            b.edge_guarded(a, a, [guard]);
+            b.build(a)
+        };
+        // Same names and bounds, different guard kinds: all distinct.
+        let fps: Vec<u64> = [
+            Guard::at_most("p", 1),
+            Guard::at_least("p", 1),
+            Guard::equals("p", 1),
+            Guard::in_range("p", 1, 1),
+            Guard::state_at_most(0, 1),
+            Guard::state_at_least(0, 1),
+            Guard::state_equals(0, 1),
+            Guard::state_in_range(0, 1, 1),
+        ]
+        .into_iter()
+        .map(|g| build(g).fingerprint())
+        .collect();
+        for (i, a) in fps.iter().enumerate() {
+            for (j, b) in fps.iter().enumerate() {
+                assert_eq!(a == b, i == j, "guard kinds {i} vs {j}");
+            }
+        }
+
+        // Templates differing only in a broadcast (presence, guard, or
+        // response map) fingerprint differently.
+        let with_bcast = |guards: Vec<Guard>, responses: Vec<(u32, u32)>| {
+            let mut b = GuardedBuilder::new();
+            let a = b.state("a", ["a"]);
+            let c = b.state("c", ["c"]);
+            b.edge(a, c);
+            b.edge(c, a);
+            b.broadcast_guarded(a, c, guards, responses);
+            b.build(a)
+        };
+        let plain = {
+            let mut b = GuardedBuilder::new();
+            let a = b.state("a", ["a"]);
+            let c = b.state("c", ["c"]);
+            b.edge(a, c);
+            b.edge(c, a);
+            b.build(a)
+        };
+        let identity = with_bcast(vec![], vec![]);
+        let remap = with_bcast(vec![], vec![(1, 0)]);
+        let guarded = with_bcast(vec![Guard::state_equals(0, 1)], vec![(1, 0)]);
+        assert_ne!(plain.fingerprint(), identity.fingerprint());
+        assert_ne!(identity.fingerprint(), remap.fingerprint());
+        assert_ne!(remap.fingerprint(), guarded.fingerprint());
+        assert_eq!(
+            with_bcast(vec![], vec![(1, 0)]).fingerprint(),
+            remap.fingerprint(),
+            "deterministic"
+        );
     }
 
     #[test]

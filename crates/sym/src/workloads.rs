@@ -1,0 +1,274 @@
+//! Broadcast-era workload templates: the synchronized-step protocols the
+//! richer guard language exists for.
+//!
+//! Each constructor here is a fully symmetric [`GuardedTemplate`] using
+//! the equality/interval guards and **broadcast moves** introduced
+//! alongside them ([`crate::Broadcast`]): a sense-reversing barrier, an
+//! MSI-style invalidation cache, and a reset/wake-up protocol. All three
+//! are cross-checked against the explicit interleaved composition at
+//! small `n` in the test suites (the abstraction stays exact) and run at
+//! `n = 100,000` through the verification service in CI
+//! (`examples/workloads_demo.rs`).
+//!
+//! Their canonical wire-format texts live in `icstar_nets::fixtures`,
+//! and the gallery page `docs/WORKLOADS.md` documents every shipped
+//! workload — these three included — with the properties it satisfies.
+
+use crate::template::{Guard, GuardedBuilder, GuardedTemplate};
+
+/// A sense-reversing barrier with two phases: every copy works
+/// (`work0`), arrives at the barrier (`done0`, spinning), and the **last
+/// arrival releases everyone at once** — a broadcast `done0 → work1`
+/// with response `done0 → work1`, guarded by `@work0 == 0` (nobody still
+/// working in the current phase). Phase 1 mirrors phase 0 back.
+///
+/// The barrier contract is a pure counting property: phases never mix,
+/// `AG (phase1_ge1 -> phase0_eq0)` (and symmetrically), because the
+/// release is one synchronized step.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::parse_state;
+/// use icstar_sym::{barrier_template, SymEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = SymEngine::new(barrier_template());
+/// assert!(engine.check(1_000, &parse_state("AG (phase1_ge1 -> phase0_eq0)")?)?);
+/// assert!(engine.check(1_000, &parse_state("forall i. AG (phase0[i] -> EF phase1[i])")?)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn barrier_template() -> GuardedTemplate {
+    let mut b = GuardedBuilder::new();
+    let work0 = b.state("work0", ["working", "phase0"]);
+    let done0 = b.state("done0", ["atbar", "phase0"]);
+    let work1 = b.state("work1", ["working", "phase1"]);
+    let done1 = b.state("done1", ["atbar", "phase1"]);
+    b.edge(work0, done0);
+    b.edge(done0, done0); // spin at the barrier
+    b.edge(work1, done1);
+    b.edge(done1, done1); // spin at the barrier
+    b.broadcast_guarded(
+        done0,
+        work1,
+        [Guard::state_equals(work0, 0)],
+        [(done0, work1)],
+    );
+    b.broadcast_guarded(
+        done1,
+        work0,
+        [Guard::state_equals(work1, 0)],
+        [(done1, work0)],
+    );
+    b.build(work0)
+}
+
+/// An MSI-style invalidation cache: every copy is a cache line in state
+/// `invalid`, `shared`, or `modified`.
+///
+/// * A read miss is silent while no writer exists (`invalid → shared
+///   when @modified == 0` — an equality guard), and otherwise a
+///   broadcast that **downgrades the writer** (`invalid → shared` with
+///   response `modified → shared`).
+/// * A write (miss or upgrade) is a broadcast that **invalidates every
+///   other copy**: `invalid → modified` / `shared → modified` with
+///   response `shared → invalid, modified → invalid`.
+/// * Evictions are plain local moves back to `invalid`.
+///
+/// The coherence contract is single-writer/multiple-reader:
+/// `AG !modified_ge2`, `AG (modified_ge1 -> shared_eq0)`, and
+/// `AG (modified_ge1 -> one(modified))`.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::parse_state;
+/// use icstar_sym::{msi_template, SymEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = SymEngine::new(msi_template());
+/// assert!(engine.check(1_000, &parse_state("AG !modified_ge2")?)?);
+/// assert!(engine.check(1_000, &parse_state("AG (modified_ge1 -> shared_eq0)")?)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn msi_template() -> GuardedTemplate {
+    let mut b = GuardedBuilder::new();
+    let invalid = b.state("invalid", ["invalid"]);
+    let shared = b.state("shared", ["shared"]);
+    let modified = b.state("modified", ["modified"]);
+    b.edge_guarded(invalid, shared, [Guard::state_equals(modified, 0)]); // silent read miss
+    b.edge(shared, invalid); // eviction
+    b.edge(modified, invalid); // write-back eviction
+    b.broadcast_guarded(
+        invalid,
+        shared,
+        [Guard::state_at_least(modified, 1)],
+        [(modified, shared)], // read miss downgrades the writer
+    );
+    b.broadcast(invalid, modified, [(shared, invalid), (modified, invalid)]); // write miss
+    b.broadcast(shared, modified, [(shared, invalid), (modified, invalid)]); // upgrade
+    b.build(invalid)
+}
+
+/// A reset/wake-up protocol (cf. the firing-squad/wake-up line of
+/// related work): all copies start `asleep`; one copy spontaneously
+/// fires the **wake-up broadcast** — `asleep → awake` with response
+/// `asleep → awake`, guarded by `@awake == 0, @working == 0` so it only
+/// fires from global sleep — after which copies shuttle freely between
+/// `awake` and `working`. A **reset broadcast** quiesces the system:
+/// once the awake pool has drained (`@awake in 0..1` — an interval
+/// guard: at most one copy still idling awake), a working copy may send
+/// everyone back to sleep in one synchronized step.
+///
+/// Wake-up is all-or-nothing: sleeping and active copies never coexist,
+/// `AG ((awake_ge1 | working_ge1) -> asleep_eq0)`; and the system can
+/// always quiesce again, `AG EF asleep_ge1` (for `n ≥ 1`).
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::parse_state;
+/// use icstar_sym::{wakeup_template, SymEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = SymEngine::new(wakeup_template());
+/// assert!(engine.check(1_000, &parse_state("AG ((awake_ge1 | working_ge1) -> asleep_eq0)")?)?);
+/// assert!(engine.check(1_000, &parse_state("AG EF asleep_ge1")?)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn wakeup_template() -> GuardedTemplate {
+    let mut b = GuardedBuilder::new();
+    let asleep = b.state("asleep", ["asleep"]);
+    let awake = b.state("awake", ["awake"]);
+    let working = b.state("working", ["working"]);
+    b.edge(asleep, asleep); // doze
+    b.edge(awake, working); // pick up work
+    b.edge(working, awake); // finish an item
+    b.broadcast_guarded(
+        asleep,
+        awake,
+        [
+            Guard::state_equals(awake, 0),
+            Guard::state_equals(working, 0),
+        ],
+        [(asleep, awake)], // wake everyone
+    );
+    b.broadcast_guarded(
+        working,
+        asleep,
+        [Guard::state_in_range(awake, 0, 1)],
+        [(awake, asleep), (working, asleep)], // quiesce everyone
+    );
+    b.build(asleep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CounterState;
+    use crate::engine::SymEngine;
+    use icstar_logic::parse_state;
+
+    #[test]
+    fn barrier_shape_and_release() {
+        let t = barrier_template();
+        assert_eq!(t.num_states(), 4);
+        assert_eq!(t.broadcasts().len(), 2);
+        let release = &t.broadcasts()[0];
+        // Release blocked while someone still works in phase 0...
+        assert!(!t.broadcast_enabled(&CounterState::new(vec![1, 2, 0, 0]), release));
+        // ...and open once everyone is at the barrier.
+        let at_bar = CounterState::new(vec![0, 3, 0, 0]);
+        assert!(t.broadcast_enabled(&at_bar, release));
+        assert_eq!(
+            at_bar
+                .broadcast(release.source(), release.target(), release.response())
+                .counts(),
+            &[0, 0, 3, 0],
+            "the whole cohort flips to phase 1 in one step"
+        );
+    }
+
+    #[test]
+    fn barrier_phases_never_mix() {
+        let engine = SymEngine::new(barrier_template());
+        for n in [1u32, 2, 5, 40] {
+            for src in [
+                "AG (phase1_ge1 -> phase0_eq0)",
+                "AG (phase0_ge1 -> phase1_eq0)",
+                "AG (atbar_ge1 -> EF working_ge1)",
+                "forall i. AG (phase0[i] -> EF phase1[i])",
+            ] {
+                assert!(
+                    engine.check(n, &parse_state(src).unwrap()).unwrap(),
+                    "{src} at n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn msi_single_writer_invariants() {
+        let engine = SymEngine::new(msi_template());
+        for n in [1u32, 2, 4, 30] {
+            for src in [
+                "AG !modified_ge2",
+                "AG (modified_ge1 -> shared_eq0)",
+                "AG (modified_ge1 -> one(modified))",
+                "forall i. AG (invalid[i] -> EF modified[i])",
+            ] {
+                assert!(
+                    engine.check(n, &parse_state(src).unwrap()).unwrap(),
+                    "{src} at n = {n}"
+                );
+            }
+        }
+        // Readers do coexist (n >= 2): shared_ge2 is reachable.
+        assert!(engine
+            .check(3, &parse_state("EF shared_ge2").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn wakeup_is_all_or_nothing() {
+        let engine = SymEngine::new(wakeup_template());
+        for n in [1u32, 2, 6, 25] {
+            for src in [
+                "AG ((awake_ge1 | working_ge1) -> asleep_eq0)",
+                "AG EF asleep_ge1",
+                "forall i. AG (asleep[i] -> EF working[i])",
+            ] {
+                assert!(
+                    engine.check(n, &parse_state(src).unwrap()).unwrap(),
+                    "{src} at n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workload_abstract_spaces_stay_linear() {
+        // The gallery's scaling claim: all three stay O(n) abstract
+        // states, which is what makes n = 100,000 routine in CI.
+        use crate::explore::CounterSystem;
+        use crate::labels::CountingSpec;
+        let n = 60u32;
+        for (t, bound) in [
+            (barrier_template(), 2 * n + 2),
+            (msi_template(), n + 2),
+            (wakeup_template(), n + 2),
+        ] {
+            let spec = CountingSpec::standard(&t);
+            let k = CounterSystem::new(t, n).kripke(&spec);
+            assert!(
+                k.num_states() as u32 <= bound,
+                "{} states at n = {n}, bound {bound}",
+                k.num_states()
+            );
+            k.validate().unwrap();
+        }
+    }
+}

@@ -23,6 +23,15 @@
 //! }
 //! ```
 //!
+//! Guards compare occupancy with `<=`, `>=`, `==`, or `in lo..hi`
+//! (inclusive interval); `bcast` clauses declare broadcast moves — one
+//! copy steps `source -> target` while every other copy follows the
+//! bracketed response map (unlisted states stay put):
+//!
+//! ```text
+//! bcast done0 -> work1 [done0 -> work1] when @work0 == 0;
+//! ```
+//!
 //! Formulas reuse the `icstar_logic` grammar verbatim (everything between
 //! `:` and `;` is handed to [`icstar_logic::parse_state`], with wire-level
 //! `//` comments blanked out first). Names are identifiers or
@@ -126,6 +135,39 @@ fn write_template(out: &mut String, t: &GuardedTemplate, depth: usize) {
             out.push_str(";\n");
         }
     }
+    for bc in t.broadcasts() {
+        indent(out, depth + 1);
+        out.push_str("bcast ");
+        fmt_name(out, t.state_name(bc.source()));
+        out.push_str(" -> ");
+        fmt_name(out, t.state_name(bc.target()));
+        // Only non-identity response entries are textual; the parser
+        // identity-completes the map, so the round trip is exact.
+        let moved: Vec<(u32, u32)> = bc
+            .response()
+            .iter()
+            .enumerate()
+            .filter(|&(q, &to)| q as u32 != to)
+            .map(|(q, &to)| (q as u32, to))
+            .collect();
+        if !moved.is_empty() {
+            out.push_str(" [");
+            for (i, (q, to)) in moved.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                fmt_name(out, t.state_name(*q));
+                out.push_str(" -> ");
+                fmt_name(out, t.state_name(*to));
+            }
+            out.push(']');
+        }
+        for (i, g) in bc.guards().iter().enumerate() {
+            out.push_str(if i == 0 { " when " } else { ", " });
+            write_guard(out, g, t);
+        }
+        out.push_str(";\n");
+    }
     indent(out, depth);
     out.push_str("}\n");
 }
@@ -142,6 +184,16 @@ fn write_guard(out: &mut String, g: &Guard, t: &GuardedTemplate) {
             fmt_name(out, p);
             let _ = write!(out, " >= {b}");
         }
+        Guard::Equals(p, b) => {
+            out.push('#');
+            fmt_name(out, p);
+            let _ = write!(out, " == {b}");
+        }
+        Guard::InRange(p, lo, hi) => {
+            out.push('#');
+            fmt_name(out, p);
+            let _ = write!(out, " in {lo}..{hi}");
+        }
         Guard::StateAtMost(q, b) => {
             out.push('@');
             fmt_name(out, t.state_name(*q));
@@ -151,6 +203,16 @@ fn write_guard(out: &mut String, g: &Guard, t: &GuardedTemplate) {
             out.push('@');
             fmt_name(out, t.state_name(*q));
             let _ = write!(out, " >= {b}");
+        }
+        Guard::StateEquals(q, b) => {
+            out.push('@');
+            fmt_name(out, t.state_name(*q));
+            let _ = write!(out, " == {b}");
+        }
+        Guard::StateInRange(q, lo, hi) => {
+            out.push('@');
+            fmt_name(out, t.state_name(*q));
+            let _ = write!(out, " in {lo}..{hi}");
         }
     }
 }
@@ -549,11 +611,21 @@ impl<'a> Cursor<'a> {
 
 // ---- guards -------------------------------------------------------
 
-enum RawGuard {
-    PropAtMost(String, u32),
-    PropAtLeast(String, u32),
-    StateAtMost(String, u32),
-    StateAtLeast(String, u32),
+enum RawComparison {
+    AtMost(u32),
+    AtLeast(u32),
+    Equals(u32),
+    InRange(u32, u32),
+}
+
+/// A guard whose state operand (if any) is still a name.
+struct RawGuard {
+    /// `true` for `@state` guards, `false` for `#prop` guards.
+    on_state: bool,
+    name: String,
+    /// Offset of `name`, for error reporting during state resolution.
+    name_at: usize,
+    cmp: RawComparison,
 }
 
 fn guard(c: &mut Cursor<'_>) -> Result<RawGuard, WireParseError> {
@@ -564,21 +636,78 @@ fn guard(c: &mut Cursor<'_>) -> Result<RawGuard, WireParseError> {
     } else {
         return Err(c.error("expected a guard (`#prop` or `@state`)"));
     };
+    c.skip_ws();
+    let name_at = c.pos;
     let name = c.name()?;
-    let at_most = if c.eat("<=") {
-        true
+    let cmp = if c.eat("<=") {
+        RawComparison::AtMost(c.int()?)
     } else if c.eat(">=") {
-        false
+        RawComparison::AtLeast(c.int()?)
+    } else if c.eat("==") {
+        RawComparison::Equals(c.int()?)
+    } else if c.eat_word("in") {
+        let at = c.pos;
+        let lo = c.int()?;
+        c.expect("..")?;
+        let hi = c.int()?;
+        if lo > hi {
+            return Err(WireParseError::new(
+                at,
+                format!("empty interval {lo}..{hi}"),
+            ));
+        }
+        RawComparison::InRange(lo, hi)
     } else {
-        return Err(c.error("expected `<=` or `>=`"));
+        return Err(c.error("expected `<=`, `>=`, `==`, or `in lo..hi`"));
     };
-    let bound = c.int()?;
-    Ok(match (on_state, at_most) {
-        (false, true) => RawGuard::PropAtMost(name, bound),
-        (false, false) => RawGuard::PropAtLeast(name, bound),
-        (true, true) => RawGuard::StateAtMost(name, bound),
-        (true, false) => RawGuard::StateAtLeast(name, bound),
+    Ok(RawGuard {
+        on_state,
+        name,
+        name_at,
+        cmp,
     })
+}
+
+/// Resolves a raw guard against the declared state names.
+fn resolve_guard(raw: RawGuard, names: &[String]) -> Result<Guard, WireParseError> {
+    if raw.on_state {
+        let q = resolve_state(raw.name_at, &raw.name, names)?;
+        Ok(match raw.cmp {
+            RawComparison::AtMost(b) => Guard::state_at_most(q, b),
+            RawComparison::AtLeast(b) => Guard::state_at_least(q, b),
+            RawComparison::Equals(b) => Guard::state_equals(q, b),
+            RawComparison::InRange(lo, hi) => Guard::state_in_range(q, lo, hi),
+        })
+    } else {
+        Ok(match raw.cmp {
+            RawComparison::AtMost(b) => Guard::at_most(raw.name, b),
+            RawComparison::AtLeast(b) => Guard::at_least(raw.name, b),
+            RawComparison::Equals(b) => Guard::equals(raw.name, b),
+            RawComparison::InRange(lo, hi) => Guard::in_range(raw.name, lo, hi),
+        })
+    }
+}
+
+fn resolve_state(at: usize, n: &str, names: &[String]) -> Result<u32, WireParseError> {
+    names
+        .iter()
+        .position(|x| x == n)
+        .map(|i| i as u32)
+        .ok_or_else(|| WireParseError::new(at, format!("unknown state {n:?}")))
+}
+
+/// Parses an optional `when guard, guard, ...` clause.
+fn when_clause(c: &mut Cursor<'_>, names: &[String]) -> Result<Vec<Guard>, WireParseError> {
+    let mut guards = Vec::new();
+    if c.eat_word("when") {
+        loop {
+            guards.push(resolve_guard(guard(c)?, names)?);
+            if !c.eat(",") {
+                break;
+            }
+        }
+    }
+    Ok(guards)
 }
 
 // ---- template ------------------------------------------------------
@@ -617,51 +746,69 @@ fn template(c: &mut Cursor<'_>) -> Result<GuardedTemplate, WireParseError> {
     if names.is_empty() {
         return Err(c.error("a template needs at least one `state`"));
     }
-    let resolve = |at: usize, n: &str| -> Result<u32, WireParseError> {
-        names
-            .iter()
-            .position(|x| x == n)
-            .map(|i| i as u32)
-            .ok_or_else(|| WireParseError::new(at, format!("unknown state {n:?}")))
-    };
 
     c.expect_word("init")?;
     let at = c.pos;
     let init_name = c.name()?;
-    let init = resolve(at, &init_name)?;
+    let init = resolve_state(at, &init_name, &names)?;
     c.expect(";")?;
 
     let mut has_edge = vec![false; names.len()];
-    while c.eat_word("edge") {
-        let at = c.pos;
-        let from_name = c.name()?;
-        let from = resolve(at, &from_name)?;
-        c.expect("->")?;
-        let at = c.pos;
-        let to_name = c.name()?;
-        let to = resolve(at, &to_name)?;
-        let mut guards = Vec::new();
-        if c.eat_word("when") {
-            loop {
-                let at = c.pos;
-                guards.push(match guard(c)? {
-                    RawGuard::PropAtMost(p, k) => Guard::at_most(p, k),
-                    RawGuard::PropAtLeast(p, k) => Guard::at_least(p, k),
-                    RawGuard::StateAtMost(s, k) => Guard::state_at_most(resolve(at, &s)?, k),
-                    RawGuard::StateAtLeast(s, k) => Guard::state_at_least(resolve(at, &s)?, k),
-                });
-                if !c.eat(",") {
-                    break;
+    loop {
+        if c.eat_word("edge") {
+            let at = c.pos;
+            let from_name = c.name()?;
+            let from = resolve_state(at, &from_name, &names)?;
+            c.expect("->")?;
+            let at = c.pos;
+            let to_name = c.name()?;
+            let to = resolve_state(at, &to_name, &names)?;
+            let guards = when_clause(c, &names)?;
+            c.expect(";")?;
+            has_edge[from as usize] = true;
+            b.edge_guarded(from, to, guards);
+        } else if c.eat_word("bcast") {
+            let at = c.pos;
+            let source_name = c.name()?;
+            let source = resolve_state(at, &source_name, &names)?;
+            c.expect("->")?;
+            let at = c.pos;
+            let target_name = c.name()?;
+            let target = resolve_state(at, &target_name, &names)?;
+            let mut responses: Vec<(u32, u32)> = Vec::new();
+            if c.eat("[") && !c.eat("]") {
+                loop {
+                    let at = c.pos;
+                    let q_name = c.name()?;
+                    let q = resolve_state(at, &q_name, &names)?;
+                    if responses.iter().any(|&(seen, _)| seen == q) {
+                        return Err(WireParseError::new(
+                            at,
+                            format!("duplicate response for state {q_name:?}"),
+                        ));
+                    }
+                    c.expect("->")?;
+                    let at = c.pos;
+                    let to_name = c.name()?;
+                    let to = resolve_state(at, &to_name, &names)?;
+                    responses.push((q, to));
+                    if !c.eat(",") {
+                        break;
+                    }
                 }
+                c.expect("]")?;
             }
+            let guards = when_clause(c, &names)?;
+            c.expect(";")?;
+            b.broadcast_guarded(source, target, guards, responses);
+        } else {
+            break;
         }
-        c.expect(";")?;
-        has_edge[from as usize] = true;
-        b.edge_guarded(from, to, guards);
     }
     if let Some(q) = has_edge.iter().position(|e| !e) {
         return Err(c.error(format!(
-            "state {:?} has no outgoing edge (the transition relation must be total)",
+            "state {:?} has no outgoing edge (the transition relation must be total; \
+             broadcast-only states are not accepted — give them a spin self-edge)",
             names[q]
         )));
     }
@@ -869,6 +1016,72 @@ mod tests {
     }
 
     #[test]
+    fn equality_and_interval_guards_round_trip() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["p"]);
+        let c = b.state("c", ["q"]);
+        b.edge_guarded(a, c, [Guard::equals("p", 2), Guard::in_range("q", 1, 3)]);
+        b.edge_guarded(
+            c,
+            a,
+            [Guard::state_equals(a, 0), Guard::state_in_range(c, 0, 5)],
+        );
+        let t = b.build(a);
+        let text = print_template(&t);
+        assert!(text.contains("when #p == 2, #q in 1..3"), "{text}");
+        assert!(text.contains("when @a == 0, @c in 0..5"), "{text}");
+        assert_eq!(parse_template(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn broadcast_templates_round_trip() {
+        for t in [
+            icstar_sym::barrier_template(),
+            icstar_sym::msi_template(),
+            icstar_sym::wakeup_template(),
+        ] {
+            let text = print_template(&t);
+            assert_eq!(parse_template(&text).unwrap(), t, "{text}");
+        }
+        // An identity-response broadcast prints without brackets and
+        // still round-trips.
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        let c = b.state("c", ["c"]);
+        b.edge(a, c);
+        b.edge(c, a);
+        b.broadcast(a, c, []);
+        let t = b.build(a);
+        let text = print_template(&t);
+        assert!(text.contains("bcast a -> c;"), "{text}");
+        assert_eq!(parse_template(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn broadcast_with_quoted_names_round_trips() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a state", ["p"]);
+        let c = b.state("c", ["q"]);
+        b.edge(a, c);
+        b.edge(c, c);
+        b.broadcast_guarded(a, c, [Guard::in_range("p", 0, 1)], [(c, a)]);
+        let t = b.build(a);
+        let text = print_template(&t);
+        assert!(text.contains("bcast \"a state\" -> c [c -> \"a state\"] when #p in 0..1;"));
+        assert_eq!(parse_template(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_response_brackets_parse_as_identity() {
+        let src = "template { state a [a]; state b [b]; init a; \
+                   edge a -> b; edge b -> a; bcast a -> b []; }";
+        let t = parse_template(src).unwrap();
+        assert!(t.broadcasts()[0].is_identity_response());
+        // The canonical print drops the empty brackets.
+        assert!(print_template(&t).contains("bcast a -> b;"));
+    }
+
+    #[test]
     fn spec_round_trips() {
         let t = mutex_template();
         for s in [
@@ -974,7 +1187,24 @@ mod tests {
             ),
             (
                 "template { state a [a]; init a; edge a -> a when #x = 1; }",
-                "expected `<=` or `>=`",
+                "expected `<=`, `>=`, `==`, or `in lo..hi`",
+            ),
+            (
+                "template { state a [a]; init a; edge a -> a when #x in 3..1; }",
+                "empty interval",
+            ),
+            (
+                "template { state a [a]; state b []; init a; edge a -> a; edge b -> b; \
+                 bcast a -> b [b -> a, b -> b]; }",
+                "duplicate response",
+            ),
+            (
+                "template { state a [a]; init a; edge a -> a; bcast a -> a [zzz -> a]; }",
+                "unknown state",
+            ),
+            (
+                "template { state a [a]; state b []; init a; edge a -> a; bcast b -> a; }",
+                "no outgoing edge",
             ),
         ];
         for (src, needle) in cases {

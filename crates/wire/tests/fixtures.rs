@@ -5,9 +5,13 @@
 
 use icstar_nets::fig41_template;
 use icstar_nets::fixtures::{
-    FIG41_TEMPLATE_WIRE, MUTEX_JOB_WIRE, MUTEX_TEMPLATE_WIRE, RING_STATION_4_1_WIRE,
+    BARRIER_JOB_WIRE, BARRIER_TEMPLATE_WIRE, FIG41_TEMPLATE_WIRE, MSI_TEMPLATE_WIRE,
+    MUTEX_JOB_WIRE, MUTEX_TEMPLATE_WIRE, RING_STATION_4_1_WIRE, WAKEUP_TEMPLATE_WIRE,
 };
-use icstar_sym::{mutex_template, ring_station_template, GuardedTemplate};
+use icstar_sym::{
+    barrier_template, msi_template, mutex_template, ring_station_template, wakeup_template,
+    GuardedTemplate,
+};
 use icstar_wire::{parse_job, parse_template, print_job, print_template};
 
 #[test]
@@ -29,6 +33,39 @@ fn ring_station_fixture_is_canonical() {
     let t = ring_station_template(4, 1);
     assert_eq!(parse_template(RING_STATION_4_1_WIRE).unwrap(), t);
     assert_eq!(print_template(&t), RING_STATION_4_1_WIRE);
+}
+
+#[test]
+fn barrier_fixture_is_canonical() {
+    let t = barrier_template();
+    assert_eq!(parse_template(BARRIER_TEMPLATE_WIRE).unwrap(), t);
+    assert_eq!(print_template(&t), BARRIER_TEMPLATE_WIRE);
+}
+
+#[test]
+fn msi_fixture_is_canonical() {
+    let t = msi_template();
+    assert_eq!(parse_template(MSI_TEMPLATE_WIRE).unwrap(), t);
+    assert_eq!(print_template(&t), MSI_TEMPLATE_WIRE);
+}
+
+#[test]
+fn wakeup_fixture_is_canonical() {
+    let t = wakeup_template();
+    assert_eq!(parse_template(WAKEUP_TEMPLATE_WIRE).unwrap(), t);
+    assert_eq!(print_template(&t), WAKEUP_TEMPLATE_WIRE);
+}
+
+#[test]
+fn barrier_job_fixture_is_canonical() {
+    let job = parse_job(BARRIER_JOB_WIRE).unwrap();
+    assert_eq!(job.template, barrier_template());
+    assert_eq!(job.spec, None);
+    assert_eq!(job.sizes, vec![4, 100_000]);
+    assert_eq!(job.formulas.len(), 2);
+    assert_eq!(job.formulas[0].0, "phase exclusion");
+    assert_eq!(job.formulas[1].0, "progress possibility");
+    assert_eq!(print_job(&job), BARRIER_JOB_WIRE);
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! Property tests: `parse(print(x)) == x` over randomized workloads.
 //!
-//! Random *guarded* templates are built over `icstar_nets::random_template`
-//! shapes with random guards of every kind attached; formulas come from
+//! Random *guarded* templates — every guard kind (threshold, equality,
+//! interval; proposition- and state-counting) plus broadcast moves —
+//! come from the shared `icstar_sym::arb` generator over
+//! `icstar_nets::random_template` shapes; formulas come from
 //! `icstar_logic::arb`. Strategies drive a seed through the vendored
 //! proptest shim and expand it with `StdRng`, the same idiom as the root
 //! `tests/properties.rs` suite.
@@ -9,41 +11,24 @@
 use icstar_logic::arb::{random_state_formula, FormulaConfig};
 use icstar_nets::{random_template, RandomTemplateConfig};
 use icstar_serve::VerifyJob;
-use icstar_sym::{CountingSpec, Guard, GuardedBuilder, GuardedTemplate};
+use icstar_sym::arb::{random_guarded_template, RandomGuardedConfig};
+use icstar_sym::{CountingSpec, GuardedTemplate};
 use icstar_wire::{parse_job, parse_spec, parse_template, print_job, print_spec, print_template};
 use proptest::prelude::*;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// A random guarded template: a `random_template` local-state shape with
-/// every guard kind sprinkled over its transitions.
+/// every guard kind and broadcast moves sprinkled over it.
 fn random_guarded(rng: &mut StdRng) -> GuardedTemplate {
-    let cfg = RandomTemplateConfig {
-        states: rng.random_range(1usize..5),
-        ..RandomTemplateConfig::default()
+    let cfg = RandomGuardedConfig {
+        base: RandomTemplateConfig {
+            states: rng.random_range(1usize..5),
+            ..RandomTemplateConfig::default()
+        },
+        ..RandomGuardedConfig::default()
     };
-    let base = random_template(rng, &cfg);
-    let mut b = GuardedBuilder::new();
-    for q in 0..base.num_states() as u32 {
-        b.state(base.state_name(q), base.labels(q).to_vec());
-    }
-    let num_states = base.num_states() as u32;
-    for q in 0..num_states {
-        for &q2 in base.successors(q) {
-            let mut guards = Vec::new();
-            for _ in 0..rng.random_range(0..3u32) {
-                let bound = rng.random_range(0u32..4);
-                guards.push(match rng.random_range(0..4u32) {
-                    0 => Guard::at_most(["p", "q"][rng.random_range(0..2usize)], bound),
-                    1 => Guard::at_least(["p", "q"][rng.random_range(0..2usize)], bound),
-                    2 => Guard::state_at_most(rng.random_range(0..num_states), bound),
-                    _ => Guard::state_at_least(rng.random_range(0..num_states), bound),
-                });
-            }
-            b.edge_guarded(q, q2, guards);
-        }
-    }
-    b.build(base.initial())
+    random_guarded_template(rng, &cfg)
 }
 
 fn random_spec(rng: &mut StdRng) -> CountingSpec {

@@ -215,6 +215,44 @@ fn raw_protocol_lines_work_without_the_client() {
     assert_eq!(report.job_id, id);
     assert!(report.all_hold());
 
+    // A broadcast job over the raw socket: `bcast` clauses and the
+    // `==`/`in` guard forms are ordinary payload text (PROTOCOL.md §2.1).
+    writeln!(writer, "SUBMIT").unwrap();
+    writeln!(
+        writer,
+        "job {{\n  template {{\n    state asleep [asleep];\n    state awake [awake];\n    \
+         init asleep;\n    edge asleep -> asleep;\n    edge awake -> awake;\n    \
+         bcast asleep -> awake [asleep -> awake] when @awake == 0;\n    \
+         bcast awake -> asleep [awake -> asleep] when @awake in 1..2;\n  }}\n  \
+         sizes 2 3;\n  check \"all or nothing\": AG (awake_ge1 -> asleep_eq0);\n}}"
+    )
+    .unwrap();
+    writeln!(writer, ".").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let bcast_id: u64 = line
+        .trim_end()
+        .strip_prefix("OK id ")
+        .expect("broadcast submit answer")
+        .parse()
+        .unwrap();
+    writeln!(writer, "RESULT {bcast_id}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK report");
+    let mut block = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end() == "." {
+            break;
+        }
+        block.push_str(&line);
+    }
+    let report = icstar_wire::parse_report(&block).unwrap();
+    assert_eq!(report.job_id, bcast_id);
+    assert!(report.all_hold());
+
     writeln!(writer, "NONSENSE").unwrap();
     line.clear();
     reader.read_line(&mut line).unwrap();

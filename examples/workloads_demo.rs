@@ -1,0 +1,141 @@
+//! The broadcast-era workload gallery at scale: the sense-reversing
+//! barrier, the MSI-style invalidation cache, and the reset/wake-up
+//! protocol — the three templates that need equality/interval guards and
+//! broadcast moves — verified end to end.
+//!
+//! Three phases, mirroring the gallery's promises (`docs/WORKLOADS.md`):
+//!
+//! 1. **Audit** — each workload's counter abstraction is cross-checked
+//!    against the explicit tuple-state composition at `n = 3` (the
+//!    bisimulation oracle; broadcasts included).
+//! 2. **Scale** — each workload's gallery properties are verified
+//!    through [`FamilyVerifier::verify_at_many`] on a shared service at
+//!    `n = 100` and `n = 100,000`: a broadcast is one O(|S|) abstract
+//!    transition, so one hundred thousand synchronized copies cost a
+//!    linear-sized graph.
+//! 3. **Wire** — the canonical barrier job fixture (`BARRIER_JOB_WIRE`,
+//!    `bcast` clauses and all) goes over a real TCP socket, and every
+//!    wire verdict is audited against the in-process batch path.
+//!
+//! Run with: `cargo run --release --example workloads_demo`
+
+use std::time::Instant;
+
+use icstar::{FamilyVerifier, ServeConfig, VerifyService};
+use icstar_logic::parse_state;
+use icstar_nets::fixtures::BARRIER_JOB_WIRE;
+use icstar_sym::{barrier_template, msi_template, wakeup_template, GuardedTemplate};
+use icstar_wire::{WireClient, WireServer};
+
+const BIG: u32 = 100_000;
+
+fn gallery() -> Vec<(&'static str, GuardedTemplate, Vec<&'static str>)> {
+    vec![
+        (
+            "barrier",
+            barrier_template(),
+            vec![
+                "AG (phase1_ge1 -> phase0_eq0)",
+                "AG (phase0_ge1 -> phase1_eq0)",
+                "forall i. AG (phase0[i] -> EF phase1[i])",
+            ],
+        ),
+        (
+            "msi",
+            msi_template(),
+            vec![
+                "AG !modified_ge2",
+                "AG (modified_ge1 -> shared_eq0)",
+                "AG (modified_ge1 -> one(modified))",
+            ],
+        ),
+        (
+            "wakeup",
+            wakeup_template(),
+            vec![
+                "AG ((awake_ge1 | working_ge1) -> asleep_eq0)",
+                "AG EF asleep_ge1",
+                "forall i. AG (asleep[i] -> EF working[i])",
+            ],
+        ),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== broadcast workloads: barrier, MSI, wake-up at n = {BIG} ==\n");
+
+    // ---- Phase 1: the abstraction oracle, broadcasts included ----
+    let started = Instant::now();
+    for (name, t, _) in gallery() {
+        FamilyVerifier::counter_abstracted(t).cross_check_abstraction(3)?;
+        println!("audit: {name} corresponds to the explicit composition at n = 3");
+    }
+    println!("oracle done in {:.2?}\n", started.elapsed());
+
+    // ---- Phase 2: the gallery properties at n = 100,000 ----
+    let service = VerifyService::start(ServeConfig::default());
+    for (name, t, props) in gallery() {
+        let mut verifier = FamilyVerifier::counter_abstracted(t);
+        for src in &props {
+            verifier.add_formula(*src, parse_state(src)?)?;
+        }
+        let phase = Instant::now();
+        let per_size = verifier.verify_at_many(&service, &[100, BIG])?;
+        for (n, verdicts) in &per_size {
+            for v in verdicts {
+                assert!(v.holds, "{name}: {} fails at n = {n}", v.name);
+            }
+        }
+        println!(
+            "{name:<8} {} properties hold at n = 100 and n = {BIG}  ({:.2?})",
+            props.len(),
+            phase.elapsed()
+        );
+    }
+    let stats = service.stats();
+    println!(
+        "\nservice: {} formulas checked, {} structures cached ({} abstract states)\n",
+        stats.formulas_checked, stats.cached_structures, stats.cached_abstract_states
+    );
+
+    // ---- Phase 3: the canonical broadcast job over TCP ----
+    let server = WireServer::bind("127.0.0.1:0", VerifyService::start(ServeConfig::default()))?;
+    let mut client = WireClient::connect(server.local_addr())?;
+    let wire_started = Instant::now();
+    let id = client.submit_text(BARRIER_JOB_WIRE)?;
+    let report = client.result(id)?;
+    assert!(report.all_hold(), "the canonical barrier job must hold");
+    for v in &report.verdicts {
+        println!("wire: job {id} | n = {:>6} | {:<22} holds", v.n, v.name);
+    }
+    // Audit: transport must not change semantics.
+    let mut verifier = FamilyVerifier::counter_abstracted(barrier_template());
+    verifier.add_formula(
+        "phase exclusion",
+        parse_state("AG (phase1_ge1 -> phase0_eq0)")?,
+    )?;
+    verifier.add_formula(
+        "progress possibility",
+        parse_state("forall i. AG (phase0[i] -> EF phase1[i])")?,
+    )?;
+    let local = VerifyService::start(ServeConfig::default());
+    let mut wire_verdicts = report.verdicts.iter();
+    for (n, verdicts) in verifier.verify_at_many(&local, &[4, BIG])? {
+        for v in verdicts {
+            let w = wire_verdicts.next().expect("same verdict count");
+            assert_eq!((w.name.as_str(), w.n), (v.name.as_str(), n));
+            assert_eq!(w.outcome, Ok(v.holds), "{} at n = {n}", v.name);
+        }
+    }
+    println!(
+        "\nwire verdicts audited against verify_at_many ({:.2?} for the wire phase)",
+        wire_started.elapsed()
+    );
+
+    client.quit()?;
+    server.shutdown();
+    println!(
+        "done: three broadcast workloads verified at n = {BIG}, over the library and the wire."
+    );
+    Ok(())
+}

@@ -185,3 +185,34 @@ fn guarded_mutex_family_cross_checks_at_small_sizes() {
         engine.cross_check(n).unwrap();
     }
 }
+
+#[test]
+fn random_broadcast_templates_correspond_to_explicit_composition() {
+    // The full template language under the oracle: random templates with
+    // every guard kind (threshold, equality, interval — proposition- and
+    // state-counting) and random broadcast moves must still be exactly
+    // abstracted: `verify_counter_abstraction` compares both the counter
+    // and the representative structure against the explicit tuple-state
+    // composition (`guarded_interleave`, which implements the broadcast
+    // semantics independently, copy by copy).
+    use icstar::icstar_sym::arb::{random_guarded_template, RandomGuardedConfig};
+    use icstar::icstar_sym::verify_counter_abstraction;
+    let cfg = RandomGuardedConfig::default();
+    let mut with_broadcasts = 0usize;
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(4_000 + seed);
+        let t = random_guarded_template(&mut rng, &cfg);
+        if t.has_broadcasts() {
+            with_broadcasts += 1;
+        }
+        for n in 0..=3u32 {
+            let spec = CountingSpec::exhaustive(&t, n.max(1));
+            verify_counter_abstraction(&t, n, &spec)
+                .unwrap_or_else(|e| panic!("seed {seed}, n = {n}: {e}"));
+        }
+    }
+    assert!(
+        with_broadcasts >= 10,
+        "only {with_broadcasts} templates had broadcasts"
+    );
+}

@@ -1,0 +1,112 @@
+//! The broadcast-era workload gallery, end to end: every shipped
+//! template is cross-checked against the explicit `interleave`-style
+//! composition at explicitly-buildable sizes (the abstraction oracle of
+//! `icstar_sym::verify_counter_abstraction`), and its gallery properties
+//! (`docs/WORKLOADS.md`) are verified through `FamilyVerifier` at sizes
+//! comfortable in debug builds. The `n = 100,000` runs live in
+//! `examples/workloads_demo.rs` (release CI).
+
+use icstar::FamilyVerifier;
+use icstar_logic::parse_state;
+use icstar_sym::{
+    barrier_template, msi_template, mutex_template, ring_station_template, wakeup_template,
+    GuardedTemplate, SymEngine,
+};
+
+/// Every guarded workload the repository ships, with its gallery
+/// properties (kept in sync with `docs/WORKLOADS.md`).
+fn gallery() -> Vec<(&'static str, GuardedTemplate, Vec<&'static str>)> {
+    vec![
+        (
+            "mutex",
+            mutex_template(),
+            vec!["AG !crit_ge2", "forall i. AG(try[i] -> EF crit[i])"],
+        ),
+        (
+            "ring-station",
+            ring_station_template(4, 1),
+            vec!["AG !s1_ge2", "AG !s2_ge2", "AG !s3_ge2"],
+        ),
+        (
+            "barrier",
+            barrier_template(),
+            vec![
+                "AG (phase1_ge1 -> phase0_eq0)",
+                "AG (phase0_ge1 -> phase1_eq0)",
+                "forall i. AG (phase0[i] -> EF phase1[i])",
+            ],
+        ),
+        (
+            "msi",
+            msi_template(),
+            vec![
+                "AG !modified_ge2",
+                "AG (modified_ge1 -> shared_eq0)",
+                "AG (modified_ge1 -> one(modified))",
+                "forall i. AG (invalid[i] -> EF modified[i])",
+            ],
+        ),
+        (
+            "wakeup",
+            wakeup_template(),
+            vec![
+                "AG ((awake_ge1 | working_ge1) -> asleep_eq0)",
+                "AG EF asleep_ge1",
+                "forall i. AG (asleep[i] -> EF working[i])",
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn every_workload_cross_checks_against_the_explicit_composition() {
+    // The soundness oracle: counter and representative structures must
+    // correspond (paper Section 3 sense) to the explicit tuple-state
+    // composition — broadcasts and all — at every small n.
+    for (name, t, _) in gallery() {
+        let engine = SymEngine::new(t);
+        for n in 1..=4u32 {
+            engine
+                .cross_check(n)
+                .unwrap_or_else(|e| panic!("{name} at n = {n}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn gallery_properties_hold_at_moderate_sizes() {
+    for (name, t, props) in gallery() {
+        let mut verifier = FamilyVerifier::counter_abstracted(t);
+        for src in &props {
+            verifier
+                .add_formula(*src, parse_state(src).unwrap())
+                .unwrap();
+        }
+        for n in [1u32, 2, 5, 200] {
+            let verdicts = verifier.verify_at(n).unwrap();
+            for v in &verdicts {
+                assert!(v.holds, "{name}: {} fails at n = {n}", v.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn broadcast_workloads_are_not_free_and_fingerprint_distinctly() {
+    let all: Vec<(&str, GuardedTemplate)> = gallery()
+        .into_iter()
+        .map(|(name, t, _)| (name, t))
+        .collect();
+    for (name, t) in &all {
+        assert!(!t.is_free(), "{name}");
+    }
+    for (i, (na, a)) in all.iter().enumerate() {
+        for (nb, b) in all.iter().skip(i + 1) {
+            assert_ne!(a.fingerprint(), b.fingerprint(), "{na} vs {nb}");
+        }
+    }
+    // The three new ones actually use broadcasts.
+    assert_eq!(barrier_template().broadcasts().len(), 2);
+    assert_eq!(msi_template().broadcasts().len(), 3);
+    assert_eq!(wakeup_template().broadcasts().len(), 2);
+}
