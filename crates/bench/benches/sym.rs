@@ -91,6 +91,31 @@ fn bench_mutex_verification(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_representative_width(c: &mut Criterion) {
+    // The multi-representative construction: building the width-k
+    // structure and answering a depth-k query. Width 2 pays |S|× more
+    // states than width 1 — this group pins that factor so regressions
+    // in the locals-vector hot path are visible.
+    let mut group = c.benchmark_group("sym/representative-width");
+    group.sample_size(10);
+    let engine = SymEngine::new(mutex_template());
+    let n = 2_000u32;
+    for width in [1u32, 2] {
+        group.bench_with_input(BenchmarkId::new("build", width), &width, |b, &width| {
+            b.iter(|| engine.representative_structure(n, width).unwrap())
+        });
+    }
+    let depth1 = parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap();
+    let depth2 = parse_state("forall i. exists j. AG(crit[i] -> !crit[j])").unwrap();
+    for (label, f) in [("depth1", &depth1), ("depth2", &depth2)] {
+        group.bench_with_input(BenchmarkId::new("check", label), &f, |b, f| {
+            let mut session = engine.session(n);
+            b.iter(|| assert!(session.check(f).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 fn bench_cross_check(c: &mut Criterion) {
     let mut group = c.benchmark_group("sym/cross-check");
     group.sample_size(10);
@@ -109,6 +134,7 @@ criterion_group!(
     bench_abstract_vs_explicit,
     bench_sharded_exploration,
     bench_mutex_verification,
+    bench_representative_width,
     bench_cross_check
 );
 criterion_main!(benches);

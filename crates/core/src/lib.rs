@@ -86,8 +86,9 @@ pub use icstar_kripke::{
     CANONICAL_INDEX,
 };
 pub use icstar_logic::{
-    build, check_restricted, is_closed, is_ctl, parse_path, parse_state, quantifier_depth,
-    IndexTerm, ParseError, PathFormula, RestrictionError, StateFormula,
+    build, check_restricted, expand_representatives, is_closed, is_ctl, parse_path, parse_state,
+    quantifier_depth, restricted_depth, IndexTerm, ParseError, PathFormula, RestrictionError,
+    StateFormula,
 };
 pub use icstar_mc::{Checker, IndexedChecker, McError};
 pub use icstar_serve::{
@@ -95,8 +96,8 @@ pub use icstar_serve::{
     VerifyService,
 };
 pub use icstar_sym::{
-    barrier_template, msi_template, mutex_template, ring_station_template,
-    verify_counter_abstraction, wakeup_template, Broadcast, CounterState, CounterSystem,
+    barrier_template, msi_template, mutex_template, required_rep_width, ring_station_template,
+    verify_counter_abstraction, wakeup_template, Broadcast, CheckRun, CounterState, CounterSystem,
     CountingSpec, Guard, GuardedBuilder, GuardedTemplate, SymEngine, SymError,
 };
 

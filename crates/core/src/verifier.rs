@@ -108,6 +108,25 @@ pub struct Verdict {
     /// Whether it holds — on the base instance, and therefore (by
     /// Theorem 5) on the target instance.
     pub holds: bool,
+    /// How many distinguished copies the counter backend's
+    /// representative construction tracked for this formula — the
+    /// smallest sufficient width, i.e. the quantifier nesting depth
+    /// capped at the family size. `0` when the formula was answered on
+    /// the plain counter structure (quantifier-free, or `n = 0`) and on
+    /// the explicit-transfer backend (which never abstracts).
+    pub rep_width: u32,
+}
+
+impl Verdict {
+    /// A verdict with no representative width (the explicit-transfer
+    /// backend, or a counting formula).
+    fn plain(name: impl Into<String>, holds: bool) -> Self {
+        Verdict {
+            name: name.into(),
+            holds,
+            rep_width: 0,
+        }
+    }
 }
 
 /// Verifies closed restricted ICTL* formulas for a whole family of
@@ -204,34 +223,43 @@ impl<'a> FamilyVerifier<'a> {
     /// Registers a formula to verify.
     ///
     /// On the explicit-transfer backend it must be closed restricted
-    /// ICTL* — otherwise the correspondence theorem does not apply and
-    /// the verdict would not transfer. The counter-abstraction backend is
-    /// exact at the target size, so *quantifier-free* formulas over
-    /// counting atoms are accepted without the restriction (even with the
-    /// nexttime operator); quantified formulas still must be restricted,
-    /// the representative construction's soundness boundary
-    /// ([`icstar_sym::SymEngine::check_indexed`]).
+    /// ICTL* (quantifier nesting depth ≤ 1) — otherwise the
+    /// correspondence theorem does not apply and the verdict would not
+    /// transfer. The counter-abstraction backend is exact at the target
+    /// size, so *quantifier-free* formulas over counting atoms are
+    /// accepted without the restriction (even with the nexttime
+    /// operator); quantified formulas must be closed **k-restricted**
+    /// ICTL* ([`icstar_logic::restricted_depth`]) — quantifiers may nest
+    /// to any depth `k`, and [`FamilyVerifier::verify_at`] routes each
+    /// formula through the smallest sufficient representative width
+    /// (`min(k, n)`, surfaced as [`Verdict::rep_width`]).
     ///
     /// # Errors
     ///
     /// Returns [`FamilyError::NotRestricted`] for formulas outside the
-    /// backend's fragment (e.g. nested index quantifiers, quantifiers
-    /// under `U`, or — on the explicit backend — any use of `X`).
+    /// backend's fragment (e.g. quantifiers under `U`, or — on the
+    /// explicit backend — nested index quantifiers or any use of `X`).
     pub fn add_formula(
         &mut self,
         name: impl Into<String>,
         f: StateFormula,
     ) -> Result<&mut Self, FamilyError> {
         let name = name.into();
-        let needs_restriction = match &self.backend {
-            Backend::Explicit { .. } => true,
+        match &self.backend {
+            Backend::Explicit { .. } => {
+                check_restricted(&f).map_err(|e| FamilyError::NotRestricted(name.clone(), e))?;
+            }
             // Quantifier-free counting formulas transfer exactly through
             // the strong-bisimulation quotient; the engine validates
-            // their atoms at verify time.
-            Backend::Counter { .. } => icstar_logic::has_index_quantifier(&f),
-        };
-        if needs_restriction {
-            check_restricted(&f).map_err(|e| FamilyError::NotRestricted(name.clone(), e))?;
+            // their atoms at verify time. Quantified ones must sit in
+            // the k-restricted fragment the representative construction
+            // is sound for.
+            Backend::Counter { .. } => {
+                if icstar_logic::has_index_quantifier(&f) {
+                    icstar_logic::restricted_depth(&f)
+                        .map_err(|e| FamilyError::NotRestricted(name.clone(), e))?;
+                }
+            }
         }
         self.formulas.push((name, f));
         Ok(self)
@@ -252,12 +280,7 @@ impl<'a> FamilyVerifier<'a> {
         let mut chk = IndexedChecker::new(base);
         self.formulas
             .iter()
-            .map(|(name, f)| {
-                Ok(Verdict {
-                    name: name.clone(),
-                    holds: chk.holds(f)?,
-                })
-            })
+            .map(|(name, f)| Ok(Verdict::plain(name.clone(), chk.holds(f)?)))
             .collect()
     }
 
@@ -295,15 +318,18 @@ impl<'a> FamilyVerifier<'a> {
         let Backend::Counter { engine } = &self.backend else {
             return Err(FamilyError::BackendMismatch("verify_at"));
         };
-        // One session: the counter and representative structures are
-        // materialized at most once each, shared by all formulas.
+        // One session: the counter structure and one representative
+        // structure per required width are materialized at most once
+        // each, shared by all formulas.
         let mut session = engine.session(n);
         self.formulas
             .iter()
             .map(|(name, f)| {
+                let run = session.check_described(f)?;
                 Ok(Verdict {
                     name: name.clone(),
-                    holds: session.check(f)?,
+                    holds: run.holds,
+                    rep_width: run.rep_width,
                 })
             })
             .collect()
@@ -375,6 +401,7 @@ impl<'a> FamilyVerifier<'a> {
                         Ok(holds) => Ok(Verdict {
                             name: v.name.clone(),
                             holds: *holds,
+                            rep_width: v.rep_width,
                         }),
                         Err(e) => Err(FamilyError::Sym(e.clone())),
                     })
@@ -466,9 +493,49 @@ mod tests {
             verdicts,
             vec![Verdict {
                 name: "p2".into(),
-                holds: true
+                holds: true,
+                rep_width: 0
             }]
         );
+    }
+
+    #[test]
+    fn counter_backend_routes_nested_formulas_to_width_two() {
+        // The explicit backend rejects nesting (Theorem 5's fragment)...
+        let base = ring_mutex(2);
+        let mut explicit = FamilyVerifier::new(base.structure());
+        let nested = parse_state("forall i. exists j. AG(c[i] -> !c[j])").unwrap();
+        let err = explicit.add_formula("pairs", nested.clone()).unwrap_err();
+        assert!(matches!(
+            err,
+            FamilyError::NotRestricted(_, icstar_logic::RestrictionError::NestedQuantifier)
+        ));
+
+        // ...while the counter backend accepts it and reports the width
+        // it tracked.
+        let mut v = FamilyVerifier::counter_abstracted(icstar_sym::mutex_template());
+        v.add_formula(
+            "pairs",
+            parse_state("forall i. exists j. AG(crit[i] -> !crit[j])").unwrap(),
+        )
+        .unwrap();
+        v.add_formula("mutex", parse_state("AG !crit_ge2").unwrap())
+            .unwrap();
+        for n in [2u32, 10, 200] {
+            let verdicts = v.verify_at(n).unwrap();
+            assert_eq!(verdicts[0].rep_width, 2, "n = {n}");
+            assert!(verdicts[0].holds, "n = {n}");
+            assert_eq!(verdicts[1].rep_width, 0, "n = {n}");
+            assert!(verdicts[1].holds, "n = {n}");
+        }
+        // Quantifiers under until-like operators stay out, even nested.
+        let err = v
+            .add_formula(
+                "bad",
+                parse_state("forall i. EF (exists j. crit[j])").unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, FamilyError::NotRestricted(..)));
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   and no index quantifier inside the operands of `U` (hence also `F`,
 //!   `G`, `R`, which are until-derived). Without it the logic counts
 //!   processes (Fig. 4.1).
+//! * [`restricted_depth`] — the *k-restricted* generalization used by the
+//!   multi-representative counter backend: quantifiers may nest to any
+//!   depth `k` (they are still barred from `U`-like operands, so every
+//!   quantifier is evaluated at the symmetric initial state), and the
+//!   check reports the depth so the backend can pick `k` tracked copies.
 //! * [`is_ctl`] — detects the CTL fragment, which the model checker
 //!   dispatches to the linear-time labeling algorithm.
 
@@ -24,7 +29,9 @@ pub enum RestrictionError {
     /// The nexttime operator appears; the logic excludes it entirely.
     NextUsed,
     /// An index quantifier appears inside the body of another index
-    /// quantifier.
+    /// quantifier (only reported by [`check_restricted`], the depth ≤ 1
+    /// fragment; [`restricted_depth`] admits nesting and reports the
+    /// depth instead).
     NestedQuantifier,
     /// An index quantifier appears inside an operand of `U`/`R`/`F`/`G`.
     QuantifierInUntil,
@@ -224,12 +231,40 @@ fn quantifier_depth_path(p: &PathFormula) -> usize {
 
 /// Checks the Section 4 restriction for closed ICTL* formulas.
 ///
+/// Equivalent to [`restricted_depth`] plus the demand that quantifiers do
+/// not nest (depth ≤ 1) — the fragment the paper's Theorem 5 transfers
+/// through a *single* index correspondence. The counter backend's
+/// multi-representative construction lifts the depth bound; use
+/// [`restricted_depth`] there.
+///
 /// # Errors
 ///
 /// Returns the first violation found: nexttime use, nested quantifiers,
 /// quantifiers under until-like operators, free variables, or constant
 /// indices.
 pub fn check_restricted(f: &StateFormula) -> Result<(), RestrictionError> {
+    if restricted_depth(f)? > 1 {
+        return Err(RestrictionError::NestedQuantifier);
+    }
+    Ok(())
+}
+
+/// Checks the *k-restricted* fragment and returns the quantifier nesting
+/// depth `k`: the formula must be closed, constant-index-free,
+/// nexttime-free, and keep every index quantifier outside the operands of
+/// `U`/`R`/`F`/`G` — but quantifiers may nest to any depth. Every
+/// quantifier is then evaluated only at the (symmetric) initial state,
+/// which is what makes checking over `k` distinguished representative
+/// copies exact.
+///
+/// Depth 0 means quantifier-free; [`check_restricted`] is this check with
+/// the additional demand `k ≤ 1`.
+///
+/// # Errors
+///
+/// Returns the first violation found: nexttime use, quantifiers under
+/// until-like operators, free variables, or constant indices.
+pub fn restricted_depth(f: &StateFormula) -> Result<usize, RestrictionError> {
     if uses_next(f) {
         return Err(RestrictionError::NextUsed);
     }
@@ -239,52 +274,44 @@ pub fn check_restricted(f: &StateFormula) -> Result<(), RestrictionError> {
     if has_const_index(f) {
         return Err(RestrictionError::ConstantIndex);
     }
-    restricted_state(f, false)
+    restricted_state(f)?;
+    Ok(quantifier_depth(f))
 }
 
-fn restricted_state(f: &StateFormula, under_quant: bool) -> Result<(), RestrictionError> {
+fn restricted_state(f: &StateFormula) -> Result<(), RestrictionError> {
     use StateFormula::*;
     match f {
         True | False | Prop(_) | Indexed(..) | ExactlyOne(_) => Ok(()),
-        ForallIdx(_, g) | ExistsIdx(_, g) => {
-            if under_quant {
-                return Err(RestrictionError::NestedQuantifier);
-            }
-            if has_index_quantifier(g) {
-                return Err(RestrictionError::NestedQuantifier);
-            }
-            restricted_state(g, true)
-        }
-        Not(g) => restricted_state(g, under_quant),
+        ForallIdx(_, g) | ExistsIdx(_, g) | Not(g) => restricted_state(g),
         And(a, b) | Or(a, b) | Implies(a, b) | Iff(a, b) => {
-            restricted_state(a, under_quant)?;
-            restricted_state(b, under_quant)
+            restricted_state(a)?;
+            restricted_state(b)
         }
-        Exists(p) | All(p) => restricted_path(p, under_quant),
+        Exists(p) | All(p) => restricted_path(p),
     }
 }
 
-fn restricted_path(p: &PathFormula, under_quant: bool) -> Result<(), RestrictionError> {
+fn restricted_path(p: &PathFormula) -> Result<(), RestrictionError> {
     use PathFormula::*;
     match p {
-        State(f) => restricted_state(f, under_quant),
-        Not(g) => restricted_path(g, under_quant),
+        State(f) => restricted_state(f),
+        Not(g) => restricted_path(g),
         And(a, b) | Or(a, b) | Implies(a, b) => {
-            restricted_path(a, under_quant)?;
-            restricted_path(b, under_quant)
+            restricted_path(a)?;
+            restricted_path(b)
         }
         Until(a, b) | Release(a, b) => {
             if has_index_quantifier_path(a) || has_index_quantifier_path(b) {
                 return Err(RestrictionError::QuantifierInUntil);
             }
-            restricted_path(a, under_quant)?;
-            restricted_path(b, under_quant)
+            restricted_path(a)?;
+            restricted_path(b)
         }
         Eventually(g) | Globally(g) => {
             if has_index_quantifier_path(g) {
                 return Err(RestrictionError::QuantifierInUntil);
             }
-            restricted_path(g, under_quant)
+            restricted_path(g)
         }
         Next(_) => Err(RestrictionError::NextUsed),
     }
@@ -466,6 +493,44 @@ mod tests {
         assert_eq!(quantifier_depth(&parse_state("forall i. p[i]").unwrap()), 1);
         let f = parse_state("exists i. a[i] & EF(b[i] & (exists j. a[j]))").unwrap();
         assert_eq!(quantifier_depth(&f), 2);
+    }
+
+    #[test]
+    fn restricted_depth_admits_nesting_and_reports_k() {
+        for (src, k) in [
+            ("AG p", 0),
+            ("forall i. AG(d[i] -> AF c[i])", 1),
+            ("forall i. exists j. AG(c[i] -> !c[j])", 2),
+            ("forall i. forall j. exists l. p[i] & (q[j] | p[l])", 3),
+            ("(forall i. EF p[i]) & (exists j. EF q[j])", 1),
+        ] {
+            let f = parse_state(src).unwrap();
+            assert_eq!(restricted_depth(&f), Ok(k), "{src}");
+        }
+    }
+
+    #[test]
+    fn restricted_depth_keeps_the_until_and_closure_rules() {
+        assert_eq!(
+            restricted_depth(&parse_state("forall i. EF (exists j. p[j] & q[i])").unwrap()),
+            Err(RestrictionError::QuantifierInUntil)
+        );
+        assert_eq!(
+            restricted_depth(&parse_state("AG (exists i. b[i])").unwrap()),
+            Err(RestrictionError::QuantifierInUntil)
+        );
+        assert_eq!(
+            restricted_depth(&parse_state("forall i. EX p[i]").unwrap()),
+            Err(RestrictionError::NextUsed)
+        );
+        assert_eq!(
+            restricted_depth(&parse_state("exists i. p[i] & q[j]").unwrap()),
+            Err(RestrictionError::FreeIndexVariable("j".into()))
+        );
+        assert_eq!(
+            restricted_depth(&parse_state("exists i. p[i] & q[2]").unwrap()),
+            Err(RestrictionError::ConstantIndex)
+        );
     }
 
     #[test]

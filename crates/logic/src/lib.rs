@@ -10,7 +10,10 @@
 //!   `⋀_i f(i)` (`forall i.`) / `⋁_i f(i)` (`exists i.`);
 //! * the **restriction** making the logic correspondence-invariant: no
 //!   nested index quantifiers and none inside `U` operands
-//!   ([`check_restricted`]);
+//!   ([`check_restricted`]), plus its *k-restricted* generalization
+//!   ([`restricted_depth`]) where quantifiers nest to depth `k` and the
+//!   canonical index-tuple expansion ([`expand_representatives`])
+//!   evaluates them over `k` representative copies;
 //! * the **"exactly one"** extension `Θ P` (`one(P)`).
 //!
 //! This crate provides the AST ([`StateFormula`], [`PathFormula`]), a
@@ -39,6 +42,7 @@ mod ast;
 mod parse;
 mod print;
 mod subst;
+mod tuples;
 
 pub mod arb;
 pub mod check;
@@ -47,8 +51,10 @@ pub mod nnf;
 pub use ast::{build, IndexTerm, PathFormula, StateFormula};
 pub use check::{
     check_restricted, collapse_states, free_index_vars, has_const_index, has_index_quantifier,
-    is_closed, is_ctl, quantifier_depth, uses_next, uses_next_path, RestrictionError,
+    is_closed, is_ctl, quantifier_depth, restricted_depth, uses_next, uses_next_path,
+    RestrictionError,
 };
 pub use nnf::{nnf_path, Nnf};
 pub use parse::{parse_path, parse_state, ParseError};
 pub use subst::{substitute_index, substitute_index_path};
+pub use tuples::expand_representatives;

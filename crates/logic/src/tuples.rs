@@ -1,0 +1,209 @@
+//! Index-tuple expansion over representative copies.
+//!
+//! The multi-representative counter backend tracks `width` distinguished
+//! copies (canonical indices `1..=width`) and abstracts the rest. A
+//! nested quantifier prefix over `n` interchangeable copies then reduces
+//! to a *finite case split over equality patterns*: at the symmetric
+//! initial state, any index tuple is equivalent — under a symmetry fixing
+//! the indices already chosen — to the canonical tuple that reuses the
+//! values bound so far or picks the single next fresh representative.
+//!
+//! Concretely, with `d` distinct values already substituted on the path
+//! from the root, a quantifier ranges over `1..=min(d + 1, width)`:
+//! every previously bound value (the "equal to an outer index" cases)
+//! plus one fresh representative (all remaining `n - d` copies are
+//! interchangeable, so one stands for them all). With
+//! `width = min(depth, n)` this is *exactly* the quantifier semantics of
+//! the explicit `n`-copy composition — including the `n < depth` corner,
+//! where no fresh copy is left and the quantifier collapses onto the
+//! bound values.
+//!
+//! This replaces the single-index expansion (`forall i. φ(i)` ↦ `φ(1)`)
+//! the depth-1 representative construction used: that is the `width = 1`
+//! instance. Unlike [`crate::substitute_index`]-based expansion over a
+//! full index set (`k^depth` tuples), the canonical expansion enumerates
+//! only the distinguishable patterns.
+
+use crate::ast::{PathFormula, StateFormula};
+use crate::subst::substitute_index;
+
+/// Expands every index quantifier over the canonical representative
+/// tuples for `width` tracked copies: a quantifier with `d` outer values
+/// in scope becomes a conjunction/disjunction over `1..=min(d + 1, width)`.
+/// The result is quantifier-free, with constant indexed atoms `p[c]`,
+/// `c ∈ 1..=width`, ready for a checker over a `width`-representative
+/// structure.
+///
+/// Sound only where the formula is k-restricted
+/// ([`crate::restricted_depth`]) and evaluated at the symmetric initial
+/// state of a fully symmetric composition with `n ≥ width` copies (and
+/// `width = min(depth, n)`).
+///
+/// A `width` of zero expands quantifiers over the empty index set
+/// (`forall` ⇒ true, `exists` ⇒ false), matching the `n = 0` semantics.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_logic::{expand_representatives, parse_state};
+///
+/// let f = parse_state("forall i. exists j. AG(c[i] -> !c[j])")?;
+/// assert_eq!(
+///     expand_representatives(&f, 2).to_string(),
+///     "AG (c[1] -> !c[1]) | AG (c[1] -> !c[2])"
+/// );
+/// // The outer forall needs only the first representative: with no
+/// // values in scope, all n copies are interchangeable.
+/// # Ok::<(), icstar_logic::ParseError>(())
+/// ```
+pub fn expand_representatives(f: &StateFormula, width: u32) -> StateFormula {
+    expand_state(f, width, 0)
+}
+
+fn expand_state(f: &StateFormula, width: u32, bound: u32) -> StateFormula {
+    use StateFormula::*;
+    match f {
+        True | False | Prop(_) | Indexed(..) | ExactlyOne(_) => f.clone(),
+        Not(g) => expand_state(g, width, bound).not(),
+        And(a, b) => expand_state(a, width, bound).and(expand_state(b, width, bound)),
+        Or(a, b) => expand_state(a, width, bound).or(expand_state(b, width, bound)),
+        Implies(a, b) => expand_state(a, width, bound).implies(expand_state(b, width, bound)),
+        Iff(a, b) => expand_state(a, width, bound).iff(expand_state(b, width, bound)),
+        Exists(p) => StateFormula::Exists(Box::new(expand_path(p, width, bound))),
+        All(p) => StateFormula::All(Box::new(expand_path(p, width, bound))),
+        ForallIdx(v, g) => StateFormula::conj(
+            candidates(width, bound)
+                .map(|c| expand_state(&substitute_index(g, v, c), width, bound.max(c))),
+        ),
+        ExistsIdx(v, g) => StateFormula::disj(
+            candidates(width, bound)
+                .map(|c| expand_state(&substitute_index(g, v, c), width, bound.max(c))),
+        ),
+    }
+}
+
+/// The canonical values a quantifier ranges over with `bound` distinct
+/// outer values in scope: each of them, plus one fresh representative if
+/// any is left.
+fn candidates(width: u32, bound: u32) -> impl Iterator<Item = icstar_kripke::Index> {
+    (1..=(bound + 1).min(width)).map(|c| c as icstar_kripke::Index)
+}
+
+fn expand_path(p: &PathFormula, width: u32, bound: u32) -> PathFormula {
+    use PathFormula::*;
+    match p {
+        // Restricted formulas carry no quantifier under temporal
+        // operators, so bound values can only be *used* down here —
+        // substitution has already happened. Recursing keeps the function
+        // total on unrestricted input anyway.
+        State(f) => State(Box::new(expand_state(f, width, bound))),
+        Not(g) => Not(Box::new(expand_path(g, width, bound))),
+        And(a, b) => And(
+            Box::new(expand_path(a, width, bound)),
+            Box::new(expand_path(b, width, bound)),
+        ),
+        Or(a, b) => Or(
+            Box::new(expand_path(a, width, bound)),
+            Box::new(expand_path(b, width, bound)),
+        ),
+        Implies(a, b) => Implies(
+            Box::new(expand_path(a, width, bound)),
+            Box::new(expand_path(b, width, bound)),
+        ),
+        Until(a, b) => Until(
+            Box::new(expand_path(a, width, bound)),
+            Box::new(expand_path(b, width, bound)),
+        ),
+        Release(a, b) => Release(
+            Box::new(expand_path(a, width, bound)),
+            Box::new(expand_path(b, width, bound)),
+        ),
+        Eventually(g) => Eventually(Box::new(expand_path(g, width, bound))),
+        Globally(g) => Globally(Box::new(expand_path(g, width, bound))),
+        Next(g) => Next(Box::new(expand_path(g, width, bound))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::free_index_vars;
+    use crate::parse::parse_state;
+
+    fn expanded(src: &str, width: u32) -> String {
+        expand_representatives(&parse_state(src).unwrap(), width).to_string()
+    }
+
+    #[test]
+    fn depth_one_is_the_single_representative() {
+        assert_eq!(expanded("forall i. EF c[i]", 1), "EF c[1]");
+        assert_eq!(expanded("exists i. EF c[i]", 1), "EF c[1]");
+        // Extra width is never used by the outermost quantifier.
+        assert_eq!(expanded("forall i. EF c[i]", 4), "EF c[1]");
+    }
+
+    #[test]
+    fn depth_two_splits_on_the_equality_pattern() {
+        assert_eq!(
+            expanded("forall i. forall j. AG(c[i] -> !c[j])", 2),
+            "AG (c[1] -> !c[1]) & AG (c[1] -> !c[2])"
+        );
+        assert_eq!(
+            expanded("exists i. exists j. p[i] & q[j]", 2),
+            "p[1] & q[1] | p[1] & q[2]"
+        );
+    }
+
+    #[test]
+    fn width_caps_the_fresh_representatives() {
+        // depth 2 but width 1 (an n = 1 family): no distinct pair exists.
+        assert_eq!(
+            expanded("forall i. exists j. p[i] & q[j]", 1),
+            "p[1] & q[1]"
+        );
+        // depth 3 at width 2: the innermost quantifier reuses both values.
+        assert_eq!(
+            expanded("forall i. forall j. exists l. r[l]", 2),
+            "(r[1] | r[2]) & (r[1] | r[2])"
+        );
+    }
+
+    #[test]
+    fn width_zero_is_the_empty_index_set() {
+        assert_eq!(
+            expand_representatives(&parse_state("forall i. c[i]").unwrap(), 0),
+            StateFormula::True
+        );
+        assert_eq!(
+            expand_representatives(&parse_state("exists i. c[i]").unwrap(), 0),
+            StateFormula::False
+        );
+    }
+
+    #[test]
+    fn sibling_quantifiers_do_not_widen_each_other() {
+        // Two independent depth-1 quantifiers both use representative 1.
+        assert_eq!(
+            expanded("(forall i. EF p[i]) & (exists j. EF q[j])", 2),
+            "EF p[1] & EF q[1]"
+        );
+    }
+
+    #[test]
+    fn result_is_closed_and_quantifier_free() {
+        let f = parse_state("forall i. exists j. AG(c[i] -> !c[j])").unwrap();
+        let e = expand_representatives(&f, 2);
+        assert!(free_index_vars(&e).is_empty());
+        assert!(!crate::check::has_index_quantifier(&e));
+    }
+
+    #[test]
+    fn shadowing_rebinds_the_inner_variable() {
+        // The inner `i` shadows the outer one; it still case-splits over
+        // {outer value, fresh}.
+        assert_eq!(
+            expanded("forall i. p[i] & (exists i. q[i])", 2),
+            "p[1] & (q[1] | q[2])"
+        );
+    }
+}

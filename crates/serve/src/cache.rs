@@ -2,9 +2,11 @@
 //!
 //! Materializing an abstract structure is the expensive step of every
 //! verification — everything after it is graph traversal. The cache maps
-//! `(template, spec, n)` to the materialized structure behind an
+//! `(template, spec, n, width)` to the materialized structure behind an
 //! [`Arc`], so concurrent jobs over the same family share one copy and
-//! repeated queries are near-free.
+//! repeated queries are near-free. Counter graphs carry width 0;
+//! representative structures carry their number of tracked copies, so a
+//! depth-1 and a depth-2 structure of the same family never collide.
 //!
 //! Identity is **structural, verified**: entries are bucketed by the
 //! fast 64-bit [`CacheKey`] ([`GuardedTemplate::fingerprint`] /
@@ -13,6 +15,24 @@
 //! fingerprint collision costs one extra bucket entry, never a wrong
 //! structure. (A verification service must not return confidently wrong
 //! verdicts because two workloads happened to share a hash.)
+//!
+//! Growth is **bounded, by weight**: an optional budget caps the total
+//! abstract-state count across materialized entries
+//! ([`GraphCache::with_budget`]). When an insertion pushes the cache
+//! over budget, least-recently-used entries are evicted until it fits.
+//! The structure just built is exempt from its *own* builder's
+//! enforcement pass (evicting it immediately would thrash the hot
+//! entry); a concurrent insertion elsewhere may still pick it as the
+//! LRU victim, which costs a rebuild later but never a wrong answer —
+//! outstanding [`Arc`] handles keep an evicted structure alive until
+//! their holders drop it; eviction only forgets the cache's copy.
+//! Weight is states, not entries — one `n = 10⁶` counter graph
+//! outweighs thousands of small ones, which is exactly how the memory
+//! footprint behaves. Recency is stamped by a global logical clock on
+//! every hit, and the precise LRU scan runs under the shard locks one
+//! shard at a time — approximate under concurrency, exact when
+//! quiescent — gated behind a lock-free resident-weight estimate so
+//! requests far under budget pay one atomic load, not a scan.
 //!
 //! Concurrency is two-layered:
 //!
@@ -27,14 +47,15 @@
 //!   structures proceed in parallel.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use icstar_kripke::{IndexedKripke, Kripke};
 use icstar_sym::{CountingSpec, GuardedTemplate, SymError};
 
-/// The bucket key of one family: fingerprints plus size. Fast to hash
-/// and compare; entries under one key are disambiguated structurally.
+/// The bucket key of one family: fingerprints plus size and
+/// representative width (0 = the counter graph). Fast to hash and
+/// compare; entries under one key are disambiguated structurally.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// [`GuardedTemplate::fingerprint`] of the template.
@@ -43,15 +64,20 @@ pub struct CacheKey {
     pub spec: u64,
     /// The family size.
     pub n: u32,
+    /// Distinguished copies tracked by the structure: 0 for the counter
+    /// graph, `k ≥ 1` for a width-`k` representative structure.
+    pub width: u32,
 }
 
 impl CacheKey {
-    /// The key of `template` with labeling `spec` at size `n`.
-    pub fn of(template: &GuardedTemplate, spec: &CountingSpec, n: u32) -> Self {
+    /// The key of `template` with labeling `spec` at size `n` and
+    /// representative width `width`.
+    pub fn of(template: &GuardedTemplate, spec: &CountingSpec, n: u32, width: u32) -> Self {
         CacheKey {
             template: template.fingerprint(),
             spec: spec.fingerprint(),
             n,
+            width,
         }
     }
 }
@@ -59,16 +85,26 @@ impl CacheKey {
 /// A build-once slot: filled exactly once, then shared.
 type Slot<T> = Arc<OnceLock<Result<Arc<T>, SymError>>>;
 
-/// One verified entry: the workload it is for, and its slot.
+/// One verified entry: the workload it is for, its slot, and when it was
+/// last returned (logical clock; drives LRU eviction).
 struct Entry<T> {
     template: GuardedTemplate,
     spec: CountingSpec,
     slot: Slot<T>,
+    last_used: u64,
 }
 
 /// One sharded key→bucket map.
 struct Memo<T> {
     shards: Vec<Mutex<HashMap<CacheKey, Vec<Entry<T>>>>>,
+}
+
+fn shard_index(key: &CacheKey, shards: usize) -> usize {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % shards as u64) as usize
 }
 
 impl<T> Memo<T> {
@@ -82,21 +118,20 @@ impl<T> Memo<T> {
 
     /// The verified slot for the workload, and whether this call created
     /// it. Fingerprint-colliding workloads get separate bucket entries.
+    /// Stamps the entry's recency with `now`.
     fn slot(
         &self,
         key: CacheKey,
         template: &GuardedTemplate,
         spec: &CountingSpec,
+        now: u64,
     ) -> (Slot<T>, bool) {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        let shard = (h.finish() % self.shards.len() as u64) as usize;
+        let shard = shard_index(&key, self.shards.len());
         let mut map = self.shards[shard].lock().expect("cache shard poisoned");
         let bucket = map.entry(key).or_default();
-        for entry in bucket.iter() {
+        for entry in bucket.iter_mut() {
             if entry.template == *template && entry.spec == *spec {
+                entry.last_used = now;
                 return (Arc::clone(&entry.slot), false);
             }
         }
@@ -105,20 +140,26 @@ impl<T> Memo<T> {
             template: template.clone(),
             spec: spec.clone(),
             slot: Arc::clone(&slot),
+            last_used: now,
         });
         (slot, true)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn get_or_build(
         &self,
         key: CacheKey,
         template: &GuardedTemplate,
         spec: &CountingSpec,
+        now: u64,
         hits: &AtomicU64,
         misses: &AtomicU64,
+        resident: &AtomicI64,
+        pinned: &AtomicBool,
+        size: impl Fn(&T) -> usize,
         build: impl FnOnce() -> Result<T, SymError>,
     ) -> Result<Arc<T>, SymError> {
-        let (slot, created) = self.slot(key, template, spec);
+        let (slot, created) = self.slot(key, template, spec, now);
         if created {
             misses.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -126,7 +167,20 @@ impl<T> Memo<T> {
             // right now — both share the work, both are hits.
             hits.fetch_add(1, Ordering::Relaxed);
         }
-        slot.get_or_init(|| build().map(Arc::new)).clone()
+        let out = slot.get_or_init(|| build().map(Arc::new)).clone();
+        if created {
+            // Exactly one accounting add per entry: the inserter's (the
+            // slot may have been *filled* by a peer, but only one caller
+            // saw created == true). Estimate only — the eviction loop
+            // re-reads the precise total under the locks.
+            if let Ok(t) = &out {
+                resident.fetch_add(size(t) as i64, Ordering::Relaxed);
+            }
+            // The entry set changed: a pinned over-budget verdict may
+            // have new victims now.
+            pinned.store(false, Ordering::Relaxed);
+        }
+        out
     }
 
     fn len(&self) -> usize {
@@ -159,26 +213,123 @@ impl<T> Memo<T> {
             })
             .sum()
     }
+
+    /// The least-recently-used *materialized* entry other than `keep`:
+    /// its stamp, key, and weight. In-flight and errored slots are never
+    /// candidates (they weigh nothing, and evicting an in-flight build
+    /// would lose the build-once guarantee).
+    fn lru_candidate(
+        &self,
+        keep: CacheKey,
+        size: &impl Fn(&T) -> usize,
+    ) -> Option<(u64, CacheKey, u64)> {
+        let mut best: Option<(u64, CacheKey, u64)> = None;
+        for shard in &self.shards {
+            let map = shard.lock().expect("cache shard poisoned");
+            for (key, bucket) in map.iter() {
+                if *key == keep {
+                    continue;
+                }
+                for entry in bucket {
+                    let Some(Ok(t)) = entry.slot.get() else {
+                        continue;
+                    };
+                    if best.is_none_or(|(stamp, ..)| entry.last_used < stamp) {
+                        best = Some((entry.last_used, *key, size(t) as u64));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Removes the materialized entry under `key` stamped `stamp`,
+    /// returning its weight. `None` if a racing lookup re-stamped or a
+    /// racing eviction already removed it.
+    fn remove_stamped(
+        &self,
+        key: CacheKey,
+        stamp: u64,
+        size: &impl Fn(&T) -> usize,
+    ) -> Option<u64> {
+        let shard = shard_index(&key, self.shards.len());
+        let mut map = self.shards[shard].lock().expect("cache shard poisoned");
+        let bucket = map.get_mut(&key)?;
+        let idx = bucket
+            .iter()
+            .position(|e| e.last_used == stamp && matches!(e.slot.get(), Some(Ok(_))))?;
+        let entry = bucket.remove(idx);
+        if bucket.is_empty() {
+            map.remove(&key);
+        }
+        let weight = match entry.slot.get() {
+            Some(Ok(t)) => size(t) as u64,
+            _ => 0,
+        };
+        Some(weight)
+    }
 }
 
 /// The service-wide structure cache: counter graphs and representative
-/// structures, identified by workload (template + spec + size).
+/// structures, identified by workload (template + spec + size + width),
+/// optionally bounded by an abstract-state budget with LRU eviction.
 pub struct GraphCache {
     counter: Memo<Kripke>,
     rep: Memo<IndexedKripke>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Maximum total abstract states across materialized entries;
+    /// `u64::MAX` means unbounded.
+    budget_states: u64,
+    /// Logical clock stamping entry recency.
+    clock: AtomicU64,
+    /// Lock-free estimate of the resident materialized weight (abstract
+    /// states): incremented once per materialized entry, decremented on
+    /// eviction. May drift transiently negative under races (an entry
+    /// evicted before its inserter's add lands), which is why the
+    /// eviction loop re-reads the precise total under the shard locks —
+    /// the estimate only gates whether that scan runs at all.
+    resident: AtomicI64,
+    /// Set when an enforcement pass found the cache over budget with
+    /// nothing evictable (a single oversized resident entry): further
+    /// accesses skip the precise scan entirely until the entry set
+    /// changes (the next materialization clears it). Best-effort — a
+    /// racing set/clear costs at most a deferred scan, never a wrong
+    /// answer.
+    over_budget_pinned: AtomicBool,
+    evictions: AtomicU64,
+    evicted_states: AtomicU64,
 }
 
 impl GraphCache {
-    /// A cache with `shards` independent lock domains (clamped to ≥ 1).
+    /// An unbounded cache with `shards` independent lock domains
+    /// (clamped to ≥ 1).
     pub fn new(shards: usize) -> Self {
+        Self::with_budget(shards, u64::MAX)
+    }
+
+    /// A cache evicting least-recently-used structures once the total
+    /// abstract-state count of materialized entries exceeds
+    /// `budget_states` (a budget of 0 caches nothing durably: every
+    /// insertion immediately becomes evictable). Pass `u64::MAX` for
+    /// unbounded.
+    pub fn with_budget(shards: usize, budget_states: u64) -> Self {
         GraphCache {
             counter: Memo::new(shards),
             rep: Memo::new(shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            budget_states,
+            clock: AtomicU64::new(0),
+            resident: AtomicI64::new(0),
+            over_budget_pinned: AtomicBool::new(false),
+            evictions: AtomicU64::new(0),
+            evicted_states: AtomicU64::new(0),
         }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The counter structure of `template`/`spec` at size `n`, building
@@ -191,21 +342,35 @@ impl GraphCache {
         n: u32,
         build: impl FnOnce() -> Kripke,
     ) -> Arc<Kripke> {
-        self.counter
+        let key = CacheKey::of(template, spec, n, 0);
+        let out = self
+            .counter
             .get_or_build(
-                CacheKey::of(template, spec, n),
+                key,
                 template,
                 spec,
+                self.tick(),
                 &self.hits,
                 &self.misses,
+                &self.resident,
+                &self.over_budget_pinned,
+                Kripke::num_states,
                 || Ok(build()),
             )
-            .expect("counter builds are infallible")
+            .expect("counter builds are infallible");
+        self.enforce_budget(key);
+        out
     }
 
-    /// The representative structure of `template`/`spec` at size `n`;
-    /// build failures (e.g. [`SymError::EmptyFamily`]) are cached and
-    /// replayed like successes.
+    /// The width-`width` representative structure of `template`/`spec`
+    /// at size `n`; build failures (e.g. [`SymError::EmptyFamily`]) are
+    /// cached and replayed like successes.
+    ///
+    /// The key carries `width` verbatim — a nonsensical width-0 request
+    /// caches its own error under its own key and can never poison the
+    /// width-1 entry (representative and counter structures live in
+    /// separate maps, so width 0 cannot collide with a counter graph
+    /// either).
     ///
     /// # Errors
     ///
@@ -215,16 +380,73 @@ impl GraphCache {
         template: &GuardedTemplate,
         spec: &CountingSpec,
         n: u32,
+        width: u32,
         build: impl FnOnce() -> Result<IndexedKripke, SymError>,
     ) -> Result<Arc<IndexedKripke>, SymError> {
-        self.rep.get_or_build(
-            CacheKey::of(template, spec, n),
+        let key = CacheKey::of(template, spec, n, width);
+        let out = self.rep.get_or_build(
+            key,
             template,
             spec,
+            self.tick(),
             &self.hits,
             &self.misses,
+            &self.resident,
+            &self.over_budget_pinned,
+            |ik| ik.kripke().num_states(),
             build,
-        )
+        );
+        self.enforce_budget(key);
+        out
+    }
+
+    /// Evicts LRU entries until the materialized weight fits the budget.
+    /// The enforcement pass never evicts `just_used` — the entry *this
+    /// caller* just built or fetched (evicting it would thrash the hot
+    /// structure); a concurrent caller's pass exempts its own entry
+    /// instead, so under contention a just-built structure can still be
+    /// chosen as someone else's LRU victim (costing a later rebuild,
+    /// never a wrong answer — the holder's `Arc` stays valid).
+    fn enforce_budget(&self, just_used: CacheKey) {
+        if self.budget_states == u64::MAX {
+            return;
+        }
+        // Cheap gates: far under budget (the common case), or pinned
+        // over budget by a single unevictable entry — either way one
+        // atomic load decides and no shard is locked, no entry scanned.
+        if self.resident.load(Ordering::Relaxed).max(0) as u64 <= self.budget_states {
+            return;
+        }
+        if self.over_budget_pinned.load(Ordering::Relaxed) {
+            return;
+        }
+        let counter_size = Kripke::num_states;
+        let rep_size = |ik: &IndexedKripke| ik.kripke().num_states();
+        while self.abstract_states() > self.budget_states {
+            let counter_victim = self.counter.lru_candidate(just_used, &counter_size);
+            let rep_victim = self.rep.lru_candidate(just_used, &rep_size);
+            let removed = match (counter_victim, rep_victim) {
+                (Some((cs, ck, _)), Some((rs, ..))) if cs <= rs => {
+                    self.counter.remove_stamped(ck, cs, &counter_size)
+                }
+                (_, Some((rs, rk, _))) => self.rep.remove_stamped(rk, rs, &rep_size),
+                (Some((cs, ck, _)), None) => self.counter.remove_stamped(ck, cs, &counter_size),
+                (None, None) => {
+                    // Nothing evictable besides the entry in use: stop
+                    // scanning until the entry set changes.
+                    self.over_budget_pinned.store(true, Ordering::Relaxed);
+                    break;
+                }
+            };
+            match removed {
+                Some(weight) => {
+                    self.resident.fetch_sub(weight as i64, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evicted_states.fetch_add(weight, Ordering::Relaxed);
+                }
+                None => continue, // raced with a lookup; rescan
+            }
+        }
     }
 
     /// Requests answered from an existing (or in-flight) slot.
@@ -235,6 +457,18 @@ impl GraphCache {
     /// Requests that had to build.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to fit the abstract-state budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total abstract states carried by evicted entries — together with
+    /// [`GraphCache::evictions`], the pressure signal an operator tunes
+    /// the budget by.
+    pub fn evicted_states(&self) -> u64 {
+        self.evicted_states.load(Ordering::Relaxed)
     }
 
     /// Number of cached structures (counter + representative).
@@ -292,6 +526,72 @@ mod tests {
         assert_ne!(a.num_states(), b.num_states());
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn distinct_widths_are_distinct_entries() {
+        // The regression the width key exists for: depth-1 and depth-2
+        // representative structures of the *same* (template, spec, n)
+        // must never collide — a collision would answer nested queries
+        // on a structure that tracks too few copies.
+        let cache = GraphCache::new(4);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let r1 = cache
+            .representative(&t, &s, 6, 1, || engine.representative_structure(6, 1))
+            .unwrap();
+        let r2 = cache
+            .representative(&t, &s, 6, 2, || engine.representative_structure(6, 2))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&r1, &r2));
+        assert_eq!(r1.indices(), &[1]);
+        assert_eq!(r2.indices(), &[1, 2]);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // And each width hits its own entry afterwards.
+        let r1b = cache
+            .representative(&t, &s, 6, 1, || unreachable!("cached"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&r1, &r1b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn width_zero_error_cannot_poison_the_width_one_entry() {
+        // Regression: a nonsensical width-0 request caches its
+        // BadRepWidth error under its *own* key; the legitimate width-1
+        // structure must still build and be served.
+        let cache = GraphCache::new(4);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let err = cache
+            .representative(&t, &s, 6, 0, || engine.representative_structure(6, 0))
+            .unwrap_err();
+        assert!(matches!(err, icstar_sym::SymError::BadRepWidth { .. }));
+        let r1 = cache
+            .representative(&t, &s, 6, 1, || engine.representative_structure(6, 1))
+            .unwrap();
+        assert_eq!(r1.indices(), &[1]);
+        assert_eq!(cache.misses(), 2, "separate entries, no poisoning");
+    }
+
+    #[test]
+    fn pinned_over_budget_state_unpins_on_the_next_insertion() {
+        // A lone oversized entry pins the cache over budget (nothing
+        // evictable); the next insertion must clear the pin so eviction
+        // resumes.
+        let cache = GraphCache::with_budget(2, 10);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let _a = cache.counter(&t, &s, 30, || engine.counter_structure(30));
+        // Hits while pinned stay cheap and evict nothing.
+        for _ in 0..3 {
+            let _ = cache.counter(&t, &s, 30, || unreachable!("cached"));
+        }
+        assert_eq!(cache.evictions(), 0);
+        // A new entry supersedes the pinned one: the old entry goes.
+        let _b = cache.counter(&t, &s, 40, || engine.counter_structure(40));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]
@@ -363,7 +663,7 @@ mod tests {
             (a.num_states() + b.num_states()) as u64
         );
         // A cached build *error* occupies an entry but weighs nothing.
-        let _ = cache.representative(&t, &s, 0, || engine.representative_structure(0));
+        let _ = cache.representative(&t, &s, 0, 1, || engine.representative_structure(0, 1));
         assert_eq!(cache.len(), 3);
         assert_eq!(
             cache.abstract_states(),
@@ -377,13 +677,85 @@ mod tests {
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
         let e1 = cache
-            .representative(&t, &s, 0, || engine.representative_structure(0))
+            .representative(&t, &s, 0, 1, || engine.representative_structure(0, 1))
             .unwrap_err();
         let e2 = cache
-            .representative(&t, &s, 0, || unreachable!("cached error"))
+            .representative(&t, &s, 0, 1, || unreachable!("cached error"))
             .unwrap_err();
         assert_eq!(e1, e2);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        // mutex counter graphs have 2n + 1 states. Budget 100: n = 20
+        // (41) + n = 22 (45) fit; adding n = 24 (49) must evict — and the
+        // victim is the stalest entry, not the newcomer.
+        let cache = GraphCache::with_budget(4, 100);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let a = cache.counter(&t, &s, 20, || engine.counter_structure(20));
+        let _b = cache.counter(&t, &s, 22, || engine.counter_structure(22));
+        // Touch n = 20 so n = 22 is now the LRU entry.
+        let a2 = cache.counter(&t, &s, 20, || unreachable!("cached"));
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = cache.counter(&t, &s, 24, || engine.counter_structure(24));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.evicted_states(), 45, "n = 22 was evicted");
+        assert!(cache.abstract_states() <= 100);
+        // n = 20 survived (a hit), n = 22 must rebuild (a miss).
+        let misses_before = cache.misses();
+        let _ = cache.counter(&t, &s, 20, || unreachable!("still cached"));
+        let _ = cache.counter(&t, &s, 22, || engine.counter_structure(22));
+        assert_eq!(cache.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn budget_never_evicts_the_structure_just_built() {
+        // A single structure larger than the whole budget stays resident
+        // (evicting it would return an Arc the cache just forgot, and the
+        // next request would rebuild — thrashing); it is evicted as soon
+        // as another insertion supersedes it.
+        let cache = GraphCache::with_budget(2, 10);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let _a = cache.counter(&t, &s, 30, || engine.counter_structure(30));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 1);
+        let _b = cache.counter(&t, &s, 40, || engine.counter_structure(40));
+        assert_eq!(cache.evictions(), 1, "the older oversized entry goes");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_spans_counter_and_representative_entries() {
+        let cache = GraphCache::with_budget(4, 60);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        // Rep at n = 10 (width 1): mutex rep has ~4n states; counter at
+        // n = 20 has 41. Together they exceed 60, so the rep (older) is
+        // evicted when the counter lands.
+        let rep = cache
+            .representative(&t, &s, 10, 1, || engine.representative_structure(10, 1))
+            .unwrap();
+        let rep_states = rep.kripke().num_states() as u64;
+        let _c = cache.counter(&t, &s, 20, || engine.counter_structure(20));
+        assert!(cache.evictions() >= 1);
+        assert_eq!(cache.evicted_states(), rep_states);
+        // The evicted Arc is still alive for its holder.
+        assert!(rep.kripke().num_states() > 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = GraphCache::new(2);
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        for n in 1..=30u32 {
+            let _ = cache.counter(&t, &s, n, || engine.counter_structure(n));
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 30);
     }
 
     #[test]
@@ -407,5 +779,34 @@ mod tests {
         assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build");
         assert_eq!(cache.hits() + cache.misses(), 8);
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn concurrent_budgeted_requests_stay_bounded() {
+        // Hammer a small budget from several threads: no deadlock, no
+        // panic, and the resident weight ends within budget + the
+        // largest single entry (the just-built exemption).
+        let cache = Arc::new(GraphCache::with_budget(4, 120));
+        let engine = Arc::new(SymEngine::new(mutex_template()));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    for i in 0..10u32 {
+                        let n = 5 + (t * 10 + i) % 25;
+                        let _ = cache.counter(&mutex_template(), &std_spec(), n, || {
+                            engine.counter_structure(n)
+                        });
+                    }
+                });
+            }
+        });
+        assert!(cache.evictions() > 0);
+        assert!(
+            cache.abstract_states() <= 120 + (2 * 29 + 1),
+            "resident weight {} exceeds budget plus one entry",
+            cache.abstract_states()
+        );
     }
 }

@@ -94,6 +94,10 @@ pub struct JobVerdict {
     pub n: u32,
     /// Whether the formula holds — or why it could not be checked.
     pub result: Result<bool, SymError>,
+    /// Distinguished copies the representative construction tracked for
+    /// this check (the formula's quantifier nesting depth, capped at
+    /// `n`); `0` when the counter structure answered it, or on error.
+    pub rep_width: u32,
 }
 
 /// Everything the service has to say about one finished [`VerifyJob`]:
@@ -147,11 +151,13 @@ mod tests {
                     name: "a".into(),
                     n: 2,
                     result: Ok(true),
+                    rep_width: 0,
                 },
                 JobVerdict {
                     name: "a".into(),
                     n: 3,
                     result: Ok(false),
+                    rep_width: 1,
                 },
             ],
         };

@@ -7,7 +7,7 @@ use std::thread::JoinHandle;
 
 use icstar_kripke::Kripke;
 use icstar_logic::has_index_quantifier;
-use icstar_sym::{CountingSpec, SymEngine};
+use icstar_sym::{required_rep_width, CountingSpec, SymEngine};
 
 use crate::cache::GraphCache;
 use crate::job::{JobVerdict, VerdictReport, VerifyJob};
@@ -27,6 +27,12 @@ pub struct ServeConfig {
     /// exploration; smaller ones use the sequential BFS (coordination
     /// overhead would dominate).
     pub sharded_threshold: u32,
+    /// Abstract-state budget of the structure cache: once the total
+    /// state count of materialized cached structures exceeds this,
+    /// least-recently-used entries are evicted (weighted by state
+    /// count — see [`GraphCache::with_budget`]). `u64::MAX` (the
+    /// default) disables eviction.
+    pub cache_budget_states: u64,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +53,7 @@ impl Default for ServeConfig {
             cache_shards: 16,
             exploration_shards: (cores / 2).max(2),
             sharded_threshold: 20_000,
+            cache_budget_states: u64::MAX,
         }
     }
 }
@@ -160,7 +167,7 @@ impl VerifyService {
         let (tx, rx) = mpsc::channel::<QueuedJob>();
         let rx = Arc::new(Mutex::new(rx));
         let inner = Arc::new(Inner {
-            cache: GraphCache::new(config.cache_shards),
+            cache: GraphCache::with_budget(config.cache_shards, config.cache_budget_states),
             stats: ServiceStats::default(),
             config: config.clone(),
         });
@@ -243,6 +250,8 @@ impl VerifyService {
             cache_misses: self.inner.cache.misses(),
             cached_structures: self.inner.cache.len() as u64,
             cached_abstract_states: self.inner.cache.abstract_states(),
+            cache_evictions: self.inner.cache.evictions(),
+            evicted_abstract_states: self.inner.cache.evicted_states(),
             sharded_explorations: ServiceStats::read(&s.sharded_explorations),
         }
     }
@@ -267,8 +276,9 @@ impl Drop for VerifyService {
 }
 
 /// Runs one job: for every size, fetch-or-build the needed structures
-/// through the cache, then check every formula on a session seeded with
-/// them.
+/// through the cache — the counter graph, plus one representative
+/// structure per distinct width the job's formulas require — then check
+/// every formula on a session seeded with them.
 fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
     let VerifyJob {
         template,
@@ -297,24 +307,42 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
             );
         }
         if any_indexed && n > 0 {
-            if let Ok(rep) = inner
-                .cache
-                .representative(engine.template(), engine.spec(), n, || {
-                    engine.representative_structure(n)
-                })
-            {
-                session.seed_representative(rep);
+            // The distinct representative widths this job needs at this
+            // size (formulas outside the k-restricted fragment report
+            // their error at check time instead).
+            let mut widths: Vec<u32> = formulas
+                .iter()
+                .filter_map(|(_, f)| required_rep_width(f, n).ok())
+                .filter(|&w| w > 0)
+                .collect();
+            widths.sort_unstable();
+            widths.dedup();
+            for width in widths {
+                if let Ok(rep) =
+                    inner
+                        .cache
+                        .representative(engine.template(), engine.spec(), n, width, || {
+                            engine.representative_structure(n, width)
+                        })
+                {
+                    session.seed_representative(width, rep);
+                }
+                // On error the session is left unseeded: each indexed
+                // check reproduces the build error as its verdict.
             }
-            // On error the session is left unseeded: each indexed check
-            // reproduces the build error as its verdict.
         }
         for (name, f) in &formulas {
-            let result = session.check(f);
+            let run = session.check_described(f);
             ServiceStats::bump(&inner.stats.formulas_checked);
+            let (result, rep_width) = match run {
+                Ok(run) => (Ok(run.holds), run.rep_width),
+                Err(e) => (Err(e), 0),
+            };
             verdicts.push(JobVerdict {
                 name: name.clone(),
                 n,
                 result,
+                rep_width,
             });
         }
     }
@@ -347,6 +375,7 @@ mod tests {
             cache_shards: 4,
             exploration_shards: 2,
             sharded_threshold: 1_000_000, // keep unit tests sequential
+            cache_budget_states: u64::MAX,
         }
     }
 
@@ -377,6 +406,54 @@ mod tests {
         assert!(stats.hit_rate() > 0.0);
         assert_eq!(stats.cached_structures, 4);
         assert!(stats.cached_abstract_states > 0);
+    }
+
+    #[test]
+    fn nested_formulas_get_their_own_width_and_cache_entry() {
+        let service = VerifyService::start(small_config());
+        let job = VerifyJob::new(mutex_template())
+            .at_size(6)
+            .formula(
+                "depth1",
+                parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap(),
+            )
+            .formula(
+                "depth2",
+                parse_state("forall i. exists j. AG(crit[i] -> !crit[j])").unwrap(),
+            );
+        let report = service.submit(job.clone()).wait().unwrap();
+        assert!(report.all_hold());
+        assert_eq!(report.verdicts[0].rep_width, 1);
+        assert_eq!(report.verdicts[1].rep_width, 2);
+        // Two rep structures (widths 1 and 2) were cached; resubmitting
+        // hits both.
+        let misses = service.stats().cache_misses;
+        assert_eq!(misses, 2);
+        service.submit(job).wait().unwrap();
+        assert_eq!(service.stats().cache_misses, misses);
+        assert_eq!(service.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn eviction_counters_flow_into_the_snapshot() {
+        let service = VerifyService::start(ServeConfig {
+            cache_budget_states: 30,
+            ..small_config()
+        });
+        for n in [10u32, 12, 14] {
+            service
+                .submit(
+                    VerifyJob::new(mutex_template())
+                        .at_size(n)
+                        .formula("m", parse_state("AG !crit_ge2").unwrap()),
+                )
+                .wait()
+                .unwrap();
+        }
+        let stats = service.stats();
+        assert!(stats.cache_evictions > 0);
+        assert!(stats.evicted_abstract_states > 0);
+        assert!(stats.cached_abstract_states <= 30 + (2 * 14 + 1));
     }
 
     #[test]

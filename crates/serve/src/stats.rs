@@ -44,6 +44,13 @@ pub struct StatsSnapshot {
     /// Total abstract states across all materialized cached structures —
     /// the cache's memory-shaped weight, for tuning an eviction budget.
     pub cached_abstract_states: u64,
+    /// Cache entries evicted to fit the abstract-state budget
+    /// ([`ServeConfig::cache_budget_states`](crate::ServeConfig)); zero
+    /// on an unbounded cache.
+    pub cache_evictions: u64,
+    /// Total abstract states carried by evicted entries — together with
+    /// `cache_evictions`, the pressure signal for tuning the budget.
+    pub evicted_abstract_states: u64,
     /// Materializations that used the sharded parallel exploration.
     pub sharded_explorations: u64,
 }

@@ -13,6 +13,7 @@
 //! satisfy the builder's totality requirement); guards and broadcasts are
 //! sprinkled on top.
 
+use icstar_logic::{build, StateFormula};
 use icstar_nets::{random_template, RandomTemplateConfig};
 use rand::prelude::*;
 
@@ -118,6 +119,102 @@ pub fn random_guarded_template<R: Rng + ?Sized>(
     b.build(base.initial())
 }
 
+/// Configuration for [`random_nested_formula`].
+#[derive(Clone, Debug)]
+pub struct RandomNestedConfig {
+    /// Indexed proposition names the atoms draw from.
+    pub indexed_props: Vec<String>,
+    /// The quantifier nesting depth (number of prefix quantifiers).
+    pub depth: usize,
+    /// Maximum boolean/temporal depth of the quantifier-free matrix.
+    pub matrix_depth: usize,
+}
+
+impl Default for RandomNestedConfig {
+    fn default() -> Self {
+        RandomNestedConfig {
+            indexed_props: vec!["p".into(), "q".into()],
+            depth: 2,
+            matrix_depth: 3,
+        }
+    }
+}
+
+/// A random closed *k-restricted* formula with exactly `cfg.depth` nested
+/// index quantifiers: a random `forall`/`exists` prefix over variables
+/// `i1 … ik` followed by a quantifier-free CTL*∖X matrix whose indexed
+/// atoms mix all bound variables — e.g.
+/// `forall i1. exists i2. AG(p[i1] -> EF q[i2])`. Every result passes
+/// [`icstar_logic::restricted_depth`] with depth `cfg.depth`, so it is
+/// accepted by the multi-representative backend and comparable against
+/// the explicit [`icstar_mc::IndexedChecker`] verdict.
+///
+/// # Panics
+///
+/// Panics if `cfg.indexed_props` is empty or `cfg.depth` is zero.
+pub fn random_nested_formula<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &RandomNestedConfig,
+) -> StateFormula {
+    assert!(!cfg.indexed_props.is_empty(), "need at least one prop name");
+    assert!(
+        cfg.depth > 0,
+        "a nested formula needs at least one quantifier"
+    );
+    let vars: Vec<String> = (1..=cfg.depth).map(|d| format!("i{d}")).collect();
+    let mut f = matrix(rng, cfg, &vars, cfg.matrix_depth);
+    for v in vars.iter().rev() {
+        f = if rng.random_bool(0.5) {
+            build::forall_idx(v.clone(), f)
+        } else {
+            build::exists_idx(v.clone(), f)
+        };
+    }
+    f
+}
+
+/// A random indexed atom `p[iv]` over the bound variables.
+fn indexed_atom<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &RandomNestedConfig,
+    vars: &[String],
+) -> StateFormula {
+    let p = cfg.indexed_props[rng.random_range(0..cfg.indexed_props.len())].clone();
+    let v = vars[rng.random_range(0..vars.len())].clone();
+    build::iprop(p, v)
+}
+
+/// A random quantifier-free state formula over indexed atoms of `vars`.
+/// Temporal structure is CTL-shaped (each path quantifier wraps one
+/// `F`/`G`/`U` over state operands), which keeps every quantifier of the
+/// prefix outside until-like operands — the k-restriction.
+fn matrix<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &RandomNestedConfig,
+    vars: &[String],
+    depth: usize,
+) -> StateFormula {
+    if depth == 0 {
+        return indexed_atom(rng, cfg, vars);
+    }
+    let d = depth - 1;
+    match rng.random_range(0..9u32) {
+        0 => indexed_atom(rng, cfg, vars),
+        1 => matrix(rng, cfg, vars, d).not(),
+        2 => matrix(rng, cfg, vars, d).and(matrix(rng, cfg, vars, d)),
+        3 => matrix(rng, cfg, vars, d).or(matrix(rng, cfg, vars, d)),
+        4 => matrix(rng, cfg, vars, d).implies(matrix(rng, cfg, vars, d)),
+        5 => build::ef(matrix(rng, cfg, vars, d)),
+        6 => build::af(matrix(rng, cfg, vars, d)),
+        7 => build::ag(matrix(rng, cfg, vars, d)),
+        _ => build::e(
+            matrix(rng, cfg, vars, d)
+                .on_path()
+                .until(matrix(rng, cfg, vars, d).on_path()),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +253,25 @@ mod tests {
         }
         assert!(saw_broadcast, "generator never emitted a broadcast");
         assert!(saw_new_guard, "generator never emitted a new guard kind");
+    }
+
+    #[test]
+    fn nested_formulas_are_k_restricted_at_the_requested_depth() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for depth in 1..=3usize {
+            let cfg = RandomNestedConfig {
+                depth,
+                ..RandomNestedConfig::default()
+            };
+            for _ in 0..40 {
+                let f = random_nested_formula(&mut rng, &cfg);
+                assert_eq!(
+                    icstar_logic::restricted_depth(&f),
+                    Ok(depth),
+                    "generated formula outside the fragment: {f}"
+                );
+                assert!(icstar_logic::is_closed(&f), "{f}");
+            }
+        }
     }
 }

@@ -1,13 +1,15 @@
 //! Cross-validation of the abstraction against explicit composition.
 //!
 //! The counter abstraction is the quotient of the explicit interleaved
-//! composition under the full symmetric group (for the representative
-//! construction: under the stabilizer of copy 1). Quotients by label-
-//! preserving automorphism groups are strong bisimulations, so for any
-//! `n` small enough to build explicitly, the abstraction and the explicit
-//! structure must *correspond* in the paper's sense
-//! ([`icstar_bisim::maximal_correspondence`]). [`verify_counter_abstraction`]
-//! checks exactly that, and is wired into tests and
+//! composition under the full symmetric group (for the width-`k`
+//! representative construction: under the pointwise stabilizer of copies
+//! `1..=k`). Quotients by label-preserving automorphism groups are strong
+//! bisimulations, so for any `n` small enough to build explicitly, the
+//! abstraction and the explicit structure must *correspond* in the
+//! paper's sense ([`icstar_bisim::maximal_correspondence`]).
+//! [`verify_counter_abstraction`] checks exactly that — for the counter
+//! structure and for every representative width up to
+//! [`CROSS_CHECK_MAX_WIDTH`] — and is wired into tests and
 //! `SymEngine::cross_check` as the engine's soundness oracle.
 
 use std::collections::HashMap;
@@ -127,16 +129,22 @@ pub fn counting_relabel(m: &Kripke, spec: &CountingSpec) -> Kripke {
     relabel(m, |counts, _| spec.atoms_for(|p| counts(p)))
 }
 
-/// Relabels a composed structure keeping only the indexed atoms of copy
-/// `rep` plus the counting atoms of `spec` — the label universe of the
-/// representative construction.
-pub fn representative_relabel(m: &Kripke, spec: &CountingSpec, rep: Index) -> Kripke {
+/// Relabels a composed structure keeping only the indexed atoms of the
+/// tracked copies `reps` plus the counting atoms of `spec` — the label
+/// universe of the width-`k` representative construction. The copy
+/// `reps[c]` is renamed to canonical index `c + 1`, so relabelings of
+/// different tracked tuples share a label universe with the
+/// representative structure.
+pub fn representative_relabel(m: &Kripke, spec: &CountingSpec, reps: &[Index]) -> Kripke {
     relabel(m, |counts, label| {
-        let mut atoms: Vec<Atom> = label
-            .iter()
-            .filter(|a| a.index() == Some(rep))
-            .map(|a| a.with_index(REPRESENTATIVE_INDEX))
-            .collect();
+        let mut atoms: Vec<Atom> = Vec::new();
+        for a in label {
+            if let Some(i) = a.index() {
+                if let Some(c) = reps.iter().position(|&r| r == i) {
+                    atoms.push(a.with_index(REPRESENTATIVE_INDEX + c as Index));
+                }
+            }
+        }
         atoms.extend(spec.atoms_for(|p| counts(p)));
         atoms
     })
@@ -169,8 +177,17 @@ fn relabel(
         .expect("relabeling preserves the graph, hence totality")
 }
 
-/// Verifies, for an explicitly buildable `n`, that the counter abstraction
-/// and the representative construction both correspond (in the paper's
+/// The largest representative width [`verify_counter_abstraction`]
+/// audits (capped further by `n`). Width 1 is the classic single-copy
+/// construction; width 2 is what depth-2 nested quantifiers route
+/// through. Larger widths re-run the same code paths over bigger tuples,
+/// so auditing the first two keeps the oracle fast without losing
+/// coverage of the locals-vector logic.
+pub const CROSS_CHECK_MAX_WIDTH: u32 = 2;
+
+/// Verifies, for an explicitly buildable `n`, that the counter
+/// abstraction and the representative construction — at every width
+/// `1..=min(n, CROSS_CHECK_MAX_WIDTH)` — correspond (in the paper's
 /// Section 3 sense, via [`maximal_correspondence`]) to the explicit
 /// interleaved composition over their respective label universes.
 ///
@@ -195,15 +212,36 @@ pub fn verify_counter_abstraction(
         )));
     }
 
-    if n > 0 {
-        let rep = representative(&sys, spec)?;
-        let rep_relabeled = representative_relabel(explicit.kripke(), spec, REPRESENTATIVE_INDEX);
-        let rel = maximal_correspondence(&rep_relabeled, rep.kripke());
-        if !rel.related(rep_relabeled.initial(), rep.kripke().initial()) {
-            return Err(SymError::AbstractionMismatch(format!(
-                "representative structure does not correspond to the explicit composition at n = {n}"
-            )));
-        }
+    for width in 1..=n.min(CROSS_CHECK_MAX_WIDTH) {
+        verify_representative_width(&explicit, &sys, spec, width)?;
+    }
+    Ok(())
+}
+
+/// The representative half of the oracle at one width: the width-`width`
+/// structure must correspond to the explicit composition relabeled to
+/// the tracked copies `1..=width` plus counting atoms.
+///
+/// # Errors
+///
+/// [`SymError::AbstractionMismatch`] on disagreement; width errors from
+/// [`representative`].
+pub fn verify_representative_width(
+    explicit: &IndexedKripke,
+    sys: &CounterSystem,
+    spec: &CountingSpec,
+    width: u32,
+) -> Result<(), SymError> {
+    let n = sys.size();
+    let reps: Vec<Index> = (1..=width as Index).collect();
+    let rep = representative(sys, spec, width)?;
+    let rep_relabeled = representative_relabel(explicit.kripke(), spec, &reps);
+    let rel = maximal_correspondence(&rep_relabeled, rep.kripke());
+    if !rel.related(rep_relabeled.initial(), rep.kripke().initial()) {
+        return Err(SymError::AbstractionMismatch(format!(
+            "width-{width} representative structure does not correspond \
+             to the explicit composition at n = {n}"
+        )));
     }
     Ok(())
 }
@@ -294,6 +332,43 @@ mod tests {
         }
         let wide = crate::template::ring_station_template(4, 2);
         verify_counter_abstraction(&wide, 3, &CountingSpec::exhaustive(&wide, 3)).unwrap();
+    }
+
+    #[test]
+    fn representative_corresponds_at_full_width() {
+        // Beyond the oracle's default width cap: at width = n nothing is
+        // abstracted, and the construction must still correspond to the
+        // explicit composition (it *is* one, up to labeling).
+        let t = mutex_template();
+        let n = 3;
+        let spec = CountingSpec::exhaustive(&t, n);
+        let explicit = guarded_interleave(&t, n);
+        let sys = CounterSystem::new(t.clone(), n);
+        for width in 1..=n {
+            verify_representative_width(&explicit, &sys, &spec, width).unwrap();
+        }
+    }
+
+    #[test]
+    fn relabel_tracks_arbitrary_tuples() {
+        // Relabeling to tracked copies (2, 3) renames them to canonical
+        // 1, 2 — the same universe the width-2 representative carries, so
+        // the correspondence must hold for *any* tracked tuple (that is
+        // the symmetry the construction quotients by).
+        let t = mutex_template();
+        let n = 3;
+        let spec = CountingSpec::exhaustive(&t, n);
+        let explicit = guarded_interleave(&t, n);
+        let sys = CounterSystem::new(t.clone(), n);
+        let rep = representative(&sys, &spec, 2).unwrap();
+        for tuple in [[1, 2], [2, 3], [3, 1]] {
+            let relabeled = representative_relabel(explicit.kripke(), &spec, &tuple);
+            let rel = maximal_correspondence(&relabeled, rep.kripke());
+            assert!(
+                rel.related(relabeled.initial(), rep.kripke().initial()),
+                "tuple {tuple:?}"
+            );
+        }
     }
 
     #[test]

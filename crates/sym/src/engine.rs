@@ -8,22 +8,28 @@
 //!   (`crit_ge2`, `try_eq0`, `one(crit)`, …) are checked on the
 //!   materialized counter graph ([`SymEngine::check_counting`]); the
 //!   abstraction is exact, so even the nexttime operator is allowed here;
-//! * **indexed formulas** — closed *restricted* ICTL* with quantifiers
-//!   `forall i.`/`exists i.` is checked on the representative structure
+//! * **indexed formulas** — closed *k-restricted* ICTL* with (possibly
+//!   nested) quantifiers `forall i.`/`exists j.` is checked on the
+//!   multi-representative structure whose width `k` is the formula's
+//!   quantifier nesting depth, capped at `n`
 //!   ([`SymEngine::check_indexed`]); see [`crate::rep`] for why the
 //!   restriction is the soundness boundary;
-//! * [`SymEngine::check`] dispatches between the two.
+//! * [`SymEngine::check`] dispatches between the two;
+//!   [`SymSession::check_described`] additionally reports the chosen
+//!   width ([`CheckRun`]).
 //!
 //! [`SymEngine::cross_check`] runs the bisimulation oracle of
 //! [`crate::crosscheck`] at a small `n`, mechanically auditing the
 //! abstraction for the given template.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use icstar_kripke::{Atom, IndexedKripke, Kripke};
-use icstar_logic::{check_restricted, has_index_quantifier, PathFormula, StateFormula};
-use icstar_mc::{Checker, IndexedChecker};
+use icstar_logic::{
+    expand_representatives, has_index_quantifier, restricted_depth, PathFormula, StateFormula,
+};
+use icstar_mc::Checker;
 
 use crate::crosscheck::verify_counter_abstraction;
 use crate::error::SymError;
@@ -31,6 +37,34 @@ use crate::explore::CounterSystem;
 use crate::labels::CountingSpec;
 use crate::rep::representative;
 use crate::template::GuardedTemplate;
+
+/// The outcome of one check, with the backend routing it used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckRun {
+    /// Whether the formula holds.
+    pub holds: bool,
+    /// How many distinguished copies the representative construction
+    /// tracked for this formula — `min(quantifier depth, n)`; `0` when
+    /// the formula was checked on the plain counter structure (no index
+    /// quantifiers, or `n = 0`).
+    pub rep_width: u32,
+}
+
+/// The representative width [`SymSession::check`] will route `f` through
+/// at family size `n`: `0` for quantifier-free formulas and at `n = 0`
+/// (both go to the counter structure), otherwise the quantifier nesting
+/// depth capped at `n`.
+///
+/// # Errors
+///
+/// [`SymError::NotRestricted`] outside the k-restricted fragment.
+pub fn required_rep_width(f: &StateFormula, n: u32) -> Result<u32, SymError> {
+    if !has_index_quantifier(f) {
+        return Ok(0);
+    }
+    let depth = restricted_depth(f)? as u32;
+    Ok(depth.min(n))
+}
 
 /// A counter-abstraction model checker for one symmetric family.
 ///
@@ -93,15 +127,16 @@ impl SymEngine {
         self.system(n).kripke_sharded(&self.spec, shards)
     }
 
-    /// Materializes the representative structure at size `n` (the
-    /// distinguished-copy construction behind
+    /// Materializes the width-`width` representative structure at size
+    /// `n` (the distinguished-copies construction behind
     /// [`SymEngine::check_indexed`]).
     ///
     /// # Errors
     ///
-    /// [`SymError::EmptyFamily`] at `n = 0`.
-    pub fn representative_structure(&self, n: u32) -> Result<IndexedKripke, SymError> {
-        representative(&self.system(n), &self.spec)
+    /// [`SymError::EmptyFamily`] at `n = 0`; [`SymError::BadRepWidth`]
+    /// unless `1 ≤ width ≤ n`.
+    pub fn representative_structure(&self, n: u32, width: u32) -> Result<IndexedKripke, SymError> {
+        representative(&self.system(n), &self.spec, width)
     }
 
     /// Starts a checking session at size `n`: the abstract structures are
@@ -113,7 +148,7 @@ impl SymEngine {
             engine: self,
             n,
             counter: None,
-            rep: None,
+            reps: HashMap::new(),
         }
     }
 
@@ -188,9 +223,10 @@ impl SymEngine {
     }
 }
 
-/// A checking session at one family size: materializes the counter and
-/// representative structures lazily, at most once each, and reuses them
-/// for every formula checked through the session.
+/// A checking session at one family size: materializes the counter
+/// structure and one representative structure *per width* lazily, at
+/// most once each, and reuses them for every formula checked through the
+/// session.
 ///
 /// Created by [`SymEngine::session`].
 ///
@@ -216,7 +252,8 @@ pub struct SymSession<'e> {
     engine: &'e SymEngine,
     n: u32,
     counter: Option<Arc<Kripke>>,
-    rep: Option<Arc<IndexedKripke>>,
+    /// Representative structures by width.
+    reps: HashMap<u32, Arc<IndexedKripke>>,
 }
 
 impl SymSession<'_> {
@@ -239,10 +276,11 @@ impl SymSession<'_> {
     }
 
     /// Seeds the session with a pre-materialized representative
-    /// structure; the same sharing contract as
-    /// [`SymSession::seed_counter`] applies.
-    pub fn seed_representative(&mut self, rep: Arc<IndexedKripke>) -> &mut Self {
-        self.rep = Some(rep);
+    /// structure of the given width; the same sharing contract as
+    /// [`SymSession::seed_counter`] applies (and the structure must have
+    /// been built with this `width`).
+    pub fn seed_representative(&mut self, width: u32, rep: Arc<IndexedKripke>) -> &mut Self {
+        self.reps.insert(width, rep);
         self
     }
 
@@ -253,15 +291,17 @@ impl SymSession<'_> {
         Arc::clone(self.counter_ref())
     }
 
-    /// The session's representative structure, materializing it on first
-    /// use — as a shared handle, suitable for caching and for seeding
-    /// other sessions at the same `(template, spec, n)`.
+    /// The session's width-`width` representative structure,
+    /// materializing it on first use — as a shared handle, suitable for
+    /// caching and for seeding other sessions at the same
+    /// `(template, spec, n, width)`.
     ///
     /// # Errors
     ///
-    /// [`SymError::EmptyFamily`] at `n = 0`.
-    pub fn representative_arc(&mut self) -> Result<Arc<IndexedKripke>, SymError> {
-        self.representative_ref().map(Arc::clone)
+    /// [`SymError::EmptyFamily`] at `n = 0`; [`SymError::BadRepWidth`]
+    /// unless `1 ≤ width ≤ n`.
+    pub fn representative_arc(&mut self, width: u32) -> Result<Arc<IndexedKripke>, SymError> {
+        self.representative_ref(width).map(Arc::clone)
     }
 
     /// Checks any supported closed formula, dispatching as
@@ -271,10 +311,24 @@ impl SymSession<'_> {
     ///
     /// As [`SymSession::check_counting`] / [`SymSession::check_indexed`].
     pub fn check(&mut self, f: &StateFormula) -> Result<bool, SymError> {
+        self.check_described(f).map(|run| run.holds)
+    }
+
+    /// Checks any supported closed formula and reports which backend it
+    /// went through: [`CheckRun::rep_width`] is the number of
+    /// distinguished copies tracked (`0` for the counter structure).
+    ///
+    /// # Errors
+    ///
+    /// As [`SymSession::check_counting`] / [`SymSession::check_indexed`].
+    pub fn check_described(&mut self, f: &StateFormula) -> Result<CheckRun, SymError> {
         if has_index_quantifier(f) {
-            self.check_indexed(f)
+            self.check_indexed_described(f)
         } else {
-            self.check_counting(f)
+            self.check_counting(f).map(|holds| CheckRun {
+                holds,
+                rep_width: 0,
+            })
         }
     }
 
@@ -297,14 +351,19 @@ impl SymSession<'_> {
         Ok(chk.holds(f)?)
     }
 
-    /// Checks a closed restricted ICTL* formula through the representative
-    /// construction; see [`SymEngine::check_indexed`].
+    /// Checks a closed k-restricted ICTL* formula through the
+    /// multi-representative construction; see
+    /// [`SymEngine::check_indexed`].
     ///
     /// # Errors
     ///
     /// As [`SymEngine::check_indexed`].
     pub fn check_indexed(&mut self, f: &StateFormula) -> Result<bool, SymError> {
-        check_restricted(f)?;
+        self.check_indexed_described(f).map(|run| run.holds)
+    }
+
+    fn check_indexed_described(&mut self, f: &StateFormula) -> Result<CheckRun, SymError> {
+        let depth = restricted_depth(f)? as u32;
         let used = used_atoms(f);
         // Plain atoms must come from the spec (a missing threshold atom
         // would silently read as false and give wrong answers); indexed
@@ -314,11 +373,27 @@ impl SymSession<'_> {
         if self.n == 0 {
             let expanded = icstar_mc::expand(f, &[]);
             let mut chk = Checker::new(self.counter_ref());
-            return Ok(chk.holds(&expanded)?);
+            return Ok(CheckRun {
+                holds: chk.holds(&expanded)?,
+                rep_width: 0,
+            });
         }
-        let rep = self.representative_ref()?;
-        let mut chk = IndexedChecker::new(rep);
-        Ok(chk.holds(f)?)
+        // The smallest sufficient width: one tracked copy per quantifier
+        // nesting level, capped at the family size (beyond n there is no
+        // n-th distinct copy to track). Quantifier-free formulas routed
+        // here still get one representative — its structure carries the
+        // counting atoms too.
+        let width = depth.clamp(1, self.n);
+        let rep = self.representative_ref(width)?;
+        // Expand quantifiers over the canonical representative tuples
+        // (distinct-index case split), then model-check the closed
+        // constant-indexed formula on the width-`width` structure.
+        let expanded = expand_representatives(f, width);
+        let mut chk = Checker::new(rep.kripke());
+        Ok(CheckRun {
+            holds: chk.holds(&expanded)?,
+            rep_width: width,
+        })
     }
 
     fn counter_ref(&mut self) -> &Arc<Kripke> {
@@ -328,11 +403,12 @@ impl SymSession<'_> {
         self.counter.as_ref().expect("just materialized")
     }
 
-    fn representative_ref(&mut self) -> Result<&Arc<IndexedKripke>, SymError> {
-        if self.rep.is_none() {
-            self.rep = Some(Arc::new(self.engine.representative_structure(self.n)?));
+    fn representative_ref(&mut self, width: u32) -> Result<&Arc<IndexedKripke>, SymError> {
+        if !self.reps.contains_key(&width) {
+            let rep = Arc::new(self.engine.representative_structure(self.n, width)?);
+            self.reps.insert(width, rep);
         }
-        Ok(self.rep.as_ref().expect("just materialized"))
+        Ok(self.reps.get(&width).expect("just materialized"))
     }
 }
 
@@ -456,6 +532,79 @@ mod tests {
         // Quantifier under AG: outside the sound fragment.
         let f = parse_state("AG (exists i. crit[i])").unwrap();
         assert!(matches!(e.check(2, &f), Err(SymError::NotRestricted(_))));
+        // Nesting alone is *not* a rejection anymore — but nesting under
+        // an until-like operator still is.
+        let g = parse_state("forall i. EF (exists j. crit[j] & try[i])").unwrap();
+        assert!(matches!(e.check(3, &g), Err(SymError::NotRestricted(_))));
+    }
+
+    #[test]
+    fn nested_quantifiers_route_through_width_two() {
+        let e = engine();
+        let f = parse_state("forall i. exists j. AG(crit[i] -> !crit[j])").unwrap();
+        for n in [2u32, 5, 20] {
+            let mut s = e.session(n);
+            let run = s.check_described(&f).unwrap();
+            assert!(run.holds, "n = {n}");
+            assert_eq!(run.rep_width, 2, "n = {n}");
+        }
+        // At n = 1 there is no second copy to track: the width caps at 1
+        // and the exists collapses onto the diagonal — which fails, since
+        // crit[1] -> !crit[1] is violated whenever copy 1 enters.
+        let run = e.session(1).check_described(&f).unwrap();
+        assert_eq!((run.holds, run.rep_width), (false, 1));
+    }
+
+    #[test]
+    fn forall_pairs_mutual_exclusion_holds() {
+        let e = engine();
+        // The depth-2 phrasing of mutual exclusion over *distinct-or-not*
+        // pairs: some witness j is never critical together with i.
+        let f = parse_state("forall i. forall j. AG !(crit[i] & crit[j] & crit_ge2)").unwrap();
+        assert!(e.check(4, &f).unwrap());
+    }
+
+    #[test]
+    fn check_described_reports_zero_width_for_counting() {
+        let e = engine();
+        let mut s = e.session(5);
+        let run = s
+            .check_described(&parse_state("AG !crit_ge2").unwrap())
+            .unwrap();
+        assert_eq!((run.holds, run.rep_width), (true, 0));
+    }
+
+    #[test]
+    fn required_rep_width_matches_routing() {
+        use super::required_rep_width;
+        let counting = parse_state("AG !crit_ge2").unwrap();
+        let depth1 = parse_state("forall i. EF crit[i]").unwrap();
+        let depth2 = parse_state("forall i. exists j. AG(crit[i] -> !crit[j])").unwrap();
+        assert_eq!(required_rep_width(&counting, 10).unwrap(), 0);
+        assert_eq!(required_rep_width(&depth1, 10).unwrap(), 1);
+        assert_eq!(required_rep_width(&depth2, 10).unwrap(), 2);
+        assert_eq!(required_rep_width(&depth2, 1).unwrap(), 1);
+        assert_eq!(required_rep_width(&depth2, 0).unwrap(), 0);
+        assert!(matches!(
+            required_rep_width(&parse_state("AG (exists i. crit[i])").unwrap(), 5),
+            Err(SymError::NotRestricted(_))
+        ));
+    }
+
+    #[test]
+    fn sessions_cache_one_structure_per_width() {
+        let e = engine();
+        let mut s = e.session(10);
+        assert!(s
+            .check(&parse_state("forall i. EF crit[i]").unwrap())
+            .unwrap());
+        assert!(s
+            .check(&parse_state("forall i. exists j. AG(crit[i] -> !crit[j])").unwrap())
+            .unwrap());
+        assert!(s
+            .check(&parse_state("exists i. EF try[i]").unwrap())
+            .unwrap());
+        assert_eq!(s.reps.len(), 2, "one structure each for widths 1 and 2");
     }
 
     #[test]
@@ -516,7 +665,7 @@ mod tests {
         }
         // Both structures were materialized exactly once and retained.
         assert!(s.counter.is_some());
-        assert!(s.rep.is_some());
+        assert_eq!(s.reps.len(), 1);
         assert_eq!(s.size(), 50);
         // Session verdicts match one-shot engine verdicts.
         assert_eq!(
@@ -534,13 +683,13 @@ mod tests {
             .check(&parse_state("exists i. EF crit[i]").unwrap())
             .unwrap());
         let counter = first.counter_arc();
-        let rep = first.representative_arc().unwrap();
+        let rep = first.representative_arc(1).unwrap();
 
         // A second session seeded with the first's structures answers
         // identically without re-materializing (the Arcs are shared).
         let mut second = e.session(40);
         second.seed_counter(std::sync::Arc::clone(&counter));
-        second.seed_representative(std::sync::Arc::clone(&rep));
+        second.seed_representative(1, std::sync::Arc::clone(&rep));
         assert!(second
             .check(&parse_state("AG (try_ge1 -> EF crit_ge1)").unwrap())
             .unwrap());
@@ -550,18 +699,24 @@ mod tests {
         assert!(std::sync::Arc::ptr_eq(&counter, &second.counter_arc()));
         assert!(std::sync::Arc::ptr_eq(
             &rep,
-            &second.representative_arc().unwrap()
+            &second.representative_arc(1).unwrap()
         ));
     }
 
     #[test]
     fn engine_materializes_representative_and_sharded_structures() {
         let e = engine();
-        let rep = e.representative_structure(4).unwrap();
+        let rep = e.representative_structure(4, 1).unwrap();
         assert_eq!(rep.indices(), &[1]);
+        let rep2 = e.representative_structure(4, 2).unwrap();
+        assert_eq!(rep2.indices(), &[1, 2]);
         assert!(matches!(
-            e.representative_structure(0),
+            e.representative_structure(0, 1),
             Err(SymError::EmptyFamily)
+        ));
+        assert!(matches!(
+            e.representative_structure(4, 9),
+            Err(SymError::BadRepWidth { .. })
         ));
         let seq = e.counter_structure(30);
         let par = e.counter_structure_sharded(30, 4);

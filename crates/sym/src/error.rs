@@ -10,6 +10,14 @@ use icstar_mc::McError;
 pub enum SymError {
     /// The representative-process construction needs at least one copy.
     EmptyFamily,
+    /// The requested number of distinguished copies cannot be tracked at
+    /// this family size: the width must satisfy `1 ≤ width ≤ n`.
+    BadRepWidth {
+        /// The requested number of distinguished copies.
+        width: u32,
+        /// The family size.
+        n: u32,
+    },
     /// An indexed formula is outside closed restricted ICTL*. The
     /// representative construction is only sound for the restricted
     /// fragment (see the crate docs on the soundness boundary).
@@ -33,6 +41,12 @@ impl fmt::Display for SymError {
         match self {
             SymError::EmptyFamily => {
                 write!(f, "representative construction needs at least one process")
+            }
+            SymError::BadRepWidth { width, n } => {
+                write!(
+                    f,
+                    "cannot track {width} distinguished copies in a family of {n}"
+                )
             }
             SymError::NotRestricted(e) => {
                 write!(f, "formula is not closed restricted ICTL*: {e}")
@@ -75,6 +89,9 @@ mod tests {
     #[test]
     fn display_forms() {
         assert!(SymError::EmptyFamily.to_string().contains("at least one"));
+        assert!(SymError::BadRepWidth { width: 3, n: 2 }
+            .to_string()
+            .contains("3 distinguished copies in a family of 2"));
         assert!(SymError::UnknownAtom("x".into()).to_string().contains("x"));
         assert!(SymError::from(McError::FreeIndexVariable("i".into()))
             .to_string()

@@ -30,12 +30,14 @@
 //!   graph as a stock [`icstar_kripke::Kripke`] labeled with counting
 //!   atoms (`crit_ge2`, `try_eq0`, `one(crit)` — see [`labels`]), so the
 //!   existing `icstar_mc` checkers run on it unchanged.
-//! * [`representative`] — the representative-process construction: one
-//!   distinguished copy tracked explicitly (atoms `p[1]`) plus counters
-//!   for the rest, enabling `forall i.` / `exists i.` queries through
-//!   [`icstar_mc::IndexedChecker`].
+//! * [`representative`] — the multi-representative construction: `k`
+//!   distinguished copies tracked explicitly (atoms `p[1] … p[k]`) plus
+//!   counters for the rest, enabling indexed queries up to quantifier
+//!   nesting depth `k` — `forall i. exists j. …` routes through width 2.
 //! * [`SymEngine`] — the high-level entry point; dispatches between the
-//!   counter and representative structures and validates formulas.
+//!   counter and representative structures, picks the smallest
+//!   sufficient width per formula ([`required_rep_width`]), and
+//!   validates formulas.
 //!
 //! # Soundness boundary
 //!
@@ -45,17 +47,19 @@
 //! the nexttime operator included — transfers exactly for quantifier-free
 //! formulas over counting atoms.
 //!
-//! Indexed formulas go through the representative structure, which is the
-//! quotient under the stabilizer of copy 1 — again a strong bisimulation,
-//! but only for the label universe `{p[1]} ∪ counting atoms`. Replacing
-//! `forall i.` / `exists i.` by the single representative index is justified
-//! only where all copies are interchangeable, i.e. at the symmetric
-//! initial state. Closed **restricted** ICTL*
-//! ([`icstar_logic::check_restricted`]: no nested index quantifiers, none
-//! inside `U`/`R`/`F`/`G` operands, no nexttime, no constant indices)
-//! syntactically guarantees quantifiers are evaluated only there, so that
-//! fragment — the same fragment the paper's Theorem 5 licenses — is
-//! exactly what [`SymEngine::check_indexed`] accepts. Formulas like
+//! Indexed formulas go through a width-`k` representative structure,
+//! which is the quotient under the pointwise stabilizer of copies
+//! `1..=k` — again a strong bisimulation, but only for the label
+//! universe `{p[c] : c ≤ k} ∪ counting atoms`. Expanding a quantifier
+//! over the bound values in scope plus one fresh representative
+//! ([`icstar_logic::expand_representatives`]) is justified only where
+//! the untracked copies are interchangeable, i.e. at the symmetric
+//! initial state. Closed **k-restricted** ICTL*
+//! ([`icstar_logic::restricted_depth`]: quantifiers nest freely but stay
+//! outside `U`/`R`/`F`/`G` operands, no nexttime, no constant indices)
+//! syntactically guarantees quantifiers are evaluated only there, so
+//! that fragment is exactly what [`SymEngine::check_indexed`] accepts,
+//! with `k` the nesting depth (capped at `n`). Formulas like
 //! `AG (exists i. c[i])`, whose quantifier would be evaluated at
 //! non-symmetric states, are rejected rather than answered unsoundly.
 //!
@@ -80,6 +84,8 @@
 //! // ...then check mutual exclusion at four-digit n directly.
 //! assert!(engine.check(10_000, &parse_state("AG !crit_ge2")?)?);
 //! assert!(engine.check(10_000, &parse_state("forall i. AG(try[i] -> EF crit[i])")?)?);
+//! // Nested quantifiers route through two tracked copies.
+//! assert!(engine.check(10_000, &parse_state("forall i. exists j. AG(crit[i] -> !crit[j])")?)?);
 //! # Ok(())
 //! # }
 //! ```
@@ -103,8 +109,9 @@ pub mod labels;
 pub use counter::{CounterPacking, CounterState, PackedCounter};
 pub use crosscheck::{
     counting_relabel, guarded_interleave, representative_relabel, verify_counter_abstraction,
+    verify_representative_width, CROSS_CHECK_MAX_WIDTH,
 };
-pub use engine::{SymEngine, SymSession};
+pub use engine::{required_rep_width, CheckRun, SymEngine, SymSession};
 pub use error::SymError;
 pub use explore::CounterSystem;
 pub use labels::CountingSpec;

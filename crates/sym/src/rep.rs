@@ -1,129 +1,172 @@
-//! The representative-process construction.
+//! The multi-representative construction.
 //!
 //! Counting atoms alone cannot express indexed properties like
-//! `forall i. AG(try[i] -> EF crit[i])`. The fix is classic: track *one*
-//! distinguished copy explicitly — its local state, labeled with indexed
-//! atoms `p[1]` — and abstract the remaining `n - 1` copies to a counter
-//! vector. The result is the quotient of the explicit composition under
-//! the symmetries fixing copy 1, so it is strongly bisimilar to the
-//! explicit structure with respect to `{p[1]} ∪ counting atoms`.
+//! `forall i. AG(try[i] -> EF crit[i])`, let alone nested ones like
+//! `forall i. exists j. AG(crit[i] -> !crit[j])`. The fix is classic:
+//! track a small tuple of `k` distinguished copies explicitly — their
+//! local states, labeled with indexed atoms `p[1] … p[k]` — and abstract
+//! the remaining `n - k` copies to a counter vector. The result is the
+//! quotient of the explicit composition under the symmetries fixing
+//! copies `1..=k` pointwise, so it is strongly bisimilar to the explicit
+//! structure with respect to `{p[c] : c ≤ k} ∪ counting atoms`. The
+//! width `k` is chosen per formula: the quantifier nesting depth
+//! ([`icstar_logic::restricted_depth`]), capped at `n`.
 //!
 //! **Soundness boundary.** Full symmetry makes all copies interchangeable
-//! *at the symmetric initial state*: `⋀_i φ(i)` ⟺ `⋁_i φ(i)` ⟺ `φ(1)`
-//! there. Restricted ICTL* (no nested quantifiers, none under `U`-like
-//! operators — [`icstar_logic::check_restricted`]) guarantees index
-//! quantifiers are evaluated only at the initial state, so expanding them
-//! over the single representative index `{1}` is exact. Outside the
-//! restricted fragment (e.g. `AG (exists i. c[i])`) a quantifier would be
-//! evaluated at non-symmetric states, where the representative no longer
-//! speaks for every copy — the engine rejects such formulas instead of
-//! answering unsoundly.
+//! *at the symmetric initial state*: a quantifier with `d` outer index
+//! values in scope only distinguishes its candidates up to the equality
+//! pattern with those values, so it ranges over `{1..d}` plus one fresh
+//! representative ([`icstar_logic::expand_representatives`]). The
+//! k-restricted fragment (nesting allowed, no quantifier under `U`-like
+//! operators — [`icstar_logic::restricted_depth`]) guarantees index
+//! quantifiers are evaluated only at the initial state, where that
+//! argument applies. Outside the fragment (e.g. `AG (exists i. c[i])`) a
+//! quantifier would be evaluated at non-symmetric states, where the
+//! representatives no longer speak for every copy — the engine rejects
+//! such formulas instead of answering unsoundly.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use icstar_kripke::{Atom, IndexedKripke, KripkeBuilder, StateId};
+use icstar_kripke::{Atom, Index, IndexedKripke, KripkeBuilder, StateId};
 
 use crate::counter::{CounterState, PackedCounter};
 use crate::error::SymError;
 use crate::explore::CounterSystem;
 use crate::labels::CountingSpec;
 
-/// The index carried by the distinguished copy in representative
-/// structures.
-pub const REPRESENTATIVE_INDEX: icstar_kripke::Index = 1;
+/// The index carried by the first distinguished copy in representative
+/// structures; a width-`k` structure labels its tracked copies
+/// `REPRESENTATIVE_INDEX..=k`.
+pub const REPRESENTATIVE_INDEX: Index = 1;
 
-/// One state of the representative construction: the distinguished copy's
-/// local state plus the occupancy vector of the other `n - 1` copies.
+/// One state of the multi-representative construction: the local state of
+/// each tracked copy plus the occupancy vector of the other `n - k`
+/// copies.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RepState {
-    /// Local state of the distinguished copy.
-    pub rep: u32,
+    /// Local states of the distinguished copies, in index order (the
+    /// copy labeled `p[c]` is `locals[c - 1]`).
+    pub locals: Vec<u32>,
     /// Occupancy of the remaining copies.
     pub others: CounterState,
 }
 
 impl RepState {
-    /// The occupancy of all `n` copies: `others` plus the representative.
+    /// The occupancy of all `n` copies: `others` plus every tracked copy.
     pub fn total_counts(&self, num_locals: usize) -> CounterState {
         let mut counts = self.others.counts().to_vec();
         debug_assert_eq!(counts.len(), num_locals);
-        counts[self.rep as usize] += 1;
+        for &l in &self.locals {
+            counts[l as usize] += 1;
+        }
         CounterState::new(counts)
+    }
+
+    /// The number of tracked copies.
+    pub fn width(&self) -> u32 {
+        self.locals.len() as u32
     }
 }
 
-/// The representative abstraction of `sys`: distinguished copy 1 explicit,
-/// the other `n - 1` copies counter-abstracted. The result is an
-/// [`IndexedKripke`] with index set `{1}`, ready for
-/// [`icstar_mc::IndexedChecker`].
+/// The width-`k` representative abstraction of `sys`: copies `1..=k`
+/// explicit, the other `n - k` copies counter-abstracted. The result is
+/// an [`IndexedKripke`] with index set `{1..=k}`, ready for
+/// [`icstar_mc::IndexedChecker`] or the canonical tuple expansion
+/// ([`icstar_logic::expand_representatives`]).
+///
+/// Transitions mirror the explicit interleaving: one copy — tracked or
+/// abstracted — fires a single enabled move, or a broadcast fires, in
+/// which case *every* tracked copy that is not the initiator follows the
+/// response map along with the abstracted ones (a distinguished copy is
+/// distinguished only in its labeling, never in its behavior).
 ///
 /// # Errors
 ///
-/// Returns [`SymError::EmptyFamily`] when the system has no copies.
-pub fn representative(sys: &CounterSystem, spec: &CountingSpec) -> Result<IndexedKripke, SymError> {
-    if sys.size() == 0 {
+/// [`SymError::EmptyFamily`] when the system has no copies;
+/// [`SymError::BadRepWidth`] unless `1 ≤ width ≤ n`.
+pub fn representative(
+    sys: &CounterSystem,
+    spec: &CountingSpec,
+    width: u32,
+) -> Result<IndexedKripke, SymError> {
+    let n = sys.size();
+    if n == 0 {
         return Err(SymError::EmptyFamily);
+    }
+    if width == 0 || width > n {
+        return Err(SymError::BadRepWidth { width, n });
     }
     let template = sys.template();
     let num_locals = template.num_states();
 
     let initial = RepState {
-        rep: template.initial(),
-        others: CounterState::all_in(num_locals, template.initial(), sys.size() - 1),
+        locals: vec![template.initial(); width as usize],
+        others: CounterState::all_in(num_locals, template.initial(), n - width),
     };
 
     let mut b = KripkeBuilder::new();
-    let mut ids: HashMap<(u32, PackedCounter), StateId> = HashMap::new();
-    let mut queue: Vec<RepState> = Vec::new();
+    let mut ids: HashMap<(Vec<u32>, PackedCounter), StateId> = HashMap::new();
+    // The BFS queue carries each state's id so the expansion loop never
+    // re-derives it (cloning the locals and re-packing the counter per
+    // pop would be pure overhead on the hot path).
+    let mut queue: Vec<(RepState, StateId)> = Vec::new();
 
     let add = |state: RepState,
                b: &mut KripkeBuilder,
-               ids: &mut HashMap<(u32, PackedCounter), StateId>,
-               queue: &mut Vec<RepState>|
+               ids: &mut HashMap<(Vec<u32>, PackedCounter), StateId>,
+               queue: &mut Vec<(RepState, StateId)>|
      -> StateId {
-        let key = (state.rep, sys.packing().pack(&state.others));
+        let key = (state.locals.clone(), sys.packing().pack(&state.others));
         if let Some(&id) = ids.get(&key) {
             return id;
         }
         let total = state.total_counts(num_locals);
-        let mut atoms: Vec<Atom> = template
-            .base()
-            .labels(state.rep)
-            .iter()
-            .map(|p| Atom::indexed(p.clone(), REPRESENTATIVE_INDEX))
-            .collect();
+        let mut atoms: Vec<Atom> = Vec::new();
+        for (c, &l) in state.locals.iter().enumerate() {
+            atoms.extend(
+                template
+                    .base()
+                    .labels(l)
+                    .iter()
+                    .map(|p| Atom::indexed(p.clone(), REPRESENTATIVE_INDEX + c as Index)),
+            );
+        }
         atoms.extend(spec.atoms_for(|p| template.prop_count(&total, p)));
-        let mut name = String::new();
-        let _ = write!(
-            name,
-            "rep={}|{}",
-            template.base().state_name(state.rep),
-            sys.state_name(&state.others)
-        );
+        let mut name = String::from("rep=");
+        for (c, &l) in state.locals.iter().enumerate() {
+            if c > 0 {
+                name.push(',');
+            }
+            name.push_str(template.base().state_name(l));
+        }
+        let _ = write!(name, "|{}", sys.state_name(&state.others));
         let id = b.state_labeled(name, atoms);
         ids.insert(key, id);
-        queue.push(state);
+        queue.push((state, id));
         id
     };
 
     let init = add(initial, &mut b, &mut ids, &mut queue);
     let mut head = 0;
     while head < queue.len() {
-        let state = queue[head].clone();
+        let (state, from) = queue[head].clone();
         head += 1;
-        let from = ids[&(state.rep, sys.packing().pack(&state.others))];
         let total = state.total_counts(num_locals);
         let mut succs: Vec<RepState> = Vec::new();
-        // The representative moves...
-        for (k, &q2) in template.base().successors(state.rep).iter().enumerate() {
-            if template.enabled(&total, state.rep, k) {
-                let next = RepState {
-                    rep: q2,
-                    others: state.others.clone(),
-                };
-                if !succs.contains(&next) {
-                    succs.push(next);
+        // One tracked copy moves...
+        for (t, &q) in state.locals.iter().enumerate() {
+            for (k, &q2) in template.base().successors(q).iter().enumerate() {
+                if template.enabled(&total, q, k) {
+                    let mut locals = state.locals.clone();
+                    locals[t] = q2;
+                    let next = RepState {
+                        locals,
+                        others: state.others.clone(),
+                    };
+                    if !succs.contains(&next) {
+                        succs.push(next);
+                    }
                 }
             }
         }
@@ -135,7 +178,7 @@ pub fn representative(sys: &CounterSystem, spec: &CountingSpec) -> Result<Indexe
             for (k, &q2) in template.base().successors(q).iter().enumerate() {
                 if template.enabled(&total, q, k) {
                     let next = RepState {
-                        rep: state.rep,
+                        locals: state.locals.clone(),
                         others: state.others.move_one(q, q2),
                     };
                     if !succs.contains(&next) {
@@ -144,18 +187,22 @@ pub fn representative(sys: &CounterSystem, spec: &CountingSpec) -> Result<Indexe
                 }
             }
         }
-        // ...or a broadcast fires. Either the representative initiates
-        // (every abstracted copy responds), or an abstracted copy does
-        // (its peers respond — and so does the representative, by the
-        // same map: the distinguished copy is distinguished only in its
-        // labeling, never in its behavior).
+        // ...or a broadcast fires. Either some tracked copy initiates
+        // (its tracked peers and every abstracted copy respond), or an
+        // abstracted copy does (all tracked copies respond).
         for bc in template.broadcasts() {
             if !template.broadcast_enabled(&total, bc) {
                 continue;
             }
-            if state.rep == bc.source() {
+            for (t, &q) in state.locals.iter().enumerate() {
+                if q != bc.source() {
+                    continue;
+                }
+                let mut locals: Vec<u32> =
+                    state.locals.iter().map(|&l| bc.response_of(l)).collect();
+                locals[t] = bc.target();
                 let next = RepState {
-                    rep: bc.target(),
+                    locals,
                     others: state.others.respond(bc.response()),
                 };
                 if !succs.contains(&next) {
@@ -164,7 +211,7 @@ pub fn representative(sys: &CounterSystem, spec: &CountingSpec) -> Result<Indexe
             }
             if state.others.count(bc.source()) > 0 {
                 let next = RepState {
-                    rep: bc.response_of(state.rep),
+                    locals: state.locals.iter().map(|&l| bc.response_of(l)).collect(),
                     others: state
                         .others
                         .broadcast(bc.source(), bc.target(), bc.response()),
@@ -185,7 +232,12 @@ pub fn representative(sys: &CounterSystem, spec: &CountingSpec) -> Result<Indexe
     let kripke = b
         .build(init)
         .expect("representative exploration is stutter-completed, hence total");
-    Ok(IndexedKripke::new(kripke, vec![REPRESENTATIVE_INDEX]))
+    Ok(IndexedKripke::new(
+        kripke,
+        (0..width)
+            .map(|c| REPRESENTATIVE_INDEX + c as Index)
+            .collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -201,16 +253,31 @@ mod tests {
         let sys = CounterSystem::new(mutex_template(), 0);
         let spec = CountingSpec::standard(sys.template());
         assert!(matches!(
-            representative(&sys, &spec),
+            representative(&sys, &spec, 1),
             Err(SymError::EmptyFamily)
         ));
+    }
+
+    #[test]
+    fn width_must_fit_the_family() {
+        let sys = CounterSystem::new(mutex_template(), 2);
+        let spec = CountingSpec::standard(sys.template());
+        assert!(matches!(
+            representative(&sys, &spec, 0),
+            Err(SymError::BadRepWidth { width: 0, n: 2 })
+        ));
+        assert!(matches!(
+            representative(&sys, &spec, 3),
+            Err(SymError::BadRepWidth { width: 3, n: 2 })
+        ));
+        assert!(representative(&sys, &spec, 2).is_ok());
     }
 
     #[test]
     fn single_copy_is_just_the_template() {
         let t = GuardedTemplate::free(fig41_template());
         let sys = CounterSystem::new(t.clone(), 1);
-        let m = representative(&sys, &CountingSpec::standard(&t)).unwrap();
+        let m = representative(&sys, &CountingSpec::standard(&t), 1).unwrap();
         assert_eq!(m.kripke().num_states(), 2);
         assert_eq!(m.indices(), &[1]);
         let init = m.kripke().initial();
@@ -223,7 +290,7 @@ mod tests {
         // *can* flip and once flipped stays flipped.
         let t = GuardedTemplate::free(fig41_template());
         let sys = CounterSystem::new(t.clone(), 4);
-        let m = representative(&sys, &CountingSpec::standard(&t)).unwrap();
+        let m = representative(&sys, &CountingSpec::standard(&t), 1).unwrap();
         let mut chk = IndexedChecker::new(&m);
         for (src, expect) in [
             ("forall i. EF b[i]", true),
@@ -237,10 +304,30 @@ mod tests {
     }
 
     #[test]
+    fn width_two_tracks_a_distinguishable_pair() {
+        let t = GuardedTemplate::free(fig41_template());
+        let sys = CounterSystem::new(t.clone(), 4);
+        let m = representative(&sys, &CountingSpec::standard(&t), 2).unwrap();
+        assert_eq!(m.indices(), &[1, 2]);
+        let mut chk = IndexedChecker::new(&m);
+        for (src, expect) in [
+            // Copy 1 can flip while copy 2 stays put — only expressible
+            // with two tracked copies.
+            ("EF (b[1] & a[2])", true),
+            ("EF (b[1] & b[2])", true),
+            ("AG (a[1] | a[2] | b_ge2)", true),
+            ("EF (b[1] & a[2] & b_ge2)", true), // an abstracted copy flips too
+        ] {
+            let f = parse_state(src).unwrap();
+            assert_eq!(chk.plain().holds(&f).unwrap(), expect, "{src}");
+        }
+    }
+
+    #[test]
     fn mutex_representative_liveness_possibility() {
         let t = mutex_template();
         let sys = CounterSystem::new(t.clone(), 5);
-        let m = representative(&sys, &CountingSpec::standard(&t)).unwrap();
+        let m = representative(&sys, &CountingSpec::standard(&t), 1).unwrap();
         let mut chk = IndexedChecker::new(&m);
         // Every trying representative can eventually enter, and critical
         // representatives exclude a second critical copy.
@@ -255,14 +342,68 @@ mod tests {
     }
 
     #[test]
+    fn mutex_width_two_separates_the_tracked_pair() {
+        let t = mutex_template();
+        let sys = CounterSystem::new(t.clone(), 5);
+        let m = representative(&sys, &CountingSpec::standard(&t), 2).unwrap();
+        let mut chk = IndexedChecker::new(&m);
+        for (src, expect) in [
+            // The guard protects the *pair*: never both tracked copies
+            // critical, and whenever copy 1 is in, copy 2 is out.
+            ("AG !(crit[1] & crit[2])", true),
+            ("AG (crit[1] -> !crit[2])", true),
+            ("EF (crit[1] & try[2])", true),
+            ("EF crit[2]", true),
+        ] {
+            let f = parse_state(src).unwrap();
+            assert_eq!(chk.plain().holds(&f).unwrap(), expect, "{src}");
+        }
+    }
+
+    #[test]
     fn rep_state_count_is_locals_times_counters() {
-        // Free 2-state template at n: rep has 2 local states, others have
-        // n occupancy vectors -> 2n reachable rep states.
+        // Free 2-state template at n: width-1 rep has 2 local states,
+        // others have n occupancy vectors -> 2n reachable rep states;
+        // width-2 has 4 * (n - 1) reachable states.
         let t = GuardedTemplate::free(fig41_template());
         let n = 6;
         let sys = CounterSystem::new(t.clone(), n);
-        let m = representative(&sys, &CountingSpec::standard(&t)).unwrap();
-        assert_eq!(m.kripke().num_states() as u32, 2 * n);
-        m.kripke().validate().unwrap();
+        let spec = CountingSpec::standard(&t);
+        let m1 = representative(&sys, &spec, 1).unwrap();
+        assert_eq!(m1.kripke().num_states() as u32, 2 * n);
+        m1.kripke().validate().unwrap();
+        let m2 = representative(&sys, &spec, 2).unwrap();
+        assert_eq!(m2.kripke().num_states() as u32, 4 * (n - 1));
+        m2.kripke().validate().unwrap();
+    }
+
+    #[test]
+    fn width_n_is_the_fully_explicit_composition() {
+        // Tracking every copy leaves nothing abstracted: the state count
+        // matches the explicit interleaving's.
+        let t = GuardedTemplate::free(fig41_template());
+        let sys = CounterSystem::new(t.clone(), 3);
+        let m = representative(&sys, &CountingSpec::standard(&t), 3).unwrap();
+        assert_eq!(m.kripke().num_states(), 8); // 2^3
+        assert_eq!(m.indices(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn broadcasts_move_every_tracked_copy() {
+        // Barrier: from "everyone at the phase-0 barrier", the release
+        // broadcast flips both tracked copies and all abstracted ones.
+        let t = crate::workloads::barrier_template();
+        let sys = CounterSystem::new(t.clone(), 4);
+        let m = representative(&sys, &CountingSpec::standard(&t), 2).unwrap();
+        let mut chk = IndexedChecker::new(&m);
+        for (src, expect) in [
+            // Phases never mix across the tracked pair.
+            ("AG !(phase0[1] & phase1[2])", true),
+            ("AG !(phase1[1] & phase0[2])", true),
+            ("EF (phase1[1] & phase1[2])", true),
+        ] {
+            let f = parse_state(src).unwrap();
+            assert_eq!(chk.plain().holds(&f).unwrap(), expect, "{src}");
+        }
     }
 }

@@ -204,6 +204,8 @@ impl WireClient {
                 "cache_misses" => s.cache_misses = value,
                 "cached_structures" => s.cached_structures = value,
                 "cached_abstract_states" => s.cached_abstract_states = value,
+                "cache_evictions" => s.cache_evictions = value,
+                "evicted_abstract_states" => s.evicted_abstract_states = value,
                 "sharded_explorations" => s.sharded_explorations = value,
                 _ => {} // forward compatibility
             }

@@ -493,6 +493,12 @@ fn stats(writer: &mut TcpStream, shared: &Shared) -> io::Result<()> {
         "cached_abstract_states {}",
         s.cached_abstract_states
     )?;
+    writeln!(writer, "cache_evictions {}", s.cache_evictions)?;
+    writeln!(
+        writer,
+        "evicted_abstract_states {}",
+        s.evicted_abstract_states
+    )?;
     writeln!(writer, "sharded_explorations {}", s.sharded_explorations)?;
     writeln!(writer, ".")
 }

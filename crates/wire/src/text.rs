@@ -340,6 +340,12 @@ pub fn print_wire_report(report: &WireReport) -> String {
                 fmt_string(&mut out, msg);
             }
         }
+        // The representative width is printed only when the check
+        // actually tracked copies; `k 0` (counter backend) is the
+        // parser's default, keeping old transcripts valid.
+        if v.rep_width > 0 {
+            let _ = write!(out, " k {}", v.rep_width);
+        }
         out.push_str(";\n");
     }
     out.push_str("}\n");
@@ -365,6 +371,10 @@ pub struct WireVerdict {
     pub n: u32,
     /// Whether the formula holds, or the check error's display text.
     pub outcome: Result<bool, String>,
+    /// Distinguished copies the representative construction tracked for
+    /// this check (`verdict … = holds k 2;` on the wire); `0` — omitted
+    /// when printing — for counter-structure checks and errors.
+    pub rep_width: u32,
 }
 
 /// A [`VerdictReport`] in wire form.
@@ -399,6 +409,7 @@ impl From<&VerdictReport> for WireReport {
                     name: v.name.clone(),
                     n: v.n,
                     outcome: v.result.as_ref().map(|b| *b).map_err(|e| e.to_string()),
+                    rep_width: v.rep_width,
                 })
                 .collect(),
         }
@@ -910,8 +921,16 @@ fn report(c: &mut Cursor<'_>) -> Result<WireReport, WireParseError> {
         } else {
             return Err(c.error("expected `holds`, `fails`, or `error \"...\"`"));
         };
+        // Optional representative width; absent (older servers, counter
+        // checks) means 0.
+        let rep_width = if c.eat_word("k") { c.int()? } else { 0 };
         c.expect(";")?;
-        verdicts.push(WireVerdict { name, n, outcome });
+        verdicts.push(WireVerdict {
+            name,
+            n,
+            outcome,
+            rep_width,
+        });
     }
     c.expect("}")?;
     Ok(WireReport { job_id, verdicts })
@@ -1123,16 +1142,19 @@ mod tests {
                     name: "mutex".into(),
                     n: 100,
                     result: Ok(true),
+                    rep_width: 0,
                 },
                 JobVerdict {
                     name: "two in crit".into(),
                     n: 100,
                     result: Ok(false),
+                    rep_width: 2,
                 },
                 JobVerdict {
                     name: "bogus".into(),
                     n: 3,
                     result: Err(SymError::UnknownAtom("bogus_ge1".into())),
+                    rep_width: 0,
                 },
             ],
         };
@@ -1148,6 +1170,38 @@ mod tests {
             .as_ref()
             .unwrap_err()
             .contains("\"bogus_ge1\""));
+    }
+
+    #[test]
+    fn report_width_round_trips_and_defaults_to_zero() {
+        // `k 2` survives print → parse; verdicts without the clause
+        // (older servers' transcripts) read back as width 0.
+        let report = WireReport {
+            job_id: 9,
+            verdicts: vec![
+                WireVerdict {
+                    name: "pairs".into(),
+                    n: 100_000,
+                    outcome: Ok(true),
+                    rep_width: 2,
+                },
+                WireVerdict {
+                    name: "mutex".into(),
+                    n: 100_000,
+                    outcome: Ok(true),
+                    rep_width: 0,
+                },
+            ],
+        };
+        let text = print_wire_report(&report);
+        assert!(text.contains("= holds k 2;"), "{text}");
+        assert!(text.contains("\"mutex\" @ 100000 = holds;"), "{text}");
+        assert_eq!(parse_report(&text).unwrap(), report);
+
+        let legacy = "report 7 {\n  verdict \"m\" @ 10 = fails;\n}\n";
+        let parsed = parse_report(legacy).unwrap();
+        assert_eq!(parsed.verdicts[0].rep_width, 0);
+        assert_eq!(parsed.verdicts[0].outcome, Ok(false));
     }
 
     #[test]
@@ -1263,6 +1317,7 @@ mod tests {
                 name: "x".into(),
                 n: 2,
                 outcome: Err("boom\r\n.\r\nboom".into()),
+                rep_width: 0,
             }],
         };
         let text = print_wire_report(&report);

@@ -16,6 +16,7 @@ fn test_service() -> VerifyService {
         cache_shards: 4,
         exploration_shards: 2,
         sharded_threshold: 1_000_000,
+        cache_budget_states: u64::MAX,
     })
 }
 
@@ -252,6 +253,46 @@ fn raw_protocol_lines_work_without_the_client() {
     let report = icstar_wire::parse_report(&block).unwrap();
     assert_eq!(report.job_id, bcast_id);
     assert!(report.all_hold());
+
+    // A nested-quantifier job (PROTOCOL.md's third transcript
+    // exchange): the verdict must carry the representative width, and
+    // the report's server-side bytes are pinned exactly.
+    writeln!(writer, "SUBMIT").unwrap();
+    writeln!(
+        writer,
+        "job {{\n  template {{\n    state idle [idle];\n    state try [try];\n    \
+         state crit [crit];\n    init idle;\n    edge idle -> try;\n    \
+         edge try -> crit when #crit <= 0;\n    edge crit -> idle;\n  }}\n  \
+         sizes 100;\n  check \"pair exclusion\": forall i. exists j. AG (crit[i] -> !crit[j]);\n}}"
+    )
+    .unwrap();
+    writeln!(writer, ".").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let nested_id: u64 = line
+        .trim_end()
+        .strip_prefix("OK id ")
+        .expect("nested submit answer")
+        .parse()
+        .unwrap();
+    writeln!(writer, "RESULT {nested_id}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK report");
+    let mut block = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end() == "." {
+            break;
+        }
+        block.push_str(&line);
+    }
+    assert_eq!(
+        block,
+        format!("report {nested_id} {{\n  verdict \"pair exclusion\" @ 100 = holds k 2;\n}}\n"),
+        "nested-quantifier report bytes are pinned by PROTOCOL.md"
+    );
 
     writeln!(writer, "NONSENSE").unwrap();
     line.clear();

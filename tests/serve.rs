@@ -32,6 +32,7 @@ fn small_service(workers: usize) -> VerifyService {
         cache_shards: 8,
         exploration_shards: 2,
         sharded_threshold: 500, // exercise the sharded path at test sizes
+        cache_budget_states: u64::MAX,
     })
 }
 

@@ -16,6 +16,7 @@ fn test_service() -> VerifyService {
         cache_shards: 4,
         exploration_shards: 2,
         sharded_threshold: 1_000_000,
+        cache_budget_states: u64::MAX,
     })
 }
 
@@ -48,6 +49,7 @@ fn assert_wire_matches_library(
             assert_eq!(w.name, v.name);
             assert_eq!(w.n, n);
             assert_eq!(w.outcome, Ok(v.holds), "{} at n = {n}", v.name);
+            assert_eq!(w.rep_width, v.rep_width, "{} at n = {n}", v.name);
         }
     }
 }
@@ -65,6 +67,10 @@ fn wire_verdicts_match_verify_at_many() {
             ("mutual exclusion", "AG !crit_ge2"),
             ("access possibility", "forall i. AG(try[i] -> EF crit[i])"),
             ("two in crit reachable", "EF crit_ge2"), // fails: exercised on purpose
+            (
+                "pair exclusion", // depth 2: routed through two tracked copies
+                "forall i. exists j. AG(crit[i] -> !crit[j])",
+            ),
         ],
     );
     assert_wire_matches_library(

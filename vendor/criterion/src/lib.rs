@@ -7,14 +7,89 @@
 //! wall-clock timing and stdout reporting instead of statistical analysis.
 //! It exists because this workspace builds without network access to
 //! crates.io.
+//!
+//! **Machine-readable results.** When the `BENCH_JSON` environment
+//! variable names a file, [`criterion_main!`] also writes every
+//! benchmark's summary as a JSON array (`group`, `id`, `median_ns`,
+//! `min_ns`, `max_ns`, `samples`) to that path after all groups have
+//! run — e.g. `BENCH_JSON=BENCH_sym.json cargo bench --bench sym` on
+//! release CI, so the perf trajectory is tracked as an artifact rather
+//! than scraped from stdout.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished benchmark's summary, queued for the optional JSON dump.
+#[derive(Clone, Debug)]
+struct Record {
+    group: String,
+    id: String,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+/// Results collected across all groups of this process.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the collected benchmark summaries as a JSON array to the path
+/// named by `BENCH_JSON`, if set. Called by [`criterion_main!`] after
+/// every group has run; harmless (and silent) when the variable is
+/// absent. Errors are reported to stderr, never panicked on — a failed
+/// artifact write must not fail the benchmark run itself.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let records = RECORDS.lock().expect("bench records poisoned");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {}, \
+             \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
+            json_escape(&r.group),
+            json_escape(&r.id),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {} benchmark records to {path}", records.len()),
+        Err(e) => eprintln!("BENCH_JSON: could not write {path}: {e}"),
+    }
+}
 
 /// Top-level benchmark driver, created by [`criterion_main!`].
 #[derive(Debug, Default)]
@@ -149,6 +224,17 @@ impl BenchmarkGroup<'_> {
             max,
             sorted.len()
         );
+        RECORDS
+            .lock()
+            .expect("bench records poisoned")
+            .push(Record {
+                group: self.name.clone(),
+                id: id.0.clone(),
+                median_ns: median.as_nanos(),
+                min_ns: min.as_nanos(),
+                max_ns: max.as_nanos(),
+                samples: sorted.len(),
+            });
     }
 }
 
@@ -164,12 +250,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits a `main` that runs every listed group.
+/// Emits a `main` that runs every listed group, then dumps the JSON
+/// artifact if `BENCH_JSON` is set ([`write_json_if_requested`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_if_requested();
         }
     };
 }
