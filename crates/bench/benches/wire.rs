@@ -50,6 +50,7 @@ fn bench_socket_round_trip(c: &mut Criterion) {
             exploration_shards: 2,
             sharded_threshold: 1_000_000,
             cache_budget_states: u64::MAX,
+            ..ServeConfig::default()
         }),
     )
     .unwrap();

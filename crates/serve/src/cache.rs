@@ -52,6 +52,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use icstar_kripke::{IndexedKripke, Kripke};
 use icstar_sym::{CountingSpec, GuardedTemplate, SymError};
+use icstar_telemetry::{Counter, Registry};
 
 /// The bucket key of one family: fingerprints plus size and
 /// representative width (0 = the counter graph). Fast to hash and
@@ -152,8 +153,8 @@ impl<T> Memo<T> {
         template: &GuardedTemplate,
         spec: &CountingSpec,
         now: u64,
-        hits: &AtomicU64,
-        misses: &AtomicU64,
+        hits: &Counter,
+        misses: &Counter,
         resident: &AtomicI64,
         pinned: &AtomicBool,
         size: impl Fn(&T) -> usize,
@@ -161,11 +162,11 @@ impl<T> Memo<T> {
     ) -> Result<Arc<T>, SymError> {
         let (slot, created) = self.slot(key, template, spec, now);
         if created {
-            misses.fetch_add(1, Ordering::Relaxed);
+            misses.inc();
         } else {
             // Either already materialized or being materialized by a peer
             // right now — both share the work, both are hits.
-            hits.fetch_add(1, Ordering::Relaxed);
+            hits.inc();
         }
         let out = slot.get_or_init(|| build().map(Arc::new)).clone();
         if created {
@@ -276,8 +277,8 @@ impl<T> Memo<T> {
 pub struct GraphCache {
     counter: Memo<Kripke>,
     rep: Memo<IndexedKripke>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
     /// Maximum total abstract states across materialized entries;
     /// `u64::MAX` means unbounded.
     budget_states: u64,
@@ -297,8 +298,8 @@ pub struct GraphCache {
     /// racing set/clear costs at most a deferred scan, never a wrong
     /// answer.
     over_budget_pinned: AtomicBool,
-    evictions: AtomicU64,
-    evicted_states: AtomicU64,
+    evictions: Counter,
+    evicted_states: Counter,
 }
 
 impl GraphCache {
@@ -317,15 +318,27 @@ impl GraphCache {
         GraphCache {
             counter: Memo::new(shards),
             rep: Memo::new(shards),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
             budget_states,
             clock: AtomicU64::new(0),
             resident: AtomicI64::new(0),
             over_budget_pinned: AtomicBool::new(false),
-            evictions: AtomicU64::new(0),
-            evicted_states: AtomicU64::new(0),
+            evictions: Counter::detached(),
+            evicted_states: Counter::detached(),
         }
+    }
+
+    /// Publishes the cache's counters into `registry` under the
+    /// `serve.cache.*` names — the same handles the cache updates, so
+    /// the registry view and the [`GraphCache::hits`]-style accessors
+    /// can never disagree. [`VerifyService`](crate::VerifyService) calls
+    /// this on its own cache at start.
+    pub fn publish_metrics(&self, registry: &Registry) {
+        registry.adopt_counter("serve.cache.hits", &self.hits);
+        registry.adopt_counter("serve.cache.misses", &self.misses);
+        registry.adopt_counter("serve.cache.evictions", &self.evictions);
+        registry.adopt_counter("serve.cache.evicted_states", &self.evicted_states);
     }
 
     fn tick(&self) -> u64 {
@@ -441,8 +454,8 @@ impl GraphCache {
             match removed {
                 Some(weight) => {
                     self.resident.fetch_sub(weight as i64, Ordering::Relaxed);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                    self.evicted_states.fetch_add(weight, Ordering::Relaxed);
+                    self.evictions.inc();
+                    self.evicted_states.add(weight);
                 }
                 None => continue, // raced with a lookup; rescan
             }
@@ -451,24 +464,24 @@ impl GraphCache {
 
     /// Requests answered from an existing (or in-flight) slot.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Requests that had to build.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Entries evicted to fit the abstract-state budget.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
 
     /// Total abstract states carried by evicted entries — together with
     /// [`GraphCache::evictions`], the pressure signal an operator tunes
     /// the budget by.
     pub fn evicted_states(&self) -> u64 {
-        self.evicted_states.load(Ordering::Relaxed)
+        self.evicted_states.get()
     }
 
     /// Number of cached structures (counter + representative).

@@ -1,13 +1,16 @@
 //! The verification service: a job queue drained by a fixed worker pool.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::AtomicU64;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use icstar_kripke::Kripke;
 use icstar_logic::has_index_quantifier;
 use icstar_sym::{required_rep_width, CountingSpec, SymEngine};
+use icstar_telemetry::{Registry, TelemetrySnapshot};
 
 use crate::cache::GraphCache;
 use crate::job::{JobVerdict, VerdictReport, VerifyJob};
@@ -33,6 +36,12 @@ pub struct ServeConfig {
     /// count — see [`GraphCache::with_budget`]). `u64::MAX` (the
     /// default) disables eviction.
     pub cache_budget_states: u64,
+    /// The registry this service's metrics land in (`serve.*`, plus the
+    /// `sym.*` metrics of every engine the workers run). Defaults to a
+    /// **fresh** registry so colocated services never mix counters; pass
+    /// `Registry::global().clone()` to publish into the process-wide
+    /// registry instead.
+    pub telemetry: Registry,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +63,7 @@ impl Default for ServeConfig {
             exploration_shards: (cores / 2).max(2),
             sharded_threshold: 20_000,
             cache_budget_states: u64::MAX,
+            telemetry: Registry::new(),
         }
     }
 }
@@ -114,6 +124,9 @@ struct QueuedJob {
     id: u64,
     job: VerifyJob,
     reply: mpsc::Sender<VerdictReport>,
+    /// When `submit` accepted the job — start of the queue-wait and
+    /// total-latency measurements.
+    submitted: Instant,
 }
 
 /// Everything the workers share.
@@ -166,9 +179,13 @@ impl VerifyService {
     pub fn start(config: ServeConfig) -> Self {
         let (tx, rx) = mpsc::channel::<QueuedJob>();
         let rx = Arc::new(Mutex::new(rx));
+        let cache = GraphCache::with_budget(config.cache_shards, config.cache_budget_states);
+        cache.publish_metrics(&config.telemetry);
+        let stats = ServiceStats::register(&config.telemetry);
+        stats.workers_total.set(config.workers.max(1) as i64);
         let inner = Arc::new(Inner {
-            cache: GraphCache::with_budget(config.cache_shards, config.cache_budget_states),
-            stats: ServiceStats::default(),
+            cache,
+            stats,
             config: config.clone(),
         });
         let workers = (0..config.workers.max(1))
@@ -183,6 +200,12 @@ impl VerifyService {
                         let msg = { rx.lock().expect("queue poisoned").recv() };
                         match msg {
                             Ok(q) => {
+                                inner.stats.queue_depth.dec();
+                                inner
+                                    .stats
+                                    .queue_wait_ns
+                                    .record_duration(q.submitted.elapsed());
+                                inner.stats.workers_busy.inc();
                                 // Isolate panics: a pathological job must
                                 // not shrink the pool (each dead worker
                                 // would be one forever, until every
@@ -194,14 +217,19 @@ impl VerifyService {
                                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                         process(&inner, q.id, q.job)
                                     }));
+                                inner.stats.workers_busy.dec();
                                 if let Ok(report) = report {
-                                    ServiceStats::bump(&inner.stats.jobs_completed);
+                                    inner.stats.jobs_completed.inc();
+                                    inner.stats.total_ns.record_duration(q.submitted.elapsed());
                                     // The caller may have dropped its
                                     // handle; the work still counts.
                                     let _ = q.reply.send(report);
                                 }
                                 // On panic the reply sender is dropped and
-                                // the job's handle reports JobLost.
+                                // the job's handle reports JobLost; its
+                                // latency is deliberately not recorded
+                                // (the phase histograms describe served
+                                // jobs).
                             }
                             Err(_) => break, // queue closed: shut down
                         }
@@ -229,8 +257,14 @@ impl VerifyService {
             .next_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
-        ServiceStats::bump(&self.inner.stats.jobs_submitted);
-        let queued = QueuedJob { id, job, reply };
+        self.inner.stats.jobs_submitted.inc();
+        self.inner.stats.queue_depth.inc();
+        let queued = QueuedJob {
+            id,
+            job,
+            reply,
+            submitted: Instant::now(),
+        };
         if let Some(tx) = &self.tx {
             // Failure means every worker has died; the handle will then
             // report `JobLost`.
@@ -239,21 +273,45 @@ impl VerifyService {
         JobHandle { id, rx }
     }
 
-    /// A point-in-time view of the service counters.
+    /// A point-in-time view of the service counters. Reads the same
+    /// registry handles [`VerifyService::telemetry_snapshot`] exports —
+    /// the flat snapshot is a stable legacy view, not a second ledger.
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.inner.stats;
         StatsSnapshot {
-            jobs_submitted: ServiceStats::read(&s.jobs_submitted),
-            jobs_completed: ServiceStats::read(&s.jobs_completed),
-            formulas_checked: ServiceStats::read(&s.formulas_checked),
+            jobs_submitted: s.jobs_submitted.get(),
+            jobs_completed: s.jobs_completed.get(),
+            formulas_checked: s.formulas_checked.get(),
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
             cached_structures: self.inner.cache.len() as u64,
             cached_abstract_states: self.inner.cache.abstract_states(),
             cache_evictions: self.inner.cache.evictions(),
             evicted_abstract_states: self.inner.cache.evicted_states(),
-            sharded_explorations: ServiceStats::read(&s.sharded_explorations),
+            sharded_explorations: s.sharded_explorations.get(),
         }
+    }
+
+    /// The registry this service publishes its metrics into (the one
+    /// from [`ServeConfig::telemetry`]).
+    pub fn telemetry(&self) -> &Registry {
+        &self.inner.config.telemetry
+    }
+
+    /// A coherent snapshot of every registered metric, with the cache
+    /// occupancy gauges (`serve.cache.structures`,
+    /// `serve.cache.abstract_states`) refreshed first — occupancy is a
+    /// property of the cache's maps, not an event stream, so it is
+    /// sampled here rather than maintained on the hot path.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let registry = &self.inner.config.telemetry;
+        registry
+            .gauge("serve.cache.structures")
+            .set(self.inner.cache.len() as i64);
+        registry
+            .gauge("serve.cache.abstract_states")
+            .set(self.inner.cache.abstract_states().min(i64::MAX as u64) as i64);
+        registry.snapshot()
     }
 
     /// The number of worker threads.
@@ -275,10 +333,30 @@ impl Drop for VerifyService {
     }
 }
 
+/// Times one cache fetch and files its latency under hit or miss: the
+/// closure receives a flag it must set iff *this* call ran the build.
+/// An in-flight wait (the builder is a peer) counts as a hit — an
+/// honest, slow one; the tail of `serve.cache.hit_ns` is contention,
+/// not lookup cost.
+fn timed_fetch<T>(stats: &ServiceStats, fetch: impl FnOnce(&Cell<bool>) -> T) -> (T, Duration) {
+    let built = Cell::new(false);
+    let start = Instant::now();
+    let out = fetch(&built);
+    let dur = start.elapsed();
+    if built.get() {
+        stats.cache_miss_ns.record_duration(dur);
+    } else {
+        stats.cache_hit_ns.record_duration(dur);
+    }
+    (out, dur)
+}
+
 /// Runs one job: for every size, fetch-or-build the needed structures
 /// through the cache — the counter graph, plus one representative
 /// structure per distinct width the job's formulas require — then check
-/// every formula on a session seeded with them.
+/// every formula on a session seeded with them. Structure acquisition
+/// and checking are timed separately into the per-job phase histograms
+/// (`serve.job.build_ns` / `serve.job.check_ns`, one sample per job).
 fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
     let VerifyJob {
         template,
@@ -287,7 +365,10 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
         formulas,
     } = job;
     let spec = spec.unwrap_or_else(|| CountingSpec::standard(&template));
-    let engine = SymEngine::with_spec(template, spec);
+    let engine =
+        SymEngine::with_spec(template, spec).with_telemetry(inner.config.telemetry.clone());
+    let mut build_time = Duration::ZERO;
+    let mut check_time = Duration::ZERO;
 
     let any_counting = formulas.iter().any(|(_, f)| !has_index_quantifier(f));
     let any_indexed = formulas.iter().any(|(_, f)| has_index_quantifier(f));
@@ -298,13 +379,16 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
         // Indexed formulas at n = 0 expand over the empty index set and
         // fall back to the counter structure, so it is needed then too.
         if any_counting || (any_indexed && n == 0) {
-            session.seed_counter(
+            let (graph, dur) = timed_fetch(&inner.stats, |built| {
                 inner
                     .cache
                     .counter(engine.template(), engine.spec(), n, || {
+                        built.set(true);
                         materialize(inner, &engine, n)
-                    }),
-            );
+                    })
+            });
+            build_time += dur;
+            session.seed_counter(graph);
         }
         if any_indexed && n > 0 {
             // The distinct representative widths this job needs at this
@@ -318,13 +402,16 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
             widths.sort_unstable();
             widths.dedup();
             for width in widths {
-                if let Ok(rep) =
+                let (rep, dur) = timed_fetch(&inner.stats, |built| {
                     inner
                         .cache
                         .representative(engine.template(), engine.spec(), n, width, || {
+                            built.set(true);
                             engine.representative_structure(n, width)
                         })
-                {
+                });
+                build_time += dur;
+                if let Ok(rep) = rep {
                     session.seed_representative(width, rep);
                 }
                 // On error the session is left unseeded: each indexed
@@ -332,8 +419,10 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
             }
         }
         for (name, f) in &formulas {
+            let check_started = Instant::now();
             let run = session.check_described(f);
-            ServiceStats::bump(&inner.stats.formulas_checked);
+            check_time += check_started.elapsed();
+            inner.stats.formulas_checked.inc();
             let (result, rep_width) = match run {
                 Ok(run) => (Ok(run.holds), run.rep_width),
                 Err(e) => (Err(e), 0),
@@ -346,6 +435,8 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
             });
         }
     }
+    inner.stats.build_ns.record_duration(build_time);
+    inner.stats.check_ns.record_duration(check_time);
     VerdictReport {
         job_id: id,
         verdicts,
@@ -356,7 +447,7 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
 /// large families, sequential BFS for small ones.
 fn materialize(inner: &Inner, engine: &SymEngine, n: u32) -> Kripke {
     if n >= inner.config.sharded_threshold {
-        ServiceStats::bump(&inner.stats.sharded_explorations);
+        inner.stats.sharded_explorations.inc();
         engine.counter_structure_sharded(n, inner.config.exploration_shards)
     } else {
         engine.counter_structure(n)
@@ -376,6 +467,7 @@ mod tests {
             exploration_shards: 2,
             sharded_threshold: 1_000_000, // keep unit tests sequential
             cache_budget_states: u64::MAX,
+            telemetry: Registry::new(), // isolated: exact counts below
         }
     }
 
@@ -551,6 +643,93 @@ mod tests {
                 Err(e) => panic!("job lost: {e}"),
             }
         }
+    }
+
+    #[test]
+    fn telemetry_snapshot_mirrors_stats_and_times_phases() {
+        let service = VerifyService::start(small_config());
+        let job = VerifyJob::new(mutex_template())
+            .at_sizes([4, 8])
+            .formula("mutex", parse_state("AG !crit_ge2").unwrap())
+            .formula(
+                "access",
+                parse_state("forall i. AG(try[i] -> EF crit[i])").unwrap(),
+            );
+        service.submit(job.clone()).wait().unwrap();
+        service.submit(job).wait().unwrap();
+
+        let stats = service.stats();
+        let snap = service.telemetry_snapshot();
+        // One ledger: the registry view and the flat snapshot agree.
+        assert_eq!(snap.counter("serve.jobs.submitted"), Some(2));
+        assert_eq!(snap.counter("serve.jobs.completed"), Some(2));
+        assert_eq!(
+            snap.counter("serve.formulas.checked"),
+            Some(stats.formulas_checked)
+        );
+        assert_eq!(snap.counter("serve.cache.hits"), Some(stats.cache_hits));
+        assert_eq!(snap.counter("serve.cache.misses"), Some(stats.cache_misses));
+        assert_eq!(
+            snap.gauge("serve.cache.structures"),
+            Some(stats.cached_structures as i64)
+        );
+        assert_eq!(
+            snap.gauge("serve.cache.abstract_states"),
+            Some(stats.cached_abstract_states as i64)
+        );
+        // Phase histograms: one sample per job, every phase covered,
+        // and per job queue wait ≤ total latency.
+        for name in [
+            "serve.job.queue_wait_ns",
+            "serve.job.build_ns",
+            "serve.job.check_ns",
+            "serve.job.total_ns",
+        ] {
+            assert_eq!(snap.histogram(name).map(|h| h.count), Some(2), "{name}");
+        }
+        let queue = snap.histogram("serve.job.queue_wait_ns").unwrap();
+        let total = snap.histogram("serve.job.total_ns").unwrap();
+        assert!(queue.sum <= total.sum, "queue wait is part of total");
+        // Cache fetch latency is filed under exactly one of hit/miss.
+        let hit = snap.histogram("serve.cache.hit_ns").unwrap();
+        let miss = snap.histogram("serve.cache.miss_ns").unwrap();
+        assert_eq!(hit.count, stats.cache_hits);
+        assert_eq!(miss.count, stats.cache_misses);
+        // The workers' engines report into the same registry (2 counter
+        // structures were materialized; rep builds may add more).
+        assert!(snap.counter("sym.explore.builds").unwrap() >= 2);
+        assert!(snap.counter("sym.explore.states").unwrap() > 0);
+        // Pool gauges: sized at start, idle after the jobs drained.
+        assert_eq!(snap.gauge("serve.workers.total"), Some(2));
+        assert_eq!(snap.gauge("serve.queue.depth"), Some(0));
+    }
+
+    #[test]
+    fn queue_depth_counts_waiting_jobs() {
+        // One worker, several queued jobs: depth must reach past zero
+        // while jobs wait, and return to zero once drained.
+        let service = VerifyService::start(ServeConfig {
+            workers: 1,
+            ..small_config()
+        });
+        let depth = service.telemetry().gauge("serve.queue.depth");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                service.submit(
+                    VerifyJob::new(mutex_template())
+                        .at_size(25)
+                        .formula("m", parse_state("AG !crit_ge2").unwrap()),
+                )
+            })
+            .collect();
+        // 4 submissions, 1 worker: at the moment of the last submit at
+        // least 4 - 1 jobs had been enqueued and at most one picked up.
+        assert!(depth.get() >= 3);
+        for h in handles {
+            h.wait().unwrap();
+        }
+        assert_eq!(depth.get(), 0);
+        assert_eq!(service.telemetry().gauge("serve.workers.busy").get(), 0);
     }
 
     #[test]

@@ -1,23 +1,70 @@
-//! Service-level counters and their snapshot form.
+//! Service-level metrics and their legacy snapshot form.
+//!
+//! Since the telemetry refactor there is **one source of truth**: every
+//! service counter is a handle into the service's
+//! [`Registry`](icstar_telemetry::Registry) (see
+//! [`ServeConfig::telemetry`](crate::ServeConfig)). The flat
+//! [`StatsSnapshot`] — the `STATS` wire command's payload — is derived
+//! from those same handles, so its key set and semantics are unchanged
+//! from before the refactor and old clients keep working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use icstar_telemetry::{Counter, Gauge, Histogram, Registry};
 
-/// Monotonic service counters, updated lock-free by the workers.
-#[derive(Debug, Default)]
+/// The service's registered metric handles, one per worker-visible
+/// signal. Registered once at service start; every update afterwards is
+/// a relaxed atomic on a cached handle.
+#[derive(Clone, Debug)]
 pub(crate) struct ServiceStats {
-    pub(crate) jobs_submitted: AtomicU64,
-    pub(crate) jobs_completed: AtomicU64,
-    pub(crate) formulas_checked: AtomicU64,
-    pub(crate) sharded_explorations: AtomicU64,
+    /// `serve.jobs.submitted` — jobs accepted into the queue.
+    pub(crate) jobs_submitted: Counter,
+    /// `serve.jobs.completed` — jobs fully processed.
+    pub(crate) jobs_completed: Counter,
+    /// `serve.formulas.checked` — individual `(formula, size)` checks.
+    pub(crate) formulas_checked: Counter,
+    /// `serve.explore.sharded` — materializations via the sharded sweep.
+    pub(crate) sharded_explorations: Counter,
+    /// `serve.queue.depth` — jobs submitted but not yet picked up.
+    pub(crate) queue_depth: Gauge,
+    /// `serve.workers.busy` — workers currently processing a job.
+    pub(crate) workers_busy: Gauge,
+    /// `serve.workers.total` — the pool size (set once at start).
+    pub(crate) workers_total: Gauge,
+    /// `serve.job.queue_wait_ns` — submission to worker pickup.
+    pub(crate) queue_wait_ns: Histogram,
+    /// `serve.job.build_ns` — per job: total structure acquisition
+    /// (cache fetches, including any materialization they triggered).
+    pub(crate) build_ns: Histogram,
+    /// `serve.job.check_ns` — per job: total model-checking time.
+    pub(crate) check_ns: Histogram,
+    /// `serve.job.total_ns` — submission to report (≥ queue_wait).
+    pub(crate) total_ns: Histogram,
+    /// `serve.cache.hit_ns` — latency of cache fetches answered from an
+    /// existing or in-flight slot (an in-flight hit waits for the
+    /// builder, so the tail here is honest contention, not lookup cost).
+    pub(crate) cache_hit_ns: Histogram,
+    /// `serve.cache.miss_ns` — latency of fetches that materialized.
+    pub(crate) cache_miss_ns: Histogram,
 }
 
 impl ServiceStats {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn read(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    /// Registers every service metric in `registry` and returns the
+    /// handle bundle the workers update.
+    pub(crate) fn register(registry: &Registry) -> Self {
+        ServiceStats {
+            jobs_submitted: registry.counter("serve.jobs.submitted"),
+            jobs_completed: registry.counter("serve.jobs.completed"),
+            formulas_checked: registry.counter("serve.formulas.checked"),
+            sharded_explorations: registry.counter("serve.explore.sharded"),
+            queue_depth: registry.gauge("serve.queue.depth"),
+            workers_busy: registry.gauge("serve.workers.busy"),
+            workers_total: registry.gauge("serve.workers.total"),
+            queue_wait_ns: registry.histogram("serve.job.queue_wait_ns"),
+            build_ns: registry.histogram("serve.job.build_ns"),
+            check_ns: registry.histogram("serve.job.check_ns"),
+            total_ns: registry.histogram("serve.job.total_ns"),
+            cache_hit_ns: registry.histogram("serve.cache.hit_ns"),
+            cache_miss_ns: registry.histogram("serve.cache.miss_ns"),
+        }
     }
 }
 
@@ -79,5 +126,14 @@ mod tests {
         s.cache_hits = 3;
         s.cache_misses = 1;
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_registry() {
+        let registry = Registry::new();
+        let a = ServiceStats::register(&registry);
+        let b = ServiceStats::register(&registry);
+        a.jobs_submitted.inc();
+        assert_eq!(b.jobs_submitted.get(), 1, "same underlying counters");
     }
 }

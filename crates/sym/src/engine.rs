@@ -30,6 +30,7 @@ use icstar_logic::{
     expand_representatives, has_index_quantifier, restricted_depth, PathFormula, StateFormula,
 };
 use icstar_mc::Checker;
+use icstar_telemetry::{Registry, SpanTimer};
 
 use crate::crosscheck::verify_counter_abstraction;
 use crate::error::SymError;
@@ -86,18 +87,45 @@ pub fn required_rep_width(f: &StateFormula, n: u32) -> Result<u32, SymError> {
 pub struct SymEngine {
     template: GuardedTemplate,
     spec: CountingSpec,
+    telemetry: Registry,
 }
 
 impl SymEngine {
     /// An engine with the [`CountingSpec::standard`] labeling.
+    ///
+    /// Engine metrics (`sym.explore.*`, `sym.rep.*`, `sym.check.ns`) go
+    /// to [`Registry::global`]; use [`SymEngine::with_telemetry`] to
+    /// redirect them (as `icstar-serve` does, into its per-service
+    /// registry).
     pub fn new(template: GuardedTemplate) -> Self {
         let spec = CountingSpec::standard(&template);
-        SymEngine { template, spec }
+        SymEngine {
+            template,
+            spec,
+            telemetry: Registry::global().clone(),
+        }
     }
 
     /// An engine with a custom counting spec.
     pub fn with_spec(template: GuardedTemplate, spec: CountingSpec) -> Self {
-        SymEngine { template, spec }
+        SymEngine {
+            template,
+            spec,
+            telemetry: Registry::global().clone(),
+        }
+    }
+
+    /// Redirects this engine's metrics (and those of every
+    /// [`CounterSystem`] it creates) to `registry`.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = registry;
+        self
+    }
+
+    /// The registry this engine's metrics land in.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// The template.
@@ -112,7 +140,7 @@ impl SymEngine {
 
     /// The counter system at size `n` (on-the-fly, no materialization).
     pub fn system(&self, n: u32) -> CounterSystem {
-        CounterSystem::new(self.template.clone(), n)
+        CounterSystem::new(self.template.clone(), n).with_telemetry(self.telemetry.clone())
     }
 
     /// Materializes the counter-abstracted structure at size `n`.
@@ -136,7 +164,21 @@ impl SymEngine {
     /// [`SymError::EmptyFamily`] at `n = 0`; [`SymError::BadRepWidth`]
     /// unless `1 ≤ width ≤ n`.
     pub fn representative_structure(&self, n: u32, width: u32) -> Result<IndexedKripke, SymError> {
-        representative(&self.system(n), &self.spec, width)
+        // Per-width timing: width is bounded by the quantifier nesting
+        // depth of real formulas, so the name cardinality stays tiny.
+        let span = SpanTimer::start(
+            format!("sym.rep.w{width}.build"),
+            self.telemetry
+                .histogram(&format!("sym.rep.w{width}.build_ns")),
+        );
+        let rep = representative(&self.system(n), &self.spec, width);
+        if rep.is_ok() {
+            self.telemetry.counter("sym.rep.builds").inc();
+            span.stop();
+        } else {
+            span.cancel();
+        }
+        rep
     }
 
     /// Starts a checking session at size `n`: the abstract structures are
@@ -322,14 +364,21 @@ impl SymSession<'_> {
     ///
     /// As [`SymSession::check_counting`] / [`SymSession::check_indexed`].
     pub fn check_described(&mut self, f: &StateFormula) -> Result<CheckRun, SymError> {
-        if has_index_quantifier(f) {
+        let span = SpanTimer::start("sym.check", self.engine.telemetry.histogram("sym.check.ns"));
+        let run = if has_index_quantifier(f) {
             self.check_indexed_described(f)
         } else {
             self.check_counting(f).map(|holds| CheckRun {
                 holds,
                 rep_width: 0,
             })
+        };
+        if run.is_ok() {
+            span.stop();
+        } else {
+            span.cancel();
         }
+        run
     }
 
     /// Checks a quantifier-free CTL* formula over counting atoms; see
@@ -722,6 +771,31 @@ mod tests {
         let par = e.counter_structure_sharded(30, 4);
         assert_eq!(seq.num_states(), par.num_states());
         assert_eq!(seq.num_transitions(), par.num_transitions());
+    }
+
+    #[test]
+    fn engine_metrics_land_in_the_attached_registry() {
+        let registry = icstar_telemetry::Registry::new();
+        let e = engine().with_telemetry(registry.clone());
+        assert!(e.telemetry().same_as(&registry));
+        let mut s = e.session(10);
+        assert!(s.check(&parse_state("AG !crit_ge2").unwrap()).unwrap());
+        assert!(s
+            .check(&parse_state("forall i. exists j. AG(crit[i] -> !crit[j])").unwrap())
+            .unwrap());
+        let snap = registry.snapshot();
+        // One counter exploration, one width-2 representative build
+        // (whose interior exploration also counts), two checks timed.
+        assert_eq!(snap.counter("sym.rep.builds"), Some(1));
+        assert_eq!(snap.histogram("sym.rep.w2.build_ns").unwrap().count, 1);
+        assert!(snap.counter("sym.explore.builds").unwrap() >= 1);
+        assert_eq!(snap.histogram("sym.check.ns").unwrap().count, 2);
+        // Failed checks are counted by neither histogram nor builds.
+        assert!(s.check(&parse_state("AG bogus").unwrap()).is_err());
+        assert_eq!(
+            registry.snapshot().histogram("sym.check.ns").unwrap().count,
+            2
+        );
     }
 
     #[test]

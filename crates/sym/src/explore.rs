@@ -21,8 +21,10 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use icstar_kripke::{Kripke, KripkeBuilder, StateId};
+use icstar_telemetry::Registry;
 
 use crate::counter::{CounterPacking, CounterState, PackedCounter};
 use crate::labels::CountingSpec;
@@ -49,18 +51,32 @@ pub struct CounterSystem {
     template: GuardedTemplate,
     n: u32,
     packing: CounterPacking,
+    telemetry: Registry,
 }
 
 impl CounterSystem {
     /// The abstraction of `n` copies of `template`. `n = 0` is the empty
     /// composition: a single stuttering state.
+    ///
+    /// Exploration metrics (`sym.explore.*`) go to
+    /// [`Registry::global`]; use [`CounterSystem::with_telemetry`] to
+    /// redirect them.
     pub fn new(template: GuardedTemplate, n: u32) -> Self {
         let packing = CounterPacking::new(template.num_states(), n);
         CounterSystem {
             template,
             n,
             packing,
+            telemetry: Registry::global().clone(),
         }
+    }
+
+    /// Redirects this system's exploration metrics to `registry` —
+    /// services publish into their own registry, tests isolate counts.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = registry;
+        self
     }
 
     /// The template being composed.
@@ -177,6 +193,7 @@ impl CounterSystem {
     /// polynomial in `n` for a fixed template — instead of the `|Q|^n`
     /// states of the explicit composition.
     pub fn kripke(&self, spec: &CountingSpec) -> Kripke {
+        let started = Instant::now();
         let mut b = KripkeBuilder::new();
         let mut ids: HashMap<PackedCounter, StateId> = HashMap::new();
         let mut queue: Vec<CounterState> = Vec::new();
@@ -197,19 +214,44 @@ impl CounterSystem {
             id
         };
 
+        // Exploration telemetry is accumulated in locals and flushed
+        // once after the sweep: the hot loop itself touches no atomics.
+        let mut arrivals = 0u64;
+        let mut frontier_peak = 0usize;
+
         let init = add(self.initial(), &mut b, &mut ids, &mut queue);
         let mut head = 0;
         while head < queue.len() {
+            frontier_peak = frontier_peak.max(queue.len() - head);
             let state = queue[head].clone();
             head += 1;
             let from = ids[&self.packing.pack(&state)];
             for next in self.successors(&state) {
+                arrivals += 1;
                 let to = add(next, &mut b, &mut ids, &mut queue);
                 b.edge(from, to);
             }
         }
+        self.flush_explore_metrics(queue.len() as u64, arrivals, started);
+        self.telemetry
+            .gauge("sym.explore.frontier_peak")
+            .set_max(frontier_peak as i64);
         b.build(init)
             .expect("counter exploration is stutter-completed, hence total")
+    }
+
+    /// Publishes one exploration's aggregate counts:
+    /// `sym.explore.states` (distinct states discovered) vs
+    /// `sym.explore.arrivals` (successor arrivals, duplicates included)
+    /// give the dedup ratio; `sym.explore.build_ns` over
+    /// `sym.explore.states` gives states/sec.
+    fn flush_explore_metrics(&self, states: u64, arrivals: u64, started: Instant) {
+        self.telemetry.counter("sym.explore.builds").inc();
+        self.telemetry.counter("sym.explore.states").add(states);
+        self.telemetry.counter("sym.explore.arrivals").add(arrivals);
+        self.telemetry
+            .histogram("sym.explore.build_ns")
+            .record_duration(started.elapsed());
     }
 
     /// Materializes the same structure as [`CounterSystem::kripke`], but
@@ -234,7 +276,9 @@ impl CounterSystem {
         if shards <= 1 {
             return self.kripke(spec);
         }
-        let discovered = self.explore_sharded(shards);
+        let started = Instant::now();
+        let (discovered, arrivals) = self.explore_sharded(shards);
+        self.flush_explore_metrics(discovered.len() as u64, arrivals, started);
 
         let mut b = KripkeBuilder::new();
         let mut ids: HashMap<PackedCounter, StateId> = HashMap::with_capacity(discovered.len());
@@ -256,8 +300,11 @@ impl CounterSystem {
 
     /// The parallel reachability sweep behind
     /// [`CounterSystem::kripke_sharded`]: returns every reachable state
-    /// with its packed successor keys, sorted by occupancy vector.
-    fn explore_sharded(&self, shards: usize) -> Vec<(CounterState, Vec<PackedCounter>)> {
+    /// with its packed successor keys, sorted by occupancy vector, plus
+    /// the total successor-arrival count. Each shard records its own
+    /// wall time into `sym.explore.shard_ns` on exit, so imbalance
+    /// between shards is visible as histogram spread.
+    fn explore_sharded(&self, shards: usize) -> (Vec<(CounterState, Vec<PackedCounter>)>, u64) {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 
@@ -288,63 +335,75 @@ impl CounterSystem {
             .send(init)
             .expect("receiver is alive");
 
-        let mut discovered: Vec<(CounterState, Vec<PackedCounter>)> = std::thread::scope(|s| {
-            let handles: Vec<_> = rxs
-                .into_iter()
-                .map(|rx| {
-                    let txs = txs.clone();
-                    let pending = &pending;
-                    s.spawn(move || {
-                        let mut seen: std::collections::HashSet<PackedCounter> =
-                            std::collections::HashSet::new();
-                        let mut mine: Vec<(CounterState, Vec<PackedCounter>)> = Vec::new();
-                        loop {
-                            // Block (kernel-parked) until a state arrives,
-                            // re-checking the termination counter once per
-                            // millisecond — long enough that starved
-                            // shards cost ~nothing, short enough that the
-                            // post-completion drain is invisible next to
-                            // any real exploration.
-                            match rx.recv_timeout(std::time::Duration::from_millis(1)) {
-                                Ok(state) => {
-                                    let key = self.packing.pack(&state);
-                                    if seen.insert(key) {
-                                        let succs = self.successors(&state);
-                                        let keys: Vec<PackedCounter> = succs
-                                            .iter()
-                                            .map(|succ| self.packing.pack(succ))
-                                            .collect();
-                                        for (succ, skey) in succs.into_iter().zip(&keys) {
-                                            pending.fetch_add(1, Ordering::SeqCst);
-                                            txs[shard_of(skey)]
-                                                .send(succ)
-                                                .expect("peer exits only at pending == 0");
+        let shard_ns = self.telemetry.histogram("sym.explore.shard_ns");
+        let (mut discovered, arrivals): (Vec<(CounterState, Vec<PackedCounter>)>, u64) =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = rxs
+                    .into_iter()
+                    .map(|rx| {
+                        let txs = txs.clone();
+                        let pending = &pending;
+                        let shard_ns = shard_ns.clone();
+                        s.spawn(move || {
+                            let shard_started = Instant::now();
+                            let mut arrivals = 0u64;
+                            let mut seen: std::collections::HashSet<PackedCounter> =
+                                std::collections::HashSet::new();
+                            let mut mine: Vec<(CounterState, Vec<PackedCounter>)> = Vec::new();
+                            loop {
+                                // Block (kernel-parked) until a state arrives,
+                                // re-checking the termination counter once per
+                                // millisecond — long enough that starved
+                                // shards cost ~nothing, short enough that the
+                                // post-completion drain is invisible next to
+                                // any real exploration.
+                                match rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                                    Ok(state) => {
+                                        arrivals += 1;
+                                        let key = self.packing.pack(&state);
+                                        if seen.insert(key) {
+                                            let succs = self.successors(&state);
+                                            let keys: Vec<PackedCounter> = succs
+                                                .iter()
+                                                .map(|succ| self.packing.pack(succ))
+                                                .collect();
+                                            for (succ, skey) in succs.into_iter().zip(&keys) {
+                                                pending.fetch_add(1, Ordering::SeqCst);
+                                                txs[shard_of(skey)]
+                                                    .send(succ)
+                                                    .expect("peer exits only at pending == 0");
+                                            }
+                                            mine.push((state, keys));
                                         }
-                                        mine.push((state, keys));
+                                        pending.fetch_sub(1, Ordering::SeqCst);
                                     }
-                                    pending.fetch_sub(1, Ordering::SeqCst);
-                                }
-                                Err(RecvTimeoutError::Timeout) => {
-                                    if pending.load(Ordering::SeqCst) == 0 {
-                                        break;
+                                    Err(RecvTimeoutError::Timeout) => {
+                                        if pending.load(Ordering::SeqCst) == 0 {
+                                            break;
+                                        }
                                     }
+                                    Err(RecvTimeoutError::Disconnected) => break,
                                 }
-                                Err(RecvTimeoutError::Disconnected) => break,
                             }
-                        }
-                        mine
+                            shard_ns.record_duration(shard_started.elapsed());
+                            (mine, arrivals)
+                        })
                     })
-                })
-                .collect();
-            drop(txs);
-            let mut all = Vec::new();
-            for h in handles {
-                all.extend(h.join().expect("shard worker panicked"));
-            }
-            all
-        });
+                    .collect();
+                drop(txs);
+                let mut all = Vec::new();
+                let mut arrivals = 0u64;
+                for h in handles {
+                    let (mine, shard_arrivals) = h.join().expect("shard worker panicked");
+                    all.extend(mine);
+                    arrivals += shard_arrivals;
+                }
+                (all, arrivals)
+            });
         discovered.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        discovered
+        // The init send is a bootstrap, not a successor arrival; keep the
+        // count comparable with the sequential BFS's.
+        (discovered, arrivals.saturating_sub(1))
     }
 }
 
@@ -502,6 +561,48 @@ mod tests {
             }
             assert_eq!(a.initial(), b.initial());
         }
+    }
+
+    #[test]
+    fn exploration_publishes_metrics() {
+        let registry = icstar_telemetry::Registry::new();
+        let t = mutex_template();
+        let sys = CounterSystem::new(t.clone(), 5).with_telemetry(registry.clone());
+        let spec = CountingSpec::standard(&t);
+        let k = sys.kripke(&spec);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sym.explore.builds"), Some(1));
+        assert_eq!(
+            snap.counter("sym.explore.states"),
+            Some(k.num_states() as u64)
+        );
+        // Arrivals count every generated successor: exactly the edge
+        // count of the materialized graph, and >= distinct states since
+        // duplicates are what deduplication removes.
+        assert_eq!(
+            snap.counter("sym.explore.arrivals"),
+            Some(k.num_transitions() as u64)
+        );
+        assert!(snap.counter("sym.explore.arrivals") >= snap.counter("sym.explore.states"));
+        assert!(snap.gauge("sym.explore.frontier_peak").unwrap() > 0);
+        assert_eq!(snap.histogram("sym.explore.build_ns").unwrap().count, 1);
+
+        // The sharded sweep publishes the same aggregates plus one
+        // shard_ns sample per shard.
+        let sharded = icstar_telemetry::Registry::new();
+        let sys = CounterSystem::new(t.clone(), 5).with_telemetry(sharded.clone());
+        sys.kripke_sharded(&spec, 3);
+        let snap = sharded.snapshot();
+        assert_eq!(snap.counter("sym.explore.builds"), Some(1));
+        assert_eq!(
+            snap.counter("sym.explore.states"),
+            Some(k.num_states() as u64)
+        );
+        assert_eq!(
+            snap.counter("sym.explore.arrivals"),
+            Some(k.num_transitions() as u64)
+        );
+        assert_eq!(snap.histogram("sym.explore.shard_ns").unwrap().count, 3);
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Dependency-free observability core for the icstar verification
+//! stack: monotonic [`Counter`]s, signed [`Gauge`]s, log₂-bucketed
+//! latency [`Histogram`]s, RAII [`SpanTimer`]s, and a namespaced
+//! [`Registry`] that freezes everything into one coherent
+//! [`TelemetrySnapshot`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Lock-light hot paths.** Registration takes a mutex once;
+//!    every update after that is a relaxed atomic on a cached handle.
+//!    Exploration loops at `n = 10⁶` record millions of events — they
+//!    must never contend.
+//! 2. **No dependencies.** Like the rest of the workspace, the crate
+//!    is `std`-only: JSON is hand-rolled (the criterion shim's
+//!    `BENCH_JSON` idiom), Prometheus exposition is plain text.
+//! 3. **Bounded error.** The histograms trade precision for a fixed
+//!    64-bucket footprint: any quantile estimate is within a factor
+//!    of 2 of the truth, which is enough to see a regression without
+//!    enough to argue about.
+//!
+//! Two snapshot wire forms feed the service front-end: Prometheus text
+//! for the `METRICS` wire command ([`TelemetrySnapshot::to_prometheus`]
+//! / [`TelemetrySnapshot::parse_prometheus`]) and a JSON dump
+//! ([`TelemetrySnapshot::to_json`] / [`TelemetrySnapshot::from_json`]).
+//! Setting `ICSTAR_TRACE=<path>` additionally streams every finished
+//! span as a JSON line to that file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use metrics::{
+    bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
+};
+pub use registry::Registry;
+pub use snapshot::{wire_name, MetricValue, TelemetrySnapshot};
+pub use span::{trace_enabled, SpanTimer, TRACE_ENV};

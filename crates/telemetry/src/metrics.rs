@@ -1,0 +1,467 @@
+//! The three metric primitives: monotonic counters, signed gauges, and
+//! log₂-bucketed histograms.
+//!
+//! Every primitive is a cheaply clonable handle over shared atomics —
+//! cloning a [`Counter`] yields a second handle on the *same* counter,
+//! which is what lets the [`Registry`](crate::Registry) hand out handles
+//! once at registration time while hot paths update them lock-free
+//! forever after.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets. Bucket `0` holds the value `0`; bucket
+/// `i ≥ 1` holds values with exactly `i` significant bits, i.e. the
+/// range `[2^(i-1), 2^i - 1]`; the last bucket saturates upward
+/// (everything at or above `2^(BUCKETS-2)` lands there).
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value falls into: `0` for `0`, otherwise the value's
+/// significant-bit count, saturated into the final bucket.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive upper bound of bucket `index` — the histogram's
+/// estimate for any value recorded into it. The final bucket is the
+/// saturation bucket, so its bound is [`u64::MAX`].
+///
+/// # Panics
+///
+/// If `index >= BUCKETS`.
+#[inline]
+pub fn bucket_bound(index: usize) -> u64 {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    match index {
+        0 => 0,
+        i if i == BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A monotonic event counter. Handles are cheap to clone and share one
+/// underlying atomic.
+///
+/// # Examples
+///
+/// ```
+/// let c = icstar_telemetry::Counter::detached();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not (yet) registered anywhere — useful for components
+    /// that keep their own counters and only optionally publish them
+    /// through a [`Registry`](crate::Registry).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Whether two handles share the same underlying counter.
+    pub fn same_as(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// A signed instantaneous value (queue depth, busy workers, resident
+/// bytes). Handles are cheap to clone and share one underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not (yet) registered anywhere.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value outright.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (negative to decrease).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger — a lock-free running
+    /// maximum (peak frontier size, high-water marks).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared storage of a [`Histogram`].
+#[derive(Debug)]
+struct HistogramCore {
+    /// Per-bucket occurrence counts; see [`bucket_index`].
+    buckets: [AtomicU64; BUCKETS],
+    /// Total recorded values. Incremented *after* the bucket, so a
+    /// concurrent snapshot (which reads `count` first) never sees a
+    /// count exceeding the bucket total.
+    count: AtomicU64,
+    /// Sum of recorded values (saturating).
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free log₂-bucketed histogram, built for latencies in
+/// nanoseconds: 64 power-of-two buckets cover the full `u64` range, so
+/// any quantile estimate is within a factor of 2 of the true value —
+/// plenty for "did p99 regress 10×", at the cost of one relaxed atomic
+/// increment per record.
+///
+/// # Examples
+///
+/// ```
+/// let h = icstar_telemetry::Histogram::detached();
+/// for v in [3u64, 5, 90, 1_000] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 4);
+/// assert_eq!(snap.sum, 1_098);
+/// // Estimates are bucket upper bounds: within 2x of the truth.
+/// assert!(snap.quantile(0.5) >= 5 && snap.quantile(0.5) < 10);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A histogram not (yet) registered anywhere.
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let core = &*self.0;
+        core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`](std::time::Duration) in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    ///
+    /// Under concurrent recording the copy is not an atomic cut, but it
+    /// is *consistent* in the useful direction: `count` is read before
+    /// the buckets, so `count ≤ Σ buckets` always holds (a recorder
+    /// increments its bucket first) — quantile ranks never index past
+    /// the data.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.0;
+        let count = core.count.load(Ordering::Relaxed);
+        let buckets = std::array::from_fn(|i| core.buckets[i].load(Ordering::Relaxed));
+        let sum = core.sum.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        }
+    }
+
+    /// Whether two handles share the same underlying histogram.
+    pub fn same_as(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// A frozen copy of one histogram's distribution, with derived
+/// statistics. Produced by [`Histogram::snapshot`] and carried inside
+/// [`TelemetrySnapshot`](crate::TelemetrySnapshot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket counts; see [`bucket_index`] / [`bucket_bound`].
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile estimate (`0.0 ≤ q ≤ 1.0`): the upper bound of
+    /// the bucket holding the rank-`⌈q·count⌉` value. Zero on an empty
+    /// histogram. The estimate is never below the true value and less
+    /// than 2× above it (except in the saturation bucket).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        // count ≤ Σ buckets by construction, but be total regardless.
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The exact arithmetic mean (`0.0` when empty) — `sum` is exact
+    /// even though the buckets are logarithmic.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Sum of the per-bucket counts (≥ `count` under concurrent
+    /// recording; equal when quiescent).
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        for bits in 1..=62usize {
+            let lo = 1u64 << (bits - 1);
+            let hi = (1u64 << bits) - 1;
+            assert_eq!(bucket_index(lo), bits, "low edge of {bits}-bit bucket");
+            assert_eq!(bucket_index(hi), bits, "high edge of {bits}-bit bucket");
+            assert!(lo <= bucket_bound(bits) && hi <= bucket_bound(bits));
+        }
+    }
+
+    #[test]
+    fn huge_values_saturate_into_the_last_bucket() {
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(1 << 63), BUCKETS - 1);
+        assert_eq!(bucket_index((1 << 62) + 1), BUCKETS - 1);
+        assert_eq!(bucket_bound(BUCKETS - 1), u64::MAX);
+        let h = Histogram::detached();
+        h.record(u64::MAX);
+        h.record(1 << 63);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[BUCKETS - 1], 2);
+        assert_eq!(snap.count, 2);
+    }
+
+    #[test]
+    fn bounds_and_indices_agree() {
+        // Every bucket's bound maps back into that bucket, and bound+1
+        // maps into the next.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_bound(i)), i);
+            assert_eq!(bucket_index(bucket_bound(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_within_a_factor_of_two() {
+        // Exact values spread over five decades: every quantile estimate
+        // must be >= the true order statistic and < 2x it.
+        let values: Vec<u64> = (1..=1000u64).map(|i| i * i).collect();
+        let h = Histogram::detached();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        for q in [0.01, 0.10, 0.50, 0.90, 0.99, 1.0] {
+            let rank = ((q * 1000f64).ceil() as usize).clamp(1, 1000);
+            let truth = values[rank - 1];
+            let est = snap.quantile(q);
+            assert!(est >= truth, "q={q}: estimate {est} below truth {truth}");
+            assert!(est < truth * 2, "q={q}: estimate {est} ≥ 2x truth {truth}");
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_total() {
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
+
+        let h = Histogram::detached();
+        h.record(0);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), 0);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(snap.quantile(7.5), 0);
+        assert_eq!(snap.quantile(-1.0), 0);
+    }
+
+    #[test]
+    fn mean_is_exact_despite_log_buckets() {
+        let h = Histogram::detached();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert!((h.snapshot().mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_share_storage() {
+        let c = Counter::detached();
+        let c2 = c.clone();
+        c2.add(3);
+        assert_eq!(c.get(), 3);
+        assert!(c.same_as(&c2));
+        assert!(!c.same_as(&Counter::detached()));
+
+        let g = Gauge::detached();
+        let g2 = g.clone();
+        g2.set(-4);
+        g.add(1);
+        assert_eq!(g2.get(), -3);
+        g.set_max(10);
+        g.set_max(5);
+        assert_eq!(g.get(), 10);
+
+        let h = Histogram::detached();
+        let h2 = h.clone();
+        h2.record(9);
+        assert_eq!(h.count(), 1);
+        assert!(h.same_as(&h2));
+    }
+
+    #[test]
+    fn concurrent_hammer_keeps_snapshots_consistent() {
+        // 8 writers record while a reader snapshots continuously: every
+        // snapshot must satisfy count <= bucket_total (the documented
+        // read-ordering invariant), and the final quiescent snapshot is
+        // exact.
+        let h = Histogram::detached();
+        let writers = 8usize;
+        let per_writer = 20_000u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        h.record(w as u64 * 1_000 + i % 1_000);
+                    }
+                });
+            }
+            let h = h.clone();
+            s.spawn(move || {
+                let total = writers as u64 * per_writer;
+                loop {
+                    let snap = h.snapshot();
+                    assert!(
+                        snap.count <= snap.bucket_total(),
+                        "snapshot saw count {} > bucket total {}",
+                        snap.count,
+                        snap.bucket_total()
+                    );
+                    if snap.count == total {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let final_snap = h.snapshot();
+        assert_eq!(final_snap.count, writers as u64 * per_writer);
+        assert_eq!(final_snap.bucket_total(), final_snap.count);
+    }
+}

@@ -1,0 +1,190 @@
+//! RAII span timing, with an optional JSON-lines trace log.
+//!
+//! A [`SpanTimer`] measures the time from construction to drop and
+//! records it into a [`Histogram`]. When the process was started with
+//! `ICSTAR_TRACE=<path>`, every finished span additionally appends one
+//! JSON line to that file — a structured event log that makes long
+//! explorations watchable from outside (`tail -f`) without attaching a
+//! debugger.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::metrics::Histogram;
+
+/// The environment variable naming the trace output file.
+pub const TRACE_ENV: &str = "ICSTAR_TRACE";
+
+struct TraceSink {
+    file: Mutex<std::fs::File>,
+    epoch: Instant,
+}
+
+/// The process-wide trace sink, opened (append mode) on first use when
+/// `ICSTAR_TRACE` is set. `None` when tracing is off or the file could
+/// not be opened — tracing never takes a process down.
+fn sink() -> Option<&'static TraceSink> {
+    static SINK: OnceLock<Option<TraceSink>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let path = std::env::var_os(TRACE_ENV)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok()?;
+        Some(TraceSink {
+            file: Mutex::new(file),
+            epoch: Instant::now(),
+        })
+    })
+    .as_ref()
+}
+
+/// Whether span events are being written to an `ICSTAR_TRACE` file.
+pub fn trace_enabled() -> bool {
+    sink().is_some()
+}
+
+fn emit(span: &str, start: Instant, dur: Duration) {
+    if let Some(sink) = sink() {
+        let start_us = start
+            .saturating_duration_since(sink.epoch)
+            .as_micros()
+            .min(u64::MAX as u128);
+        let line = format!(
+            "{{\"span\":\"{span}\",\"start_us\":{start_us},\"dur_ns\":{}}}\n",
+            dur.as_nanos().min(u64::MAX as u128)
+        );
+        if let Ok(mut file) = sink.file.lock() {
+            // A failed write disables nothing: the next span tries again.
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Times a span of work: started explicitly, finished on drop (or
+/// early via [`SpanTimer::stop`]). The elapsed nanoseconds land in the
+/// attached histogram, and — when tracing is on — one JSON event is
+/// appended to the trace file.
+///
+/// # Examples
+///
+/// ```
+/// use icstar_telemetry::{Registry, SpanTimer};
+///
+/// let registry = Registry::new();
+/// let build_ns = registry.histogram("serve.job.build_ns");
+/// {
+///     let _span = SpanTimer::start("build", build_ns.clone());
+///     // ... build the structure ...
+/// } // recorded here
+/// assert_eq!(build_ns.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer {
+    name: String,
+    histogram: Option<Histogram>,
+    start: Instant,
+    finished: bool,
+}
+
+impl SpanTimer {
+    /// Starts a span that records into `histogram` when it ends.
+    pub fn start(name: impl Into<String>, histogram: Histogram) -> Self {
+        SpanTimer {
+            name: name.into(),
+            histogram: Some(histogram),
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Starts a trace-only span (no histogram) — useful for one-off
+    /// phases where only the event log matters.
+    pub fn untracked(name: impl Into<String>) -> Self {
+        SpanTimer {
+            name: name.into(),
+            histogram: None,
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Time elapsed so far, without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Ends the span now and returns its duration; drop then does
+    /// nothing further.
+    pub fn stop(mut self) -> Duration {
+        self.finish()
+    }
+
+    /// Discards the span: nothing is recorded and no trace event is
+    /// written. For abandoning a measurement on an error path, so
+    /// failures don't skew a success-latency histogram.
+    pub fn cancel(mut self) {
+        self.finished = true;
+    }
+
+    fn finish(&mut self) -> Duration {
+        let dur = self.start.elapsed();
+        if !self.finished {
+            self.finished = true;
+            if let Some(h) = &self.histogram {
+                h.record_duration(dur);
+            }
+            emit(&self.name, self.start, dur);
+        }
+        dur
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_into_the_histogram() {
+        let h = Histogram::detached();
+        {
+            let _span = SpanTimer::start("work", h.clone());
+            std::hint::black_box(());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_once() {
+        let h = Histogram::detached();
+        let span = SpanTimer::start("work", h.clone());
+        let dur = span.stop(); // drop must not double-record
+        assert_eq!(h.count(), 1);
+        let snap = h.snapshot();
+        assert!(snap.sum <= dur.as_nanos() as u64 + 1);
+    }
+
+    #[test]
+    fn cancel_discards_the_measurement() {
+        let h = Histogram::detached();
+        let span = SpanTimer::start("doomed", h.clone());
+        span.cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn untracked_spans_need_no_histogram() {
+        let span = SpanTimer::untracked("phase");
+        assert!(span.elapsed() < Duration::from_secs(60));
+        span.stop();
+    }
+}

@@ -1,0 +1,41 @@
+//! The `ICSTAR_TRACE` event log, exercised in-process.
+//!
+//! The trace sink is process-global and latched on first use, so this
+//! file holds exactly one test: it sets the environment variable before
+//! any span runs, emits spans, and checks the JSON-lines output. Tests
+//! that must *not* trace live in the other integration binaries (each
+//! integration test file is its own process).
+
+use icstar_telemetry::{trace_enabled, Histogram, SpanTimer, TRACE_ENV};
+
+#[test]
+fn spans_append_json_lines_to_the_trace_file() {
+    let path = std::env::temp_dir().join(format!("icstar_trace_{}.jsonl", std::process::id()));
+    // Safety of the latch: nothing in this process has touched the sink
+    // yet, so the variable is read exactly once, right here.
+    std::env::set_var(TRACE_ENV, &path);
+    assert!(trace_enabled());
+
+    let h = Histogram::detached();
+    SpanTimer::start("explore", h.clone()).stop();
+    {
+        let _span = SpanTimer::start("check", h.clone());
+    }
+    SpanTimer::untracked("phase").stop();
+    assert_eq!(h.count(), 2, "untracked spans skip the histogram");
+
+    let log = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 3, "one JSON line per finished span: {log}");
+    for (line, span) in lines.iter().zip(["explore", "check", "phase"]) {
+        assert!(
+            line.starts_with(&format!("{{\"span\":\"{span}\",\"start_us\":")),
+            "line {line:?} should open with span {span:?}"
+        );
+        assert!(
+            line.contains(",\"dur_ns\":") && line.ends_with('}'),
+            "{line}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

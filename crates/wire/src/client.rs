@@ -10,6 +10,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use icstar_serve::{StatsSnapshot, VerifyJob};
+use icstar_telemetry::TelemetrySnapshot;
 
 use crate::error::WireError;
 use crate::text::{parse_report, print_job, WireReport};
@@ -211,6 +212,29 @@ impl WireClient {
             }
         }
         Ok(s)
+    }
+
+    /// Fetches the server's full telemetry snapshot (the `METRICS`
+    /// command): every registered counter, gauge, and histogram, parsed
+    /// back from the Prometheus text exposition. Metric names come back
+    /// in wire form (`icstar_serve_jobs_completed`, underscores for
+    /// dots) — the exposition mangling is not inverted.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`WireError::Protocol`] on a malformed
+    /// exposition.
+    pub fn metrics(&mut self) -> Result<TelemetrySnapshot, WireError> {
+        writeln!(self.writer, "METRICS")?;
+        let rest = self.read_ok()?;
+        if rest != "metrics" {
+            return Err(WireError::Protocol(format!(
+                "expected `OK metrics`: {rest}"
+            )));
+        }
+        let block = self.read_block()?;
+        TelemetrySnapshot::parse_prometheus(&block)
+            .map_err(|e| WireError::Protocol(format!("bad metrics exposition: {e}")))
     }
 
     /// Round-trips a `PING`.

@@ -15,6 +15,14 @@
 //!   I/O — one stalled client can stall only its own connection;
 //! * reads *and* writes time out, so every connection thread observes
 //!   the stop flag and shutdown always completes.
+//!
+//! The front-end reports into the wrapped service's telemetry registry
+//! under `wire.*`: per-command counters (unknown verbs share one
+//! bounded `wire.cmd.unknown` — client-chosen strings must never mint
+//! metric names), raw socket bytes in/out, connection lifecycle
+//! counts/gauge/lifetimes, and a per-command handling-latency histogram.
+//! The `METRICS` command exports the whole registry in Prometheus text
+//! form (see `docs/PROTOCOL.md`).
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -22,9 +30,10 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, T
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use icstar_serve::{JobHandle, VerdictReport, VerifyService};
+use icstar_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::text::{parse_job, print_report};
 
@@ -66,9 +75,86 @@ enum JobSlot {
     Lost,
 }
 
+/// The front-end's metric handles, registered once at bind time in the
+/// wrapped service's registry.
+struct WireMetrics {
+    cmd_ping: Counter,
+    cmd_quit: Counter,
+    cmd_submit: Counter,
+    cmd_status: Counter,
+    cmd_result: Counter,
+    cmd_stats: Counter,
+    cmd_metrics: Counter,
+    /// All unrecognized verbs together: the metric namespace must stay
+    /// bounded no matter what clients send.
+    cmd_unknown: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    conns_opened: Counter,
+    conns_closed: Counter,
+    conns_active: Gauge,
+    /// Connection lifetime, accept to hangup.
+    conn_lifetime_ns: Histogram,
+    /// Per-command handling latency: command line parsed to response
+    /// written — the server-side share of the client's round trip.
+    cmd_ns: Histogram,
+}
+
+impl WireMetrics {
+    fn register(registry: &Registry) -> Self {
+        WireMetrics {
+            cmd_ping: registry.counter("wire.cmd.ping"),
+            cmd_quit: registry.counter("wire.cmd.quit"),
+            cmd_submit: registry.counter("wire.cmd.submit"),
+            cmd_status: registry.counter("wire.cmd.status"),
+            cmd_result: registry.counter("wire.cmd.result"),
+            cmd_stats: registry.counter("wire.cmd.stats"),
+            cmd_metrics: registry.counter("wire.cmd.metrics"),
+            cmd_unknown: registry.counter("wire.cmd.unknown"),
+            bytes_read: registry.counter("wire.bytes.read"),
+            bytes_written: registry.counter("wire.bytes.written"),
+            conns_opened: registry.counter("wire.connections.opened"),
+            conns_closed: registry.counter("wire.connections.closed"),
+            conns_active: registry.gauge("wire.connections.active"),
+            conn_lifetime_ns: registry.histogram("wire.conn.lifetime_ns"),
+            cmd_ns: registry.histogram("wire.cmd.ns"),
+        }
+    }
+}
+
+/// A [`TcpStream`] (or half of one) that counts every byte moved into a
+/// telemetry counter. Reads count what the `BufReader` pulls off the
+/// socket — buffered-ahead bytes are received bytes, so that is the
+/// honest ingress number.
+struct CountingStream {
+    inner: TcpStream,
+    moved: Counter,
+}
+
+impl Read for CountingStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.moved.add(n as u64);
+        Ok(n)
+    }
+}
+
+impl Write for CountingStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.moved.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 struct Shared {
     service: VerifyService,
     jobs: Mutex<HashMap<u64, JobSlot>>,
+    metrics: WireMetrics,
     /// Registry size at which the next eviction scan runs (see
     /// [`EVICT_BACKOFF`]).
     evict_at: AtomicUsize,
@@ -126,9 +212,11 @@ impl WireServer {
     pub fn bind(addr: impl ToSocketAddrs, service: VerifyService) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let metrics = WireMetrics::register(service.telemetry());
         let shared = Arc::new(Shared {
             service,
             jobs: Mutex::new(HashMap::new()),
+            metrics,
             evict_at: AtomicUsize::new(MAX_FINISHED_JOBS + 1),
             stop: AtomicBool::new(false),
         });
@@ -155,6 +243,13 @@ impl WireServer {
     /// snapshot the `STATS` command serializes).
     pub fn stats(&self) -> icstar_serve::StatsSnapshot {
         self.shared.service.stats()
+    }
+
+    /// The full telemetry snapshot (what the `METRICS` command exports),
+    /// covering the service's `serve.*`/`sym.*` metrics and this
+    /// front-end's `wire.*` ones.
+    pub fn telemetry_snapshot(&self) -> icstar_telemetry::TelemetrySnapshot {
+        self.shared.service.telemetry_snapshot()
     }
 
     /// Stops accepting, disconnects idle connections, and joins all
@@ -219,7 +314,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 /// disconnected, the server is stopping, or the cap was hit (all three
 /// end the connection).
 fn read_line_stoppable(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut BufReader<CountingStream>,
     buf: &mut Vec<u8>,
     shared: &Shared,
 ) -> io::Result<bool> {
@@ -255,15 +350,37 @@ fn read_line_stoppable(
     }
 }
 
+/// Wraps the command loop with connection-lifecycle accounting: the
+/// open/close counters, the active gauge, and the lifetime histogram
+/// are updated however the loop exits (clean `QUIT`, hangup, or error).
 fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let m = &shared.metrics;
+    m.conns_opened.inc();
+    m.conns_active.inc();
+    let opened = Instant::now();
+    let out = connection_loop(stream, shared);
+    m.conn_lifetime_ns.record_duration(opened.elapsed());
+    m.conns_active.dec();
+    m.conns_closed.inc();
+    out
+}
+
+fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL))?;
     stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     // Responses are small and latency-bound: without NODELAY, Nagle on
     // this side + delayed ACK on the client turns every answer into a
     // ~40ms stall.
     stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    let m = &shared.metrics;
+    let mut writer = CountingStream {
+        inner: stream.try_clone()?,
+        moved: m.bytes_written.clone(),
+    };
+    let mut reader = BufReader::new(CountingStream {
+        inner: stream,
+        moved: m.bytes_read.clone(),
+    });
     let mut buf = Vec::new();
     loop {
         buf.clear();
@@ -280,16 +397,34 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             None => (cmd, ""),
         };
         match verb {
+            "PING" => &m.cmd_ping,
+            "QUIT" => &m.cmd_quit,
+            "SUBMIT" => &m.cmd_submit,
+            "STATUS" => &m.cmd_status,
+            "RESULT" => &m.cmd_result,
+            "STATS" => &m.cmd_stats,
+            "METRICS" => &m.cmd_metrics,
+            _ => &m.cmd_unknown,
+        }
+        .inc();
+        let started = Instant::now();
+        let mut quit = false;
+        match verb {
             "PING" => writeln!(writer, "OK pong")?,
             "QUIT" => {
                 writeln!(writer, "OK bye")?;
-                return Ok(());
+                quit = true;
             }
             "SUBMIT" => submit(&mut reader, &mut writer, shared)?,
             "STATUS" => status(&mut writer, shared, arg)?,
             "RESULT" => result(&mut writer, shared, arg)?,
             "STATS" => stats(&mut writer, shared)?,
+            "METRICS" => metrics(&mut writer, shared)?,
             _ => writeln!(writer, "ERR unknown command {verb:?}")?,
+        }
+        m.cmd_ns.record_duration(started.elapsed());
+        if quit {
+            return Ok(());
         }
     }
 }
@@ -297,8 +432,8 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
 /// Reads the job payload (lines up to a lone `.`), parses it, and
 /// enqueues it on the service.
 fn submit(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut TcpStream,
+    reader: &mut BufReader<CountingStream>,
+    writer: &mut impl Write,
     shared: &Shared,
 ) -> io::Result<()> {
     let mut payload = Vec::new();
@@ -406,7 +541,7 @@ fn poll_slot(slot: &mut JobSlot) {
 /// Answers `STATUS <id>` without blocking: polls the handle once and
 /// caches a finished report in the slot. The answer is written after
 /// the registry lock is released.
-fn status(writer: &mut TcpStream, shared: &Shared, arg: &str) -> io::Result<()> {
+fn status(writer: &mut impl Write, shared: &Shared, arg: &str) -> io::Result<()> {
     let Some(id) = parse_id(arg) else {
         return writeln!(writer, "ERR usage: STATUS <id>");
     };
@@ -433,7 +568,7 @@ fn status(writer: &mut TcpStream, shared: &Shared, arg: &str) -> io::Result<()> 
 /// answer in well under a millisecond while long builds cost no
 /// spinning. The registry lock is held only to clone the report's
 /// [`Arc`] — serialization and the socket write run outside it.
-fn result(writer: &mut TcpStream, shared: &Shared, arg: &str) -> io::Result<()> {
+fn result(writer: &mut impl Write, shared: &Shared, arg: &str) -> io::Result<()> {
     let Some(id) = parse_id(arg) else {
         return writeln!(writer, "ERR usage: RESULT <id>");
     };
@@ -479,7 +614,7 @@ fn result(writer: &mut TcpStream, shared: &Shared, arg: &str) -> io::Result<()> 
 /// plus the cache-occupancy pair the ROADMAP's eviction work needs.
 ///
 /// [`StatsSnapshot`]: icstar_serve::StatsSnapshot
-fn stats(writer: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+fn stats(writer: &mut impl Write, shared: &Shared) -> io::Result<()> {
     let s = shared.service.stats();
     writeln!(writer, "OK stats")?;
     writeln!(writer, "jobs_submitted {}", s.jobs_submitted)?;
@@ -500,5 +635,15 @@ fn stats(writer: &mut TcpStream, shared: &Shared) -> io::Result<()> {
         s.evicted_abstract_states
     )?;
     writeln!(writer, "sharded_explorations {}", s.sharded_explorations)?;
+    writeln!(writer, ".")
+}
+
+/// Answers `METRICS` with the full telemetry registry in Prometheus
+/// text exposition form, dot-terminated like every other block (no
+/// exposition line is ever a lone `.`, so the framing is unambiguous).
+fn metrics(writer: &mut impl Write, shared: &Shared) -> io::Result<()> {
+    let text = shared.service.telemetry_snapshot().to_prometheus();
+    writeln!(writer, "OK metrics")?;
+    writer.write_all(text.as_bytes())?;
     writeln!(writer, ".")
 }

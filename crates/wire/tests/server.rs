@@ -17,6 +17,7 @@ fn test_service() -> VerifyService {
         exploration_shards: 2,
         sharded_threshold: 1_000_000,
         cache_budget_states: u64::MAX,
+        ..ServeConfig::default()
     })
 }
 
@@ -314,4 +315,204 @@ fn shutdown_disconnects_idle_clients() {
     // The connection thread notices the stop flag and hangs up; the next
     // exchange fails rather than blocking forever.
     assert!(client.ping().is_err());
+}
+
+#[test]
+fn stats_key_set_is_pinned() {
+    // The STATS payload is a stable public surface: existing clients
+    // parse these exact keys. Folding the service counters into the
+    // telemetry registry must not rename, drop, or reorder them.
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    writeln!(writer, "STATS").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK stats");
+    let mut keys = Vec::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end() == "." {
+            break;
+        }
+        let (key, value) = line.trim_end().split_once(' ').expect("key value");
+        value.parse::<u64>().expect("numeric value");
+        keys.push(key.to_string());
+    }
+    assert_eq!(
+        keys,
+        [
+            "jobs_submitted",
+            "jobs_completed",
+            "formulas_checked",
+            "cache_hits",
+            "cache_misses",
+            "cached_structures",
+            "cached_abstract_states",
+            "cache_evictions",
+            "evicted_abstract_states",
+            "sharded_explorations",
+        ],
+        "STATS keys are pinned byte-for-byte"
+    );
+}
+
+#[test]
+fn metrics_command_exports_the_full_registry() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let id = client.submit(&mutex_job(30)).unwrap();
+    assert!(client.result(id).unwrap().all_hold());
+    let id = client.submit(&mutex_job(30)).unwrap();
+    assert!(client.result(id).unwrap().all_hold());
+
+    let snap = client.metrics().unwrap();
+    // Service layer: jobs, phases, cache — all under wire-mangled names.
+    assert_eq!(snap.counter("icstar_serve_jobs_submitted"), Some(2));
+    assert_eq!(snap.counter("icstar_serve_jobs_completed"), Some(2));
+    assert_eq!(snap.counter("icstar_serve_cache_hits"), Some(2));
+    assert_eq!(snap.counter("icstar_serve_cache_misses"), Some(2));
+    for name in [
+        "icstar_serve_job_queue_wait_ns",
+        "icstar_serve_job_build_ns",
+        "icstar_serve_job_check_ns",
+        "icstar_serve_job_total_ns",
+    ] {
+        let h = snap
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} missing"));
+        assert_eq!(h.count, 2, "{name}");
+    }
+    // Engine layer: the exploration that materialized the structures.
+    assert!(snap.counter("icstar_sym_explore_builds").unwrap() >= 1);
+    assert!(snap.counter("icstar_sym_explore_states").unwrap() > 0);
+    assert_eq!(snap.counter("icstar_sym_rep_builds"), Some(1));
+    // Wire layer: this very connection's commands and bytes. The
+    // snapshot was taken while handling METRICS, after its counter bump.
+    assert_eq!(snap.counter("icstar_wire_cmd_submit"), Some(2));
+    assert_eq!(snap.counter("icstar_wire_cmd_result"), Some(2));
+    assert_eq!(snap.counter("icstar_wire_cmd_metrics"), Some(1));
+    assert_eq!(snap.counter("icstar_wire_cmd_unknown"), Some(0));
+    assert!(snap.counter("icstar_wire_bytes_read").unwrap() > 0);
+    assert!(snap.counter("icstar_wire_bytes_written").unwrap() > 0);
+    assert_eq!(snap.gauge("icstar_wire_connections_active"), Some(1));
+    // The server-side view agrees with what went over the wire.
+    let local = server.telemetry_snapshot();
+    assert_eq!(
+        local.counter("serve.jobs.completed"),
+        snap.counter("icstar_serve_jobs_completed")
+    );
+}
+
+#[test]
+fn metrics_block_is_dot_terminated_prometheus_text() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    writeln!(writer, "METRICS").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK metrics");
+    let mut types = 0;
+    let mut samples = 0;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let l = line.trim_end();
+        if l == "." {
+            break;
+        }
+        if l.starts_with("# TYPE icstar_") {
+            types += 1;
+        } else if l.starts_with("icstar_") {
+            samples += 1;
+        } else {
+            panic!("unexpected exposition line: {l:?}");
+        }
+    }
+    assert!(types > 0, "every metric carries a # TYPE line");
+    assert!(samples >= types, "and at least one sample");
+}
+
+/// The PR's acceptance workload: a forall-mutex job at n = 100,000 over
+/// TCP, large enough to cross the sharded-exploration threshold, with
+/// the full metric trail inspected over the METRICS command. Ignored by
+/// default (release-sized); CI runs it with
+/// `cargo test --release -p icstar-wire --test server -- --include-ignored`.
+#[test]
+#[ignore = "release-sized acceptance workload"]
+fn large_sharded_job_leaves_a_full_metric_trail() {
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        VerifyService::start(ServeConfig {
+            workers: 2,
+            cache_shards: 4,
+            exploration_shards: 2,
+            sharded_threshold: 20_000, // n = 100,000 goes sharded
+            cache_budget_states: u64::MAX,
+            ..ServeConfig::default()
+        }),
+    )
+    .unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    let job = mutex_job(100_000);
+    let first = client.submit(&job).unwrap();
+    assert!(client.result(first).unwrap().all_hold());
+    // Resubmission is answered from cache: hit latency gets its sample.
+    let second = client.submit(&job).unwrap();
+    assert!(client.result(second).unwrap().all_hold());
+
+    let snap = client.metrics().unwrap();
+    // Exploration throughput: the counter graph at n = 100,000 has
+    // 2n + 1 abstract states, discovered by the sharded sweep.
+    let states = snap.counter("icstar_sym_explore_states").unwrap();
+    assert!(states >= 200_001, "states {states}");
+    let build = snap.histogram("icstar_sym_explore_build_ns").unwrap();
+    assert!(build.count >= 1 && build.sum > 0, "exploration was timed");
+    let throughput = states as f64 / (build.sum as f64 / 1e9);
+    assert!(throughput > 0.0, "states/sec is computable and nonzero");
+    assert!(snap.counter("icstar_serve_explore_sharded").unwrap() >= 1);
+    assert_eq!(
+        snap.histogram("icstar_sym_explore_shard_ns").unwrap().count,
+        2,
+        "one timing per exploration shard"
+    );
+    // Per-phase job latency: one sample per job, queue ≤ total.
+    for name in [
+        "icstar_serve_job_queue_wait_ns",
+        "icstar_serve_job_build_ns",
+        "icstar_serve_job_check_ns",
+        "icstar_serve_job_total_ns",
+    ] {
+        let h = snap
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} missing"));
+        assert_eq!(h.count, 2, "{name}");
+    }
+    let queue = snap.histogram("icstar_serve_job_queue_wait_ns").unwrap();
+    let total = snap.histogram("icstar_serve_job_total_ns").unwrap();
+    assert!(queue.sum <= total.sum);
+    // Cache: first job misses (counter + width-1 rep), second job hits,
+    // each with its latency filed on the right side.
+    assert_eq!(snap.counter("icstar_serve_cache_misses"), Some(2));
+    assert_eq!(snap.counter("icstar_serve_cache_hits"), Some(2));
+    assert_eq!(
+        snap.histogram("icstar_serve_cache_miss_ns").unwrap().count,
+        2
+    );
+    assert_eq!(
+        snap.histogram("icstar_serve_cache_hit_ns").unwrap().count,
+        2
+    );
+    // A miss at this size is a materialization; a hit is a lookup. The
+    // medians must reflect that, massively.
+    let miss = snap.histogram("icstar_serve_cache_miss_ns").unwrap();
+    let hit = snap.histogram("icstar_serve_cache_hit_ns").unwrap();
+    assert!(miss.sum > hit.sum, "misses dominate hit latency");
 }

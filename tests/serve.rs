@@ -33,6 +33,7 @@ fn small_service(workers: usize) -> VerifyService {
         exploration_shards: 2,
         sharded_threshold: 500, // exercise the sharded path at test sizes
         cache_budget_states: u64::MAX,
+        ..ServeConfig::default()
     })
 }
 

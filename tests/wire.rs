@@ -17,6 +17,7 @@ fn test_service() -> VerifyService {
         exploration_shards: 2,
         sharded_threshold: 1_000_000,
         cache_budget_states: u64::MAX,
+        ..ServeConfig::default()
     })
 }
 
