@@ -29,6 +29,7 @@
 //! | [`icstar_nets`] | the token ring, free products, counting examples, mutants |
 //! | [`icstar_sym`] | counter abstraction: symmetric networks at `n = 10,000+` |
 //! | [`icstar_serve`] | concurrent verification service: job queue, worker pool, memoized structure cache |
+//! | [`icstar_telemetry`] | metrics registry, snapshots, and per-job causal tracing (flight recorder) |
 //!
 //! This facade re-exports the main types and adds the high-level
 //! [`FamilyVerifier`] workflow, which offers two backends: explicit
@@ -100,6 +101,7 @@ pub use icstar_sym::{
     verify_counter_abstraction, wakeup_template, Broadcast, CheckRun, CounterState, CounterSystem,
     CountingSpec, Guard, GuardedBuilder, GuardedTemplate, SymEngine, SymError,
 };
+pub use icstar_telemetry::{FlightRecorder, Registry, SpanEvent, TelemetrySnapshot, TraceId};
 
 // The sub-crates, for item-level access.
 pub use icstar_bisim;
@@ -109,3 +111,4 @@ pub use icstar_mc;
 pub use icstar_nets;
 pub use icstar_serve;
 pub use icstar_sym;
+pub use icstar_telemetry;

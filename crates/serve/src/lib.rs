@@ -47,6 +47,14 @@
 //!   the cached structures; large-`n` misses materialize with the sharded
 //!   parallel exploration ([`icstar_sym::CounterSystem::kripke_sharded`]),
 //!   so a single big build also uses all cores.
+//! * **Tracing.** Every job leaves a causal span tree
+//!   (`job` → `queue_wait` / `cache_lookup` / `build` / `shard[i]` /
+//!   `check`) in the service's
+//!   [`FlightRecorder`](icstar_telemetry::FlightRecorder)
+//!   ([`ServeConfig::recorder`], bounded ring, always on); the job's
+//!   [`TraceId`](icstar_telemetry::TraceId) is on its [`JobHandle`],
+//!   and [`VerifyService::submit_traced`] joins a caller-supplied
+//!   trace so server spans stitch into the caller's own system.
 //!
 //! # Quickstart
 //!

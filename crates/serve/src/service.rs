@@ -10,7 +10,9 @@ use std::time::{Duration, Instant};
 use icstar_kripke::Kripke;
 use icstar_logic::has_index_quantifier;
 use icstar_sym::{required_rep_width, CountingSpec, SymEngine};
-use icstar_telemetry::{Registry, TelemetrySnapshot};
+use icstar_telemetry::{
+    FlightRecorder, Registry, SpanContext, SpanEvent, TelemetrySnapshot, TraceId,
+};
 
 use crate::cache::GraphCache;
 use crate::job::{JobVerdict, VerdictReport, VerifyJob};
@@ -42,6 +44,12 @@ pub struct ServeConfig {
     /// `Registry::global().clone()` to publish into the process-wide
     /// registry instead.
     pub telemetry: Registry,
+    /// The flight recorder every job's spans land in — the ring the
+    /// `TRACE` wire command reads. Defaults to a fresh recorder with
+    /// [`DEFAULT_TRACE_CAPACITY`](icstar_telemetry::DEFAULT_TRACE_CAPACITY)
+    /// span slots; pass `FlightRecorder::with_capacity` to size it, or a
+    /// clone of an existing recorder to share one ring across services.
+    pub recorder: FlightRecorder,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +72,7 @@ impl Default for ServeConfig {
             sharded_threshold: 20_000,
             cache_budget_states: u64::MAX,
             telemetry: Registry::new(),
+            recorder: FlightRecorder::new(),
         }
     }
 }
@@ -91,6 +100,12 @@ impl std::error::Error for ServeError {}
 pub struct JobHandle {
     /// The id the report will carry.
     pub id: u64,
+    /// The trace every span of this job is recorded under — pass it to
+    /// [`FlightRecorder::spans_for`] (via
+    /// [`VerifyService::recorder`]) to reconstruct the job's causal
+    /// tree. Client-supplied on [`VerifyService::submit_traced`],
+    /// freshly minted otherwise.
+    pub trace: TraceId,
     rx: mpsc::Receiver<VerdictReport>,
 }
 
@@ -127,6 +142,13 @@ struct QueuedJob {
     /// When `submit` accepted the job — start of the queue-wait and
     /// total-latency measurements.
     submitted: Instant,
+    /// The same instant on the flight recorder's clock, so recorded
+    /// spans line up with `submitted`-derived durations.
+    submitted_ns: u64,
+    /// The job's trace and the pre-allocated id of its root `job` span.
+    /// Children are recorded against `root` as the job progresses; the
+    /// root event itself is recorded last, when its duration is known.
+    root: SpanContext,
 }
 
 /// Everything the workers share.
@@ -200,11 +222,28 @@ impl VerifyService {
                         let msg = { rx.lock().expect("queue poisoned").recv() };
                         match msg {
                             Ok(q) => {
+                                let QueuedJob {
+                                    id,
+                                    job,
+                                    reply,
+                                    submitted,
+                                    submitted_ns,
+                                    root,
+                                } = q;
+                                let worker = i as u32;
+                                let recorder = &inner.config.recorder;
                                 inner.stats.queue_depth.dec();
-                                inner
-                                    .stats
-                                    .queue_wait_ns
-                                    .record_duration(q.submitted.elapsed());
+                                let wait = submitted.elapsed();
+                                inner.stats.queue_wait_ns.record_duration(wait);
+                                recorder.record_span(
+                                    root.trace,
+                                    Some(root.span),
+                                    "queue_wait",
+                                    submitted_ns,
+                                    wait.as_nanos() as u64,
+                                    worker,
+                                    Vec::new(),
+                                );
                                 inner.stats.workers_busy.inc();
                                 // Isolate panics: a pathological job must
                                 // not shrink the pool (each dead worker
@@ -215,15 +254,33 @@ impl VerifyService {
                                 // unwinding past it is safe.
                                 let report =
                                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                        process(&inner, q.id, q.job)
+                                        process(&inner, id, job, root, worker)
                                     }));
                                 inner.stats.workers_busy.dec();
+                                // The root `job` span is recorded even for
+                                // a panicked job — its trace is often the
+                                // only evidence of what the job was doing.
+                                let total = submitted.elapsed();
+                                let outcome = if report.is_ok() { "ok" } else { "panicked" };
+                                recorder.record(SpanEvent {
+                                    trace: root.trace,
+                                    id: root.span,
+                                    parent: None,
+                                    name: "job".into(),
+                                    start_ns: submitted_ns,
+                                    dur_ns: total.as_nanos() as u64,
+                                    tid: worker,
+                                    attrs: vec![
+                                        ("id".into(), id.to_string()),
+                                        ("outcome".into(), outcome.into()),
+                                    ],
+                                });
                                 if let Ok(report) = report {
                                     inner.stats.jobs_completed.inc();
-                                    inner.stats.total_ns.record_duration(q.submitted.elapsed());
+                                    inner.stats.total_ns.record_duration(total);
                                     // The caller may have dropped its
                                     // handle; the work still counts.
-                                    let _ = q.reply.send(report);
+                                    let _ = reply.send(report);
                                 }
                                 // On panic the reply sender is dropped and
                                 // the job's handle reports JobLost; its
@@ -251,26 +308,48 @@ impl VerifyService {
     }
 
     /// Enqueues a job and returns the handle its report will arrive on.
-    /// Never blocks on the workers.
+    /// Never blocks on the workers. The job records its spans under a
+    /// freshly minted trace (see [`JobHandle::trace`]); use
+    /// [`submit_traced`](VerifyService::submit_traced) to join a trace
+    /// the caller already owns.
     pub fn submit(&self, job: VerifyJob) -> JobHandle {
+        self.submit_traced(job, None)
+    }
+
+    /// Like [`submit`](VerifyService::submit), but records the job's
+    /// spans under `trace` when one is given — the propagation point for
+    /// a caller (e.g. the wire server) whose own spans should parent the
+    /// job's in one causal tree. With `None` a fresh trace is minted.
+    pub fn submit_traced(&self, job: VerifyJob, trace: Option<TraceId>) -> JobHandle {
         let id = self
             .next_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
         self.inner.stats.jobs_submitted.inc();
         self.inner.stats.queue_depth.inc();
+        let recorder = &self.inner.config.recorder;
+        let trace = trace.unwrap_or_else(|| recorder.new_trace());
+        // The root `job` span's id is fixed now so the worker can parent
+        // children on it before the root event itself (recorded at
+        // completion, when its duration is known) exists in the ring.
+        let root = SpanContext {
+            trace,
+            span: recorder.new_span_id(),
+        };
         let queued = QueuedJob {
             id,
             job,
             reply,
             submitted: Instant::now(),
+            submitted_ns: recorder.now_ns(),
+            root,
         };
         if let Some(tx) = &self.tx {
             // Failure means every worker has died; the handle will then
             // report `JobLost`.
             let _ = tx.send(queued);
         }
-        JobHandle { id, rx }
+        JobHandle { id, trace, rx }
     }
 
     /// A point-in-time view of the service counters. Reads the same
@@ -278,6 +357,7 @@ impl VerifyService {
     /// the flat snapshot is a stable legacy view, not a second ledger.
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.inner.stats;
+        let total = s.total_ns.snapshot();
         StatsSnapshot {
             jobs_submitted: s.jobs_submitted.get(),
             jobs_completed: s.jobs_completed.get(),
@@ -289,6 +369,8 @@ impl VerifyService {
             cache_evictions: self.inner.cache.evictions(),
             evicted_abstract_states: self.inner.cache.evicted_states(),
             sharded_explorations: s.sharded_explorations.get(),
+            p50_total_ns: total.p50(),
+            p99_total_ns: total.p99(),
         }
     }
 
@@ -296,6 +378,13 @@ impl VerifyService {
     /// from [`ServeConfig::telemetry`]).
     pub fn telemetry(&self) -> &Registry {
         &self.inner.config.telemetry
+    }
+
+    /// The flight recorder this service's jobs record into (the one from
+    /// [`ServeConfig::recorder`]) — read a job's causal tree with
+    /// [`FlightRecorder::spans_for`] on [`JobHandle::trace`].
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.inner.config.recorder
     }
 
     /// A coherent snapshot of every registered metric, with the cache
@@ -311,6 +400,10 @@ impl VerifyService {
         registry
             .gauge("serve.cache.abstract_states")
             .set(self.inner.cache.abstract_states().min(i64::MAX as u64) as i64);
+        // Same reasoning for the flight recorder's occupancy gauge
+        // (`telemetry.trace.retained`, plus adopting the dropped
+        // counter): sampled at snapshot time, not maintained per record.
+        self.inner.config.recorder.publish_metrics(registry);
         registry.snapshot()
     }
 
@@ -337,8 +430,12 @@ impl Drop for VerifyService {
 /// closure receives a flag it must set iff *this* call ran the build.
 /// An in-flight wait (the builder is a peer) counts as a hit — an
 /// honest, slow one; the tail of `serve.cache.hit_ns` is contention,
-/// not lookup cost.
-fn timed_fetch<T>(stats: &ServiceStats, fetch: impl FnOnce(&Cell<bool>) -> T) -> (T, Duration) {
+/// not lookup cost. Returns the flag too, so the caller's
+/// `cache_lookup` span can carry the outcome.
+fn timed_fetch<T>(
+    stats: &ServiceStats,
+    fetch: impl FnOnce(&Cell<bool>) -> T,
+) -> (T, Duration, bool) {
     let built = Cell::new(false);
     let start = Instant::now();
     let out = fetch(&built);
@@ -348,7 +445,7 @@ fn timed_fetch<T>(stats: &ServiceStats, fetch: impl FnOnce(&Cell<bool>) -> T) ->
     } else {
         stats.cache_hit_ns.record_duration(dur);
     }
-    (out, dur)
+    (out, dur, built.get())
 }
 
 /// Runs one job: for every size, fetch-or-build the needed structures
@@ -357,7 +454,19 @@ fn timed_fetch<T>(stats: &ServiceStats, fetch: impl FnOnce(&Cell<bool>) -> T) ->
 /// every formula on a session seeded with them. Structure acquisition
 /// and checking are timed separately into the per-job phase histograms
 /// (`serve.job.build_ns` / `serve.job.check_ns`, one sample per job).
-fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
+///
+/// Every phase also records a span under the job's `root` context —
+/// `cache_lookup` (with its hit/miss outcome), `build` (only when this
+/// worker actually materialized; under it, the sharded exploration's
+/// `shard[i]` spans), and `check` — all on the flight recorder, tagged
+/// with this worker's index as the Chrome-trace lane.
+fn process(
+    inner: &Inner,
+    id: u64,
+    job: VerifyJob,
+    root: SpanContext,
+    worker: u32,
+) -> VerdictReport {
     let VerifyJob {
         template,
         spec,
@@ -373,20 +482,27 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
     let any_counting = formulas.iter().any(|(_, f)| !has_index_quantifier(f));
     let any_indexed = formulas.iter().any(|(_, f)| has_index_quantifier(f));
 
+    let recorder = &inner.config.recorder;
     let mut verdicts = Vec::with_capacity(sizes.len() * formulas.len());
     for &n in &sizes {
         let mut session = engine.session(n);
         // Indexed formulas at n = 0 expand over the empty index set and
         // fall back to the counter structure, so it is needed then too.
         if any_counting || (any_indexed && n == 0) {
-            let (graph, dur) = timed_fetch(&inner.stats, |built| {
+            let mut lookup = recorder.scope_under(root, "cache_lookup");
+            lookup.set_tid(worker);
+            lookup.attr("kind", "counter");
+            lookup.attr("n", n.to_string());
+            let (graph, dur, built) = timed_fetch(&inner.stats, |built| {
                 inner
                     .cache
                     .counter(engine.template(), engine.spec(), n, || {
                         built.set(true);
-                        materialize(inner, &engine, n)
+                        materialize(inner, &engine, n, root, worker)
                     })
             });
+            lookup.attr("outcome", if built { "miss" } else { "hit" });
+            drop(lookup);
             build_time += dur;
             session.seed_counter(graph);
         }
@@ -402,14 +518,26 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
             widths.sort_unstable();
             widths.dedup();
             for width in widths {
-                let (rep, dur) = timed_fetch(&inner.stats, |built| {
+                let mut lookup = recorder.scope_under(root, "cache_lookup");
+                lookup.set_tid(worker);
+                lookup.attr("kind", "representative");
+                lookup.attr("n", n.to_string());
+                lookup.attr("width", width.to_string());
+                let (rep, dur, built) = timed_fetch(&inner.stats, |built| {
                     inner
                         .cache
                         .representative(engine.template(), engine.spec(), n, width, || {
                             built.set(true);
+                            let mut build = recorder.scope_under(root, "build");
+                            build.set_tid(worker);
+                            build.attr("kind", "representative");
+                            build.attr("n", n.to_string());
+                            build.attr("width", width.to_string());
                             engine.representative_structure(n, width)
                         })
                 });
+                lookup.attr("outcome", if built { "miss" } else { "hit" });
+                drop(lookup);
                 build_time += dur;
                 if let Ok(rep) = rep {
                     session.seed_representative(width, rep);
@@ -418,6 +546,10 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
                 // check reproduces the build error as its verdict.
             }
         }
+        let mut check = recorder.scope_under(root, "check");
+        check.set_tid(worker);
+        check.attr("n", n.to_string());
+        check.attr("formulas", formulas.len().to_string());
         for (name, f) in &formulas {
             let check_started = Instant::now();
             let run = session.check_described(f);
@@ -425,7 +557,10 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
             inner.stats.formulas_checked.inc();
             let (result, rep_width) = match run {
                 Ok(run) => (Ok(run.holds), run.rep_width),
-                Err(e) => (Err(e), 0),
+                Err(e) => {
+                    inner.stats.verdict_errors.inc();
+                    (Err(e), 0)
+                }
             };
             verdicts.push(JobVerdict {
                 name: name.clone(),
@@ -444,12 +579,32 @@ fn process(inner: &Inner, id: u64, job: VerifyJob) -> VerdictReport {
 }
 
 /// Builds the counter structure for the cache: sharded exploration for
-/// large families, sequential BFS for small ones.
-fn materialize(inner: &Inner, engine: &SymEngine, n: u32) -> Kripke {
+/// large families, sequential BFS for small ones. The `build` span it
+/// records under `root` parents the exploration's `shard[i]` spans when
+/// the sharded path runs, so the trace shows exactly which worker paid
+/// for the materialization and how the shards split it.
+fn materialize(
+    inner: &Inner,
+    engine: &SymEngine,
+    n: u32,
+    root: SpanContext,
+    worker: u32,
+) -> Kripke {
+    let recorder = &inner.config.recorder;
+    let mut build = recorder.scope_under(root, "build");
+    build.set_tid(worker);
+    build.attr("kind", "counter");
+    build.attr("n", n.to_string());
     if n >= inner.config.sharded_threshold {
         inner.stats.sharded_explorations.inc();
-        engine.counter_structure_sharded(n, inner.config.exploration_shards)
+        build.attr("mode", "sharded");
+        engine.counter_structure_sharded_traced(
+            n,
+            inner.config.exploration_shards,
+            Some((recorder.clone(), build.context())),
+        )
     } else {
+        build.attr("mode", "sequential");
         engine.counter_structure(n)
     }
 }
@@ -468,6 +623,7 @@ mod tests {
             sharded_threshold: 1_000_000, // keep unit tests sequential
             cache_budget_states: u64::MAX,
             telemetry: Registry::new(), // isolated: exact counts below
+            recorder: FlightRecorder::new(),
         }
     }
 
@@ -702,6 +858,128 @@ mod tests {
         // Pool gauges: sized at start, idle after the jobs drained.
         assert_eq!(snap.gauge("serve.workers.total"), Some(2));
         assert_eq!(snap.gauge("serve.queue.depth"), Some(0));
+        // The snapshot's quantiles come from the same histogram the
+        // registry exports — STATS, HEALTH, and METRICS must agree.
+        let total_hist = snap.histogram("serve.job.total_ns").unwrap();
+        assert_eq!(stats.p50_total_ns, total_hist.p50());
+        assert_eq!(stats.p99_total_ns, total_hist.p99());
+        assert!(stats.p50_total_ns > 0);
+        assert!(stats.p50_total_ns <= stats.p99_total_ns);
+        // The flight recorder publishes into the snapshot too.
+        assert_eq!(snap.counter("telemetry.trace.dropped"), Some(0));
+        assert!(snap.gauge("telemetry.trace.retained").unwrap() > 0);
+    }
+
+    #[test]
+    fn jobs_record_a_causal_span_tree() {
+        let config = small_config();
+        let recorder = config.recorder.clone();
+        let service = VerifyService::start(config);
+        let job = VerifyJob::new(mutex_template())
+            .at_size(5)
+            .formula("m", parse_state("AG !crit_ge2").unwrap());
+        let h = service.submit(job.clone());
+        let trace = h.trace;
+        h.wait().unwrap();
+
+        let spans = recorder.spans_for(trace);
+        let root = spans.iter().find(|s| s.name == "job").expect("job root");
+        assert!(root.parent.is_none());
+        assert!(root.attrs.iter().any(|(k, v)| k == "outcome" && v == "ok"));
+        for name in ["queue_wait", "cache_lookup", "build", "check"] {
+            let s = spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("no {name} span in {spans:?}"));
+            assert_eq!(s.parent, Some(root.id), "{name} hangs off the job root");
+            assert!(s.dur_ns <= root.dur_ns, "{name} fits inside the job");
+        }
+        let lookup = spans.iter().find(|s| s.name == "cache_lookup").unwrap();
+        assert!(lookup
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "outcome" && v == "miss"));
+
+        // Resubmission is served from cache: its trace has a hit
+        // lookup and no build span.
+        let h = service.submit(job);
+        let trace = h.trace;
+        h.wait().unwrap();
+        let spans = recorder.spans_for(trace);
+        let lookup = spans.iter().find(|s| s.name == "cache_lookup").unwrap();
+        assert!(lookup
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "outcome" && v == "hit"));
+        assert!(!spans.iter().any(|s| s.name == "build"));
+    }
+
+    #[test]
+    fn submit_traced_joins_the_callers_trace() {
+        let config = small_config();
+        let recorder = config.recorder.clone();
+        let service = VerifyService::start(config);
+        let trace = recorder.new_trace();
+        let h = service.submit_traced(
+            VerifyJob::new(mutex_template())
+                .at_size(3)
+                .formula("m", parse_state("AG !crit_ge2").unwrap()),
+            Some(trace),
+        );
+        assert_eq!(h.trace, trace, "the handle advertises the joined trace");
+        h.wait().unwrap();
+        assert!(
+            recorder.spans_for(trace).iter().any(|s| s.name == "job"),
+            "the job's spans landed in the caller's trace"
+        );
+    }
+
+    #[test]
+    fn sharded_builds_hang_shard_spans_under_the_build_span() {
+        // Force the sharded path for a small family.
+        let config = ServeConfig {
+            sharded_threshold: 1,
+            ..small_config()
+        };
+        let recorder = config.recorder.clone();
+        let service = VerifyService::start(config);
+        let h = service.submit(
+            VerifyJob::new(mutex_template())
+                .at_size(12)
+                .formula("m", parse_state("AG !crit_ge2").unwrap()),
+        );
+        let trace = h.trace;
+        h.wait().unwrap();
+        let spans = recorder.spans_for(trace);
+        let build = spans.iter().find(|s| s.name == "build").expect("build");
+        assert!(build
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "mode" && v == "sharded"));
+        let shards: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("shard["))
+            .collect();
+        assert_eq!(shards.len(), 2, "one span per exploration shard");
+        for s in &shards {
+            assert_eq!(s.parent, Some(build.id), "shards belong to the build");
+        }
+    }
+
+    #[test]
+    fn verdict_errors_feed_the_error_counter() {
+        let service = VerifyService::start(small_config());
+        service
+            .submit(
+                VerifyJob::new(mutex_template())
+                    .at_size(3)
+                    .formula("bogus", parse_state("AG bogus").unwrap())
+                    .formula("fine", parse_state("AG !crit_ge2").unwrap()),
+            )
+            .wait()
+            .unwrap();
+        let snap = service.telemetry_snapshot();
+        assert_eq!(snap.counter("serve.verdicts.errors"), Some(1));
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub(crate) struct ServiceStats {
     pub(crate) jobs_completed: Counter,
     /// `serve.formulas.checked` — individual `(formula, size)` checks.
     pub(crate) formulas_checked: Counter,
+    /// `serve.verdicts.errors` — checks whose verdict was an error
+    /// (unknown atom, unrestricted formula, failed build). The `HEALTH`
+    /// wire command's error count.
+    pub(crate) verdict_errors: Counter,
     /// `serve.explore.sharded` — materializations via the sharded sweep.
     pub(crate) sharded_explorations: Counter,
     /// `serve.queue.depth` — jobs submitted but not yet picked up.
@@ -54,6 +58,7 @@ impl ServiceStats {
             jobs_submitted: registry.counter("serve.jobs.submitted"),
             jobs_completed: registry.counter("serve.jobs.completed"),
             formulas_checked: registry.counter("serve.formulas.checked"),
+            verdict_errors: registry.counter("serve.verdicts.errors"),
             sharded_explorations: registry.counter("serve.explore.sharded"),
             queue_depth: registry.gauge("serve.queue.depth"),
             workers_busy: registry.gauge("serve.workers.busy"),
@@ -100,6 +105,16 @@ pub struct StatsSnapshot {
     pub evicted_abstract_states: u64,
     /// Materializations that used the sharded parallel exploration.
     pub sharded_explorations: u64,
+    /// Estimated median of `serve.job.total_ns` — derived from the same
+    /// histogram atomics the `METRICS` exposition and the `HEALTH`
+    /// command read, via
+    /// [`HistogramSnapshot::p50`](icstar_telemetry::HistogramSnapshot::p50)
+    /// (log₂ buckets: within 2× of the true order statistic). Zero
+    /// before any job completes.
+    pub p50_total_ns: u64,
+    /// Estimated 99th percentile of `serve.job.total_ns`; same
+    /// derivation and accuracy as `p50_total_ns`.
+    pub p99_total_ns: u64,
 }
 
 impl StatsSnapshot {

@@ -30,7 +30,7 @@ use icstar_logic::{
     expand_representatives, has_index_quantifier, restricted_depth, PathFormula, StateFormula,
 };
 use icstar_mc::Checker;
-use icstar_telemetry::{Registry, SpanTimer};
+use icstar_telemetry::{FlightRecorder, Registry, SpanContext};
 
 use crate::crosscheck::verify_counter_abstraction;
 use crate::error::SymError;
@@ -152,7 +152,25 @@ impl SymEngine {
     /// sharded parallel exploration ([`CounterSystem::kripke_sharded`]):
     /// the same structure, explored by `shards` cooperating threads.
     pub fn counter_structure_sharded(&self, n: u32, shards: usize) -> Kripke {
-        self.system(n).kripke_sharded(&self.spec, shards)
+        self.counter_structure_sharded_traced(n, shards, None)
+    }
+
+    /// As [`SymEngine::counter_structure_sharded`], optionally attaching
+    /// the exploration to a causal trace: with `trace = Some((recorder,
+    /// parent))`, every shard worker records a `shard[i]` span under
+    /// `parent` ([`CounterSystem::with_trace`]) — this is how a served
+    /// job's `build` span acquires per-shard children.
+    pub fn counter_structure_sharded_traced(
+        &self,
+        n: u32,
+        shards: usize,
+        trace: Option<(FlightRecorder, SpanContext)>,
+    ) -> Kripke {
+        let mut sys = self.system(n);
+        if let Some((recorder, parent)) = trace {
+            sys = sys.with_trace(recorder, parent);
+        }
+        sys.kripke_sharded(&self.spec, shards)
     }
 
     /// Materializes the width-`width` representative structure at size
@@ -166,7 +184,7 @@ impl SymEngine {
     pub fn representative_structure(&self, n: u32, width: u32) -> Result<IndexedKripke, SymError> {
         // Per-width timing: width is bounded by the quantifier nesting
         // depth of real formulas, so the name cardinality stays tiny.
-        let span = SpanTimer::start(
+        let span = self.telemetry.span(
             format!("sym.rep.w{width}.build"),
             self.telemetry
                 .histogram(&format!("sym.rep.w{width}.build_ns")),
@@ -364,7 +382,10 @@ impl SymSession<'_> {
     ///
     /// As [`SymSession::check_counting`] / [`SymSession::check_indexed`].
     pub fn check_described(&mut self, f: &StateFormula) -> Result<CheckRun, SymError> {
-        let span = SpanTimer::start("sym.check", self.engine.telemetry.histogram("sym.check.ns"));
+        let span = self
+            .engine
+            .telemetry
+            .span("sym.check", self.engine.telemetry.histogram("sym.check.ns"));
         let run = if has_index_quantifier(f) {
             self.check_indexed_described(f)
         } else {

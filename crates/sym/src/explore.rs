@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use icstar_kripke::{Kripke, KripkeBuilder, StateId};
-use icstar_telemetry::Registry;
+use icstar_telemetry::{FlightRecorder, Registry, SpanContext};
 
 use crate::counter::{CounterPacking, CounterState, PackedCounter};
 use crate::labels::CountingSpec;
@@ -52,6 +52,7 @@ pub struct CounterSystem {
     n: u32,
     packing: CounterPacking,
     telemetry: Registry,
+    trace: Option<(FlightRecorder, SpanContext)>,
 }
 
 impl CounterSystem {
@@ -68,6 +69,7 @@ impl CounterSystem {
             n,
             packing,
             telemetry: Registry::global().clone(),
+            trace: None,
         }
     }
 
@@ -76,6 +78,18 @@ impl CounterSystem {
     #[must_use]
     pub fn with_telemetry(mut self, registry: Registry) -> Self {
         self.telemetry = registry;
+        self
+    }
+
+    /// Attaches a causal-trace parent: the sharded exploration then
+    /// records one `shard[i]` span per worker (with `tid = i` and the
+    /// shard's arrival/state counts as attributes) under `parent` in
+    /// `recorder`, making shard imbalance directly visible in a single
+    /// job's trace. Without this, exploration records no spans — only
+    /// the aggregate `sym.explore.*` metrics.
+    #[must_use]
+    pub fn with_trace(mut self, recorder: FlightRecorder, parent: SpanContext) -> Self {
+        self.trace = Some((recorder, parent));
         self
     }
 
@@ -340,11 +354,23 @@ impl CounterSystem {
             std::thread::scope(|s| {
                 let handles: Vec<_> = rxs
                     .into_iter()
-                    .map(|rx| {
+                    .enumerate()
+                    .map(|(shard_idx, rx)| {
                         let txs = txs.clone();
                         let pending = &pending;
                         let shard_ns = shard_ns.clone();
+                        let trace = self.trace.clone();
                         s.spawn(move || {
+                            // The shard's trace span (if a parent was
+                            // attached): opened here, closed — and thereby
+                            // recorded, with this shard's counts — when the
+                            // worker exits.
+                            let mut shard_span = trace.map(|(recorder, parent)| {
+                                let mut span =
+                                    recorder.scope_under(parent, format!("shard[{shard_idx}]"));
+                                span.set_tid(shard_idx as u32);
+                                span
+                            });
                             let shard_started = Instant::now();
                             let mut arrivals = 0u64;
                             let mut seen: std::collections::HashSet<PackedCounter> =
@@ -386,6 +412,10 @@ impl CounterSystem {
                                 }
                             }
                             shard_ns.record_duration(shard_started.elapsed());
+                            if let Some(span) = &mut shard_span {
+                                span.attr("arrivals", arrivals.to_string());
+                                span.attr("states", mine.len().to_string());
+                            }
                             (mine, arrivals)
                         })
                     })
@@ -603,6 +633,42 @@ mod tests {
             Some(k.num_transitions() as u64)
         );
         assert_eq!(snap.histogram("sym.explore.shard_ns").unwrap().count, 3);
+    }
+
+    #[test]
+    fn traced_sharded_exploration_records_one_span_per_shard() {
+        let recorder = icstar_telemetry::FlightRecorder::with_capacity(64);
+        let t = mutex_template();
+        let spec = CountingSpec::standard(&t);
+        let build = recorder.scope("build");
+        let parent = build.context();
+        let shards = 3usize;
+        CounterSystem::new(t, 25)
+            .with_trace(recorder.clone(), parent)
+            .kripke_sharded(&spec, shards);
+        drop(build);
+        let spans = recorder.spans_for(parent.trace);
+        let shard_spans: Vec<_> = spans
+            .iter()
+            .filter(|e| e.name.starts_with("shard["))
+            .collect();
+        assert_eq!(shard_spans.len(), shards);
+        let mut names: Vec<_> = shard_spans.iter().map(|e| e.name.clone()).collect();
+        names.sort();
+        assert_eq!(names, ["shard[0]", "shard[1]", "shard[2]"]);
+        for span in &shard_spans {
+            assert_eq!(span.parent, Some(parent.span), "attached under build");
+            assert!(span.attrs.iter().any(|(k, _)| k == "arrivals"));
+            assert!(span.attrs.iter().any(|(k, _)| k == "states"));
+        }
+        // tid carries the shard index, so Perfetto lanes separate.
+        let tids: std::collections::BTreeSet<u32> = shard_spans.iter().map(|e| e.tid).collect();
+        assert_eq!(tids, (0..shards as u32).collect());
+        // Untraced systems record nothing.
+        let quiet = icstar_telemetry::FlightRecorder::with_capacity(64);
+        CounterSystem::new(mutex_template(), 10)
+            .kripke_sharded(&CountingSpec::standard(&mutex_template()), 2);
+        assert!(quiet.is_empty());
     }
 
     #[test]

@@ -22,8 +22,15 @@
 //! for the `METRICS` wire command ([`TelemetrySnapshot::to_prometheus`]
 //! / [`TelemetrySnapshot::parse_prometheus`]) and a JSON dump
 //! ([`TelemetrySnapshot::to_json`] / [`TelemetrySnapshot::from_json`]).
-//! Setting `ICSTAR_TRACE=<path>` additionally streams every finished
-//! span as a JSON line to that file.
+//! A registry with a trace sink ([`Registry::set_trace_sink`];
+//! `ICSTAR_TRACE=<path>` seeds [`Registry::global`]'s) additionally
+//! streams every finished [`Registry::span`] timer as a JSON line.
+//!
+//! On top of the aggregates sits per-job **causal tracing**: the
+//! [`FlightRecorder`] ring buffer retains recent [`SpanEvent`]s keyed
+//! by [`TraceId`], [`TraceScope`] guards nest through a thread-local
+//! stack, and [`to_chrome_trace`] / [`parse_chrome_trace`] round-trip
+//! the Chrome Trace Event Format the wire `TRACE` command serves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,10 +39,15 @@ mod metrics;
 mod registry;
 mod snapshot;
 mod span;
+mod trace;
 
 pub use metrics::{
     bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
 };
 pub use registry::Registry;
 pub use snapshot::{wire_name, MetricValue, TelemetrySnapshot};
-pub use span::{trace_enabled, SpanTimer, TRACE_ENV};
+pub use span::{SpanTimer, TRACE_ENV};
+pub use trace::{
+    current_context, parse_chrome_trace, to_chrome_trace, to_text_tree, FlightRecorder,
+    SpanContext, SpanEvent, SpanId, TraceId, TraceScope, DEFAULT_TRACE_CAPACITY,
+};

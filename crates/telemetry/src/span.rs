@@ -1,63 +1,65 @@
-//! RAII span timing, with an optional JSON-lines trace log.
+//! RAII span timing, with an optional per-registry JSON-lines trace
+//! log.
 //!
 //! A [`SpanTimer`] measures the time from construction to drop and
-//! records it into a [`Histogram`]. When the process was started with
-//! `ICSTAR_TRACE=<path>`, every finished span additionally appends one
-//! JSON line to that file — a structured event log that makes long
-//! explorations watchable from outside (`tail -f`) without attaching a
-//! debugger.
+//! records it into a [`Histogram`]. Timers created through
+//! [`Registry::span`](crate::Registry::span) additionally append one
+//! JSON line per finished span to the registry's trace sink (if one is
+//! configured via
+//! [`Registry::set_trace_sink`](crate::Registry::set_trace_sink)) — a
+//! structured event log that makes long explorations watchable from
+//! outside (`tail -f`) without attaching a debugger.
+//!
+//! The sink is **per-registry**, not process-global: two services in
+//! one process (every integration test) log to their own files, and
+//! setting a sink late works. `ICSTAR_TRACE` seeds only
+//! [`Registry::global`](crate::Registry::global)'s sink, at first
+//! access; an explicit `set_trace_sink` call always wins.
 
 use std::fs::OpenOptions;
 use std::io::Write;
-use std::sync::{Mutex, OnceLock};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::metrics::Histogram;
 
-/// The environment variable naming the trace output file.
+/// The environment variable naming the default trace output file for
+/// [`Registry::global`](crate::Registry::global).
 pub const TRACE_ENV: &str = "ICSTAR_TRACE";
 
-struct TraceSink {
+#[derive(Debug)]
+struct SinkInner {
     file: Mutex<std::fs::File>,
     epoch: Instant,
 }
 
-/// The process-wide trace sink, opened (append mode) on first use when
-/// `ICSTAR_TRACE` is set. `None` when tracing is off or the file could
-/// not be opened — tracing never takes a process down.
-fn sink() -> Option<&'static TraceSink> {
-    static SINK: OnceLock<Option<TraceSink>> = OnceLock::new();
-    SINK.get_or_init(|| {
-        let path = std::env::var_os(TRACE_ENV)?;
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .ok()?;
-        Some(TraceSink {
+/// A shared handle on one open trace log file. Cloned into every
+/// [`SpanTimer`] a registry creates, so timers outlive sink swaps
+/// without dangling.
+#[derive(Clone, Debug)]
+pub(crate) struct TraceSink(Arc<SinkInner>);
+
+impl TraceSink {
+    /// Opens `path` in append mode.
+    pub(crate) fn open(path: &Path) -> std::io::Result<TraceSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(TraceSink(Arc::new(SinkInner {
             file: Mutex::new(file),
             epoch: Instant::now(),
-        })
-    })
-    .as_ref()
-}
+        })))
+    }
 
-/// Whether span events are being written to an `ICSTAR_TRACE` file.
-pub fn trace_enabled() -> bool {
-    sink().is_some()
-}
-
-fn emit(span: &str, start: Instant, dur: Duration) {
-    if let Some(sink) = sink() {
+    fn emit(&self, span: &str, start: Instant, dur: Duration) {
         let start_us = start
-            .saturating_duration_since(sink.epoch)
+            .saturating_duration_since(self.0.epoch)
             .as_micros()
             .min(u64::MAX as u128);
         let line = format!(
             "{{\"span\":\"{span}\",\"start_us\":{start_us},\"dur_ns\":{}}}\n",
             dur.as_nanos().min(u64::MAX as u128)
         );
-        if let Ok(mut file) = sink.file.lock() {
+        if let Ok(mut file) = self.0.file.lock() {
             // A failed write disables nothing: the next span tries again.
             let _ = file.write_all(line.as_bytes());
         }
@@ -66,8 +68,10 @@ fn emit(span: &str, start: Instant, dur: Duration) {
 
 /// Times a span of work: started explicitly, finished on drop (or
 /// early via [`SpanTimer::stop`]). The elapsed nanoseconds land in the
-/// attached histogram, and — when tracing is on — one JSON event is
-/// appended to the trace file.
+/// attached histogram, and — for timers made via
+/// [`Registry::span`](crate::Registry::span) on a registry with a
+/// trace sink — one JSON event is appended to the registry's trace
+/// file.
 ///
 /// # Examples
 ///
@@ -77,7 +81,7 @@ fn emit(span: &str, start: Instant, dur: Duration) {
 /// let registry = Registry::new();
 /// let build_ns = registry.histogram("serve.job.build_ns");
 /// {
-///     let _span = SpanTimer::start("build", build_ns.clone());
+///     let _span = registry.span("build", build_ns.clone());
 ///     // ... build the structure ...
 /// } // recorded here
 /// assert_eq!(build_ns.count(), 1);
@@ -86,30 +90,42 @@ fn emit(span: &str, start: Instant, dur: Duration) {
 pub struct SpanTimer {
     name: String,
     histogram: Option<Histogram>,
+    sink: Option<TraceSink>,
     start: Instant,
     finished: bool,
 }
 
 impl SpanTimer {
-    /// Starts a span that records into `histogram` when it ends.
+    /// Starts a span that records into `histogram` when it ends. No
+    /// trace line is written — use
+    /// [`Registry::span`](crate::Registry::span) for that.
     pub fn start(name: impl Into<String>, histogram: Histogram) -> Self {
         SpanTimer {
             name: name.into(),
             histogram: Some(histogram),
+            sink: None,
             start: Instant::now(),
             finished: false,
         }
     }
 
-    /// Starts a trace-only span (no histogram) — useful for one-off
-    /// phases where only the event log matters.
+    /// Starts a histogram-less span — useful for one-off phases where
+    /// only the elapsed time matters.
     pub fn untracked(name: impl Into<String>) -> Self {
         SpanTimer {
             name: name.into(),
             histogram: None,
+            sink: None,
             start: Instant::now(),
             finished: false,
         }
+    }
+
+    /// Attaches a registry's trace sink; called by
+    /// [`Registry::span`](crate::Registry::span).
+    pub(crate) fn with_sink(mut self, sink: Option<TraceSink>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Time elapsed so far, without ending the span.
@@ -137,7 +153,9 @@ impl SpanTimer {
             if let Some(h) = &self.histogram {
                 h.record_duration(dur);
             }
-            emit(&self.name, self.start, dur);
+            if let Some(sink) = &self.sink {
+                sink.emit(&self.name, self.start, dur);
+            }
         }
         dur
     }

@@ -1,0 +1,111 @@
+//! Property test: any span list survives the Chrome Trace Event Format
+//! printer/parser pair exactly — `parse_chrome_trace(to_chrome_trace(t))
+//! == t` — including awkward names (quotes, backslashes, control
+//! characters, non-ASCII) and extreme timestamps. Seeds drive `StdRng`
+//! through the vendored proptest shim, the same idiom as the telemetry
+//! JSON round-trip suite.
+
+use icstar_telemetry::{parse_chrome_trace, to_chrome_trace, SpanEvent, SpanId, TraceId};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A string drawn from a pool that exercises every escape path of the
+/// JSON writer: quotes, backslashes, newlines, tabs, raw control
+/// bytes, multi-byte UTF-8, and the span names production actually
+/// uses.
+fn awkward_string(rng: &mut StdRng) -> String {
+    const POOL: &[&str] = &[
+        "job",
+        "queue_wait",
+        "shard[3]",
+        "cache_lookup",
+        "with space",
+        "quo\"te",
+        "back\\slash",
+        "new\nline",
+        "tab\there",
+        "ctl\u{1}\u{1f}",
+        "naïve-ünïcode-⊕",
+        "",
+    ];
+    let mut s = POOL[rng.random_range(0..POOL.len())].to_owned();
+    if rng.random_range(0u32..4) == 0 {
+        s.push_str(POOL[rng.random_range(0..POOL.len())]);
+    }
+    s
+}
+
+fn random_spans(rng: &mut StdRng) -> Vec<SpanEvent> {
+    let count = rng.random_range(0usize..12);
+    let mut spans: Vec<SpanEvent> = Vec::with_capacity(count);
+    for i in 0..count {
+        let parent = if i > 0 && rng.random_range(0u32..3) > 0 {
+            Some(spans[rng.random_range(0..i)].id)
+        } else {
+            None
+        };
+        let attrs = (0..rng.random_range(0usize..3))
+            .map(|j| {
+                // Keys `trace`/`span`/`parent` are reserved by the
+                // export; anything else goes, including empty.
+                (
+                    format!("k{j}.{}", awkward_string(rng).len()),
+                    awkward_string(rng),
+                )
+            })
+            .collect();
+        spans.push(SpanEvent {
+            trace: TraceId::from_u64(rng.next_u64() | 1).unwrap(),
+            id: SpanId::from_u64(i as u64 + 1).unwrap(),
+            parent,
+            name: awkward_string(rng),
+            start_ns: if rng.random_range(0u32..8) == 0 {
+                u64::MAX // extreme: must survive the µs split exactly
+            } else {
+                rng.next_u64()
+            },
+            dur_ns: rng.next_u64(),
+            tid: rng.next_u64() as u32,
+            attrs,
+        });
+    }
+    spans
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn chrome_trace_round_trips(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spans = random_spans(&mut rng);
+        let service = awkward_string(&mut rng);
+        let json = to_chrome_trace(&spans, &service);
+        prop_assert!(!json.contains('\n'), "export must stay one line for dot framing");
+        let parsed = parse_chrome_trace(&json)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{json}")))?;
+        prop_assert_eq!(parsed, spans, "{}", json);
+    }
+}
+
+#[test]
+fn fractional_microseconds_are_nanosecond_exact() {
+    // 1 ns and u64::MAX ns are the boundary cases of the `{µs}.{3-digit}`
+    // encoding; both must come back untouched.
+    for ns in [0u64, 1, 999, 1000, 1001, 123_456_789, u64::MAX] {
+        let span = SpanEvent {
+            trace: TraceId::from_u64(1).unwrap(),
+            id: SpanId::from_u64(1).unwrap(),
+            parent: None,
+            name: "t".into(),
+            start_ns: ns,
+            dur_ns: ns,
+            tid: 0,
+            attrs: Vec::new(),
+        };
+        let parsed =
+            parse_chrome_trace(&to_chrome_trace(std::slice::from_ref(&span), "s")).unwrap();
+        assert_eq!(parsed, vec![span], "ns = {ns}");
+    }
+}

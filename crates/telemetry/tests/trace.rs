@@ -1,41 +1,113 @@
-//! The `ICSTAR_TRACE` event log, exercised in-process.
-//!
-//! The trace sink is process-global and latched on first use, so this
-//! file holds exactly one test: it sets the environment variable before
-//! any span runs, emits spans, and checks the JSON-lines output. Tests
-//! that must *not* trace live in the other integration binaries (each
-//! integration test file is its own process).
+//! The per-registry span trace log, exercised in-process: sinks are
+//! configured with [`Registry::set_trace_sink`] (no process-global
+//! latch), so two registries in one process log to their own files and
+//! a late configuration still takes effect.
 
-use icstar_telemetry::{trace_enabled, Histogram, SpanTimer, TRACE_ENV};
+use icstar_telemetry::Registry;
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "icstar-trace-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    p
+}
+
+fn lines(path: &std::path::Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap_or_default()
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
 
 #[test]
-fn spans_append_json_lines_to_the_trace_file() {
-    let path = std::env::temp_dir().join(format!("icstar_trace_{}.jsonl", std::process::id()));
-    // Safety of the latch: nothing in this process has touched the sink
-    // yet, so the variable is read exactly once, right here.
-    std::env::set_var(TRACE_ENV, &path);
-    assert!(trace_enabled());
+fn spans_append_json_lines_to_the_registry_sink() {
+    let path = tmp_path("basic");
+    let _ = std::fs::remove_file(&path);
+    let registry = Registry::new();
+    assert!(!registry.trace_enabled());
+    registry.set_trace_sink(&path).unwrap();
+    assert!(registry.trace_enabled());
 
-    let h = Histogram::detached();
-    SpanTimer::start("explore", h.clone()).stop();
+    let h = registry.histogram("sym.check.ns");
+    registry.span("explore", h.clone()).stop();
     {
-        let _span = SpanTimer::start("check", h.clone());
+        let _span = registry.span("check", h.clone());
     }
-    SpanTimer::untracked("phase").stop();
-    assert_eq!(h.count(), 2, "untracked spans skip the histogram");
 
-    let log = std::fs::read_to_string(&path).unwrap();
-    let lines: Vec<&str> = log.lines().collect();
-    assert_eq!(lines.len(), 3, "one JSON line per finished span: {log}");
-    for (line, span) in lines.iter().zip(["explore", "check", "phase"]) {
-        assert!(
-            line.starts_with(&format!("{{\"span\":\"{span}\",\"start_us\":")),
-            "line {line:?} should open with span {span:?}"
-        );
-        assert!(
-            line.contains(",\"dur_ns\":") && line.ends_with('}'),
-            "{line}"
-        );
-    }
-    std::fs::remove_file(&path).ok();
+    let got = lines(&path);
+    assert_eq!(got.len(), 2, "one JSON line per finished span: {got:?}");
+    assert!(got[0].starts_with("{\"span\":\"explore\",\"start_us\":"));
+    assert!(got[1].contains("\"span\":\"check\""));
+    assert!(got
+        .iter()
+        .all(|l| l.contains(",\"dur_ns\":") && l.ends_with('}')));
+    assert_eq!(
+        h.count(),
+        2,
+        "histogram recording is independent of the sink"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn registries_do_not_share_sinks() {
+    let path_a = tmp_path("iso-a");
+    let path_b = tmp_path("iso-b");
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+    let a = Registry::new();
+    let b = Registry::new();
+    a.set_trace_sink(&path_a).unwrap();
+    b.set_trace_sink(&path_b).unwrap();
+
+    a.span("only.in.a", a.histogram("h")).stop();
+    b.span("only.in.b", b.histogram("h")).stop();
+    b.span("second.in.b", b.histogram("h")).stop();
+
+    assert_eq!(lines(&path_a).len(), 1);
+    assert_eq!(lines(&path_b).len(), 2);
+    assert!(lines(&path_a)[0].contains("only.in.a"));
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+}
+
+#[test]
+fn sinkless_registries_write_nothing_and_cancel_suppresses_lines() {
+    let path = tmp_path("cancel");
+    let _ = std::fs::remove_file(&path);
+    let registry = Registry::new();
+    // No sink yet: spans only hit the histogram.
+    registry.span("early", registry.histogram("h")).stop();
+    registry.set_trace_sink(&path).unwrap();
+    // Cancelled spans never reach the sink.
+    registry.span("doomed", registry.histogram("h")).cancel();
+    registry.span("kept", registry.histogram("h")).stop();
+    let got = lines(&path);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].contains("\"span\":\"kept\""));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn replacing_the_sink_redirects_new_spans() {
+    let path_a = tmp_path("swap-a");
+    let path_b = tmp_path("swap-b");
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+    let registry = Registry::new();
+    registry.set_trace_sink(&path_a).unwrap();
+    let held = registry.span("started.before.swap", registry.histogram("h"));
+    registry.set_trace_sink(&path_b).unwrap();
+    registry.span("after.swap", registry.histogram("h")).stop();
+    held.stop(); // keeps the sink it started with
+    assert_eq!(lines(&path_a).len(), 1);
+    assert!(lines(&path_a)[0].contains("started.before.swap"));
+    assert_eq!(lines(&path_b).len(), 1);
+    assert!(lines(&path_b)[0].contains("after.swap"));
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
 }

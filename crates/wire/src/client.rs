@@ -10,10 +10,37 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use icstar_serve::{StatsSnapshot, VerifyJob};
-use icstar_telemetry::TelemetrySnapshot;
+use icstar_telemetry::{parse_chrome_trace, SpanEvent, TelemetrySnapshot, TraceId};
 
 use crate::error::WireError;
 use crate::text::{parse_report, print_job, WireReport};
+
+/// The parsed answer to a `HEALTH` probe: one coherent line of
+/// liveness-relevant numbers, each read from the same atomics the
+/// `STATS` and `METRICS` commands export.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Milliseconds since the server was bound.
+    pub uptime_ms: u64,
+    /// Jobs submitted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Size of the service's worker pool.
+    pub workers: u64,
+    /// Jobs submitted whose report has not been sent yet (queued +
+    /// being processed).
+    pub jobs_in_flight: u64,
+    /// Checks whose verdict was an error (`serve.verdicts.errors`).
+    pub errors: u64,
+    /// Span events currently held in the flight recorder's ring.
+    pub traces_retained: u64,
+    /// Span events evicted from the ring since start.
+    pub traces_dropped: u64,
+    /// Estimated median job latency in nanoseconds (see
+    /// [`StatsSnapshot::p50_total_ns`]).
+    pub p50_total_ns: u64,
+    /// Estimated 99th-percentile job latency in nanoseconds.
+    pub p99_total_ns: u64,
+}
 
 /// The non-blocking answer to a `STATUS` query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -120,6 +147,30 @@ impl WireClient {
         self.submit_text(&print_job(job))
     }
 
+    /// Serializes and submits a job whose spans join `trace` — a trace
+    /// id this client owns (trace-context propagation: the caller's
+    /// spans and the job's server-side spans form one causal tree).
+    /// Returns the server-assigned id; fetch the tree with
+    /// [`WireClient::trace`] or [`WireClient::trace_chrome`].
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::submit`].
+    pub fn submit_in_trace(&mut self, job: &VerifyJob, trace: TraceId) -> Result<u64, WireError> {
+        let job_text = print_job(job);
+        writeln!(self.writer, "SUBMIT trace {trace}")?;
+        self.writer.write_all(job_text.as_bytes())?;
+        if !job_text.ends_with('\n') {
+            writeln!(self.writer)?;
+        }
+        writeln!(self.writer, ".")?;
+        let rest = self.read_ok()?;
+        match rest.strip_prefix("id ").map(str::parse) {
+            Some(Ok(id)) => Ok(id),
+            _ => Err(WireError::Protocol(format!("expected `OK id <n>`: {rest}"))),
+        }
+    }
+
     /// Submits a raw wire-format job payload (see `docs/PROTOCOL.md`).
     ///
     /// # Errors
@@ -208,10 +259,85 @@ impl WireClient {
                 "cache_evictions" => s.cache_evictions = value,
                 "evicted_abstract_states" => s.evicted_abstract_states = value,
                 "sharded_explorations" => s.sharded_explorations = value,
+                "p50_total_ns" => s.p50_total_ns = value,
+                "p99_total_ns" => s.p99_total_ns = value,
                 _ => {} // forward compatibility
             }
         }
         Ok(s)
+    }
+
+    /// Fetches a job's recorded span tree as the server's indented text
+    /// rendering (the `TRACE <id>` command). An empty string means the
+    /// job is known but its spans have been evicted from the server's
+    /// bounded flight recorder.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`WireError::Protocol`] for unknown ids.
+    pub fn trace(&mut self, id: u64) -> Result<String, WireError> {
+        writeln!(self.writer, "TRACE {id}")?;
+        let rest = self.read_ok()?;
+        if rest != "trace" {
+            return Err(WireError::Protocol(format!("expected `OK trace`: {rest}")));
+        }
+        self.read_block()
+    }
+
+    /// Fetches a job's recorded spans as parsed Chrome Trace Event
+    /// Format events (the `TRACE <id> chrome` command) — the typed form
+    /// of the JSON document the server would hand to Perfetto.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, [`WireError::Protocol`] for unknown ids or a
+    /// malformed trace document.
+    pub fn trace_chrome(&mut self, id: u64) -> Result<Vec<SpanEvent>, WireError> {
+        writeln!(self.writer, "TRACE {id} chrome")?;
+        let rest = self.read_ok()?;
+        if rest != "trace" {
+            return Err(WireError::Protocol(format!("expected `OK trace`: {rest}")));
+        }
+        let block = self.read_block()?;
+        parse_chrome_trace(block.trim_end())
+            .map_err(|e| WireError::Protocol(format!("bad chrome trace: {e}")))
+    }
+
+    /// Fetches the server's one-line `HEALTH` probe, parsed. Unknown
+    /// keys are ignored and missing keys read zero, mirroring the
+    /// `STATS` compatibility rule.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`WireError::Protocol`] on a malformed answer.
+    pub fn health(&mut self) -> Result<HealthSnapshot, WireError> {
+        writeln!(self.writer, "HEALTH")?;
+        let rest = self.read_ok()?;
+        let Some(rest) = rest.strip_prefix("health") else {
+            return Err(WireError::Protocol(format!("expected `OK health`: {rest}")));
+        };
+        let mut h = HealthSnapshot::default();
+        for pair in rest.split_whitespace() {
+            let Some((key, value)) = pair.split_once('=') else {
+                return Err(WireError::Protocol(format!("bad health pair {pair:?}")));
+            };
+            let value: u64 = value
+                .parse()
+                .map_err(|_| WireError::Protocol(format!("non-numeric health value {pair:?}")))?;
+            match key {
+                "uptime_ms" => h.uptime_ms = value,
+                "queue_depth" => h.queue_depth = value,
+                "workers" => h.workers = value,
+                "jobs_in_flight" => h.jobs_in_flight = value,
+                "errors" => h.errors = value,
+                "traces_retained" => h.traces_retained = value,
+                "traces_dropped" => h.traces_dropped = value,
+                "p50_total_ns" => h.p50_total_ns = value,
+                "p99_total_ns" => h.p99_total_ns = value,
+                _ => {} // forward compatibility
+            }
+        }
+        Ok(h)
     }
 
     /// Fetches the server's full telemetry snapshot (the `METRICS`

@@ -25,9 +25,11 @@
 //! * [`WireServer`] — a line-oriented TCP front-end
 //!   (`std::net::TcpListener`, one thread per connection, no external
 //!   dependencies) over an [`icstar_serve::VerifyService`], answering
-//!   `SUBMIT` / `STATUS` / `RESULT` / `STATS` / `PING` / `QUIT`.
+//!   `SUBMIT` / `STATUS` / `RESULT` / `STATS` / `TRACE` / `HEALTH` /
+//!   `PING` / `QUIT`.
 //! * [`WireClient`] — the matching blocking client, returning typed
-//!   values ([`WireReport`], [`icstar_serve::StatsSnapshot`]).
+//!   values ([`WireReport`], [`icstar_serve::StatsSnapshot`],
+//!   [`HealthSnapshot`], parsed Chrome trace events).
 //!
 //! # Quickstart
 //!
@@ -66,7 +68,7 @@ mod error;
 mod server;
 pub mod text;
 
-pub use client::{JobStatus, WireClient};
+pub use client::{HealthSnapshot, JobStatus, WireClient};
 pub use error::{WireError, WireParseError};
 pub use server::WireServer;
 pub use text::{

@@ -33,7 +33,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use icstar_serve::{JobHandle, VerdictReport, VerifyService};
-use icstar_telemetry::{Counter, Gauge, Histogram, Registry};
+use icstar_telemetry::{to_text_tree, Counter, Gauge, Histogram, Registry, TraceId};
 
 use crate::text::{parse_job, print_report};
 
@@ -75,6 +75,16 @@ enum JobSlot {
     Lost,
 }
 
+/// A registry entry: the job's slot plus the trace its spans were
+/// recorded under. The trace id outlives the [`JobHandle`] (which is
+/// consumed when the report arrives), so `TRACE <id>` works on finished
+/// jobs too — for as long as the entry escapes eviction and the spans
+/// remain in the flight recorder's ring.
+struct JobEntry {
+    trace: TraceId,
+    slot: JobSlot,
+}
+
 /// The front-end's metric handles, registered once at bind time in the
 /// wrapped service's registry.
 struct WireMetrics {
@@ -85,6 +95,8 @@ struct WireMetrics {
     cmd_result: Counter,
     cmd_stats: Counter,
     cmd_metrics: Counter,
+    cmd_trace: Counter,
+    cmd_health: Counter,
     /// All unrecognized verbs together: the metric namespace must stay
     /// bounded no matter what clients send.
     cmd_unknown: Counter,
@@ -110,6 +122,8 @@ impl WireMetrics {
             cmd_result: registry.counter("wire.cmd.result"),
             cmd_stats: registry.counter("wire.cmd.stats"),
             cmd_metrics: registry.counter("wire.cmd.metrics"),
+            cmd_trace: registry.counter("wire.cmd.trace"),
+            cmd_health: registry.counter("wire.cmd.health"),
             cmd_unknown: registry.counter("wire.cmd.unknown"),
             bytes_read: registry.counter("wire.bytes.read"),
             bytes_written: registry.counter("wire.bytes.written"),
@@ -153,8 +167,10 @@ impl Write for CountingStream {
 
 struct Shared {
     service: VerifyService,
-    jobs: Mutex<HashMap<u64, JobSlot>>,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
     metrics: WireMetrics,
+    /// When the server was bound — the zero of `HEALTH`'s uptime.
+    started: Instant,
     /// Registry size at which the next eviction scan runs (see
     /// [`EVICT_BACKOFF`]).
     evict_at: AtomicUsize,
@@ -164,8 +180,8 @@ struct Shared {
 /// A TCP front-end serving the wire protocol over a [`VerifyService`].
 ///
 /// Binding spawns an accept loop; each connection gets a thread running
-/// the command loop (`SUBMIT` / `STATUS` / `RESULT` / `STATS` / `PING` /
-/// `QUIT`). Jobs submitted by *any* connection share the service's worker
+/// the command loop (`SUBMIT` / `STATUS` / `RESULT` / `STATS` / `TRACE` /
+/// `HEALTH` / `PING` / `QUIT`). Jobs submitted by *any* connection share the service's worker
 /// pool and memoized structure cache, and a job's report can be fetched
 /// from any connection — ids are service-global.
 ///
@@ -217,6 +233,7 @@ impl WireServer {
             service,
             jobs: Mutex::new(HashMap::new()),
             metrics,
+            started: Instant::now(),
             evict_at: AtomicUsize::new(MAX_FINISHED_JOBS + 1),
             stop: AtomicBool::new(false),
         });
@@ -382,6 +399,12 @@ fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         moved: m.bytes_read.clone(),
     });
     let mut buf = Vec::new();
+    // The connection's own causal record: a `conn` root span held for
+    // the connection's lifetime, with one `cmd` child per command
+    // handled. Living on this thread's scope stack, the root also
+    // parents the `cmd` children automatically.
+    let recorder = shared.service.recorder().clone();
+    let _conn_span = recorder.scope("conn");
     loop {
         buf.clear();
         if !read_line_stoppable(&mut reader, &mut buf, shared)? {
@@ -396,6 +419,18 @@ fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             Some((v, a)) => (v, a.trim()),
             None => (cmd, ""),
         };
+        let known = matches!(
+            verb,
+            "PING"
+                | "QUIT"
+                | "SUBMIT"
+                | "STATUS"
+                | "RESULT"
+                | "STATS"
+                | "METRICS"
+                | "TRACE"
+                | "HEALTH"
+        );
         match verb {
             "PING" => &m.cmd_ping,
             "QUIT" => &m.cmd_quit,
@@ -404,10 +439,16 @@ fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             "RESULT" => &m.cmd_result,
             "STATS" => &m.cmd_stats,
             "METRICS" => &m.cmd_metrics,
+            "TRACE" => &m.cmd_trace,
+            "HEALTH" => &m.cmd_health,
             _ => &m.cmd_unknown,
         }
         .inc();
         let started = Instant::now();
+        let mut cmd_span = recorder.scope("cmd");
+        // Client-chosen strings must not flow into span attributes any
+        // more than into metric names — unknown verbs share one label.
+        cmd_span.attr("verb", if known { verb } else { "unknown" });
         let mut quit = false;
         match verb {
             "PING" => writeln!(writer, "OK pong")?,
@@ -415,13 +456,16 @@ fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 writeln!(writer, "OK bye")?;
                 quit = true;
             }
-            "SUBMIT" => submit(&mut reader, &mut writer, shared)?,
+            "SUBMIT" => submit(&mut reader, &mut writer, shared, arg)?,
             "STATUS" => status(&mut writer, shared, arg)?,
             "RESULT" => result(&mut writer, shared, arg)?,
             "STATS" => stats(&mut writer, shared)?,
             "METRICS" => metrics(&mut writer, shared)?,
+            "TRACE" => trace(&mut writer, shared, arg)?,
+            "HEALTH" => health(&mut writer, shared)?,
             _ => writeln!(writer, "ERR unknown command {verb:?}")?,
         }
+        drop(cmd_span);
         m.cmd_ns.record_duration(started.elapsed());
         if quit {
             return Ok(());
@@ -430,12 +474,25 @@ fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
 }
 
 /// Reads the job payload (lines up to a lone `.`), parses it, and
-/// enqueues it on the service.
+/// enqueues it on the service. The command argument is either empty or
+/// `trace <hex>` — a client-supplied trace id the job's spans join
+/// (trace-context propagation across the wire); the payload is read
+/// before any argument error is reported so the connection stays in
+/// protocol sync either way.
 fn submit(
     reader: &mut BufReader<CountingStream>,
     writer: &mut impl Write,
     shared: &Shared,
+    arg: &str,
 ) -> io::Result<()> {
+    let trace = match arg.split_once(char::is_whitespace) {
+        None if arg.is_empty() => Ok(None),
+        Some(("trace", hex)) => match TraceId::parse_hex(hex.trim()) {
+            Some(id) => Ok(Some(id)),
+            None => Err("bad trace id (want 1-16 hex digits)"),
+        },
+        _ => Err("usage: SUBMIT [trace <hex>]"),
+    };
     let mut payload = Vec::new();
     let mut oversized = false;
     let mut buf = Vec::new();
@@ -463,15 +520,29 @@ fn submit(
     if oversized {
         return writeln!(writer, "ERR payload too large (limit {MAX_PAYLOAD} bytes)");
     }
+    let trace = match trace {
+        Ok(trace) => trace,
+        Err(e) => return writeln!(writer, "ERR {e}"),
+    };
     match parse_job(&String::from_utf8_lossy(&payload)) {
         Ok(job) => {
-            let handle = shared.service.submit(job);
+            let handle = shared.service.submit_traced(job, trace);
             let id = handle.id;
+            let trace = handle.trace;
             {
                 let mut jobs = shared.jobs.lock().expect("job registry poisoned");
-                jobs.insert(id, JobSlot::Running(handle));
+                jobs.insert(
+                    id,
+                    JobEntry {
+                        trace,
+                        slot: JobSlot::Running(handle),
+                    },
+                );
                 maybe_evict(&mut jobs, shared);
             }
+            // The answer keeps its pre-trace shape (`OK id <n>`): the
+            // job's trace is reachable via `TRACE <n>`, and clients that
+            // care pass their own id, so nothing new needs announcing.
             writeln!(writer, "OK id {id}")
         }
         Err(e) => writeln!(writer, "ERR parse: {e}"),
@@ -494,16 +565,16 @@ fn is_terminator(line: &[u8]) -> bool {
 /// report — so during a submission burst the scan may free nothing; the
 /// watermark then backs off by [`EVICT_BACKOFF`] so the O(len) scan is
 /// amortized instead of running per submission.
-fn maybe_evict(jobs: &mut HashMap<u64, JobSlot>, shared: &Shared) {
+fn maybe_evict(jobs: &mut HashMap<u64, JobEntry>, shared: &Shared) {
     if jobs.len() < shared.evict_at.load(Ordering::Relaxed) {
         return;
     }
-    for slot in jobs.values_mut() {
-        poll_slot(slot);
+    for entry in jobs.values_mut() {
+        poll_slot(&mut entry.slot);
     }
     let mut finished: Vec<u64> = jobs
         .iter()
-        .filter(|(_, s)| !matches!(s, JobSlot::Running(_)))
+        .filter(|(_, e)| !matches!(e.slot, JobSlot::Running(_)))
         .map(|(&id, _)| id)
         .collect();
     if finished.len() > MAX_FINISHED_JOBS {
@@ -549,9 +620,9 @@ fn status(writer: &mut impl Write, shared: &Shared, arg: &str) -> io::Result<()>
         let mut jobs = shared.jobs.lock().expect("job registry poisoned");
         match jobs.get_mut(&id) {
             None => format!("ERR unknown job {id}"),
-            Some(slot) => {
-                poll_slot(slot);
-                match slot {
+            Some(entry) => {
+                poll_slot(&mut entry.slot);
+                match entry.slot {
                     JobSlot::Done(_) => "OK done".into(),
                     JobSlot::Lost => "OK lost".into(),
                     JobSlot::Running(_) => "OK pending".into(),
@@ -583,9 +654,9 @@ fn result(writer: &mut impl Write, shared: &Shared, arg: &str) -> io::Result<()>
             let mut jobs = shared.jobs.lock().expect("job registry poisoned");
             match jobs.get_mut(&id) {
                 None => Answer::Line(format!("ERR unknown job {id}")),
-                Some(slot) => {
-                    poll_slot(slot);
-                    match slot {
+                Some(entry) => {
+                    poll_slot(&mut entry.slot);
+                    match &entry.slot {
                         JobSlot::Done(report) => Answer::Report(Arc::clone(report)),
                         JobSlot::Lost => Answer::Line(format!("ERR job {id} lost")),
                         JobSlot::Running(_) => Answer::Pending,
@@ -635,7 +706,67 @@ fn stats(writer: &mut impl Write, shared: &Shared) -> io::Result<()> {
         s.evicted_abstract_states
     )?;
     writeln!(writer, "sharded_explorations {}", s.sharded_explorations)?;
+    writeln!(writer, "p50_total_ns {}", s.p50_total_ns)?;
+    writeln!(writer, "p99_total_ns {}", s.p99_total_ns)?;
     writeln!(writer, ".")
+}
+
+/// Answers `TRACE <id> [chrome]` with the job's recorded span tree:
+/// by default an indented text rendering, with `chrome` a one-line
+/// Chrome Trace Event Format JSON document (load it in Perfetto or
+/// `chrome://tracing`). Either form is a dot-terminated block. A job
+/// whose spans have been evicted from the flight recorder's bounded
+/// ring answers with an empty block — the id is still known, the
+/// evidence is gone.
+fn trace(writer: &mut impl Write, shared: &Shared, arg: &str) -> io::Result<()> {
+    let (id, chrome) = match arg.split_once(char::is_whitespace) {
+        None => (parse_id(arg), false),
+        Some((id, "chrome")) => (parse_id(id), true),
+        Some(_) => (None, false),
+    };
+    let Some(id) = id else {
+        return writeln!(writer, "ERR usage: TRACE <id> [chrome]");
+    };
+    let trace = {
+        let jobs = shared.jobs.lock().expect("job registry poisoned");
+        jobs.get(&id).map(|entry| entry.trace)
+    };
+    let Some(trace) = trace else {
+        return writeln!(writer, "ERR unknown job {id}");
+    };
+    let recorder = shared.service.recorder();
+    writeln!(writer, "OK trace")?;
+    if chrome {
+        writeln!(writer, "{}", recorder.chrome_trace(trace, "icstar-serve"))?;
+    } else {
+        // The tree renders one indented line per span, never a lone `.`.
+        writer.write_all(to_text_tree(&recorder.spans_for(trace)).as_bytes())?;
+    }
+    writeln!(writer, ".")
+}
+
+/// Answers `HEALTH` with a single `OK health` line of `key=value`
+/// pairs — a load-balancer-friendly probe. Every value is read from
+/// the same atomics `STATS` and `METRICS` export, so the three views
+/// can never disagree about a shared quantity.
+fn health(writer: &mut impl Write, shared: &Shared) -> io::Result<()> {
+    let s = shared.service.stats();
+    let telemetry = shared.service.telemetry();
+    let recorder = shared.service.recorder();
+    writeln!(
+        writer,
+        "OK health uptime_ms={} queue_depth={} workers={} jobs_in_flight={} errors={} \
+         traces_retained={} traces_dropped={} p50_total_ns={} p99_total_ns={}",
+        shared.started.elapsed().as_millis(),
+        telemetry.gauge("serve.queue.depth").get().max(0),
+        shared.service.workers(),
+        s.jobs_submitted - s.jobs_completed,
+        telemetry.counter("serve.verdicts.errors").get(),
+        recorder.len(),
+        recorder.dropped(),
+        s.p50_total_ns,
+        s.p99_total_ns,
+    )
 }
 
 /// Answers `METRICS` with the full telemetry registry in Prometheus

@@ -8,6 +8,7 @@ use std::net::TcpStream;
 use icstar_logic::parse_state;
 use icstar_serve::{ServeConfig, VerifyJob, VerifyService};
 use icstar_sym::{mutex_template, ring_station_template};
+use icstar_telemetry::{SpanEvent, SpanId, TraceId};
 use icstar_wire::{JobStatus, WireClient, WireError, WireServer};
 
 fn test_service() -> VerifyService {
@@ -355,6 +356,8 @@ fn stats_key_set_is_pinned() {
             "cache_evictions",
             "evicted_abstract_states",
             "sharded_explorations",
+            "p50_total_ns",
+            "p99_total_ns",
         ],
         "STATS keys are pinned byte-for-byte"
     );
@@ -439,6 +442,192 @@ fn metrics_block_is_dot_terminated_prometheus_text() {
     assert!(samples >= types, "and at least one sample");
 }
 
+#[test]
+fn trace_and_health_commands_expose_the_job_record() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let id = client.submit(&mutex_job(20)).unwrap();
+    assert!(client.result(id).unwrap().all_hold());
+
+    // Text tree: the job root line, its phases indented under it.
+    let tree = client.trace(id).unwrap();
+    assert!(tree.starts_with("job "), "{tree}");
+    for name in ["queue_wait", "cache_lookup", "build", "check"] {
+        assert!(tree.contains(&format!("\n  {name} ")), "{name} in:\n{tree}");
+    }
+
+    // Chrome form: parses into typed spans, one root, one trace.
+    let spans = client.trace_chrome(id).unwrap();
+    let roots: Vec<_> = spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "exactly one root span");
+    assert_eq!(roots[0].name, "job");
+    assert!(spans.iter().all(|s| s.trace == roots[0].trace));
+    assert!(spans.len() >= 5, "job + queue_wait + lookups + check");
+
+    // HEALTH: every shared value agrees with STATS and METRICS.
+    let health = client.health().unwrap();
+    let stats = client.stats().unwrap();
+    let snap = client.metrics().unwrap();
+    assert_eq!(health.workers, 2);
+    assert_eq!(health.queue_depth, 0);
+    assert_eq!(
+        health.jobs_in_flight,
+        stats.jobs_submitted - stats.jobs_completed
+    );
+    assert_eq!(health.p50_total_ns, stats.p50_total_ns);
+    assert_eq!(health.p99_total_ns, stats.p99_total_ns);
+    assert!(health.p50_total_ns > 0);
+    assert_eq!(
+        health.errors,
+        snap.counter("icstar_serve_verdicts_errors").unwrap()
+    );
+    assert!(health.traces_retained > 0, "the job's spans are retained");
+    assert_eq!(
+        health.traces_dropped,
+        snap.counter("icstar_telemetry_trace_dropped").unwrap()
+    );
+}
+
+#[test]
+fn submit_in_trace_joins_the_client_supplied_trace() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let trace = TraceId::parse_hex("deadbeef").unwrap();
+    let id = client.submit_in_trace(&mutex_job(10), trace).unwrap();
+    assert!(client.result(id).unwrap().all_hold());
+    let spans = client.trace_chrome(id).unwrap();
+    assert!(!spans.is_empty());
+    assert!(
+        spans.iter().all(|s| s.trace == trace),
+        "every span joined the client's trace"
+    );
+}
+
+#[test]
+fn trace_rejects_unknown_jobs_and_bad_arguments() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    assert!(matches!(client.trace(99), Err(WireError::Protocol(_))));
+    assert!(matches!(
+        client.trace_chrome(99),
+        Err(WireError::Protocol(_))
+    ));
+
+    // A malformed trace suffix is rejected after the payload is drained,
+    // leaving the connection usable.
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    writeln!(writer, "SUBMIT trace not-hex\nignored\n.").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR bad trace id"), "{line}");
+    line.clear();
+    writeln!(writer, "PING").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK pong");
+}
+
+#[test]
+fn trace_transcript_is_byte_exact() {
+    // The TRACE text rendering is a public surface: pin the bytes of a
+    // fully controlled transcript. The job's real (nondeterministically
+    // timed) spans are drained out and replaced with hand-built events.
+    let config = ServeConfig {
+        workers: 1,
+        cache_shards: 4,
+        exploration_shards: 2,
+        sharded_threshold: 1_000_000,
+        cache_budget_states: u64::MAX,
+        ..ServeConfig::default()
+    };
+    let recorder = config.recorder.clone();
+    let server = WireServer::bind("127.0.0.1:0", VerifyService::start(config)).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    writeln!(
+        writer,
+        "SUBMIT trace deadbeef\n\
+         job {{\n\
+           template {{ state a [a]; init a; edge a -> a; }}\n\
+           sizes 3;\n\
+           check \"a\": AG a_ge1;\n\
+         }}\n\
+         ."
+    )
+    .unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK id 0");
+    writeln!(writer, "RESULT 0").unwrap();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end() == "." {
+            break;
+        }
+    }
+
+    let trace = TraceId::parse_hex("deadbeef").unwrap();
+    recorder.drain_trace(trace);
+    let span =
+        |id: u64, parent: Option<u64>, name: &str, start: u64, dur: u64, attrs: &[(&str, &str)]| {
+            SpanEvent {
+                trace,
+                id: SpanId::from_u64(id).unwrap(),
+                parent: parent.map(|p| SpanId::from_u64(p).unwrap()),
+                name: name.into(),
+                start_ns: start,
+                dur_ns: dur,
+                tid: 0,
+                attrs: attrs
+                    .iter()
+                    .map(|&(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            }
+        };
+    recorder.record(span(
+        101,
+        None,
+        "job",
+        1000,
+        5000,
+        &[("id", "0"), ("outcome", "ok")],
+    ));
+    recorder.record(span(102, Some(101), "queue_wait", 1100, 120, &[]));
+    recorder.record(span(
+        103,
+        Some(101),
+        "build",
+        1300,
+        3000,
+        &[("kind", "counter")],
+    ));
+    recorder.record(span(104, Some(103), "shard[0]", 1400, 1500, &[]));
+
+    writeln!(writer, "TRACE 0").unwrap();
+    let mut transcript = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        transcript.push_str(&line);
+        if line.trim_end() == "." {
+            break;
+        }
+    }
+    assert_eq!(
+        transcript,
+        "OK trace\n\
+         job 5000ns id=0 outcome=ok\n\
+         \x20 queue_wait 120ns\n\
+         \x20 build 3000ns kind=counter\n\
+         \x20   shard[0] 1500ns\n\
+         .\n"
+    );
+}
+
 /// The PR's acceptance workload: a forall-mutex job at n = 100,000 over
 /// TCP, large enough to cross the sharded-exploration threshold, with
 /// the full metric trail inspected over the METRICS command. Ignored by
@@ -515,4 +704,39 @@ fn large_sharded_job_leaves_a_full_metric_trail() {
     let miss = snap.histogram("icstar_serve_cache_miss_ns").unwrap();
     let hit = snap.histogram("icstar_serve_cache_hit_ns").unwrap();
     assert!(miss.sum > hit.sum, "misses dominate hit latency");
+
+    // The acceptance trace: fetched over the socket in Chrome Trace
+    // Event Format, the first job shows queue_wait, the sharded build
+    // with one span per exploration shard, and the check, all under a
+    // single job root.
+    let spans = client.trace_chrome(first).unwrap();
+    let root = spans
+        .iter()
+        .find(|s| s.parent.is_none() && s.name == "job")
+        .expect("job root span");
+    for name in ["queue_wait", "cache_lookup", "build", "check"] {
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.name == name && s.parent == Some(root.id)),
+            "{name} under the job root"
+        );
+    }
+    let build = spans
+        .iter()
+        .find(|s| s.name == "build" && s.attrs.iter().any(|(k, v)| k == "mode" && v == "sharded"))
+        .expect("sharded build span");
+    let shards: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name.starts_with("shard["))
+        .collect();
+    assert_eq!(shards.len(), 2, "one span per exploration shard");
+    assert!(shards.iter().all(|s| s.parent == Some(build.id)));
+
+    // And the HEALTH probe reads sane after the workload.
+    let health = client.health().unwrap();
+    assert_eq!(health.workers, 2);
+    assert!(health.p50_total_ns > 0);
+    assert!(health.p99_total_ns >= health.p50_total_ns);
+    assert!(health.traces_retained > 0);
 }

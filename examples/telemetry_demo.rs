@@ -13,8 +13,10 @@
 //!    the `METRICS` command and parsed back from the Prometheus text
 //!    exposition; the wire view must agree with the in-process one.
 //! 3. **Trace** — when `ICSTAR_TRACE=<path>` is set in the environment,
-//!    every span additionally lands in that JSON-lines file (this demo
-//!    just reports whether tracing is on).
+//!    the demo points the service registry's trace sink at that path
+//!    (`Registry::set_trace_sink` — sinks are per-registry; the env var
+//!    alone seeds only `Registry::global()`), so every span additionally
+//!    lands in that JSON-lines file.
 //!
 //! Run with: `cargo run --release --example telemetry_demo`
 //! (optionally `ICSTAR_TRACE=/tmp/icstar-trace.jsonl` to watch spans).
@@ -24,7 +26,7 @@ use std::time::Instant;
 use icstar::{ServeConfig, VerifyJob, VerifyService};
 use icstar_logic::parse_state;
 use icstar_sym::mutex_template;
-use icstar_telemetry::trace_enabled;
+use icstar_telemetry::TRACE_ENV;
 use icstar_wire::{WireClient, WireServer};
 
 const BIG: u32 = 100_000;
@@ -33,7 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== observability at n = {BIG} ==\n");
 
     // ---- Phase 1: a large job, metered at every layer ----
-    let service = VerifyService::start(ServeConfig::default());
+    let config = ServeConfig::default();
+    // Trace sinks are per-registry; the env var only seeds the global
+    // registry, so wire it to this service's fresh registry explicitly.
+    let tracing = if let Ok(path) = std::env::var(TRACE_ENV) {
+        config.telemetry.set_trace_sink(&path)?;
+        Some(path)
+    } else {
+        None
+    };
+    let service = VerifyService::start(config);
     let job = VerifyJob::new(mutex_template())
         .at_size(BIG)
         .formula("mutual exclusion", parse_state("AG !crit_ge2")?)
@@ -104,8 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     server.shutdown();
 
     // ---- Phase 3: span tracing, if requested ----
-    if trace_enabled() {
-        let path = std::env::var("ICSTAR_TRACE")?;
+    if let Some(path) = tracing {
         let log = std::fs::read_to_string(&path)?;
         let events = log.lines().count();
         assert!(events > 0, "enabled tracing must have recorded spans");
