@@ -115,16 +115,24 @@ pub struct Verdict {
     /// the plain counter structure (quantifier-free, or `n = 0`) and on
     /// the explicit-transfer backend (which never abstracts).
     pub rep_width: u32,
+    /// Whether the verdict's path quantifiers ranged over *weakly fair*
+    /// paths only — true exactly when the counter backend's template
+    /// declares fairness constraints
+    /// ([`icstar_sym::GuardedTemplate::is_fair`]). The explicit-transfer
+    /// backend never applies fairness, so it always reports `false`.
+    pub fair: bool,
 }
 
 impl Verdict {
-    /// A verdict with no representative width (the explicit-transfer
-    /// backend, or a counting formula).
+    /// A verdict with no representative width and no fairness (the
+    /// explicit-transfer backend, or a counting formula on an
+    /// unconstrained template).
     fn plain(name: impl Into<String>, holds: bool) -> Self {
         Verdict {
             name: name.into(),
             holds,
             rep_width: 0,
+            fair: false,
         }
     }
 }
@@ -253,9 +261,13 @@ impl<'a> FamilyVerifier<'a> {
             // the strong-bisimulation quotient; the engine validates
             // their atoms at verify time. Quantified ones must sit in
             // the k-restricted fragment the representative construction
-            // is sound for.
-            Backend::Counter { .. } => {
-                if icstar_logic::has_index_quantifier(&f) {
+            // is sound for. Fair templates additionally confine every
+            // formula to the CTL fragment the fair checker evaluates.
+            Backend::Counter { engine } => {
+                if engine.template().is_fair() {
+                    icstar_logic::fair_fragment_depth(&f)
+                        .map_err(|e| FamilyError::NotRestricted(name.clone(), e))?;
+                } else if icstar_logic::has_index_quantifier(&f) {
                     icstar_logic::restricted_depth(&f)
                         .map_err(|e| FamilyError::NotRestricted(name.clone(), e))?;
                 }
@@ -330,6 +342,7 @@ impl<'a> FamilyVerifier<'a> {
                     name: name.clone(),
                     holds: run.holds,
                     rep_width: run.rep_width,
+                    fair: run.fair,
                 })
             })
             .collect()
@@ -402,6 +415,7 @@ impl<'a> FamilyVerifier<'a> {
                             name: v.name.clone(),
                             holds: *holds,
                             rep_width: v.rep_width,
+                            fair: v.fair,
                         }),
                         Err(e) => Err(FamilyError::Sym(e.clone())),
                     })
@@ -494,7 +508,8 @@ mod tests {
             vec![Verdict {
                 name: "p2".into(),
                 holds: true,
-                rep_width: 0
+                rep_width: 0,
+                fair: false
             }]
         );
     }
@@ -593,6 +608,57 @@ mod tests {
             assert_eq!(verdicts.len(), 2);
             assert!(verdicts.iter().all(|vd| vd.holds), "n = {n}");
         }
+    }
+
+    #[test]
+    fn counter_backend_applies_template_fairness() {
+        use icstar_sym::GuardedBuilder;
+        let stutter = |fair: bool| {
+            let mut b = GuardedBuilder::new();
+            let idle = b.state("idle", ["idle"]);
+            let done = b.state("done", ["done"]);
+            b.edge(idle, idle);
+            b.edge(idle, done);
+            b.edge(done, done);
+            if fair {
+                b.fair("exit", [(idle, done)]);
+            }
+            b.build(idle)
+        };
+        let mut v = FamilyVerifier::counter_abstracted(stutter(true));
+        v.add_formula("drain", parse_state("AF idle_eq0").unwrap())
+            .unwrap();
+        v.add_formula("each exits", parse_state("forall i. AF done[i]").unwrap())
+            .unwrap();
+        for n in [1u32, 5, 100] {
+            let verdicts = v.verify_at(n).unwrap();
+            assert!(verdicts.iter().all(|vd| vd.holds && vd.fair), "n = {n}");
+        }
+        // The batch path carries the flag through the service too.
+        let service = VerifyService::with_defaults();
+        let per_size = v.verify_at_many(&service, &[3, 20]).unwrap();
+        for (n, verdicts) in &per_size {
+            assert!(verdicts.iter().all(|vd| vd.holds && vd.fair), "n = {n}");
+            assert_eq!(verdicts, &v.verify_at(*n).unwrap());
+        }
+        // The unconstrained twin fails the same liveness (runs may
+        // stutter in idle forever) and reports fair: false.
+        let mut plain = FamilyVerifier::counter_abstracted(stutter(false));
+        plain
+            .add_formula("drain", parse_state("AF idle_eq0").unwrap())
+            .unwrap();
+        let verdicts = plain.verify_at(5).unwrap();
+        assert!(!verdicts[0].holds);
+        assert!(!verdicts[0].fair);
+        // Fair templates confine formulas to the CTL fragment the fair
+        // checker evaluates, rejected at registration time.
+        let err = v
+            .add_formula("nonctl", parse_state("A(F idle_eq0 & F done_ge1)").unwrap())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FamilyError::NotRestricted(_, icstar_logic::RestrictionError::NotCtl)
+        ));
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub enum RestrictionError {
     FreeIndexVariable(String),
     /// The formula refers to a specific process via a constant index.
     ConstantIndex,
+    /// The formula is outside the CTL fragment; the fair backend's
+    /// fair-SCC labeling only supports CTL-shaped formulas (see
+    /// [`fair_fragment_depth`]).
+    NotCtl,
 }
 
 impl fmt::Display for RestrictionError {
@@ -64,6 +68,11 @@ impl fmt::Display for RestrictionError {
                     "constant index values are not allowed in closed formulas"
                 )
             }
+            RestrictionError::NotCtl => write!(
+                f,
+                "fair checking supports only CTL-shaped formulas (each path \
+                 quantifier wrapping one temporal operator over state operands)"
+            ),
         }
     }
 }
@@ -379,6 +388,33 @@ pub fn is_ctl(f: &StateFormula) -> bool {
     }
 }
 
+/// Checks that `f` fits the fragment the **fair** backend can evaluate
+/// and returns the quantifier nesting depth (0 = quantifier-free), the
+/// fair counterpart of [`restricted_depth`].
+///
+/// Fair checking runs the fair-SCC labeling algorithm, so the formula
+/// must be CTL-shaped ([`is_ctl`]); unlike the plain restricted fragment,
+/// `F`/`G` state operands are the point of the exercise (`AF p`,
+/// `AG AF p`) and are accepted. Quantifier-free formulas pass with depth
+/// 0 — closedness is the checker's concern there, as in the plain CTL*
+/// path. Index-quantified formulas must additionally satisfy
+/// [`restricted_depth`] so the representative backend can expand them.
+///
+/// # Errors
+///
+/// [`RestrictionError::NotCtl`] outside the CTL fragment; otherwise
+/// whatever [`restricted_depth`] reports for quantified formulas.
+pub fn fair_fragment_depth(f: &StateFormula) -> Result<usize, RestrictionError> {
+    if !is_ctl(f) {
+        return Err(RestrictionError::NotCtl);
+    }
+    if has_index_quantifier(f) {
+        restricted_depth(f)
+    } else {
+        Ok(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,5 +611,43 @@ mod tests {
         assert!(RestrictionError::FreeIndexVariable("i".into())
             .to_string()
             .contains("i"));
+        assert!(RestrictionError::NotCtl.to_string().contains("CTL"));
+    }
+
+    #[test]
+    fn fair_fragment_accepts_ctl_liveness() {
+        for (src, k) in [
+            ("AF crit_ge1", 0),
+            ("AG AF crit_ge1", 0),
+            ("EG !crit_ge1", 0),
+            ("A[try_ge1 U crit_ge1]", 0),
+            ("EX p", 0), // quantifier-free CTL keeps nexttime
+            ("forall i. AG(try[i] -> AF crit[i])", 1),
+            ("forall i. exists j. AG(crit[i] -> !crit[j])", 2),
+        ] {
+            let f = parse_state(src).unwrap();
+            assert_eq!(fair_fragment_depth(&f), Ok(k), "{src}");
+        }
+    }
+
+    #[test]
+    fn fair_fragment_rejects_non_ctl_and_bad_quantification() {
+        assert_eq!(
+            fair_fragment_depth(&parse_state("A(G F p)").unwrap()),
+            Err(RestrictionError::NotCtl)
+        );
+        assert_eq!(
+            fair_fragment_depth(&parse_state("E(p U (q U r))").unwrap()),
+            Err(RestrictionError::NotCtl)
+        );
+        // Quantified formulas keep the k-restricted rules.
+        assert_eq!(
+            fair_fragment_depth(&parse_state("AG (exists i. b[i])").unwrap()),
+            Err(RestrictionError::QuantifierInUntil)
+        );
+        assert_eq!(
+            fair_fragment_depth(&parse_state("forall i. EX p[i]").unwrap()),
+            Err(RestrictionError::NextUsed)
+        );
     }
 }

@@ -12,6 +12,10 @@ pub enum McError {
     /// The formula contains an index quantifier but the checker has no
     /// index set to expand it over; use the indexed checker.
     QuantifierWithoutIndexSet(String),
+    /// The fair checker supports only CTL-shaped formulas (each path
+    /// quantifier wrapping one temporal operator over state operands);
+    /// the payload is the offending path formula.
+    NotCtl(String),
 }
 
 impl fmt::Display for McError {
@@ -23,6 +27,10 @@ impl fmt::Display for McError {
             McError::QuantifierWithoutIndexSet(v) => write!(
                 f,
                 "index quantifier over {v:?} requires an indexed structure (use IndexedChecker)"
+            ),
+            McError::NotCtl(p) => write!(
+                f,
+                "path formula {p:?} is outside the CTL fragment the fair checker supports"
             ),
         }
     }
@@ -42,5 +50,8 @@ mod tests {
         assert!(McError::QuantifierWithoutIndexSet("i".into())
             .to_string()
             .contains("IndexedChecker"));
+        assert!(McError::NotCtl("F G p".into())
+            .to_string()
+            .contains("CTL fragment"));
     }
 }

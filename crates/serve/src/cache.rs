@@ -2,11 +2,16 @@
 //!
 //! Materializing an abstract structure is the expensive step of every
 //! verification — everything after it is graph traversal. The cache maps
-//! `(template, spec, n, width)` to the materialized structure behind an
-//! [`Arc`], so concurrent jobs over the same family share one copy and
-//! repeated queries are near-free. Counter graphs carry width 0;
-//! representative structures carry their number of tracked copies, so a
-//! depth-1 and a depth-2 structure of the same family never collide.
+//! `(template, spec, n, width)` to the materialized graph bundle
+//! ([`CounterGraph`] / [`RepGraph`]: the Kripke structure *plus* its
+//! compiled fairness conditions, which are a per-state artifact of the
+//! same exploration) behind an [`Arc`], so concurrent jobs over the same
+//! family share one copy and repeated queries are near-free. Counter
+//! graphs carry width 0; representative structures carry their number of
+//! tracked copies, so a depth-1 and a depth-2 structure of the same
+//! family never collide. Fairness declarations are part of the template
+//! fingerprint, so a fair template and its unconstrained twin never
+//! share an entry either.
 //!
 //! Identity is **structural, verified**: entries are bucketed by the
 //! fast 64-bit [`CacheKey`] ([`GuardedTemplate::fingerprint`] /
@@ -50,8 +55,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use icstar_kripke::{IndexedKripke, Kripke};
-use icstar_sym::{CountingSpec, GuardedTemplate, SymError};
+use icstar_sym::{CounterGraph, CountingSpec, GuardedTemplate, RepGraph, SymError};
 use icstar_telemetry::{Counter, Registry};
 
 /// The bucket key of one family: fingerprints plus size and
@@ -271,12 +275,23 @@ impl<T> Memo<T> {
     }
 }
 
+/// A bundle's eviction weight: abstract states of its Kripke structure
+/// (the fairness conditions are per-state bit sets, proportional to it).
+fn counter_weight(g: &CounterGraph) -> usize {
+    g.kripke.num_states()
+}
+
+/// See [`counter_weight`].
+fn rep_weight(g: &RepGraph) -> usize {
+    g.kripke.kripke().num_states()
+}
+
 /// The service-wide structure cache: counter graphs and representative
 /// structures, identified by workload (template + spec + size + width),
 /// optionally bounded by an abstract-state budget with LRU eviction.
 pub struct GraphCache {
-    counter: Memo<Kripke>,
-    rep: Memo<IndexedKripke>,
+    counter: Memo<CounterGraph>,
+    rep: Memo<RepGraph>,
     hits: Counter,
     misses: Counter,
     /// Maximum total abstract states across materialized entries;
@@ -345,16 +360,16 @@ impl GraphCache {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// The counter structure of `template`/`spec` at size `n`, building
-    /// it with `build` on the first request and sharing the result
-    /// afterwards.
+    /// The counter graph bundle (structure + compiled fairness) of
+    /// `template`/`spec` at size `n`, building it with `build` on the
+    /// first request and sharing the result afterwards.
     pub fn counter(
         &self,
         template: &GuardedTemplate,
         spec: &CountingSpec,
         n: u32,
-        build: impl FnOnce() -> Kripke,
-    ) -> Arc<Kripke> {
+        build: impl FnOnce() -> CounterGraph,
+    ) -> Arc<CounterGraph> {
         let key = CacheKey::of(template, spec, n, 0);
         let out = self
             .counter
@@ -367,7 +382,7 @@ impl GraphCache {
                 &self.misses,
                 &self.resident,
                 &self.over_budget_pinned,
-                Kripke::num_states,
+                counter_weight,
                 || Ok(build()),
             )
             .expect("counter builds are infallible");
@@ -375,9 +390,10 @@ impl GraphCache {
         out
     }
 
-    /// The width-`width` representative structure of `template`/`spec`
-    /// at size `n`; build failures (e.g. [`SymError::EmptyFamily`]) are
-    /// cached and replayed like successes.
+    /// The width-`width` representative graph bundle (structure +
+    /// compiled fairness) of `template`/`spec` at size `n`; build
+    /// failures (e.g. [`SymError::EmptyFamily`]) are cached and replayed
+    /// like successes.
     ///
     /// The key carries `width` verbatim — a nonsensical width-0 request
     /// caches its own error under its own key and can never poison the
@@ -394,8 +410,8 @@ impl GraphCache {
         spec: &CountingSpec,
         n: u32,
         width: u32,
-        build: impl FnOnce() -> Result<IndexedKripke, SymError>,
-    ) -> Result<Arc<IndexedKripke>, SymError> {
+        build: impl FnOnce() -> Result<RepGraph, SymError>,
+    ) -> Result<Arc<RepGraph>, SymError> {
         let key = CacheKey::of(template, spec, n, width);
         let out = self.rep.get_or_build(
             key,
@@ -406,7 +422,7 @@ impl GraphCache {
             &self.misses,
             &self.resident,
             &self.over_budget_pinned,
-            |ik| ik.kripke().num_states(),
+            rep_weight,
             build,
         );
         self.enforce_budget(key);
@@ -433,17 +449,15 @@ impl GraphCache {
         if self.over_budget_pinned.load(Ordering::Relaxed) {
             return;
         }
-        let counter_size = Kripke::num_states;
-        let rep_size = |ik: &IndexedKripke| ik.kripke().num_states();
         while self.abstract_states() > self.budget_states {
-            let counter_victim = self.counter.lru_candidate(just_used, &counter_size);
-            let rep_victim = self.rep.lru_candidate(just_used, &rep_size);
+            let counter_victim = self.counter.lru_candidate(just_used, &counter_weight);
+            let rep_victim = self.rep.lru_candidate(just_used, &rep_weight);
             let removed = match (counter_victim, rep_victim) {
                 (Some((cs, ck, _)), Some((rs, ..))) if cs <= rs => {
-                    self.counter.remove_stamped(ck, cs, &counter_size)
+                    self.counter.remove_stamped(ck, cs, &counter_weight)
                 }
-                (_, Some((rs, rk, _))) => self.rep.remove_stamped(rk, rs, &rep_size),
-                (Some((cs, ck, _)), None) => self.counter.remove_stamped(ck, cs, &counter_size),
+                (_, Some((rs, rk, _))) => self.rep.remove_stamped(rk, rs, &rep_weight),
+                (Some((cs, ck, _)), None) => self.counter.remove_stamped(ck, cs, &counter_weight),
                 (None, None) => {
                     // Nothing evictable besides the entry in use: stop
                     // scanning until the entry set changes.
@@ -498,8 +512,7 @@ impl GraphCache {
     /// families are resident, `abstract_states` how much memory-shaped
     /// weight they carry (states dominate the footprint).
     pub fn abstract_states(&self) -> u64 {
-        self.counter.total_size(Kripke::num_states)
-            + self.rep.total_size(|ik| ik.kripke().num_states())
+        self.counter.total_size(counter_weight) + self.rep.total_size(rep_weight)
     }
 
     /// Whether nothing has been cached yet.
@@ -522,7 +535,7 @@ mod tests {
         let cache = GraphCache::new(4);
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
-        let a = cache.counter(&t, &s, 5, || engine.counter_structure(5));
+        let a = cache.counter(&t, &s, 5, || engine.counter_graph(5));
         let b = cache.counter(&t, &s, 5, || unreachable!("must not rebuild"));
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
@@ -534,9 +547,9 @@ mod tests {
         let cache = GraphCache::new(4);
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
-        let a = cache.counter(&t, &s, 3, || engine.counter_structure(3));
-        let b = cache.counter(&t, &s, 4, || engine.counter_structure(4));
-        assert_ne!(a.num_states(), b.num_states());
+        let a = cache.counter(&t, &s, 3, || engine.counter_graph(3));
+        let b = cache.counter(&t, &s, 4, || engine.counter_graph(4));
+        assert_ne!(a.kripke.num_states(), b.kripke.num_states());
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.hits(), 0);
     }
@@ -551,14 +564,14 @@ mod tests {
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
         let r1 = cache
-            .representative(&t, &s, 6, 1, || engine.representative_structure(6, 1))
+            .representative(&t, &s, 6, 1, || engine.representative_graph(6, 1))
             .unwrap();
         let r2 = cache
-            .representative(&t, &s, 6, 2, || engine.representative_structure(6, 2))
+            .representative(&t, &s, 6, 2, || engine.representative_graph(6, 2))
             .unwrap();
         assert!(!Arc::ptr_eq(&r1, &r2));
-        assert_eq!(r1.indices(), &[1]);
-        assert_eq!(r2.indices(), &[1, 2]);
+        assert_eq!(r1.kripke.indices(), &[1]);
+        assert_eq!(r2.kripke.indices(), &[1, 2]);
         assert_eq!((cache.hits(), cache.misses()), (0, 2));
         // And each width hits its own entry afterwards.
         let r1b = cache
@@ -577,13 +590,13 @@ mod tests {
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
         let err = cache
-            .representative(&t, &s, 6, 0, || engine.representative_structure(6, 0))
+            .representative(&t, &s, 6, 0, || engine.representative_graph(6, 0))
             .unwrap_err();
         assert!(matches!(err, icstar_sym::SymError::BadRepWidth { .. }));
         let r1 = cache
-            .representative(&t, &s, 6, 1, || engine.representative_structure(6, 1))
+            .representative(&t, &s, 6, 1, || engine.representative_graph(6, 1))
             .unwrap();
-        assert_eq!(r1.indices(), &[1]);
+        assert_eq!(r1.kripke.indices(), &[1]);
         assert_eq!(cache.misses(), 2, "separate entries, no poisoning");
     }
 
@@ -595,14 +608,14 @@ mod tests {
         let cache = GraphCache::with_budget(2, 10);
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
-        let _a = cache.counter(&t, &s, 30, || engine.counter_structure(30));
+        let _a = cache.counter(&t, &s, 30, || engine.counter_graph(30));
         // Hits while pinned stay cheap and evict nothing.
         for _ in 0..3 {
             let _ = cache.counter(&t, &s, 30, || unreachable!("cached"));
         }
         assert_eq!(cache.evictions(), 0);
         // A new entry supersedes the pinned one: the old entry goes.
-        let _b = cache.counter(&t, &s, 40, || engine.counter_structure(40));
+        let _b = cache.counter(&t, &s, 40, || engine.counter_graph(40));
         assert_eq!(cache.evictions(), 1);
         assert_eq!(cache.len(), 1);
     }
@@ -617,10 +630,48 @@ mod tests {
         let s2 = CountingSpec::new().with_zero("crit");
         let e1 = SymEngine::with_spec(t.clone(), s1.clone());
         let e2 = SymEngine::with_spec(t.clone(), s2.clone());
-        let a = cache.counter(&t, &s1, 4, || e1.counter_structure(4));
-        let b = cache.counter(&t, &s2, 4, || e2.counter_structure(4));
+        let a = cache.counter(&t, &s1, 4, || e1.counter_graph(4));
+        let b = cache.counter(&t, &s2, 4, || e2.counter_graph(4));
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn fairness_declarations_are_part_of_the_workload_identity() {
+        // A fair template and its unconstrained twin are different
+        // workloads: their bundles carry different compiled fairness, so
+        // sharing an entry would answer fair liveness queries against
+        // unconstrained paths (or vice versa).
+        use icstar_sym::GuardedBuilder;
+        let stutter = |fair: bool| {
+            let mut b = GuardedBuilder::new();
+            let idle = b.state("idle", ["idle"]);
+            let done = b.state("done", ["done"]);
+            b.edge(idle, idle);
+            b.edge(idle, done);
+            b.edge(done, done);
+            if fair {
+                b.fair("exit", [(idle, done)]);
+            }
+            b.build(idle)
+        };
+        let plain = stutter(false);
+        let fair = stutter(true);
+        assert_ne!(
+            plain.fingerprint(),
+            fair.fingerprint(),
+            "fairness must be fingerprinted"
+        );
+        let cache = GraphCache::new(2);
+        let spec = CountingSpec::standard(&plain);
+        let ep = SymEngine::with_spec(plain.clone(), spec.clone());
+        let ef = SymEngine::with_spec(fair.clone(), spec.clone());
+        let a = cache.counter(&plain, &spec, 4, || ep.counter_graph(4));
+        let b = cache.counter(&fair, &spec, 4, || ef.counter_graph(4));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(a.fairness.is_empty());
+        assert!(!b.fairness.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
     }
 
     #[test]
@@ -653,8 +704,8 @@ mod tests {
         let spec = CountingSpec::standard(&t1);
         let e1 = SymEngine::with_spec(t1.clone(), spec.clone());
         let e2 = SymEngine::with_spec(t2.clone(), spec.clone());
-        let a = cache.counter(&t1, &spec, 4, || e1.counter_structure(4));
-        let b = cache.counter(&t2, &spec, 4, || e2.counter_structure(4));
+        let a = cache.counter(&t1, &spec, 4, || e1.counter_graph(4));
+        let b = cache.counter(&t2, &spec, 4, || e2.counter_graph(4));
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!((cache.hits(), cache.misses()), (0, 2));
         // And asking again for each is a verified hit on its own entry.
@@ -669,18 +720,18 @@ mod tests {
         assert_eq!(cache.abstract_states(), 0);
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
-        let a = cache.counter(&t, &s, 5, || engine.counter_structure(5));
-        let b = cache.counter(&t, &s, 9, || engine.counter_structure(9));
+        let a = cache.counter(&t, &s, 5, || engine.counter_graph(5));
+        let b = cache.counter(&t, &s, 9, || engine.counter_graph(9));
         assert_eq!(
             cache.abstract_states(),
-            (a.num_states() + b.num_states()) as u64
+            (a.kripke.num_states() + b.kripke.num_states()) as u64
         );
         // A cached build *error* occupies an entry but weighs nothing.
-        let _ = cache.representative(&t, &s, 0, 1, || engine.representative_structure(0, 1));
+        let _ = cache.representative(&t, &s, 0, 1, || engine.representative_graph(0, 1));
         assert_eq!(cache.len(), 3);
         assert_eq!(
             cache.abstract_states(),
-            (a.num_states() + b.num_states()) as u64
+            (a.kripke.num_states() + b.kripke.num_states()) as u64
         );
     }
 
@@ -690,7 +741,7 @@ mod tests {
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
         let e1 = cache
-            .representative(&t, &s, 0, 1, || engine.representative_structure(0, 1))
+            .representative(&t, &s, 0, 1, || engine.representative_graph(0, 1))
             .unwrap_err();
         let e2 = cache
             .representative(&t, &s, 0, 1, || unreachable!("cached error"))
@@ -707,19 +758,19 @@ mod tests {
         let cache = GraphCache::with_budget(4, 100);
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
-        let a = cache.counter(&t, &s, 20, || engine.counter_structure(20));
-        let _b = cache.counter(&t, &s, 22, || engine.counter_structure(22));
+        let a = cache.counter(&t, &s, 20, || engine.counter_graph(20));
+        let _b = cache.counter(&t, &s, 22, || engine.counter_graph(22));
         // Touch n = 20 so n = 22 is now the LRU entry.
         let a2 = cache.counter(&t, &s, 20, || unreachable!("cached"));
         assert!(Arc::ptr_eq(&a, &a2));
-        let _c = cache.counter(&t, &s, 24, || engine.counter_structure(24));
+        let _c = cache.counter(&t, &s, 24, || engine.counter_graph(24));
         assert_eq!(cache.evictions(), 1);
         assert_eq!(cache.evicted_states(), 45, "n = 22 was evicted");
         assert!(cache.abstract_states() <= 100);
         // n = 20 survived (a hit), n = 22 must rebuild (a miss).
         let misses_before = cache.misses();
         let _ = cache.counter(&t, &s, 20, || unreachable!("still cached"));
-        let _ = cache.counter(&t, &s, 22, || engine.counter_structure(22));
+        let _ = cache.counter(&t, &s, 22, || engine.counter_graph(22));
         assert_eq!(cache.misses(), misses_before + 1);
     }
 
@@ -732,10 +783,10 @@ mod tests {
         let cache = GraphCache::with_budget(2, 10);
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
-        let _a = cache.counter(&t, &s, 30, || engine.counter_structure(30));
+        let _a = cache.counter(&t, &s, 30, || engine.counter_graph(30));
         assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.len(), 1);
-        let _b = cache.counter(&t, &s, 40, || engine.counter_structure(40));
+        let _b = cache.counter(&t, &s, 40, || engine.counter_graph(40));
         assert_eq!(cache.evictions(), 1, "the older oversized entry goes");
         assert_eq!(cache.len(), 1);
     }
@@ -749,14 +800,14 @@ mod tests {
         // n = 20 has 41. Together they exceed 60, so the rep (older) is
         // evicted when the counter lands.
         let rep = cache
-            .representative(&t, &s, 10, 1, || engine.representative_structure(10, 1))
+            .representative(&t, &s, 10, 1, || engine.representative_graph(10, 1))
             .unwrap();
-        let rep_states = rep.kripke().num_states() as u64;
-        let _c = cache.counter(&t, &s, 20, || engine.counter_structure(20));
+        let rep_states = rep.kripke.kripke().num_states() as u64;
+        let _c = cache.counter(&t, &s, 20, || engine.counter_graph(20));
         assert!(cache.evictions() >= 1);
         assert_eq!(cache.evicted_states(), rep_states);
         // The evicted Arc is still alive for its holder.
-        assert!(rep.kripke().num_states() > 0);
+        assert!(rep.kripke.kripke().num_states() > 0);
     }
 
     #[test]
@@ -765,7 +816,7 @@ mod tests {
         let engine = SymEngine::new(mutex_template());
         let (t, s) = (mutex_template(), std_spec());
         for n in 1..=30u32 {
-            let _ = cache.counter(&t, &s, n, || engine.counter_structure(n));
+            let _ = cache.counter(&t, &s, n, || engine.counter_graph(n));
         }
         assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.len(), 30);
@@ -784,7 +835,7 @@ mod tests {
                 scope.spawn(move || {
                     cache.counter(&mutex_template(), &std_spec(), 50, || {
                         builds.fetch_add(1, Ordering::SeqCst);
-                        engine.counter_structure(50)
+                        engine.counter_graph(50)
                     })
                 });
             }
@@ -809,7 +860,7 @@ mod tests {
                     for i in 0..10u32 {
                         let n = 5 + (t * 10 + i) % 25;
                         let _ = cache.counter(&mutex_template(), &std_spec(), n, || {
-                            engine.counter_structure(n)
+                            engine.counter_graph(n)
                         });
                     }
                 });

@@ -98,6 +98,12 @@ pub struct JobVerdict {
     /// this check (the formula's quantifier nesting depth, capped at
     /// `n`); `0` when the counter structure answered it, or on error.
     pub rep_width: u32,
+    /// Whether the check's path quantifiers ranged over *weakly fair*
+    /// paths only — true exactly when the job's template declares
+    /// fairness constraints
+    /// ([`GuardedTemplate::is_fair`]) and the check
+    /// succeeded; `false` on error.
+    pub fair: bool,
 }
 
 /// Everything the service has to say about one finished [`VerifyJob`]:
@@ -152,12 +158,14 @@ mod tests {
                     n: 2,
                     result: Ok(true),
                     rep_width: 0,
+                    fair: false,
                 },
                 JobVerdict {
                     name: "a".into(),
                     n: 3,
                     result: Ok(false),
                     rep_width: 1,
+                    fair: true,
                 },
             ],
         };

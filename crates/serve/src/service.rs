@@ -7,9 +7,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use icstar_kripke::Kripke;
 use icstar_logic::has_index_quantifier;
-use icstar_sym::{required_rep_width, CountingSpec, SymEngine};
+use icstar_sym::{required_rep_width, CounterGraph, CountingSpec, SymEngine};
 use icstar_telemetry::{
     FlightRecorder, Registry, SpanContext, SpanEvent, TelemetrySnapshot, TraceId,
 };
@@ -533,7 +532,7 @@ fn process(
                             build.attr("kind", "representative");
                             build.attr("n", n.to_string());
                             build.attr("width", width.to_string());
-                            engine.representative_structure(n, width)
+                            engine.representative_graph(n, width)
                         })
                 });
                 lookup.attr("outcome", if built { "miss" } else { "hit" });
@@ -555,11 +554,11 @@ fn process(
             let run = session.check_described(f);
             check_time += check_started.elapsed();
             inner.stats.formulas_checked.inc();
-            let (result, rep_width) = match run {
-                Ok(run) => (Ok(run.holds), run.rep_width),
+            let (result, rep_width, fair) = match run {
+                Ok(run) => (Ok(run.holds), run.rep_width, run.fair),
                 Err(e) => {
                     inner.stats.verdict_errors.inc();
-                    (Err(e), 0)
+                    (Err(e), 0, false)
                 }
             };
             verdicts.push(JobVerdict {
@@ -567,6 +566,7 @@ fn process(
                 n,
                 result,
                 rep_width,
+                fair,
             });
         }
     }
@@ -578,18 +578,19 @@ fn process(
     }
 }
 
-/// Builds the counter structure for the cache: sharded exploration for
-/// large families, sequential BFS for small ones. The `build` span it
-/// records under `root` parents the exploration's `shard[i]` spans when
-/// the sharded path runs, so the trace shows exactly which worker paid
-/// for the materialization and how the shards split it.
+/// Builds the counter graph bundle (structure + compiled fairness) for
+/// the cache: sharded exploration for large families, sequential BFS for
+/// small ones. The `build` span it records under `root` parents the
+/// exploration's `shard[i]` spans when the sharded path runs, so the
+/// trace shows exactly which worker paid for the materialization and how
+/// the shards split it.
 fn materialize(
     inner: &Inner,
     engine: &SymEngine,
     n: u32,
     root: SpanContext,
     worker: u32,
-) -> Kripke {
+) -> CounterGraph {
     let recorder = &inner.config.recorder;
     let mut build = recorder.scope_under(root, "build");
     build.set_tid(worker);
@@ -598,14 +599,14 @@ fn materialize(
     if n >= inner.config.sharded_threshold {
         inner.stats.sharded_explorations.inc();
         build.attr("mode", "sharded");
-        engine.counter_structure_sharded_traced(
+        engine.counter_graph_sharded_traced(
             n,
             inner.config.exploration_shards,
             Some((recorder.clone(), build.context())),
         )
     } else {
         build.attr("mode", "sequential");
-        engine.counter_structure(n)
+        engine.counter_graph(n)
     }
 }
 
@@ -654,6 +655,55 @@ mod tests {
         assert!(stats.hit_rate() > 0.0);
         assert_eq!(stats.cached_structures, 4);
         assert!(stats.cached_abstract_states > 0);
+    }
+
+    #[test]
+    fn fair_jobs_check_fair_paths_and_report_it() {
+        // A template with a weak-fairness declaration routes its checks
+        // through the fair checker: stuttered liveness that fails on the
+        // unconstrained twin holds, and every verdict carries fair: true.
+        use icstar_sym::GuardedBuilder;
+        let stutter = |fair: bool| {
+            let mut b = GuardedBuilder::new();
+            let idle = b.state("idle", ["idle"]);
+            let done = b.state("done", ["done"]);
+            b.edge(idle, idle);
+            b.edge(idle, done);
+            b.edge(done, done);
+            if fair {
+                b.fair("exit", [(idle, done)]);
+            }
+            b.build(idle)
+        };
+        let service = VerifyService::start(small_config());
+        let report = service
+            .submit(
+                VerifyJob::new(stutter(true))
+                    .at_sizes([1, 5, 40])
+                    .formula("drain", parse_state("AF idle_eq0").unwrap())
+                    .formula("each exits", parse_state("forall i. AF done[i]").unwrap()),
+            )
+            .wait()
+            .unwrap();
+        assert!(report.all_hold());
+        assert!(report.verdicts.iter().all(|v| v.fair));
+        // The indexed formula still routes through a width-1
+        // representative bundle.
+        let widths: Vec<u32> = report.at_size(5).map(|v| v.rep_width).collect();
+        assert_eq!(widths, vec![0, 1]);
+
+        // The unconstrained twin fails the same liveness (a run may
+        // stutter in idle forever) and reports fair: false.
+        let report = service
+            .submit(
+                VerifyJob::new(stutter(false))
+                    .at_size(5)
+                    .formula("drain", parse_state("AF idle_eq0").unwrap()),
+            )
+            .wait()
+            .unwrap();
+        assert_eq!(report.verdicts[0].result, Ok(false));
+        assert!(!report.verdicts[0].fair);
     }
 
     #[test]

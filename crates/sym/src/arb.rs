@@ -33,6 +33,11 @@ pub struct RandomGuardedConfig {
     /// Probability that a broadcast's response map moves a given state
     /// (to a uniformly random target).
     pub response_density: f64,
+    /// Maximum weak-fairness declarations (drawn uniformly from
+    /// `0..=max_fairness`), each selecting 1–3 realized moves. The
+    /// default is `0` — fairness changes which checker the engine
+    /// routes through, so suites opt in explicitly.
+    pub max_fairness: u32,
 }
 
 impl Default for RandomGuardedConfig {
@@ -42,6 +47,7 @@ impl Default for RandomGuardedConfig {
             max_guards_per_edge: 2,
             max_broadcasts: 2,
             response_density: 0.5,
+            max_fairness: 0,
         }
     }
 }
@@ -102,6 +108,12 @@ pub fn random_guarded_template<R: Rng + ?Sized>(
             b.edge_guarded(q, q2, guards);
         }
     }
+    let mut moves: Vec<(u32, u32)> = Vec::new();
+    for q in 0..num_states {
+        for &q2 in base.successors(q) {
+            moves.push((q, q2));
+        }
+    }
     for _ in 0..rng.random_range(0..cfg.max_broadcasts + 1) {
         let source = rng.random_range(0..num_states);
         let target = rng.random_range(0..num_states);
@@ -115,6 +127,21 @@ pub fn random_guarded_template<R: Rng + ?Sized>(
             }
         }
         b.broadcast_guarded(source, target, guards, responses);
+        moves.push((source, target));
+    }
+    // Weak-fairness declarations draw from the realized moves collected
+    // above (plain edges and broadcast endpoints), so the builder's
+    // realizability validation always passes.
+    for d in 0..rng.random_range(0..cfg.max_fairness + 1) {
+        let len = rng.random_range(1..3usize.min(moves.len()) + 1);
+        let mut sel: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..len {
+            let m = moves[rng.random_range(0..moves.len())];
+            if !sel.contains(&m) {
+                sel.push(m);
+            }
+        }
+        b.fair(format!("wf{d}"), sel);
     }
     b.build(base.initial())
 }
@@ -253,6 +280,29 @@ mod tests {
         }
         assert!(saw_broadcast, "generator never emitted a broadcast");
         assert!(saw_new_guard, "generator never emitted a new guard kind");
+    }
+
+    #[test]
+    fn fairness_generation_is_opt_in_and_well_formed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let plain = RandomGuardedConfig::default();
+        for _ in 0..20 {
+            assert!(!random_guarded_template(&mut rng, &plain).is_fair());
+        }
+        let cfg = RandomGuardedConfig {
+            max_fairness: 2,
+            ..RandomGuardedConfig::default()
+        };
+        let mut saw_fair = false;
+        for _ in 0..40 {
+            // build() validates realizability, so constructing is the test.
+            let t = random_guarded_template(&mut rng, &cfg);
+            for d in t.fairness() {
+                assert!(!d.moves().is_empty());
+                saw_fair = true;
+            }
+        }
+        assert!(saw_fair, "generator never emitted a fairness declaration");
     }
 
     #[test]

@@ -33,6 +33,17 @@ use crate::template::GuardedTemplate;
 /// under guards, or at `n = 0`) gets a stuttering self-loop, matching the
 /// counter semantics.
 pub fn guarded_interleave(t: &GuardedTemplate, n: u32) -> IndexedKripke {
+    guarded_interleave_with_states(t, n).0
+}
+
+/// [`guarded_interleave`] plus the local-state tuple of every structure
+/// state, indexed by [`StateId`] (position `i` is the tuple of state
+/// `i`). The fairness compiler ([`crate::fairness`]) uses the tuples to
+/// re-enumerate each state's moves and flag the fair ones.
+pub fn guarded_interleave_with_states(
+    t: &GuardedTemplate,
+    n: u32,
+) -> (IndexedKripke, Vec<Vec<u32>>) {
     let mut b = KripkeBuilder::new();
     let mut ids: HashMap<Vec<u32>, StateId> = HashMap::new();
     let mut queue: Vec<Vec<u32>> = Vec::new();
@@ -107,14 +118,15 @@ pub fn guarded_interleave(t: &GuardedTemplate, n: u32) -> IndexedKripke {
             b.edge(from, from);
         }
     }
-    IndexedKripke::new(
+    let m = IndexedKripke::new(
         b.build(init).expect("interleaving is stutter-completed"),
         (1..=n).collect(),
-    )
+    );
+    (m, queue)
 }
 
 /// The occupancy vector of an explicit tuple state.
-fn occupancy(t: &GuardedTemplate, locals: &[u32]) -> CounterState {
+pub(crate) fn occupancy(t: &GuardedTemplate, locals: &[u32]) -> CounterState {
     let mut counts = vec![0u32; t.num_states()];
     for &q in locals {
         counts[q as usize] += 1;
@@ -127,6 +139,20 @@ fn occupancy(t: &GuardedTemplate, locals: &[u32]) -> CounterState {
 /// indices `i` with `p[i]` in the label. The graph is unchanged.
 pub fn counting_relabel(m: &Kripke, spec: &CountingSpec) -> Kripke {
     relabel(m, |counts, _| spec.atoms_for(|p| counts(p)))
+}
+
+/// Relabels a composed structure keeping *every* indexed atom and adding
+/// the counting atoms of `spec` — the union label universe the fair
+/// oracle checks formulas over, where both `crit[i]` and `crit_ge1`
+/// are meaningful. State ids and edges are unchanged, so a
+/// [`icstar_mc::fair::TransFairness`] computed on the original structure stays
+/// valid on the relabeling.
+pub fn full_relabel(m: &Kripke, spec: &CountingSpec) -> Kripke {
+    relabel(m, |counts, label| {
+        let mut atoms = label.to_vec();
+        atoms.extend(spec.atoms_for(|p| counts(p)));
+        atoms
+    })
 }
 
 /// Relabels a composed structure keeping only the indexed atoms of the

@@ -27,16 +27,18 @@ use std::sync::Arc;
 
 use icstar_kripke::{Atom, IndexedKripke, Kripke};
 use icstar_logic::{
-    expand_representatives, has_index_quantifier, restricted_depth, PathFormula, StateFormula,
+    expand_representatives, fair_fragment_depth, has_index_quantifier, restricted_depth,
+    PathFormula, StateFormula,
 };
+use icstar_mc::fair::FairChecker;
 use icstar_mc::Checker;
 use icstar_telemetry::{FlightRecorder, Registry, SpanContext};
 
 use crate::crosscheck::verify_counter_abstraction;
 use crate::error::SymError;
 use crate::explore::CounterSystem;
+use crate::fairness::{self, CounterGraph, RepGraph};
 use crate::labels::CountingSpec;
-use crate::rep::representative;
 use crate::template::GuardedTemplate;
 
 /// The outcome of one check, with the backend routing it used.
@@ -49,6 +51,12 @@ pub struct CheckRun {
     /// the formula was checked on the plain counter structure (no index
     /// quantifiers, or `n = 0`).
     pub rep_width: u32,
+    /// Whether path quantifiers ranged over *fair* paths only — true
+    /// exactly when the template declares weak-fairness constraints
+    /// ([`GuardedTemplate::is_fair`]), in which case the verdict came
+    /// from the fair checker over the compiled
+    /// [`icstar_mc::fair::TransFairness`].
+    pub fair: bool,
 }
 
 /// The representative width [`SymSession::check`] will route `f` through
@@ -148,6 +156,37 @@ impl SymEngine {
         self.system(n).kripke(&self.spec)
     }
 
+    /// Materializes the counter structure at size `n` bundled with the
+    /// template's compiled fairness requirements — the unit sessions
+    /// cache and fair checks run on. For templates without fairness
+    /// declarations the bundle carries an unconstrained
+    /// [`icstar_mc::fair::TransFairness`] at no extra cost.
+    pub fn counter_graph(&self, n: u32) -> CounterGraph {
+        fairness::counter_graph(&self.system(n), &self.spec)
+    }
+
+    /// [`SymEngine::counter_graph`] with the sharded exploration
+    /// underneath ([`CounterSystem::kripke_sharded`]).
+    pub fn counter_graph_sharded(&self, n: u32, shards: usize) -> CounterGraph {
+        self.counter_graph_sharded_traced(n, shards, None)
+    }
+
+    /// As [`SymEngine::counter_graph_sharded`], optionally attaching the
+    /// exploration to a causal trace (see
+    /// [`SymEngine::counter_structure_sharded_traced`]).
+    pub fn counter_graph_sharded_traced(
+        &self,
+        n: u32,
+        shards: usize,
+        trace: Option<(FlightRecorder, SpanContext)>,
+    ) -> CounterGraph {
+        let mut sys = self.system(n);
+        if let Some((recorder, parent)) = trace {
+            sys = sys.with_trace(recorder, parent);
+        }
+        fairness::counter_graph_sharded(&sys, &self.spec, shards)
+    }
+
     /// Materializes the counter-abstracted structure at size `n` with a
     /// sharded parallel exploration ([`CounterSystem::kripke_sharded`]):
     /// the same structure, explored by `shards` cooperating threads.
@@ -182,6 +221,16 @@ impl SymEngine {
     /// [`SymError::EmptyFamily`] at `n = 0`; [`SymError::BadRepWidth`]
     /// unless `1 ≤ width ≤ n`.
     pub fn representative_structure(&self, n: u32, width: u32) -> Result<IndexedKripke, SymError> {
+        self.representative_graph(n, width).map(|g| g.kripke)
+    }
+
+    /// Materializes the width-`width` representative structure at size
+    /// `n` bundled with the template's compiled fairness requirements.
+    ///
+    /// # Errors
+    ///
+    /// As [`SymEngine::representative_structure`].
+    pub fn representative_graph(&self, n: u32, width: u32) -> Result<RepGraph, SymError> {
         // Per-width timing: width is bounded by the quantifier nesting
         // depth of real formulas, so the name cardinality stays tiny.
         let span = self.telemetry.span(
@@ -189,7 +238,7 @@ impl SymEngine {
             self.telemetry
                 .histogram(&format!("sym.rep.w{width}.build_ns")),
         );
-        let rep = representative(&self.system(n), &self.spec, width);
+        let rep = fairness::rep_graph(&self.system(n), &self.spec, width);
         if rep.is_ok() {
             self.telemetry.counter("sym.rep.builds").inc();
             span.stop();
@@ -311,9 +360,9 @@ impl SymEngine {
 pub struct SymSession<'e> {
     engine: &'e SymEngine,
     n: u32,
-    counter: Option<Arc<Kripke>>,
-    /// Representative structures by width.
-    reps: HashMap<u32, Arc<IndexedKripke>>,
+    counter: Option<Arc<CounterGraph>>,
+    /// Representative graphs by width.
+    reps: HashMap<u32, Arc<RepGraph>>,
 }
 
 impl SymSession<'_> {
@@ -322,45 +371,45 @@ impl SymSession<'_> {
         self.n
     }
 
-    /// Seeds the session with a pre-materialized counter structure —
+    /// Seeds the session with a pre-materialized counter graph —
     /// typically one obtained from [`SymSession::counter_arc`] of an
-    /// earlier session (or a cache of such structures, like
+    /// earlier session (or a cache of such graphs, like
     /// `icstar-serve`'s), avoiding re-exploration.
     ///
-    /// The structure must be the counter structure of the *same* engine
+    /// The graph must be the counter graph of the *same* engine
     /// (template and spec) at the *same* size; seeding anything else
     /// makes later answers meaningless.
-    pub fn seed_counter(&mut self, counter: Arc<Kripke>) -> &mut Self {
+    pub fn seed_counter(&mut self, counter: Arc<CounterGraph>) -> &mut Self {
         self.counter = Some(counter);
         self
     }
 
-    /// Seeds the session with a pre-materialized representative
-    /// structure of the given width; the same sharing contract as
-    /// [`SymSession::seed_counter`] applies (and the structure must have
+    /// Seeds the session with a pre-materialized representative graph of
+    /// the given width; the same sharing contract as
+    /// [`SymSession::seed_counter`] applies (and the graph must have
     /// been built with this `width`).
-    pub fn seed_representative(&mut self, width: u32, rep: Arc<IndexedKripke>) -> &mut Self {
+    pub fn seed_representative(&mut self, width: u32, rep: Arc<RepGraph>) -> &mut Self {
         self.reps.insert(width, rep);
         self
     }
 
-    /// The session's counter structure, materializing it on first use —
-    /// as a shared handle, suitable for caching and for seeding other
+    /// The session's counter graph, materializing it on first use — as a
+    /// shared handle, suitable for caching and for seeding other
     /// sessions at the same `(template, spec, n)`.
-    pub fn counter_arc(&mut self) -> Arc<Kripke> {
+    pub fn counter_arc(&mut self) -> Arc<CounterGraph> {
         Arc::clone(self.counter_ref())
     }
 
-    /// The session's width-`width` representative structure,
-    /// materializing it on first use — as a shared handle, suitable for
-    /// caching and for seeding other sessions at the same
+    /// The session's width-`width` representative graph, materializing
+    /// it on first use — as a shared handle, suitable for caching and
+    /// for seeding other sessions at the same
     /// `(template, spec, n, width)`.
     ///
     /// # Errors
     ///
     /// [`SymError::EmptyFamily`] at `n = 0`; [`SymError::BadRepWidth`]
     /// unless `1 ≤ width ≤ n`.
-    pub fn representative_arc(&mut self, width: u32) -> Result<Arc<IndexedKripke>, SymError> {
+    pub fn representative_arc(&mut self, width: u32) -> Result<Arc<RepGraph>, SymError> {
         self.representative_ref(width).map(Arc::clone)
     }
 
@@ -389,9 +438,11 @@ impl SymSession<'_> {
         let run = if has_index_quantifier(f) {
             self.check_indexed_described(f)
         } else {
+            let fair = self.engine.template.is_fair();
             self.check_counting(f).map(|holds| CheckRun {
                 holds,
                 rep_width: 0,
+                fair,
             })
         };
         if run.is_ok() {
@@ -417,7 +468,15 @@ impl SymSession<'_> {
             )));
         }
         self.engine.validate_plain_atoms(&used)?;
-        let mut chk = Checker::new(self.counter_ref());
+        if self.engine.template.is_fair() {
+            // Path quantifiers range over fair paths: gate to the CTL
+            // fragment the fair checker supports, then evaluate against
+            // the compiled requirements.
+            fair_fragment_depth(f)?;
+            let g = self.counter_arc();
+            return Ok(FairChecker::new(&g.kripke, &g.fairness).holds(f)?);
+        }
+        let mut chk = Checker::new(&self.counter_ref().kripke);
         Ok(chk.holds(f)?)
     }
 
@@ -433,7 +492,16 @@ impl SymSession<'_> {
     }
 
     fn check_indexed_described(&mut self, f: &StateFormula) -> Result<CheckRun, SymError> {
-        let depth = restricted_depth(f)? as u32;
+        let fair = self.engine.template.is_fair();
+        // Under fairness the checker is CTL-shaped, so the fragment gate
+        // tightens from k-restricted ICTL* to its CTL slice (which still
+        // admits the liveness shapes weak fairness exists for: AF,
+        // AG AF, fair EG, and their quantified forms).
+        let depth = if fair {
+            fair_fragment_depth(f)? as u32
+        } else {
+            restricted_depth(f)? as u32
+        };
         let used = used_atoms(f);
         // Plain atoms must come from the spec (a missing threshold atom
         // would silently read as false and give wrong answers); indexed
@@ -442,10 +510,16 @@ impl SymSession<'_> {
         self.engine.validate_plain_atoms(&used)?;
         if self.n == 0 {
             let expanded = icstar_mc::expand(f, &[]);
-            let mut chk = Checker::new(self.counter_ref());
+            let g = self.counter_arc();
+            let holds = if fair {
+                FairChecker::new(&g.kripke, &g.fairness).holds(&expanded)?
+            } else {
+                Checker::new(&g.kripke).holds(&expanded)?
+            };
             return Ok(CheckRun {
-                holds: chk.holds(&expanded)?,
+                holds,
                 rep_width: 0,
+                fair,
             });
         }
         // The smallest sufficient width: one tracked copy per quantifier
@@ -454,28 +528,33 @@ impl SymSession<'_> {
         // here still get one representative — its structure carries the
         // counting atoms too.
         let width = depth.clamp(1, self.n);
-        let rep = self.representative_ref(width)?;
+        let rep = self.representative_arc(width)?;
         // Expand quantifiers over the canonical representative tuples
         // (distinct-index case split), then model-check the closed
         // constant-indexed formula on the width-`width` structure.
         let expanded = expand_representatives(f, width);
-        let mut chk = Checker::new(rep.kripke());
+        let holds = if fair {
+            FairChecker::new(rep.kripke.kripke(), &rep.fairness).holds(&expanded)?
+        } else {
+            Checker::new(rep.kripke.kripke()).holds(&expanded)?
+        };
         Ok(CheckRun {
-            holds: chk.holds(&expanded)?,
+            holds,
             rep_width: width,
+            fair,
         })
     }
 
-    fn counter_ref(&mut self) -> &Arc<Kripke> {
+    fn counter_ref(&mut self) -> &Arc<CounterGraph> {
         if self.counter.is_none() {
-            self.counter = Some(Arc::new(self.engine.counter_structure(self.n)));
+            self.counter = Some(Arc::new(self.engine.counter_graph(self.n)));
         }
         self.counter.as_ref().expect("just materialized")
     }
 
-    fn representative_ref(&mut self, width: u32) -> Result<&Arc<IndexedKripke>, SymError> {
+    fn representative_ref(&mut self, width: u32) -> Result<&Arc<RepGraph>, SymError> {
         if !self.reps.contains_key(&width) {
-            let rep = Arc::new(self.engine.representative_structure(self.n, width)?);
+            let rep = Arc::new(self.engine.representative_graph(self.n, width)?);
             self.reps.insert(width, rep);
         }
         Ok(self.reps.get(&width).expect("just materialized"))
@@ -817,6 +896,69 @@ mod tests {
             registry.snapshot().histogram("sym.check.ns").unwrap().count,
             2
         );
+    }
+
+    fn fair_stutter_template(fair: bool) -> GuardedTemplate {
+        let mut b = crate::template::GuardedBuilder::new();
+        let idle = b.state("idle", ["idle"]);
+        let done = b.state("done", ["done"]);
+        b.edge(idle, idle);
+        b.edge(idle, done);
+        b.edge(done, done);
+        if fair {
+            b.fair("exit", [(idle, done)]);
+        }
+        b.build(idle)
+    }
+
+    #[test]
+    fn fair_template_routes_liveness_through_fair_checker() {
+        let e = SymEngine::new(fair_stutter_template(true));
+        let plain = SymEngine::new(fair_stutter_template(false));
+        let f = parse_state("AF idle_eq0").unwrap();
+        for n in [1u32, 5, 200] {
+            let run = e.session(n).check_described(&f).unwrap();
+            assert_eq!(
+                (run.holds, run.rep_width, run.fair),
+                (true, 0, true),
+                "n = {n}"
+            );
+            // Identical template minus the declaration: the stutter loop
+            // is a fair counterexample, so plain AF fails.
+            let run = plain.session(n).check_described(&f).unwrap();
+            assert_eq!((run.holds, run.fair), (false, false), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fair_template_routes_indexed_liveness_through_rep() {
+        let e = SymEngine::new(fair_stutter_template(true));
+        let f = parse_state("forall i. AF done[i]").unwrap();
+        let mut s = e.session(10);
+        let run = s.check_described(&f).unwrap();
+        assert_eq!((run.holds, run.rep_width, run.fair), (true, 1, true));
+        // Safety still answers (machine closure: fairness never blocks a
+        // prefix, so AG verdicts match the plain ones).
+        assert!(s
+            .check(&parse_state("AG (done_ge1 -> AG done_ge1)").unwrap())
+            .unwrap());
+        // At n = 0 the quantifier collapses over the empty index set.
+        let run = e.session(0).check_described(&f).unwrap();
+        assert_eq!((run.holds, run.rep_width, run.fair), (true, 0, true));
+    }
+
+    #[test]
+    fn fair_template_rejects_non_ctl_formulas() {
+        use icstar_logic::RestrictionError;
+        let e = SymEngine::new(fair_stutter_template(true));
+        let bad = parse_state("A(F idle_eq0 & F done_ge1)").unwrap();
+        assert!(matches!(
+            e.check(3, &bad),
+            Err(SymError::NotRestricted(RestrictionError::NotCtl))
+        ));
+        // The same formula is fine on the unfair twin (full CTL*).
+        let plain = SymEngine::new(fair_stutter_template(false));
+        assert!(plain.check(3, &bad).is_ok());
     }
 
     #[test]

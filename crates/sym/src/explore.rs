@@ -207,6 +207,14 @@ impl CounterSystem {
     /// polynomial in `n` for a fixed template — instead of the `|Q|^n`
     /// states of the explicit composition.
     pub fn kripke(&self, spec: &CountingSpec) -> Kripke {
+        self.kripke_with_states(spec).0
+    }
+
+    /// [`CounterSystem::kripke`] plus the occupancy vector of every
+    /// state, indexed by [`StateId`] (position `i` is the vector of state
+    /// `i`). The fairness compiler ([`crate::fairness`]) uses the vectors
+    /// to re-enumerate each state's moves and flag the fair ones.
+    pub fn kripke_with_states(&self, spec: &CountingSpec) -> (Kripke, Vec<CounterState>) {
         let started = Instant::now();
         let mut b = KripkeBuilder::new();
         let mut ids: HashMap<PackedCounter, StateId> = HashMap::new();
@@ -250,8 +258,10 @@ impl CounterSystem {
         self.telemetry
             .gauge("sym.explore.frontier_peak")
             .set_max(frontier_peak as i64);
-        b.build(init)
-            .expect("counter exploration is stutter-completed, hence total")
+        let kripke = b
+            .build(init)
+            .expect("counter exploration is stutter-completed, hence total");
+        (kripke, queue)
     }
 
     /// Publishes one exploration's aggregate counts:
@@ -287,8 +297,19 @@ impl CounterSystem {
     /// thread interleaving. `shards == 1` falls back to the sequential
     /// BFS.
     pub fn kripke_sharded(&self, spec: &CountingSpec, shards: usize) -> Kripke {
+        self.kripke_sharded_with_states(spec, shards).0
+    }
+
+    /// [`CounterSystem::kripke_sharded`] plus the id-ordered occupancy
+    /// vectors, exactly as [`CounterSystem::kripke_with_states`] returns
+    /// them for the sequential sweep.
+    pub fn kripke_sharded_with_states(
+        &self,
+        spec: &CountingSpec,
+        shards: usize,
+    ) -> (Kripke, Vec<CounterState>) {
         if shards <= 1 {
-            return self.kripke(spec);
+            return self.kripke_with_states(spec);
         }
         let started = Instant::now();
         let (discovered, arrivals) = self.explore_sharded(shards);
@@ -308,8 +329,11 @@ impl CounterSystem {
             }
         }
         let init = ids[&self.packing.pack(&self.initial())];
-        b.build(init)
-            .expect("sharded exploration is stutter-completed, hence total")
+        let kripke = b
+            .build(init)
+            .expect("sharded exploration is stutter-completed, hence total");
+        let states = discovered.into_iter().map(|(state, _)| state).collect();
+        (kripke, states)
     }
 
     /// The parallel reachability sweep behind

@@ -104,19 +104,25 @@ mod workloads;
 
 pub mod arb;
 pub mod crosscheck;
+pub mod fairness;
 pub mod labels;
 
 pub use counter::{CounterPacking, CounterState, PackedCounter};
 pub use crosscheck::{
-    counting_relabel, guarded_interleave, representative_relabel, verify_counter_abstraction,
-    verify_representative_width, CROSS_CHECK_MAX_WIDTH,
+    counting_relabel, full_relabel, guarded_interleave, guarded_interleave_with_states,
+    representative_relabel, verify_counter_abstraction, verify_representative_width,
+    CROSS_CHECK_MAX_WIDTH,
 };
 pub use engine::{required_rep_width, CheckRun, SymEngine, SymSession};
 pub use error::SymError;
 pub use explore::CounterSystem;
+pub use fairness::{
+    check_fair_explicit, counter_graph, counter_graph_sharded, rep_graph, CounterGraph, RepGraph,
+};
 pub use labels::CountingSpec;
-pub use rep::{representative, RepState, REPRESENTATIVE_INDEX};
+pub use rep::{representative, representative_with_states, RepState, REPRESENTATIVE_INDEX};
 pub use template::{
-    mutex_template, ring_station_template, Broadcast, Guard, GuardedBuilder, GuardedTemplate,
+    mutex_template, ring_station_template, Broadcast, FairnessDecl, Guard, GuardedBuilder,
+    GuardedTemplate,
 };
 pub use workloads::{barrier_template, msi_template, wakeup_template};

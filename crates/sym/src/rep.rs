@@ -90,6 +90,22 @@ pub fn representative(
     spec: &CountingSpec,
     width: u32,
 ) -> Result<IndexedKripke, SymError> {
+    representative_with_states(sys, spec, width).map(|(m, _)| m)
+}
+
+/// [`representative`] plus the [`RepState`] of every structure state,
+/// indexed by [`StateId`] (position `i` is the state with id `i`). The
+/// fairness compiler ([`crate::fairness`]) uses the vectors to
+/// re-enumerate each state's moves and flag the fair ones.
+///
+/// # Errors
+///
+/// As for [`representative`].
+pub fn representative_with_states(
+    sys: &CounterSystem,
+    spec: &CountingSpec,
+    width: u32,
+) -> Result<(IndexedKripke, Vec<RepState>), SymError> {
     let n = sys.size();
     if n == 0 {
         return Err(SymError::EmptyFamily);
@@ -232,12 +248,14 @@ pub fn representative(
     let kripke = b
         .build(init)
         .expect("representative exploration is stutter-completed, hence total");
-    Ok(IndexedKripke::new(
+    let indexed = IndexedKripke::new(
         kripke,
         (0..width)
             .map(|c| REPRESENTATIVE_INDEX + c as Index)
             .collect(),
-    ))
+    );
+    let states = queue.into_iter().map(|(state, _)| state).collect();
+    Ok((indexed, states))
 }
 
 #[cfg(test)]

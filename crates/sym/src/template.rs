@@ -213,6 +213,45 @@ impl Broadcast {
     }
 }
 
+/// A named weak-fairness constraint over a group of local moves.
+///
+/// A move pair `(src, tgt)` selects **every** template transition from
+/// `src` to `tgt` — all guarded plain edges and all broadcasts whose
+/// initiator takes `src → tgt`. The declaration demands *weak (action)
+/// fairness* of the group: on every path, infinitely often either no
+/// move of the group is enabled or some move of the group is taken. A
+/// template may carry several declarations; a path must be fair for all
+/// of them.
+///
+/// Because enabledness of a group is a function of the occupancy vector
+/// alone (guards are counting guards, and "some copy sits in `src`" is
+/// occupancy too), the constraint compiles exactly to a transition-based
+/// fairness requirement on the counter and representative structures —
+/// verdicts transfer verbatim from the explicit fair composition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FairnessDecl {
+    name: String,
+    moves: Vec<(u32, u32)>,
+}
+
+impl FairnessDecl {
+    /// The declaration's name (used in wire syntax and diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The move pairs `(source state, target state)`, in declaration
+    /// order.
+    pub fn moves(&self) -> &[(u32, u32)] {
+        &self.moves
+    }
+
+    /// Whether the group contains the move `src → tgt`.
+    pub fn contains(&self, src: u32, tgt: u32) -> bool {
+        self.moves.iter().any(|&(s, t)| s == src && t == tgt)
+    }
+}
+
 /// A process template whose transitions may carry counting guards.
 ///
 /// # Examples
@@ -242,6 +281,8 @@ pub struct GuardedTemplate {
     guards: Vec<Vec<Vec<Guard>>>,
     /// Broadcast moves, in declaration order.
     broadcasts: Vec<Broadcast>,
+    /// Weak-fairness declarations, in declaration order.
+    fairness: Vec<FairnessDecl>,
     /// For each distinct local proposition, the local states carrying it.
     props: Vec<(String, Vec<u32>)>,
 }
@@ -257,6 +298,7 @@ impl GuardedTemplate {
             base,
             guards,
             broadcasts: Vec::new(),
+            fairness: Vec::new(),
             props,
         }
     }
@@ -306,6 +348,65 @@ impl GuardedTemplate {
     /// Whether the template has any broadcast moves.
     pub fn has_broadcasts(&self) -> bool {
         !self.broadcasts.is_empty()
+    }
+
+    /// The weak-fairness declarations, in declaration order.
+    pub fn fairness(&self) -> &[FairnessDecl] {
+        &self.fairness
+    }
+
+    /// Whether the template declares any fairness constraint (routing
+    /// liveness checks through the fair backend).
+    pub fn is_fair(&self) -> bool {
+        !self.fairness.is_empty()
+    }
+
+    /// A copy of this template with one more weak-fairness group — the
+    /// gallery workloads ship unconstrained, and their liveness variants
+    /// (`docs/WORKLOADS.md`, "liveness" column) are built this way
+    /// rather than by re-declaring the whole template.
+    ///
+    /// Each `(src, tgt)` pair selects every plain edge and every
+    /// broadcast taking `src → tgt`, exactly as
+    /// [`GuardedBuilder::fair`].
+    ///
+    /// # Panics
+    ///
+    /// As the builder's validation: the group must be non-empty and
+    /// every pair must match an existing edge or broadcast.
+    #[must_use]
+    pub fn with_fairness(
+        mut self,
+        name: impl Into<String>,
+        moves: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        let decl = FairnessDecl {
+            name: name.into(),
+            moves: moves.into_iter().collect(),
+        };
+        assert!(
+            !decl.moves.is_empty(),
+            "fairness declaration {:?} selects no moves",
+            decl.name
+        );
+        let num_states = self.num_states() as u32;
+        for &(src, tgt) in &decl.moves {
+            assert!(src < num_states, "fairness move from unknown state {src}");
+            assert!(tgt < num_states, "fairness move to unknown state {tgt}");
+            let on_edge = self.base.successors(src).contains(&tgt);
+            let on_bcast = self
+                .broadcasts
+                .iter()
+                .any(|b| b.source() == src && b.target() == tgt);
+            assert!(
+                on_edge || on_bcast,
+                "fairness declaration {:?} names move {src} -> {tgt}, \
+                 which no edge or broadcast realizes",
+                decl.name
+            );
+        }
+        self.fairness.push(decl);
+        self
     }
 
     /// Whether no transition carries a guard and no broadcast exists —
@@ -414,6 +515,19 @@ impl GuardedTemplate {
                 h.u32(t);
             }
         }
+        // Fairness section, appended only when present so templates
+        // without fairness keep their pre-fairness fingerprints (the
+        // serve cache and wire transcript pins key on them).
+        if !self.fairness.is_empty() {
+            h.u32(self.fairness.len() as u32);
+            for d in &self.fairness {
+                h.str(&d.name);
+                h.u32(d.moves.len() as u32);
+                for &(s, t) in &d.moves {
+                    h.u32(s).u32(t);
+                }
+            }
+        }
         h.finish()
     }
 }
@@ -443,6 +557,7 @@ pub struct GuardedBuilder {
     base: TemplateBuilder,
     guards: Vec<Vec<Vec<Guard>>>,
     broadcasts: Vec<PendingBroadcast>,
+    fairness: Vec<FairnessDecl>,
 }
 
 impl GuardedBuilder {
@@ -521,6 +636,26 @@ impl GuardedBuilder {
         self
     }
 
+    /// Declares weak fairness of a group of moves: on every path,
+    /// infinitely often either no move of the group is enabled or some
+    /// move of the group is taken. Each `(src, tgt)` pair selects every
+    /// plain edge and every broadcast taking `src → tgt`.
+    ///
+    /// Validated at [`GuardedBuilder::build`] time: the group must be
+    /// non-empty and every pair must match at least one edge or
+    /// broadcast of the finished template.
+    pub fn fair(
+        &mut self,
+        name: impl Into<String>,
+        moves: impl IntoIterator<Item = (u32, u32)>,
+    ) -> &mut Self {
+        self.fairness.push(FairnessDecl {
+            name: name.into(),
+            moves: moves.into_iter().collect(),
+        });
+        self
+    }
+
     /// Freezes the template with the given initial local state.
     ///
     /// # Panics
@@ -531,8 +666,9 @@ impl GuardedBuilder {
     /// waiting states a spin self-edge, as the barrier workload does).
     /// Additionally panics if a state-occupancy guard names an unknown
     /// local state, if a broadcast endpoint or response entry names an
-    /// unknown local state, or if a broadcast lists two responses for the
-    /// same state.
+    /// unknown local state, if a broadcast lists two responses for the
+    /// same state, or if a fairness declaration is empty or names a move
+    /// no edge or broadcast realizes.
     pub fn build(self, initial: u32) -> GuardedTemplate {
         let base = self.base.build(initial);
         let num_states = base.num_states() as u32;
@@ -548,7 +684,7 @@ impl GuardedBuilder {
                 check_guards(guards);
             }
         }
-        let broadcasts = self
+        let broadcasts: Vec<Broadcast> = self
             .broadcasts
             .into_iter()
             .map(|(source, target, guards, responses)| {
@@ -575,11 +711,33 @@ impl GuardedBuilder {
                 }
             })
             .collect();
+        for d in &self.fairness {
+            assert!(
+                !d.moves.is_empty(),
+                "fairness declaration {:?} selects no moves",
+                d.name
+            );
+            for &(src, tgt) in &d.moves {
+                assert!(src < num_states, "fairness move from unknown state {src}");
+                assert!(tgt < num_states, "fairness move to unknown state {tgt}");
+                let on_edge = base.successors(src).contains(&tgt);
+                let on_bcast = broadcasts
+                    .iter()
+                    .any(|b| b.source() == src && b.target() == tgt);
+                assert!(
+                    on_edge || on_bcast,
+                    "fairness declaration {:?} names move {src} -> {tgt}, \
+                     which no edge or broadcast realizes",
+                    d.name
+                );
+            }
+        }
         let props = index_props(&base);
         GuardedTemplate {
             base,
             guards: self.guards,
             broadcasts,
+            fairness: self.fairness,
             props,
         }
     }
@@ -917,6 +1075,123 @@ mod tests {
         b.edge(trying, crit);
         b.edge(crit, idle);
         assert_ne!(b.build(idle).fingerprint(), base);
+    }
+
+    #[test]
+    fn fairness_declarations_build_and_query() {
+        let mut b = GuardedBuilder::new();
+        let idle = b.state("idle", ["idle"]);
+        let done = b.state("done", ["done"]);
+        b.edge(idle, idle);
+        b.edge(idle, done);
+        b.edge(done, done);
+        b.fair("progress", [(idle, done)]);
+        let t = b.build(idle);
+        assert!(t.is_fair());
+        assert_eq!(t.fairness().len(), 1);
+        let d = &t.fairness()[0];
+        assert_eq!(d.name(), "progress");
+        assert_eq!(d.moves(), &[(idle, done)]);
+        assert!(d.contains(idle, done));
+        assert!(!d.contains(done, idle));
+        assert!(!mutex_template().is_fair());
+    }
+
+    #[test]
+    fn with_fairness_extends_a_built_template() {
+        let plain = mutex_template();
+        assert!(!plain.is_fair());
+        let fair = plain.clone().with_fairness("release", [(2, 0)]);
+        assert!(fair.is_fair());
+        assert_eq!(fair.fairness().len(), 1);
+        assert_eq!(fair.fairness()[0].name(), "release");
+        // The fair variant is a different workload identity...
+        assert_ne!(plain.fingerprint(), fair.fingerprint());
+        // ...but the structure is untouched.
+        assert_eq!(plain.num_states(), fair.num_states());
+        let twice = fair.with_fairness("enter", [(1, 2)]);
+        assert_eq!(twice.fairness().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge or broadcast realizes")]
+    fn with_fairness_rejects_unrealized_moves() {
+        let _ = mutex_template().with_fairness("ghost", [(0, 2)]);
+    }
+
+    #[test]
+    fn fairness_may_select_broadcast_moves() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        let c = b.state("c", ["c"]);
+        b.edge(a, a);
+        b.edge(c, c);
+        b.broadcast(a, c, [(a, c)]);
+        b.fair("flush", [(a, c)]);
+        let t = b.build(a);
+        assert!(t.is_fair());
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge or broadcast realizes")]
+    fn fairness_on_missing_move_rejected() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        let c = b.state("c", ["c"]);
+        b.edge(a, c);
+        b.edge(c, c);
+        b.edge(a, a);
+        b.fair("ghost", [(c, a)]);
+        b.build(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "selects no moves")]
+    fn empty_fairness_declaration_rejected() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        b.edge(a, a);
+        b.fair("empty", []);
+        b.build(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown state")]
+    fn fairness_on_unknown_state_rejected() {
+        let mut b = GuardedBuilder::new();
+        let a = b.state("a", ["a"]);
+        b.edge(a, a);
+        b.fair("oob", [(a, 7)]);
+        b.build(a);
+    }
+
+    #[test]
+    fn fingerprint_covers_fairness_but_only_when_present() {
+        let make = |fair: bool| {
+            let mut b = GuardedBuilder::new();
+            let idle = b.state("idle", ["idle"]);
+            let done = b.state("done", ["done"]);
+            b.edge(idle, idle);
+            b.edge(idle, done);
+            b.edge(done, done);
+            if fair {
+                b.fair("progress", [(idle, done)]);
+            }
+            b.build(idle)
+        };
+        let plain = make(false);
+        let fair = make(true);
+        assert_ne!(plain.fingerprint(), fair.fingerprint());
+        assert_eq!(fair.fingerprint(), make(true).fingerprint());
+        // A different declaration name or move set changes the key too.
+        let mut b = GuardedBuilder::new();
+        let idle = b.state("idle", ["idle"]);
+        let done = b.state("done", ["done"]);
+        b.edge(idle, idle);
+        b.edge(idle, done);
+        b.edge(done, done);
+        b.fair("other", [(idle, done)]);
+        assert_ne!(b.build(idle).fingerprint(), fair.fingerprint());
     }
 
     #[test]

@@ -32,6 +32,15 @@
 //! bcast done0 -> work1 [done0 -> work1] when @work0 == 0;
 //! ```
 //!
+//! `fair` clauses declare weak-fairness groups of moves — each
+//! `src -> tgt` pair selects every edge and broadcast taking that move,
+//! and a verdict checked under fairness carries a trailing `fair`
+//! marker (`verdict "drain" @ 100 = holds fair;`):
+//!
+//! ```text
+//! fair exit idle -> done, try -> crit;
+//! ```
+//!
 //! Formulas reuse the `icstar_logic` grammar verbatim (everything between
 //! `:` and `;` is handed to [`icstar_logic::parse_state`], with wire-level
 //! `//` comments blanked out first). Names are identifiers or
@@ -165,6 +174,21 @@ fn write_template(out: &mut String, t: &GuardedTemplate, depth: usize) {
         for (i, g) in bc.guards().iter().enumerate() {
             out.push_str(if i == 0 { " when " } else { ", " });
             write_guard(out, g, t);
+        }
+        out.push_str(";\n");
+    }
+    for d in t.fairness() {
+        indent(out, depth + 1);
+        out.push_str("fair ");
+        fmt_name(out, d.name());
+        out.push(' ');
+        for (i, &(src, tgt)) in d.moves().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            fmt_name(out, t.state_name(src));
+            out.push_str(" -> ");
+            fmt_name(out, t.state_name(tgt));
         }
         out.push_str(";\n");
     }
@@ -342,9 +366,14 @@ pub fn print_wire_report(report: &WireReport) -> String {
         }
         // The representative width is printed only when the check
         // actually tracked copies; `k 0` (counter backend) is the
-        // parser's default, keeping old transcripts valid.
+        // parser's default, keeping old transcripts valid. Same story
+        // for the `fair` marker: printed only when the check ranged
+        // over weakly fair paths, absent (= false) otherwise.
         if v.rep_width > 0 {
             let _ = write!(out, " k {}", v.rep_width);
+        }
+        if v.fair {
+            out.push_str(" fair");
         }
         out.push_str(";\n");
     }
@@ -375,6 +404,10 @@ pub struct WireVerdict {
     /// this check (`verdict … = holds k 2;` on the wire); `0` — omitted
     /// when printing — for counter-structure checks and errors.
     pub rep_width: u32,
+    /// Whether the check's path quantifiers ranged over weakly fair
+    /// paths only (`verdict … = holds fair;` on the wire); `false` —
+    /// omitted when printing — for unconstrained templates and errors.
+    pub fair: bool,
 }
 
 /// A [`VerdictReport`] in wire form.
@@ -410,6 +443,7 @@ impl From<&VerdictReport> for WireReport {
                     n: v.n,
                     outcome: v.result.as_ref().map(|b| *b).map_err(|e| e.to_string()),
                     rep_width: v.rep_width,
+                    fair: v.fair,
                 })
                 .collect(),
         }
@@ -765,6 +799,13 @@ fn template(c: &mut Cursor<'_>) -> Result<GuardedTemplate, WireParseError> {
     c.expect(";")?;
 
     let mut has_edge = vec![false; names.len()];
+    // Moves realized by an edge or a broadcast, for validating `fair`
+    // clauses (which may appear anywhere among the moves they name).
+    let mut realized: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
+    // Parsed `fair` clauses — group name plus (source position, src,
+    // tgt) moves — validated against `realized` after the loop.
+    type FairClause = (String, Vec<(usize, u32, u32)>);
+    let mut fair_decls: Vec<FairClause> = Vec::new();
     loop {
         if c.eat_word("edge") {
             let at = c.pos;
@@ -777,6 +818,7 @@ fn template(c: &mut Cursor<'_>) -> Result<GuardedTemplate, WireParseError> {
             let guards = when_clause(c, &names)?;
             c.expect(";")?;
             has_edge[from as usize] = true;
+            realized.insert((from, to));
             b.edge_guarded(from, to, guards);
         } else if c.eat_word("bcast") {
             let at = c.pos;
@@ -811,10 +853,46 @@ fn template(c: &mut Cursor<'_>) -> Result<GuardedTemplate, WireParseError> {
             }
             let guards = when_clause(c, &names)?;
             c.expect(";")?;
+            realized.insert((source, target));
             b.broadcast_guarded(source, target, guards, responses);
+        } else if c.eat_word("fair") {
+            let fname = c.name()?;
+            let mut moves: Vec<(usize, u32, u32)> = Vec::new();
+            loop {
+                let at = c.pos;
+                let src_name = c.name()?;
+                let src = resolve_state(at, &src_name, &names)?;
+                c.expect("->")?;
+                let at2 = c.pos;
+                let tgt_name = c.name()?;
+                let tgt = resolve_state(at2, &tgt_name, &names)?;
+                moves.push((at, src, tgt));
+                if !c.eat(",") {
+                    break;
+                }
+            }
+            c.expect(";")?;
+            fair_decls.push((fname, moves));
         } else {
             break;
         }
+    }
+    for (fname, moves) in fair_decls {
+        let mut resolved: Vec<(u32, u32)> = Vec::new();
+        for (at, src, tgt) in moves {
+            if !realized.contains(&(src, tgt)) {
+                return Err(WireParseError::new(
+                    at,
+                    format!(
+                        "fairness group {fname:?} names the move {:?} -> {:?}, \
+                         which no edge or bcast realizes",
+                        names[src as usize], names[tgt as usize]
+                    ),
+                ));
+            }
+            resolved.push((src, tgt));
+        }
+        b.fair(fname, resolved);
     }
     if let Some(q) = has_edge.iter().position(|e| !e) {
         return Err(c.error(format!(
@@ -922,14 +1000,17 @@ fn report(c: &mut Cursor<'_>) -> Result<WireReport, WireParseError> {
             return Err(c.error("expected `holds`, `fails`, or `error \"...\"`"));
         };
         // Optional representative width; absent (older servers, counter
-        // checks) means 0.
+        // checks) means 0. Then the optional `fair` marker; absent
+        // (older servers, unconstrained templates) means false.
         let rep_width = if c.eat_word("k") { c.int()? } else { 0 };
+        let fair = c.eat_word("fair");
         c.expect(";")?;
         verdicts.push(WireVerdict {
             name,
             n,
             outcome,
             rep_width,
+            fair,
         });
     }
     c.expect("}")?;
@@ -1091,6 +1172,62 @@ mod tests {
     }
 
     #[test]
+    fn fair_templates_round_trip() {
+        // Plain-edge group, broadcast group, multi-move group, and a
+        // quoted group name all survive print → parse.
+        let mut b = GuardedBuilder::new();
+        let idle = b.state("idle", ["idle"]);
+        let done = b.state("done", ["done"]);
+        b.edge(idle, idle);
+        b.edge(idle, done);
+        b.edge(done, done);
+        b.broadcast(done, idle, [(idle, idle)]);
+        b.fair("exit", [(idle, done)]);
+        b.fair("reset round", [(done, idle), (idle, done)]);
+        let t = b.build(idle);
+        let text = print_template(&t);
+        assert!(text.contains("fair exit idle -> done;"), "{text}");
+        assert!(
+            text.contains("fair \"reset round\" done -> idle, idle -> done;"),
+            "{text}"
+        );
+        assert_eq!(parse_template(&text).unwrap(), t);
+        // A fair clause may precede the moves it names.
+        let early = "template { state a [a]; state b [b]; init a; \
+                     fair go a -> b; edge a -> b; edge b -> b; }";
+        let t = parse_template(early).unwrap();
+        assert_eq!(t.fairness().len(), 1);
+        assert_eq!(t.fairness()[0].moves(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn fair_clause_errors_name_the_problem() {
+        let cases = [
+            (
+                "template { state a [a]; state b [b]; init a; \
+                 edge a -> b; edge b -> b; fair go b -> a; }",
+                "no edge or bcast realizes",
+            ),
+            (
+                "template { state a [a]; init a; edge a -> a; fair go zzz -> a; }",
+                "unknown state",
+            ),
+            (
+                "template { state a [a]; init a; edge a -> a; fair go; }",
+                "expected a name",
+            ),
+        ];
+        for (src, needle) in cases {
+            let err = parse_template(src).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{src}: got {:?}, wanted {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
     fn empty_response_brackets_parse_as_identity() {
         let src = "template { state a [a]; state b [b]; init a; \
                    edge a -> b; edge b -> a; bcast a -> b []; }";
@@ -1143,18 +1280,21 @@ mod tests {
                     n: 100,
                     result: Ok(true),
                     rep_width: 0,
+                    fair: false,
                 },
                 JobVerdict {
                     name: "two in crit".into(),
                     n: 100,
                     result: Ok(false),
                     rep_width: 2,
+                    fair: true,
                 },
                 JobVerdict {
                     name: "bogus".into(),
                     n: 3,
                     result: Err(SymError::UnknownAtom("bogus_ge1".into())),
                     rep_width: 0,
+                    fair: false,
                 },
             ],
         };
@@ -1173,9 +1313,10 @@ mod tests {
     }
 
     #[test]
-    fn report_width_round_trips_and_defaults_to_zero() {
-        // `k 2` survives print → parse; verdicts without the clause
-        // (older servers' transcripts) read back as width 0.
+    fn report_width_and_fair_round_trip_and_default_off() {
+        // `k 2` and the `fair` marker survive print → parse; verdicts
+        // without the clauses (older servers' transcripts) read back as
+        // width 0, unconstrained.
         let report = WireReport {
             job_id: 9,
             verdicts: vec![
@@ -1184,23 +1325,34 @@ mod tests {
                     n: 100_000,
                     outcome: Ok(true),
                     rep_width: 2,
+                    fair: true,
+                },
+                WireVerdict {
+                    name: "drain".into(),
+                    n: 100_000,
+                    outcome: Ok(true),
+                    rep_width: 0,
+                    fair: true,
                 },
                 WireVerdict {
                     name: "mutex".into(),
                     n: 100_000,
                     outcome: Ok(true),
                     rep_width: 0,
+                    fair: false,
                 },
             ],
         };
         let text = print_wire_report(&report);
-        assert!(text.contains("= holds k 2;"), "{text}");
+        assert!(text.contains("= holds k 2 fair;"), "{text}");
+        assert!(text.contains("\"drain\" @ 100000 = holds fair;"), "{text}");
         assert!(text.contains("\"mutex\" @ 100000 = holds;"), "{text}");
         assert_eq!(parse_report(&text).unwrap(), report);
 
         let legacy = "report 7 {\n  verdict \"m\" @ 10 = fails;\n}\n";
         let parsed = parse_report(legacy).unwrap();
         assert_eq!(parsed.verdicts[0].rep_width, 0);
+        assert!(!parsed.verdicts[0].fair);
         assert_eq!(parsed.verdicts[0].outcome, Ok(false));
     }
 
@@ -1318,6 +1470,7 @@ mod tests {
                 n: 2,
                 outcome: Err("boom\r\n.\r\nboom".into()),
                 rep_width: 0,
+                fair: false,
             }],
         };
         let text = print_wire_report(&report);

@@ -59,6 +59,22 @@ proptest! {
     }
 
     #[test]
+    fn fair_guarded_templates_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RandomGuardedConfig {
+            base: RandomTemplateConfig {
+                states: rng.random_range(1usize..5),
+                ..RandomTemplateConfig::default()
+            },
+            max_fairness: 2,
+            ..RandomGuardedConfig::default()
+        };
+        let t = random_guarded_template(&mut rng, &cfg);
+        let text = print_template(&t);
+        prop_assert_eq!(parse_template(&text).unwrap(), t, "{}", text);
+    }
+
+    #[test]
     fn free_templates_round_trip(seed in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let t = GuardedTemplate::free(random_template(&mut rng, &RandomTemplateConfig::default()));

@@ -296,6 +296,52 @@ fn raw_protocol_lines_work_without_the_client() {
         "nested-quantifier report bytes are pinned by PROTOCOL.md"
     );
 
+    // A fair liveness job (PROTOCOL.md's fourth transcript exchange):
+    // the `fair` template clause routes the checks through the fair
+    // backend, and every verdict carries the `fair` marker — the
+    // quantified one after its `k` width. The report's server-side
+    // bytes are pinned exactly.
+    writeln!(writer, "SUBMIT").unwrap();
+    writeln!(
+        writer,
+        "job {{\n  template {{\n    state idle [idle];\n    state done [done];\n    \
+         init idle;\n    edge idle -> idle;\n    edge idle -> done;\n    \
+         edge done -> done;\n    fair exit idle -> done;\n  }}\n  \
+         sizes 50;\n  check \"drain\": AF idle_eq0;\n  \
+         check \"per-copy drain\": forall i. AF done[i];\n}}"
+    )
+    .unwrap();
+    writeln!(writer, ".").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let fair_id: u64 = line
+        .trim_end()
+        .strip_prefix("OK id ")
+        .expect("fair submit answer")
+        .parse()
+        .unwrap();
+    writeln!(writer, "RESULT {fair_id}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK report");
+    let mut block = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end() == "." {
+            break;
+        }
+        block.push_str(&line);
+    }
+    assert_eq!(
+        block,
+        format!(
+            "report {fair_id} {{\n  verdict \"drain\" @ 50 = holds fair;\n  \
+             verdict \"per-copy drain\" @ 50 = holds k 1 fair;\n}}\n"
+        ),
+        "fair liveness report bytes are pinned by PROTOCOL.md"
+    );
+
     writeln!(writer, "NONSENSE").unwrap();
     line.clear();
     reader.read_line(&mut line).unwrap();

@@ -1,0 +1,142 @@
+//! Liveness under weak fairness at scale: the fair mutex and the fair
+//! sense-reversing barrier — the two gallery rows whose CI sizes
+//! (`docs/WORKLOADS.md`) name this demo — verified at `n = 100,000`
+//! over a real TCP socket.
+//!
+//! Three phases, mirroring the liveness column's promises:
+//!
+//! 1. **Audit** — every fair verdict is cross-checked at `n <= 3`
+//!    against the *explicit fair composition*: fairness spelled out
+//!    copy by copy on the full n-copy interleaving
+//!    ([`icstar_sym::check_fair_explicit`], the differential oracle of
+//!    `tests/fair.rs`).
+//! 2. **Scale** — both fair templates go over the socket as wire jobs
+//!    (`fair` clauses and all) at `n = 100` and `n = 100,000`; every
+//!    recurrence verdict must hold *and* carry the `fair` marker, and
+//!    the wire outcome is audited against the in-process
+//!    [`FamilyVerifier::verify_at_many`] batch path.
+//! 3. **Flip** — the same barrier recurrence goes over the wire on the
+//!    *unconstrained* template and must fail without the marker:
+//!    fairness is load-bearing, not a pass-through.
+//!
+//! Run with: `cargo run --release --example liveness_demo`
+
+use std::time::Instant;
+
+use icstar::{FamilyVerifier, ServeConfig, VerifyJob, VerifyService};
+use icstar_logic::parse_state;
+use icstar_sym::{
+    barrier_template, check_fair_explicit, mutex_template, GuardedTemplate, SymEngine,
+};
+use icstar_wire::{print_job, WireClient, WireServer};
+
+const BIG: u32 = 100_000;
+
+/// The fair gallery rows this demo scales: (name, fair template,
+/// recurrence properties that hold under its fairness groups). Kept in
+/// sync with the liveness column of `docs/WORKLOADS.md` and
+/// `tests/workloads.rs`.
+fn fair_gallery() -> Vec<(&'static str, GuardedTemplate, Vec<&'static str>)> {
+    vec![
+        (
+            "mutex",
+            mutex_template().with_fairness("enter", [(1, 2)]),
+            vec!["AG AF crit_ge1", "AG AF crit_eq0"],
+        ),
+        (
+            "barrier",
+            barrier_template()
+                .with_fairness("arrive", [(0, 1), (2, 3)])
+                .with_fairness("release", [(1, 2), (3, 0)]),
+            vec![
+                "AG AF phase1_ge1",
+                "AG AF phase0_ge1",
+                "forall i. AG AF phase1[i]",
+            ],
+        ),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== liveness under weak fairness: mutex + barrier at n = {BIG} ==\n");
+
+    // ---- Phase 1: the explicit fair-composition oracle ----
+    let started = Instant::now();
+    for (name, t, props) in fair_gallery() {
+        let engine = SymEngine::new(t.clone());
+        for n in 1..=3u32 {
+            let mut session = engine.session(n);
+            for src in &props {
+                let f = parse_state(src)?;
+                let abstracted = session.check(&f)?;
+                let explicit = check_fair_explicit(&t, n, engine.spec(), &f)?;
+                assert_eq!(abstracted, explicit, "{name}: {src} diverges at n = {n}");
+                assert!(explicit, "{name}: {src} fails explicitly at n = {n}");
+            }
+        }
+        println!("audit: fair {name} matches the explicit fair composition at n <= 3");
+    }
+    println!("oracle done in {:.2?}\n", started.elapsed());
+
+    // ---- Phase 2: the fair jobs at n = 100,000, over TCP ----
+    let server = WireServer::bind("127.0.0.1:0", VerifyService::start(ServeConfig::default()))?;
+    let mut client = WireClient::connect(server.local_addr())?;
+    let jobs: Vec<VerifyJob> = fair_gallery()
+        .into_iter()
+        .map(|(_, t, props)| {
+            let mut job = VerifyJob::new(t).at_sizes([100, BIG]);
+            for src in props {
+                job = job.formula(src, parse_state(src).expect("gallery property parses"));
+            }
+            job
+        })
+        .collect();
+    let wire_started = Instant::now();
+    for job in &jobs {
+        let id = client.submit(job)?;
+        println!(
+            "submitted fair job {id} ({} bytes of wire text, fair clauses included)",
+            print_job(job).len()
+        );
+        let report = client.result(id)?;
+        for v in &report.verdicts {
+            assert_eq!(v.outcome, Ok(true), "{} at n = {}", v.name, v.n);
+            assert!(v.fair, "{} at n = {} lost its fair marker", v.name, v.n);
+            println!("  wire: n = {:>6} | {:<25} holds fair", v.n, v.name);
+        }
+        // Audit: transport must not change fair semantics.
+        let local = VerifyService::start(ServeConfig::default());
+        let mut verifier = FamilyVerifier::counter_abstracted(job.template.clone());
+        for (fname, f) in &job.formulas {
+            verifier.add_formula(fname.clone(), f.clone())?;
+        }
+        let mut wire = report.verdicts.iter();
+        for (n, verdicts) in verifier.verify_at_many(&local, &job.sizes)? {
+            for v in verdicts {
+                let w = wire.next().expect("same verdict count");
+                assert_eq!(w.name, v.name);
+                assert_eq!(w.n, n);
+                assert_eq!(w.outcome, Ok(v.holds), "{} at n = {n}", v.name);
+                assert_eq!(w.fair, v.fair, "{} at n = {n}", v.name);
+            }
+        }
+    }
+    println!(
+        "\nboth fair jobs verified and audited at n = 100 and n = {BIG} ({:.2?})\n",
+        wire_started.elapsed()
+    );
+
+    // ---- Phase 3: the flip — no fairness, no recurrence ----
+    let flip = VerifyJob::new(barrier_template())
+        .at_size(100)
+        .formula("phase recurrence", parse_state("AG AF phase1_ge1")?);
+    let id = client.submit(&flip)?;
+    let report = client.result(id)?;
+    let v = &report.verdicts[0];
+    assert_eq!(v.outcome, Ok(false), "recurrence must fail unfair");
+    assert!(!v.fair, "unconstrained job must not carry the fair marker");
+    println!("flip: unconstrained barrier fails `AG AF phase1_ge1` at n = 100 (no fair marker)");
+
+    println!("\nliveness demo: all assertions passed");
+    Ok(())
+}

@@ -139,18 +139,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = SymEngine::new(mutex_template());
 
     let t = Instant::now();
-    let kripke = engine.counter_structure_sharded(n, shards);
+    let graph = engine.counter_graph_sharded(n, shards);
     let built = t.elapsed();
-    assert_eq!(kripke.num_states() as u32, 2 * n + 1);
+    assert_eq!(graph.kripke.num_states() as u32, 2 * n + 1);
     println!(
         "materialized {} abstract states / {} transitions with {shards} shards in {built:?}",
-        kripke.num_states(),
-        kripke.num_transitions()
+        graph.kripke.num_states(),
+        graph.kripke.num_transitions()
     );
 
     let t = Instant::now();
     let mut session = engine.session(n);
-    session.seed_counter(std::sync::Arc::new(kripke));
+    session.seed_counter(std::sync::Arc::new(graph));
     let mutex_holds = session.check(&parse_state("AG !crit_ge2")?)?;
     println!(
         "AG !crit_ge2 at n = {n}: {} (checked in {:?})",

@@ -13,6 +13,7 @@ use icstar::icstar_kripke::gen::{random_kripke, RandomConfig};
 use icstar::{parse_state, Checker};
 use icstar_logic::arb::{random_state_formula, FormulaConfig};
 use icstar_logic::{build, PathFormula, StateFormula};
+use icstar_mc::fair::{FairChecker, TransFairness};
 use icstar_mc::naive::{eval_on_lasso, naive_e_check, simple_lit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -148,6 +149,45 @@ fn checker_witnesses_validate_on_the_naive_evaluator() {
                     assert!(chk.exists_witness(s, &p).unwrap().is_none());
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn unconstrained_fair_checker_collapses_to_plain_ctl() {
+    // A fourth decision procedure joined the family: the fair CTL
+    // checker. With an *empty* fairness constraint every path is fair,
+    // so its sat sets must coincide with the plain labeling algorithm's
+    // on every CTL formula — this is the degenerate case that anchors
+    // the fair semantics to the unfair one.
+    let mut rng = StdRng::seed_from_u64(88);
+    let fcfg = FormulaConfig {
+        max_depth: 4,
+        allow_next: true,
+        ctl_only: true,
+        ..FormulaConfig::default()
+    };
+    let none = TransFairness::unconstrained();
+    assert!(none.is_empty());
+    for trial in 0..20 {
+        let m = random_kripke(&mut rng, &config(3 + trial % 5));
+        let mut plain = Checker::new(&m);
+        let mut fair = FairChecker::new(&m, &none);
+        for fixed in ["EG p", "AF q", "AG AF p", "EG (p | EF q)", "A[p U q]"] {
+            let f = parse_state(fixed).unwrap();
+            assert_eq!(
+                *plain.sat(&f).unwrap(),
+                *fair.sat(&f).unwrap(),
+                "{fixed} on trial {trial}"
+            );
+        }
+        for _ in 0..20 {
+            let f = random_state_formula(&mut rng, &fcfg);
+            assert_eq!(
+                *plain.sat(&f).unwrap(),
+                *fair.sat(&f).unwrap(),
+                "{f} on trial {trial}"
+            );
         }
     }
 }

@@ -1,0 +1,251 @@
+//! Differential battery: liveness under weak fairness, abstraction vs
+//! explicit fair composition.
+//!
+//! Soundness claim under test: for a guarded template with weak-fairness
+//! groups, checking a fair-fragment formula on the **counter structure**
+//! (quantifier-free counting formulas) or the **width-k representative
+//! structure** (index-quantified formulas) — with the template's
+//! fairness compiled to occupancy-transition requirements — yields the
+//! same verdict as checking the formula on the *explicit* `n`-copy
+//! interleaved composition with fairness spelled out copy by copy
+//! ([`check_fair_explicit`]). The oracle is independent of the counter
+//! abstraction: it builds `guarded_interleave`, expands index
+//! quantifiers over concrete copies, compiles per-copy fairness
+//! requirements, and runs the fair checker directly.
+//!
+//! Liveness is the point: `AF`-, `AG AF`- and `EG`-shaped properties
+//! that are vacuously false (or true) under plain semantics flip under
+//! fairness, so a disagreement anywhere in this battery means one side's
+//! fairness compilation is wrong.
+
+use icstar::icstar_sym::arb::{
+    random_guarded_template, random_nested_formula, RandomGuardedConfig, RandomNestedConfig,
+};
+use icstar::icstar_sym::{check_fair_explicit, GuardedBuilder, SymEngine};
+use icstar::Atom;
+use icstar_logic::arb::{random_state_formula, FormulaConfig};
+use icstar_logic::{fair_fragment_depth, parse_state};
+use icstar_nets::RandomTemplateConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAX_N: u32 = 4;
+
+fn fair_config() -> RandomGuardedConfig {
+    RandomGuardedConfig {
+        base: RandomTemplateConfig {
+            states: 3,
+            prop_names: vec!["p".into(), "q".into()],
+            ..RandomTemplateConfig::default()
+        },
+        max_fairness: 2,
+        ..RandomGuardedConfig::default()
+    }
+}
+
+/// The plain counting atoms of the engine's active spec — the proposition
+/// pool for random quantifier-free formulas.
+fn counting_props(engine: &SymEngine) -> Vec<String> {
+    engine
+        .spec()
+        .atom_universe()
+        .iter()
+        .filter_map(|a| match a {
+            Atom::Plain(name) => Some(name.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn fixed_liveness_shapes_agree_and_flip_under_fairness() {
+    // The canonical stuttering process: `idle` may spin forever, so
+    // every liveness property below is decided by fairness alone.
+    let fair_t = {
+        let mut b = GuardedBuilder::new();
+        let idle = b.state("idle", ["idle"]);
+        let done = b.state("done", ["done"]);
+        b.edge(idle, idle);
+        b.edge(idle, done);
+        b.edge(done, done);
+        b.fair("exit", [(idle, done)]);
+        b.build(idle)
+    };
+    let plain_t = {
+        let mut b = GuardedBuilder::new();
+        let idle = b.state("idle", ["idle"]);
+        let done = b.state("done", ["done"]);
+        b.edge(idle, idle);
+        b.edge(idle, done);
+        b.edge(done, done);
+        b.build(idle)
+    };
+    // (formula, fair verdict, plain verdict) — the two columns differ on
+    // every row, so the battery cannot pass by ignoring fairness.
+    let battery = [
+        ("AF idle_eq0", true, false),
+        ("AF done_ge1", true, false),
+        ("AG AF idle_eq0", true, false),
+        ("EG idle_ge1", false, true),
+        ("EG !done_ge1", false, true),
+        ("forall i. AF done[i]", true, false),
+        ("forall i. AG AF done[i]", true, false),
+        ("exists i. EG idle[i]", false, true),
+    ];
+    let mut checked = 0usize;
+    for (t, fair) in [(&fair_t, true), (&plain_t, false)] {
+        let engine = SymEngine::new(t.clone());
+        for n in 1..=MAX_N {
+            let mut session = engine.session(n);
+            for (src, fair_verdict, plain_verdict) in battery {
+                let f = parse_state(src).unwrap();
+                let want = if fair { fair_verdict } else { plain_verdict };
+                let run = session.check_described(&f).unwrap();
+                assert_eq!(run.holds, want, "{src} at n = {n}, fair = {fair}");
+                assert_eq!(run.fair, fair, "{src} at n = {n}");
+                let oracle = check_fair_explicit(t, n, engine.spec(), &f).unwrap();
+                assert_eq!(run.holds, oracle, "oracle diverges on {src} at n = {n}");
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 2 * MAX_N as usize * battery.len());
+}
+
+#[test]
+fn random_counting_formulas_agree_with_the_fair_oracle() {
+    // Random guarded+broadcast templates with random fairness groups ×
+    // random quantifier-free CTL formulas over counting atoms: the
+    // counter-structure verdict must equal the explicit fair composition
+    // verdict at every explicitly buildable size.
+    let cfg = fair_config();
+    let mut checked = 0usize;
+    let mut fair_templates = 0usize;
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(9_000 + seed);
+        let t = random_guarded_template(&mut rng, &cfg);
+        fair_templates += usize::from(t.is_fair());
+        let engine = SymEngine::new(t.clone());
+        let props = counting_props(&engine);
+        if props.is_empty() {
+            continue; // label-free template: no counting atoms to test
+        }
+        let fcfg = FormulaConfig {
+            props,
+            max_depth: 3,
+            allow_next: false,
+            ctl_only: true,
+            ..FormulaConfig::default()
+        };
+        for n in 1..=MAX_N {
+            let mut session = engine.session(n);
+            for _ in 0..5 {
+                let f = random_state_formula(&mut rng, &fcfg);
+                assert_eq!(fair_fragment_depth(&f), Ok(0), "{f}");
+                let run = session.check_described(&f).unwrap();
+                assert_eq!(run.rep_width, 0, "{f} should stay on the counter");
+                assert_eq!(run.fair, t.is_fair());
+                let oracle = check_fair_explicit(&t, n, engine.spec(), &f).unwrap();
+                assert_eq!(
+                    run.holds, oracle,
+                    "seed {seed}, n = {n}: verdicts diverge on {f}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 150, "only {checked} counting formulas exercised");
+    assert!(
+        fair_templates >= 6,
+        "only {fair_templates} fair templates drawn"
+    );
+}
+
+#[test]
+fn random_indexed_formulas_agree_with_the_fair_oracle() {
+    // The width-k representative route under fairness: random fair
+    // templates × random restricted formulas with 1–2 nested index
+    // quantifiers, against the explicit oracle (which expands the
+    // quantifiers over concrete copies before fair checking).
+    let cfg = fair_config();
+    let mut checked = 0usize;
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(14_000 + seed);
+        let t = random_guarded_template(&mut rng, &cfg);
+        let engine = SymEngine::new(t.clone());
+        for depth in 1..=2usize {
+            let fcfg = RandomNestedConfig {
+                depth,
+                matrix_depth: 2,
+                ..RandomNestedConfig::default()
+            };
+            for n in 1..=MAX_N {
+                let mut session = engine.session(n);
+                for _ in 0..4 {
+                    let f = random_nested_formula(&mut rng, &fcfg);
+                    assert_eq!(fair_fragment_depth(&f), Ok(depth), "{f}");
+                    let run = session.check_described(&f).unwrap();
+                    assert_eq!(
+                        run.rep_width,
+                        (depth as u32).min(n),
+                        "width off for {f} at n = {n}"
+                    );
+                    assert_eq!(run.fair, t.is_fair());
+                    let oracle = check_fair_explicit(&t, n, engine.spec(), &f).unwrap();
+                    assert_eq!(
+                        run.holds, oracle,
+                        "seed {seed}, n = {n}: verdicts diverge on {f}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked >= 150, "only {checked} indexed formulas exercised");
+}
+
+#[test]
+fn unconstrained_templates_check_identically_with_and_without_the_fair_route() {
+    // A template with no fairness groups must answer exactly as its
+    // fair-constrained twin would if every group were dropped — i.e. the
+    // engine's fair route degenerates to plain semantics. Randomized
+    // pin of the degenerate case at the template level (the checker-level
+    // pin lives in `tests/checkers_agree.rs`).
+    let plain_cfg = RandomGuardedConfig {
+        base: RandomTemplateConfig {
+            states: 3,
+            prop_names: vec!["p".into(), "q".into()],
+            ..RandomTemplateConfig::default()
+        },
+        ..RandomGuardedConfig::default()
+    };
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(21_000 + seed);
+        let t = random_guarded_template(&mut rng, &plain_cfg);
+        assert!(!t.is_fair());
+        let engine = SymEngine::new(t.clone());
+        let props = counting_props(&engine);
+        if props.is_empty() {
+            continue;
+        }
+        let fcfg = FormulaConfig {
+            props,
+            max_depth: 3,
+            allow_next: false,
+            ctl_only: true,
+            ..FormulaConfig::default()
+        };
+        for n in 1..=MAX_N {
+            let mut session = engine.session(n);
+            for _ in 0..5 {
+                let f = random_state_formula(&mut rng, &fcfg);
+                let run = session.check_described(&f).unwrap();
+                assert!(!run.fair, "unconstrained template reported fair: {f}");
+                // The fair oracle with an empty requirement set *is* the
+                // plain explicit verdict (every path is fair).
+                let oracle = check_fair_explicit(&t, n, engine.spec(), &f).unwrap();
+                assert_eq!(run.holds, oracle, "seed {seed}, n = {n}: {f}");
+            }
+        }
+    }
+}

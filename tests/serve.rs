@@ -213,13 +213,13 @@ fn sharded_exploration_verifies_mutex_at_one_million() {
     let n: u32 = 1_000_000;
     let engine = SymEngine::new(mutex_template());
     let shards = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
-    let kripke = engine.counter_structure_sharded(n, shards);
+    let graph = engine.counter_graph_sharded(n, shards);
     // Reachable mutex counter states: (#try, #crit ≤ 1) — 2n + 1.
-    assert_eq!(kripke.num_states() as u32, 2 * n + 1);
-    kripke.validate().unwrap();
+    assert_eq!(graph.kripke.num_states() as u32, 2 * n + 1);
+    graph.kripke.validate().unwrap();
 
     let mut session = engine.session(n);
-    session.seed_counter(std::sync::Arc::new(kripke));
+    session.seed_counter(std::sync::Arc::new(graph));
     assert!(session
         .check(&parse_state("AG !crit_ge2").unwrap())
         .unwrap());

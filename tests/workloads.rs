@@ -8,9 +8,10 @@
 
 use icstar::FamilyVerifier;
 use icstar_logic::parse_state;
+use icstar_nets::fig41_template;
 use icstar_sym::{
-    barrier_template, msi_template, mutex_template, ring_station_template, wakeup_template,
-    GuardedTemplate, SymEngine,
+    barrier_template, check_fair_explicit, msi_template, mutex_template, ring_station_template,
+    wakeup_template, GuardedTemplate, SymEngine,
 };
 
 /// Every guarded workload the repository ships, with its gallery
@@ -70,6 +71,105 @@ fn gallery() -> Vec<(
     ]
 }
 
+/// One liveness row: workload name, fair variant, unconstrained
+/// original, liveness properties, and the subset that flips unfair.
+type LivenessRow = (
+    &'static str,
+    GuardedTemplate,
+    GuardedTemplate,
+    Vec<&'static str>,
+    Vec<&'static str>,
+);
+
+/// The "liveness (weak fairness)" column of `docs/WORKLOADS.md`: every
+/// gallery template's weakly fair variant
+/// ([`GuardedTemplate::with_fairness`] over the shipped constructor)
+/// with the liveness properties that hold under its fairness groups,
+/// plus the subset of those properties that **fail** on the
+/// unconstrained original (the rows where fairness is load-bearing; for
+/// mutex and the station ring every infinite schedule already cycles
+/// every move, so their recurrence rows hold unfair too and the flip
+/// list is empty).
+fn liveness_gallery() -> Vec<LivenessRow> {
+    let fig41 = GuardedTemplate::free(fig41_template());
+    let mutex = mutex_template();
+    let ring = ring_station_template(4, 1);
+    let barrier = barrier_template();
+    let msi = msi_template();
+    let wakeup = wakeup_template();
+    vec![
+        (
+            "fig41",
+            // a = 0 falls into absorbing b = 1; only fairness stops the
+            // b-spinners from starving the fallers.
+            fig41.clone().with_fairness("fall", [(0, 1)]),
+            fig41,
+            vec!["AF a_eq0", "AG AF b_ge1", "forall i. AF b[i]"],
+            vec!["AF a_eq0", "forall i. AF b[i]"],
+        ),
+        (
+            "mutex",
+            // idle = 0, try = 1, crit = 2. Degenerate row: the occupancy
+            // cycle balance forces every schedule through all three
+            // moves, so recurrence holds even unfair.
+            mutex.clone().with_fairness("enter", [(1, 2)]),
+            mutex,
+            vec!["AG AF crit_ge1", "AG AF crit_eq0"],
+            vec![],
+        ),
+        (
+            "ring-station",
+            // s0..s3 = 0..3; same degenerate cycle-balance argument.
+            ring.clone()
+                .with_fairness("advance", [(0, 1), (1, 2), (2, 3), (3, 0)]),
+            ring,
+            vec!["AG AF s3_ge1", "AG AF s0_ge1"],
+            vec![],
+        ),
+        (
+            "barrier",
+            // work0 = 0, done0 = 1, work1 = 2, done1 = 3. "arrive"
+            // drains the working pool, "release" fires the barrier
+            // broadcast; together they force perpetual phase
+            // alternation, which pure done-spinning violates.
+            barrier
+                .clone()
+                .with_fairness("arrive", [(0, 1), (2, 3)])
+                .with_fairness("release", [(1, 2), (3, 0)]),
+            barrier,
+            vec![
+                "AG AF phase1_ge1",
+                "AG AF phase0_ge1",
+                "forall i. AG AF phase1[i]",
+            ],
+            vec![
+                "AG AF phase1_ge1",
+                "AG AF phase0_ge1",
+                "forall i. AG AF phase1[i]",
+            ],
+        ),
+        (
+            "msi",
+            // invalid = 0, shared = 1, modified = 2. The write-miss
+            // broadcast loops a writer forever at occupancy (n-1, 0, 1);
+            // fair write-back forces the line clean infinitely often.
+            msi.clone().with_fairness("writeback", [(2, 0)]),
+            msi,
+            vec!["AG AF modified_eq0"],
+            vec!["AG AF modified_eq0"],
+        ),
+        (
+            "wakeup",
+            // asleep = 0, awake = 1, working = 2. Dozing keeps the
+            // wake-up broadcast enabled; weak fairness fires it.
+            wakeup.clone().with_fairness("wake", [(0, 1)]),
+            wakeup,
+            vec!["AF asleep_eq0", "AG AF asleep_eq0"],
+            vec!["AF asleep_eq0", "AG AF asleep_eq0"],
+        ),
+    ]
+}
+
 #[test]
 fn every_workload_cross_checks_against_the_explicit_composition() {
     // The soundness oracle: counter and representative structures must
@@ -98,6 +198,70 @@ fn gallery_properties_hold_at_moderate_sizes() {
             let verdicts = verifier.verify_at(n).unwrap();
             for v in &verdicts {
                 assert!(v.holds, "{name}: {} fails at n = {n}", v.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn liveness_column_holds_at_n200_under_weak_fairness() {
+    // The gallery's liveness contract at the same debug-friendly scale
+    // as the safety column: every fair variant satisfies its liveness
+    // properties at n = 200, with the verdict marked fair.
+    for (name, fair_t, _, live, _) in liveness_gallery() {
+        assert!(fair_t.is_fair(), "{name}");
+        let engine = SymEngine::new(fair_t);
+        for n in [1u32, 2, 5, 200] {
+            let mut session = engine.session(n);
+            for src in &live {
+                let run = session.check_described(&parse_state(src).unwrap()).unwrap();
+                assert!(run.holds, "{name}: {src} fails at n = {n}");
+                assert!(run.fair, "{name}: {src} not fair-checked at n = {n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn liveness_column_flips_without_fairness() {
+    // The rows where fairness is load-bearing: the same properties fail
+    // on the unconstrained originals (and the degenerate mutex/ring rows
+    // hold either way, pinning *why* their flip list is empty).
+    for (name, _, plain_t, live, flips) in liveness_gallery() {
+        assert!(!plain_t.is_fair(), "{name}");
+        let engine = SymEngine::new(plain_t);
+        for n in [2u32, 5] {
+            let mut session = engine.session(n);
+            for src in &live {
+                let run = session.check_described(&parse_state(src).unwrap()).unwrap();
+                assert!(!run.fair, "{name}: {src} fair-checked unconstrained");
+                let expected = !flips.contains(src);
+                assert_eq!(
+                    run.holds, expected,
+                    "{name}: {src} at n = {n} (plain semantics)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn liveness_column_cross_checks_against_the_explicit_fair_composition() {
+    // The oracle anchor: at explicitly buildable sizes, every fair
+    // verdict of the liveness column must equal the explicit fair
+    // composition's — fairness spelled out copy by copy on the full
+    // n-copy interleaving, index quantifiers expanded over concrete
+    // copies.
+    for (name, fair_t, _, live, _) in liveness_gallery() {
+        let engine = SymEngine::new(fair_t.clone());
+        for n in 1..=4u32 {
+            let mut session = engine.session(n);
+            for src in &live {
+                let f = parse_state(src).unwrap();
+                let abstracted = session.check(&f).unwrap();
+                let explicit = check_fair_explicit(&fair_t, n, engine.spec(), &f).unwrap();
+                assert_eq!(abstracted, explicit, "{name}: {src} diverges at n = {n}");
+                assert!(explicit, "{name}: {src} fails explicitly at n = {n}");
             }
         }
     }
