@@ -65,5 +65,56 @@ fn bench_socket_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_print_parse, bench_socket_round_trip);
+fn bench_concurrent_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/concurrent-load");
+    group.sample_size(10);
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        VerifyService::start(ServeConfig {
+            workers: 2,
+            cache_shards: 4,
+            exploration_shards: 2,
+            sharded_threshold: 1_000_000,
+            cache_budget_states: u64::MAX,
+            ..ServeConfig::default()
+        }),
+    )
+    .unwrap();
+
+    // Pipelining amortizes the round trip: 32 submits go down the pipe
+    // before the first answer is read, then 32 RESULTs the same way.
+    let jobs: Vec<VerifyJob> = (0..32).map(|_| demo_job(&[10])).collect();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    group.bench_function("pipelined-32/submit+result", |b| {
+        b.iter(|| {
+            let ids = client.submit_pipelined(black_box(&jobs)).unwrap();
+            let reports = client.results_pipelined(&ids).unwrap();
+            assert!(reports.iter().all(|r| r.all_hold()));
+        })
+    });
+
+    // 64 persistent connections: the loop's per-tick sweep cost shows
+    // up in each round trip once many conversations are open at once.
+    let mut clients: Vec<WireClient> = (0..64)
+        .map(|_| WireClient::connect(server.local_addr()).unwrap())
+        .collect();
+    group.bench_function("ping/64-conns", |b| {
+        b.iter(|| {
+            for client in clients.iter_mut() {
+                client.ping().unwrap();
+            }
+        })
+    });
+    for client in clients {
+        client.quit().unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_print_parse,
+    bench_socket_round_trip,
+    bench_concurrent_load
+);
 criterion_main!(benches);

@@ -58,6 +58,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use icstar_sym::{CounterGraph, CountingSpec, GuardedTemplate, RepGraph, SymError};
 use icstar_telemetry::{Counter, Registry};
 
+use crate::spill::SpillStore;
+
 /// The bucket key of one family: fingerprints plus size and
 /// representative width (0 = the counter graph). Fast to hash and
 /// compare; entries under one key are disambiguated structurally.
@@ -315,6 +317,10 @@ pub struct GraphCache {
     over_budget_pinned: AtomicBool,
     evictions: Counter,
     evicted_states: Counter,
+    /// Optional disk persistence: probed before building on a memory
+    /// miss, written after every successful build. `None` (the default)
+    /// keeps the cache purely in-memory.
+    store: Option<SpillStore>,
 }
 
 impl GraphCache {
@@ -330,6 +336,19 @@ impl GraphCache {
     /// insertion immediately becomes evictable). Pass `u64::MAX` for
     /// unbounded.
     pub fn with_budget(shards: usize, budget_states: u64) -> Self {
+        Self::with_store(shards, budget_states, None)
+    }
+
+    /// A budgeted cache backed by an optional [`SpillStore`]: memory
+    /// misses probe the store before building (a verified restore skips
+    /// the exploration entirely — this is how restarts and replicas
+    /// warm-start), and every successful build is spilled back. Memory
+    /// hit/miss accounting is unchanged: a disk restore still counts as
+    /// a cache miss, with the `serve.cache.restores` counter recording
+    /// that the rebuild was answered from disk. Spilled files survive
+    /// LRU eviction, so an evicted structure's next request restores
+    /// instead of re-exploring.
+    pub fn with_store(shards: usize, budget_states: u64, store: Option<SpillStore>) -> Self {
         GraphCache {
             counter: Memo::new(shards),
             rep: Memo::new(shards),
@@ -341,6 +360,7 @@ impl GraphCache {
             over_budget_pinned: AtomicBool::new(false),
             evictions: Counter::detached(),
             evicted_states: Counter::detached(),
+            store,
         }
     }
 
@@ -354,6 +374,15 @@ impl GraphCache {
         registry.adopt_counter("serve.cache.misses", &self.misses);
         registry.adopt_counter("serve.cache.evictions", &self.evictions);
         registry.adopt_counter("serve.cache.evicted_states", &self.evicted_states);
+        if let Some(store) = &self.store {
+            let (spills, restores, rejects) = store.counters();
+            registry.adopt_counter("serve.cache.spills", spills);
+            registry.adopt_counter("serve.cache.restores", restores);
+            registry.adopt_counter("serve.cache.restore_rejects", rejects);
+            registry
+                .gauge("serve.cache.spill_files_warm")
+                .set(store.warm_files().min(i64::MAX as u64) as i64);
+        }
     }
 
     fn tick(&self) -> u64 {
@@ -362,7 +391,9 @@ impl GraphCache {
 
     /// The counter graph bundle (structure + compiled fairness) of
     /// `template`/`spec` at size `n`, building it with `build` on the
-    /// first request and sharing the result afterwards.
+    /// first request and sharing the result afterwards. With a
+    /// [`SpillStore`] attached, a memory miss probes the disk first (a
+    /// verified restore skips `build`) and a fresh build is spilled back.
     pub fn counter(
         &self,
         template: &GuardedTemplate,
@@ -383,7 +414,17 @@ impl GraphCache {
                 &self.resident,
                 &self.over_budget_pinned,
                 counter_weight,
-                || Ok(build()),
+                || {
+                    if let Some(store) = &self.store {
+                        if let Some(g) = store.restore_counter(template, spec, n) {
+                            return Ok(g);
+                        }
+                        let g = build();
+                        store.spill_counter(template, spec, n, &g);
+                        return Ok(g);
+                    }
+                    Ok(build())
+                },
             )
             .expect("counter builds are infallible");
         self.enforce_budget(key);
@@ -423,7 +464,17 @@ impl GraphCache {
             &self.resident,
             &self.over_budget_pinned,
             rep_weight,
-            build,
+            || {
+                if let Some(store) = &self.store {
+                    if let Some(g) = store.restore_rep(template, spec, n, width) {
+                        return Ok(g);
+                    }
+                    let g = build()?;
+                    store.spill_rep(template, spec, n, width, &g);
+                    return Ok(g);
+                }
+                build()
+            },
         );
         self.enforce_budget(key);
         out
@@ -518,6 +569,13 @@ impl GraphCache {
     /// Whether nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The disk persistence layer, when one is attached
+    /// ([`GraphCache::with_store`]) — its spill/restore/reject counters
+    /// are the warm-start observability surface.
+    pub fn spill_store(&self) -> Option<&SpillStore> {
+        self.store.as_ref()
     }
 }
 
@@ -843,6 +901,76 @@ mod tests {
         assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build");
         assert_eq!(cache.hits() + cache.misses(), 8);
         assert_eq!(cache.misses(), 1);
+    }
+
+    fn temp_store(tag: &str) -> (std::path::PathBuf, SpillStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "icstar-cache-{}-{}-{tag}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let store = SpillStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn spilled_structures_restore_across_cache_instances() {
+        let (dir, store) = temp_store("across");
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let built = {
+            let cache = GraphCache::with_store(2, u64::MAX, Some(store));
+            let g = cache.counter(&t, &s, 8, || engine.counter_graph(8));
+            assert_eq!(cache.spill_store().unwrap().spills(), 1);
+            g.kripke.num_states()
+        };
+        // A fresh cache over the same directory — the restart/replica
+        // case — restores from disk: the build closure must never run.
+        let cache = GraphCache::with_store(2, u64::MAX, Some(SpillStore::open(&dir).unwrap()));
+        let g = cache.counter(&t, &s, 8, || unreachable!("must restore from disk"));
+        assert_eq!(g.kripke.num_states(), built);
+        assert_eq!(cache.spill_store().unwrap().restores(), 1);
+        // Still a memory miss — restore is a faster rebuild, not a hit.
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evicted_entries_restore_from_disk_not_rebuild() {
+        let (dir, store) = temp_store("evict");
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        // Budget fits one mutex counter graph at a time (2n + 1 states).
+        let cache = GraphCache::with_store(2, 50, Some(store));
+        let _a = cache.counter(&t, &s, 20, || engine.counter_graph(20));
+        let _b = cache.counter(&t, &s, 22, || engine.counter_graph(22));
+        assert!(cache.evictions() >= 1, "n = 20 was evicted");
+        // Re-requesting the evicted entry restores the spilled file
+        // instead of re-exploring.
+        let _a2 = cache.counter(&t, &s, 20, || unreachable!("must restore from disk"));
+        assert_eq!(cache.spill_store().unwrap().restores(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rep_errors_are_not_spilled() {
+        let (dir, store) = temp_store("errs");
+        let engine = SymEngine::new(mutex_template());
+        let (t, s) = (mutex_template(), std_spec());
+        let cache = GraphCache::with_store(2, u64::MAX, Some(store));
+        let _ = cache
+            .representative(&t, &s, 0, 1, || engine.representative_graph(0, 1))
+            .unwrap_err();
+        assert_eq!(cache.spill_store().unwrap().spills(), 0);
+        let ok = cache
+            .representative(&t, &s, 6, 1, || engine.representative_graph(6, 1))
+            .unwrap();
+        assert_eq!(cache.spill_store().unwrap().spills(), 1);
+        assert_eq!(ok.kripke.indices(), &[1]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -47,6 +47,12 @@
 //!   the cached structures; large-`n` misses materialize with the sharded
 //!   parallel exploration ([`icstar_sym::CounterSystem::kripke_sharded`]),
 //!   so a single big build also uses all cores.
+//! * **Persistence.** With [`ServeConfig::cache_dir`] set, the cache is
+//!   backed by a [`SpillStore`]: materialized structures spill to
+//!   versioned, checksummed files keyed by workload fingerprints, and a
+//!   memory miss probes the disk before exploring — restarts and
+//!   horizontally-scaled replicas warm-start instead of re-exploring
+//!   (metered as `serve.cache.{spills,restores,restore_rejects}`).
 //! * **Tracing.** Every job leaves a causal span tree
 //!   (`job` → `queue_wait` / `cache_lookup` / `build` / `shard[i]` /
 //!   `check`) in the service's
@@ -86,9 +92,11 @@
 mod cache;
 mod job;
 mod service;
+pub mod spill;
 mod stats;
 
 pub use cache::{CacheKey, GraphCache};
 pub use job::{JobVerdict, VerdictReport, VerifyJob};
 pub use service::{JobHandle, ServeConfig, ServeError, VerifyService};
+pub use spill::SpillStore;
 pub use stats::StatsSnapshot;

@@ -49,6 +49,14 @@ pub struct ServeConfig {
     /// span slots; pass `FlightRecorder::with_capacity` to size it, or a
     /// clone of an existing recorder to share one ring across services.
     pub recorder: FlightRecorder,
+    /// Directory the structure cache persists to (see
+    /// [`SpillStore`](crate::SpillStore)): materialized graphs spill to
+    /// versioned, checksummed files and memory misses probe the disk
+    /// before re-exploring, so restarts and replicas sharing the
+    /// directory warm-start. `None` (the default) keeps the cache purely
+    /// in-memory. An unopenable directory degrades silently to `None` —
+    /// persistence is an optimization, never load-bearing.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +80,7 @@ impl Default for ServeConfig {
             cache_budget_states: u64::MAX,
             telemetry: Registry::new(),
             recorder: FlightRecorder::new(),
+            cache_dir: None,
         }
     }
 }
@@ -155,6 +164,12 @@ struct Inner {
     cache: GraphCache,
     stats: ServiceStats,
     config: ServeConfig,
+    /// Where workers announce finished job ids (set by
+    /// [`VerifyService::set_completion_notifier`]); `None` until a
+    /// completion-driven caller registers. Sent for every outcome —
+    /// served, panicked, dropped handle — so a waiter never sleeps
+    /// through a loss.
+    notify: Mutex<Option<mpsc::Sender<u64>>>,
 }
 
 /// A concurrent verification service: callers [`submit`](VerifyService::submit)
@@ -200,7 +215,11 @@ impl VerifyService {
     pub fn start(config: ServeConfig) -> Self {
         let (tx, rx) = mpsc::channel::<QueuedJob>();
         let rx = Arc::new(Mutex::new(rx));
-        let cache = GraphCache::with_budget(config.cache_shards, config.cache_budget_states);
+        let store = config
+            .cache_dir
+            .as_ref()
+            .and_then(|dir| crate::SpillStore::open(dir).ok());
+        let cache = GraphCache::with_store(config.cache_shards, config.cache_budget_states, store);
         cache.publish_metrics(&config.telemetry);
         let stats = ServiceStats::register(&config.telemetry);
         stats.workers_total.set(config.workers.max(1) as i64);
@@ -208,6 +227,7 @@ impl VerifyService {
             cache,
             stats,
             config: config.clone(),
+            notify: Mutex::new(None),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -280,12 +300,28 @@ impl VerifyService {
                                     // The caller may have dropped its
                                     // handle; the work still counts.
                                     let _ = reply.send(report);
+                                } else {
+                                    // On panic the reply sender must drop
+                                    // *before* the notification below, so
+                                    // a woken waiter's try_wait sees the
+                                    // loss, not an empty channel.
+                                    drop(reply);
                                 }
-                                // On panic the reply sender is dropped and
-                                // the job's handle reports JobLost; its
-                                // latency is deliberately not recorded
-                                // (the phase histograms describe served
-                                // jobs).
+                                // Announce completion last — report (or
+                                // loss) first, wake-up second, so a
+                                // completion-driven front-end polling on
+                                // the notification always finds the
+                                // outcome. Sent for every job, served or
+                                // panicked.
+                                let notify =
+                                    inner.notify.lock().expect("notifier poisoned").clone();
+                                if let Some(notify) = notify {
+                                    let _ = notify.send(id);
+                                }
+                                // On panic the job's handle reports
+                                // JobLost; its latency is deliberately
+                                // not recorded (the phase histograms
+                                // describe served jobs).
                             }
                             Err(_) => break, // queue closed: shut down
                         }
@@ -349,6 +385,17 @@ impl VerifyService {
             let _ = tx.send(queued);
         }
         JobHandle { id, trace, rx }
+    }
+
+    /// Registers where workers announce finished job ids: after a job's
+    /// report is delivered (or its worker panicked and the handle will
+    /// report loss), its id is sent on `tx`. One notifier per service —
+    /// registering again replaces the previous one. The send happens
+    /// strictly *after* the outcome is observable through the job's
+    /// handle, so a completion-driven caller (the wire server's event
+    /// loop) can `try_wait` on notification without a lost-wakeup race.
+    pub fn set_completion_notifier(&self, tx: mpsc::Sender<u64>) {
+        *self.inner.notify.lock().expect("notifier poisoned") = Some(tx);
     }
 
     /// A point-in-time view of the service counters. Reads the same
@@ -625,6 +672,7 @@ mod tests {
             cache_budget_states: u64::MAX,
             telemetry: Registry::new(), // isolated: exact counts below
             recorder: FlightRecorder::new(),
+            cache_dir: None,
         }
     }
 
@@ -1058,6 +1106,63 @@ mod tests {
         }
         assert_eq!(depth.get(), 0);
         assert_eq!(service.telemetry().gauge("serve.workers.busy").get(), 0);
+    }
+
+    #[test]
+    fn completion_notifier_announces_after_outcome_is_observable() {
+        let service = VerifyService::start(small_config());
+        let (tx, rx) = mpsc::channel();
+        service.set_completion_notifier(tx);
+        let h = service.submit(
+            VerifyJob::new(mutex_template())
+                .at_size(5)
+                .formula("m", parse_state("AG !crit_ge2").unwrap()),
+        );
+        let id = rx.recv_timeout(Duration::from_secs(60)).expect("notified");
+        assert_eq!(id, h.id);
+        // The contract: by notification time the outcome is observable
+        // without blocking.
+        assert!(h.try_wait().unwrap().is_some());
+    }
+
+    #[test]
+    fn cache_dir_warm_starts_a_restarted_service() {
+        let dir = std::env::temp_dir().join(format!(
+            "icstar-serve-restart-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let job = || {
+            VerifyJob::new(mutex_template())
+                .at_size(40)
+                .formula("m", parse_state("AG !crit_ge2").unwrap())
+        };
+        {
+            let service = VerifyService::start(ServeConfig {
+                cache_dir: Some(dir.clone()),
+                ..small_config()
+            });
+            service.submit(job()).wait().unwrap();
+            let snap = service.telemetry_snapshot();
+            assert_eq!(snap.counter("serve.cache.spills"), Some(1));
+            assert_eq!(snap.counter("serve.cache.restores"), Some(0));
+        }
+        // A fresh service over the same directory — the restart — serves
+        // its first job by disk restore, with no exploration at all.
+        let service = VerifyService::start(ServeConfig {
+            cache_dir: Some(dir.clone()),
+            ..small_config()
+        });
+        service.submit(job()).wait().unwrap();
+        let snap = service.telemetry_snapshot();
+        assert_eq!(snap.counter("serve.cache.restores"), Some(1));
+        assert_eq!(snap.counter("sym.explore.builds").unwrap_or(0), 0);
+        assert!(snap.gauge("serve.cache.spill_files_warm").unwrap_or(0) >= 1);
+        drop(service);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -55,9 +55,14 @@ pub enum JobStatus {
 
 /// A blocking connection to a [`crate::WireServer`].
 ///
-/// One request is in flight at a time (the protocol is strictly
-/// request/response per connection); open several clients for
-/// concurrency — jobs and ids are shared server-wide.
+/// The convenience methods keep one request in flight at a time, but
+/// the protocol itself allows **pipelining**: the server answers
+/// commands strictly in the order they were sent, so a client may
+/// write several commands before reading any response (see
+/// [`WireClient::submit_pipelined`] and
+/// [`WireClient::results_pipelined`], and the contract in
+/// `docs/PROTOCOL.md`). Jobs and ids are shared server-wide, so
+/// several clients can also cooperate on the same jobs.
 ///
 /// # Examples
 ///
@@ -190,6 +195,63 @@ impl WireClient {
             Some(Ok(id)) => Ok(id),
             _ => Err(WireError::Protocol(format!("expected `OK id <n>`: {rest}"))),
         }
+    }
+
+    /// Submits several jobs down the pipe before reading any answer
+    /// (request pipelining: one round trip's latency for the whole
+    /// batch). Returns the server-assigned ids in submission order.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::submit`]; the first rejected job surfaces as
+    /// [`WireError::Protocol`] (later answers stay unread, leaving the
+    /// connection out of sync — treat the error as fatal for this
+    /// connection).
+    pub fn submit_pipelined(&mut self, jobs: &[VerifyJob]) -> Result<Vec<u64>, WireError> {
+        for job in jobs {
+            let job_text = print_job(job);
+            writeln!(self.writer, "SUBMIT")?;
+            self.writer.write_all(job_text.as_bytes())?;
+            if !job_text.ends_with('\n') {
+                writeln!(self.writer)?;
+            }
+            writeln!(self.writer, ".")?;
+        }
+        let mut ids = Vec::with_capacity(jobs.len());
+        for _ in jobs {
+            let rest = self.read_ok()?;
+            match rest.strip_prefix("id ").map(str::parse) {
+                Some(Ok(id)) => ids.push(id),
+                _ => return Err(WireError::Protocol(format!("expected `OK id <n>`: {rest}"))),
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Fetches several reports with pipelined `RESULT` commands: all
+    /// requests go out first, then the responses are read in order
+    /// (the server blocks each `RESULT` until its job finishes, so
+    /// this also waits for the batch to complete).
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::result`]; the first failing id surfaces as an
+    /// error and leaves later answers unread (treat as fatal for this
+    /// connection).
+    pub fn results_pipelined(&mut self, ids: &[u64]) -> Result<Vec<WireReport>, WireError> {
+        for id in ids {
+            writeln!(self.writer, "RESULT {id}")?;
+        }
+        let mut reports = Vec::with_capacity(ids.len());
+        for _ in ids {
+            let rest = self.read_ok()?;
+            if rest != "report" {
+                return Err(WireError::Protocol(format!("expected `OK report`: {rest}")));
+            }
+            let block = self.read_block()?;
+            reports.push(parse_report(&block)?);
+        }
+        Ok(reports)
     }
 
     /// Asks whether a job has finished, without blocking.

@@ -22,14 +22,18 @@
 //!   [`VerifyJob`](icstar_serve::VerifyJob) / verdict reports, with the
 //!   round-trip guarantee `parse(print(x)) == x`. Formulas reuse the
 //!   [`icstar_logic`] grammar unchanged.
-//! * [`WireServer`] — a line-oriented TCP front-end
-//!   (`std::net::TcpListener`, one thread per connection, no external
-//!   dependencies) over an [`icstar_serve::VerifyService`], answering
+//! * [`WireServer`] — a line-oriented TCP front-end (one nonblocking
+//!   readiness loop over `std::net`, no external dependencies)
+//!   over an [`icstar_serve::VerifyService`], answering
 //!   `SUBMIT` / `STATUS` / `RESULT` / `STATS` / `TRACE` / `HEALTH` /
-//!   `PING` / `QUIT`.
+//!   `PING` / `QUIT`. Clients may pipeline commands; responses come
+//!   back strictly in order, and `RESULT`s for running jobs are
+//!   delivered completion-driven (the worker pool wakes the loop).
 //! * [`WireClient`] — the matching blocking client, returning typed
 //!   values ([`WireReport`], [`icstar_serve::StatsSnapshot`],
-//!   [`HealthSnapshot`], parsed Chrome trace events).
+//!   [`HealthSnapshot`], parsed Chrome trace events), with pipelined
+//!   batch helpers ([`WireClient::submit_pipelined`],
+//!   [`WireClient::results_pipelined`]).
 //!
 //! # Quickstart
 //!

@@ -1,50 +1,59 @@
 //! The line-oriented TCP front-end over a [`VerifyService`].
 //!
-//! One accept loop, one thread per connection, no external dependencies:
-//! `std::net` blocking I/O is enough because every expensive operation —
-//! materializing structures, checking formulas — already runs on the
-//! service's worker pool; connection threads only parse, enqueue, and
-//! poll. The protocol is documented in `docs/PROTOCOL.md` and speaks the
-//! payload grammar of [`crate::text`].
+//! One **nonblocking readiness loop**, no external dependencies: a
+//! single `icstar-wire-loop` thread multiplexes the listener and every
+//! connection over `std::net` sockets in nonblocking mode. Each
+//! connection is a small state machine — an incremental read buffer
+//! reassembles lines across partial reads, pipelined commands are
+//! answered strictly in order, and responses go out through a bounded
+//! write queue. Every expensive operation — materializing structures,
+//! checking formulas — already runs on the service's worker pool; the
+//! loop only parses, enqueues, and routes completions. A `RESULT` for a
+//! still-running job *parks* the connection; the worker pool announces
+//! each finished job over a completion channel and the loop answers the
+//! parked connection then, so nothing sleeps or polls on a timer while
+//! a job runs. The protocol is documented in `docs/PROTOCOL.md` and
+//! speaks the payload grammar of [`crate::text`].
 //!
 //! Hardening invariants of this module (each has a matching test or a
 //! pointed comment below):
 //!
-//! * nothing read from a client is buffered beyond a fixed cap;
+//! * nothing read from a client is buffered beyond a fixed cap, and a
+//!   newline-free flood hangs the connection up;
+//! * a client that stops draining its socket gets a bounded write
+//!   queue, then a disconnect — one slow reader can never grow server
+//!   memory or stall the loop;
 //! * the service-global job registry lock is never held across socket
 //!   I/O — one stalled client can stall only its own connection;
-//! * reads *and* writes time out, so every connection thread observes
-//!   the stop flag and shutdown always completes.
+//! * the loop re-checks the stop flag every tick and is woken through
+//!   the completion channel, so shutdown always completes.
 //!
 //! The front-end reports into the wrapped service's telemetry registry
 //! under `wire.*`: per-command counters (unknown verbs share one
 //! bounded `wire.cmd.unknown` — client-chosen strings must never mint
 //! metric names), raw socket bytes in/out, connection lifecycle
-//! counts/gauge/lifetimes, and a per-command handling-latency histogram.
+//! counts/gauge/lifetimes, a per-command handling-latency histogram,
+//! and the loop's own health under `wire.loop.*` (ticks, wakeups,
+//! parked `RESULT`s, queued response bytes, slow-reader disconnects).
 //! The `METRICS` command exports the whole registry in Prometheus text
 //! form (see `docs/PROTOCOL.md`).
 
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use icstar_serve::{JobHandle, VerdictReport, VerifyService};
-use icstar_telemetry::{to_text_tree, Counter, Gauge, Histogram, Registry, TraceId};
+use icstar_telemetry::{
+    to_text_tree, Counter, FlightRecorder, Gauge, Histogram, Registry, SpanEvent, SpanId, TraceId,
+};
 
 use crate::text::{parse_job, print_report};
-
-/// How often blocked reads and result polls re-check the shutdown flag.
-const POLL: Duration = Duration::from_millis(25);
-
-/// How long a response write may stall before the connection is dropped.
-/// A client that stops draining its socket loses its connection after
-/// this long instead of pinning a server thread forever (which would
-/// also hang shutdown, since shutdown joins connection threads).
-const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Hard cap on a `SUBMIT` payload. Real jobs are hundreds of bytes to a
 /// few kilobytes; a network-facing server must not buffer an unbounded
@@ -52,6 +61,44 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// terminator) and answered with `ERR payload too large`; a single
 /// *line* exceeding the cap (no newline at all) hangs the connection up.
 const MAX_PAYLOAD: usize = 1 << 20; // 1 MiB
+
+/// Bounded write queue per connection. Responses accumulate here when a
+/// client pipelines requests faster than it drains answers; a queue
+/// past this cap means a slow (or absent) reader and the connection is
+/// dropped — backpressure by disconnect, never by unbounded buffering
+/// and never by blocking the loop.
+const WRITE_QUEUE_MAX: usize = 4 << 20; // 4 MiB
+
+/// How many bytes one connection may pull off its socket per loop tick.
+/// Bounds per-tick work so one firehose client cannot starve the rest
+/// of the loop; anything left stays in the kernel buffer for the next
+/// tick.
+const READ_CHUNK: usize = 64 << 10;
+
+/// How many consecutive idle ticks the loop spin-yields before it
+/// starts blocking on the completion channel. Spinning keeps the
+/// response latency of an actively-conversing client in microseconds;
+/// the subsequent blocking waits keep an idle server off the CPU.
+const SPIN_TICKS: u32 = 128;
+
+/// First blocking idle wait; doubles per idle round up to
+/// [`IDLE_WAIT_MAX`] (with connections open the wait is capped at 1ms
+/// so a command arriving mid-wait is still answered promptly).
+const IDLE_WAIT_MIN: Duration = Duration::from_micros(50);
+
+/// Longest blocking idle wait (reached only while no client is
+/// connected; completions still wake the loop instantly).
+const IDLE_WAIT_MAX: Duration = Duration::from_millis(5);
+
+/// Longest blocking idle wait while connections are open: the ceiling
+/// on how stale a readiness poll may go, i.e. the worst-case added
+/// latency for a command that arrives while the loop is waiting.
+const IDLE_WAIT_CONN_MAX: Duration = Duration::from_millis(1);
+
+/// Sentinel "job id" sent over the completion channel to wake the loop
+/// without meaning a completion (used by shutdown). Real ids are
+/// monotonic from zero and never reach it.
+const WAKE: u64 = u64::MAX;
 
 /// How many *finished* jobs (reports / lost markers) the server retains
 /// for late `RESULT`/`STATUS` queries. Beyond this, the oldest finished
@@ -108,8 +155,20 @@ struct WireMetrics {
     /// Connection lifetime, accept to hangup.
     conn_lifetime_ns: Histogram,
     /// Per-command handling latency: command line parsed to response
-    /// written — the server-side share of the client's round trip.
+    /// enqueued — the server-side share of the client's round trip.
+    /// For `RESULT` on a running job this includes the parked wait.
     cmd_ns: Histogram,
+    /// Readiness-loop iterations.
+    loop_ticks: Counter,
+    /// Completion-channel messages drained (job completions + explicit
+    /// wakes).
+    loop_wakeups: Counter,
+    /// Connections currently parked awaiting a `RESULT`.
+    loop_parked: Gauge,
+    /// Response bytes queued across all connections, sampled per tick.
+    loop_write_queue: Gauge,
+    /// Connections dropped for exceeding [`WRITE_QUEUE_MAX`].
+    loop_slow_disconnects: Counter,
 }
 
 impl WireMetrics {
@@ -132,36 +191,12 @@ impl WireMetrics {
             conns_active: registry.gauge("wire.connections.active"),
             conn_lifetime_ns: registry.histogram("wire.conn.lifetime_ns"),
             cmd_ns: registry.histogram("wire.cmd.ns"),
+            loop_ticks: registry.counter("wire.loop.ticks"),
+            loop_wakeups: registry.counter("wire.loop.wakeups"),
+            loop_parked: registry.gauge("wire.loop.parked_results"),
+            loop_write_queue: registry.gauge("wire.loop.write_queue_bytes"),
+            loop_slow_disconnects: registry.counter("wire.loop.slow_disconnects"),
         }
-    }
-}
-
-/// A [`TcpStream`] (or half of one) that counts every byte moved into a
-/// telemetry counter. Reads count what the `BufReader` pulls off the
-/// socket — buffered-ahead bytes are received bytes, so that is the
-/// honest ingress number.
-struct CountingStream {
-    inner: TcpStream,
-    moved: Counter,
-}
-
-impl Read for CountingStream {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.moved.add(n as u64);
-        Ok(n)
-    }
-}
-
-impl Write for CountingStream {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let n = self.inner.write(buf)?;
-        self.moved.add(n as u64);
-        Ok(n)
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        self.inner.flush()
     }
 }
 
@@ -179,15 +214,17 @@ struct Shared {
 
 /// A TCP front-end serving the wire protocol over a [`VerifyService`].
 ///
-/// Binding spawns an accept loop; each connection gets a thread running
-/// the command loop (`SUBMIT` / `STATUS` / `RESULT` / `STATS` / `TRACE` /
-/// `HEALTH` / `PING` / `QUIT`). Jobs submitted by *any* connection share the service's worker
-/// pool and memoized structure cache, and a job's report can be fetched
-/// from any connection — ids are service-global.
+/// Binding spawns one event-loop thread that accepts connections and
+/// multiplexes all of them (`SUBMIT` / `STATUS` / `RESULT` / `STATS` /
+/// `TRACE` / `HEALTH` / `PING` / `QUIT`); clients may pipeline commands
+/// and are answered strictly in order. Jobs submitted by *any*
+/// connection share the service's worker pool and memoized structure
+/// cache, and a job's report can be fetched from any connection — ids
+/// are service-global.
 ///
-/// Dropping (or [`WireServer::shutdown`]) stops accepting, wakes every
-/// connection thread, and joins them; the wrapped service then drains
-/// its queue as usual.
+/// Dropping (or [`WireServer::shutdown`]) stops accepting, disconnects
+/// every connection, and joins the loop thread; the wrapped service
+/// then drains its queue as usual.
 ///
 /// # Examples
 ///
@@ -215,7 +252,9 @@ struct Shared {
 pub struct WireServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    /// Wakes the loop out of an idle wait (shutdown sends [`WAKE`]).
+    notify: Sender<u64>,
+    looper: Option<JoinHandle<()>>,
 }
 
 impl WireServer {
@@ -227,8 +266,15 @@ impl WireServer {
     /// Propagates socket errors from binding.
     pub fn bind(addr: impl ToSocketAddrs, service: VerifyService) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let metrics = WireMetrics::register(service.telemetry());
+        let (notify, completions) = mpsc::channel();
+        // Workers announce every finished job here (strictly after its
+        // outcome is observable through `JobHandle::try_wait`), so the
+        // loop can answer parked `RESULT`s completion-driven instead of
+        // polling on a timer.
+        service.set_completion_notifier(notify.clone());
         let shared = Arc::new(Shared {
             service,
             jobs: Mutex::new(HashMap::new()),
@@ -237,17 +283,18 @@ impl WireServer {
             evict_at: AtomicUsize::new(MAX_FINISHED_JOBS + 1),
             stop: AtomicBool::new(false),
         });
-        let accept = {
+        let looper = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name("icstar-wire-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawning the accept thread")
+                .name("icstar-wire-loop".into())
+                .spawn(move || event_loop(listener, completions, &shared))
+                .expect("spawning the event-loop thread")
         };
         Ok(WireServer {
             addr,
             shared,
-            accept: Some(accept),
+            notify,
+            looper: Some(looper),
         })
     }
 
@@ -269,284 +316,578 @@ impl WireServer {
         self.shared.service.telemetry_snapshot()
     }
 
-    /// Stops accepting, disconnects idle connections, and joins all
-    /// server threads. Equivalent to dropping, but explicit.
+    /// Stops accepting, disconnects all connections, and joins the loop
+    /// thread. Equivalent to dropping, but explicit.
     pub fn shutdown(self) {}
 }
 
 impl Drop for WireServer {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection. A
-        // wildcard bind (0.0.0.0 / ::) is not connectable on every
-        // platform — wake it through loopback on the same port.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&wake, WRITE_TIMEOUT);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        // Wake the loop out of any idle wait; it observes the stop flag
+        // at the top of its next tick.
+        let _ = self.notify.send(WAKE);
+        if let Some(looper) = self.looper.take() {
+            let _ = looper.join();
         }
     }
 }
 
-/// Accepts connections until the stop flag is raised, then joins the
-/// connection threads it spawned (they watch the same flag).
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
+/// What a connection's read side is currently assembling.
+enum Mode {
+    /// Between commands: the next line is a command line.
+    Command,
+    /// Inside a `SUBMIT` frame: lines accumulate until the `.`
+    /// terminator. Carries the parsed (or rejected) `trace` argument
+    /// and the command's start times, since the `cmd` metrics/span
+    /// cover the whole frame.
+    Payload {
+        trace: Result<Option<TraceId>, &'static str>,
+        payload: Vec<u8>,
+        oversized: bool,
+        started: Instant,
+        start_ns: u64,
+    },
+}
+
+/// A `RESULT` waiting for its job: the connection processes nothing
+/// further (answers stay in order) until the completion channel or a
+/// liveness poll upgrades the job's slot.
+struct Parked {
+    id: u64,
+    started: Instant,
+    start_ns: u64,
+}
+
+/// One connection's state machine: socket, reassembly buffer, bounded
+/// write queue, framing mode, and its causal record (a `conn` root span
+/// with one `cmd` child per command).
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Consumed prefix of `write_buf` (drained lazily to keep flushes
+    /// amortized O(bytes)).
+    written: usize,
+    mode: Mode,
+    parked: Option<Parked>,
+    /// `QUIT` answered: flush remaining responses, then close. Input
+    /// pipelined after `QUIT` is discarded.
+    quitting: bool,
+    /// Peer closed its write side: process what was buffered, flush,
+    /// then close.
+    eof: bool,
+    opened: Instant,
+    opened_ns: u64,
+    trace: TraceId,
+    root: SpanId,
+    /// Chrome-trace lane: connection token truncated to `u32` so each
+    /// connection's `cmd` spans render on their own lane.
+    tid: u32,
+}
+
+impl Conn {
+    fn enqueue(&mut self, bytes: &[u8]) {
+        self.write_buf.extend_from_slice(bytes);
+    }
+
+    fn pending_out(&self) -> usize {
+        self.write_buf.len() - self.written
+    }
+
+    /// Writes as much queued output as the socket accepts right now.
+    /// Returns whether any byte moved.
+    fn flush(&mut self, bytes_written: &Counter) -> io::Result<bool> {
+        let mut progress = false;
+        while self.written < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.written += n;
+                    bytes_written.add(n as u64);
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.written == self.write_buf.len() {
+            self.write_buf.clear();
+            self.written = 0;
+        } else if self.written > READ_CHUNK {
+            self.write_buf.drain(..self.written);
+            self.written = 0;
+        }
+        Ok(progress)
+    }
+
+    /// Pulls up to [`READ_CHUNK`] bytes into the reassembly buffer.
+    /// Returns how many arrived; flags EOF when the peer closed.
+    fn fill(&mut self, bytes_read: &Counter) -> io::Result<usize> {
+        let mut total = 0;
+        let mut chunk = [0u8; 16 << 10];
+        while total < READ_CHUNK {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    bytes_read.add(n as u64);
+                    total += n;
+                    // A newline-free flood is already doomed — stop
+                    // pulling more of it off the socket.
+                    if self.read_buf.len() > MAX_PAYLOAD + 2 {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// The readiness loop: drains completion notifications, accepts new
+/// connections, steps every connection's state machine, then waits —
+/// spin-yielding while traffic is fresh, blocking on the completion
+/// channel once idle. All socket I/O is nonblocking; the loop never
+/// sleeps while any connection has progress to make.
+fn event_loop(listener: TcpListener, completions: Receiver<u64>, shared: &Shared) {
+    let recorder = shared.service.recorder().clone();
+    let m = &shared.metrics;
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut dead: Vec<u64> = Vec::new();
+    let mut idle_streak: u32 = 0;
+    let mut wait = IDLE_WAIT_MIN;
+    loop {
+        m.loop_ticks.inc();
+        let mut work = false;
+        // The completion ids themselves are not routed: parked
+        // connections poll their slot each tick, the message only makes
+        // that tick happen now. This also makes completions of jobs
+        // with several parked waiters (or none) trivially correct.
+        while completions.try_recv().is_ok() {
+            m.loop_wakeups.inc();
+            work = true;
+        }
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        // Reap handles of connections that already hung up, so a
-        // long-lived server does not accumulate one per connection ever
-        // served (dropping a finished handle just releases it).
-        conns.retain(|c| !c.is_finished());
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        let conn = std::thread::Builder::new()
-            .name("icstar-wire-conn".into())
-            .spawn(move || {
-                let _ = serve_connection(stream, &shared);
-            })
-            .expect("spawning a connection thread");
-        conns.push(conn);
-    }
-    for conn in conns {
-        let _ = conn.join();
-    }
-}
-
-/// Reads one `\n`-terminated line as raw bytes, waking every [`POLL`] to
-/// honor the stop flag. Partial lines accumulate in `buf` across
-/// timeouts (bytes, not `String`: `read_line`'s UTF-8 guard would *drop*
-/// bytes already consumed from the stream when a timeout lands inside a
-/// multi-byte character). The line is capped at [`MAX_PAYLOAD`] bytes —
-/// the `take` budget makes a newline-free flood return instead of
-/// growing the buffer forever. Returns `Ok(false)` when the peer
-/// disconnected, the server is stopping, or the cap was hit (all three
-/// end the connection).
-fn read_line_stoppable(
-    reader: &mut BufReader<CountingStream>,
-    buf: &mut Vec<u8>,
-    shared: &Shared,
-) -> io::Result<bool> {
-    loop {
-        // +1 so a line of exactly the cap (plus its newline) still fits
-        // and only genuinely oversized lines trip the check below.
-        let budget = (MAX_PAYLOAD + 2).saturating_sub(buf.len()) as u64;
-        match reader.by_ref().take(budget).read_until(b'\n', buf) {
-            Ok(0) => return Ok(false), // EOF (or a zero budget: capped)
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    work = true;
+                    if let Ok(conn) = open_conn(stream, next_token, shared, &recorder) {
+                        conns.insert(next_token, conn);
+                        next_token += 1;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // Transient accept errors (EMFILE, aborted handshake):
+                // drop the attempt, retry next tick.
+                Err(_) => break,
+            }
+        }
+        let mut queued: u64 = 0;
+        let mut parked: i64 = 0;
+        for (&token, conn) in conns.iter_mut() {
+            let (did, close) = step_conn(conn, shared, &recorder);
+            work |= did;
+            if close {
+                dead.push(token);
+            } else {
+                queued += conn.pending_out() as u64;
+                if conn.parked.is_some() {
+                    parked += 1;
+                }
+            }
+        }
+        for token in dead.drain(..) {
+            if let Some(conn) = conns.remove(&token) {
+                close_conn(conn, shared, &recorder);
+            }
+        }
+        m.loop_write_queue.set(queued as i64);
+        m.loop_parked.set(parked);
+        if work {
+            idle_streak = 0;
+            wait = IDLE_WAIT_MIN;
+            continue;
+        }
+        idle_streak += 1;
+        if idle_streak <= SPIN_TICKS {
+            // Fresh traffic: stay hot, but let workers (and the peer)
+            // run — on a single core the loop must not monopolize.
+            std::thread::yield_now();
+            continue;
+        }
+        // Idle: block on the completion channel. A finished job wakes
+        // the loop instantly; socket readiness is re-polled on timeout,
+        // so the cap bounds the worst-case added command latency.
+        let cap = if conns.is_empty() {
+            IDLE_WAIT_MAX
+        } else {
+            IDLE_WAIT_CONN_MAX
+        };
+        match completions.recv_timeout(wait.min(cap)) {
             Ok(_) => {
-                if buf.ends_with(b"\n") {
-                    return Ok(true);
-                }
-                if buf.len() > MAX_PAYLOAD {
-                    return Ok(false); // newline-free flood: hang up
-                }
-                // Budget not exhausted and no newline: real EOF follows;
-                // the next iteration returns Ok(0).
+                m.loop_wakeups.inc();
+                idle_streak = 0;
+                wait = IDLE_WAIT_MIN;
             }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return Ok(false);
-                }
+            Err(RecvTimeoutError::Timeout) => wait = (wait * 2).min(cap),
+            Err(RecvTimeoutError::Disconnected) => {
+                // No sender left (server and service both tearing
+                // down): fall back to plain sleeps until stop lands.
+                std::thread::sleep(wait.min(cap));
+                wait = (wait * 2).min(cap);
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
         }
     }
+    // Shutdown: parked clients get an explicit error (best-effort —
+    // they are mid-`RESULT` and would otherwise see a bare hangup),
+    // everyone else just gets the close.
+    for (_, mut conn) in conns.drain() {
+        if conn.parked.is_some() {
+            conn.enqueue(b"ERR server shutting down\n");
+        }
+        let _ = conn.flush(&shared.metrics.bytes_written);
+        close_conn(conn, shared, &recorder);
+    }
 }
 
-/// Wraps the command loop with connection-lifecycle accounting: the
-/// open/close counters, the active gauge, and the lifetime histogram
-/// are updated however the loop exits (clean `QUIT`, hangup, or error).
-fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+/// Registers a freshly-accepted socket: nonblocking (the loop must
+/// never stall in a syscall), NODELAY (responses are small and
+/// latency-bound: without it, Nagle here + delayed ACK on the client
+/// turns every answer into a ~40ms stall), plus lifecycle metrics and
+/// the connection's trace root.
+fn open_conn(
+    stream: TcpStream,
+    token: u64,
+    shared: &Shared,
+    recorder: &FlightRecorder,
+) -> io::Result<Conn> {
+    stream.set_nonblocking(true)?;
+    stream.set_nodelay(true)?;
     let m = &shared.metrics;
     m.conns_opened.inc();
     m.conns_active.inc();
-    let opened = Instant::now();
-    let out = connection_loop(stream, shared);
-    m.conn_lifetime_ns.record_duration(opened.elapsed());
+    Ok(Conn {
+        stream,
+        read_buf: Vec::new(),
+        write_buf: Vec::new(),
+        written: 0,
+        mode: Mode::Command,
+        parked: None,
+        quitting: false,
+        eof: false,
+        opened: Instant::now(),
+        opened_ns: recorder.now_ns(),
+        trace: recorder.new_trace(),
+        root: recorder.new_span_id(),
+        tid: token as u32,
+    })
+}
+
+/// Closes a connection however it ended (clean `QUIT`, hangup, flood,
+/// slow reader, shutdown): lifecycle metrics plus the `conn` root span
+/// that parents the connection's `cmd` spans.
+fn close_conn(conn: Conn, shared: &Shared, recorder: &FlightRecorder) {
+    let m = &shared.metrics;
+    m.conn_lifetime_ns.record_duration(conn.opened.elapsed());
     m.conns_active.dec();
     m.conns_closed.inc();
-    out
-}
-
-fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    stream.set_read_timeout(Some(POLL))?;
-    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
-    // Responses are small and latency-bound: without NODELAY, Nagle on
-    // this side + delayed ACK on the client turns every answer into a
-    // ~40ms stall.
-    stream.set_nodelay(true)?;
-    let m = &shared.metrics;
-    let mut writer = CountingStream {
-        inner: stream.try_clone()?,
-        moved: m.bytes_written.clone(),
-    };
-    let mut reader = BufReader::new(CountingStream {
-        inner: stream,
-        moved: m.bytes_read.clone(),
+    recorder.record(SpanEvent {
+        trace: conn.trace,
+        id: conn.root,
+        parent: None,
+        name: "conn".into(),
+        start_ns: conn.opened_ns,
+        dur_ns: recorder.now_ns().saturating_sub(conn.opened_ns),
+        tid: conn.tid,
+        attrs: Vec::new(),
     });
-    let mut buf = Vec::new();
-    // The connection's own causal record: a `conn` root span held for
-    // the connection's lifetime, with one `cmd` child per command
-    // handled. Living on this thread's scope stack, the root also
-    // parents the `cmd` children automatically.
-    let recorder = shared.service.recorder().clone();
-    let _conn_span = recorder.scope("conn");
-    loop {
-        buf.clear();
-        if !read_line_stoppable(&mut reader, &mut buf, shared)? {
-            return Ok(());
+}
+
+/// Advances one connection as far as it can go without blocking:
+/// answer a parked `RESULT` if its job finished, flush queued output,
+/// read fresh input, process complete lines in arrival order. Returns
+/// `(made_progress, close_now)`.
+fn step_conn(conn: &mut Conn, shared: &Shared, recorder: &FlightRecorder) -> (bool, bool) {
+    let m = &shared.metrics;
+    let mut work = false;
+    if conn.parked.is_some() && poll_parked(conn, shared, recorder) {
+        work = true;
+    }
+    match conn.flush(&m.bytes_written) {
+        Ok(progress) => work |= progress,
+        Err(_) => return (work, true),
+    }
+    if conn.pending_out() > WRITE_QUEUE_MAX {
+        // Bounded queue exceeded: the client pipelined megabytes of
+        // responses without draining any. Backpressure by disconnect.
+        m.loop_slow_disconnects.inc();
+        return (work, true);
+    }
+    if conn.quitting {
+        return (work, conn.pending_out() == 0);
+    }
+    // While parked the socket is left unread: answers must stay in
+    // order, and whatever the client pipelines meanwhile is bounded by
+    // the kernel buffer, not server memory.
+    if conn.parked.is_none() && !conn.eof {
+        match conn.fill(&m.bytes_read) {
+            Ok(n) => work |= n > 0,
+            Err(_) => return (work, true),
         }
-        let line = String::from_utf8_lossy(&buf);
-        let cmd = line.trim();
-        if cmd.is_empty() {
-            continue;
-        }
-        let (verb, arg) = match cmd.split_once(char::is_whitespace) {
-            Some((v, a)) => (v, a.trim()),
-            None => (cmd, ""),
+    }
+    let mut pos = 0;
+    while conn.parked.is_none() && !conn.quitting {
+        let Some(nl) = conn.read_buf[pos..].iter().position(|&b| b == b'\n') else {
+            break;
         };
-        let known = matches!(
-            verb,
-            "PING"
-                | "QUIT"
-                | "SUBMIT"
-                | "STATUS"
-                | "RESULT"
-                | "STATS"
-                | "METRICS"
-                | "TRACE"
-                | "HEALTH"
-        );
-        match verb {
-            "PING" => &m.cmd_ping,
-            "QUIT" => &m.cmd_quit,
-            "SUBMIT" => &m.cmd_submit,
-            "STATUS" => &m.cmd_status,
-            "RESULT" => &m.cmd_result,
-            "STATS" => &m.cmd_stats,
-            "METRICS" => &m.cmd_metrics,
-            "TRACE" => &m.cmd_trace,
-            "HEALTH" => &m.cmd_health,
-            _ => &m.cmd_unknown,
+        let end = pos + nl + 1;
+        let line = conn.read_buf[pos..end].to_vec();
+        pos = end;
+        match conn.mode {
+            Mode::Command => handle_command(conn, &line, shared, recorder),
+            Mode::Payload { .. } => handle_payload_line(conn, &line, shared, recorder),
         }
-        .inc();
-        let started = Instant::now();
-        let mut cmd_span = recorder.scope("cmd");
-        // Client-chosen strings must not flow into span attributes any
-        // more than into metric names — unknown verbs share one label.
-        cmd_span.attr("verb", if known { verb } else { "unknown" });
-        let mut quit = false;
-        match verb {
-            "PING" => writeln!(writer, "OK pong")?,
-            "QUIT" => {
-                writeln!(writer, "OK bye")?;
-                quit = true;
+        work = true;
+    }
+    if pos > 0 {
+        conn.read_buf.drain(..pos);
+    }
+    // Push responses produced this tick instead of waiting for the
+    // next one: a full request/response exchange fits in one tick, and
+    // the write-queue gauge reads post-flush.
+    if conn.pending_out() > 0 {
+        match conn.flush(&m.bytes_written) {
+            Ok(progress) => work |= progress,
+            Err(_) => return (work, true),
+        }
+    }
+    if conn.read_buf.len() > MAX_PAYLOAD + 2 {
+        // Newline-free flood: hang up rather than buffer it.
+        return (work, true);
+    }
+    if conn.eof
+        && conn.parked.is_none()
+        && !conn.read_buf.contains(&b'\n')
+        && conn.pending_out() == 0
+    {
+        return (work, true);
+    }
+    if conn.quitting && conn.pending_out() == 0 {
+        return (work, true);
+    }
+    (work, false)
+}
+
+/// Records a command's latency histogram entry and its `cmd` span
+/// (child of the connection root; client-chosen strings must not flow
+/// into span attributes any more than into metric names — unknown
+/// verbs share one label).
+fn finish_cmd(
+    conn: &Conn,
+    shared: &Shared,
+    recorder: &FlightRecorder,
+    verb: &str,
+    started: Instant,
+    start_ns: u64,
+) {
+    shared.metrics.cmd_ns.record_duration(started.elapsed());
+    recorder.record_span(
+        conn.trace,
+        Some(conn.root),
+        "cmd",
+        start_ns,
+        recorder.now_ns().saturating_sub(start_ns),
+        conn.tid,
+        vec![("verb".into(), verb.into())],
+    );
+}
+
+/// Dispatches one command line. Responses are enqueued (never written
+/// directly — the loop flushes); `SUBMIT` switches the connection into
+/// payload mode and `RESULT` on a running job parks it, both deferring
+/// their `cmd` record to the moment the response is enqueued.
+fn handle_command(conn: &mut Conn, raw: &[u8], shared: &Shared, recorder: &FlightRecorder) {
+    let m = &shared.metrics;
+    let line = String::from_utf8_lossy(raw);
+    let cmd = line.trim();
+    if cmd.is_empty() {
+        return;
+    }
+    let (verb, arg) = match cmd.split_once(char::is_whitespace) {
+        Some((v, a)) => (v, a.trim()),
+        None => (cmd, ""),
+    };
+    let known = matches!(
+        verb,
+        "PING" | "QUIT" | "SUBMIT" | "STATUS" | "RESULT" | "STATS" | "METRICS" | "TRACE" | "HEALTH"
+    );
+    match verb {
+        "PING" => &m.cmd_ping,
+        "QUIT" => &m.cmd_quit,
+        "SUBMIT" => &m.cmd_submit,
+        "STATUS" => &m.cmd_status,
+        "RESULT" => &m.cmd_result,
+        "STATS" => &m.cmd_stats,
+        "METRICS" => &m.cmd_metrics,
+        "TRACE" => &m.cmd_trace,
+        "HEALTH" => &m.cmd_health,
+        _ => &m.cmd_unknown,
+    }
+    .inc();
+    let started = Instant::now();
+    let start_ns = recorder.now_ns();
+    let label = if known { verb } else { "unknown" };
+    match verb {
+        "PING" => conn.enqueue(b"OK pong\n"),
+        "QUIT" => {
+            conn.enqueue(b"OK bye\n");
+            conn.quitting = true;
+        }
+        "SUBMIT" => {
+            // The payload is read before any argument error is
+            // reported, so the connection stays in protocol sync
+            // either way; the parse result rides along in the mode.
+            let trace = match arg.split_once(char::is_whitespace) {
+                None if arg.is_empty() => Ok(None),
+                Some(("trace", hex)) => match TraceId::parse_hex(hex.trim()) {
+                    Some(id) => Ok(Some(id)),
+                    None => Err("bad trace id (want 1-16 hex digits)"),
+                },
+                _ => Err("usage: SUBMIT [trace <hex>]"),
+            };
+            conn.mode = Mode::Payload {
+                trace,
+                payload: Vec::new(),
+                oversized: false,
+                started,
+                start_ns,
+            };
+            return; // recorded when the frame completes
+        }
+        "STATUS" => {
+            let answer = status_line(shared, arg);
+            conn.enqueue(answer.as_bytes());
+        }
+        "RESULT" => match result_lookup(shared, arg) {
+            ResultAnswer::Line(answer) => conn.enqueue(answer.as_bytes()),
+            ResultAnswer::Report(report) => enqueue_report(conn, &report),
+            ResultAnswer::Park(id) => {
+                conn.parked = Some(Parked {
+                    id,
+                    started,
+                    start_ns,
+                });
+                return; // recorded when the job completes
             }
-            "SUBMIT" => submit(&mut reader, &mut writer, shared, arg)?,
-            "STATUS" => status(&mut writer, shared, arg)?,
-            "RESULT" => result(&mut writer, shared, arg)?,
-            "STATS" => stats(&mut writer, shared)?,
-            "METRICS" => metrics(&mut writer, shared)?,
-            "TRACE" => trace(&mut writer, shared, arg)?,
-            "HEALTH" => health(&mut writer, shared)?,
-            _ => writeln!(writer, "ERR unknown command {verb:?}")?,
+        },
+        "STATS" => {
+            let answer = stats_text(shared);
+            conn.enqueue(answer.as_bytes());
         }
-        drop(cmd_span);
-        m.cmd_ns.record_duration(started.elapsed());
-        if quit {
-            return Ok(());
+        "METRICS" => {
+            let answer = metrics_text(shared);
+            conn.enqueue(answer.as_bytes());
         }
+        "TRACE" => {
+            let answer = trace_text(shared, arg);
+            conn.enqueue(answer.as_bytes());
+        }
+        "HEALTH" => {
+            let answer = health_line(shared);
+            conn.enqueue(answer.as_bytes());
+        }
+        _ => {
+            let answer = format!("ERR unknown command {verb:?}\n");
+            conn.enqueue(answer.as_bytes());
+        }
+    }
+    finish_cmd(conn, shared, recorder, label, started, start_ns);
+}
+
+/// Accumulates one `SUBMIT` payload line (bytes, newline included) or,
+/// on the `.` terminator, completes the frame.
+fn handle_payload_line(conn: &mut Conn, raw: &[u8], shared: &Shared, recorder: &FlightRecorder) {
+    if is_terminator(raw) {
+        let mode = std::mem::replace(&mut conn.mode, Mode::Command);
+        finish_submit(conn, mode, shared, recorder);
+        return;
+    }
+    let Mode::Payload {
+        payload, oversized, ..
+    } = &mut conn.mode
+    else {
+        unreachable!("payload line outside payload mode");
+    };
+    if payload.len() + raw.len() > MAX_PAYLOAD {
+        // Keep draining to the terminator so the connection stays in
+        // protocol sync, but stop buffering.
+        *oversized = true;
+        payload.clear();
+    }
+    if !*oversized {
+        payload.extend_from_slice(raw);
     }
 }
 
-/// Reads the job payload (lines up to a lone `.`), parses it, and
-/// enqueues it on the service. The command argument is either empty or
-/// `trace <hex>` — a client-supplied trace id the job's spans join
-/// (trace-context propagation across the wire); the payload is read
-/// before any argument error is reported so the connection stays in
-/// protocol sync either way.
-fn submit(
-    reader: &mut BufReader<CountingStream>,
-    writer: &mut impl Write,
-    shared: &Shared,
-    arg: &str,
-) -> io::Result<()> {
-    let trace = match arg.split_once(char::is_whitespace) {
-        None if arg.is_empty() => Ok(None),
-        Some(("trace", hex)) => match TraceId::parse_hex(hex.trim()) {
-            Some(id) => Ok(Some(id)),
-            None => Err("bad trace id (want 1-16 hex digits)"),
-        },
-        _ => Err("usage: SUBMIT [trace <hex>]"),
+/// Finishes a `SUBMIT` frame: answers the oversize/argument/parse
+/// errors in the pinned order, or enqueues the job on the service and
+/// registers its handle.
+fn finish_submit(conn: &mut Conn, mode: Mode, shared: &Shared, recorder: &FlightRecorder) {
+    let Mode::Payload {
+        trace,
+        payload,
+        oversized,
+        started,
+        start_ns,
+    } = mode
+    else {
+        unreachable!("finishing a submit outside payload mode");
     };
-    let mut payload = Vec::new();
-    let mut oversized = false;
-    let mut buf = Vec::new();
-    loop {
-        buf.clear();
-        if !read_line_stoppable(reader, &mut buf, shared)? {
-            // Peer vanished (or flooded a capped line) mid-payload:
-            // abort the connection — resuming the command loop here
-            // would misread the rest of the payload as commands.
-            return Err(io::ErrorKind::ConnectionAborted.into());
+    let answer = if oversized {
+        format!("ERR payload too large (limit {MAX_PAYLOAD} bytes)\n")
+    } else {
+        match trace {
+            Err(e) => format!("ERR {e}\n"),
+            Ok(trace) => match parse_job(&String::from_utf8_lossy(&payload)) {
+                Ok(job) => {
+                    let handle = shared.service.submit_traced(job, trace);
+                    let id = handle.id;
+                    let trace = handle.trace;
+                    {
+                        let mut jobs = shared.jobs.lock().expect("job registry poisoned");
+                        jobs.insert(
+                            id,
+                            JobEntry {
+                                trace,
+                                slot: JobSlot::Running(handle),
+                            },
+                        );
+                        maybe_evict(&mut jobs, shared);
+                    }
+                    // The answer keeps its pre-trace shape (`OK id <n>`):
+                    // the job's trace is reachable via `TRACE <n>`, and
+                    // clients that care pass their own id, so nothing
+                    // new needs announcing.
+                    format!("OK id {id}\n")
+                }
+                Err(e) => format!("ERR parse: {e}\n"),
+            },
         }
-        if is_terminator(&buf) {
-            break;
-        }
-        if payload.len() + buf.len() > MAX_PAYLOAD {
-            // Keep draining to the terminator so the connection stays in
-            // protocol sync, but stop buffering.
-            oversized = true;
-            payload.clear();
-        }
-        if !oversized {
-            payload.extend_from_slice(&buf);
-        }
-    }
-    if oversized {
-        return writeln!(writer, "ERR payload too large (limit {MAX_PAYLOAD} bytes)");
-    }
-    let trace = match trace {
-        Ok(trace) => trace,
-        Err(e) => return writeln!(writer, "ERR {e}"),
     };
-    match parse_job(&String::from_utf8_lossy(&payload)) {
-        Ok(job) => {
-            let handle = shared.service.submit_traced(job, trace);
-            let id = handle.id;
-            let trace = handle.trace;
-            {
-                let mut jobs = shared.jobs.lock().expect("job registry poisoned");
-                jobs.insert(
-                    id,
-                    JobEntry {
-                        trace,
-                        slot: JobSlot::Running(handle),
-                    },
-                );
-                maybe_evict(&mut jobs, shared);
-            }
-            // The answer keeps its pre-trace shape (`OK id <n>`): the
-            // job's trace is reachable via `TRACE <n>`, and clients that
-            // care pass their own id, so nothing new needs announcing.
-            writeln!(writer, "OK id {id}")
-        }
-        Err(e) => writeln!(writer, "ERR parse: {e}"),
-    }
+    conn.enqueue(answer.as_bytes());
+    finish_cmd(conn, shared, recorder, "SUBMIT", started, start_ns);
 }
 
 /// Whether a payload line is the `.` frame terminator.
@@ -610,105 +951,136 @@ fn poll_slot(slot: &mut JobSlot) {
 }
 
 /// Answers `STATUS <id>` without blocking: polls the handle once and
-/// caches a finished report in the slot. The answer is written after
+/// caches a finished report in the slot. The answer is built after
 /// the registry lock is released.
-fn status(writer: &mut impl Write, shared: &Shared, arg: &str) -> io::Result<()> {
+fn status_line(shared: &Shared, arg: &str) -> String {
     let Some(id) = parse_id(arg) else {
-        return writeln!(writer, "ERR usage: STATUS <id>");
+        return "ERR usage: STATUS <id>\n".into();
     };
-    let answer = {
-        let mut jobs = shared.jobs.lock().expect("job registry poisoned");
-        match jobs.get_mut(&id) {
-            None => format!("ERR unknown job {id}"),
-            Some(entry) => {
-                poll_slot(&mut entry.slot);
-                match entry.slot {
-                    JobSlot::Done(_) => "OK done".into(),
-                    JobSlot::Lost => "OK lost".into(),
-                    JobSlot::Running(_) => "OK pending".into(),
-                }
+    let mut jobs = shared.jobs.lock().expect("job registry poisoned");
+    match jobs.get_mut(&id) {
+        None => format!("ERR unknown job {id}\n"),
+        Some(entry) => {
+            poll_slot(&mut entry.slot);
+            match entry.slot {
+                JobSlot::Done(_) => "OK done\n".into(),
+                JobSlot::Lost => "OK lost\n".into(),
+                JobSlot::Running(_) => "OK pending\n".into(),
             }
         }
-    };
-    writeln!(writer, "{answer}")
+    }
 }
 
-/// Answers `RESULT <id>`: blocks (poll + sleep, so shutdown can
-/// interrupt) until the job finishes, then streams the report block.
-/// The sleep backs off from 100µs to [`POLL`], so fast (cached) jobs
-/// answer in well under a millisecond while long builds cost no
-/// spinning. The registry lock is held only to clone the report's
-/// [`Arc`] — serialization and the socket write run outside it.
-fn result(writer: &mut impl Write, shared: &Shared, arg: &str) -> io::Result<()> {
+/// What one `RESULT <id>` lookup produced.
+enum ResultAnswer {
+    /// A one-line answer (usage / unknown / lost).
+    Line(String),
+    /// The finished report, serialized outside the registry lock.
+    Report(Arc<VerdictReport>),
+    /// Still running: park the connection until the completion channel
+    /// (or a liveness poll) says otherwise.
+    Park(u64),
+}
+
+/// Looks a `RESULT` target up exactly once — no sleeping, no polling
+/// loop. The registry lock is held only to poll the slot and clone the
+/// report's [`Arc`]; serialization runs outside it.
+fn result_lookup(shared: &Shared, arg: &str) -> ResultAnswer {
     let Some(id) = parse_id(arg) else {
-        return writeln!(writer, "ERR usage: RESULT <id>");
+        return ResultAnswer::Line("ERR usage: RESULT <id>\n".into());
     };
-    let mut backoff = Duration::from_micros(100);
-    loop {
-        enum Answer {
-            Report(Arc<VerdictReport>),
-            Line(String),
-            Pending,
+    let mut jobs = shared.jobs.lock().expect("job registry poisoned");
+    match jobs.get_mut(&id) {
+        None => ResultAnswer::Line(format!("ERR unknown job {id}\n")),
+        Some(entry) => {
+            poll_slot(&mut entry.slot);
+            match &entry.slot {
+                JobSlot::Done(report) => ResultAnswer::Report(Arc::clone(report)),
+                JobSlot::Lost => ResultAnswer::Line(format!("ERR job {id} lost\n")),
+                JobSlot::Running(_) => ResultAnswer::Park(id),
+            }
         }
-        let answer = {
-            let mut jobs = shared.jobs.lock().expect("job registry poisoned");
-            match jobs.get_mut(&id) {
-                None => Answer::Line(format!("ERR unknown job {id}")),
-                Some(entry) => {
-                    poll_slot(&mut entry.slot);
-                    match &entry.slot {
-                        JobSlot::Done(report) => Answer::Report(Arc::clone(report)),
-                        JobSlot::Lost => Answer::Line(format!("ERR job {id} lost")),
-                        JobSlot::Running(_) => Answer::Pending,
-                    }
+    }
+}
+
+/// Serializes a finished report as the dot-terminated `RESULT` block.
+fn enqueue_report(conn: &mut Conn, report: &VerdictReport) {
+    conn.enqueue(b"OK report\n");
+    conn.enqueue(print_report(report).as_bytes());
+    conn.enqueue(b".\n");
+}
+
+/// Re-checks a parked `RESULT` against the registry. Ticks where
+/// nothing completed cost one `try_wait` per parked connection; the
+/// completion channel makes the interesting tick happen immediately,
+/// and the per-tick poll doubles as the safety net (e.g. a completion
+/// sent before this connection parked). Returns whether it answered.
+fn poll_parked(conn: &mut Conn, shared: &Shared, recorder: &FlightRecorder) -> bool {
+    let Some(parked) = &conn.parked else {
+        return false;
+    };
+    let id = parked.id;
+    enum Outcome {
+        Report(Arc<VerdictReport>),
+        Line(String),
+    }
+    let outcome = {
+        let mut jobs = shared.jobs.lock().expect("job registry poisoned");
+        match jobs.get_mut(&id) {
+            // Finished and evicted while parked: indistinguishable from
+            // never-submitted by design.
+            None => Some(Outcome::Line(format!("ERR unknown job {id}\n"))),
+            Some(entry) => {
+                poll_slot(&mut entry.slot);
+                match &entry.slot {
+                    JobSlot::Done(report) => Some(Outcome::Report(Arc::clone(report))),
+                    JobSlot::Lost => Some(Outcome::Line(format!("ERR job {id} lost\n"))),
+                    JobSlot::Running(_) => None,
                 }
             }
-        };
-        match answer {
-            Answer::Report(report) => {
-                writeln!(writer, "OK report")?;
-                writer.write_all(print_report(&report).as_bytes())?;
-                return writeln!(writer, ".");
-            }
-            Answer::Line(line) => return writeln!(writer, "{line}"),
-            Answer::Pending => {}
         }
-        if shared.stop.load(Ordering::SeqCst) {
-            return writeln!(writer, "ERR server shutting down");
-        }
-        std::thread::sleep(backoff);
-        backoff = (backoff * 2).min(POLL);
+    };
+    let Some(outcome) = outcome else {
+        return false;
+    };
+    let parked = conn.parked.take().expect("checked above");
+    match outcome {
+        Outcome::Report(report) => enqueue_report(conn, &report),
+        Outcome::Line(line) => conn.enqueue(line.as_bytes()),
     }
+    finish_cmd(
+        conn,
+        shared,
+        recorder,
+        "RESULT",
+        parked.started,
+        parked.start_ns,
+    );
+    true
 }
 
 /// Answers `STATS` with `key value` lines — the [`StatsSnapshot`] fields
 /// plus the cache-occupancy pair the ROADMAP's eviction work needs.
 ///
 /// [`StatsSnapshot`]: icstar_serve::StatsSnapshot
-fn stats(writer: &mut impl Write, shared: &Shared) -> io::Result<()> {
+fn stats_text(shared: &Shared) -> String {
     let s = shared.service.stats();
-    writeln!(writer, "OK stats")?;
-    writeln!(writer, "jobs_submitted {}", s.jobs_submitted)?;
-    writeln!(writer, "jobs_completed {}", s.jobs_completed)?;
-    writeln!(writer, "formulas_checked {}", s.formulas_checked)?;
-    writeln!(writer, "cache_hits {}", s.cache_hits)?;
-    writeln!(writer, "cache_misses {}", s.cache_misses)?;
-    writeln!(writer, "cached_structures {}", s.cached_structures)?;
-    writeln!(
-        writer,
-        "cached_abstract_states {}",
-        s.cached_abstract_states
-    )?;
-    writeln!(writer, "cache_evictions {}", s.cache_evictions)?;
-    writeln!(
-        writer,
-        "evicted_abstract_states {}",
-        s.evicted_abstract_states
-    )?;
-    writeln!(writer, "sharded_explorations {}", s.sharded_explorations)?;
-    writeln!(writer, "p50_total_ns {}", s.p50_total_ns)?;
-    writeln!(writer, "p99_total_ns {}", s.p99_total_ns)?;
-    writeln!(writer, ".")
+    let mut out = String::new();
+    let _ = writeln!(out, "OK stats");
+    let _ = writeln!(out, "jobs_submitted {}", s.jobs_submitted);
+    let _ = writeln!(out, "jobs_completed {}", s.jobs_completed);
+    let _ = writeln!(out, "formulas_checked {}", s.formulas_checked);
+    let _ = writeln!(out, "cache_hits {}", s.cache_hits);
+    let _ = writeln!(out, "cache_misses {}", s.cache_misses);
+    let _ = writeln!(out, "cached_structures {}", s.cached_structures);
+    let _ = writeln!(out, "cached_abstract_states {}", s.cached_abstract_states);
+    let _ = writeln!(out, "cache_evictions {}", s.cache_evictions);
+    let _ = writeln!(out, "evicted_abstract_states {}", s.evicted_abstract_states);
+    let _ = writeln!(out, "sharded_explorations {}", s.sharded_explorations);
+    let _ = writeln!(out, "p50_total_ns {}", s.p50_total_ns);
+    let _ = writeln!(out, "p99_total_ns {}", s.p99_total_ns);
+    let _ = writeln!(out, ".");
+    out
 }
 
 /// Answers `TRACE <id> [chrome]` with the job's recorded span tree:
@@ -718,45 +1090,46 @@ fn stats(writer: &mut impl Write, shared: &Shared) -> io::Result<()> {
 /// whose spans have been evicted from the flight recorder's bounded
 /// ring answers with an empty block — the id is still known, the
 /// evidence is gone.
-fn trace(writer: &mut impl Write, shared: &Shared, arg: &str) -> io::Result<()> {
+fn trace_text(shared: &Shared, arg: &str) -> String {
     let (id, chrome) = match arg.split_once(char::is_whitespace) {
         None => (parse_id(arg), false),
         Some((id, "chrome")) => (parse_id(id), true),
         Some(_) => (None, false),
     };
     let Some(id) = id else {
-        return writeln!(writer, "ERR usage: TRACE <id> [chrome]");
+        return "ERR usage: TRACE <id> [chrome]\n".into();
     };
     let trace = {
         let jobs = shared.jobs.lock().expect("job registry poisoned");
         jobs.get(&id).map(|entry| entry.trace)
     };
     let Some(trace) = trace else {
-        return writeln!(writer, "ERR unknown job {id}");
+        return format!("ERR unknown job {id}\n");
     };
     let recorder = shared.service.recorder();
-    writeln!(writer, "OK trace")?;
+    let mut out = String::new();
+    let _ = writeln!(out, "OK trace");
     if chrome {
-        writeln!(writer, "{}", recorder.chrome_trace(trace, "icstar-serve"))?;
+        let _ = writeln!(out, "{}", recorder.chrome_trace(trace, "icstar-serve"));
     } else {
         // The tree renders one indented line per span, never a lone `.`.
-        writer.write_all(to_text_tree(&recorder.spans_for(trace)).as_bytes())?;
+        out.push_str(&to_text_tree(&recorder.spans_for(trace)));
     }
-    writeln!(writer, ".")
+    let _ = writeln!(out, ".");
+    out
 }
 
 /// Answers `HEALTH` with a single `OK health` line of `key=value`
 /// pairs — a load-balancer-friendly probe. Every value is read from
 /// the same atomics `STATS` and `METRICS` export, so the three views
 /// can never disagree about a shared quantity.
-fn health(writer: &mut impl Write, shared: &Shared) -> io::Result<()> {
+fn health_line(shared: &Shared) -> String {
     let s = shared.service.stats();
     let telemetry = shared.service.telemetry();
     let recorder = shared.service.recorder();
-    writeln!(
-        writer,
+    format!(
         "OK health uptime_ms={} queue_depth={} workers={} jobs_in_flight={} errors={} \
-         traces_retained={} traces_dropped={} p50_total_ns={} p99_total_ns={}",
+         traces_retained={} traces_dropped={} p50_total_ns={} p99_total_ns={}\n",
         shared.started.elapsed().as_millis(),
         telemetry.gauge("serve.queue.depth").get().max(0),
         shared.service.workers(),
@@ -772,9 +1145,11 @@ fn health(writer: &mut impl Write, shared: &Shared) -> io::Result<()> {
 /// Answers `METRICS` with the full telemetry registry in Prometheus
 /// text exposition form, dot-terminated like every other block (no
 /// exposition line is ever a lone `.`, so the framing is unambiguous).
-fn metrics(writer: &mut impl Write, shared: &Shared) -> io::Result<()> {
+fn metrics_text(shared: &Shared) -> String {
     let text = shared.service.telemetry_snapshot().to_prometheus();
-    writeln!(writer, "OK metrics")?;
-    writer.write_all(text.as_bytes())?;
-    writeln!(writer, ".")
+    let mut out = String::with_capacity(text.len() + 16);
+    out.push_str("OK metrics\n");
+    out.push_str(&text);
+    out.push_str(".\n");
+    out
 }

@@ -359,7 +359,7 @@ fn shutdown_disconnects_idle_clients() {
     let mut client = WireClient::connect(server.local_addr()).unwrap();
     client.ping().unwrap();
     server.shutdown();
-    // The connection thread notices the stop flag and hangs up; the next
+    // The event loop notices the stop flag and hangs up; the next
     // exchange fails rather than blocking forever.
     assert!(client.ping().is_err());
 }

@@ -1,0 +1,230 @@
+//! Stress demo for the event-driven wire front-end + persistent graph
+//! cache: one nonblocking readiness loop holding **1,000 concurrent
+//! pipelined connections**, then a warm restart answered from disk.
+//!
+//! The demo asserts the PR's two headline behaviours end to end:
+//!
+//! 1. **Concurrent pipelined load** — a single-threaded nonblocking
+//!    client driver opens `LOAD_DEMO_CONNS` (default 1,000) sockets,
+//!    pipelines `PING` / `SUBMIT …` / `PING` on each, matches every
+//!    response back to its command (the pongs sandwiching `OK id <n>`
+//!    prove strict ordering), then fetches every verdict with
+//!    completion-driven `RESULT` + `QUIT`. Afterwards the metric trail
+//!    must agree: `wire.connections.opened`, `wire.loop.ticks`,
+//!    `wire.loop.wakeups`, a drained `wire.loop.write_queue_bytes`,
+//!    zero `wire.loop.slow_disconnects`, and a measured p99 from the
+//!    `wire.cmd.ns` histogram.
+//! 2. **Warm restart from disk** — the first server spills the
+//!    explored graphs (`serve.cache.spills`); a second server over the
+//!    same cache directory answers its first `SUBMIT` by restoring
+//!    them (`serve.cache.restores` ≥ 1, zero `sym.explore.builds`) —
+//!    no re-exploration.
+//!
+//! Run with: `cargo run --release --example load_demo`
+//! (debug works; release is what CI times).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use icstar_logic::parse_state;
+use icstar_serve::{ServeConfig, VerifyJob, VerifyService};
+use icstar_sym::mutex_template;
+use icstar_wire::{print_job, WireClient, WireServer};
+
+const N_SIZE: u32 = 40;
+
+fn demo_job() -> VerifyJob {
+    VerifyJob::new(mutex_template())
+        .at_size(N_SIZE)
+        .formula("mutex", parse_state("AG !crit_ge2").unwrap())
+}
+
+fn config(cache_dir: &std::path::Path) -> ServeConfig {
+    ServeConfig {
+        cache_dir: Some(cache_dir.to_path_buf()),
+        ..ServeConfig::default()
+    }
+}
+
+/// One multiplexed nonblocking connection of the load driver.
+struct Conn {
+    stream: TcpStream,
+    out: Vec<u8>,
+    written: usize,
+    inbuf: Vec<u8>,
+    eof: bool,
+}
+
+impl Conn {
+    fn connect(addr: SocketAddr, first: Vec<u8>) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            out: first,
+            written: 0,
+            inbuf: Vec::new(),
+            eof: false,
+        })
+    }
+
+    fn pump(&mut self) -> std::io::Result<()> {
+        while self.written < self.out.len() {
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut buf = [0u8; 4096];
+        while !self.eof {
+            match self.stream.read(&mut buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.inbuf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn lines(&self) -> usize {
+        self.inbuf.iter().filter(|&&b| b == b'\n').count()
+    }
+}
+
+fn pump_until(
+    conns: &mut [Conn],
+    done: impl Fn(&Conn) -> bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let mut all = true;
+        for conn in conns.iter_mut() {
+            if !done(conn) {
+                all = false;
+                conn.pump()?;
+            }
+        }
+        if all {
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err("load_demo: pump deadline exceeded".into());
+        }
+        std::thread::yield_now();
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::var("LOAD_DEMO_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let cache_dir = std::env::temp_dir().join(format!("icstar-load-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    println!("== {n} concurrent pipelined connections ==\n");
+
+    // ---- Phase 1: cold server under concurrent pipelined load ------
+    let server = WireServer::bind("127.0.0.1:0", VerifyService::start(config(&cache_dir)))?;
+    let payload = print_job(&demo_job());
+    let phase_a = format!("PING\nSUBMIT\n{payload}.\nPING\n").into_bytes();
+
+    let started = Instant::now();
+    let mut conns = Vec::with_capacity(n);
+    for _ in 0..n {
+        conns.push(Conn::connect(server.local_addr(), phase_a.clone())?);
+    }
+    pump_until(&mut conns, |c| c.lines() >= 3)?;
+
+    let active = server
+        .telemetry_snapshot()
+        .gauge("wire.connections.active")
+        .unwrap_or(0);
+    assert_eq!(active, n as i64, "all connections live mid-load");
+
+    // Match phase-A responses to their commands, queue phase B.
+    for conn in conns.iter_mut() {
+        let text = String::from_utf8(std::mem::take(&mut conn.inbuf))?;
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "OK pong");
+        assert_eq!(lines[2], "OK pong");
+        let id: u64 = lines[1]
+            .strip_prefix("OK id ")
+            .expect("OK id <n>")
+            .parse()?;
+        conn.out = format!("RESULT {id}\nQUIT\n").into_bytes();
+        conn.written = 0;
+    }
+    pump_until(&mut conns, |c| c.eof)?;
+    for conn in &conns {
+        let text = String::from_utf8(conn.inbuf.clone())?;
+        assert!(text.starts_with("OK report\n"), "report first");
+        assert!(text.ends_with("OK bye\n"), "farewell last");
+        assert!(text.contains("holds"), "mutex verdict must hold");
+    }
+    let elapsed = started.elapsed();
+    drop(conns);
+
+    // ---- Metric trail --------------------------------------------
+    let snap = server.telemetry_snapshot();
+    let opened = snap.counter("wire.connections.opened").unwrap_or(0);
+    let ticks = snap.counter("wire.loop.ticks").unwrap_or(0);
+    let wakeups = snap.counter("wire.loop.wakeups").unwrap_or(0);
+    let slow = snap.counter("wire.loop.slow_disconnects").unwrap_or(0);
+    let queue = snap.gauge("wire.loop.write_queue_bytes").unwrap_or(-1);
+    let spills = snap.counter("serve.cache.spills").unwrap_or(0);
+    let cmd = snap.histogram("wire.cmd.ns").expect("wire.cmd.ns");
+    assert!(opened >= n as u64, "opened {opened} < {n}");
+    assert!(ticks > 0, "loop never ticked");
+    assert!(wakeups >= 1, "no completion wakeups");
+    assert_eq!(slow, 0, "no slow-reader disconnects expected");
+    assert_eq!(queue, 0, "write queues must drain");
+    assert!(spills >= 1, "cold run must spill the explored graph");
+    let stats = server.stats();
+    assert_eq!(stats.jobs_submitted, n as u64);
+    assert_eq!(stats.jobs_completed, n as u64);
+
+    println!("connections        {n}");
+    println!("elapsed            {elapsed:.2?}");
+    println!(
+        "throughput         {:.0} conns/sec (full submit+fetch cycle each)",
+        n as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "cmd p50 / p99      {} us / {} us",
+        cmd.p50() / 1_000,
+        cmd.p99() / 1_000
+    );
+    println!("loop ticks         {ticks}");
+    println!("completion wakeups {wakeups}");
+    println!("graphs spilled     {spills}");
+    server.shutdown();
+
+    // ---- Phase 2: warm restart answered from disk -----------------
+    println!("\n== warm restart over {} ==\n", cache_dir.display());
+    let server = WireServer::bind("127.0.0.1:0", VerifyService::start(config(&cache_dir)))?;
+    let mut client = WireClient::connect(server.local_addr())?;
+    let id = client.submit(&demo_job())?;
+    let report = client.result(id)?;
+    assert!(report.all_hold());
+    client.quit()?;
+
+    let snap = server.telemetry_snapshot();
+    let restores = snap.counter("serve.cache.restores").unwrap_or(0);
+    let rejects = snap.counter("serve.cache.restore_rejects").unwrap_or(0);
+    let builds = snap.counter("sym.explore.builds").unwrap_or(0);
+    assert!(restores >= 1, "first SUBMIT must restore from disk");
+    assert_eq!(rejects, 0, "clean spills must not be rejected");
+    assert_eq!(builds, 0, "warm server must not re-explore");
+    println!("restores           {restores}");
+    println!("re-explorations    {builds}  (answered from disk)");
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!("\nok: event loop held {n} pipelined connections; restart warm-started from disk");
+    Ok(())
+}

@@ -1,0 +1,340 @@
+//! Differential tests for the persistent graph cache: for randomized
+//! guarded/broadcast/fair templates, a spill→restore round trip must be
+//! a structural identity; defective spill files must be rejected and
+//! silently rebuilt; and fingerprint twins that differ only in fairness
+//! must never alias on disk.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use icstar_kripke::Kripke;
+use icstar_mc::fair::TransFairness;
+use icstar_serve::{GraphCache, SpillStore};
+use icstar_sym::{CountingSpec, Guard, GuardedBuilder, GuardedTemplate, SymEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "icstar-persist-{}-{}-{tag}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// ---------- randomized template generation ----------
+
+/// A plain-data template description, derived deterministically from a
+/// proptest seed (the vendored shim generates scalars; structure comes
+/// from a seeded RNG, like `tests/properties.rs`); realized by
+/// [`realize`].
+#[derive(Clone, Debug)]
+struct TemplateDesc {
+    /// 1..=4 states; state `i` carries label `"a"` / `"b"` when the
+    /// corresponding bit of its entry is set.
+    label_bits: Vec<u8>,
+    /// Extra plain edges `(from, to, guard pick)` on top of the
+    /// totality self-loops (indices taken modulo the state count).
+    edges: Vec<(u8, u8, u8)>,
+    /// Optional broadcast `(source, target, response target)` — every
+    /// non-initiating state responds by moving to the response target.
+    broadcast: Option<(u8, u8, u8)>,
+    /// Whether to declare weak fairness of the first extra edge (or of
+    /// state 0's self-loop if there are none).
+    fair: bool,
+}
+
+fn template_desc(seed: u64) -> TemplateDesc {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let states = rng.random_range(1usize..4);
+    let label_bits = (0..states)
+        .map(|_| rng.random_range(0u32..4) as u8)
+        .collect();
+    let edges = (0..rng.random_range(0usize..5))
+        .map(|_| {
+            (
+                rng.random_range(0u32..8) as u8,
+                rng.random_range(0u32..8) as u8,
+                rng.random_range(0u32..8) as u8,
+            )
+        })
+        .collect();
+    let broadcast = (rng.random_range(0u32..2) == 0).then(|| {
+        (
+            rng.random_range(0u32..8) as u8,
+            rng.random_range(0u32..8) as u8,
+            rng.random_range(0u32..8) as u8,
+        )
+    });
+    let fair = rng.random_range(0u32..2) == 0;
+    TemplateDesc {
+        label_bits,
+        edges,
+        broadcast,
+        fair,
+    }
+}
+
+fn pick_guard(pick: u8, num_states: u8) -> Vec<Guard> {
+    match pick % 6 {
+        0 => vec![],
+        1 => vec![Guard::at_most("a", 2)],
+        2 => vec![Guard::at_least("b", 1)],
+        3 => vec![Guard::StateAtMost(u32::from(pick % num_states), 3)],
+        4 => vec![Guard::InRange("a".into(), 0, 4)],
+        _ => vec![
+            Guard::StateInRange(u32::from(pick % num_states), 0, 5),
+            Guard::Equals("b".into(), 0),
+        ],
+    }
+}
+
+fn realize(desc: &TemplateDesc) -> GuardedTemplate {
+    let n = desc.label_bits.len() as u8;
+    let mut b = GuardedBuilder::new();
+    for (i, bits) in desc.label_bits.iter().enumerate() {
+        let mut labels = Vec::new();
+        if bits & 1 != 0 {
+            labels.push("a");
+        }
+        if bits & 2 != 0 {
+            labels.push("b");
+        }
+        b.state(format!("q{i}"), labels);
+    }
+    // Totality: every state keeps a plain self-loop.
+    for q in 0..u32::from(n) {
+        b.edge(q, q);
+    }
+    let mut first_edge = (0, 0);
+    for (i, &(from, to, g)) in desc.edges.iter().enumerate() {
+        let (from, to) = (u32::from(from % n), u32::from(to % n));
+        if i == 0 {
+            first_edge = (from, to);
+        }
+        b.edge_guarded(from, to, pick_guard(g, n));
+    }
+    if let Some((src, tgt, resp)) = desc.broadcast {
+        let (src, tgt, resp) = (u32::from(src % n), u32::from(tgt % n), u32::from(resp % n));
+        b.broadcast_guarded(
+            src,
+            tgt,
+            pick_guard(resp as u8, n),
+            (0..u32::from(n)).map(|q| (q, resp)),
+        );
+    }
+    if desc.fair {
+        b.fair("live", [first_edge]);
+    }
+    b.build(0)
+}
+
+// ---------- structural comparison ----------
+
+fn assert_kripke_eq(a: &Kripke, b: &Kripke) {
+    assert_eq!(a.num_states(), b.num_states());
+    assert_eq!(a.initial(), b.initial());
+    for s in a.states() {
+        assert_eq!(a.state_name(s), b.state_name(s), "state {s:?} name");
+        assert_eq!(a.label_atoms(s), b.label_atoms(s), "state {s:?} labels");
+        assert_eq!(a.successors(s), b.successors(s), "state {s:?} successors");
+    }
+}
+
+fn assert_fairness_eq(a: &TransFairness, b: &TransFairness) {
+    assert_eq!(a.reqs().len(), b.reqs().len());
+    for (ra, rb) in a.reqs().iter().zip(b.reqs()) {
+        let sa: Vec<usize> = ra.states().iter().collect();
+        let sb: Vec<usize> = rb.states().iter().collect();
+        assert_eq!(sa, sb, "fair state sets");
+        assert_eq!(ra.edges(), rb.edges(), "fair edge sets");
+    }
+}
+
+// ---------- the differential battery ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Spill → restore (through a *fresh* store instance, as a restart
+    // would) is a structural identity for counter and representative
+    // graphs of random guarded/broadcast/fair templates.
+    #[test]
+    fn spill_restore_is_structural_identity(seed in 0u64..1_000_000, n in 2u32..6) {
+        let template = realize(&template_desc(seed));
+        let spec = CountingSpec::standard(&template);
+        let engine = SymEngine::with_spec(template.clone(), spec.clone());
+        let dir = temp_dir("roundtrip");
+
+        let store = SpillStore::open(&dir).unwrap();
+        let counter = engine.counter_graph(n);
+        store.spill_counter(&template, &spec, n, &counter);
+        let rep = engine.representative_graph(n, 1).ok();
+        if let Some(rep) = &rep {
+            store.spill_rep(&template, &spec, n, 1, rep);
+        }
+
+        // A fresh store over the same directory: what a restart sees.
+        let reopened = SpillStore::open(&dir).unwrap();
+        let restored = reopened
+            .restore_counter(&template, &spec, n)
+            .expect("counter restores");
+        assert_kripke_eq(&counter.kripke, &restored.kripke);
+        assert_fairness_eq(&counter.fairness, &restored.fairness);
+        if let Some(rep) = &rep {
+            let restored = reopened
+                .restore_rep(&template, &spec, n, 1)
+                .expect("rep restores");
+            prop_assert_eq!(rep.kripke.indices(), restored.kripke.indices());
+            assert_kripke_eq(rep.kripke.kripke(), restored.kripke.kripke());
+            assert_fairness_eq(&rep.fairness, &restored.fairness);
+        }
+        prop_assert_eq!(reopened.rejects(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // A defective spill file (truncated or bit-flipped) is rejected and
+    // the cache silently rebuilds — callers always get the right graph.
+    #[test]
+    fn defective_spills_are_rejected_and_rebuilt(
+        seed in 0u64..1_000_000,
+        n in 2u32..6,
+        flip in 0u32..2,
+    ) {
+        let flip = flip == 1;
+        let template = realize(&template_desc(seed));
+        let spec = CountingSpec::standard(&template);
+        let engine = SymEngine::with_spec(template.clone(), spec.clone());
+        let dir = temp_dir("defect");
+
+        let store = SpillStore::open(&dir).unwrap();
+        store.spill_counter(&template, &spec, n, &engine.counter_graph(n));
+        let path = store.counter_path(&template, &spec, n);
+        let mut bytes = std::fs::read(&path).unwrap();
+        if flip {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+        } else {
+            bytes.truncate(bytes.len().saturating_sub(7));
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let cache = GraphCache::with_store(1, u64::MAX, Some(SpillStore::open(&dir).unwrap()));
+        let built = std::cell::Cell::new(false);
+        let graph = cache.counter(&template, &spec, n, || {
+            built.set(true);
+            engine.counter_graph(n)
+        });
+        prop_assert!(built.get(), "defective file must fall back to a build");
+        assert_kripke_eq(&graph.kripke, &engine.counter_graph(n).kripke);
+        prop_assert_eq!(cache.spill_store().unwrap().rejects(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Fairness is part of the workload: a fair template and its unfair
+/// twin get distinct spill files, and neither restore aliases the
+/// other's fairness.
+#[test]
+fn fair_and_unfair_twins_never_alias_on_disk() {
+    let desc = TemplateDesc {
+        label_bits: vec![1, 2],
+        edges: vec![(0, 1, 0), (1, 0, 2)],
+        broadcast: None,
+        fair: true,
+    };
+    let fair = realize(&desc);
+    let unfair = realize(&TemplateDesc {
+        fair: false,
+        ..desc.clone()
+    });
+    assert_ne!(fair.fingerprint(), unfair.fingerprint());
+
+    let dir = temp_dir("twins");
+    let store = SpillStore::open(&dir).unwrap();
+    let n = 3;
+    let fair_spec = CountingSpec::standard(&fair);
+    let unfair_spec = CountingSpec::standard(&unfair);
+    assert_ne!(
+        store.counter_path(&fair, &fair_spec, n),
+        store.counter_path(&unfair, &unfair_spec, n),
+        "twin workloads must spill to distinct files"
+    );
+    let fair_graph = SymEngine::with_spec(fair.clone(), fair_spec.clone()).counter_graph(n);
+    let unfair_graph = SymEngine::with_spec(unfair.clone(), unfair_spec.clone()).counter_graph(n);
+    store.spill_counter(&fair, &fair_spec, n, &fair_graph);
+    store.spill_counter(&unfair, &unfair_spec, n, &unfair_graph);
+    assert_eq!(store.spills(), 2);
+
+    let reopened = SpillStore::open(&dir).unwrap();
+    assert_eq!(reopened.warm_files(), 2);
+    let fair_back = reopened.restore_counter(&fair, &fair_spec, n).unwrap();
+    let unfair_back = reopened.restore_counter(&unfair, &unfair_spec, n).unwrap();
+    assert!(!fair_back.fairness.is_empty(), "fair twin keeps its reqs");
+    assert!(
+        unfair_back.fairness.is_empty(),
+        "unfair twin restores unconstrained"
+    );
+    assert_fairness_eq(&fair_graph.fairness, &fair_back.fairness);
+    assert_eq!(reopened.rejects(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// End-to-end warm restart over TCP: a second server over the same
+/// cache directory answers its first `SUBMIT` from the disk spill —
+/// restore counted, zero fresh explorations. Release-CI runs this with
+/// `--include-ignored`.
+#[test]
+#[ignore = "spawns two servers; run with --include-ignored (release CI)"]
+fn warm_restart_answers_first_submit_from_disk() {
+    use icstar_logic::parse_state;
+    use icstar_serve::{ServeConfig, VerifyJob, VerifyService};
+    use icstar_sym::mutex_template;
+    use icstar_wire::{WireClient, WireServer};
+
+    let dir = temp_dir("warm-tcp");
+    let config = |dir: &PathBuf| ServeConfig {
+        workers: 1,
+        cache_shards: 1,
+        exploration_shards: 1,
+        sharded_threshold: u32::MAX,
+        cache_budget_states: u64::MAX,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let job = || {
+        VerifyJob::new(mutex_template())
+            .at_size(40)
+            .formula("mutex", parse_state("AG !crit_ge2").unwrap())
+    };
+
+    // Cold server: builds and spills.
+    {
+        let server = WireServer::bind("127.0.0.1:0", VerifyService::start(config(&dir))).unwrap();
+        let mut client = WireClient::connect(server.local_addr()).unwrap();
+        let id = client.submit(&job()).unwrap();
+        assert!(client.result(id).unwrap().all_hold());
+        let snap = server.telemetry_snapshot();
+        assert_eq!(snap.counter("serve.cache.spills"), Some(1));
+        assert_eq!(snap.counter("serve.cache.restores"), Some(0));
+        client.quit().unwrap();
+        server.shutdown();
+    }
+
+    // Warm server: restores, never re-explores.
+    let server = WireServer::bind("127.0.0.1:0", VerifyService::start(config(&dir))).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let id = client.submit(&job()).unwrap();
+    assert!(client.result(id).unwrap().all_hold());
+    let snap = server.telemetry_snapshot();
+    assert_eq!(snap.counter("serve.cache.restores"), Some(1));
+    assert_eq!(snap.counter("sym.explore.builds").unwrap_or(0), 0);
+    assert!(snap.gauge("serve.cache.spill_files_warm").unwrap_or(0) >= 1);
+    client.quit().unwrap();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
