@@ -1,13 +1,23 @@
-//! The Section 6 conjecture: on free products, formulas with at most `k`
-//! levels of index quantifiers cannot distinguish systems with more than
-//! `k` processes.
+//! The Section 6 stabilization claim: on free products, formulas with at
+//! most `k` levels of index quantifiers cannot distinguish systems with
+//! more than `k` processes.
 //!
 //! The paper: *"if f is a formula with k levels of `⋀_i` and `⋁_i`
 //! operators and `M_n` is a Kripke structure obtained as a product of `n`
 //! identical processes, then f will hold in `M_n` for `n > k` if and only
 //! if f holds in `M_k`"* — easy for free (unsynchronized) products,
-//! conjectured in general. [`check_conjecture`] tests it empirically on a
-//! template and formula, across a range of sizes.
+//! conjectured in general *in the paper*. This repository has since
+//! outgrown the empirical sweep that used to live here: for
+//! template-defined families the claim is decided per formula by
+//! [`SymEngine::certify_cutoff`], which *certifies* a stabilization
+//! point `c` through the counter/representative equivalence machinery
+//! (with independent re-verification) or refuses with a reason — see
+//! `crates/sym/src/cutoff.rs`. [`check_conjecture`] remains as the
+//! original brute-force oracle, useful for cross-checking the decision
+//! procedure on explicitly-buildable sizes, and is deprecated for any
+//! other use.
+//!
+//! [`SymEngine::certify_cutoff`]: ../../icstar_sym/struct.SymEngine.html#method.certify_cutoff
 
 use icstar_logic::{quantifier_depth, StateFormula};
 use icstar_mc::{IndexedChecker, McError};
@@ -15,6 +25,10 @@ use icstar_mc::{IndexedChecker, McError};
 use crate::template::{interleave, ProcessTemplate};
 
 /// The outcome of an empirical conjecture check.
+#[deprecated(note = "the stabilization claim is decided per formula by \
+            `icstar_sym::SymEngine::certify_cutoff`, which certifies a \
+            cutoff or refuses with a reason; keep this only as a \
+            brute-force cross-check oracle")]
 #[derive(Clone, Debug)]
 pub struct ConjectureOutcome {
     /// The quantifier nesting depth `k` of the formula.
@@ -45,6 +59,11 @@ pub struct ConjectureOutcome {
 /// # Panics
 ///
 /// Panics if `max_n ≤ k`.
+#[deprecated(note = "use `icstar_sym::SymEngine::certify_cutoff`: it decides the \
+            stabilization claim with a certificate (or a reasoned \
+            refusal) instead of sampling sizes; this sweep remains as a \
+            brute-force cross-check oracle")]
+#[allow(deprecated)]
 pub fn check_conjecture(
     t: &ProcessTemplate,
     f: &StateFormula,
@@ -86,6 +105,7 @@ pub fn cyclic_template() -> ProcessTemplate {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercising the deprecated oracle is the point
 mod tests {
     use super::*;
     use crate::counting::counting_formula;

@@ -36,6 +36,14 @@ pub struct VerifyJob {
     pub spec: Option<CountingSpec>,
     /// The family sizes to check at, in order.
     pub sizes: Vec<u32>,
+    /// An *unbounded* size request: `Some(lo)` asks for the verdict of
+    /// every formula at **every** `n ≥ lo`, answered via a certified
+    /// cutoff ([`icstar_sym::CutoffCertificate`]) — direct verdicts for
+    /// the sizes below the cutoff, then one certificate-backed verdict
+    /// covering the entire infinite tail. Formulas the engine refuses to
+    /// certify report [`SymError::CutoffRefused`]. Processed after the
+    /// explicit `sizes`.
+    pub all_from: Option<u32>,
     /// `(name, formula)` pairs, each checked at every size.
     pub formulas: Vec<(String, StateFormula)>,
 }
@@ -47,6 +55,7 @@ impl VerifyJob {
             template,
             spec: None,
             sizes: Vec::new(),
+            all_from: None,
             formulas: Vec::new(),
         }
     }
@@ -66,6 +75,13 @@ impl VerifyJob {
     /// Adds several family sizes.
     pub fn at_sizes(mut self, ns: impl IntoIterator<Item = u32>) -> Self {
         self.sizes.extend(ns);
+        self
+    }
+
+    /// Requests verdicts for **all** sizes `n ≥ lo` (see
+    /// [`VerifyJob::all_from`]).
+    pub fn all_sizes_from(mut self, lo: u32) -> Self {
+        self.all_from = Some(lo);
         self
     }
 
@@ -104,6 +120,12 @@ pub struct JobVerdict {
     /// ([`GuardedTemplate::is_fair`]) and the check
     /// succeeded; `false` on error.
     pub fair: bool,
+    /// `Some(c)` when this verdict is backed by a certified cutoff
+    /// ([`icstar_sym::CutoffCertificate`]) with stabilization point `c`:
+    /// the same verdict holds at **every** family size `≥ c`, and the
+    /// service answered without building any structure. `None` for
+    /// directly-checked verdicts.
+    pub cutoff: Option<u32>,
 }
 
 /// Everything the service has to say about one finished [`VerifyJob`]:
@@ -159,6 +181,7 @@ mod tests {
                     result: Ok(true),
                     rep_width: 0,
                     fair: false,
+                    cutoff: None,
                 },
                 JobVerdict {
                     name: "a".into(),
@@ -166,6 +189,7 @@ mod tests {
                     result: Ok(false),
                     rep_width: 1,
                     fair: true,
+                    cutoff: Some(3),
                 },
             ],
         };

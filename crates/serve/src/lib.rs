@@ -90,6 +90,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod certs;
 mod job;
 mod service;
 pub mod spill;

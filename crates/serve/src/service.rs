@@ -7,13 +7,14 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use icstar_logic::has_index_quantifier;
+use icstar_logic::{has_index_quantifier, StateFormula};
 use icstar_sym::{required_rep_width, CounterGraph, CountingSpec, SymEngine};
 use icstar_telemetry::{
     FlightRecorder, Registry, SpanContext, SpanEvent, TelemetrySnapshot, TraceId,
 };
 
 use crate::cache::GraphCache;
+use crate::certs::CertStore;
 use crate::job::{JobVerdict, VerdictReport, VerifyJob};
 use crate::stats::{ServiceStats, StatsSnapshot};
 
@@ -162,6 +163,9 @@ struct QueuedJob {
 /// Everything the workers share.
 struct Inner {
     cache: GraphCache,
+    /// Cutoff certificates (and refusals), one per (template, spec,
+    /// formula) triple — the O(1) answer path for `n ≥ c`.
+    certs: CertStore,
     stats: ServiceStats,
     config: ServeConfig,
     /// Where workers announce finished job ids (set by
@@ -225,6 +229,7 @@ impl VerifyService {
         stats.workers_total.set(config.workers.max(1) as i64);
         let inner = Arc::new(Inner {
             cache,
+            certs: CertStore::default(),
             stats,
             config: config.clone(),
             notify: Mutex::new(None),
@@ -415,6 +420,8 @@ impl VerifyService {
             cache_evictions: self.inner.cache.evictions(),
             evicted_abstract_states: self.inner.cache.evicted_states(),
             sharded_explorations: s.sharded_explorations.get(),
+            cutoffs_certified: s.cutoffs_certified.get(),
+            cutoff_answers: s.cutoff_answers.get(),
             p50_total_ns: total.p50(),
             p99_total_ns: total.p99(),
         }
@@ -517,6 +524,7 @@ fn process(
         template,
         spec,
         sizes,
+        all_from,
         formulas,
     } = job;
     let spec = spec.unwrap_or_else(|| CountingSpec::standard(&template));
@@ -525,12 +533,31 @@ fn process(
     let mut build_time = Duration::ZERO;
     let mut check_time = Duration::ZERO;
 
-    let any_counting = formulas.iter().any(|(_, f)| !has_index_quantifier(f));
-    let any_indexed = formulas.iter().any(|(_, f)| has_index_quantifier(f));
+    // Certificates previously paid for (by an unbounded job on the same
+    // triple) answer bounded sizes for free. Lookup only: a plain
+    // `sizes` job never triggers the certification scan itself.
+    let cached_certs: Vec<Option<icstar_sym::CutoffCertificate>> = formulas
+        .iter()
+        .map(|(_, f)| inner.certs.cached(&engine, f).and_then(Result::ok))
+        .collect();
 
     let recorder = &inner.config.recorder;
     let mut verdicts = Vec::with_capacity(sizes.len() * formulas.len());
     for &n in &sizes {
+        // Which formulas this size answers from a certificate — those
+        // need no structures at all.
+        let certified: Vec<bool> = cached_certs
+            .iter()
+            .map(|c| c.as_ref().is_some_and(|c| c.covers(n)))
+            .collect();
+        let any_counting = formulas
+            .iter()
+            .zip(&certified)
+            .any(|((_, f), &done)| !done && !has_index_quantifier(f));
+        let any_indexed = formulas
+            .iter()
+            .zip(&certified)
+            .any(|((_, f), &done)| !done && has_index_quantifier(f));
         let mut session = engine.session(n);
         // Indexed formulas at n = 0 expand over the empty index set and
         // fall back to the counter structure, so it is needed then too.
@@ -558,7 +585,9 @@ fn process(
             // their error at check time instead).
             let mut widths: Vec<u32> = formulas
                 .iter()
-                .filter_map(|(_, f)| required_rep_width(f, n).ok())
+                .zip(&certified)
+                .filter(|(_, &done)| !done)
+                .filter_map(|((_, f), _)| required_rep_width(f, n).ok())
                 .filter(|&w| w > 0)
                 .collect();
             widths.sort_unstable();
@@ -596,11 +625,25 @@ fn process(
         check.set_tid(worker);
         check.attr("n", n.to_string());
         check.attr("formulas", formulas.len().to_string());
-        for (name, f) in &formulas {
+        for (i, (name, f)) in formulas.iter().enumerate() {
+            inner.stats.formulas_checked.inc();
+            if certified[i] {
+                // O(1): the certificate's stabilized verdict covers n.
+                let cert = cached_certs[i].as_ref().expect("certified flag");
+                inner.stats.cutoff_answers.inc();
+                verdicts.push(JobVerdict {
+                    name: name.clone(),
+                    n,
+                    result: Ok(cert.holds),
+                    rep_width: cert.rep_width,
+                    fair: false,
+                    cutoff: Some(cert.c),
+                });
+                continue;
+            }
             let check_started = Instant::now();
             let run = session.check_described(f);
             check_time += check_started.elapsed();
-            inner.stats.formulas_checked.inc();
             let (result, rep_width, fair) = match run {
                 Ok(run) => (Ok(run.holds), run.rep_width, run.fair),
                 Err(e) => {
@@ -614,14 +657,115 @@ fn process(
                 result,
                 rep_width,
                 fair,
+                cutoff: None,
             });
         }
+    }
+    if let Some(lo) = all_from {
+        process_unbounded(
+            inner,
+            &engine,
+            lo,
+            &formulas,
+            root,
+            worker,
+            &mut check_time,
+            &mut verdicts,
+        );
     }
     inner.stats.build_ns.record_duration(build_time);
     inner.stats.check_ns.record_duration(check_time);
     VerdictReport {
         job_id: id,
         verdicts,
+    }
+}
+
+/// Answers the unbounded (`all_from`) tail of a job: per formula,
+/// certify a cutoff `c` (or reuse the cached outcome), report direct
+/// verdicts for the finitely many sizes `lo ≤ n < c`, then one
+/// certificate-backed verdict at `max(lo, c)` that covers every larger
+/// size (its [`JobVerdict::cutoff`] field carries `c`). A refused
+/// formula reports a single [`SymError::CutoffRefused`] verdict at
+/// `lo`.
+///
+/// The below-cutoff sizes are checked on plain sessions rather than
+/// through the graph cache: they are bounded by the certification
+/// horizon (a handful of structures with tens of states), and polluting
+/// the cache's LRU with them would evict real workloads.
+#[allow(clippy::too_many_arguments)]
+fn process_unbounded(
+    inner: &Inner,
+    engine: &SymEngine,
+    lo: u32,
+    formulas: &[(String, StateFormula)],
+    root: SpanContext,
+    worker: u32,
+    check_time: &mut Duration,
+    verdicts: &mut Vec<JobVerdict>,
+) {
+    let recorder = &inner.config.recorder;
+    for (i, (name, f)) in formulas.iter().enumerate() {
+        let mut certify = recorder.scope_under(root, "certify");
+        certify.set_tid(worker);
+        certify.attr("formula", i.to_string());
+        let outcome = inner.certs.get_or_certify(engine, f, &inner.stats);
+        certify.attr(
+            "outcome",
+            if outcome.is_ok() {
+                "certified"
+            } else {
+                "refused"
+            },
+        );
+        drop(certify);
+        match outcome {
+            Ok(cert) => {
+                for n in lo..cert.c {
+                    inner.stats.formulas_checked.inc();
+                    let check_started = Instant::now();
+                    let run = engine.session(n).check_described(f);
+                    *check_time += check_started.elapsed();
+                    let (result, rep_width, fair) = match run {
+                        Ok(run) => (Ok(run.holds), run.rep_width, run.fair),
+                        Err(e) => {
+                            inner.stats.verdict_errors.inc();
+                            (Err(e), 0, false)
+                        }
+                    };
+                    verdicts.push(JobVerdict {
+                        name: name.clone(),
+                        n,
+                        result,
+                        rep_width,
+                        fair,
+                        cutoff: None,
+                    });
+                }
+                inner.stats.formulas_checked.inc();
+                inner.stats.cutoff_answers.inc();
+                verdicts.push(JobVerdict {
+                    name: name.clone(),
+                    n: lo.max(cert.c),
+                    result: Ok(cert.holds),
+                    rep_width: cert.rep_width,
+                    fair: false,
+                    cutoff: Some(cert.c),
+                });
+            }
+            Err(msg) => {
+                inner.stats.formulas_checked.inc();
+                inner.stats.verdict_errors.inc();
+                verdicts.push(JobVerdict {
+                    name: name.clone(),
+                    n: lo,
+                    result: Err(icstar_sym::SymError::CutoffRefused(msg)),
+                    rep_width: 0,
+                    fair: false,
+                    cutoff: None,
+                });
+            }
+        }
     }
 }
 

@@ -27,6 +27,12 @@ pub(crate) struct ServiceStats {
     pub(crate) verdict_errors: Counter,
     /// `serve.explore.sharded` — materializations via the sharded sweep.
     pub(crate) sharded_explorations: Counter,
+    /// `serve.cutoff.certified` — cutoff certificates issued (one per
+    /// distinct (template, spec, formula) triple; refusals not counted).
+    pub(crate) cutoffs_certified: Counter,
+    /// `serve.cutoff.hits` — verdicts answered from a cached certificate
+    /// instead of building and checking a structure.
+    pub(crate) cutoff_answers: Counter,
     /// `serve.queue.depth` — jobs submitted but not yet picked up.
     pub(crate) queue_depth: Gauge,
     /// `serve.workers.busy` — workers currently processing a job.
@@ -60,6 +66,8 @@ impl ServiceStats {
             formulas_checked: registry.counter("serve.formulas.checked"),
             verdict_errors: registry.counter("serve.verdicts.errors"),
             sharded_explorations: registry.counter("serve.explore.sharded"),
+            cutoffs_certified: registry.counter("serve.cutoff.certified"),
+            cutoff_answers: registry.counter("serve.cutoff.hits"),
             queue_depth: registry.gauge("serve.queue.depth"),
             workers_busy: registry.gauge("serve.workers.busy"),
             workers_total: registry.gauge("serve.workers.total"),
@@ -105,6 +113,12 @@ pub struct StatsSnapshot {
     pub evicted_abstract_states: u64,
     /// Materializations that used the sharded parallel exploration.
     pub sharded_explorations: u64,
+    /// Cutoff certificates issued so far (one per distinct (template,
+    /// spec, formula) triple; refusals are not counted).
+    pub cutoffs_certified: u64,
+    /// Verdicts answered from a cached cutoff certificate — each one a
+    /// skipped structure build and model-checking run.
+    pub cutoff_answers: u64,
     /// Estimated median of `serve.job.total_ns` — derived from the same
     /// histogram atomics the `METRICS` exposition and the `HEALTH`
     /// command read, via

@@ -34,6 +34,12 @@ pub enum SymError {
     /// abstraction and the explicit composition — an engine bug, never
     /// expected on released code.
     AbstractionMismatch(String),
+    /// An unbounded (`all n`) verification was requested but the cutoff
+    /// certification engine refused to certify a stabilization point for
+    /// this (template, spec, formula) triple; the payload is the
+    /// [`CutoffRefusal`](crate::CutoffRefusal)'s display text. Bounded
+    /// sizes can still be checked directly.
+    CutoffRefused(String),
 }
 
 impl fmt::Display for SymError {
@@ -63,6 +69,9 @@ impl fmt::Display for SymError {
                     f,
                     "counter abstraction disagrees with explicit composition: {m}"
                 )
+            }
+            SymError::CutoffRefused(m) => {
+                write!(f, "no cutoff certificate: {m}")
             }
         }
     }

@@ -23,6 +23,15 @@
 //! }
 //! ```
 //!
+//! `sizes` may end with an *unbounded* range `lo..*`
+//! (`sizes 100 1000 5..*;`), asking for the verdict at **every**
+//! `n ≥ lo` via a certified cutoff ([`icstar_serve::VerifyJob::all_from`]);
+//! a certificate-backed verdict carries a trailing `cutoff <c>` clause
+//! (`verdict "mutex" @ 2 = holds cutoff 2;`) meaning the same verdict
+//! holds at every size `≥ c`. Both are extensions in the format's
+//! usual style: absent clauses mean the old behavior, so pre-cutoff
+//! transcripts parse unchanged.
+//!
 //! Guards compare occupancy with `<=`, `>=`, `==`, or `in lo..hi`
 //! (inclusive interval); `bcast` clauses declare broadcast moves — one
 //! copy steps `source -> target` while every other copy follows the
@@ -327,6 +336,9 @@ pub fn print_job(job: &VerifyJob) -> String {
     for n in &job.sizes {
         let _ = write!(out, " {n}");
     }
+    if let Some(lo) = job.all_from {
+        let _ = write!(out, " {lo}..*");
+    }
     out.push_str(";\n");
     for (name, f) in &job.formulas {
         indent(&mut out, 1);
@@ -375,6 +387,11 @@ pub fn print_wire_report(report: &WireReport) -> String {
         if v.fair {
             out.push_str(" fair");
         }
+        // Certificate-backed verdicts carry their stabilization point;
+        // absent (= directly checked) is again the parser's default.
+        if let Some(cv) = v.cutoff {
+            let _ = write!(out, " cutoff {cv}");
+        }
         out.push_str(";\n");
     }
     out.push_str("}\n");
@@ -408,6 +425,11 @@ pub struct WireVerdict {
     /// paths only (`verdict … = holds fair;` on the wire); `false` —
     /// omitted when printing — for unconstrained templates and errors.
     pub fair: bool,
+    /// The certified stabilization point backing this verdict
+    /// (`verdict … = holds cutoff 2;` on the wire): the same truth value
+    /// holds at every family size `≥ c`. `None` — omitted when
+    /// printing — for directly-checked verdicts and older servers.
+    pub cutoff: Option<u32>,
 }
 
 /// A [`VerdictReport`] in wire form.
@@ -444,6 +466,7 @@ impl From<&VerdictReport> for WireReport {
                     outcome: v.result.as_ref().map(|b| *b).map_err(|e| e.to_string()),
                     rep_width: v.rep_width,
                     fair: v.fair,
+                    cutoff: v.cutoff,
                 })
                 .collect(),
         }
@@ -947,7 +970,15 @@ fn job(c: &mut Cursor<'_>) -> Result<VerifyJob, WireParseError> {
     }
     c.expect_word("sizes")?;
     while c.peek_int() {
-        j = j.at_size(c.int()?);
+        let n = c.int()?;
+        // `lo..*` — the unbounded range — must come last: everything
+        // after it is already covered.
+        if c.eat("..") {
+            c.expect("*")?;
+            j = j.all_sizes_from(n);
+            break;
+        }
+        j = j.at_size(n);
     }
     c.expect(";")?;
     while c.eat_word("check") {
@@ -1004,6 +1035,13 @@ fn report(c: &mut Cursor<'_>) -> Result<WireReport, WireParseError> {
         // (older servers, unconstrained templates) means false.
         let rep_width = if c.eat_word("k") { c.int()? } else { 0 };
         let fair = c.eat_word("fair");
+        // Optional certified cutoff; absent (older servers, direct
+        // checks) means none.
+        let cutoff = if c.eat_word("cutoff") {
+            Some(c.int()?)
+        } else {
+            None
+        };
         c.expect(";")?;
         verdicts.push(WireVerdict {
             name,
@@ -1011,6 +1049,7 @@ fn report(c: &mut Cursor<'_>) -> Result<WireReport, WireParseError> {
             outcome,
             rep_width,
             fair,
+            cutoff,
         });
     }
     c.expect("}")?;
@@ -1281,6 +1320,7 @@ mod tests {
                     result: Ok(true),
                     rep_width: 0,
                     fair: false,
+                    cutoff: None,
                 },
                 JobVerdict {
                     name: "two in crit".into(),
@@ -1288,6 +1328,7 @@ mod tests {
                     result: Ok(false),
                     rep_width: 2,
                     fair: true,
+                    cutoff: None,
                 },
                 JobVerdict {
                     name: "bogus".into(),
@@ -1295,6 +1336,7 @@ mod tests {
                     result: Err(SymError::UnknownAtom("bogus_ge1".into())),
                     rep_width: 0,
                     fair: false,
+                    cutoff: None,
                 },
             ],
         };
@@ -1326,6 +1368,7 @@ mod tests {
                     outcome: Ok(true),
                     rep_width: 2,
                     fair: true,
+                    cutoff: None,
                 },
                 WireVerdict {
                     name: "drain".into(),
@@ -1333,6 +1376,7 @@ mod tests {
                     outcome: Ok(true),
                     rep_width: 0,
                     fair: true,
+                    cutoff: None,
                 },
                 WireVerdict {
                     name: "mutex".into(),
@@ -1340,6 +1384,7 @@ mod tests {
                     outcome: Ok(true),
                     rep_width: 0,
                     fair: false,
+                    cutoff: None,
                 },
             ],
         };
@@ -1354,6 +1399,69 @@ mod tests {
         assert_eq!(parsed.verdicts[0].rep_width, 0);
         assert!(!parsed.verdicts[0].fair);
         assert_eq!(parsed.verdicts[0].outcome, Ok(false));
+    }
+
+    #[test]
+    fn unbounded_jobs_round_trip() {
+        // Range alone, and explicit sizes followed by the range.
+        let all = VerifyJob::new(mutex_template())
+            .all_sizes_from(1)
+            .formula("mutex", parse_state("AG !crit_ge2").unwrap());
+        let text = print_job(&all);
+        assert!(text.contains("sizes 1..*;"), "{text}");
+        assert_eq!(parse_job(&text).unwrap(), all);
+
+        let mixed = VerifyJob::new(mutex_template())
+            .at_sizes([5, 50])
+            .all_sizes_from(3)
+            .formula("mutex", parse_state("AG !crit_ge2").unwrap());
+        let text = print_job(&mixed);
+        assert!(text.contains("sizes 5 50 3..*;"), "{text}");
+        assert_eq!(parse_job(&text).unwrap(), mixed);
+
+        // The range is terminal: a size after it is trailing garbage.
+        let err = parse_job("job { template { state a [a]; init a; edge a -> a; } sizes 1..* 9; }")
+            .unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{err}");
+        // `..` demands the `*` (finite ranges are spelled explicitly).
+        let err = parse_job("job { template { state a [a]; init a; edge a -> a; } sizes 1..9; }")
+            .unwrap_err();
+        assert!(err.message.contains("expected `*`"), "{err}");
+    }
+
+    #[test]
+    fn cutoff_clause_round_trips_and_defaults_off() {
+        let report = WireReport {
+            job_id: 3,
+            verdicts: vec![
+                WireVerdict {
+                    name: "mutex".into(),
+                    n: 2,
+                    outcome: Ok(true),
+                    rep_width: 0,
+                    fair: false,
+                    cutoff: Some(2),
+                },
+                WireVerdict {
+                    name: "access".into(),
+                    n: 2,
+                    outcome: Ok(true),
+                    rep_width: 1,
+                    fair: false,
+                    cutoff: Some(2),
+                },
+            ],
+        };
+        let text = print_wire_report(&report);
+        assert!(text.contains("\"mutex\" @ 2 = holds cutoff 2;"), "{text}");
+        assert!(
+            text.contains("\"access\" @ 2 = holds k 1 cutoff 2;"),
+            "{text}"
+        );
+        assert_eq!(parse_report(&text).unwrap(), report);
+        // Pre-cutoff transcripts read back with no cutoff.
+        let legacy = "report 7 {\n  verdict \"m\" @ 10 = holds k 2 fair;\n}\n";
+        assert_eq!(parse_report(legacy).unwrap().verdicts[0].cutoff, None);
     }
 
     #[test]
@@ -1471,6 +1579,7 @@ mod tests {
                 outcome: Err("boom\r\n.\r\nboom".into()),
                 rep_width: 0,
                 fair: false,
+                cutoff: None,
             }],
         };
         let text = print_wire_report(&report);

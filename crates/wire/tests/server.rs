@@ -342,6 +342,56 @@ fn raw_protocol_lines_work_without_the_client() {
         "fair liveness report bytes are pinned by PROTOCOL.md"
     );
 
+    // An unbounded job (PROTOCOL.md's fifth transcript exchange): the
+    // `1..*` range asks for every size n ≥ 1, answered via a certified
+    // cutoff — direct verdicts below the stabilization point, then one
+    // certificate-backed verdict with the `cutoff` clause covering the
+    // entire infinite tail. The report's server-side bytes are pinned
+    // exactly.
+    writeln!(writer, "SUBMIT").unwrap();
+    writeln!(
+        writer,
+        "job {{\n  template {{\n    state idle [idle];\n    state try [try];\n    \
+         state crit [crit];\n    init idle;\n    edge idle -> try;\n    \
+         edge try -> crit when #crit <= 0;\n    edge crit -> idle;\n  }}\n  \
+         sizes 1..*;\n  check \"mutex\": AG !crit_ge2;\n  \
+         check \"access\": forall i. AG (try[i] -> EF crit[i]);\n}}"
+    )
+    .unwrap();
+    writeln!(writer, ".").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let unbounded_id: u64 = line
+        .trim_end()
+        .strip_prefix("OK id ")
+        .expect("unbounded submit answer")
+        .parse()
+        .unwrap();
+    writeln!(writer, "RESULT {unbounded_id}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK report");
+    let mut block = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end() == "." {
+            break;
+        }
+        block.push_str(&line);
+    }
+    assert_eq!(
+        block,
+        format!(
+            "report {unbounded_id} {{\n  \
+             verdict \"mutex\" @ 1 = holds;\n  \
+             verdict \"mutex\" @ 2 = holds cutoff 2;\n  \
+             verdict \"access\" @ 1 = holds k 1;\n  \
+             verdict \"access\" @ 2 = holds k 1 cutoff 2;\n}}\n"
+        ),
+        "unbounded report bytes are pinned by PROTOCOL.md"
+    );
+
     writeln!(writer, "NONSENSE").unwrap();
     line.clear();
     reader.read_line(&mut line).unwrap();
@@ -351,6 +401,42 @@ fn raw_protocol_lines_work_without_the_client() {
     line.clear();
     reader.read_line(&mut line).unwrap();
     assert_eq!(line.trim_end(), "OK bye");
+}
+
+#[test]
+fn unbounded_jobs_certify_over_the_wire() {
+    let server = WireServer::bind("127.0.0.1:0", test_service()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    let job = VerifyJob::new(mutex_template())
+        .all_sizes_from(1)
+        .formula("mutex", parse_state("AG !crit_ge2").unwrap());
+    let id = client.submit(&job).unwrap();
+    let report = client.result(id).unwrap();
+    assert!(report.all_hold());
+    let cert = report.verdicts.last().unwrap();
+    let c = cert.cutoff.expect("final verdict carries the cutoff");
+    assert!(report.verdicts[..report.verdicts.len() - 1]
+        .iter()
+        .all(|v| v.cutoff.is_none() && v.n < c));
+
+    // The certificate answers any explicit size ≥ c without building:
+    // a bounded follow-up at a huge n is a pure certificate hit.
+    let big = VerifyJob::new(mutex_template())
+        .at_size(1_000_000)
+        .formula("mutex", parse_state("AG !crit_ge2").unwrap());
+    let id = client.submit(&big).unwrap();
+    let report = client.result(id).unwrap();
+    assert_eq!(report.verdicts[0].outcome, Ok(true));
+    assert_eq!(report.verdicts[0].cutoff, Some(c));
+
+    // Both counters crossed the wire, and HEALTH agrees with STATS.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cutoffs_certified, 1);
+    assert!(stats.cutoff_answers >= 2);
+    let health = client.health().unwrap();
+    assert_eq!(health.cutoffs_certified, stats.cutoffs_certified);
+    assert_eq!(health.cutoff_answers, stats.cutoff_answers);
 }
 
 #[test]
@@ -402,6 +488,8 @@ fn stats_key_set_is_pinned() {
             "cache_evictions",
             "evicted_abstract_states",
             "sharded_explorations",
+            "cutoffs_certified",
+            "cutoff_answers",
             "p50_total_ns",
             "p99_total_ns",
         ],

@@ -4,8 +4,10 @@
 //! Run with `cargo run --example counting`.
 
 use icstar::{check_restricted, quantifier_depth, IndexedChecker};
+#[allow(deprecated)] // the brute-force sweep is this demo's subject
 use icstar_nets::{check_conjecture, counting_formula, fig41_template, interleave};
 
+#[allow(deprecated)]
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = fig41_template();
 

@@ -20,6 +20,7 @@ use icstar::icstar_sym::{guarded_interleave, GuardedTemplate, SymEngine};
 use icstar::{FamilyVerifier, IndexedChecker};
 use icstar_logic::{parse_state, restricted_depth};
 use icstar_nets::free::cyclic_template;
+#[allow(deprecated)] // the deprecated sweep serves as the oracle here
 use icstar_nets::{
     check_conjecture, fig41_template, interleave, random_template, RandomTemplateConfig,
 };
@@ -192,6 +193,7 @@ fn mutex_and_msi_depth2_verify_at_scale_with_width_reported() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn conjecture_values_at_depth_two_agree_with_krep_backend() {
     // The Section 6 harness as an oracle for the k-rep semantics: on the
     // two built-in free families, depth-2 restricted formulas evaluated
